@@ -1,0 +1,171 @@
+//! Coverage analyses: who identifies which IPs and routers (paper §7.1,
+//! §7.2, Figures 15–17).
+
+use lfp_stack::vendor::Vendor;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Per-vendor identification tallies for one dataset (a Figure 15/16 bar
+/// group).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MethodSplit {
+    /// Identified by SNMPv3 only.
+    pub snmp_only: usize,
+    /// Identified by both techniques.
+    pub both: usize,
+    /// Identified by LFP only.
+    pub lfp_only: usize,
+}
+
+impl MethodSplit {
+    /// Total identified by any method.
+    pub fn total(&self) -> usize {
+        self.snmp_only + self.both + self.lfp_only
+    }
+
+    /// Total identified including LFP.
+    pub fn lfp_total(&self) -> usize {
+        self.both + self.lfp_only
+    }
+
+    /// Total identified by SNMPv3.
+    pub fn snmp_total(&self) -> usize {
+        self.snmp_only + self.both
+    }
+}
+
+/// Figures 15/16: split IP identifications per vendor by method.
+pub fn ip_method_split(
+    targets: &[Ipv4Addr],
+    snmp: &HashMap<Ipv4Addr, Vendor>,
+    lfp: &HashMap<Ipv4Addr, Vendor>,
+) -> BTreeMap<Vendor, MethodSplit> {
+    let mut split: BTreeMap<Vendor, MethodSplit> = BTreeMap::new();
+    for ip in targets {
+        match (snmp.get(ip), lfp.get(ip)) {
+            (Some(&vendor), Some(_)) => split.entry(vendor).or_default().both += 1,
+            (Some(&vendor), None) => split.entry(vendor).or_default().snmp_only += 1,
+            (None, Some(&vendor)) => split.entry(vendor).or_default().lfp_only += 1,
+            (None, None) => {}
+        }
+    }
+    split
+}
+
+/// Router-level (alias-set) identification: each alias set becomes one
+/// router whose vendor is the agreed classification of its members.
+/// Returns the per-vendor split plus the alias-consistency statistics of
+/// §7.2 (sets whose classified members all agree).
+pub fn router_method_split(
+    alias_sets: &[Vec<Ipv4Addr>],
+    snmp: &HashMap<Ipv4Addr, Vendor>,
+    lfp: &HashMap<Ipv4Addr, Vendor>,
+) -> (BTreeMap<Vendor, MethodSplit>, AliasConsistency) {
+    let mut split: BTreeMap<Vendor, MethodSplit> = BTreeMap::new();
+    let mut consistency = AliasConsistency::default();
+
+    for set in alias_sets {
+        let lfp_votes: Vec<Vendor> = set.iter().filter_map(|ip| lfp.get(ip).copied()).collect();
+        let snmp_votes: Vec<Vendor> = set.iter().filter_map(|ip| snmp.get(ip).copied()).collect();
+
+        let lfp_vendor = agreed(&lfp_votes);
+        let snmp_vendor = agreed(&snmp_votes);
+        if !lfp_votes.is_empty() {
+            consistency.classified_sets += 1;
+            if lfp_vendor.is_none() {
+                consistency.conflicting_sets += 1;
+                consistency.conflicting_ips += lfp_votes.len();
+            }
+        }
+        match (snmp_vendor, lfp_vendor) {
+            (Some(vendor), Some(_)) => split.entry(vendor).or_default().both += 1,
+            (Some(vendor), None) if lfp_votes.is_empty() => {
+                split.entry(vendor).or_default().snmp_only += 1
+            }
+            (Some(vendor), None) => split.entry(vendor).or_default().snmp_only += 1,
+            (None, Some(vendor)) => split.entry(vendor).or_default().lfp_only += 1,
+            (None, None) => {}
+        }
+    }
+    (split, consistency)
+}
+
+fn agreed(votes: &[Vendor]) -> Option<Vendor> {
+    let first = *votes.first()?;
+    votes.iter().all(|&v| v == first).then_some(first)
+}
+
+/// §7.2's alias-set agreement statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AliasConsistency {
+    /// Alias sets with at least one classified member.
+    pub classified_sets: usize,
+    /// Sets whose classified members disagree.
+    pub conflicting_sets: usize,
+    /// Member IPs inside conflicting sets.
+    pub conflicting_ips: usize,
+}
+
+impl AliasConsistency {
+    /// Fraction of classified sets that agree (paper: ≈99%).
+    pub fn agreement_rate(&self) -> f64 {
+        if self.classified_sets == 0 {
+            1.0
+        } else {
+            1.0 - self.conflicting_sets as f64 / self.classified_sets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(2, 0, 0, last)
+    }
+
+    #[test]
+    fn ip_split_partitions_methods() {
+        let targets: Vec<Ipv4Addr> = (1..=4).map(ip).collect();
+        let mut snmp = HashMap::new();
+        snmp.insert(ip(1), Vendor::Cisco); // snmp only
+        snmp.insert(ip(2), Vendor::Cisco); // both
+        let mut lfp = HashMap::new();
+        lfp.insert(ip(2), Vendor::Cisco);
+        lfp.insert(ip(3), Vendor::Juniper); // lfp only
+        let split = ip_method_split(&targets, &snmp, &lfp);
+        assert_eq!(split[&Vendor::Cisco].snmp_only, 1);
+        assert_eq!(split[&Vendor::Cisco].both, 1);
+        assert_eq!(split[&Vendor::Juniper].lfp_only, 1);
+        assert_eq!(split[&Vendor::Cisco].total(), 2);
+        assert_eq!(split[&Vendor::Cisco].lfp_total(), 1);
+    }
+
+    #[test]
+    fn router_split_detects_conflicts() {
+        let sets = vec![
+            vec![ip(1), ip(2)],            // agree: Cisco
+            vec![ip(3), ip(4)],            // conflict
+            vec![ip(5), ip(6)],            // unclassified
+        ];
+        let mut lfp = HashMap::new();
+        lfp.insert(ip(1), Vendor::Cisco);
+        lfp.insert(ip(2), Vendor::Cisco);
+        lfp.insert(ip(3), Vendor::Cisco);
+        lfp.insert(ip(4), Vendor::Juniper);
+        let snmp = HashMap::new();
+        let (split, consistency) = router_method_split(&sets, &snmp, &lfp);
+        assert_eq!(split[&Vendor::Cisco].lfp_only, 1);
+        assert_eq!(consistency.classified_sets, 2);
+        assert_eq!(consistency.conflicting_sets, 1);
+        assert_eq!(consistency.conflicting_ips, 2);
+        assert!((consistency.agreement_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_world_is_fully_consistent() {
+        let consistency = AliasConsistency::default();
+        assert_eq!(consistency.agreement_rate(), 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-AS coverage and vendor homogeneity (paper Appendix A, Figures
+//! 19–20, and the network-level claims of §1/§7.5).
+
+use crate::stats::Ecdf;
+use lfp_stack::vendor::Vendor;
+use lfp_topo::Internet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Per-AS router identification summary.
+#[derive(Debug, Clone, Default)]
+pub struct AsSummary {
+    /// Routers of this AS present in the studied dataset.
+    pub routers: usize,
+    /// Routers with a unique LFP vendor verdict (any interface).
+    pub identified: usize,
+    /// Routers identified via SNMPv3.
+    pub snmp_identified: usize,
+    /// Distinct vendors among identified routers.
+    pub vendors: BTreeSet<Vendor>,
+}
+
+impl AsSummary {
+    /// Identified percentage.
+    pub fn identified_percent(&self) -> f64 {
+        if self.routers == 0 {
+            0.0
+        } else {
+            self.identified as f64 * 100.0 / self.routers as f64
+        }
+    }
+}
+
+/// Group a dataset's target IPs by owning AS and summarise identification
+/// per AS. Router membership comes from the address registry equivalent
+/// (interface → router → AS), vendor verdicts from the supplied maps.
+pub fn per_as_summaries(
+    internet: &Internet,
+    targets: &[Ipv4Addr],
+    lfp: &HashMap<Ipv4Addr, Vendor>,
+    snmp: &HashMap<Ipv4Addr, Vendor>,
+) -> BTreeMap<u32, AsSummary> {
+    // Collapse interfaces to routers first.
+    struct RouterAgg {
+        as_id: u32,
+        lfp_vendor: Option<Vendor>,
+        snmp_hit: bool,
+    }
+    let mut routers: BTreeMap<u32, RouterAgg> = BTreeMap::new();
+    for &ip in targets {
+        let Some(meta) = internet.truth_of(ip) else {
+            continue;
+        };
+        let entry = routers.entry(meta.device.0).or_insert(RouterAgg {
+            as_id: meta.as_id,
+            lfp_vendor: None,
+            snmp_hit: false,
+        });
+        if entry.lfp_vendor.is_none() {
+            entry.lfp_vendor = lfp.get(&ip).copied();
+        }
+        entry.snmp_hit |= snmp.contains_key(&ip);
+    }
+
+    let mut summaries: BTreeMap<u32, AsSummary> = BTreeMap::new();
+    for agg in routers.values() {
+        let summary = summaries.entry(agg.as_id).or_default();
+        summary.routers += 1;
+        if let Some(vendor) = agg.lfp_vendor {
+            summary.identified += 1;
+            summary.vendors.insert(vendor);
+        }
+        if agg.snmp_hit {
+            summary.snmp_identified += 1;
+        }
+    }
+    summaries
+}
+
+/// Figure 19: ECDF of identified-router percentage per AS, restricted to
+/// ASes with at least `min_routers` routers in the dataset.
+pub fn coverage_ecdf(summaries: &BTreeMap<u32, AsSummary>, min_routers: usize) -> Ecdf {
+    Ecdf::new(
+        summaries
+            .values()
+            .filter(|s| s.routers >= min_routers.max(1))
+            .map(|s| s.identified_percent())
+            .collect(),
+    )
+}
+
+/// Figure 20: ECDF of distinct vendor counts per AS (same restriction).
+pub fn vendors_ecdf(summaries: &BTreeMap<u32, AsSummary>, min_routers: usize) -> Ecdf {
+    Ecdf::new(
+        summaries
+            .values()
+            .filter(|s| s.routers >= min_routers.max(1))
+            .map(|s| s.vendors.len() as f64)
+            .collect(),
+    )
+}
+
+/// Vendor-homogeneous ASes (§6.3's selection rule): at least `min_ips`
+/// identified routers and ≥ `dominance` of them from a single vendor.
+/// Returns (as_id, dominant vendor, dominant share).
+pub fn homogeneous_ases(
+    summaries_by_vendor: &BTreeMap<u32, BTreeMap<Vendor, usize>>,
+    min_identified: usize,
+    dominance: f64,
+) -> Vec<(u32, Vendor, f64)> {
+    let mut result = Vec::new();
+    for (&as_id, vendors) in summaries_by_vendor {
+        let total: usize = vendors.values().sum();
+        if total < min_identified {
+            continue;
+        }
+        if let Some((&vendor, &count)) = vendors.iter().max_by_key(|(_, &c)| c) {
+            let share = count as f64 / total as f64;
+            if share >= dominance {
+                result.push((as_id, vendor, share));
+            }
+        }
+    }
+    result
+}
+
+/// Per-AS identified-router counts by vendor (input to
+/// [`homogeneous_ases`] and the regional analyses).
+pub fn per_as_vendor_counts(
+    internet: &Internet,
+    targets: &[Ipv4Addr],
+    lfp: &HashMap<Ipv4Addr, Vendor>,
+) -> BTreeMap<u32, BTreeMap<Vendor, usize>> {
+    // Count routers once, not interfaces.
+    let mut seen_router: BTreeSet<u32> = BTreeSet::new();
+    let mut counts: BTreeMap<u32, BTreeMap<Vendor, usize>> = BTreeMap::new();
+    for &ip in targets {
+        let Some(meta) = internet.truth_of(ip) else {
+            continue;
+        };
+        let Some(&vendor) = lfp.get(&ip) else {
+            continue;
+        };
+        if !seen_router.insert(meta.device.0) {
+            continue;
+        }
+        *counts
+            .entry(meta.as_id)
+            .or_default()
+            .entry(vendor)
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfp_topo::Scale;
+
+    #[test]
+    fn summaries_group_by_as_and_router() {
+        let internet = Internet::generate(Scale::tiny());
+        let targets = internet.all_interfaces();
+        // Pretend LFP identified every Cisco interface.
+        let mut lfp = HashMap::new();
+        for router in internet.routers() {
+            if router.vendor == Vendor::Cisco {
+                for &ip in &router.interfaces {
+                    lfp.insert(ip, Vendor::Cisco);
+                }
+            }
+        }
+        let snmp = HashMap::new();
+        let summaries = per_as_summaries(&internet, &targets, &lfp, &snmp);
+        let total_routers: usize = summaries.values().map(|s| s.routers).sum();
+        assert_eq!(total_routers, internet.routers().len());
+        for summary in summaries.values() {
+            assert!(summary.identified <= summary.routers);
+            if summary.identified > 0 {
+                assert_eq!(summary.vendors.iter().next(), Some(&Vendor::Cisco));
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_ecdf_respects_min_routers() {
+        let internet = Internet::generate(Scale::tiny());
+        let targets = internet.all_interfaces();
+        let lfp = HashMap::new();
+        let snmp = HashMap::new();
+        let summaries = per_as_summaries(&internet, &targets, &lfp, &snmp);
+        let all = coverage_ecdf(&summaries, 1);
+        let big = coverage_ecdf(&summaries, 10);
+        assert!(big.len() <= all.len());
+    }
+
+    #[test]
+    fn homogeneous_selection_applies_thresholds() {
+        let mut counts: BTreeMap<u32, BTreeMap<Vendor, usize>> = BTreeMap::new();
+        counts.entry(1).or_default().insert(Vendor::Huawei, 90);
+        counts.entry(1).or_default().insert(Vendor::Cisco, 10);
+        counts.entry(2).or_default().insert(Vendor::Cisco, 5);
+        counts.entry(3).or_default().insert(Vendor::Cisco, 50);
+        counts.entry(3).or_default().insert(Vendor::Juniper, 50);
+        let selected = homogeneous_ases(&counts, 20, 0.85);
+        assert_eq!(selected.len(), 1);
+        assert_eq!(selected[0].0, 1);
+        assert_eq!(selected[0].1, Vendor::Huawei);
+        assert!((selected[0].2 - 0.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! # lfp-analysis — analyses and the experiment registry
+//!
+//! Everything downstream of classification:
+//!
+//! * [`world`] — the scenario builder (one `World` = one fully measured
+//!   Internet: datasets, scans, union signature set),
+//! * [`stats`] / [`report`] — ECDFs, histograms, and the uniform report
+//!   shape every experiment emits,
+//! * [`responsiveness`], [`paths`], [`us_study`], [`coverage`],
+//!   [`homogeneity`], [`regional`], [`routing`] — the paper's §4–§7 and
+//!   appendix analyses,
+//! * [`experiments`] — the registry regenerating **every table and figure**
+//!   (Tables 1–8, Figures 2–22, the §6.3 case study, and four ablations).
+//!
+//! ```no_run
+//! use lfp_analysis::{experiments, World};
+//! use lfp_topo::Scale;
+//!
+//! let world = World::build(Scale::small());
+//! let report = experiments::run_by_id(&world, "table3").unwrap();
+//! println!("{}", report.render_text());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod experiments;
+pub mod homogeneity;
+pub mod paths;
+pub mod regional;
+pub mod report;
+pub mod responsiveness;
+pub mod routing;
+pub mod stats;
+pub mod us_study;
+pub mod world;
+
+pub use report::{Report, Series};
+pub use stats::{Ecdf, Histogram};
+pub use world::World;

@@ -1,0 +1,215 @@
+//! Path-level vendor analyses (paper §6, Figures 8–14).
+//!
+//! A traceroute's router hops are classified with LFP; the analyses ask
+//! how much of each path is identifiable, how many distinct vendors a
+//! path crosses, and which vendor combinations dominate.
+
+use crate::stats::Ecdf;
+use lfp_stack::vendor::Vendor;
+use lfp_topo::datasets::TraceRecord;
+use std::collections::{BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Path-level metrics for one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathMetrics {
+    /// Responsive router hops (destination excluded).
+    pub router_hops: usize,
+    /// Hops with a unique vendor verdict.
+    pub identified: usize,
+    /// Distinct vendors identified along the path.
+    pub vendors: BTreeSet<Vendor>,
+}
+
+impl PathMetrics {
+    /// Identified fraction in percent (None when no router hops).
+    pub fn identified_percent(&self) -> Option<f64> {
+        if self.router_hops == 0 {
+            None
+        } else {
+            Some(self.identified as f64 * 100.0 / self.router_hops as f64)
+        }
+    }
+}
+
+/// Compute metrics for every trace against an ip → vendor map.
+pub fn path_metrics(
+    traces: &[TraceRecord],
+    vendor_map: &HashMap<Ipv4Addr, Vendor>,
+) -> Vec<PathMetrics> {
+    traces
+        .iter()
+        .map(|trace| {
+            let hops = trace.router_hops();
+            let mut vendors = BTreeSet::new();
+            let mut identified = 0usize;
+            for hop in &hops {
+                if let Some(&vendor) = vendor_map.get(hop) {
+                    identified += 1;
+                    vendors.insert(vendor);
+                }
+            }
+            PathMetrics {
+                router_hops: hops.len(),
+                identified,
+                vendors,
+            }
+        })
+        .collect()
+}
+
+/// Figure 8: ECDF of observed path lengths per trace. For unreached
+/// destinations the effective length ends at the last responsive hop
+/// (trailing timeouts carry no path information).
+pub fn path_length_ecdf(traces: &[TraceRecord]) -> Ecdf {
+    Ecdf::new(
+        traces
+            .iter()
+            .map(|t| {
+                let trailing_timeouts =
+                    t.hops.iter().rev().take_while(|hop| hop.is_none()).count();
+                (t.hops.len() - trailing_timeouts).max(1) as f64
+            })
+            .collect(),
+    )
+}
+
+/// Figure 9/10 series: ECDF of the identified-hop percentage over traces
+/// with at least `min_hops` router hops (and optionally at least
+/// `min_identified` fingerprints).
+pub fn identified_fraction_ecdf(
+    metrics: &[PathMetrics],
+    min_hops: usize,
+    min_identified: usize,
+) -> Ecdf {
+    Ecdf::new(
+        metrics
+            .iter()
+            .filter(|m| m.router_hops >= min_hops && m.identified >= min_identified)
+            .filter_map(|m| m.identified_percent())
+            .collect(),
+    )
+}
+
+/// Figure 11: ECDF of the number of distinct vendors per path (paths with
+/// at least one identified hop).
+pub fn vendors_per_path_ecdf(metrics: &[PathMetrics]) -> Ecdf {
+    Ecdf::new(
+        metrics
+            .iter()
+            .filter(|m| m.identified > 0)
+            .map(|m| m.vendors.len() as f64)
+            .collect(),
+    )
+}
+
+/// Figures 12–14: ranked vendor combinations (unordered sets) with their
+/// share of paths having at least one identified hop.
+pub fn top_vendor_combinations(
+    metrics: &[PathMetrics],
+    top: usize,
+) -> Vec<(String, f64, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut total = 0usize;
+    for metric in metrics {
+        if metric.vendors.is_empty() {
+            continue;
+        }
+        total += 1;
+        let label = metric
+            .vendors
+            .iter()
+            .map(|v| v.name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        *counts.entry(label).or_default() += 1;
+    }
+    let mut ranked: Vec<(String, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked
+        .into_iter()
+        .take(top)
+        .map(|(label, count)| (label, count as f64 * 100.0 / total.max(1) as f64, count))
+        .collect()
+}
+
+/// Count of distinct vendor sets observed (the paper's "around 650 unique
+/// sets of vendors").
+pub fn distinct_vendor_sets(metrics: &[PathMetrics]) -> usize {
+    metrics
+        .iter()
+        .filter(|m| !m.vendors.is_empty())
+        .map(|m| m.vendors.iter().copied().collect::<Vec<_>>())
+        .collect::<BTreeSet<_>>()
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(hops: Vec<Option<Ipv4Addr>>, dst: Ipv4Addr) -> TraceRecord {
+        TraceRecord {
+            src_as: 0,
+            dst_as: 1,
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst,
+            hops,
+            reached: true,
+        }
+    }
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(1, 0, 0, last)
+    }
+
+    fn sample() -> (Vec<TraceRecord>, HashMap<Ipv4Addr, Vendor>) {
+        let dst = ip(99);
+        let traces = vec![
+            trace(vec![Some(ip(1)), Some(ip(2)), Some(ip(3)), Some(dst)], dst),
+            trace(vec![Some(ip(1)), None, Some(ip(4)), Some(dst)], dst),
+            trace(vec![Some(ip(5)), Some(ip(6))], dst),
+        ];
+        let mut map = HashMap::new();
+        map.insert(ip(1), Vendor::Cisco);
+        map.insert(ip(2), Vendor::Cisco);
+        map.insert(ip(3), Vendor::Juniper);
+        map.insert(ip(4), Vendor::Huawei);
+        (traces, map)
+    }
+
+    #[test]
+    fn metrics_count_hops_and_vendors() {
+        let (traces, map) = sample();
+        let metrics = path_metrics(&traces, &map);
+        assert_eq!(metrics[0].router_hops, 3); // destination excluded
+        assert_eq!(metrics[0].identified, 3);
+        assert_eq!(metrics[0].vendors.len(), 2);
+        assert_eq!(metrics[0].identified_percent(), Some(100.0));
+        assert_eq!(metrics[1].identified, 2);
+        assert_eq!(metrics[2].identified, 0);
+        assert!(metrics[2].vendors.is_empty());
+    }
+
+    #[test]
+    fn ecdfs_filter_correctly() {
+        let (traces, map) = sample();
+        let metrics = path_metrics(&traces, &map);
+        let all = identified_fraction_ecdf(&metrics, 0, 0);
+        assert_eq!(all.len(), 3);
+        let min3 = identified_fraction_ecdf(&metrics, 3, 0);
+        assert_eq!(min3.len(), 1);
+        let vendors = vendors_per_path_ecdf(&metrics);
+        assert_eq!(vendors.len(), 2);
+    }
+
+    #[test]
+    fn combinations_rank_by_share() {
+        let (traces, map) = sample();
+        let metrics = path_metrics(&traces, &map);
+        let combos = top_vendor_combinations(&metrics, 5);
+        assert_eq!(combos.len(), 2);
+        assert_eq!(combos[0].1 + combos[1].1, 100.0);
+        assert_eq!(distinct_vendor_sets(&metrics), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Regional vendor distribution (paper Appendix A.2, Figures 21–22).
+
+use lfp_stack::vendor::Vendor;
+use lfp_topo::{Continent, Internet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Per-continent router identification tallies.
+#[derive(Debug, Clone, Default)]
+pub struct ContinentStats {
+    /// Routers identified by LFP, per vendor.
+    pub lfp_by_vendor: BTreeMap<Vendor, usize>,
+    /// Routers identified via SNMPv3 (any vendor).
+    pub snmp_routers: usize,
+}
+
+impl ContinentStats {
+    /// Total LFP-identified routers.
+    pub fn lfp_total(&self) -> usize {
+        self.lfp_by_vendor.values().sum()
+    }
+
+    /// The dominant vendor and its share.
+    pub fn dominant(&self) -> Option<(Vendor, f64)> {
+        let total = self.lfp_total();
+        self.lfp_by_vendor
+            .iter()
+            .max_by_key(|(_, &count)| count)
+            .map(|(&vendor, &count)| (vendor, count as f64 / total.max(1) as f64))
+    }
+
+    /// LFP's additional contribution over SNMPv3, in percent
+    /// (paper: +100% in EU/Asia, +205% Oceania, ...).
+    pub fn lfp_uplift_percent(&self) -> f64 {
+        if self.snmp_routers == 0 {
+            return 0.0;
+        }
+        (self.lfp_total() as f64 / self.snmp_routers as f64 - 1.0) * 100.0
+    }
+}
+
+/// Figure 21: tally identified routers per continent and vendor. Routers
+/// are attributed to the continent of their host network's registration.
+pub fn per_continent(
+    internet: &Internet,
+    targets: &[Ipv4Addr],
+    lfp: &HashMap<Ipv4Addr, Vendor>,
+    snmp: &HashMap<Ipv4Addr, Vendor>,
+) -> BTreeMap<Continent, ContinentStats> {
+    let mut stats: BTreeMap<Continent, ContinentStats> = BTreeMap::new();
+    let mut lfp_seen: BTreeSet<u32> = BTreeSet::new();
+    let mut snmp_seen: BTreeSet<u32> = BTreeSet::new();
+    for &ip in targets {
+        let Some(meta) = internet.truth_of(ip) else {
+            continue;
+        };
+        let continent = internet.continent_of(meta.as_id);
+        if let Some(&vendor) = lfp.get(&ip) {
+            if lfp_seen.insert(meta.device.0) {
+                *stats
+                    .entry(continent)
+                    .or_default()
+                    .lfp_by_vendor
+                    .entry(vendor)
+                    .or_insert(0) += 1;
+            }
+        }
+        if snmp.contains_key(&ip) && snmp_seen.insert(meta.device.0) {
+            stats.entry(continent).or_default().snmp_routers += 1;
+        }
+    }
+    stats
+}
+
+/// Figure 22: the top-N networks by LFP-identified routers, with the
+/// SNMPv3 count alongside and a region-coded label ("AS-1", "NA-2", ...).
+pub fn top_networks(
+    internet: &Internet,
+    per_as_lfp: &BTreeMap<u32, BTreeMap<Vendor, usize>>,
+    per_as_snmp: &BTreeMap<u32, usize>,
+    top: usize,
+) -> Vec<TopNetwork> {
+    let mut ranked: Vec<(u32, usize)> = per_as_lfp
+        .iter()
+        .map(|(&as_id, vendors)| (as_id, vendors.values().sum()))
+        .collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let mut region_counters: BTreeMap<&'static str, usize> = BTreeMap::new();
+    ranked
+        .into_iter()
+        .take(top)
+        .map(|(as_id, lfp_routers)| {
+            let region = internet.continent_of(as_id).abbrev();
+            let index = region_counters.entry(region).or_insert(0);
+            *index += 1;
+            TopNetwork {
+                as_id,
+                label: format!("{region}-{index}"),
+                lfp_routers,
+                snmp_routers: per_as_snmp.get(&as_id).copied().unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+/// One Figure 22 bar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopNetwork {
+    /// Internal AS id.
+    pub as_id: u32,
+    /// Region-coded label (the paper anonymises networks the same way).
+    pub label: String,
+    /// LFP-identified routers.
+    pub lfp_routers: usize,
+    /// SNMPv3-identified routers.
+    pub snmp_routers: usize,
+}
+
+/// Per-AS SNMPv3-identified router counts (companion to
+/// `homogeneity::per_as_vendor_counts`).
+pub fn per_as_snmp_counts(
+    internet: &Internet,
+    targets: &[Ipv4Addr],
+    snmp: &HashMap<Ipv4Addr, Vendor>,
+) -> BTreeMap<u32, usize> {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &ip in targets {
+        let Some(meta) = internet.truth_of(ip) else {
+            continue;
+        };
+        if snmp.contains_key(&ip) && seen.insert(meta.device.0) {
+            *counts.entry(meta.as_id).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfp_topo::Scale;
+
+    #[test]
+    fn continent_stats_aggregate_routers_not_interfaces() {
+        let internet = Internet::generate(Scale::tiny());
+        let targets = internet.all_interfaces();
+        let mut lfp = HashMap::new();
+        for router in internet.routers() {
+            for &ip in &router.interfaces {
+                lfp.insert(ip, router.vendor);
+            }
+        }
+        let snmp = HashMap::new();
+        let stats = per_continent(&internet, &targets, &lfp, &snmp);
+        let total: usize = stats.values().map(|s| s.lfp_total()).sum();
+        assert_eq!(total, internet.routers().len(), "one count per router");
+    }
+
+    #[test]
+    fn top_networks_rank_and_label() {
+        let internet = Internet::generate(Scale::tiny());
+        let mut per_as: BTreeMap<u32, BTreeMap<Vendor, usize>> = BTreeMap::new();
+        per_as.entry(3).or_default().insert(Vendor::Cisco, 100);
+        per_as.entry(7).or_default().insert(Vendor::Huawei, 300);
+        per_as.entry(9).or_default().insert(Vendor::Juniper, 50);
+        let mut per_as_snmp = BTreeMap::new();
+        per_as_snmp.insert(7u32, 120usize);
+        let top = top_networks(&internet, &per_as, &per_as_snmp, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].as_id, 7);
+        assert_eq!(top[0].lfp_routers, 300);
+        assert_eq!(top[0].snmp_routers, 120);
+        assert!(top[0].label.contains('-'));
+    }
+
+    #[test]
+    fn uplift_math() {
+        let mut stats = ContinentStats::default();
+        stats.lfp_by_vendor.insert(Vendor::Cisco, 200);
+        stats.snmp_routers = 100;
+        assert!((stats.lfp_uplift_percent() - 100.0).abs() < 1e-9);
+        assert_eq!(stats.dominant().unwrap().0, Vendor::Cisco);
+    }
+}

@@ -1,0 +1,151 @@
+//! Experiment reports: a uniform shape for every regenerated table and
+//! figure, renderable as aligned text and serialisable to JSON for
+//! EXPERIMENTS.md tooling.
+
+use serde::Serialize;
+
+/// A plottable series (one line of a figure).
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The result of regenerating one paper artefact.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Report {
+    /// Experiment id ("table3", "fig11", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers for the tabular part.
+    pub columns: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Figure series, if the artefact is a plot.
+    pub series: Vec<Series>,
+    /// What the paper reports (the comparison target).
+    pub paper_claim: String,
+    /// What we measured (the reproduced shape).
+    pub measured_claim: String,
+    /// Free-form remarks (deviations, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &str, title: &str) -> Report {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            ..Report::default()
+        }
+    }
+
+    /// Add a table row from displayable cells.
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().collect());
+    }
+
+    /// Render as aligned monospaced text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        if !self.columns.is_empty() {
+            let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+            for row in &self.rows {
+                for (index, cell) in row.iter().enumerate() {
+                    if index < widths.len() {
+                        widths[index] = widths[index].max(cell.len());
+                    }
+                }
+            }
+            let header: Vec<String> = self
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&format!("  {}\n", header.join("  ")));
+            out.push_str(&format!(
+                "  {}\n",
+                widths
+                    .iter()
+                    .map(|w| "-".repeat(*w))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            ));
+            for row in &self.rows {
+                let cells: Vec<String> = row
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0))
+                    })
+                    .collect();
+                out.push_str(&format!("  {}\n", cells.join("  ")));
+            }
+        }
+        for series in &self.series {
+            out.push_str(&format!("  series '{}' ({} pts): ", series.name, series.points.len()));
+            let sampled: Vec<String> = series
+                .points
+                .iter()
+                .step_by((series.points.len() / 8).max(1))
+                .map(|(x, y)| format!("({x:.3},{y:.3})"))
+                .collect();
+            out.push_str(&sampled.join(" "));
+            out.push('\n');
+        }
+        if !self.paper_claim.is_empty() {
+            out.push_str(&format!("  paper:    {}\n", self.paper_claim));
+        }
+        if !self.measured_claim.is_empty() {
+            out.push_str(&format!("  measured: {}\n", self.measured_claim));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports always serialise")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let mut report = Report::new("table9", "Demo");
+        report.columns = vec!["Vendor".into(), "IPs".into()];
+        report.row(["Cisco".to_string(), "82020".to_string()]);
+        report.row(["Juniper".to_string(), "17665".to_string()]);
+        report.paper_claim = "Cisco dominates".into();
+        report.measured_claim = "Cisco dominates here too".into();
+        let text = report.render_text();
+        assert!(text.contains("== table9 — Demo =="));
+        assert!(text.contains("Cisco   "));
+        assert!(text.contains("paper:"));
+    }
+
+    #[test]
+    fn json_roundtrip_contains_series() {
+        let mut report = Report::new("fig0", "Series demo");
+        report.series.push(Series {
+            name: "ecdf".into(),
+            points: vec![(0.0, 0.0), (1.0, 1.0)],
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"fig0\""));
+        assert!(json.contains("\"ecdf\""));
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["series"][0]["points"][1][1], 1.0);
+    }
+}

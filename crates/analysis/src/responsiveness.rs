@@ -1,0 +1,105 @@
+//! Responsiveness distributions (paper §4.1, Figures 4–6).
+
+use crate::stats::Ecdf;
+use lfp_core::pipeline::DatasetScan;
+
+/// Figure 4: ECDF of the number of responsive protocols (0–3) per IP.
+pub fn responsive_protocols_ecdf(scan: &DatasetScan) -> Ecdf {
+    Ecdf::new(
+        scan.observations
+            .iter()
+            .map(|o| o.responsive_protocols() as f64)
+            .collect(),
+    )
+}
+
+/// Figures 5/6: per-protocol ECDFs of responses (0–3) per IP, in
+/// (ICMP, TCP, UDP) order.
+pub fn responses_per_protocol_ecdfs(scan: &DatasetScan) -> [Ecdf; 3] {
+    let collect = |index: usize| {
+        Ecdf::new(
+            scan.observations
+                .iter()
+                .map(|o| o.responses_per_protocol()[index] as f64)
+                .collect(),
+        )
+    };
+    [collect(0), collect(1), collect(2)]
+}
+
+/// Headline fractions: (any-protocol responsive, all-three responsive).
+pub fn headline_fractions(scan: &DatasetScan) -> (f64, f64) {
+    let total = scan.observations.len().max(1) as f64;
+    let any = scan
+        .observations
+        .iter()
+        .filter(|o| o.responsive_protocols() >= 1)
+        .count() as f64;
+    let all = scan
+        .observations
+        .iter()
+        .filter(|o| o.responsive_protocols() == 3)
+        .count() as f64;
+    (any / total, all / total)
+}
+
+/// The all-or-nothing property of Figures 5/6: among IPs with any response
+/// on a protocol, the fraction that answered all three probes.
+pub fn all_or_nothing_fraction(scan: &DatasetScan, protocol: usize) -> f64 {
+    let mut responders = 0usize;
+    let mut complete = 0usize;
+    for observation in &scan.observations {
+        let count = observation.responses_per_protocol()[protocol];
+        if count > 0 {
+            responders += 1;
+            if count == 3 {
+                complete += 1;
+            }
+        }
+    }
+    if responders == 0 {
+        1.0
+    } else {
+        complete as f64 / responders as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfp_core::pipeline::scan_dataset;
+    use lfp_topo::{Internet, Scale};
+
+    #[test]
+    fn distributions_behave_on_a_tiny_world() {
+        let internet = Internet::generate(Scale::tiny());
+        let targets = internet.all_interfaces();
+        let scan = scan_dataset(internet.network(), "t", &targets, 4);
+
+        let protocols = responsive_protocols_ecdf(&scan);
+        assert_eq!(protocols.len(), targets.len());
+        // ECDF at 3 covers everything.
+        assert_eq!(protocols.fraction_at_or_below(3.0), 1.0);
+
+        let (any, all) = headline_fractions(&scan);
+        assert!(any >= all);
+        assert!(any > 0.3, "responsiveness unexpectedly low: {any}");
+
+        let [icmp, tcp, udp] = responses_per_protocol_ecdfs(&scan);
+        // ICMP is the most answered protocol (paper §4.1).
+        assert!(
+            icmp.fraction_at_or_below(0.0) <= tcp.fraction_at_or_below(0.0) + 0.05,
+            "ICMP should respond at least as often as TCP"
+        );
+        assert_eq!(udp.len(), targets.len());
+
+        // All-or-nothing: responders overwhelmingly answer all 3 probes.
+        for protocol in 0..3 {
+            let fraction = all_or_nothing_fraction(&scan, protocol);
+            assert!(
+                fraction > 0.85,
+                "protocol {protocol}: only {fraction} complete"
+            );
+        }
+    }
+}

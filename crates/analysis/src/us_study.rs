@@ -1,0 +1,71 @@
+//! US-centric path slicing (paper §6.2): intra-US (both endpoints
+//! registered in the US) and inter-US (exactly one endpoint in the US)
+//! traceroute subsets, geolocated through the address registry as in the
+//! paper.
+
+use lfp_topo::datasets::TraceRecord;
+use lfp_topo::Internet;
+
+/// The slice a trace belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UsSlice {
+    /// Source and destination both in the US.
+    IntraUs,
+    /// Exactly one endpoint in the US.
+    InterUs,
+    /// Neither endpoint in the US.
+    Other,
+}
+
+/// Classify one trace by its endpoints' registry countries.
+pub fn slice_of(internet: &Internet, trace: &TraceRecord) -> UsSlice {
+    let src_us = internet.is_us(trace.src_as);
+    let dst_us = trace.dst_as != u32::MAX && internet.is_us(trace.dst_as);
+    match (src_us, dst_us) {
+        (true, true) => UsSlice::IntraUs,
+        (true, false) | (false, true) => UsSlice::InterUs,
+        (false, false) => UsSlice::Other,
+    }
+}
+
+/// Partition traces into (intra-US, inter-US, other) index lists.
+pub fn partition<'a>(
+    internet: &Internet,
+    traces: &'a [TraceRecord],
+) -> (Vec<&'a TraceRecord>, Vec<&'a TraceRecord>, Vec<&'a TraceRecord>) {
+    let mut intra = Vec::new();
+    let mut inter = Vec::new();
+    let mut other = Vec::new();
+    for trace in traces {
+        match slice_of(internet, trace) {
+            UsSlice::IntraUs => intra.push(trace),
+            UsSlice::InterUs => inter.push(trace),
+            UsSlice::Other => other.push(trace),
+        }
+    }
+    (intra, inter, other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfp_topo::Scale;
+
+    #[test]
+    fn partition_is_total_and_exclusive() {
+        let internet = Internet::generate(Scale::tiny());
+        let snapshots = lfp_topo::build_ripe_snapshots(&internet);
+        let traces = &snapshots[0].traces;
+        let (intra, inter, other) = partition(&internet, traces);
+        assert_eq!(intra.len() + inter.len() + other.len(), traces.len());
+        for trace in &intra {
+            assert!(internet.is_us(trace.src_as));
+            assert!(internet.is_us(trace.dst_as));
+        }
+        for trace in &inter {
+            let src = internet.is_us(trace.src_as);
+            let dst = trace.dst_as != u32::MAX && internet.is_us(trace.dst_as);
+            assert!(src ^ dst);
+        }
+    }
+}

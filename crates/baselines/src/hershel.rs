@@ -1,0 +1,210 @@
+//! Hershel-style single-packet OS fingerprinting (§7.3.2).
+//!
+//! Hershel sends one SYN and classifies from the SYN-ACK's features
+//! (window, TTL, MSS, option layout, RST/RTO behaviour) against a
+//! database built from *server* operating systems. Its two failure modes
+//! on routers are structural and both reproduced here: no open TCP port →
+//! no coverage; no router entries in the DB → Linux-derived boxes match
+//! "Linux", everything else matches nothing or a server OS.
+
+use lfp_net::Network;
+use lfp_packet::ipv4::{self, Ipv4Packet, Ipv4Repr, Protocol};
+use lfp_packet::tcp::{TcpFlags, TcpOptions, TcpPacket, TcpRepr};
+use lfp_stack::vendor::Vendor;
+use std::net::Ipv4Addr;
+
+/// Scanner source address.
+pub const SCANNER_IP: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 78);
+
+/// An OS label from Hershel's (server-centric) database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HershelOs {
+    /// Generic Linux (the match MikroTik and friends land on).
+    Linux,
+    /// FreeBSD.
+    FreeBsd,
+    /// Windows Server.
+    Windows,
+    /// No database entry fits.
+    Unknown,
+}
+
+/// Result of a Hershel measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HershelResult {
+    /// Whether a SYN-ACK was observed at all (coverage).
+    pub covered: bool,
+    /// The OS classification.
+    pub os: HershelOs,
+    /// Vendor-level inference (Hershel's DB almost never supports one).
+    pub vendor_guess: Option<Vendor>,
+}
+
+/// Probe one target: a single SYN to the candidate service port.
+pub fn hershel_fingerprint(
+    network: &Network,
+    target: Ipv4Addr,
+    service_port: u16,
+    base_time: f64,
+    salt: u64,
+) -> HershelResult {
+    let syn = TcpRepr {
+        src_port: 61001,
+        dst_port: service_port,
+        seq: 0x4845_5253,
+        ack: 0,
+        flags: TcpFlags::SYN,
+        window: 65_535,
+        options: TcpOptions {
+            mss: Some(1460),
+            sack_permitted: true,
+            ..TcpOptions::default()
+        },
+    }
+    .to_bytes(SCANNER_IP, target);
+    let datagram = ipv4::build_datagram(
+        &Ipv4Repr {
+            src: SCANNER_IP,
+            dst: target,
+            protocol: Protocol::Tcp,
+            ttl: 64,
+            ident: 0x4853,
+            dont_frag: true,
+            payload_len: syn.len(),
+        },
+        &syn,
+    );
+    let Some(reception) = network.probe(&datagram, base_time, salt ^ 0x4845) else {
+        return HershelResult {
+            covered: false,
+            os: HershelOs::Unknown,
+            vendor_guess: None,
+        };
+    };
+    let Ok(packet) = Ipv4Packet::new_checked(&reception.datagram[..]) else {
+        return HershelResult {
+            covered: false,
+            os: HershelOs::Unknown,
+            vendor_guess: None,
+        };
+    };
+    let Ok(tcp) = TcpPacket::new_checked(packet.payload()) else {
+        return HershelResult {
+            covered: false,
+            os: HershelOs::Unknown,
+            vendor_guess: None,
+        };
+    };
+    if !(tcp.flags().contains(TcpFlags::SYN) && tcp.flags().contains(TcpFlags::ACK)) {
+        // An RST is a response, but Hershel needs the SYN-ACK feature set.
+        return HershelResult {
+            covered: false,
+            os: HershelOs::Unknown,
+            vendor_guess: None,
+        };
+    }
+
+    let options = TcpOptions::parse(tcp.options()).unwrap_or_default();
+    let os = classify_syn_ack(tcp.window(), packet.ttl(), &options);
+    HershelResult {
+        covered: true,
+        os,
+        // The DB has no router vendor entries; vendor inference is only
+        // possible when an OS implies one — which none of these do.
+        vendor_guess: None,
+    }
+}
+
+/// The database lookup: server-OS heuristics over SYN-ACK features.
+pub fn classify_syn_ack(window: u16, observed_ttl: u8, options: &TcpOptions) -> HershelOs {
+    let linuxish = options.window_scale.is_some()
+        && options.sack_permitted
+        && options.timestamps.is_some()
+        && observed_ttl <= 64;
+    if linuxish {
+        return HershelOs::Linux;
+    }
+    if options.timestamps.is_some() && window >= 16_000 && observed_ttl <= 64 {
+        return HershelOs::FreeBsd;
+    }
+    if window >= 8_000 && observed_ttl > 64 && observed_ttl <= 128 {
+        return HershelOs::Windows;
+    }
+    HershelOs::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::banner::build_censys_cohort;
+    use std::collections::HashMap;
+
+    #[test]
+    fn classification_matches_server_heuristics() {
+        let linux_options = TcpOptions {
+            mss: Some(1460),
+            window_scale: Some(7),
+            sack_permitted: true,
+            timestamps: Some((1, 0)),
+        };
+        assert_eq!(
+            classify_syn_ack(29_200, 57, &linux_options),
+            HershelOs::Linux
+        );
+        let bare = TcpOptions {
+            mss: Some(536),
+            ..TcpOptions::default()
+        };
+        assert_eq!(classify_syn_ack(4_128, 250, &bare), HershelOs::Unknown);
+    }
+
+    #[test]
+    fn coverage_requires_open_service_and_accuracy_is_nil() {
+        let cohort = build_censys_cohort(80, 31);
+        let mut covered = 0usize;
+        let mut vendor_correct = 0usize;
+        let mut os_by_vendor: HashMap<Vendor, Vec<HershelOs>> = HashMap::new();
+        for (index, &(ip, vendor)) in cohort.sample.iter().enumerate() {
+            // Hershel tries the common management ports.
+            let mut best = HershelResult {
+                covered: false,
+                os: HershelOs::Unknown,
+                vendor_guess: None,
+            };
+            for (pindex, port) in [22u16, 23, 80].into_iter().enumerate() {
+                let result = hershel_fingerprint(
+                    &cohort.network,
+                    ip,
+                    port,
+                    index as f64 + pindex as f64 * 0.2,
+                    41 + pindex as u64,
+                );
+                if result.covered {
+                    best = result;
+                    break;
+                }
+            }
+            if best.covered {
+                covered += 1;
+                os_by_vendor.entry(vendor).or_default().push(best.os);
+                if best.vendor_guess == Some(vendor) {
+                    vendor_correct += 1;
+                }
+            }
+        }
+        let coverage = covered as f64 / cohort.sample.len() as f64;
+        assert!(
+            (0.25..0.75).contains(&coverage),
+            "coverage {coverage} should sit near the paper's ~50%"
+        );
+        // <1% vendor accuracy (§7.3.2).
+        assert!(vendor_correct <= covered / 100 + 1);
+        // MikroTik lands on generic Linux.
+        let mikrotik = os_by_vendor.get(&Vendor::MikroTik).cloned().unwrap_or_default();
+        assert!(
+            mikrotik.iter().filter(|&&os| os == HershelOs::Linux).count() * 2
+                > mikrotik.len(),
+            "MikroTik should mostly classify as Linux: {mikrotik:?}"
+        );
+    }
+}

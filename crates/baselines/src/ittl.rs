@@ -1,0 +1,146 @@
+//! TTL-tuple fingerprinting (Vanaubel et al., §2 "TTL-based
+//! Fingerprinting").
+//!
+//! The related-work baseline: classify a router from nothing but the
+//! inferred initial TTLs of its ICMP/TCP/UDP responses. The value range is
+//! tiny, so distinct vendors collide — most famously Huawei sharing
+//! Cisco's `(255, 64, 255)` tuple, which is exactly why LFP adds the IPID
+//! and size features. The ablation harness (A2) quantifies that gap.
+
+use lfp_core::features::{FeatureVector, InitialTtl};
+use lfp_stack::vendor::Vendor;
+
+/// A (ICMP, TCP, UDP) initial-TTL tuple.
+pub type TtlTuple = (InitialTtl, InitialTtl, InitialTtl);
+
+/// Extract the tuple from a (full) feature vector.
+pub fn tuple_of(vector: &FeatureVector) -> Option<TtlTuple> {
+    Some((vector.icmp_ittl?, vector.tcp_ittl?, vector.udp_ittl?))
+}
+
+/// The published tuple → router class table (coarse by construction).
+pub fn classify_tuple(tuple: TtlTuple) -> Option<Vendor> {
+    use InitialTtl::{T255, T64};
+    match tuple {
+        // The famous collision: Huawei routers share this tuple but the
+        // table attributes it to Cisco (the majority class).
+        (T255, T64, T255) => Some(Vendor::Cisco),
+        (T64, T64, T255) => Some(Vendor::Juniper),
+        (T255, T255, T255) => Some(Vendor::AlcatelNokia),
+        (T64, T64, T64) => Some(Vendor::MikroTik),
+        _ => None,
+    }
+}
+
+/// Accuracy of the tuple technique over labelled vectors: the fraction of
+/// (classified) samples whose tuple class matches the true vendor.
+pub fn tuple_accuracy(labeled: &[(FeatureVector, Vendor)]) -> TupleAccuracy {
+    let mut classified = 0usize;
+    let mut correct = 0usize;
+    let mut huawei_as_cisco = 0usize;
+    for (vector, truth) in labeled {
+        let Some(tuple) = tuple_of(vector) else {
+            continue;
+        };
+        let Some(guess) = classify_tuple(tuple) else {
+            continue;
+        };
+        classified += 1;
+        if guess == *truth {
+            correct += 1;
+        } else if *truth == Vendor::Huawei && guess == Vendor::Cisco {
+            huawei_as_cisco += 1;
+        }
+    }
+    TupleAccuracy {
+        classified,
+        correct,
+        huawei_as_cisco,
+    }
+}
+
+/// Outcome counters for the tuple technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleAccuracy {
+    /// Samples the table could classify at all.
+    pub classified: usize,
+    /// Correct vendor attributions.
+    pub correct: usize,
+    /// Huawei routers misattributed to Cisco (the §2 failure mode).
+    pub huawei_as_cisco: usize,
+}
+
+impl TupleAccuracy {
+    /// Fraction correct among classified.
+    pub fn accuracy(&self) -> f64 {
+        if self.classified == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.classified as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfp_core::features::IpidClass;
+
+    fn vector(icmp: InitialTtl, tcp: InitialTtl, udp: InitialTtl) -> FeatureVector {
+        FeatureVector {
+            icmp_ipid_echo: Some(false),
+            icmp_ipid: Some(IpidClass::Incremental),
+            tcp_ipid: Some(IpidClass::Incremental),
+            udp_ipid: Some(IpidClass::Incremental),
+            shared_all: Some(false),
+            shared_tcp_icmp: Some(false),
+            shared_udp_icmp: Some(false),
+            shared_tcp_udp: Some(false),
+            udp_ittl: Some(udp),
+            icmp_ittl: Some(icmp),
+            tcp_ittl: Some(tcp),
+            icmp_resp_size: Some(84),
+            tcp_resp_size: Some(40),
+            udp_resp_size: Some(56),
+            tcp_syn_seq_zero: Some(true),
+        }
+    }
+
+    #[test]
+    fn tuples_classify_known_vendors() {
+        use InitialTtl::{T255, T64};
+        assert_eq!(classify_tuple((T255, T64, T255)), Some(Vendor::Cisco));
+        assert_eq!(classify_tuple((T64, T64, T255)), Some(Vendor::Juniper));
+        assert_eq!(classify_tuple((T64, T64, T64)), Some(Vendor::MikroTik));
+        assert_eq!(
+            classify_tuple((InitialTtl::T128, T64, T64)),
+            None,
+            "tuples outside the table stay unclassified"
+        );
+    }
+
+    #[test]
+    fn huawei_collides_with_cisco() {
+        use InitialTtl::{T255, T64};
+        let labeled = vec![
+            (vector(T255, T64, T255), Vendor::Cisco),
+            (vector(T255, T64, T255), Vendor::Cisco),
+            (vector(T255, T64, T255), Vendor::Huawei),
+            (vector(T64, T64, T255), Vendor::Juniper),
+        ];
+        let result = tuple_accuracy(&labeled);
+        assert_eq!(result.classified, 4);
+        assert_eq!(result.correct, 3);
+        assert_eq!(result.huawei_as_cisco, 1);
+        assert!((result.accuracy() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_vectors_are_skipped() {
+        let mut partial = vector(InitialTtl::T64, InitialTtl::T64, InitialTtl::T64);
+        partial.tcp_ittl = None;
+        assert_eq!(tuple_of(&partial), None);
+        let result = tuple_accuracy(&[(partial, Vendor::MikroTik)]);
+        assert_eq!(result.classified, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # lfp-baselines — the fingerprinters LFP is compared against
+//!
+//! * [`nmap`] — behavioural model of Nmap OS detection: real port-scan
+//!   packet economy (Figure 18) plus a documented database-quality table
+//!   (Table 7's Nmap columns),
+//! * [`hershel`] — single-SYN-ACK fingerprinting against a server-OS
+//!   database (coverage ≈ open services, vendor accuracy ≈ 0),
+//! * [`ittl`] — Vanaubel-style initial-TTL-tuple classification, including
+//!   the Huawei-as-Cisco collision motivating LFP,
+//! * [`banner`] — the Censys-like banner-labelled comparison cohort
+//!   (§7.3's 500-IPs-per-vendor sample) built as its own network segment.
+//!
+//! The SNMPv3-only baseline needs no module of its own: it is the label
+//! column of any `lfp_core::pipeline::DatasetScan`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod banner;
+pub mod hershel;
+pub mod ittl;
+pub mod nmap;
+
+pub use banner::{build_censys_cohort, vendor_from_banner, CensysCohort};
+pub use hershel::{hershel_fingerprint, HershelOs, HershelResult};
+pub use ittl::{classify_tuple, tuple_accuracy, tuple_of};
+pub use nmap::{nmap_scan, NmapResult};

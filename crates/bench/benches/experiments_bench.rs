@@ -1,0 +1,21 @@
+//! One Criterion bench per paper table/figure: times each experiment
+//! generator against a shared, pre-measured tiny world. (The heavyweight
+//! cohort-based experiments — table7 and fig18 — run with a reduced
+//! sample budget by virtue of the tiny scale.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lfp_analysis::experiments::EXPERIMENTS;
+use lfp_bench::shared_tiny_world;
+
+fn bench_experiments(c: &mut Criterion) {
+    let world = shared_tiny_world();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for experiment in EXPERIMENTS {
+        group.bench_function(experiment.id, |b| b.iter(|| (experiment.run)(world)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches for the fingerprinting hot paths: IPID
+//! classification, feature extraction, signature lookup, and the full
+//! 10-packet probe of one router.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lfp_bench::shared_tiny_world;
+use lfp_core::extract::{classify_ipids, extract};
+use lfp_core::probe::probe_target;
+use lfp_net::network::{DeviceId, DirectOracle};
+use lfp_net::Network;
+use lfp_stack::catalog;
+use lfp_stack::device::RouterDevice;
+use lfp_stack::vendor::Vendor;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn bench_ipid_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipid");
+    let sequences: [[u16; 3]; 4] = [
+        [100, 105, 112],          // incremental
+        [7, 52_000, 31_000],      // random
+        [500, 500, 500],          // static
+        [65_530, 65_535, 4],      // wrapping incremental
+    ];
+    group.bench_function("classify_4_sequences", |b| {
+        b.iter(|| {
+            for sequence in &sequences {
+                black_box(classify_ipids(black_box(sequence)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn single_router_network(vendor: Vendor) -> (Network, Ipv4Addr) {
+    let profile = Arc::new(catalog::default_variant(vendor));
+    let device = (0..500)
+        .map(|seed| RouterDevice::new(Arc::clone(&profile), seed))
+        .find(|d| {
+            let e = d.exposure();
+            e.icmp && e.tcp && e.udp && e.snmp
+        })
+        .expect("exposed device");
+    let ip = Ipv4Addr::new(9, 9, 9, 9);
+    let mut interfaces = HashMap::new();
+    interfaces.insert(ip, DeviceId(0));
+    let mut network = Network::new(vec![device], interfaces, Box::new(DirectOracle), 5);
+    network.set_base_loss(0.0);
+    (network, ip)
+}
+
+fn bench_probe_and_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe");
+    group.throughput(Throughput::Elements(1));
+    let (network, ip) = single_router_network(Vendor::MikroTik);
+    let mut tick = 0u64;
+    group.bench_function("probe_target_10_packets", |b| {
+        b.iter(|| {
+            tick += 1;
+            probe_target(&network, ip, tick as f64, tick)
+        })
+    });
+    let observation = probe_target(&network, ip, 1e9, 0xfeed);
+    group.bench_function("extract_features", |b| {
+        b.iter(|| extract(black_box(&observation)))
+    });
+    group.finish();
+}
+
+fn bench_signature_lookup(c: &mut Criterion) {
+    let world = shared_tiny_world();
+    let (_, scan) = world.latest_ripe();
+    let vectors = &scan.vectors;
+    let mut group = c.benchmark_group("signatures");
+    group.throughput(Throughput::Elements(vectors.len() as u64));
+    group.bench_function("classify_scan_vectors", |b| {
+        b.iter(|| {
+            vectors
+                .iter()
+                .filter(|v| world.set.classify(v).unique_vendor().is_some())
+                .count()
+        })
+    });
+    group.bench_function("finalize_union_db", |b| {
+        b.iter(|| world.union_db.finalize(black_box(2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipid_classification, bench_probe_and_extract, bench_signature_lookup);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benches for the wire-format codecs: the per-packet cost every
+//! probe and every simulated response pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lfp_packet::icmp::IcmpRepr;
+use lfp_packet::ipv4::{self, Ipv4Packet, Ipv4Repr, Protocol};
+use lfp_packet::snmp::{EngineId, SnmpV3Message};
+use lfp_packet::tcp::{TcpFlags, TcpOptions, TcpRepr};
+use lfp_packet::udp::UdpRepr;
+use std::net::Ipv4Addr;
+
+const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+const DST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 2);
+
+fn bench_ipv4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipv4");
+    let repr = Ipv4Repr {
+        src: SRC,
+        dst: DST,
+        protocol: Protocol::Udp,
+        ttl: 64,
+        ident: 0x1234,
+        dont_frag: false,
+        payload_len: 20,
+    };
+    let datagram = ipv4::build_datagram(&repr, &[0u8; 20]);
+    group.throughput(Throughput::Bytes(datagram.len() as u64));
+    group.bench_function("emit", |b| {
+        b.iter(|| ipv4::build_datagram(black_box(&repr), black_box(&[0u8; 20])))
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| {
+            let packet = Ipv4Packet::new_checked(black_box(&datagram[..])).unwrap();
+            Ipv4Repr::parse(&packet).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport");
+    let tcp = TcpRepr {
+        src_port: 50000,
+        dst_port: 33533,
+        seq: 1,
+        ack: 2,
+        flags: TcpFlags::SYN,
+        window: 1024,
+        options: TcpOptions {
+            mss: Some(1460),
+            window_scale: Some(7),
+            sack_permitted: true,
+            timestamps: Some((1, 0)),
+        },
+    };
+    group.bench_function("tcp_emit_with_options", |b| {
+        b.iter(|| black_box(&tcp).to_bytes(SRC, DST))
+    });
+    let udp = UdpRepr {
+        src_port: 51000,
+        dst_port: 33533,
+        payload: vec![0u8; 12],
+    };
+    group.bench_function("udp_emit", |b| b.iter(|| black_box(&udp).to_bytes(SRC, DST)));
+    let echo = IcmpRepr::EchoRequest {
+        ident: 1,
+        seq: 1,
+        payload: vec![0u8; 56],
+    };
+    group.bench_function("icmp_echo_emit", |b| b.iter(|| black_box(&echo).to_bytes()));
+    group.finish();
+}
+
+fn bench_snmp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snmpv3");
+    let request = SnmpV3Message::discovery_request(7);
+    let engine = EngineId::text(9, "bench-engine-0001");
+    let report = SnmpV3Message::discovery_report(7, &engine, 3, 100_000, 42);
+    let report_bytes = report.to_bytes().unwrap();
+    group.bench_function("discovery_request_encode", |b| {
+        b.iter(|| black_box(&request).to_bytes().unwrap())
+    });
+    group.bench_function("report_parse_and_engine_extract", |b| {
+        b.iter(|| {
+            let message = SnmpV3Message::parse(black_box(&report_bytes)).unwrap();
+            message.authoritative_engine_id().unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ipv4, bench_transport, bench_snmp);
+criterion_main!(benches);

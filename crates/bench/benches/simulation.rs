@@ -1,0 +1,117 @@
+//! Criterion benches for the substrate: Internet generation, BGP route
+//! computation, traceroute, and raw probe throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lfp_net::traceroute::{traceroute, TracerouteOptions};
+use lfp_net::VantageId;
+use lfp_packet::icmp::IcmpRepr;
+use lfp_packet::ipv4::{self, Ipv4Repr, Protocol};
+use lfp_topo::{AsGraph, Internet, Scale};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.bench_function("as_graph_tiny", |b| {
+        b.iter(|| AsGraph::generate(black_box(&Scale::tiny())))
+    });
+    group.bench_function("internet_tiny", |b| {
+        b.iter(|| Internet::generate(black_box(Scale::tiny())))
+    });
+    group.finish();
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let graph = AsGraph::generate(&Scale::small());
+    let mut group = c.benchmark_group("bgp");
+    group.throughput(Throughput::Elements(graph.len() as u64));
+    group.bench_function("routes_to_one_destination", |b| {
+        let mut destination = 0u32;
+        b.iter(|| {
+            destination = (destination + 17) % graph.len() as u32;
+            graph.routes_to(black_box(destination), None)
+        })
+    });
+    group.bench_function("path_reconstruction", |b| {
+        let table = graph.routes_to(37, None);
+        let mut source = 0u32;
+        b.iter(|| {
+            source = (source + 13) % graph.len() as u32;
+            table.path_from(black_box(source), &graph)
+        })
+    });
+    group.finish();
+}
+
+fn bench_probe_throughput(c: &mut Criterion) {
+    let internet = Internet::generate(Scale::tiny());
+    let targets = internet.all_interfaces();
+    let probes: Vec<Vec<u8>> = targets
+        .iter()
+        .take(64)
+        .map(|&dst| {
+            let icmp = IcmpRepr::EchoRequest {
+                ident: 1,
+                seq: 1,
+                payload: vec![0u8; 56],
+            }
+            .to_bytes();
+            ipv4::build_datagram(
+                &Ipv4Repr {
+                    src: std::net::Ipv4Addr::new(192, 0, 2, 9),
+                    dst,
+                    protocol: Protocol::Icmp,
+                    ttl: 64,
+                    ident: 7,
+                    dont_frag: false,
+                    payload_len: icmp.len(),
+                },
+                &icmp,
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("network");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    let mut tick = 0u64;
+    group.bench_function("probe_64_targets", |b| {
+        b.iter(|| {
+            tick += 1;
+            probes
+                .iter()
+                .enumerate()
+                .filter_map(|(index, probe)| {
+                    internet
+                        .network()
+                        .probe(probe, tick as f64, tick ^ index as u64)
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_traceroute(c: &mut Criterion) {
+    let internet = Internet::generate(Scale::tiny());
+    let vantage = internet.vantages()[0];
+    let targets = internet.all_interfaces();
+    let mut group = c.benchmark_group("traceroute");
+    let mut tick = 0u64;
+    group.bench_function("single_traceroute", |b| {
+        b.iter(|| {
+            tick += 1;
+            let dst = targets[(tick as usize * 31) % targets.len()];
+            traceroute(
+                internet.network(),
+                vantage.id,
+                vantage.src_ip,
+                black_box(dst),
+                TracerouteOptions::default(),
+                tick as f64 * 100.0,
+                tick,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_bgp, bench_probe_throughput, bench_traceroute);
+criterion_main!(benches);

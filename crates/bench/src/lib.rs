@@ -1,0 +1,41 @@
+//! # lfp-bench — benches and the experiments harness
+//!
+//! Two consumers share this crate:
+//!
+//! * the `experiments` binary (`cargo run -p lfp-bench --release --bin
+//!   experiments -- all`) regenerates every paper table and figure from a
+//!   freshly measured [`lfp_analysis::World`], and
+//! * the Criterion benches (`cargo bench`) time the packet codecs, the
+//!   fingerprinting hot paths, the simulator, and each experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lfp_analysis::World;
+use lfp_topo::Scale;
+use std::sync::OnceLock;
+
+/// A lazily built tiny world shared by benches (building a world is
+/// expensive; timing individual experiments should not re-measure it).
+pub fn shared_tiny_world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::build(Scale::tiny()))
+}
+
+/// A lazily built small world for scaling benches.
+pub fn shared_small_world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::build(Scale::small()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_world_is_cached() {
+        let a = shared_tiny_world() as *const World;
+        let b = shared_tiny_world() as *const World;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,173 @@
+//! Evaluation: precision/recall on a train/test split (paper Appendix B,
+//! Table 8) and coverage/accuracy scoring used by the tool comparison.
+
+use crate::features::FeatureVector;
+use crate::signature::SignatureDb;
+use lfp_net::link::splitmix64;
+use lfp_stack::vendor::Vendor;
+use std::collections::BTreeMap;
+
+/// Precision/recall row for one vendor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecall {
+    /// True positives.
+    pub tp: usize,
+    /// False positives (predicted this vendor, truth differs).
+    pub fp: usize,
+    /// False negatives (truth is this vendor, predicted otherwise or not
+    /// at all).
+    pub fn_: usize,
+    /// Test-set size for the vendor (the paper's "Total (test)").
+    pub total_test: usize,
+}
+
+impl PrecisionRecall {
+    /// Precision = tp / (tp + fp); 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall = tp / (tp + fn); 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+}
+
+/// Run the 80/20 split evaluation over labelled (vector, vendor) pairs.
+///
+/// The split is deterministic (hash of the sample index with `seed`).
+/// Predictions use the paper's Appendix-B mode: unique signature matches
+/// plus the dominant vendor of non-unique matches.
+pub fn precision_recall_80_20(
+    labeled: &[(FeatureVector, Vendor)],
+    min_occurrences: usize,
+    seed: u64,
+) -> BTreeMap<Vendor, PrecisionRecall> {
+    let mut train = SignatureDb::new();
+    let mut test: Vec<&(FeatureVector, Vendor)> = Vec::new();
+    for (index, sample) in labeled.iter().enumerate() {
+        if splitmix64(seed ^ index as u64) % 5 == 0 {
+            test.push(sample);
+        } else {
+            train.add(sample.0, sample.1);
+        }
+    }
+    let set = train.finalize(min_occurrences);
+
+    let mut results: BTreeMap<Vendor, PrecisionRecall> = BTreeMap::new();
+    for &(vector, truth) in &test {
+        let entry = results.entry(*truth).or_insert(PrecisionRecall {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            total_test: 0,
+        });
+        entry.total_test += 1;
+        match set.classify(vector).majority_vendor() {
+            Some(predicted) if predicted == *truth => {
+                results.get_mut(truth).unwrap().tp += 1;
+            }
+            Some(predicted) => {
+                results.get_mut(truth).unwrap().fn_ += 1;
+                results
+                    .entry(predicted)
+                    .or_insert(PrecisionRecall {
+                        tp: 0,
+                        fp: 0,
+                        fn_: 0,
+                        total_test: 0,
+                    })
+                    .fp += 1;
+            }
+            None => {
+                results.get_mut(truth).unwrap().fn_ += 1;
+            }
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{InitialTtl, IpidClass};
+
+    fn vector(ittl: InitialTtl, reflect: bool) -> FeatureVector {
+        FeatureVector {
+            icmp_ipid_echo: Some(reflect),
+            icmp_ipid: Some(IpidClass::Random),
+            tcp_ipid: Some(IpidClass::Random),
+            udp_ipid: Some(IpidClass::Random),
+            shared_all: Some(false),
+            shared_tcp_icmp: Some(false),
+            shared_udp_icmp: Some(false),
+            shared_tcp_udp: Some(false),
+            udp_ittl: Some(InitialTtl::T255),
+            icmp_ittl: Some(ittl),
+            tcp_ittl: Some(InitialTtl::T64),
+            icmp_resp_size: Some(84),
+            tcp_resp_size: Some(40),
+            udp_resp_size: Some(56),
+            tcp_syn_seq_zero: Some(true),
+        }
+    }
+
+    #[test]
+    fn separable_vendors_score_perfectly() {
+        let mut labeled = Vec::new();
+        for _ in 0..500 {
+            labeled.push((vector(InitialTtl::T255, false), Vendor::Cisco));
+            labeled.push((vector(InitialTtl::T64, false), Vendor::Juniper));
+        }
+        let results = precision_recall_80_20(&labeled, 5, 42);
+        for vendor in [Vendor::Cisco, Vendor::Juniper] {
+            let pr = results[&vendor];
+            assert!(pr.precision() > 0.99, "{vendor}: p={}", pr.precision());
+            assert!(pr.recall() > 0.99, "{vendor}: r={}", pr.recall());
+            assert!(pr.total_test > 50);
+        }
+    }
+
+    #[test]
+    fn colliding_vendors_trade_precision_for_dominance() {
+        // One shared vector, 80% Cisco / 20% Brocade: majority mode
+        // predicts Cisco, so Brocade recall collapses while Cisco
+        // precision dips — the Table 8 pattern for colliding vendors.
+        let mut labeled = Vec::new();
+        for index in 0..1000 {
+            let vendor = if index % 5 == 0 {
+                Vendor::Brocade
+            } else {
+                Vendor::Cisco
+            };
+            labeled.push((vector(InitialTtl::T255, false), vendor));
+        }
+        let results = precision_recall_80_20(&labeled, 5, 7);
+        assert_eq!(results[&Vendor::Brocade].recall(), 0.0);
+        let cisco = results[&Vendor::Cisco];
+        assert!(cisco.recall() > 0.99);
+        assert!(cisco.precision() < 0.90);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let labeled: Vec<(FeatureVector, Vendor)> = (0..200)
+            .map(|_| (vector(InitialTtl::T255, false), Vendor::Cisco))
+            .collect();
+        let a = precision_recall_80_20(&labeled, 2, 9);
+        let b = precision_recall_80_20(&labeled, 2, 9);
+        assert_eq!(a[&Vendor::Cisco].tp, b[&Vendor::Cisco].tp);
+        assert_eq!(a[&Vendor::Cisco].total_test, b[&Vendor::Cisco].total_test);
+        // Roughly 20% lands in the test set.
+        let total = a[&Vendor::Cisco].total_test;
+        assert!((20..=60).contains(&total), "test size {total}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Feature extraction: probe observations → the 15-feature vector.
+//!
+//! Implements §3.4 (feature groups) and §3.6 (the IPID step threshold of
+//! 1,300 separating sequential from random counters, applied to the
+//! *maximum* consecutive step — the conservative choice the paper
+//! justifies with the 0.019⁸ misclassification bound).
+
+use crate::features::{FeatureVector, InitialTtl, IpidClass};
+use crate::probe::{ProtoTag, TargetObservation};
+
+/// The sequential/random decision threshold on IPID steps (§3.6).
+pub const IPID_STEP_THRESHOLD: u16 = 1300;
+
+/// Classify an IPID sequence (chronological). Needs at least two values;
+/// the paper's schedule provides three.
+pub fn classify_ipids(values: &[u16]) -> Option<IpidClass> {
+    classify_ipids_with_threshold(values, IPID_STEP_THRESHOLD)
+}
+
+/// Classification with an explicit threshold (ablation A1 sweeps it).
+pub fn classify_ipids_with_threshold(values: &[u16], threshold: u16) -> Option<IpidClass> {
+    if values.len() < 2 {
+        return None;
+    }
+    if values.iter().all(|&v| v == 0) {
+        return Some(IpidClass::Zero);
+    }
+    if values.windows(2).all(|w| w[0] == w[1]) {
+        return Some(IpidClass::Static);
+    }
+    // "Exactly two responses share a value" — checked before the
+    // incremental test because a duplicate pair would otherwise pass the
+    // step bound with a zero step.
+    if values.len() >= 3 {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let equal_pairs = sorted.windows(2).filter(|w| w[0] == w[1]).count();
+        if equal_pairs == 1 {
+            return Some(IpidClass::Duplicate);
+        }
+    }
+    let max_step = values
+        .windows(2)
+        .map(|w| w[1].wrapping_sub(w[0]))
+        .max()
+        .unwrap_or(0);
+    if max_step <= threshold {
+        Some(IpidClass::Incremental)
+    } else {
+        Some(IpidClass::Random)
+    }
+}
+
+/// Wrap-aware monotonicity of a merged timeline: do these protocols draw
+/// from one shared counter?
+fn timelines_shared(
+    observation: &TargetObservation,
+    protocols: &[ProtoTag],
+    threshold: u16,
+) -> bool {
+    let merged: Vec<u16> = observation
+        .timeline
+        .iter()
+        .filter(|(tag, _, _)| protocols.contains(tag))
+        .map(|&(_, _, ipid)| ipid)
+        .collect();
+    if merged.len() < protocols.len() * 2 {
+        return false;
+    }
+    merged
+        .windows(2)
+        .all(|w| w[1].wrapping_sub(w[0]) <= threshold)
+}
+
+/// Extract the full or partial feature vector from an observation.
+pub fn extract(observation: &TargetObservation) -> FeatureVector {
+    extract_with_threshold(observation, IPID_STEP_THRESHOLD)
+}
+
+/// Extraction with an explicit IPID threshold (ablation A1).
+pub fn extract_with_threshold(
+    observation: &TargetObservation,
+    threshold: u16,
+) -> FeatureVector {
+    let mut vector = FeatureVector::default();
+
+    // A protocol group is "observed" with ≥2 responses — enough for a
+    // counter classification. (The all-or-nothing response pattern means
+    // this is almost always 3 or 0.)
+    let icmp_ipids: Vec<u16> = observation.icmp.iter().map(|r| r.ipid).collect();
+    let tcp_ipids: Vec<u16> = observation.tcp.iter().map(|r| r.ipid).collect();
+    let udp_ipids: Vec<u16> = observation.udp.iter().map(|r| r.ipid).collect();
+
+    if icmp_ipids.len() >= 2 {
+        let reply = &observation.icmp[0];
+        vector.icmp_ittl = Some(InitialTtl::infer(reply.ttl));
+        vector.icmp_resp_size = Some(reply.total_len);
+        vector.icmp_ipid_echo = Some(
+            !observation.icmp_echo_match.is_empty()
+                && observation.icmp_echo_match.iter().all(|&m| m),
+        );
+        vector.icmp_ipid = classify_ipids_with_threshold(&icmp_ipids, threshold);
+    }
+    if tcp_ipids.len() >= 2 {
+        let reply = &observation.tcp[0];
+        vector.tcp_ittl = Some(InitialTtl::infer(reply.ttl));
+        vector.tcp_resp_size = Some(reply.total_len);
+        vector.tcp_ipid = classify_ipids_with_threshold(&tcp_ipids, threshold);
+        vector.tcp_syn_seq_zero = observation.syn_rst_seq.map(|seq| seq == 0);
+    }
+    if udp_ipids.len() >= 2 {
+        let reply = &observation.udp[0];
+        vector.udp_ittl = Some(InitialTtl::infer(reply.ttl));
+        vector.udp_resp_size = Some(reply.total_len);
+        vector.udp_ipid = classify_ipids_with_threshold(&udp_ipids, threshold);
+    }
+
+    // Counter sharing is only defined between incremental counters.
+    let incremental =
+        |class: Option<IpidClass>| class == Some(IpidClass::Incremental);
+    let icmp_inc = incremental(vector.icmp_ipid);
+    let tcp_inc = incremental(vector.tcp_ipid);
+    let udp_inc = incremental(vector.udp_ipid);
+
+    if vector.tcp_ittl.is_some() && vector.icmp_ittl.is_some() {
+        vector.shared_tcp_icmp = Some(
+            tcp_inc && icmp_inc
+                && timelines_shared(observation, &[ProtoTag::Tcp, ProtoTag::Icmp], threshold),
+        );
+    }
+    if vector.udp_ittl.is_some() && vector.icmp_ittl.is_some() {
+        vector.shared_udp_icmp = Some(
+            udp_inc && icmp_inc
+                && timelines_shared(observation, &[ProtoTag::Udp, ProtoTag::Icmp], threshold),
+        );
+    }
+    if vector.tcp_ittl.is_some() && vector.udp_ittl.is_some() {
+        vector.shared_tcp_udp = Some(
+            tcp_inc && udp_inc
+                && timelines_shared(observation, &[ProtoTag::Tcp, ProtoTag::Udp], threshold),
+        );
+    }
+    if vector.icmp_ittl.is_some() && vector.tcp_ittl.is_some() && vector.udp_ittl.is_some() {
+        vector.shared_all = Some(
+            icmp_inc
+                && tcp_inc
+                && udp_inc
+                && timelines_shared(
+                    observation,
+                    &[ProtoTag::Icmp, ProtoTag::Tcp, ProtoTag::Udp],
+                    threshold,
+                ),
+        );
+    }
+
+    vector
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::ProbeReply;
+
+    fn reply(at: f64, ipid: u16, ttl: u8, len: u16) -> ProbeReply {
+        ProbeReply {
+            at,
+            ipid,
+            ttl,
+            total_len: len,
+        }
+    }
+
+    #[test]
+    fn counter_classes() {
+        assert_eq!(classify_ipids(&[5, 6, 9]), Some(IpidClass::Incremental));
+        assert_eq!(
+            classify_ipids(&[65_530, 65_535, 4]),
+            Some(IpidClass::Incremental),
+            "wrap-around must stay incremental"
+        );
+        assert_eq!(classify_ipids(&[0, 0, 0]), Some(IpidClass::Zero));
+        assert_eq!(classify_ipids(&[777, 777, 777]), Some(IpidClass::Static));
+        assert_eq!(classify_ipids(&[100, 100, 101]), Some(IpidClass::Duplicate));
+        assert_eq!(
+            classify_ipids(&[100, 40_000, 7_000]),
+            Some(IpidClass::Random)
+        );
+        assert_eq!(classify_ipids(&[5]), None);
+        assert_eq!(classify_ipids(&[]), None);
+    }
+
+    #[test]
+    fn threshold_is_the_paper_constant() {
+        assert_eq!(IPID_STEP_THRESHOLD, 1300);
+        // Exactly at the threshold: still incremental; above: random.
+        assert_eq!(
+            classify_ipids(&[0, 1300, 2600]),
+            Some(IpidClass::Incremental)
+        );
+        assert_eq!(classify_ipids(&[0, 1301, 2602]), Some(IpidClass::Random));
+    }
+
+    #[test]
+    fn backwards_step_is_random() {
+        // A decreasing pair wraps to a huge forward step.
+        assert_eq!(classify_ipids(&[500, 400, 600]), Some(IpidClass::Random));
+    }
+
+    fn observation_with_shared_counter() -> TargetObservation {
+        let mut observation = TargetObservation::default();
+        // One counter advancing across all protocols: 100, 103, 107, ...
+        let ipids = [100u16, 103, 107, 112, 118, 125, 133, 142, 152];
+        let tags = [
+            ProtoTag::Icmp,
+            ProtoTag::Tcp,
+            ProtoTag::Udp,
+            ProtoTag::Icmp,
+            ProtoTag::Tcp,
+            ProtoTag::Udp,
+            ProtoTag::Icmp,
+            ProtoTag::Tcp,
+            ProtoTag::Udp,
+        ];
+        for (index, (&ipid, &tag)) in ipids.iter().zip(&tags).enumerate() {
+            let at = index as f64 * 0.05;
+            observation.timeline.push((tag, at, ipid));
+            let r = reply(at, ipid, 60, 84);
+            match tag {
+                ProtoTag::Icmp => {
+                    observation.icmp.push(r);
+                    observation.icmp_echo_match.push(false);
+                }
+                ProtoTag::Tcp => observation.tcp.push(reply(at, ipid, 60, 40)),
+                ProtoTag::Udp => observation.udp.push(reply(at, ipid, 60, 68)),
+            }
+        }
+        observation.syn_rst_seq = Some(0xdead);
+        observation
+    }
+
+    #[test]
+    fn shared_counter_detected_across_all_protocols() {
+        let observation = observation_with_shared_counter();
+        let vector = extract(&observation);
+        assert!(vector.is_full());
+        assert_eq!(vector.shared_all, Some(true));
+        assert_eq!(vector.shared_tcp_icmp, Some(true));
+        assert_eq!(vector.shared_udp_icmp, Some(true));
+        assert_eq!(vector.shared_tcp_udp, Some(true));
+        assert_eq!(vector.icmp_ipid, Some(IpidClass::Incremental));
+        assert_eq!(vector.tcp_syn_seq_zero, Some(false));
+        assert_eq!(vector.icmp_ittl, Some(InitialTtl::T64));
+    }
+
+    #[test]
+    fn independent_counters_are_not_shared() {
+        let mut observation = observation_with_shared_counter();
+        // Shift the TCP ipids far away: still incremental per-protocol,
+        // but interleaving breaks.
+        for entry in observation.timeline.iter_mut() {
+            if entry.0 == ProtoTag::Tcp {
+                entry.2 = entry.2.wrapping_add(30_000);
+            }
+        }
+        for r in observation.tcp.iter_mut() {
+            r.ipid = r.ipid.wrapping_add(30_000);
+        }
+        let vector = extract(&observation);
+        assert_eq!(vector.tcp_ipid, Some(IpidClass::Incremental));
+        assert_eq!(vector.shared_all, Some(false));
+        assert_eq!(vector.shared_tcp_icmp, Some(false));
+        assert_eq!(vector.shared_tcp_udp, Some(false));
+        assert_eq!(vector.shared_udp_icmp, Some(true), "ICMP+UDP untouched");
+    }
+
+    #[test]
+    fn random_counters_never_count_as_shared() {
+        let mut observation = TargetObservation::default();
+        let values = [7u16, 52_000, 31_000, 60_111, 222, 45_000];
+        for (index, &ipid) in values.iter().enumerate() {
+            let tag = if index % 2 == 0 {
+                ProtoTag::Icmp
+            } else {
+                ProtoTag::Udp
+            };
+            let at = index as f64 * 0.05;
+            observation.timeline.push((tag, at, ipid));
+            match tag {
+                ProtoTag::Icmp => {
+                    observation.icmp.push(reply(at, ipid, 250, 84));
+                    observation.icmp_echo_match.push(false);
+                }
+                _ => observation.udp.push(reply(at, ipid, 250, 56)),
+            }
+        }
+        let vector = extract(&observation);
+        assert_eq!(vector.icmp_ipid, Some(IpidClass::Random));
+        assert_eq!(vector.shared_udp_icmp, Some(false));
+        assert_eq!(vector.icmp_ittl, Some(InitialTtl::T255));
+        // TCP never answered: partial vector.
+        assert!(!vector.is_full());
+        assert_eq!(vector.tcp_ittl, None);
+        assert_eq!(vector.shared_tcp_udp, None);
+    }
+
+    #[test]
+    fn echo_reflection_feature() {
+        let mut observation = observation_with_shared_counter();
+        observation.icmp_echo_match = vec![true, true, true];
+        assert_eq!(extract(&observation).icmp_ipid_echo, Some(true));
+        observation.icmp_echo_match = vec![true, false, true];
+        assert_eq!(extract(&observation).icmp_ipid_echo, Some(false));
+    }
+
+    #[test]
+    fn single_response_is_not_enough() {
+        let mut observation = TargetObservation::default();
+        observation.icmp.push(reply(0.0, 5, 60, 84));
+        observation.icmp_echo_match.push(false);
+        let vector = extract(&observation);
+        assert!(vector.is_empty());
+    }
+}

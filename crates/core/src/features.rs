@@ -1,0 +1,415 @@
+//! The LFP feature set (paper Table 1): fifteen network/transport-layer
+//! features extracted from nine probe responses.
+//!
+//! A [`FeatureVector`] with every field present is a *full* vector; one
+//! with whole protocol groups missing is *partial* (§3.5). Vectors are
+//! hashable values — the signature database keys on them directly — and
+//! render as the pipe-separated rows of the paper's Table 6.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// IPID counter behaviour classes (Table 1 / RFC 4413).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IpidClass {
+    /// Monotonically increasing (wrap-aware), steps below the threshold.
+    Incremental,
+    /// Spread over the full 16-bit range.
+    Random,
+    /// The same non-zero value in every response.
+    Static,
+    /// Zero in every response.
+    Zero,
+    /// Exactly two of the responses share a value.
+    Duplicate,
+}
+
+impl fmt::Display for IpidClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IpidClass::Incremental => "i",
+            IpidClass::Random => "r",
+            IpidClass::Static => "s",
+            IpidClass::Zero => "0",
+            IpidClass::Duplicate => "d",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Inferred initial TTL: the smallest common initial value at or above the
+/// observed TTL (Table 1 lists the four values seen in practice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InitialTtl {
+    /// 32.
+    T32,
+    /// 64.
+    T64,
+    /// 128.
+    T128,
+    /// 255.
+    T255,
+}
+
+impl InitialTtl {
+    /// Round an observed TTL up to the inferred initial value.
+    pub fn infer(observed: u8) -> InitialTtl {
+        match observed {
+            0..=32 => InitialTtl::T32,
+            33..=64 => InitialTtl::T64,
+            65..=128 => InitialTtl::T128,
+            _ => InitialTtl::T255,
+        }
+    }
+
+    /// Numeric value.
+    pub fn value(self) -> u8 {
+        match self {
+            InitialTtl::T32 => 32,
+            InitialTtl::T64 => 64,
+            InitialTtl::T128 => 128,
+            InitialTtl::T255 => 255,
+        }
+    }
+}
+
+impl fmt::Display for InitialTtl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+/// The fifteen LFP features. `None` marks a feature whose protocol group
+/// produced no responses (partial signatures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// 1. ICMP IPID echo: reply IPID equals the request's.
+    pub icmp_ipid_echo: Option<bool>,
+    /// 2. ICMP IPID counter class.
+    pub icmp_ipid: Option<IpidClass>,
+    /// 3. TCP IPID counter class.
+    pub tcp_ipid: Option<IpidClass>,
+    /// 4. UDP IPID counter class.
+    pub udp_ipid: Option<IpidClass>,
+    /// 5. TCP+UDP+ICMP shared counter.
+    pub shared_all: Option<bool>,
+    /// 6. TCP+ICMP shared counter.
+    pub shared_tcp_icmp: Option<bool>,
+    /// 7. UDP+ICMP shared counter.
+    pub shared_udp_icmp: Option<bool>,
+    /// 8. TCP+UDP shared counter.
+    pub shared_tcp_udp: Option<bool>,
+    /// 9. UDP iTTL (of the ICMP error answering the UDP probe).
+    pub udp_ittl: Option<InitialTtl>,
+    /// 10. ICMP iTTL (of echo replies).
+    pub icmp_ittl: Option<InitialTtl>,
+    /// 11. TCP iTTL (of RSTs).
+    pub tcp_ittl: Option<InitialTtl>,
+    /// 12. ICMP echo response size (IP total length).
+    pub icmp_resp_size: Option<u16>,
+    /// 13. TCP response size.
+    pub tcp_resp_size: Option<u16>,
+    /// 14. UDP response size.
+    pub udp_resp_size: Option<u16>,
+    /// 15. TCP RST sequence number for the SYN probe: zero or non-zero.
+    pub tcp_syn_seq_zero: Option<bool>,
+}
+
+/// Which protocol groups a vector covers, in (ICMP, TCP, UDP) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProtocolCoverage {
+    /// ICMP features present.
+    pub icmp: bool,
+    /// TCP features present.
+    pub tcp: bool,
+    /// UDP features present.
+    pub udp: bool,
+}
+
+impl ProtocolCoverage {
+    /// All three protocols.
+    pub const FULL: ProtocolCoverage = ProtocolCoverage {
+        icmp: true,
+        tcp: true,
+        udp: true,
+    };
+
+    /// Number of covered protocols.
+    pub fn count(self) -> usize {
+        usize::from(self.icmp) + usize::from(self.tcp) + usize::from(self.udp)
+    }
+
+    /// Human-readable label ("ICMP & TCP", ...), matching Table 4 rows.
+    pub fn label(self) -> String {
+        let mut parts = Vec::new();
+        if self.tcp {
+            parts.push("TCP");
+        }
+        if self.udp {
+            parts.push("UDP");
+        }
+        if self.icmp {
+            parts.push("ICMP");
+        }
+        // Table 4 orders combinations as "TCP & UDP", "ICMP & UDP", ...
+        match (self.icmp, self.tcp, self.udp) {
+            (true, true, true) => "ICMP & TCP & UDP".to_string(),
+            (false, true, true) => "TCP & UDP".to_string(),
+            (true, false, true) => "ICMP & UDP".to_string(),
+            (true, true, false) => "ICMP & TCP".to_string(),
+            _ => parts.join(" & "),
+        }
+    }
+
+    /// The six partial combinations of Table 4 (everything except full
+    /// coverage and no coverage).
+    pub fn partial_combinations() -> [ProtocolCoverage; 6] {
+        [
+            ProtocolCoverage {
+                icmp: false,
+                tcp: true,
+                udp: true,
+            },
+            ProtocolCoverage {
+                icmp: true,
+                tcp: false,
+                udp: true,
+            },
+            ProtocolCoverage {
+                icmp: true,
+                tcp: true,
+                udp: false,
+            },
+            ProtocolCoverage {
+                icmp: false,
+                tcp: false,
+                udp: true,
+            },
+            ProtocolCoverage {
+                icmp: true,
+                tcp: false,
+                udp: false,
+            },
+            ProtocolCoverage {
+                icmp: false,
+                tcp: true,
+                udp: false,
+            },
+        ]
+    }
+}
+
+impl FeatureVector {
+    /// Coverage of this vector.
+    pub fn coverage(&self) -> ProtocolCoverage {
+        ProtocolCoverage {
+            icmp: self.icmp_ittl.is_some(),
+            tcp: self.tcp_ittl.is_some(),
+            udp: self.udp_ittl.is_some(),
+        }
+    }
+
+    /// Full vectors have every protocol group present.
+    pub fn is_full(&self) -> bool {
+        self.coverage() == ProtocolCoverage::FULL
+    }
+
+    /// Completely unresponsive.
+    pub fn is_empty(&self) -> bool {
+        self.coverage().count() == 0
+    }
+
+    /// Project onto a protocol subset: features involving uncovered
+    /// protocols become `None`. Projection is how full signatures match
+    /// partial responders.
+    pub fn project(&self, coverage: ProtocolCoverage) -> FeatureVector {
+        let keep_icmp = coverage.icmp && self.icmp_ittl.is_some();
+        let keep_tcp = coverage.tcp && self.tcp_ittl.is_some();
+        let keep_udp = coverage.udp && self.udp_ittl.is_some();
+        FeatureVector {
+            icmp_ipid_echo: if keep_icmp { self.icmp_ipid_echo } else { None },
+            icmp_ipid: if keep_icmp { self.icmp_ipid } else { None },
+            tcp_ipid: if keep_tcp { self.tcp_ipid } else { None },
+            udp_ipid: if keep_udp { self.udp_ipid } else { None },
+            shared_all: if keep_icmp && keep_tcp && keep_udp {
+                self.shared_all
+            } else {
+                None
+            },
+            shared_tcp_icmp: if keep_tcp && keep_icmp {
+                self.shared_tcp_icmp
+            } else {
+                None
+            },
+            shared_udp_icmp: if keep_udp && keep_icmp {
+                self.shared_udp_icmp
+            } else {
+                None
+            },
+            shared_tcp_udp: if keep_tcp && keep_udp {
+                self.shared_tcp_udp
+            } else {
+                None
+            },
+            udp_ittl: if keep_udp { self.udp_ittl } else { None },
+            icmp_ittl: if keep_icmp { self.icmp_ittl } else { None },
+            tcp_ittl: if keep_tcp { self.tcp_ittl } else { None },
+            icmp_resp_size: if keep_icmp { self.icmp_resp_size } else { None },
+            tcp_resp_size: if keep_tcp { self.tcp_resp_size } else { None },
+            udp_resp_size: if keep_udp { self.udp_resp_size } else { None },
+            tcp_syn_seq_zero: if keep_tcp { self.tcp_syn_seq_zero } else { None },
+        }
+    }
+
+    /// Render in the paper's Table 6 column order.
+    pub fn table6_row(&self) -> String {
+        fn cell<T: fmt::Display>(value: &Option<T>) -> String {
+            match value {
+                Some(v) => v.to_string(),
+                None => "·".to_string(),
+            }
+        }
+        fn bool_cell(value: &Option<bool>) -> String {
+            match value {
+                Some(true) => "True".to_string(),
+                Some(false) => "False".to_string(),
+                None => "·".to_string(),
+            }
+        }
+        // Feature 15 prints as zero/non-zero.
+        let seq = match self.tcp_syn_seq_zero {
+            Some(true) => "0".to_string(),
+            Some(false) => "non-zero".to_string(),
+            None => "·".to_string(),
+        };
+        [
+            bool_cell(&self.icmp_ipid_echo),
+            cell(&self.icmp_ipid),
+            cell(&self.tcp_ipid),
+            cell(&self.udp_ipid),
+            bool_cell(&self.shared_all),
+            bool_cell(&self.shared_tcp_icmp),
+            bool_cell(&self.shared_udp_icmp),
+            bool_cell(&self.shared_tcp_udp),
+            cell(&self.udp_ittl),
+            cell(&self.icmp_ittl),
+            cell(&self.tcp_ittl),
+            cell(&self.icmp_resp_size),
+            cell(&self.tcp_resp_size),
+            cell(&self.udp_resp_size),
+            seq,
+        ]
+        .join(" ")
+    }
+}
+
+impl fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table6_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Table 6 Juniper exemplar.
+    pub(crate) fn juniper_anchor() -> FeatureVector {
+        FeatureVector {
+            icmp_ipid_echo: Some(false),
+            icmp_ipid: Some(IpidClass::Random),
+            tcp_ipid: Some(IpidClass::Random),
+            udp_ipid: Some(IpidClass::Random),
+            shared_all: Some(false),
+            shared_tcp_icmp: Some(false),
+            shared_udp_icmp: Some(false),
+            shared_tcp_udp: Some(false),
+            udp_ittl: Some(InitialTtl::T255),
+            icmp_ittl: Some(InitialTtl::T64),
+            tcp_ittl: Some(InitialTtl::T64),
+            icmp_resp_size: Some(84),
+            tcp_resp_size: Some(40),
+            udp_resp_size: Some(56),
+            tcp_syn_seq_zero: Some(true),
+        }
+    }
+
+    #[test]
+    fn ittl_inference_rounds_up() {
+        assert_eq!(InitialTtl::infer(32), InitialTtl::T32);
+        assert_eq!(InitialTtl::infer(33), InitialTtl::T64);
+        assert_eq!(InitialTtl::infer(57), InitialTtl::T64);
+        assert_eq!(InitialTtl::infer(120), InitialTtl::T128);
+        assert_eq!(InitialTtl::infer(129), InitialTtl::T255);
+        assert_eq!(InitialTtl::infer(250), InitialTtl::T255);
+    }
+
+    #[test]
+    fn table6_rendering_matches_paper_layout() {
+        let juniper = juniper_anchor();
+        assert_eq!(
+            juniper.table6_row(),
+            "False r r r False False False False 255 64 64 84 40 56 0"
+        );
+        // Flip the ICMP iTTL to 255: the Cisco row.
+        let cisco = FeatureVector {
+            icmp_ittl: Some(InitialTtl::T255),
+            ..juniper
+        };
+        assert_eq!(
+            cisco.table6_row(),
+            "False r r r False False False False 255 255 64 84 40 56 0"
+        );
+    }
+
+    #[test]
+    fn full_and_partial_coverage() {
+        let full = juniper_anchor();
+        assert!(full.is_full());
+        let partial = full.project(ProtocolCoverage {
+            icmp: true,
+            tcp: false,
+            udp: true,
+        });
+        assert!(!partial.is_full());
+        assert_eq!(partial.tcp_ittl, None);
+        assert_eq!(partial.tcp_resp_size, None);
+        assert_eq!(partial.tcp_syn_seq_zero, None);
+        assert_eq!(partial.shared_all, None);
+        assert_eq!(partial.shared_tcp_udp, None);
+        assert_eq!(partial.shared_udp_icmp, Some(false));
+        assert_eq!(partial.coverage().label(), "ICMP & UDP");
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let full = juniper_anchor();
+        for coverage in ProtocolCoverage::partial_combinations() {
+            let once = full.project(coverage);
+            let twice = once.project(coverage);
+            assert_eq!(once, twice);
+            assert_eq!(once.coverage(), coverage);
+        }
+    }
+
+    #[test]
+    fn empty_vector_is_empty() {
+        let empty = FeatureVector::default();
+        assert!(empty.is_empty());
+        assert!(!empty.is_full());
+        assert_eq!(empty.coverage().count(), 0);
+    }
+
+    #[test]
+    fn partial_combinations_are_the_six_of_table4() {
+        let combos = ProtocolCoverage::partial_combinations();
+        assert_eq!(combos.len(), 6);
+        let labels: Vec<String> = combos.iter().map(|c| c.label()).collect();
+        assert_eq!(labels[0], "TCP & UDP");
+        assert_eq!(labels[1], "ICMP & UDP");
+        assert_eq!(labels[2], "ICMP & TCP");
+        assert_eq!(labels[3], "UDP");
+        assert_eq!(labels[4], "ICMP");
+        assert_eq!(labels[5], "TCP");
+    }
+}

@@ -1,0 +1,136 @@
+//! IPID threshold analysis (paper §3.6, Figures 2 and 3).
+//!
+//! The sequential/random decision rests on an empirical knee: the
+//! distribution of the *maximum* consecutive IPID step per fully
+//! responsive IP shows sequential counters bunched near zero and random
+//! ones spread uniformly; 1,300 sits in the knee. This module computes
+//! both distributions from observations plus the misclassification bound
+//! the paper derives.
+
+use crate::probe::TargetObservation;
+
+/// Per-IP maximum consecutive IPID step across all nine responses
+/// (Figure 2's x-axis). Only fully responsive observations contribute,
+/// as in the paper.
+pub fn max_steps_per_ip(observations: &[TargetObservation]) -> Vec<u16> {
+    observations
+        .iter()
+        .filter(|o| o.icmp.len() >= 3 && o.tcp.len() >= 3 && o.udp.len() >= 3)
+        .filter_map(|o| {
+            let ipids: Vec<u16> = o.timeline.iter().map(|&(_, _, id)| id).collect();
+            ipids
+                .windows(2)
+                .map(|w| w[1].wrapping_sub(w[0]))
+                .max()
+        })
+        .collect()
+}
+
+/// Signed IPID differences between consecutive responses (Figure 3's
+/// x-axis), mapped into `[-32768, 32767]`.
+pub fn consecutive_diffs(observations: &[TargetObservation]) -> Vec<i32> {
+    let mut diffs = Vec::new();
+    for observation in observations {
+        if observation.icmp.len() < 3 || observation.tcp.len() < 3 || observation.udp.len() < 3 {
+            continue;
+        }
+        for window in observation.timeline.windows(2) {
+            let raw = i32::from(window[1].2) - i32::from(window[0].2);
+            // Wrap into the signed 16-bit interval.
+            let wrapped = if raw > 32_767 {
+                raw - 65_536
+            } else if raw < -32_768 {
+                raw + 65_536
+            } else {
+                raw
+            };
+            diffs.push(wrapped);
+        }
+    }
+    diffs
+}
+
+/// Probability a *random* IPID counter produces a single step at or below
+/// `threshold` (the paper's 1301/2^16 ≈ 0.019).
+pub fn single_step_false_positive(threshold: u16) -> f64 {
+    f64::from(threshold) / 65_536.0 + 1.0 / 65_536.0
+}
+
+/// Probability all `steps` consecutive random steps fall at or below the
+/// threshold — the misclassification bound (0.019⁸ for the full schedule).
+pub fn misclassification_probability(threshold: u16, steps: u32) -> f64 {
+    single_step_false_positive(threshold).powi(steps as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{ProbeReply, ProtoTag};
+
+    fn full_observation(ipids: [u16; 9]) -> TargetObservation {
+        let mut observation = TargetObservation::default();
+        let tags = [
+            ProtoTag::Icmp,
+            ProtoTag::Tcp,
+            ProtoTag::Udp,
+            ProtoTag::Icmp,
+            ProtoTag::Tcp,
+            ProtoTag::Udp,
+            ProtoTag::Icmp,
+            ProtoTag::Tcp,
+            ProtoTag::Udp,
+        ];
+        for (index, (&ipid, &tag)) in ipids.iter().zip(&tags).enumerate() {
+            let at = index as f64 * 0.05;
+            let reply = ProbeReply {
+                at,
+                ipid,
+                ttl: 60,
+                total_len: 84,
+            };
+            observation.timeline.push((tag, at, ipid));
+            match tag {
+                ProtoTag::Icmp => {
+                    observation.icmp.push(reply);
+                    observation.icmp_echo_match.push(false);
+                }
+                ProtoTag::Tcp => observation.tcp.push(reply),
+                ProtoTag::Udp => observation.udp.push(reply),
+            }
+        }
+        observation
+    }
+
+    #[test]
+    fn max_step_of_a_shared_counter_is_small() {
+        let observation = full_observation([10, 12, 15, 19, 20, 26, 30, 31, 37]);
+        let steps = max_steps_per_ip(&[observation]);
+        assert_eq!(steps, vec![6]);
+    }
+
+    #[test]
+    fn partial_observations_are_excluded() {
+        let mut observation = full_observation([1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        observation.udp.pop();
+        assert!(max_steps_per_ip(&[observation]).is_empty());
+    }
+
+    #[test]
+    fn diffs_wrap_into_signed_range() {
+        let observation = full_observation([65_530, 5, 65_500, 10, 20, 30, 40, 50, 60]);
+        let diffs = consecutive_diffs(&[observation]);
+        assert_eq!(diffs.len(), 8);
+        assert_eq!(diffs[0], 11); // 65530 → 5 wraps forward by 11
+        assert!(diffs.iter().all(|&d| (-32_768..=32_767).contains(&d)));
+    }
+
+    #[test]
+    fn paper_misclassification_bound() {
+        let p = single_step_false_positive(1300);
+        assert!((p - 0.01985).abs() < 0.0005, "p = {p}");
+        let all_protocols = misclassification_probability(1300, 8);
+        assert!(all_protocols < 1e-13, "bound = {all_protocols}");
+        let per_protocol = misclassification_probability(1300, 2);
+        assert!((per_protocol - 0.019_85f64.powi(2)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,47 @@
+//! # lfp-core — Lightweight FingerPrinting
+//!
+//! The paper's primary contribution: remote router vendor fingerprinting
+//! from ten packets per target.
+//!
+//! * [`probe`] — the 9+1 probe schedule (3×ICMP echo, 2×TCP ACK + 1×TCP
+//!   SYN with a non-zero ack field, 3×UDP, 1×SNMPv3 discovery),
+//! * [`features`] — the fifteen-feature vector of Table 1,
+//! * [`extract`] — IPID classification at the 1,300-step threshold,
+//!   cross-protocol counter-sharing detection, iTTL inference,
+//! * [`snmp_label`] — engine-ID → vendor ground-truth labelling,
+//! * [`signature`] — unique / non-unique / partial signature database and
+//!   the conservative classifier,
+//! * [`pipeline`] — the Figure 1 end-to-end flow over whole datasets,
+//! * [`eval`] — precision/recall (Table 8) and split evaluation,
+//! * [`ipid_threshold`] — the §3.6 threshold analysis (Figures 2/3).
+//!
+//! ```no_run
+//! use lfp_core::pipeline::{scan_dataset, classify_scan};
+//! use lfp_topo::{Internet, Scale};
+//!
+//! let internet = Internet::generate(Scale::small());
+//! let targets = internet.all_interfaces();
+//! let scan = scan_dataset(internet.network(), "demo", &targets, 8);
+//! let set = scan.signature_db().finalize(4);
+//! let verdicts = classify_scan(&scan, &set);
+//! println!("{} unique signatures", set.unique_count());
+//! # let _ = verdicts;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod extract;
+pub mod features;
+pub mod ipid_threshold;
+pub mod pipeline;
+pub mod probe;
+pub mod signature;
+pub mod snmp_label;
+
+pub use extract::{extract, IPID_STEP_THRESHOLD};
+pub use features::{FeatureVector, InitialTtl, IpidClass, ProtocolCoverage};
+pub use pipeline::{classify_scan, scan_dataset, union_db, DatasetScan};
+pub use probe::{probe_target, TargetObservation};
+pub use signature::{Classification, SignatureDb, SignatureSet};

@@ -1,0 +1,399 @@
+//! The LFP probe schedule: nine single-packet probes plus one SNMPv3
+//! discovery (paper §3.3, Figure 1 ①).
+//!
+//! Per target: three ICMP echo requests, two TCP ACKs and one TCP SYN with
+//! a non-zero acknowledgment field to closed port 33533, and three UDP
+//! datagrams with 12 zero bytes to the same port. Probes are interleaved
+//! across protocols so cross-protocol counter sharing is observable in the
+//! response IPID timeline. No malformed packets, ten packets total — the
+//! paper's entire ethical footprint argument rests on this schedule.
+
+use lfp_net::Network;
+use lfp_packet::icmp::{IcmpPacket, IcmpRepr, UnreachableCode};
+use lfp_packet::ipv4::{self, Ipv4Packet, Ipv4Repr, Protocol};
+use lfp_packet::snmp::{EngineId, SnmpV3Message};
+use lfp_packet::tcp::{TcpFlags, TcpOptions, TcpPacket, TcpRepr};
+use lfp_packet::udp::{UdpPacket, UdpRepr};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// The closed port targeted by TCP and UDP probes (§3.3).
+pub const LFP_PORT: u16 = 33533;
+/// Source address of the measurement host.
+pub const PROBER_IP: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 9);
+/// Echo payload size: a classic 56-byte ping (→ 84-byte replies, Table 6).
+pub const ECHO_PAYLOAD: usize = 56;
+/// Gap between consecutive probes of the interleaved schedule, seconds.
+pub const PROBE_GAP: f64 = 0.05;
+
+/// Protocol class of a probe (keyed by *probe*, not response, protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtoTag {
+    /// ICMP echo probes.
+    Icmp,
+    /// TCP probes to a closed port.
+    Tcp,
+    /// UDP probes to a closed port.
+    Udp,
+}
+
+/// One parsed probe response.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeReply {
+    /// Reception time (virtual seconds).
+    pub at: f64,
+    /// IPID of the response.
+    pub ipid: u16,
+    /// Observed (decayed) TTL.
+    pub ttl: u8,
+    /// IP total length of the response.
+    pub total_len: u16,
+}
+
+/// Everything observed about one target after the 10-packet schedule.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TargetObservation {
+    /// The probed address.
+    pub target: Option<Ipv4Addr>,
+    /// Echo replies, in probe order.
+    pub icmp: Vec<ProbeReply>,
+    /// Per echo reply: did its IPID mirror the request's header IPID?
+    pub icmp_echo_match: Vec<bool>,
+    /// TCP RSTs, in probe order.
+    pub tcp: Vec<ProbeReply>,
+    /// Sequence number of the RST answering the SYN probe, if observed.
+    pub syn_rst_seq: Option<u32>,
+    /// ICMP port-unreachable responses to the UDP probes, in probe order.
+    pub udp: Vec<ProbeReply>,
+    /// Engine ID from the SNMPv3 discovery report, if any.
+    pub snmp_engine: Option<EngineId>,
+    /// Chronological (probe class, reception time, IPID) sequence across
+    /// all nine probes — the input to shared-counter analysis.
+    pub timeline: Vec<(ProtoTag, f64, u16)>,
+}
+
+impl TargetObservation {
+    /// Responds to anything (including SNMPv3)?
+    pub fn is_responsive(&self) -> bool {
+        !self.icmp.is_empty()
+            || !self.tcp.is_empty()
+            || !self.udp.is_empty()
+            || self.snmp_engine.is_some()
+    }
+
+    /// Number of protocols (of the three) with at least one response.
+    pub fn responsive_protocols(&self) -> usize {
+        usize::from(!self.icmp.is_empty())
+            + usize::from(!self.tcp.is_empty())
+            + usize::from(!self.udp.is_empty())
+    }
+
+    /// Responses per protocol, in (ICMP, TCP, UDP) order (Figures 5/6).
+    pub fn responses_per_protocol(&self) -> [usize; 3] {
+        [self.icmp.len(), self.tcp.len(), self.udp.len()]
+    }
+}
+
+/// Run the full 10-packet schedule against one target.
+///
+/// `start_time` paces the scan; `salt` decorrelates loss/jitter draws.
+pub fn probe_target(
+    network: &Network,
+    target: Ipv4Addr,
+    start_time: f64,
+    salt: u64,
+) -> TargetObservation {
+    let mut observation = TargetObservation {
+        target: Some(target),
+        ..TargetObservation::default()
+    };
+    // Base header IPID for echo requests; reflection is detected by
+    // comparing reply IPIDs against these (feature 1).
+    let ipid_base = 0x6000u16 | (salt as u16 & 0x0fff);
+
+    for round in 0..3u16 {
+        let round_start = start_time + f64::from(round) * 3.0 * PROBE_GAP;
+
+        // -- ICMP echo.
+        let request_ipid = ipid_base.wrapping_add(round);
+        let icmp = IcmpRepr::EchoRequest {
+            ident: 0x4c46, // "LF"
+            seq: round,
+            payload: vec![0u8; ECHO_PAYLOAD],
+        }
+        .to_bytes();
+        let datagram = wrap(target, Protocol::Icmp, request_ipid, &icmp);
+        if let Some(reception) =
+            network.probe(&datagram, round_start, salt ^ (0x1c << 8 | u64::from(round)))
+        {
+            if let Some((reply, is_echo_reply)) = parse_icmp_reply(&reception.datagram, reception.at)
+            {
+                if is_echo_reply {
+                    observation
+                        .icmp_echo_match
+                        .push(reply.ipid == request_ipid);
+                    observation.timeline.push((ProtoTag::Icmp, reply.at, reply.ipid));
+                    observation.icmp.push(reply);
+                }
+            }
+        }
+
+        // -- TCP: two ACK probes, then one SYN with a non-zero ack field.
+        let is_syn_round = round == 2;
+        let seq: u32 = 0x2000_0000 | u32::from(round) << 8;
+        let ack: u32 = 0x5EED_0000 | u32::from(salt as u16);
+        let tcp = TcpRepr {
+            src_port: 50000 + round,
+            dst_port: LFP_PORT,
+            seq,
+            ack,
+            flags: if is_syn_round {
+                TcpFlags::SYN
+            } else {
+                TcpFlags::ACK
+            },
+            window: 1024,
+            options: TcpOptions::default(),
+        }
+        .to_bytes(PROBER_IP, target);
+        let datagram = wrap(target, Protocol::Tcp, ipid_base.wrapping_add(16 + round), &tcp);
+        if let Some(reception) = network.probe(
+            &datagram,
+            round_start + PROBE_GAP,
+            salt ^ (0x7c << 8 | u64::from(round)),
+        ) {
+            if let Some((reply, rst_seq)) = parse_tcp_reply(&reception.datagram, reception.at) {
+                if is_syn_round {
+                    observation.syn_rst_seq = Some(rst_seq);
+                }
+                observation.timeline.push((ProtoTag::Tcp, reply.at, reply.ipid));
+                observation.tcp.push(reply);
+            }
+        }
+
+        // -- UDP: 12 zero bytes to the closed port.
+        let udp = UdpRepr {
+            src_port: 51000 + round,
+            dst_port: LFP_PORT,
+            payload: vec![0u8; 12],
+        }
+        .to_bytes(PROBER_IP, target);
+        let datagram = wrap(target, Protocol::Udp, ipid_base.wrapping_add(32 + round), &udp);
+        if let Some(reception) = network.probe(
+            &datagram,
+            round_start + 2.0 * PROBE_GAP,
+            salt ^ (0xdd << 8 | u64::from(round)),
+        ) {
+            if let Some(reply) = parse_udp_reply(&reception.datagram, reception.at) {
+                observation.timeline.push((ProtoTag::Udp, reply.at, reply.ipid));
+                observation.udp.push(reply);
+            }
+        }
+    }
+
+    // -- The single SNMPv3 discovery packet.
+    let msg_id = (salt as i32 & 0x7fff_ffff).max(1);
+    let request = SnmpV3Message::discovery_request(msg_id)
+        .to_bytes()
+        .expect("discovery request always encodes");
+    let udp = UdpRepr {
+        src_port: 52000,
+        dst_port: 161,
+        payload: request,
+    }
+    .to_bytes(PROBER_IP, target);
+    let datagram = wrap(target, Protocol::Udp, ipid_base.wrapping_add(48), &udp);
+    if let Some(reception) = network.probe(
+        &datagram,
+        start_time + 10.0 * PROBE_GAP,
+        salt ^ 0x514d_5033,
+    ) {
+        observation.snmp_engine = parse_snmp_reply(&reception.datagram, msg_id);
+    }
+
+    // Jitter can reorder closely-spaced receptions; shared-counter
+    // analysis needs true reception order.
+    observation
+        .timeline
+        .sort_by(|a, b| a.1.total_cmp(&b.1));
+    observation
+}
+
+fn wrap(target: Ipv4Addr, protocol: Protocol, ipid: u16, payload: &[u8]) -> Vec<u8> {
+    ipv4::build_datagram(
+        &Ipv4Repr {
+            src: PROBER_IP,
+            dst: target,
+            protocol,
+            ttl: 64,
+            ident: ipid,
+            dont_frag: false,
+            payload_len: payload.len(),
+        },
+        payload,
+    )
+}
+
+fn parse_icmp_reply(datagram: &[u8], at: f64) -> Option<(ProbeReply, bool)> {
+    let packet = Ipv4Packet::new_checked(datagram).ok()?;
+    if packet.protocol() != Protocol::Icmp {
+        return None;
+    }
+    let icmp = IcmpPacket::new_checked(packet.payload()).ok()?;
+    let is_echo_reply = matches!(IcmpRepr::parse(&icmp), Ok(IcmpRepr::EchoReply { .. }));
+    Some((
+        ProbeReply {
+            at,
+            ipid: packet.ident(),
+            ttl: packet.ttl(),
+            total_len: packet.total_len(),
+        },
+        is_echo_reply,
+    ))
+}
+
+fn parse_tcp_reply(datagram: &[u8], at: f64) -> Option<(ProbeReply, u32)> {
+    let packet = Ipv4Packet::new_checked(datagram).ok()?;
+    if packet.protocol() != Protocol::Tcp {
+        return None;
+    }
+    let tcp = TcpPacket::new_checked(packet.payload()).ok()?;
+    if !tcp.flags().contains(TcpFlags::RST) {
+        return None;
+    }
+    Some((
+        ProbeReply {
+            at,
+            ipid: packet.ident(),
+            ttl: packet.ttl(),
+            total_len: packet.total_len(),
+        },
+        tcp.seq(),
+    ))
+}
+
+fn parse_udp_reply(datagram: &[u8], at: f64) -> Option<ProbeReply> {
+    let packet = Ipv4Packet::new_checked(datagram).ok()?;
+    if packet.protocol() != Protocol::Icmp {
+        return None;
+    }
+    let icmp = IcmpPacket::new_checked(packet.payload()).ok()?;
+    match IcmpRepr::parse(&icmp) {
+        Ok(IcmpRepr::DstUnreachable {
+            code: UnreachableCode::Port,
+            ..
+        }) => Some(ProbeReply {
+            at,
+            ipid: packet.ident(),
+            ttl: packet.ttl(),
+            total_len: packet.total_len(),
+        }),
+        _ => None,
+    }
+}
+
+fn parse_snmp_reply(datagram: &[u8], expected_msg_id: i32) -> Option<EngineId> {
+    let packet = Ipv4Packet::new_checked(datagram).ok()?;
+    if packet.protocol() != Protocol::Udp {
+        return None;
+    }
+    let udp = UdpPacket::new_checked(packet.payload()).ok()?;
+    if udp.src_port() != 161 {
+        return None;
+    }
+    let message = SnmpV3Message::parse(udp.payload()).ok()?;
+    if message.msg_id != expected_msg_id {
+        return None;
+    }
+    message.authoritative_engine_id().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfp_net::network::{DeviceId, DirectOracle};
+    use lfp_stack::catalog;
+    use lfp_stack::device::RouterDevice;
+    use lfp_stack::vendor::Vendor;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn network_with(vendor: Vendor) -> (Network, Ipv4Addr) {
+        let profile = Arc::new(catalog::default_variant(vendor));
+        let device = (0..800)
+            .map(|seed| RouterDevice::new(Arc::clone(&profile), seed))
+            .find(|d| {
+                let e = d.exposure();
+                e.icmp && e.tcp && e.udp && e.snmp
+            })
+            .expect("fully exposed device");
+        let ip = Ipv4Addr::new(9, 9, 9, 9);
+        let mut interfaces = HashMap::new();
+        interfaces.insert(ip, DeviceId(0));
+        let mut network = Network::new(vec![device], interfaces, Box::new(DirectOracle), 1234);
+        network.set_base_loss(0.0);
+        (network, ip)
+    }
+
+    #[test]
+    fn full_schedule_collects_nine_plus_one() {
+        let (network, ip) = network_with(Vendor::MikroTik);
+        let observation = probe_target(&network, ip, 0.0, 42);
+        assert_eq!(observation.icmp.len(), 3);
+        assert_eq!(observation.tcp.len(), 3);
+        assert_eq!(observation.udp.len(), 3);
+        assert_eq!(observation.timeline.len(), 9);
+        assert!(observation.snmp_engine.is_some());
+        assert!(observation.syn_rst_seq.is_some());
+        assert_eq!(observation.responsive_protocols(), 3);
+    }
+
+    #[test]
+    fn snmp_engine_carries_vendor_pen() {
+        let (network, ip) = network_with(Vendor::Huawei);
+        let observation = probe_target(&network, ip, 0.0, 7);
+        let engine = observation.snmp_engine.expect("SNMP answer expected");
+        assert_eq!(engine.pen, Vendor::Huawei.pen());
+    }
+
+    #[test]
+    fn linux_stack_syn_rst_copies_ack() {
+        let (network, ip) = network_with(Vendor::MikroTik);
+        let observation = probe_target(&network, ip, 0.0, 9);
+        let seq = observation.syn_rst_seq.unwrap();
+        assert_ne!(seq, 0, "Linux-derived stacks copy the probe's ack field");
+    }
+
+    #[test]
+    fn cisco_syn_rst_is_zero() {
+        let (network, ip) = network_with(Vendor::Cisco);
+        let observation = probe_target(&network, ip, 0.0, 9);
+        assert_eq!(observation.syn_rst_seq.unwrap(), 0);
+    }
+
+    #[test]
+    fn timeline_is_chronological() {
+        let (network, ip) = network_with(Vendor::MikroTik);
+        let observation = probe_target(&network, ip, 0.0, 3);
+        for pair in observation.timeline.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn unknown_target_is_fully_unresponsive() {
+        let (network, _) = network_with(Vendor::Cisco);
+        let observation = probe_target(&network, Ipv4Addr::new(8, 8, 8, 8), 0.0, 5);
+        assert!(!observation.is_responsive());
+        assert_eq!(observation.responses_per_protocol(), [0, 0, 0]);
+    }
+
+    #[test]
+    fn probing_is_deterministic() {
+        let (n1, ip) = network_with(Vendor::Juniper);
+        let (n2, _) = network_with(Vendor::Juniper);
+        let a = probe_target(&n1, ip, 0.0, 11);
+        let b = probe_target(&n2, ip, 0.0, 11);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -1,0 +1,463 @@
+//! Signature database and classifier (paper §3.5, §4.2–4.4).
+//!
+//! Labelled feature vectors accumulate into a [`SignatureDb`]; finalising
+//! it with a minimum-occurrence threshold yields a [`SignatureSet`] with
+//! unique, non-unique, and partial signatures. Classification is exact
+//! full-vector match first, then partial (projected) match — conservative
+//! by construction: only unique matches produce a vendor verdict.
+
+use crate::features::{FeatureVector, ProtocolCoverage};
+use lfp_stack::vendor::Vendor;
+use std::collections::{BTreeMap, HashMap};
+
+/// Accumulator: vector → per-vendor occurrence counts.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureDb {
+    counts: HashMap<FeatureVector, BTreeMap<Vendor, usize>>,
+}
+
+impl SignatureDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        SignatureDb::default()
+    }
+
+    /// Record one labelled observation. Empty vectors are ignored.
+    pub fn add(&mut self, vector: FeatureVector, vendor: Vendor) {
+        if vector.is_empty() {
+            return;
+        }
+        *self
+            .counts
+            .entry(vector)
+            .or_default()
+            .entry(vendor)
+            .or_insert(0) += 1;
+    }
+
+    /// Merge another database (the cross-dataset union of §4.2; a vector
+    /// labelled with different vendors in different datasets naturally
+    /// becomes non-unique here).
+    pub fn merge(&mut self, other: &SignatureDb) {
+        for (vector, vendors) in &other.counts {
+            let entry = self.counts.entry(*vector).or_default();
+            for (&vendor, &count) in vendors {
+                *entry.entry(vendor).or_insert(0) += count;
+            }
+        }
+    }
+
+    /// Total labelled observations.
+    pub fn total_labeled(&self) -> usize {
+        self.counts.values().flat_map(|v| v.values()).sum()
+    }
+
+    /// Iterate over (vector, per-vendor counts).
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = (&FeatureVector, &BTreeMap<Vendor, usize>)> {
+        self.counts.iter()
+    }
+
+    /// Number of distinct vectors recorded.
+    pub fn distinct_vectors(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count (unique, non-unique) *full* signatures at a threshold — the
+    /// Figure 7 sensitivity curve.
+    pub fn signature_counts_at(&self, min_occurrences: usize) -> (usize, usize) {
+        let mut unique = 0;
+        let mut non_unique = 0;
+        for (vector, vendors) in &self.counts {
+            if !vector.is_full() {
+                continue;
+            }
+            let total: usize = vendors.values().sum();
+            if total < min_occurrences.max(1) {
+                continue;
+            }
+            if vendors.len() == 1 {
+                unique += 1;
+            } else {
+                non_unique += 1;
+            }
+        }
+        (unique, non_unique)
+    }
+
+    /// Finalise into a classifier at the given occurrence threshold.
+    pub fn finalize(&self, min_occurrences: usize) -> SignatureSet {
+        let min_occurrences = min_occurrences.max(1);
+        let mut unique = HashMap::new();
+        let mut non_unique: HashMap<FeatureVector, Vec<(Vendor, usize)>> = HashMap::new();
+        // Projected (partial) accumulations: from observed partial vectors
+        // *and* from projections of accepted full signatures.
+        let mut partial_counts: HashMap<FeatureVector, BTreeMap<Vendor, usize>> = HashMap::new();
+
+        for (vector, vendors) in &self.counts {
+            let total: usize = vendors.values().sum();
+            if total < min_occurrences {
+                continue;
+            }
+            if vector.is_full() {
+                if vendors.len() == 1 {
+                    unique.insert(*vector, *vendors.keys().next().unwrap());
+                } else {
+                    let mut list: Vec<(Vendor, usize)> =
+                        vendors.iter().map(|(&v, &c)| (v, c)).collect();
+                    list.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                    non_unique.insert(*vector, list);
+                }
+                // Project onto every partial combination.
+                for coverage in ProtocolCoverage::partial_combinations() {
+                    let projected = vector.project(coverage);
+                    if projected.is_empty() {
+                        continue;
+                    }
+                    let entry = partial_counts.entry(projected).or_default();
+                    for (&vendor, &count) in vendors {
+                        *entry.entry(vendor).or_insert(0) += count;
+                    }
+                }
+            } else {
+                // Directly-observed partial signature.
+                let entry = partial_counts.entry(*vector).or_default();
+                for (&vendor, &count) in vendors {
+                    *entry.entry(vendor).or_insert(0) += count;
+                }
+            }
+        }
+
+        let mut partial_unique = HashMap::new();
+        let mut partial_non_unique: HashMap<FeatureVector, Vec<(Vendor, usize)>> = HashMap::new();
+        for (vector, vendors) in partial_counts {
+            if vendors.len() == 1 {
+                partial_unique.insert(vector, *vendors.keys().next().unwrap());
+            } else {
+                let mut list: Vec<(Vendor, usize)> =
+                    vendors.iter().map(|(&v, &c)| (v, c)).collect();
+                list.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                partial_non_unique.insert(vector, list);
+            }
+        }
+
+        SignatureSet {
+            unique,
+            non_unique,
+            partial_unique,
+            partial_non_unique,
+            min_occurrences,
+        }
+    }
+}
+
+/// Verdict of the classifier for one observed vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Classification {
+    /// Matched a (full or partial) unique signature.
+    Unique {
+        /// The inferred vendor.
+        vendor: Vendor,
+        /// Whether the match used a partial signature.
+        partial: bool,
+    },
+    /// Matched a non-unique signature: candidate vendors by support.
+    NonUnique(Vec<(Vendor, usize)>),
+    /// Responsive but no signature matches.
+    Unknown,
+    /// Nothing to classify (unresponsive to all LFP probes).
+    Unresponsive,
+}
+
+impl Classification {
+    /// The conservative verdict the paper's analyses use: unique matches
+    /// only.
+    pub fn unique_vendor(&self) -> Option<Vendor> {
+        match self {
+            Classification::Unique { vendor, .. } => Some(*vendor),
+            _ => None,
+        }
+    }
+
+    /// Verdict including the dominant vendor of non-unique matches
+    /// (Appendix B's relaxed mode).
+    pub fn majority_vendor(&self) -> Option<Vendor> {
+        match self {
+            Classification::Unique { vendor, .. } => Some(*vendor),
+            Classification::NonUnique(list) => list.first().map(|&(v, _)| v),
+            _ => None,
+        }
+    }
+}
+
+/// The finalised signature sets (Figure 1 ③–④).
+#[derive(Debug, Clone)]
+pub struct SignatureSet {
+    /// Full unique signatures → vendor.
+    pub unique: HashMap<FeatureVector, Vendor>,
+    /// Full non-unique signatures → vendors with counts (descending).
+    pub non_unique: HashMap<FeatureVector, Vec<(Vendor, usize)>>,
+    /// Partial unique signatures (projections + observed partials).
+    pub partial_unique: HashMap<FeatureVector, Vendor>,
+    /// Partial non-unique signatures.
+    pub partial_non_unique: HashMap<FeatureVector, Vec<(Vendor, usize)>>,
+    /// The occurrence threshold used.
+    pub min_occurrences: usize,
+}
+
+impl SignatureSet {
+    /// Classify an observed vector.
+    pub fn classify(&self, vector: &FeatureVector) -> Classification {
+        if vector.is_empty() {
+            return Classification::Unresponsive;
+        }
+        if vector.is_full() {
+            if let Some(&vendor) = self.unique.get(vector) {
+                return Classification::Unique {
+                    vendor,
+                    partial: false,
+                };
+            }
+            if let Some(list) = self.non_unique.get(vector) {
+                return Classification::NonUnique(list.clone());
+            }
+            // A full vector that misses the full table may still match a
+            // projection (e.g. a new firmware changed one protocol's
+            // behaviour) — stay conservative and do not guess.
+            return Classification::Unknown;
+        }
+        if let Some(&vendor) = self.partial_unique.get(vector) {
+            return Classification::Unique {
+                vendor,
+                partial: true,
+            };
+        }
+        if let Some(list) = self.partial_non_unique.get(vector) {
+            return Classification::NonUnique(list.clone());
+        }
+        Classification::Unknown
+    }
+
+    /// Number of full unique signatures.
+    pub fn unique_count(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Number of full non-unique signatures.
+    pub fn non_unique_count(&self) -> usize {
+        self.non_unique.len()
+    }
+
+    /// Table 4: per partial protocol combination, (total, unique,
+    /// non-unique) signature counts.
+    pub fn partial_stats(&self) -> Vec<(ProtocolCoverage, usize, usize, usize)> {
+        ProtocolCoverage::partial_combinations()
+            .into_iter()
+            .map(|coverage| {
+                let unique = self
+                    .partial_unique
+                    .keys()
+                    .filter(|v| v.coverage() == coverage)
+                    .count();
+                let non_unique = self
+                    .partial_non_unique
+                    .keys()
+                    .filter(|v| v.coverage() == coverage)
+                    .count();
+                (coverage, unique + non_unique, unique, non_unique)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{InitialTtl, IpidClass};
+
+    fn vector(ittl: InitialTtl, size: u16) -> FeatureVector {
+        FeatureVector {
+            icmp_ipid_echo: Some(false),
+            icmp_ipid: Some(IpidClass::Random),
+            tcp_ipid: Some(IpidClass::Random),
+            udp_ipid: Some(IpidClass::Random),
+            shared_all: Some(false),
+            shared_tcp_icmp: Some(false),
+            shared_udp_icmp: Some(false),
+            shared_tcp_udp: Some(false),
+            udp_ittl: Some(InitialTtl::T255),
+            icmp_ittl: Some(ittl),
+            tcp_ittl: Some(InitialTtl::T64),
+            icmp_resp_size: Some(84),
+            tcp_resp_size: Some(40),
+            udp_resp_size: Some(size),
+            tcp_syn_seq_zero: Some(true),
+        }
+    }
+
+    #[test]
+    fn unique_and_non_unique_separation() {
+        let mut db = SignatureDb::new();
+        for _ in 0..30 {
+            db.add(vector(InitialTtl::T255, 56), Vendor::Cisco);
+        }
+        for _ in 0..20 {
+            db.add(vector(InitialTtl::T64, 56), Vendor::Juniper);
+        }
+        // A collision: both vendors produce the 68-byte variant.
+        for _ in 0..15 {
+            db.add(vector(InitialTtl::T64, 68), Vendor::Juniper);
+        }
+        for _ in 0..10 {
+            db.add(vector(InitialTtl::T64, 68), Vendor::MikroTik);
+        }
+        let set = db.finalize(5);
+        assert_eq!(set.unique_count(), 2);
+        assert_eq!(set.non_unique_count(), 1);
+
+        match set.classify(&vector(InitialTtl::T255, 56)) {
+            Classification::Unique { vendor, partial } => {
+                assert_eq!(vendor, Vendor::Cisco);
+                assert!(!partial);
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+        match set.classify(&vector(InitialTtl::T64, 68)) {
+            Classification::NonUnique(list) => {
+                assert_eq!(list[0].0, Vendor::Juniper, "dominant vendor first");
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn occurrence_threshold_filters_rare_signatures() {
+        let mut db = SignatureDb::new();
+        for _ in 0..100 {
+            db.add(vector(InitialTtl::T255, 56), Vendor::Cisco);
+        }
+        for _ in 0..3 {
+            db.add(vector(InitialTtl::T32, 56), Vendor::Ruijie);
+        }
+        let strict = db.finalize(20);
+        assert_eq!(strict.unique_count(), 1);
+        assert_eq!(
+            strict.classify(&vector(InitialTtl::T32, 56)),
+            Classification::Unknown
+        );
+        let loose = db.finalize(1);
+        assert_eq!(loose.unique_count(), 2);
+    }
+
+    #[test]
+    fn sensitivity_curve_is_monotonic() {
+        let mut db = SignatureDb::new();
+        for count in [3usize, 8, 25, 40, 100] {
+            for index in 0..count {
+                let _ = index;
+                db.add(
+                    vector(InitialTtl::T255, 40 + count as u16),
+                    Vendor::Cisco,
+                );
+            }
+        }
+        let mut previous = usize::MAX;
+        for threshold in [1usize, 5, 10, 30, 50] {
+            let (unique, non_unique) = db.signature_counts_at(threshold);
+            assert!(unique + non_unique <= previous);
+            previous = unique + non_unique;
+        }
+    }
+
+    #[test]
+    fn partial_projection_classifies_partial_responders() {
+        let mut db = SignatureDb::new();
+        for _ in 0..30 {
+            db.add(vector(InitialTtl::T255, 56), Vendor::Cisco);
+        }
+        for _ in 0..30 {
+            db.add(vector(InitialTtl::T64, 56), Vendor::Juniper);
+        }
+        let set = db.finalize(5);
+        // An ICMP+TCP-only responder: projection still separates the two
+        // vendors because the ICMP iTTL differs.
+        let partial = vector(InitialTtl::T255, 56).project(ProtocolCoverage {
+            icmp: true,
+            tcp: true,
+            udp: false,
+        });
+        match set.classify(&partial) {
+            Classification::Unique { vendor, partial } => {
+                assert_eq!(vendor, Vendor::Cisco);
+                assert!(partial);
+            }
+            other => panic!("wrong: {other:?}"),
+        }
+        // A TCP+UDP-only responder is ambiguous (vectors differ only in
+        // ICMP iTTL) → non-unique.
+        let ambiguous = vector(InitialTtl::T255, 56).project(ProtocolCoverage {
+            icmp: false,
+            tcp: true,
+            udp: true,
+        });
+        assert!(matches!(
+            set.classify(&ambiguous),
+            Classification::NonUnique(_)
+        ));
+    }
+
+    #[test]
+    fn table4_stats_count_by_combination() {
+        let mut db = SignatureDb::new();
+        for _ in 0..30 {
+            db.add(vector(InitialTtl::T255, 56), Vendor::Cisco);
+        }
+        for _ in 0..30 {
+            db.add(vector(InitialTtl::T64, 56), Vendor::Juniper);
+        }
+        let set = db.finalize(5);
+        let stats = set.partial_stats();
+        assert_eq!(stats.len(), 6);
+        // TCP & UDP row: one ambiguous signature.
+        let (coverage, total, unique, non_unique) = stats[0];
+        assert_eq!(coverage.label(), "TCP & UDP");
+        assert_eq!((total, unique, non_unique), (1, 0, 1));
+        // ICMP & TCP row: two unique signatures.
+        let (coverage, total, unique, non_unique) = stats[2];
+        assert_eq!(coverage.label(), "ICMP & TCP");
+        assert_eq!((total, unique, non_unique), (2, 2, 0));
+    }
+
+    #[test]
+    fn merge_unions_counts_and_detects_cross_dataset_conflicts() {
+        let mut db1 = SignatureDb::new();
+        let mut db2 = SignatureDb::new();
+        for _ in 0..10 {
+            db1.add(vector(InitialTtl::T255, 56), Vendor::Cisco);
+            db2.add(vector(InitialTtl::T255, 56), Vendor::Huawei);
+        }
+        let mut merged = SignatureDb::new();
+        merged.merge(&db1);
+        merged.merge(&db2);
+        assert_eq!(merged.total_labeled(), 20);
+        let set = merged.finalize(5);
+        assert_eq!(set.unique_count(), 0);
+        assert_eq!(set.non_unique_count(), 1);
+    }
+
+    #[test]
+    fn classifier_verdict_helpers() {
+        let unique = Classification::Unique {
+            vendor: Vendor::Cisco,
+            partial: false,
+        };
+        assert_eq!(unique.unique_vendor(), Some(Vendor::Cisco));
+        assert_eq!(unique.majority_vendor(), Some(Vendor::Cisco));
+        let non_unique =
+            Classification::NonUnique(vec![(Vendor::Juniper, 10), (Vendor::Cisco, 2)]);
+        assert_eq!(non_unique.unique_vendor(), None);
+        assert_eq!(non_unique.majority_vendor(), Some(Vendor::Juniper));
+        assert_eq!(Classification::Unknown.majority_vendor(), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! SNMPv3 ground-truth labelling (paper §3.1, building on [2]).
+//!
+//! An engine ID's leading enterprise number names the implementing vendor.
+//! This is the only channel through which vendor truth reaches the
+//! measurement pipeline, and it is exactly as partial as in the paper:
+//! routers without a reachable SNMPv3 agent contribute no label.
+
+use lfp_packet::snmp::EngineId;
+use lfp_stack::vendor::Vendor;
+
+/// Resolve an engine ID to a vendor via its Private Enterprise Number.
+pub fn vendor_from_engine(engine: &EngineId) -> Option<Vendor> {
+    Vendor::from_pen(engine.pen)
+}
+
+/// A labelled observation index: which target, which vendor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label {
+    /// Index into the scan's observation list.
+    pub observation: usize,
+    /// Vendor decoded from the engine ID.
+    pub vendor: Vendor,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_pens_resolve() {
+        let engine = EngineId::text(9, "core1");
+        assert_eq!(vendor_from_engine(&engine), Some(Vendor::Cisco));
+        let engine = EngineId::text(14988, "gw");
+        assert_eq!(vendor_from_engine(&engine), Some(Vendor::MikroTik));
+    }
+
+    #[test]
+    fn unknown_pen_yields_no_label() {
+        let engine = EngineId::text(999_999, "mystery");
+        assert_eq!(vendor_from_engine(&engine), None);
+    }
+}

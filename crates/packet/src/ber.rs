@@ -1,0 +1,342 @@
+//! Minimal BER (ASN.1 Basic Encoding Rules) reader and writer.
+//!
+//! SNMP messages are BER-encoded. We implement exactly the subset SNMPv3
+//! needs — definite lengths (short and long form), INTEGER, OCTET STRING,
+//! NULL, OBJECT IDENTIFIER, SEQUENCE, and context-specific tags for PDUs —
+//! and nothing more. The writer builds values inside-out (content first,
+//! then wrap), which keeps nesting allocation-simple and obviously correct.
+
+use crate::{Error, Result};
+
+/// Universal tag: INTEGER.
+pub const TAG_INTEGER: u8 = 0x02;
+/// Universal tag: OCTET STRING.
+pub const TAG_OCTET_STRING: u8 = 0x04;
+/// Universal tag: NULL.
+pub const TAG_NULL: u8 = 0x05;
+/// Universal tag: OBJECT IDENTIFIER.
+pub const TAG_OID: u8 = 0x06;
+/// Universal constructed tag: SEQUENCE.
+pub const TAG_SEQUENCE: u8 = 0x30;
+
+/// Wrap `content` in a tag-length-value triple.
+pub fn tlv(tag: u8, content: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(content.len() + 4);
+    out.push(tag);
+    write_length(&mut out, content.len());
+    out.extend_from_slice(content);
+    out
+}
+
+fn write_length(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = len.to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        let significant = &bytes[skip..];
+        out.push(0x80 | significant.len() as u8);
+        out.extend_from_slice(significant);
+    }
+}
+
+/// Encode an INTEGER TLV (two's complement, minimal length).
+pub fn integer(value: i64) -> Vec<u8> {
+    let bytes = value.to_be_bytes();
+    // Trim redundant leading bytes while preserving the sign bit.
+    let mut start = 0;
+    while start < 7 {
+        let cur = bytes[start];
+        let next = bytes[start + 1];
+        if (cur == 0x00 && next & 0x80 == 0) || (cur == 0xff && next & 0x80 != 0) {
+            start += 1;
+        } else {
+            break;
+        }
+    }
+    tlv(TAG_INTEGER, &bytes[start..])
+}
+
+/// Encode an OCTET STRING TLV.
+pub fn octet_string(bytes: &[u8]) -> Vec<u8> {
+    tlv(TAG_OCTET_STRING, bytes)
+}
+
+/// Encode a NULL TLV.
+pub fn null() -> Vec<u8> {
+    tlv(TAG_NULL, &[])
+}
+
+/// Encode a SEQUENCE TLV around already-encoded children.
+pub fn sequence(content: &[u8]) -> Vec<u8> {
+    tlv(TAG_SEQUENCE, content)
+}
+
+/// Encode an OBJECT IDENTIFIER TLV from dotted components.
+pub fn oid(components: &[u32]) -> Result<Vec<u8>> {
+    if components.len() < 2 || components[0] > 2 || (components[0] < 2 && components[1] > 39) {
+        return Err(Error::Malformed);
+    }
+    let mut content = Vec::new();
+    content.push((components[0] * 40 + components[1]) as u8);
+    for &comp in &components[2..] {
+        push_base128(&mut content, comp);
+    }
+    Ok(tlv(TAG_OID, &content))
+}
+
+fn push_base128(out: &mut Vec<u8>, mut value: u32) {
+    let mut stack = [0u8; 5];
+    let mut i = 0;
+    loop {
+        stack[i] = (value & 0x7f) as u8;
+        value >>= 7;
+        i += 1;
+        if value == 0 {
+            break;
+        }
+    }
+    while i > 1 {
+        i -= 1;
+        out.push(stack[i] | 0x80);
+    }
+    out.push(stack[0]);
+}
+
+/// Streaming reader over a BER-encoded byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data }
+    }
+
+    /// True when all bytes are consumed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Peek the next tag byte without consuming.
+    pub fn peek_tag(&self) -> Result<u8> {
+        self.data.first().copied().ok_or(Error::Truncated)
+    }
+
+    /// Read one TLV, returning (tag, content) and advancing past it.
+    pub fn read_tlv(&mut self) -> Result<(u8, &'a [u8])> {
+        let (&tag, rest) = self.data.split_first().ok_or(Error::Truncated)?;
+        let (&len0, rest) = rest.split_first().ok_or(Error::Truncated)?;
+        let (len, rest) = if len0 & 0x80 == 0 {
+            (usize::from(len0), rest)
+        } else {
+            let n = usize::from(len0 & 0x7f);
+            if n == 0 || n > 8 || rest.len() < n {
+                // Indefinite lengths are not used by SNMP.
+                return Err(Error::Malformed);
+            }
+            let mut len = 0usize;
+            for &b in &rest[..n] {
+                len = len.checked_mul(256).ok_or(Error::Malformed)? + usize::from(b);
+            }
+            (len, &rest[n..])
+        };
+        if rest.len() < len {
+            return Err(Error::Truncated);
+        }
+        let (content, tail) = rest.split_at(len);
+        self.data = tail;
+        Ok((tag, content))
+    }
+
+    /// Read a TLV and require a specific tag.
+    pub fn expect(&mut self, tag: u8) -> Result<&'a [u8]> {
+        let (actual, content) = self.read_tlv()?;
+        if actual != tag {
+            return Err(Error::Malformed);
+        }
+        Ok(content)
+    }
+
+    /// Read an INTEGER as i64.
+    pub fn read_integer(&mut self) -> Result<i64> {
+        let content = self.expect(TAG_INTEGER)?;
+        decode_integer(content)
+    }
+
+    /// Read an OCTET STRING.
+    pub fn read_octet_string(&mut self) -> Result<&'a [u8]> {
+        self.expect(TAG_OCTET_STRING)
+    }
+
+    /// Read a SEQUENCE and return a reader over its content.
+    pub fn read_sequence(&mut self) -> Result<Reader<'a>> {
+        Ok(Reader::new(self.expect(TAG_SEQUENCE)?))
+    }
+
+    /// Read an OBJECT IDENTIFIER into components.
+    pub fn read_oid(&mut self) -> Result<Vec<u32>> {
+        let content = self.expect(TAG_OID)?;
+        decode_oid(content)
+    }
+}
+
+/// Decode INTEGER content bytes (two's complement big endian).
+pub fn decode_integer(content: &[u8]) -> Result<i64> {
+    if content.is_empty() || content.len() > 8 {
+        return Err(Error::Malformed);
+    }
+    let mut value: i64 = if content[0] & 0x80 != 0 { -1 } else { 0 };
+    for &b in content {
+        value = (value << 8) | i64::from(b);
+    }
+    Ok(value)
+}
+
+/// Decode OID content bytes into dotted components.
+pub fn decode_oid(content: &[u8]) -> Result<Vec<u32>> {
+    let (&first, mut rest) = content.split_first().ok_or(Error::Malformed)?;
+    let mut components = vec![u32::from(first) / 40, u32::from(first) % 40];
+    while !rest.is_empty() {
+        let mut value: u32 = 0;
+        loop {
+            let (&b, tail) = rest.split_first().ok_or(Error::Truncated)?;
+            rest = tail;
+            value = value.checked_mul(128).ok_or(Error::Malformed)? + u32::from(b & 0x7f);
+            if b & 0x80 == 0 {
+                break;
+            }
+        }
+        components.push(value);
+    }
+    Ok(components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn integer_known_vectors() {
+        assert_eq!(integer(0), vec![0x02, 0x01, 0x00]);
+        assert_eq!(integer(127), vec![0x02, 0x01, 0x7f]);
+        assert_eq!(integer(128), vec![0x02, 0x02, 0x00, 0x80]);
+        assert_eq!(integer(-1), vec![0x02, 0x01, 0xff]);
+        assert_eq!(integer(-129), vec![0x02, 0x02, 0xff, 0x7f]);
+        assert_eq!(integer(3), vec![0x02, 0x01, 0x03]); // msgVersion for SNMPv3
+    }
+
+    #[test]
+    fn long_form_length() {
+        let content = vec![0xaa; 200];
+        let encoded = octet_string(&content);
+        assert_eq!(&encoded[..3], &[0x04, 0x81, 200]);
+        let mut reader = Reader::new(&encoded);
+        assert_eq!(reader.read_octet_string().unwrap(), &content[..]);
+    }
+
+    #[test]
+    fn oid_known_vector() {
+        // usmStatsUnknownEngineIDs: 1.3.6.1.6.3.15.1.1.4.0
+        let encoded = oid(&[1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0]).unwrap();
+        assert_eq!(
+            encoded,
+            vec![0x06, 0x0a, 0x2b, 0x06, 0x01, 0x06, 0x03, 0x0f, 0x01, 0x01, 0x04, 0x00]
+        );
+        let mut reader = Reader::new(&encoded);
+        assert_eq!(
+            reader.read_oid().unwrap(),
+            vec![1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0]
+        );
+    }
+
+    #[test]
+    fn oid_multibyte_arc() {
+        // 1.3.6.1.4.1.2636 (Juniper's enterprise arc) — 2636 needs two bytes.
+        let encoded = oid(&[1, 3, 6, 1, 4, 1, 2636]).unwrap();
+        let mut reader = Reader::new(&encoded);
+        assert_eq!(reader.read_oid().unwrap(), vec![1, 3, 6, 1, 4, 1, 2636]);
+    }
+
+    #[test]
+    fn invalid_oid_prefixes_are_rejected() {
+        assert!(oid(&[1]).is_err());
+        assert!(oid(&[3, 1]).is_err());
+        assert!(oid(&[1, 40]).is_err());
+    }
+
+    #[test]
+    fn nested_sequences() {
+        let inner = [integer(1), octet_string(b"x")].concat();
+        let outer = sequence(&sequence(&inner));
+        let mut reader = Reader::new(&outer);
+        let mut outer_reader = reader.read_sequence().unwrap();
+        let mut inner_reader = outer_reader.read_sequence().unwrap();
+        assert_eq!(inner_reader.read_integer().unwrap(), 1);
+        assert_eq!(inner_reader.read_octet_string().unwrap(), b"x");
+        assert!(inner_reader.is_empty());
+        assert!(outer_reader.is_empty());
+        assert!(reader.is_empty());
+    }
+
+    #[test]
+    fn wrong_tag_is_malformed() {
+        let encoded = null();
+        let mut reader = Reader::new(&encoded);
+        assert_eq!(reader.read_integer(), Err(Error::Malformed));
+    }
+
+    #[test]
+    fn truncated_tlv_is_detected() {
+        let mut good = octet_string(&[1, 2, 3, 4]);
+        good.truncate(4);
+        let mut reader = Reader::new(&good);
+        assert_eq!(reader.read_tlv(), Err(Error::Truncated));
+    }
+
+    proptest! {
+        #[test]
+        fn integer_roundtrip(value in any::<i64>()) {
+            let encoded = integer(value);
+            let mut reader = Reader::new(&encoded);
+            prop_assert_eq!(reader.read_integer().unwrap(), value);
+            prop_assert!(reader.is_empty());
+        }
+
+        #[test]
+        fn octet_string_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let encoded = octet_string(&bytes);
+            let mut reader = Reader::new(&encoded);
+            prop_assert_eq!(reader.read_octet_string().unwrap(), &bytes[..]);
+        }
+
+        #[test]
+        fn oid_roundtrip(
+            first in 0u32..3,
+            second in 0u32..40,
+            rest in proptest::collection::vec(any::<u32>(), 0..12),
+        ) {
+            let mut components = vec![first, second];
+            components.extend(rest);
+            let encoded = oid(&components).unwrap();
+            let mut reader = Reader::new(&encoded);
+            prop_assert_eq!(reader.read_oid().unwrap(), components);
+        }
+
+        #[test]
+        fn reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut reader = Reader::new(&bytes);
+            while let Ok((_tag, _content)) = reader.read_tlv() {
+                if reader.is_empty() { break; }
+            }
+        }
+    }
+}

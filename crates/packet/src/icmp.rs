@@ -1,0 +1,359 @@
+//! ICMPv4 messages.
+//!
+//! LFP sends echo requests and receives echo replies, port-unreachable
+//! errors (in response to UDP probes), and — during traceroute — TTL
+//! time-exceeded errors. The destination-unreachable encoding carries a
+//! *quotation* of the offending datagram; how much of it a router quotes is
+//! one of the fifteen LFP features (the "UDP response size", §3.4.3).
+
+use crate::checksum;
+use crate::{Error, Result};
+
+/// ICMP header length for the message kinds we handle (type, code,
+/// checksum, 4 bytes of rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message type/code pairs used by the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcmpKind {
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Destination unreachable (type 3) with code.
+    DstUnreachable(UnreachableCode),
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Time exceeded in transit (type 11, code 0).
+    TimeExceeded,
+}
+
+/// Destination-unreachable codes we distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnreachableCode {
+    /// Network unreachable (0).
+    Net,
+    /// Host unreachable (1).
+    Host,
+    /// Port unreachable (3) — the expected answer to LFP's UDP probes.
+    Port,
+    /// Communication administratively prohibited (13).
+    AdminProhibited,
+    /// Any other code, kept verbatim.
+    Other(u8),
+}
+
+impl UnreachableCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            UnreachableCode::Net => 0,
+            UnreachableCode::Host => 1,
+            UnreachableCode::Port => 3,
+            UnreachableCode::AdminProhibited => 13,
+            UnreachableCode::Other(code) => code,
+        }
+    }
+
+    fn from_u8(code: u8) -> Self {
+        match code {
+            0 => UnreachableCode::Net,
+            1 => UnreachableCode::Host,
+            3 => UnreachableCode::Port,
+            13 => UnreachableCode::AdminProhibited,
+            other => UnreachableCode::Other(other),
+        }
+    }
+}
+
+mod field {
+    use core::ops::Range;
+    pub const TYPE: usize = 0;
+    pub const CODE: usize = 1;
+    pub const CHECKSUM: Range<usize> = 2..4;
+    pub const ECHO_IDENT: Range<usize> = 4..6;
+    pub const ECHO_SEQ: Range<usize> = 6..8;
+}
+
+/// Typed view over an ICMP message buffer.
+#[derive(Debug, Clone)]
+pub struct IcmpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> IcmpPacket<T> {
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        IcmpPacket { buffer }
+    }
+
+    /// Wrap, checking length and checksum.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = IcmpPacket { buffer };
+        let data = packet.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if !checksum::verify(data) {
+            return Err(Error::Checksum);
+        }
+        Ok(packet)
+    }
+
+    /// Message type byte.
+    pub fn msg_type(&self) -> u8 {
+        self.buffer.as_ref()[field::TYPE]
+    }
+
+    /// Message code byte.
+    pub fn msg_code(&self) -> u8 {
+        self.buffer.as_ref()[field::CODE]
+    }
+
+    /// Typed kind, if recognised.
+    pub fn kind(&self) -> Result<IcmpKind> {
+        match (self.msg_type(), self.msg_code()) {
+            (0, 0) => Ok(IcmpKind::EchoReply),
+            (3, code) => Ok(IcmpKind::DstUnreachable(UnreachableCode::from_u8(code))),
+            (8, 0) => Ok(IcmpKind::EchoRequest),
+            (11, 0) => Ok(IcmpKind::TimeExceeded),
+            _ => Err(Error::Unsupported),
+        }
+    }
+
+    /// Echo identifier (valid for echo request/reply).
+    pub fn echo_ident(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::ECHO_IDENT].try_into().unwrap())
+    }
+
+    /// Echo sequence number (valid for echo request/reply).
+    pub fn echo_seq(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::ECHO_SEQ].try_into().unwrap())
+    }
+
+    /// Bytes after the 8-byte header: echo payload, or the quoted datagram
+    /// for error messages.
+    pub fn body(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Whole message length in bytes.
+    pub fn len(&self) -> usize {
+        self.buffer.as_ref().len()
+    }
+
+    /// True if the buffer is empty (never for a checked packet).
+    pub fn is_empty(&self) -> bool {
+        self.buffer.as_ref().is_empty()
+    }
+}
+
+/// Owned representation of the ICMP messages LFP sends and receives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpRepr {
+    /// Echo request with identifier, sequence number and payload.
+    EchoRequest {
+        /// Echo identifier (we use it to demultiplex probe responses).
+        ident: u16,
+        /// Sequence number within the probe trio.
+        seq: u16,
+        /// Ping payload bytes.
+        payload: Vec<u8>,
+    },
+    /// Echo reply mirroring the request.
+    EchoReply {
+        /// Echo identifier copied from the request.
+        ident: u16,
+        /// Sequence number copied from the request.
+        seq: u16,
+        /// Payload copied from the request.
+        payload: Vec<u8>,
+    },
+    /// Destination unreachable carrying a quotation of the original
+    /// datagram (IP header + leading payload bytes).
+    DstUnreachable {
+        /// Unreachable code.
+        code: UnreachableCode,
+        /// Quoted bytes of the offending datagram.
+        quote: Vec<u8>,
+    },
+    /// TTL exceeded in transit, quoting the offending datagram.
+    TimeExceeded {
+        /// Quoted bytes of the offending datagram.
+        quote: Vec<u8>,
+    },
+}
+
+impl IcmpRepr {
+    /// Parse a checked packet into a representation.
+    pub fn parse<T: AsRef<[u8]>>(packet: &IcmpPacket<T>) -> Result<Self> {
+        match packet.kind()? {
+            IcmpKind::EchoRequest => Ok(IcmpRepr::EchoRequest {
+                ident: packet.echo_ident(),
+                seq: packet.echo_seq(),
+                payload: packet.body().to_vec(),
+            }),
+            IcmpKind::EchoReply => Ok(IcmpRepr::EchoReply {
+                ident: packet.echo_ident(),
+                seq: packet.echo_seq(),
+                payload: packet.body().to_vec(),
+            }),
+            IcmpKind::DstUnreachable(code) => Ok(IcmpRepr::DstUnreachable {
+                code,
+                quote: packet.body().to_vec(),
+            }),
+            IcmpKind::TimeExceeded => Ok(IcmpRepr::TimeExceeded {
+                quote: packet.body().to_vec(),
+            }),
+        }
+    }
+
+    /// On-wire length of this message.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN
+            + match self {
+                IcmpRepr::EchoRequest { payload, .. } | IcmpRepr::EchoReply { payload, .. } => {
+                    payload.len()
+                }
+                IcmpRepr::DstUnreachable { quote, .. } | IcmpRepr::TimeExceeded { quote } => {
+                    quote.len()
+                }
+            }
+    }
+
+    /// Serialise to owned bytes, computing the checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.buffer_len()];
+        {
+            let data = &mut buf[..];
+            match self {
+                IcmpRepr::EchoRequest { ident, seq, payload } => {
+                    data[field::TYPE] = 8;
+                    data[field::CODE] = 0;
+                    data[field::ECHO_IDENT].copy_from_slice(&ident.to_be_bytes());
+                    data[field::ECHO_SEQ].copy_from_slice(&seq.to_be_bytes());
+                    data[HEADER_LEN..].copy_from_slice(payload);
+                }
+                IcmpRepr::EchoReply { ident, seq, payload } => {
+                    data[field::TYPE] = 0;
+                    data[field::CODE] = 0;
+                    data[field::ECHO_IDENT].copy_from_slice(&ident.to_be_bytes());
+                    data[field::ECHO_SEQ].copy_from_slice(&seq.to_be_bytes());
+                    data[HEADER_LEN..].copy_from_slice(payload);
+                }
+                IcmpRepr::DstUnreachable { code, quote } => {
+                    data[field::TYPE] = 3;
+                    data[field::CODE] = code.to_u8();
+                    data[HEADER_LEN..].copy_from_slice(quote);
+                }
+                IcmpRepr::TimeExceeded { quote } => {
+                    data[field::TYPE] = 11;
+                    data[field::CODE] = 0;
+                    data[HEADER_LEN..].copy_from_slice(quote);
+                }
+            }
+        }
+        let ck = checksum::checksum(&buf);
+        buf[field::CHECKSUM].copy_from_slice(&ck.to_be_bytes());
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let repr = IcmpRepr::EchoRequest {
+            ident: 0x4c46, // "LF"
+            seq: 2,
+            payload: vec![0x50; 56],
+        };
+        let bytes = repr.to_bytes();
+        assert_eq!(bytes.len(), 64);
+        let parsed = IcmpRepr::parse(&IcmpPacket::new_checked(&bytes[..]).unwrap()).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn port_unreachable_roundtrip_preserves_quote() {
+        let quote = vec![0x45u8; 28];
+        let repr = IcmpRepr::DstUnreachable {
+            code: UnreachableCode::Port,
+            quote: quote.clone(),
+        };
+        let bytes = repr.to_bytes();
+        // 8-byte ICMP header + 28-byte quote = 36 bytes at the ICMP layer;
+        // with a 20-byte IP header this is the paper's 56-byte UDP response.
+        assert_eq!(bytes.len(), 36);
+        match IcmpRepr::parse(&IcmpPacket::new_checked(&bytes[..]).unwrap()).unwrap() {
+            IcmpRepr::DstUnreachable { code, quote: q } => {
+                assert_eq!(code, UnreachableCode::Port);
+                assert_eq!(q, quote);
+            }
+            other => panic!("wrong repr: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_exceeded_roundtrip() {
+        let repr = IcmpRepr::TimeExceeded {
+            quote: vec![1, 2, 3, 4],
+        };
+        let bytes = repr.to_bytes();
+        let parsed = IcmpRepr::parse(&IcmpPacket::new_checked(&bytes[..]).unwrap()).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let mut bytes = IcmpRepr::EchoReply {
+            ident: 1,
+            seq: 1,
+            payload: vec![],
+        }
+        .to_bytes();
+        bytes[5] ^= 0xff;
+        assert!(matches!(
+            IcmpPacket::new_checked(&bytes[..]),
+            Err(Error::Checksum)
+        ));
+    }
+
+    #[test]
+    fn unknown_type_is_unsupported() {
+        let mut bytes = vec![42u8, 0, 0, 0, 0, 0, 0, 0];
+        let ck = checksum::checksum(&bytes);
+        bytes[2..4].copy_from_slice(&ck.to_be_bytes());
+        let packet = IcmpPacket::new_checked(&bytes[..]).unwrap();
+        assert_eq!(packet.kind(), Err(Error::Unsupported));
+    }
+
+    #[test]
+    fn unreachable_code_conversion_is_inverse() {
+        for code in 0u8..=255 {
+            assert_eq!(UnreachableCode::from_u8(code).to_u8(), code);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn echo_roundtrip_arbitrary(
+            ident in any::<u16>(),
+            seq in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let repr = IcmpRepr::EchoReply { ident, seq, payload };
+            let bytes = repr.to_bytes();
+            let parsed =
+                IcmpRepr::parse(&IcmpPacket::new_checked(&bytes[..]).unwrap()).unwrap();
+            prop_assert_eq!(parsed, repr);
+        }
+
+        #[test]
+        fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+            if let Ok(packet) = IcmpPacket::new_checked(&bytes[..]) {
+                let _ = IcmpRepr::parse(&packet);
+            }
+        }
+    }
+}

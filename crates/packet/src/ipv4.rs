@@ -1,0 +1,427 @@
+//! IPv4 header view and representation.
+//!
+//! The IPv4 header carries three of the four LFP feature groups: the
+//! 16-bit identification field (IPID), the time-to-live, and the total
+//! length that determines response sizes. We implement the full 20-byte
+//! option-less header; IP options are rejected as [`Error::Unsupported`]
+//! because no router in the study emits them in probe responses and
+//! accepting them silently would skew the response-size feature.
+
+use crate::checksum;
+use crate::{Error, Result};
+use core::fmt;
+use std::net::Ipv4Addr;
+
+/// Length of the option-less IPv4 header.
+pub const HEADER_LEN: usize = 20;
+
+/// IP protocol numbers relevant to the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Protocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, kept verbatim.
+    Other(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(value: u8) -> Self {
+        match value {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(value: Protocol) -> Self {
+        match value {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(other) => other,
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Icmp => write!(f, "ICMP"),
+            Protocol::Tcp => write!(f, "TCP"),
+            Protocol::Udp => write!(f, "UDP"),
+            Protocol::Other(n) => write!(f, "proto-{n}"),
+        }
+    }
+}
+
+mod field {
+    use core::ops::Range;
+    pub const VER_IHL: usize = 0;
+    pub const DSCP_ECN: usize = 1;
+    pub const LENGTH: Range<usize> = 2..4;
+    pub const IDENT: Range<usize> = 4..6;
+    pub const FLAGS_FRAG: Range<usize> = 6..8;
+    pub const TTL: usize = 8;
+    pub const PROTOCOL: usize = 9;
+    pub const CHECKSUM: Range<usize> = 10..12;
+    pub const SRC: Range<usize> = 12..16;
+    pub const DST: Range<usize> = 16..20;
+}
+
+/// A typed view over a buffer containing an IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer without validation. Accessors may panic on short
+    /// buffers; use [`Ipv4Packet::new_checked`] for untrusted input.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv4Packet { buffer }
+    }
+
+    /// Wrap and validate: length, version, IHL, and header checksum.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = Ipv4Packet { buffer };
+        packet.check()?;
+        Ok(packet)
+    }
+
+    fn check(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if data[field::VER_IHL] >> 4 != 4 {
+            return Err(Error::Malformed);
+        }
+        let ihl = usize::from(data[field::VER_IHL] & 0x0f) * 4;
+        if ihl != HEADER_LEN {
+            // Options present (or IHL < 20, which is invalid).
+            return if ihl < HEADER_LEN {
+                Err(Error::Malformed)
+            } else {
+                Err(Error::Unsupported)
+            };
+        }
+        let total = self.total_len() as usize;
+        if total < HEADER_LEN || data.len() < total {
+            return Err(Error::Truncated);
+        }
+        if !checksum::verify(&data[..HEADER_LEN]) {
+            return Err(Error::Checksum);
+        }
+        Ok(())
+    }
+
+    /// Release the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Total length field (header + payload).
+    pub fn total_len(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::LENGTH].try_into().unwrap())
+    }
+
+    /// Identification field — the IPID that LFP's counter features observe.
+    pub fn ident(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::IDENT].try_into().unwrap())
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buffer.as_ref()[field::FLAGS_FRAG.start] & 0x40 != 0
+    }
+
+    /// More-fragments flag.
+    pub fn more_frags(&self) -> bool {
+        self.buffer.as_ref()[field::FLAGS_FRAG.start] & 0x20 != 0
+    }
+
+    /// Time to live as received.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[field::TTL]
+    }
+
+    /// Payload protocol.
+    pub fn protocol(&self) -> Protocol {
+        Protocol::from(self.buffer.as_ref()[field::PROTOCOL])
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::CHECKSUM].try_into().unwrap())
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        let b = &self.buffer.as_ref()[field::SRC];
+        Ipv4Addr::new(b[0], b[1], b[2], b[3])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        let b = &self.buffer.as_ref()[field::DST];
+        Ipv4Addr::new(b[0], b[1], b[2], b[3])
+    }
+
+    /// The transport payload, bounded by `total_len`.
+    pub fn payload(&self) -> &[u8] {
+        let total = (self.total_len() as usize).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[HEADER_LEN..total]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Set the total length field.
+    pub fn set_total_len(&mut self, value: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set the identification (IPID) field.
+    pub fn set_ident(&mut self, value: u16) {
+        self.buffer.as_mut()[field::IDENT].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set or clear the don't-fragment flag.
+    pub fn set_dont_frag(&mut self, value: bool) {
+        let b = &mut self.buffer.as_mut()[field::FLAGS_FRAG.start];
+        if value {
+            *b |= 0x40;
+        } else {
+            *b &= !0x40;
+        }
+    }
+
+    /// Set the TTL.
+    pub fn set_ttl(&mut self, value: u8) {
+        self.buffer.as_mut()[field::TTL] = value;
+    }
+
+    /// Set the protocol field.
+    pub fn set_protocol(&mut self, value: Protocol) {
+        self.buffer.as_mut()[field::PROTOCOL] = value.into();
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, value: Ipv4Addr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&value.octets());
+    }
+
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, value: Ipv4Addr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&value.octets());
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let ck = checksum::checksum(&self.buffer.as_ref()[..HEADER_LEN]);
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable access to the transport payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// Owned, validated summary of an IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol.
+    pub protocol: Protocol,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification (IPID).
+    pub ident: u16,
+    /// Don't-fragment flag.
+    pub dont_frag: bool,
+    /// Transport payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl Ipv4Repr {
+    /// Parse from a checked packet view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Ipv4Packet<T>) -> Result<Self> {
+        if packet.more_frags() {
+            return Err(Error::Unsupported);
+        }
+        Ok(Ipv4Repr {
+            src: packet.src_addr(),
+            dst: packet.dst_addr(),
+            protocol: packet.protocol(),
+            ttl: packet.ttl(),
+            ident: packet.ident(),
+            dont_frag: packet.dont_frag(),
+            payload_len: packet.payload().len(),
+        })
+    }
+
+    /// Header bytes required to emit this representation.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Total on-wire length (header plus payload).
+    pub fn total_len(&self) -> usize {
+        HEADER_LEN + self.payload_len
+    }
+
+    /// Emit into a packet view whose buffer holds at least
+    /// `self.total_len()` bytes. Fills the checksum.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Ipv4Packet<T>) {
+        let data = packet.buffer.as_mut();
+        data[field::VER_IHL] = 0x45;
+        data[field::DSCP_ECN] = 0;
+        data[field::FLAGS_FRAG].copy_from_slice(&[0, 0]);
+        packet.set_total_len((HEADER_LEN + self.payload_len) as u16);
+        packet.set_ident(self.ident);
+        packet.set_dont_frag(self.dont_frag);
+        packet.set_ttl(self.ttl);
+        packet.set_protocol(self.protocol);
+        packet.set_src_addr(self.src);
+        packet.set_dst_addr(self.dst);
+        packet.fill_checksum();
+    }
+}
+
+/// Convenience: build a complete IPv4 datagram around a transport payload.
+pub fn build_datagram(repr: &Ipv4Repr, payload: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(repr.payload_len, payload.len());
+    let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+    buf[HEADER_LEN..].copy_from_slice(payload);
+    let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
+    repr.emit(&mut packet);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_repr() -> Ipv4Repr {
+        Ipv4Repr {
+            src: Ipv4Addr::new(203, 0, 113, 9),
+            dst: Ipv4Addr::new(192, 0, 2, 33),
+            protocol: Protocol::Udp,
+            ttl: 64,
+            ident: 0xbeef,
+            dont_frag: false,
+            payload_len: 12,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let repr = sample_repr();
+        let bytes = build_datagram(&repr, &[0u8; 12]);
+        let packet = Ipv4Packet::new_checked(&bytes[..]).unwrap();
+        assert_eq!(Ipv4Repr::parse(&packet).unwrap(), repr);
+        assert_eq!(packet.total_len(), 32);
+    }
+
+    #[test]
+    fn checksum_is_validated() {
+        let repr = sample_repr();
+        let mut bytes = build_datagram(&repr, &[0u8; 12]);
+        bytes[8] = bytes[8].wrapping_add(1); // corrupt TTL without re-checksumming
+        assert_eq!(Ipv4Packet::new_checked(&bytes[..]), Err(Error::Checksum));
+    }
+
+    #[test]
+    fn version_and_ihl_are_validated() {
+        let repr = sample_repr();
+        let good = build_datagram(&repr, &[0u8; 12]);
+
+        let mut bad_version = good.clone();
+        bad_version[0] = 0x65;
+        assert_eq!(
+            Ipv4Packet::new_checked(&bad_version[..]),
+            Err(Error::Malformed)
+        );
+
+        let mut with_options = good.clone();
+        with_options[0] = 0x46; // IHL = 24: options present
+        assert_eq!(
+            Ipv4Packet::new_checked(&with_options[..]),
+            Err(Error::Unsupported)
+        );
+    }
+
+    #[test]
+    fn short_buffer_is_truncated() {
+        assert_eq!(
+            Ipv4Packet::new_checked(&[0x45u8; 10][..]),
+            Err(Error::Truncated)
+        );
+    }
+
+    #[test]
+    fn total_len_longer_than_buffer_is_truncated() {
+        let repr = Ipv4Repr {
+            payload_len: 100,
+            ..sample_repr()
+        };
+        let mut buf = vec![0u8; HEADER_LEN]; // no room for payload
+        let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut packet);
+        assert_eq!(Ipv4Packet::new_checked(&buf[..]), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn protocol_conversions_are_inverse() {
+        for value in 0u8..=255 {
+            assert_eq!(u8::from(Protocol::from(value)), value);
+        }
+    }
+
+    #[test]
+    fn payload_respects_total_len_not_buffer_len() {
+        let repr = sample_repr();
+        let mut bytes = build_datagram(&repr, &[0xaa; 12]);
+        bytes.extend_from_slice(&[0xbb; 8]); // trailing garbage beyond total_len
+        let packet = Ipv4Packet::new_checked(&bytes[..]).unwrap();
+        assert_eq!(packet.payload(), &[0xaa; 12]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_headers(
+            src in any::<u32>(),
+            dst in any::<u32>(),
+            proto in any::<u8>(),
+            ttl in any::<u8>(),
+            ident in any::<u16>(),
+            df in any::<bool>(),
+            payload_len in 0usize..64,
+        ) {
+            let repr = Ipv4Repr {
+                src: Ipv4Addr::from(src),
+                dst: Ipv4Addr::from(dst),
+                protocol: Protocol::from(proto),
+                ttl,
+                ident,
+                dont_frag: df,
+                payload_len,
+            };
+            let bytes = build_datagram(&repr, &vec![0u8; payload_len]);
+            let packet = Ipv4Packet::new_checked(&bytes[..]).unwrap();
+            prop_assert_eq!(Ipv4Repr::parse(&packet).unwrap(), repr);
+        }
+    }
+}

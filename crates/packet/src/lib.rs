@@ -1,0 +1,100 @@
+//! # lfp-packet — wire formats for router fingerprinting
+//!
+//! Zero-copy packet views and owned representations for the protocols the
+//! LFP measurement methodology touches on the wire:
+//!
+//! * [`ipv4`] — IPv4 header (the layer carrying the IPID and TTL features),
+//! * [`icmp`] — ICMP echo, destination-unreachable and time-exceeded,
+//! * [`tcp`] — TCP segments including the option kinds fingerprinters read,
+//! * [`udp`] — UDP datagrams,
+//! * [`ber`] — a minimal BER (ASN.1 basic encoding rules) reader/writer,
+//! * [`snmp`] — SNMPv3/USM messages and the engine-ID vendor codec.
+//!
+//! The design follows the two-level idiom of event-driven network stacks
+//! such as smoltcp: a *packet view* (`XxxPacket<T>`) wraps a byte buffer and
+//! exposes typed accessors over it without copying, while a *representation*
+//! (`XxxRepr`) is an owned, validated summary that can be parsed from a view
+//! or emitted into one. All emission routines compute correct checksums and
+//! all parsers validate lengths and checksums, returning [`Error`] instead
+//! of panicking on untrusted input.
+//!
+//! ```
+//! use lfp_packet::ipv4::{Ipv4Packet, Ipv4Repr, Protocol};
+//! use std::net::Ipv4Addr;
+//!
+//! let repr = Ipv4Repr {
+//!     src: Ipv4Addr::new(192, 0, 2, 1),
+//!     dst: Ipv4Addr::new(198, 51, 100, 7),
+//!     protocol: Protocol::Icmp,
+//!     ttl: 255,
+//!     ident: 0x1234,
+//!     dont_frag: true,
+//!     payload_len: 8,
+//! };
+//! let mut buf = vec![0u8; repr.buffer_len() + 8];
+//! let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
+//! repr.emit(&mut packet);
+//! let parsed = Ipv4Repr::parse(&Ipv4Packet::new_checked(&buf[..]).unwrap()).unwrap();
+//! assert_eq!(parsed.ident, 0x1234);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ber;
+pub mod checksum;
+pub mod icmp;
+pub mod ipv4;
+pub mod snmp;
+pub mod tcp;
+pub mod udp;
+
+use core::fmt;
+
+/// Errors produced while parsing or emitting packets.
+///
+/// Parsers are total: any byte sequence either parses or yields one of these
+/// variants; they never panic. This matters for the simulator, where probe
+/// responses are parsed exactly as an Internet-facing tool would parse them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Error {
+    /// The buffer is too short to contain the claimed structure.
+    Truncated,
+    /// A field value violates the protocol (bad version, reserved bits, ...).
+    Malformed,
+    /// A checksum failed verification.
+    Checksum,
+    /// The structure is valid but uses a feature we do not implement.
+    Unsupported,
+    /// An emit target buffer is too small for the representation.
+    Exhausted,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated => write!(f, "truncated packet"),
+            Error::Malformed => write!(f, "malformed packet"),
+            Error::Checksum => write!(f, "checksum failure"),
+            Error::Unsupported => write!(f, "unsupported feature"),
+            Error::Exhausted => write!(f, "buffer exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(Error::Truncated.to_string(), "truncated packet");
+        assert_eq!(Error::Checksum.to_string(), "checksum failure");
+        assert_eq!(Error::Exhausted.to_string(), "buffer exhausted");
+    }
+}

@@ -1,0 +1,532 @@
+//! SNMPv3 messages and the engine-ID vendor codec.
+//!
+//! The labelling half of the LFP methodology sends a single unauthenticated
+//! SNMPv3 *engine discovery* request (RFC 3414 §4): a `get-request` with an
+//! empty authoritative engine ID. A conforming agent answers with a
+//! `report` PDU carrying `usmStatsUnknownEngineIDs` — and, crucially, its
+//! `msgAuthoritativeEngineID`, whose first four bytes encode the vendor's
+//! IANA Private Enterprise Number (RFC 3411 §5). That PEN is the
+//! ground-truth vendor label.
+//!
+//! This module implements the full message grammar on the wire (BER), both
+//! directions, so the simulator's agents and the prober speak real SNMPv3.
+
+use crate::ber::{self, Reader};
+use crate::{Error, Result};
+
+/// Context-specific constructed tag for get-request PDUs.
+pub const TAG_GET_REQUEST: u8 = 0xa0;
+/// Context-specific constructed tag for get-response PDUs.
+pub const TAG_RESPONSE: u8 = 0xa2;
+/// Context-specific constructed tag for report PDUs.
+pub const TAG_REPORT: u8 = 0xa8;
+/// Application tag for Counter32 values.
+pub const TAG_COUNTER32: u8 = 0x41;
+/// Application tag for TimeTicks values.
+pub const TAG_TIMETICKS: u8 = 0x43;
+
+/// `usmStatsUnknownEngineIDs.0` — the OID reported during discovery.
+pub const USM_STATS_UNKNOWN_ENGINE_IDS: [u32; 11] = [1, 3, 6, 1, 6, 3, 15, 1, 1, 4, 0];
+/// `sysUpTime.0`, present in some agents' responses.
+pub const SYS_UPTIME: [u32; 9] = [1, 3, 6, 1, 2, 1, 1, 3, 0];
+
+/// An SNMPv3 authoritative engine identifier (RFC 3411 SnmpEngineID).
+///
+/// Layout: 4 bytes of enterprise number with the MSB set, a format octet,
+/// then format-specific data (we generate format 4, "administratively
+/// assigned text", and parse any format).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct EngineId {
+    /// IANA Private Enterprise Number of the implementer.
+    pub pen: u32,
+    /// Format octet (1 = IPv4, 3 = MAC, 4 = text, 5 = octets, ≥128 = vendor).
+    pub format: u8,
+    /// Format-specific payload.
+    pub data: Vec<u8>,
+}
+
+impl EngineId {
+    /// Build a text-format engine ID, the most common shape in the wild.
+    pub fn text(pen: u32, text: &str) -> Self {
+        EngineId {
+            pen,
+            format: 4,
+            data: text.as_bytes().to_vec(),
+        }
+    }
+
+    /// Serialise to the on-wire octet form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.data.len());
+        out.extend_from_slice(&(self.pen | 0x8000_0000).to_be_bytes());
+        out.push(self.format);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parse the on-wire octet form. Engine IDs shorter than five octets or
+    /// without the RFC 3411 MSB are rejected — the paper's technique relies
+    /// on this structure to recover the vendor.
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 5 {
+            return Err(Error::Truncated);
+        }
+        let word = u32::from_be_bytes(bytes[0..4].try_into().unwrap());
+        if word & 0x8000_0000 == 0 {
+            return Err(Error::Unsupported); // pre-RFC3411 format
+        }
+        Ok(EngineId {
+            pen: word & 0x7fff_ffff,
+            format: bytes[4],
+            data: bytes[5..].to_vec(),
+        })
+    }
+}
+
+/// USM security parameters (RFC 3414 §2.4), carried inside an OCTET STRING.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UsmSecurityParams {
+    /// Authoritative engine ID octets (empty during discovery).
+    pub engine_id: Vec<u8>,
+    /// snmpEngineBoots.
+    pub engine_boots: u32,
+    /// snmpEngineTime (seconds since last boot).
+    pub engine_time: u32,
+    /// Security user name (empty during discovery).
+    pub user_name: Vec<u8>,
+    /// Authentication parameters (empty: noAuthNoPriv).
+    pub auth_params: Vec<u8>,
+    /// Privacy parameters (empty: noAuthNoPriv).
+    pub priv_params: Vec<u8>,
+}
+
+impl UsmSecurityParams {
+    fn to_ber(&self) -> Vec<u8> {
+        let content = [
+            ber::octet_string(&self.engine_id),
+            ber::integer(i64::from(self.engine_boots)),
+            ber::integer(i64::from(self.engine_time)),
+            ber::octet_string(&self.user_name),
+            ber::octet_string(&self.auth_params),
+            ber::octet_string(&self.priv_params),
+        ]
+        .concat();
+        ber::sequence(&content)
+    }
+
+    fn parse(data: &[u8]) -> Result<Self> {
+        let mut outer = Reader::new(data);
+        let mut seq = outer.read_sequence()?;
+        let params = UsmSecurityParams {
+            engine_id: seq.read_octet_string()?.to_vec(),
+            engine_boots: u32::try_from(seq.read_integer()?).map_err(|_| Error::Malformed)?,
+            engine_time: u32::try_from(seq.read_integer()?).map_err(|_| Error::Malformed)?,
+            user_name: seq.read_octet_string()?.to_vec(),
+            auth_params: seq.read_octet_string()?.to_vec(),
+            priv_params: seq.read_octet_string()?.to_vec(),
+        };
+        Ok(params)
+    }
+}
+
+/// A variable-binding value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// ASN.1 NULL (used in requests).
+    Null,
+    /// INTEGER.
+    Integer(i64),
+    /// OCTET STRING.
+    OctetString(Vec<u8>),
+    /// Counter32 (application tag 1).
+    Counter32(u32),
+    /// TimeTicks (application tag 3).
+    TimeTicks(u32),
+}
+
+impl Value {
+    fn to_ber(&self) -> Vec<u8> {
+        match self {
+            Value::Null => ber::null(),
+            Value::Integer(v) => ber::integer(*v),
+            Value::OctetString(bytes) => ber::octet_string(bytes),
+            Value::Counter32(v) => retag(ber::integer(i64::from(*v)), TAG_COUNTER32),
+            Value::TimeTicks(v) => retag(ber::integer(i64::from(*v)), TAG_TIMETICKS),
+        }
+    }
+}
+
+fn retag(mut tlv: Vec<u8>, tag: u8) -> Vec<u8> {
+    tlv[0] = tag;
+    tlv
+}
+
+/// PDU kinds the discovery exchange uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PduKind {
+    /// get-request (0xa0).
+    GetRequest,
+    /// get-response (0xa2).
+    Response,
+    /// report (0xa8).
+    Report,
+}
+
+impl PduKind {
+    fn tag(self) -> u8 {
+        match self {
+            PduKind::GetRequest => TAG_GET_REQUEST,
+            PduKind::Response => TAG_RESPONSE,
+            PduKind::Report => TAG_REPORT,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self> {
+        match tag {
+            TAG_GET_REQUEST => Ok(PduKind::GetRequest),
+            TAG_RESPONSE => Ok(PduKind::Response),
+            TAG_REPORT => Ok(PduKind::Report),
+            _ => Err(Error::Unsupported),
+        }
+    }
+}
+
+/// An SNMP PDU (request-id, error fields, variable bindings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pdu {
+    /// PDU kind.
+    pub kind: PduKind,
+    /// request-id, echoed by the agent.
+    pub request_id: i32,
+    /// error-status.
+    pub error_status: i32,
+    /// error-index.
+    pub error_index: i32,
+    /// Variable bindings: (OID, value) pairs.
+    pub bindings: Vec<(Vec<u32>, Value)>,
+}
+
+impl Pdu {
+    fn to_ber(&self) -> Result<Vec<u8>> {
+        let mut bindings = Vec::new();
+        for (oid, value) in &self.bindings {
+            let pair = [ber::oid(oid)?, value.to_ber()].concat();
+            bindings.extend_from_slice(&ber::sequence(&pair));
+        }
+        let content = [
+            ber::integer(i64::from(self.request_id)),
+            ber::integer(i64::from(self.error_status)),
+            ber::integer(i64::from(self.error_index)),
+            ber::sequence(&bindings),
+        ]
+        .concat();
+        Ok(ber::tlv(self.kind.tag(), &content))
+    }
+
+    fn parse(tag: u8, content: &[u8]) -> Result<Self> {
+        let kind = PduKind::from_tag(tag)?;
+        let mut reader = Reader::new(content);
+        let request_id = i32::try_from(reader.read_integer()?).map_err(|_| Error::Malformed)?;
+        let error_status = i32::try_from(reader.read_integer()?).map_err(|_| Error::Malformed)?;
+        let error_index = i32::try_from(reader.read_integer()?).map_err(|_| Error::Malformed)?;
+        let mut bindings_reader = reader.read_sequence()?;
+        let mut bindings = Vec::new();
+        while !bindings_reader.is_empty() {
+            let mut pair = bindings_reader.read_sequence()?;
+            let oid = pair.read_oid()?;
+            let (vtag, vcontent) = pair.read_tlv()?;
+            let value = match vtag {
+                ber::TAG_NULL => Value::Null,
+                ber::TAG_INTEGER => Value::Integer(ber::decode_integer(vcontent)?),
+                ber::TAG_OCTET_STRING => Value::OctetString(vcontent.to_vec()),
+                TAG_COUNTER32 => Value::Counter32(
+                    u32::try_from(ber::decode_integer(vcontent)?).map_err(|_| Error::Malformed)?,
+                ),
+                TAG_TIMETICKS => Value::TimeTicks(
+                    u32::try_from(ber::decode_integer(vcontent)?).map_err(|_| Error::Malformed)?,
+                ),
+                _ => return Err(Error::Unsupported),
+            };
+            bindings.push((oid, value));
+        }
+        Ok(Pdu {
+            kind,
+            request_id,
+            error_status,
+            error_index,
+            bindings,
+        })
+    }
+}
+
+/// A complete SNMPv3 message (RFC 3412 §6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnmpV3Message {
+    /// msgID, used to correlate requests and responses.
+    pub msg_id: i32,
+    /// msgMaxSize we advertise.
+    pub max_size: i32,
+    /// msgFlags octet (0x04 = reportable, no auth, no priv).
+    pub flags: u8,
+    /// USM security parameters.
+    pub usm: UsmSecurityParams,
+    /// contextEngineID of the scoped PDU.
+    pub context_engine_id: Vec<u8>,
+    /// contextName of the scoped PDU.
+    pub context_name: Vec<u8>,
+    /// The PDU itself.
+    pub pdu: Pdu,
+}
+
+/// msgFlags: reportable, noAuthNoPriv.
+pub const FLAG_REPORTABLE: u8 = 0x04;
+/// msgSecurityModel: User-based Security Model.
+pub const SECURITY_MODEL_USM: i64 = 3;
+
+impl SnmpV3Message {
+    /// Serialise the whole message to BER.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let global_data = ber::sequence(
+            &[
+                ber::integer(i64::from(self.msg_id)),
+                ber::integer(i64::from(self.max_size)),
+                ber::octet_string(&[self.flags]),
+                ber::integer(SECURITY_MODEL_USM),
+            ]
+            .concat(),
+        );
+        let scoped_pdu = ber::sequence(
+            &[
+                ber::octet_string(&self.context_engine_id),
+                ber::octet_string(&self.context_name),
+                self.pdu.to_ber()?,
+            ]
+            .concat(),
+        );
+        let content = [
+            ber::integer(3), // msgVersion = SNMPv3
+            global_data,
+            ber::octet_string(&self.usm.to_ber()),
+            scoped_pdu,
+        ]
+        .concat();
+        Ok(ber::sequence(&content))
+    }
+
+    /// Parse a BER-encoded SNMPv3 message.
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        let mut outer = Reader::new(bytes);
+        let mut msg = outer.read_sequence()?;
+        if msg.read_integer()? != 3 {
+            return Err(Error::Unsupported);
+        }
+        let mut global = msg.read_sequence()?;
+        let msg_id = i32::try_from(global.read_integer()?).map_err(|_| Error::Malformed)?;
+        let max_size = i32::try_from(global.read_integer()?).map_err(|_| Error::Malformed)?;
+        let flags_str = global.read_octet_string()?;
+        let flags = *flags_str.first().ok_or(Error::Malformed)?;
+        if global.read_integer()? != SECURITY_MODEL_USM {
+            return Err(Error::Unsupported);
+        }
+        let usm = UsmSecurityParams::parse(msg.read_octet_string()?)?;
+        let mut scoped = msg.read_sequence()?;
+        let context_engine_id = scoped.read_octet_string()?.to_vec();
+        let context_name = scoped.read_octet_string()?.to_vec();
+        let (pdu_tag, pdu_content) = scoped.read_tlv()?;
+        let pdu = Pdu::parse(pdu_tag, pdu_content)?;
+        Ok(SnmpV3Message {
+            msg_id,
+            max_size,
+            flags,
+            usm,
+            context_engine_id,
+            context_name,
+            pdu,
+        })
+    }
+
+    /// Build the unauthenticated engine-discovery request the LFP
+    /// methodology sends: empty engine ID, empty user, reportable flag.
+    pub fn discovery_request(msg_id: i32) -> Self {
+        SnmpV3Message {
+            msg_id,
+            max_size: 65507,
+            flags: FLAG_REPORTABLE,
+            usm: UsmSecurityParams::default(),
+            context_engine_id: Vec::new(),
+            context_name: Vec::new(),
+            pdu: Pdu {
+                kind: PduKind::GetRequest,
+                request_id: msg_id,
+                error_status: 0,
+                error_index: 0,
+                bindings: Vec::new(),
+            },
+        }
+    }
+
+    /// Build the agent's discovery report: engine ID, boots, time, and the
+    /// `usmStatsUnknownEngineIDs` counter.
+    pub fn discovery_report(
+        msg_id: i32,
+        engine_id: &EngineId,
+        engine_boots: u32,
+        engine_time: u32,
+        unknown_engine_ids: u32,
+    ) -> Self {
+        let engine_bytes = engine_id.to_bytes();
+        SnmpV3Message {
+            msg_id,
+            max_size: 65507,
+            flags: 0,
+            usm: UsmSecurityParams {
+                engine_id: engine_bytes.clone(),
+                engine_boots,
+                engine_time,
+                ..UsmSecurityParams::default()
+            },
+            context_engine_id: engine_bytes,
+            context_name: Vec::new(),
+            pdu: Pdu {
+                kind: PduKind::Report,
+                request_id: msg_id,
+                error_status: 0,
+                error_index: 0,
+                bindings: vec![(
+                    USM_STATS_UNKNOWN_ENGINE_IDS.to_vec(),
+                    Value::Counter32(unknown_engine_ids),
+                )],
+            },
+        }
+    }
+
+    /// Extract the authoritative engine ID from a report, if structurally
+    /// valid. This is what the labelling pipeline consumes.
+    pub fn authoritative_engine_id(&self) -> Result<EngineId> {
+        EngineId::parse(&self.usm.engine_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn discovery_request_roundtrip() {
+        let msg = SnmpV3Message::discovery_request(0x1357);
+        let bytes = msg.to_bytes().unwrap();
+        let parsed = SnmpV3Message::parse(&bytes).unwrap();
+        assert_eq!(parsed, msg);
+        assert!(parsed.usm.engine_id.is_empty());
+        assert_eq!(parsed.flags & FLAG_REPORTABLE, FLAG_REPORTABLE);
+        assert_eq!(parsed.pdu.kind, PduKind::GetRequest);
+    }
+
+    #[test]
+    fn discovery_exchange_recovers_pen() {
+        let engine = EngineId::text(9, "cisco-core-7");
+        let report = SnmpV3Message::discovery_report(42, &engine, 13, 86400, 1);
+        let bytes = report.to_bytes().unwrap();
+        let parsed = SnmpV3Message::parse(&bytes).unwrap();
+        assert_eq!(parsed.pdu.kind, PduKind::Report);
+        let recovered = parsed.authoritative_engine_id().unwrap();
+        assert_eq!(recovered.pen, 9);
+        assert_eq!(recovered.format, 4);
+        assert_eq!(recovered.data, b"cisco-core-7");
+        assert_eq!(parsed.usm.engine_boots, 13);
+        assert_eq!(parsed.usm.engine_time, 86400);
+        assert_eq!(
+            parsed.pdu.bindings,
+            vec![(
+                USM_STATS_UNKNOWN_ENGINE_IDS.to_vec(),
+                Value::Counter32(1)
+            )]
+        );
+    }
+
+    #[test]
+    fn engine_id_without_msb_is_rejected() {
+        // Pre-RFC3411 engine IDs (12 octets, MSB clear) exist in the wild;
+        // the parser must flag them rather than misattribute a PEN.
+        let legacy = vec![0x00, 0x00, 0x00, 0x09, 1, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(EngineId::parse(&legacy), Err(Error::Unsupported));
+    }
+
+    #[test]
+    fn short_engine_id_is_truncated() {
+        assert_eq!(EngineId::parse(&[0x80, 0, 0]), Err(Error::Truncated));
+    }
+
+    #[test]
+    fn known_vendor_pens_roundtrip() {
+        for pen in [9u32, 2636, 2011, 14988, 25506, 6527, 193, 1991, 4881, 8072] {
+            let engine = EngineId {
+                pen,
+                format: 0x80,
+                data: vec![0xde, 0xad],
+            };
+            let parsed = EngineId::parse(&engine.to_bytes()).unwrap();
+            assert_eq!(parsed, engine);
+        }
+    }
+
+    #[test]
+    fn non_v3_version_is_unsupported() {
+        // An SNMPv2c-ish message: version 1.
+        let bytes = ber::sequence(&ber::integer(1));
+        assert_eq!(SnmpV3Message::parse(&bytes), Err(Error::Unsupported));
+    }
+
+    #[test]
+    fn response_pdu_with_uptime_roundtrips() {
+        let msg = SnmpV3Message {
+            msg_id: 7,
+            max_size: 65507,
+            flags: 0,
+            usm: UsmSecurityParams::default(),
+            context_engine_id: vec![],
+            context_name: vec![],
+            pdu: Pdu {
+                kind: PduKind::Response,
+                request_id: 7,
+                error_status: 0,
+                error_index: 0,
+                bindings: vec![(SYS_UPTIME.to_vec(), Value::TimeTicks(123456))],
+            },
+        };
+        let parsed = SnmpV3Message::parse(&msg.to_bytes().unwrap()).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    proptest! {
+        #[test]
+        fn engine_id_roundtrip(
+            pen in 0u32..0x8000_0000,
+            format in any::<u8>(),
+            data in proptest::collection::vec(any::<u8>(), 0..27),
+        ) {
+            let engine = EngineId { pen, format, data };
+            prop_assert_eq!(EngineId::parse(&engine.to_bytes()).unwrap(), engine);
+        }
+
+        #[test]
+        fn report_roundtrip(
+            msg_id in any::<i32>(),
+            pen in 1u32..100_000,
+            boots in any::<u32>(),
+            time in 0u32..0x7fff_ffff,
+            counter in any::<u32>(),
+        ) {
+            let engine = EngineId::text(pen, "x");
+            let msg = SnmpV3Message::discovery_report(msg_id, &engine, boots, time, counter);
+            let parsed = SnmpV3Message::parse(&msg.to_bytes().unwrap()).unwrap();
+            prop_assert_eq!(parsed, msg);
+        }
+
+        #[test]
+        fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = SnmpV3Message::parse(&bytes);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! TCP segments.
+//!
+//! LFP sends two ACK segments and one SYN with a non-zero acknowledgment
+//! number at a closed port and observes the RST responses; whether the RST
+//! sequence number copies the probe's ACK (RFC 793 §3.4) or is zero is one
+//! of the fifteen features. The baselines (Hershel, Nmap) additionally read
+//! SYN-ACK option layouts, so the option kinds they care about — MSS,
+//! window scale, SACK-permitted and timestamps — are parsed and emitted.
+
+use crate::checksum::pseudo_header;
+use crate::{Error, Result};
+use core::fmt;
+use std::net::Ipv4Addr;
+
+/// Minimum TCP header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits (subset of the control-bits field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const NONE: TcpFlags = TcpFlags(0);
+    /// FIN.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// Raw bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Build from raw bits (reserved bits are kept).
+    pub fn from_bits(bits: u8) -> Self {
+        TcpFlags(bits)
+    }
+
+    /// True if every flag in `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if any flag in `other` is set in `self`.
+    pub fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl core::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::PSH, "PSH"),
+            (TcpFlags::URG, "URG"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const SEQ: Range<usize> = 4..8;
+    pub const ACK: Range<usize> = 8..12;
+    pub const DATA_OFF: usize = 12;
+    pub const FLAGS: usize = 13;
+    pub const WINDOW: Range<usize> = 14..16;
+    pub const CHECKSUM: Range<usize> = 16..18;
+    pub const URGENT: Range<usize> = 18..20;
+}
+
+/// Typed view over a TCP segment buffer.
+#[derive(Debug, Clone)]
+pub struct TcpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpPacket<T> {
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        TcpPacket { buffer }
+    }
+
+    /// Wrap, checking the header and data-offset bounds.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = TcpPacket { buffer };
+        let data = packet.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let header_len = packet.header_len();
+        if header_len < HEADER_LEN {
+            return Err(Error::Malformed);
+        }
+        if data.len() < header_len {
+            return Err(Error::Truncated);
+        }
+        Ok(packet)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::SRC_PORT].try_into().unwrap())
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::DST_PORT].try_into().unwrap())
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes(self.buffer.as_ref()[field::SEQ].try_into().unwrap())
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes(self.buffer.as_ref()[field::ACK].try_into().unwrap())
+    }
+
+    /// Header length in bytes derived from the data offset.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[field::DATA_OFF] >> 4) * 4
+    }
+
+    /// Control flags.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags::from_bits(self.buffer.as_ref()[field::FLAGS] & 0x3f)
+    }
+
+    /// Window size (unscaled).
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::WINDOW].try_into().unwrap())
+    }
+
+    /// Urgent pointer.
+    pub fn urgent(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::URGENT].try_into().unwrap())
+    }
+
+    /// Raw option bytes.
+    pub fn options(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.header_len()]
+    }
+
+    /// Segment payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verify checksum against the IPv4 pseudo-header.
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let data = self.buffer.as_ref();
+        pseudo_header(src, dst, 6, data.len() as u16)
+            .add_bytes(data)
+            .finish()
+            == 0
+    }
+}
+
+/// TCP options that fingerprinting tools read from SYN-ACKs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpOptions {
+    /// Maximum segment size (kind 2).
+    pub mss: Option<u16>,
+    /// Window scale shift (kind 3).
+    pub window_scale: Option<u8>,
+    /// SACK permitted (kind 4).
+    pub sack_permitted: bool,
+    /// Timestamps value/echo (kind 8).
+    pub timestamps: Option<(u32, u32)>,
+}
+
+impl TcpOptions {
+    /// Parse an options byte region (kind/len TLVs, NOP and EOL).
+    pub fn parse(mut data: &[u8]) -> Result<Self> {
+        let mut options = TcpOptions::default();
+        while let Some((&kind, rest)) = data.split_first() {
+            match kind {
+                0 => break,    // EOL
+                1 => data = rest, // NOP
+                _ => {
+                    let Some((&len, _)) = rest.split_first() else {
+                        return Err(Error::Truncated);
+                    };
+                    let len = usize::from(len);
+                    if len < 2 || data.len() < len {
+                        return Err(Error::Malformed);
+                    }
+                    let body = &data[2..len];
+                    match kind {
+                        2 if body.len() == 2 => {
+                            options.mss = Some(u16::from_be_bytes([body[0], body[1]]));
+                        }
+                        3 if body.len() == 1 => options.window_scale = Some(body[0]),
+                        4 if body.is_empty() => options.sack_permitted = true,
+                        8 if body.len() == 8 => {
+                            options.timestamps = Some((
+                                u32::from_be_bytes(body[0..4].try_into().unwrap()),
+                                u32::from_be_bytes(body[4..8].try_into().unwrap()),
+                            ));
+                        }
+                        _ => {} // unknown option: skip
+                    }
+                    data = &data[len..];
+                }
+            }
+        }
+        Ok(options)
+    }
+
+    /// Serialise in the canonical order (MSS, SACK, TS, NOP, WS), padded to
+    /// a multiple of four bytes with EOL.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        if let Some(mss) = self.mss {
+            buf.extend_from_slice(&[2, 4]);
+            buf.extend_from_slice(&mss.to_be_bytes());
+        }
+        if self.sack_permitted {
+            buf.extend_from_slice(&[4, 2]);
+        }
+        if let Some((value, echo)) = self.timestamps {
+            buf.extend_from_slice(&[8, 10]);
+            buf.extend_from_slice(&value.to_be_bytes());
+            buf.extend_from_slice(&echo.to_be_bytes());
+        }
+        if let Some(shift) = self.window_scale {
+            buf.extend_from_slice(&[1, 3, 3, shift]);
+        }
+        while buf.len() % 4 != 0 {
+            buf.push(0);
+        }
+        buf
+    }
+}
+
+/// Owned representation of a TCP segment (without payload, which LFP never
+/// uses: probes and RSTs are payload-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Window size.
+    pub window: u16,
+    /// Options present in the header.
+    pub options: TcpOptions,
+}
+
+impl TcpRepr {
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &TcpPacket<T>) -> Result<Self> {
+        Ok(TcpRepr {
+            src_port: packet.src_port(),
+            dst_port: packet.dst_port(),
+            seq: packet.seq(),
+            ack: packet.ack(),
+            flags: packet.flags(),
+            window: packet.window(),
+            options: TcpOptions::parse(packet.options())?,
+        })
+    }
+
+    /// On-wire length (header + options).
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.options.to_bytes().len()
+    }
+
+    /// Serialise with a correct pseudo-header checksum.
+    pub fn to_bytes(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let options = self.options.to_bytes();
+        let header_len = HEADER_LEN + options.len();
+        let mut buf = vec![0u8; header_len];
+        buf[field::SRC_PORT].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[field::DST_PORT].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[field::SEQ].copy_from_slice(&self.seq.to_be_bytes());
+        buf[field::ACK].copy_from_slice(&self.ack.to_be_bytes());
+        buf[field::DATA_OFF] = ((header_len / 4) as u8) << 4;
+        buf[field::FLAGS] = self.flags.bits();
+        buf[field::WINDOW].copy_from_slice(&self.window.to_be_bytes());
+        buf[HEADER_LEN..].copy_from_slice(&options);
+        let ck = pseudo_header(src, dst, 6, buf.len() as u16)
+            .add_bytes(&buf)
+            .finish();
+        buf[field::CHECKSUM].copy_from_slice(&ck.to_be_bytes());
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 100);
+    const DST: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 200);
+
+    fn lfp_syn_probe() -> TcpRepr {
+        TcpRepr {
+            src_port: 40000,
+            dst_port: 33533,
+            seq: 0x01020304,
+            ack: 0x0a0b0c0d, // non-zero ACK on a SYN, per the methodology
+            flags: TcpFlags::SYN,
+            window: 1024,
+            options: TcpOptions::default(),
+        }
+    }
+
+    #[test]
+    fn bare_header_roundtrip() {
+        let repr = lfp_syn_probe();
+        let bytes = repr.to_bytes(SRC, DST);
+        assert_eq!(bytes.len(), 20); // the paper's 40-byte TCP response minus IP header
+        let packet = TcpPacket::new_checked(&bytes[..]).unwrap();
+        assert!(packet.verify_checksum(SRC, DST));
+        assert_eq!(TcpRepr::parse(&packet).unwrap(), repr);
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        let repr = TcpRepr {
+            options: TcpOptions {
+                mss: Some(1460),
+                window_scale: Some(7),
+                sack_permitted: true,
+                timestamps: Some((123456, 0)),
+            },
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+            ..lfp_syn_probe()
+        };
+        let bytes = repr.to_bytes(SRC, DST);
+        let packet = TcpPacket::new_checked(&bytes[..]).unwrap();
+        assert!(packet.verify_checksum(SRC, DST));
+        let parsed = TcpRepr::parse(&packet).unwrap();
+        assert_eq!(parsed.options, repr.options);
+        assert_eq!(parsed.flags, repr.flags);
+    }
+
+    #[test]
+    fn flags_display_and_ops() {
+        let flags = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(flags.contains(TcpFlags::SYN));
+        assert!(flags.intersects(TcpFlags::ACK));
+        assert!(!flags.contains(TcpFlags::RST));
+        assert_eq!(flags.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn bad_data_offset_is_rejected() {
+        let repr = lfp_syn_probe();
+        let mut bytes = repr.to_bytes(SRC, DST);
+        bytes[12] = 0x30; // data offset 12 bytes < minimum 20
+        assert!(matches!(
+            TcpPacket::new_checked(&bytes[..]),
+            Err(Error::Malformed)
+        ));
+        bytes[12] = 0xf0; // data offset 60 bytes > buffer
+        assert!(matches!(
+            TcpPacket::new_checked(&bytes[..]),
+            Err(Error::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncated_option_is_rejected() {
+        assert!(TcpOptions::parse(&[2]).is_err()); // kind without length
+        assert!(TcpOptions::parse(&[2, 10, 0]).is_err()); // length overruns
+        assert!(TcpOptions::parse(&[2, 1]).is_err()); // length < 2
+    }
+
+    #[test]
+    fn unknown_options_are_skipped() {
+        // kind 30 (unknown), then MSS.
+        let parsed = TcpOptions::parse(&[30, 3, 0xaa, 2, 4, 0x05, 0xb4, 0]).unwrap();
+        assert_eq!(parsed.mss, Some(1460));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(
+            src_port in any::<u16>(),
+            dst_port in any::<u16>(),
+            seq in any::<u32>(),
+            ack in any::<u32>(),
+            raw_flags in 0u8..64,
+            window in any::<u16>(),
+            mss in proptest::option::of(any::<u16>()),
+            ws in proptest::option::of(0u8..15),
+            sack in any::<bool>(),
+            ts in proptest::option::of((any::<u32>(), any::<u32>())),
+        ) {
+            let repr = TcpRepr {
+                src_port, dst_port, seq, ack,
+                flags: TcpFlags::from_bits(raw_flags),
+                window,
+                options: TcpOptions { mss, window_scale: ws, sack_permitted: sack, timestamps: ts },
+            };
+            let bytes = repr.to_bytes(SRC, DST);
+            let packet = TcpPacket::new_checked(&bytes[..]).unwrap();
+            prop_assert!(packet.verify_checksum(SRC, DST));
+            prop_assert_eq!(TcpRepr::parse(&packet).unwrap(), repr);
+        }
+
+        #[test]
+        fn option_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..48)) {
+            let _ = TcpOptions::parse(&bytes);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! UDP datagrams.
+//!
+//! LFP's UDP probes target a closed high port (33533) with a 12-byte
+//! all-zero payload; the interesting response is the ICMP port-unreachable
+//! a router generates, so this module is deliberately small: header
+//! accessors, checksum (with IPv4 pseudo-header), and a representation.
+
+use crate::checksum::{self, pseudo_header};
+use crate::{Error, Result};
+use std::net::Ipv4Addr;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+mod field {
+    use core::ops::Range;
+    pub const SRC_PORT: Range<usize> = 0..2;
+    pub const DST_PORT: Range<usize> = 2..4;
+    pub const LENGTH: Range<usize> = 4..6;
+    pub const CHECKSUM: Range<usize> = 6..8;
+}
+
+/// Typed view over a UDP datagram buffer.
+#[derive(Debug, Clone)]
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        UdpPacket { buffer }
+    }
+
+    /// Wrap, checking the length fields (checksum verification requires the
+    /// pseudo-header; use [`UdpPacket::verify_checksum`]).
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let packet = UdpPacket { buffer };
+        let data = packet.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let length = packet.length() as usize;
+        if length < HEADER_LEN || data.len() < length {
+            return Err(Error::Truncated);
+        }
+        Ok(packet)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::SRC_PORT].try_into().unwrap())
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::DST_PORT].try_into().unwrap())
+    }
+
+    /// Length field (header + payload).
+    pub fn length(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::LENGTH].try_into().unwrap())
+    }
+
+    /// Checksum field.
+    pub fn checksum_field(&self) -> u16 {
+        u16::from_be_bytes(self.buffer.as_ref()[field::CHECKSUM].try_into().unwrap())
+    }
+
+    /// Datagram payload.
+    pub fn payload(&self) -> &[u8] {
+        let length = (self.length() as usize).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[HEADER_LEN..length]
+    }
+
+    /// Verify the checksum against the pseudo-header. A zero checksum means
+    /// "not computed" and is accepted, per RFC 768.
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum_field() == 0 {
+            return true;
+        }
+        let data = &self.buffer.as_ref()[..self.length() as usize];
+        let sum = pseudo_header(src, dst, 17, self.length()).add_bytes(data);
+        sum.finish() == 0
+    }
+}
+
+/// Owned representation of a UDP datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl UdpRepr {
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(packet: &UdpPacket<T>) -> Result<Self> {
+        Ok(UdpRepr {
+            src_port: packet.src_port(),
+            dst_port: packet.dst_port(),
+            payload: packet.payload().to_vec(),
+        })
+    }
+
+    /// On-wire length.
+    pub fn buffer_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialise with a correct pseudo-header checksum.
+    pub fn to_bytes(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let mut buf = vec![0u8; self.buffer_len()];
+        buf[field::SRC_PORT].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[field::DST_PORT].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[field::LENGTH].copy_from_slice(&(self.buffer_len() as u16).to_be_bytes());
+        buf[HEADER_LEN..].copy_from_slice(&self.payload);
+        let mut ck = pseudo_header(src, dst, 17, self.buffer_len() as u16)
+            .add_bytes(&buf)
+            .finish();
+        if ck == 0 {
+            // RFC 768: a computed zero is transmitted as all-ones.
+            ck = 0xffff;
+        }
+        buf[field::CHECKSUM].copy_from_slice(&ck.to_be_bytes());
+        buf
+    }
+}
+
+/// Sanity helper used in tests and the simulator: checksum over raw parts.
+pub fn datagram_checksum(src: Ipv4Addr, dst: Ipv4Addr, datagram: &[u8]) -> u16 {
+    checksum::pseudo_header(src, dst, 17, datagram.len() as u16)
+        .add_bytes(datagram)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 254);
+
+    #[test]
+    fn lfp_probe_shape() {
+        // The paper's UDP probe: 12 bytes of zeros to port 33533.
+        let repr = UdpRepr {
+            src_port: 54321,
+            dst_port: 33533,
+            payload: vec![0u8; 12],
+        };
+        let bytes = repr.to_bytes(SRC, DST);
+        assert_eq!(bytes.len(), 20);
+        let packet = UdpPacket::new_checked(&bytes[..]).unwrap();
+        assert!(packet.verify_checksum(SRC, DST));
+        assert_eq!(UdpRepr::parse(&packet).unwrap(), repr);
+    }
+
+    #[test]
+    fn zero_checksum_is_accepted() {
+        let repr = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload: vec![9, 9],
+        };
+        let mut bytes = repr.to_bytes(SRC, DST);
+        bytes[6] = 0;
+        bytes[7] = 0;
+        let packet = UdpPacket::new_checked(&bytes[..]).unwrap();
+        assert!(packet.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let repr = UdpRepr {
+            src_port: 7,
+            dst_port: 33533,
+            payload: vec![0u8; 12],
+        };
+        let mut bytes = repr.to_bytes(SRC, DST);
+        bytes[12] ^= 0x01;
+        let packet = UdpPacket::new_checked(&bytes[..]).unwrap();
+        assert!(!packet.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn short_datagram_is_truncated() {
+        assert!(matches!(
+            UdpPacket::new_checked(&[0u8; 4][..]),
+            Err(Error::Truncated)
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(
+            src_port in any::<u16>(),
+            dst_port in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let repr = UdpRepr { src_port, dst_port, payload };
+            let bytes = repr.to_bytes(SRC, DST);
+            let packet = UdpPacket::new_checked(&bytes[..]).unwrap();
+            prop_assert!(packet.verify_checksum(SRC, DST));
+            prop_assert_eq!(UdpRepr::parse(&packet).unwrap(), repr);
+        }
+    }
+}

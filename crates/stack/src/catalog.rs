@@ -1,0 +1,895 @@
+//! The catalog of concrete router stack variants.
+//!
+//! Each vendor ships many OS families and release trains whose TCP/IP
+//! behaviour differs in fingerprint-relevant ways; that is why the paper
+//! observes *multiple* signatures per vendor (25 for Cisco, 15 for
+//! Juniper, ... — Table 5) and why some signatures are shared *across*
+//! vendors (non-unique signatures, §3.5). This module encodes both:
+//!
+//! * per-vendor variant lists with deployment shares, and
+//! * engineered cross-vendor collisions with a documented cause:
+//!   - MikroTik RouterOS, net-snmp boxes and one H3C management plane are
+//!     all Linux-derived and expose identical feature vectors;
+//!   - Huawei VRP and H3C Comware share lineage (§4.4's "UNIX-based
+//!     solutions" caveat);
+//!   - a legacy Cisco IOS 11 train matches Brocade NetIron;
+//!   - assorted "Other" vendors reuse generic embedded stacks.
+//!
+//! The two anchor profiles (`Cisco IOS 15` / `JunOS 18`) reproduce Table 6
+//! exactly: identical vectors except for the ICMP initial TTL (255 vs 64),
+//! which is what makes the paper's evasion case study work.
+//!
+//! Nothing in this file is consumed by the classifier — the catalog is the
+//! *ground truth generator*; LFP rediscovers its structure from packets.
+
+use crate::ipid::{IpidMode, IpidPlan};
+use crate::profile::{ExposurePolicy, QuotePolicy, StackProfile, SynAckProfile, TtlPlan};
+use crate::vendor::Vendor;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// A stack variant plus its deployment share within the vendor.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// The behavioural profile.
+    pub profile: Arc<StackProfile>,
+    /// Relative deployment share within the vendor (need not be normalised).
+    pub share: f64,
+}
+
+/// The full vendor → variants catalog.
+#[derive(Debug)]
+pub struct Catalog {
+    variants: BTreeMap<Vendor, Vec<Variant>>,
+}
+
+impl Catalog {
+    /// The standard catalog used throughout the reproduction.
+    pub fn standard() -> &'static Catalog {
+        static CATALOG: OnceLock<Catalog> = OnceLock::new();
+        CATALOG.get_or_init(build_standard)
+    }
+
+    /// Variants of a vendor (never empty).
+    pub fn variants(&self, vendor: Vendor) -> &[Variant] {
+        self.variants
+            .get(&vendor)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+    }
+
+    /// All vendors present in the catalog.
+    pub fn vendors(&self) -> impl Iterator<Item = Vendor> + '_ {
+        self.variants.keys().copied()
+    }
+
+    /// Total number of variants across all vendors.
+    pub fn len(&self) -> usize {
+        self.variants.values().map(Vec::len).sum()
+    }
+
+    /// True if the catalog has no variants (never for the standard one).
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// Sample a variant of `vendor` proportional to deployment share.
+    pub fn sample<R: Rng>(&self, vendor: Vendor, rng: &mut R) -> Arc<StackProfile> {
+        let variants = self.variants(vendor);
+        assert!(!variants.is_empty(), "no variants for {vendor}");
+        let total: f64 = variants.iter().map(|v| v.share).sum();
+        let mut draw = rng.gen::<f64>() * total;
+        for variant in variants {
+            if draw < variant.share {
+                return Arc::clone(&variant.profile);
+            }
+            draw -= variant.share;
+        }
+        Arc::clone(&variants[variants.len() - 1].profile)
+    }
+}
+
+/// The highest-share (anchor) variant of a vendor; used in focused tests.
+pub fn default_variant(vendor: Vendor) -> StackProfile {
+    let catalog = Catalog::standard();
+    let variants = catalog.variants(vendor);
+    let anchor = variants
+        .iter()
+        .max_by(|a, b| a.share.total_cmp(&b.share))
+        .expect("catalog has variants for every vendor");
+    (*anchor.profile).clone()
+}
+
+// ---------------------------------------------------------------------------
+// Builder helpers
+// ---------------------------------------------------------------------------
+
+const fn plan(icmp: IpidMode, tcp: IpidMode, udp: IpidMode) -> IpidPlan {
+    IpidPlan { icmp, tcp, udp }
+}
+
+const CTR0: IpidMode = IpidMode::Counter { group: 0 };
+const CTR1: IpidMode = IpidMode::Counter { group: 1 };
+const CTR2: IpidMode = IpidMode::Counter { group: 2 };
+const RAND: IpidMode = IpidMode::Random;
+const STATIC: IpidMode = IpidMode::Static;
+const ZERO: IpidMode = IpidMode::Zero;
+const DUP: IpidMode = IpidMode::DuplicatePair { group: 3 };
+
+/// Compact variant spec expanded into a [`StackProfile`].
+struct Spec {
+    family: &'static str,
+    share: f64,
+    ipid: IpidPlan,
+    reflect: bool,
+    /// (icmp, tcp, udp) initial TTLs.
+    ttl: (u8, u8, u8),
+    quote: QuotePolicy,
+    rst_from_ack: bool,
+    cap: Option<u16>,
+}
+
+struct VendorDefaults {
+    vendor: Vendor,
+    exposure: ExposurePolicy,
+    syn_ack: SynAckProfile,
+    banner: &'static str,
+    engine_id_prefix: &'static str,
+    background_pps: f64,
+    errors_from_loopback: bool,
+}
+
+fn expand(defaults: &VendorDefaults, specs: Vec<Spec>) -> Vec<Variant> {
+    specs
+        .into_iter()
+        .map(|spec| Variant {
+            share: spec.share,
+            profile: Arc::new(StackProfile {
+                vendor: defaults.vendor,
+                family: spec.family,
+                ipid: spec.ipid,
+                icmp_echo_reflect_ipid: spec.reflect,
+                ttl: TtlPlan::new(spec.ttl.0, spec.ttl.1, spec.ttl.2),
+                quote: spec.quote,
+                rst_seq_from_ack: spec.rst_from_ack,
+                errors_from_loopback: defaults.errors_from_loopback,
+                echo_payload_cap: spec.cap,
+                background_pps: defaults.background_pps,
+                exposure: defaults.exposure,
+                syn_ack: defaults.syn_ack,
+                banner: defaults.banner,
+                engine_id_prefix: defaults.engine_id_prefix,
+            }),
+        })
+        .collect()
+}
+
+macro_rules! spec {
+    ($family:expr, $share:expr, $ipid:expr, $reflect:expr, $ttl:expr, $quote:expr, $rst:expr) => {
+        Spec {
+            family: $family,
+            share: $share,
+            ipid: $ipid,
+            reflect: $reflect,
+            ttl: $ttl,
+            quote: $quote,
+            rst_from_ack: $rst,
+            cap: None,
+        }
+    };
+    ($family:expr, $share:expr, $ipid:expr, $reflect:expr, $ttl:expr, $quote:expr, $rst:expr, $cap:expr) => {
+        Spec {
+            family: $family,
+            share: $share,
+            ipid: $ipid,
+            reflect: $reflect,
+            ttl: $ttl,
+            quote: $quote,
+            rst_from_ack: $rst,
+            cap: $cap,
+        }
+    };
+}
+
+use QuotePolicy::{FullPacket, FullWithExtension, Rfc792Min, UpTo};
+
+// ---------------------------------------------------------------------------
+// Shared (colliding) vectors — the cause of non-unique signatures.
+// ---------------------------------------------------------------------------
+
+/// Linux ≤4.17 era: one IPID counter for everything, full quotes,
+/// RFC-compliant RSTs. Emitted by MikroTik RouterOS 6 *and* net-snmp boxes.
+fn linux_a(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(CTR0, CTR0, CTR0), false, (64, 64, 64), FullPacket, true)
+}
+
+/// Linux with `icmp_errors_use_inbound_ifaddr` + minimal quoting configs.
+fn linux_b(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(CTR0, CTR0, CTR0), false, (64, 64, 64), Rfc792Min, true)
+}
+
+/// Linux ≥4.18 era: zero IPID (DF set) on echo replies, shared counter on
+/// error paths.
+fn linux_c(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(ZERO, CTR0, CTR0), false, (64, 64, 64), FullPacket, true)
+}
+
+/// Linux 5.x with per-socket TCP IPID randomisation.
+fn linux_d(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(ZERO, RAND, CTR0), false, (64, 64, 64), FullPacket, true)
+}
+
+/// Comware/VRP shared lineage vectors (Huawei ↔ H3C collisions).
+fn comware_a(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), FullPacket, false)
+}
+
+fn comware_b(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(CTR0, CTR1, CTR2), true, (255, 255, 255), FullPacket, false)
+}
+
+fn comware_c(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(CTR0, CTR1, CTR0), true, (255, 64, 255), Rfc792Min, false)
+}
+
+fn comware_d(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(CTR0, CTR0, CTR0), true, (255, 64, 255), FullPacket, true)
+}
+
+/// Legacy vector shared by Cisco IOS 11 and Brocade NetIron.
+fn legacy_ios_netiron(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(CTR0, CTR1, CTR2), false, (64, 64, 64), Rfc792Min, false)
+}
+
+/// Generic embedded stacks reused across small vendors.
+fn embedded_a(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(CTR0, CTR1, CTR2), false, (64, 64, 255), Rfc792Min, false)
+}
+
+fn embedded_b(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(STATIC, CTR0, CTR0), false, (64, 64, 64), Rfc792Min, false)
+}
+
+fn embedded_c(family: &'static str, share: f64) -> Spec {
+    spec!(family, share, plan(CTR0, CTR0, CTR0), false, (255, 255, 255), Rfc792Min, true)
+}
+
+// ---------------------------------------------------------------------------
+// Per-vendor variant lists
+// ---------------------------------------------------------------------------
+
+fn cisco() -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor: Vendor::Cisco,
+        // Core-router posture: most answer ICMP; a solid majority also
+        // answer TCP/UDP to closed ports; SNMPv3 widely reachable (this is
+        // what makes Cisco over-represented in the labelled set).
+        exposure: ExposurePolicy {
+            posture: [0.03, 0.28, 0.01, 0.01, 0.06, 0.07, 0.02, 0.52],
+            snmp: 0.42,
+            open_service: 0.05,
+        },
+        syn_ack: SynAckProfile::minimal(4128, 536),
+        banner: "SSH-2.0-Cisco-1.25",
+        engine_id_prefix: "ios",
+        background_pps: 120.0,
+        errors_from_loopback: true,
+    };
+    let specs = vec![
+        // --- IOS trains (7 common) ---
+        // The Table 6 anchor: random IPIDs, (255, 64, 255) TTLs, minimal
+        // quote, non-compliant RST.
+        spec!("IOS 15", 0.30, plan(CTR0, CTR0, CTR0), false, (255, 64, 255), Rfc792Min, false),
+        spec!("IOS 12.4", 0.11, plan(RAND, RAND, RAND), false, (255, 64, 255), Rfc792Min, false),
+        spec!("IOS-XE 16", 0.10, plan(CTR0, CTR0, CTR0), false, (255, 255, 255), Rfc792Min, false),
+        spec!("IOS-XE 17", 0.06, plan(CTR0, CTR1, CTR2), false, (255, 255, 255), UpTo(32), false),
+        spec!("IOS 15 SP", 0.04, plan(CTR0, CTR1, CTR0), false, (255, 64, 255), Rfc792Min, false),
+        spec!("IOS 12.2", 0.03, plan(CTR0, CTR1, CTR2), false, (255, 64, 255), UpTo(32), false),
+        spec!("IOS 15 lowmem", 0.025, plan(RAND, RAND, RAND), false, (255, 64, 255), Rfc792Min, false, Some(36)),
+        // --- IOS-XR (3) ---
+        spec!("IOS-XR 7", 0.07, plan(CTR0, CTR1, CTR2), false, (255, 255, 255), FullPacket, false),
+        spec!("IOS-XR 6", 0.05, plan(CTR0, CTR1, CTR2), false, (255, 255, 255), FullWithExtension(8), false),
+        spec!("IOS-XR 5", 0.02, plan(RAND, RAND, RAND), false, (255, 255, 255), FullPacket, false),
+        // --- NX-OS (3) ---
+        spec!("NX-OS 9", 0.04, plan(CTR0, CTR0, CTR0), true, (255, 64, 255), FullPacket, true),
+        spec!("NX-OS 7", 0.02, plan(CTR0, CTR0, CTR0), true, (64, 64, 64), FullPacket, true),
+        spec!("NX-OS 6", 0.01, plan(CTR0, CTR1, CTR2), true, (64, 64, 64), FullPacket, true),
+        // --- Rare trains (12) — the long tail Figure 7 filters away at
+        // high occurrence thresholds. ---
+        spec!("IOS 12.0S", 0.008, plan(STATIC, CTR0, CTR1), false, (255, 64, 255), Rfc792Min, false),
+        spec!("IOS 15 MPLS", 0.008, plan(RAND, RAND, RAND), false, (255, 64, 255), FullWithExtension(8), false),
+        spec!("IOS-XE SDWAN", 0.007, plan(RAND, RAND, RAND), false, (255, 255, 255), UpTo(32), false),
+        spec!("CatOS hybrid", 0.006, plan(DUP, CTR0, CTR1), false, (255, 64, 255), Rfc792Min, false),
+        spec!("IOS 15 VoIP", 0.006, plan(CTR0, CTR1, CTR2), false, (255, 64, 255), Rfc792Min, false, Some(36)),
+        spec!("IOS-XR NCS", 0.005, plan(CTR0, CTR1, CTR2), false, (255, 255, 255), UpTo(36), false),
+        spec!("NX-OS ACI", 0.005, plan(CTR0, CTR0, CTR0), true, (255, 64, 255), Rfc792Min, true),
+        spec!("IOS 12 SB", 0.004, plan(ZERO, CTR0, CTR1), false, (255, 64, 255), Rfc792Min, false),
+        spec!("IOS-XE WLC", 0.004, plan(RAND, RAND, RAND), false, (255, 255, 64), Rfc792Min, false),
+        spec!("IOS 15 SEC", 0.004, plan(RAND, RAND, RAND), false, (255, 64, 255), UpTo(36), false),
+        spec!("IOS legacy GSR", 0.003, plan(CTR0, CTR1, CTR2), false, (255, 64, 64), Rfc792Min, false),
+        spec!("IOS 15 cap44", 0.003, plan(RAND, RAND, RAND), false, (255, 64, 255), Rfc792Min, false, Some(44)),
+        // --- Colliding legacy train (the single Cisco non-unique sig). ---
+        legacy_ios_netiron("IOS 11", 0.02),
+    ];
+    expand(&defaults, specs)
+}
+
+fn juniper() -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor: Vendor::Juniper,
+        exposure: ExposurePolicy {
+            posture: [0.03, 0.22, 0.01, 0.01, 0.06, 0.07, 0.02, 0.58],
+            snmp: 0.28,
+            open_service: 0.04,
+        },
+        syn_ack: SynAckProfile {
+            window: 16384,
+            mss: 1460,
+            window_scale: Some(0),
+            sack_permitted: true,
+            timestamps: true,
+            rto_schedule: &[3.0, 6.0, 12.0, 24.0],
+        },
+        banner: "SSH-2.0-OpenSSH_7.5 JUNOS",
+        engine_id_prefix: "junos",
+        background_pps: 150.0,
+        errors_from_loopback: true,
+    };
+    let specs = vec![
+        // Table 6 anchor: differs from "IOS 15" *only* in the ICMP iTTL.
+        spec!("JunOS 18", 0.34, plan(CTR0, CTR0, CTR0), false, (64, 64, 255), Rfc792Min, false),
+        spec!("JunOS 15", 0.12, plan(CTR0, CTR0, CTR0), false, (64, 64, 255), FullPacket, false),
+        spec!("JunOS 20", 0.10, plan(CTR0, CTR0, CTR0), false, (64, 64, 255), Rfc792Min, true),
+        spec!("JunOS MX", 0.09, plan(CTR0, CTR0, CTR0), false, (64, 64, 64), Rfc792Min, false),
+        spec!("JunOS EX", 0.07, plan(RAND, CTR0, CTR0), false, (64, 64, 255), Rfc792Min, false),
+        spec!("JunOS SRX", 0.06, plan(RAND, RAND, RAND), false, (64, 64, 255), Rfc792Min, false),
+        spec!("JunOS QFX", 0.05, plan(RAND, RAND, RAND), false, (64, 64, 64), FullPacket, false),
+        spec!("JunOS 12", 0.04, plan(RAND, RAND, RAND), false, (64, 64, 255), UpTo(32), false),
+        spec!("JunOS PTX", 0.03, plan(RAND, RAND, RAND), false, (64, 64, 255), FullWithExtension(8), false),
+        spec!("JunOS 21 evo", 0.025, plan(ZERO, RAND, RAND), false, (64, 64, 255), Rfc792Min, false),
+        spec!("JunOS ACX", 0.02, plan(RAND, RAND, CTR0), false, (64, 64, 255), Rfc792Min, false),
+        spec!("JunOS 10", 0.015, plan(RAND, RAND, RAND), false, (64, 64, 255), Rfc792Min, false, Some(36)),
+        spec!("JunOS T-series", 0.01, plan(RAND, RAND, RAND), false, (64, 64, 64), UpTo(32), false),
+        spec!("JunOS vMX", 0.008, plan(RAND, RAND, RAND), false, (64, 64, 64), Rfc792Min, true),
+        spec!("JunOS 9", 0.006, plan(DUP, RAND, RAND), false, (64, 64, 255), Rfc792Min, false),
+    ];
+    expand(&defaults, specs)
+}
+
+fn huawei() -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor: Vendor::Huawei,
+        exposure: ExposurePolicy {
+            posture: [0.04, 0.26, 0.01, 0.01, 0.06, 0.08, 0.02, 0.52],
+            snmp: 0.30,
+            open_service: 0.05,
+        },
+        syn_ack: SynAckProfile::minimal(8192, 1460),
+        banner: "SSH-2.0-HUAWEI-1.5",
+        engine_id_prefix: "vrp",
+        background_pps: 140.0,
+        errors_from_loopback: false,
+    };
+    let specs = vec![
+        // VRP's iTTL tuple equals Cisco's (255, 64, 255) — this is why the
+        // iTTL-only baseline (§2) confuses Huawei with Cisco — but the
+        // incremental+reflecting IPID behaviour separates them for LFP.
+        spec!("VRP 8", 0.34, plan(CTR0, CTR0, CTR0), true, (255, 64, 255), Rfc792Min, false),
+        spec!("VRP 5", 0.16, plan(CTR0, CTR0, CTR0), true, (255, 64, 64), Rfc792Min, false),
+        spec!("VRP 8 NE", 0.10, plan(CTR0, CTR1, CTR2), true, (255, 255, 255), Rfc792Min, false),
+        spec!("VRP 8 CE", 0.07, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), Rfc792Min, false),
+        spec!("VRP 5 AR", 0.05, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), UpTo(32), false),
+        spec!("VRP 8 cap", 0.03, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), Rfc792Min, false, Some(36)),
+        spec!("VRP 8 MPLS", 0.02, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), FullWithExtension(8), false),
+        spec!("VRP legacy", 0.01, plan(STATIC, CTR0, CTR1), true, (255, 64, 255), Rfc792Min, false),
+        // Comware-lineage collisions with H3C (4 non-unique sigs).
+        comware_a("VRP comware-a", 0.05),
+        comware_b("VRP comware-b", 0.04),
+        comware_c("VRP comware-c", 0.02),
+        comware_d("VRP comware-d", 0.02),
+    ];
+    expand(&defaults, specs)
+}
+
+fn mikrotik() -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor: Vendor::MikroTik,
+        // WISP/edge-ish posture: very responsive, frequently exposes a
+        // management service, modest SNMPv3.
+        exposure: ExposurePolicy {
+            posture: [0.02, 0.08, 0.01, 0.01, 0.04, 0.04, 0.02, 0.78],
+            snmp: 0.42,
+            open_service: 0.15,
+        },
+        syn_ack: SynAckProfile {
+            window: 14600,
+            mss: 1460,
+            window_scale: Some(7),
+            sack_permitted: true,
+            timestamps: true,
+            rto_schedule: &[1.0, 2.0, 4.0, 8.0, 16.0],
+        },
+        banner: "SSH-2.0-ROSSSH",
+        engine_id_prefix: "mikrotik",
+        background_pps: 60.0,
+        errors_from_loopback: false,
+    };
+    // RouterOS is Linux: the bulk of deployments land on kernel-generation
+    // vectors shared with net-snmp boxes (the 4 heavy non-unique sigs of
+    // Table 5); 26 version-specific quirk trains are unique.
+    let mut specs = vec![
+        linux_a("RouterOS 6.44", 0.26),
+        linux_b("RouterOS 6.48", 0.18),
+        linux_c("RouterOS 7.1", 0.14),
+        linux_d("RouterOS 7.10", 0.08),
+    ];
+    // Unique quirk trains: small shares, distinct vectors.
+    let quirks: [(&'static str, IpidPlan, (u8, u8, u8), QuotePolicy, bool, Option<u16>); 26] = [
+        ("ROS 6.40", plan(CTR0, CTR0, CTR0), (64, 64, 64), UpTo(32), true, None),
+        ("ROS 6.41", plan(CTR0, CTR0, CTR0), (64, 64, 64), UpTo(36), true, None),
+        ("ROS 6.42", plan(CTR0, CTR0, CTR0), (64, 64, 64), FullPacket, false, None),
+        ("ROS 6.43", plan(CTR0, CTR0, CTR0), (64, 64, 64), Rfc792Min, false, None),
+        ("ROS 6.45", plan(CTR0, CTR0, CTR0), (255, 64, 64), FullPacket, true, None),
+        ("ROS 6.46", plan(CTR0, CTR0, CTR0), (64, 255, 64), FullPacket, true, None),
+        ("ROS 6.47", plan(CTR0, CTR0, CTR0), (64, 64, 255), FullPacket, true, None),
+        ("ROS 6.49", plan(CTR0, CTR0, CTR0), (64, 64, 64), FullPacket, true, Some(36)),
+        ("ROS 7.2", plan(ZERO, CTR0, CTR0), (64, 64, 64), Rfc792Min, true, None),
+        ("ROS 7.3", plan(ZERO, CTR0, CTR0), (64, 64, 64), UpTo(32), true, None),
+        ("ROS 7.4", plan(ZERO, RAND, CTR0), (64, 64, 64), Rfc792Min, true, None),
+        ("ROS 7.5", plan(ZERO, RAND, CTR0), (64, 64, 64), UpTo(36), true, None),
+        ("ROS 7.6", plan(ZERO, CTR0, CTR0), (64, 64, 64), FullPacket, true, Some(44)),
+        ("ROS 7.7", plan(ZERO, RAND, CTR0), (64, 64, 64), FullPacket, false, None),
+        ("ROS 7.8", plan(ZERO, CTR0, CTR0), (255, 64, 64), FullPacket, true, None),
+        ("ROS 7.9", plan(ZERO, RAND, CTR0), (64, 64, 255), FullPacket, true, None),
+        ("ROS 7.11", plan(ZERO, CTR0, CTR0), (64, 255, 64), FullPacket, true, None),
+        ("ROS 7.12", plan(ZERO, RAND, CTR0), (64, 64, 64), FullWithExtension(8), true, None),
+        ("ROS 6 PPPoE", plan(CTR0, CTR0, CTR0), (64, 64, 64), FullWithExtension(8), true, None),
+        ("ROS 6 hotspot", plan(CTR0, CTR0, CTR0), (64, 64, 64), FullPacket, true, Some(28)),
+        ("ROS 6 CHR", plan(CTR0, CTR0, CTR0), (64, 64, 64), UpTo(28), false, None),
+        ("ROS 7 CHR", plan(ZERO, RAND, CTR0), (64, 64, 64), UpTo(28), true, None),
+        ("ROS SwOS", plan(DUP, CTR0, CTR0), (64, 64, 64), Rfc792Min, true, None),
+        ("ROS 6 LTE", plan(CTR0, CTR0, CTR0), (64, 64, 64), Rfc792Min, true, Some(36)),
+        ("ROS 7 wifiwave", plan(ZERO, CTR0, CTR0), (64, 64, 64), FullPacket, false, None),
+        ("ROS 7 ax", plan(ZERO, RAND, CTR0), (255, 64, 64), FullPacket, true, None),
+    ];
+    for (family, ipid, ttl, quote, rst, cap) in quirks {
+        specs.push(Spec {
+            family,
+            share: 0.012,
+            ipid,
+            reflect: false,
+            ttl,
+            quote,
+            rst_from_ack: rst,
+            cap,
+        });
+    }
+    expand(&defaults, specs)
+}
+
+fn h3c() -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor: Vendor::H3C,
+        exposure: ExposurePolicy {
+            posture: [0.04, 0.24, 0.01, 0.01, 0.06, 0.07, 0.02, 0.55],
+            snmp: 0.38,
+            open_service: 0.04,
+        },
+        syn_ack: SynAckProfile::minimal(8192, 1460),
+        banner: "SSH-2.0-Comware-7.1",
+        engine_id_prefix: "comware",
+        background_pps: 110.0,
+        errors_from_loopback: false,
+    };
+    let specs = vec![
+        // Bulk of H3C deployments collide with Huawei's Comware lineage
+        // (4 sigs) and one Linux management plane (Table 5: H3C is mostly
+        // non-unique; recall collapses in Table 8).
+        comware_a("Comware 7", 0.30),
+        comware_b("Comware 5", 0.20),
+        comware_c("Comware 7 SP", 0.12),
+        comware_d("Comware MSR", 0.10),
+        linux_a("H3C mgmt-linux", 0.13),
+        // Small unique trains.
+        spec!("Comware 7 FW", 0.05, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), FullWithExtension(4), false),
+        spec!("Comware 9", 0.04, plan(CTR0, CTR1, CTR2), true, (255, 64, 64), FullPacket, false),
+        spec!("Comware 5 LSW", 0.03, plan(CTR0, CTR1, CTR0), true, (255, 255, 255), FullPacket, false),
+        spec!("Comware 7 WA", 0.02, plan(CTR0, CTR0, CTR0), true, (255, 64, 255), UpTo(32), true),
+        spec!("Comware legacy", 0.01, plan(STATIC, CTR0, CTR0), true, (255, 64, 255), FullPacket, false),
+    ];
+    expand(&defaults, specs)
+}
+
+fn alcatel_nokia() -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor: Vendor::AlcatelNokia,
+        exposure: ExposurePolicy {
+            posture: [0.03, 0.22, 0.01, 0.01, 0.06, 0.07, 0.02, 0.58],
+            snmp: 0.45,
+            open_service: 0.02,
+        },
+        syn_ack: SynAckProfile::minimal(10240, 1460),
+        banner: "SSH-2.0-OpenSSH_6.6 TiMOS",
+        engine_id_prefix: "timos",
+        background_pps: 160.0,
+        errors_from_loopback: true,
+    };
+    let specs = vec![
+        spec!("TiMOS SR", 0.7, plan(ZERO, CTR0, CTR1), false, (255, 255, 255), Rfc792Min, false),
+        spec!("TiMOS SAS", 0.3, plan(STATIC, CTR0, CTR1), false, (255, 255, 255), Rfc792Min, false),
+    ];
+    expand(&defaults, specs)
+}
+
+fn ericsson() -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor: Vendor::Ericsson,
+        exposure: ExposurePolicy {
+            posture: [0.04, 0.24, 0.01, 0.01, 0.06, 0.06, 0.02, 0.56],
+            snmp: 0.35,
+            open_service: 0.02,
+        },
+        syn_ack: SynAckProfile::minimal(5840, 1460),
+        banner: "SSH-2.0-SEOS",
+        engine_id_prefix: "seos",
+        background_pps: 130.0,
+        errors_from_loopback: true,
+    };
+    let specs = vec![
+        spec!("IPOS", 1.0, plan(ZERO, ZERO, ZERO), false, (255, 255, 255), Rfc792Min, false),
+    ];
+    expand(&defaults, specs)
+}
+
+fn brocade() -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor: Vendor::Brocade,
+        exposure: ExposurePolicy {
+            posture: [0.03, 0.22, 0.01, 0.01, 0.06, 0.07, 0.02, 0.58],
+            snmp: 0.33,
+            open_service: 0.04,
+        },
+        syn_ack: SynAckProfile::minimal(16384, 1460),
+        banner: "SSH-2.0-RomSShell_4.62",
+        engine_id_prefix: "netiron",
+        background_pps: 100.0,
+        errors_from_loopback: false,
+    };
+    let specs = vec![
+        // Collides with Cisco IOS 11 (this plus the Linux overlap is why
+        // Brocade's precision/recall sag in Table 8).
+        legacy_ios_netiron("NetIron legacy", 0.40),
+        linux_b("NetIron SLX-linux", 0.15),
+        spec!("NetIron MLX", 0.30, plan(CTR0, CTR1, CTR2), false, (64, 64, 255), UpTo(36), false),
+        spec!("NetIron CES", 0.15, plan(CTR0, CTR1, CTR2), false, (64, 64, 255), FullPacket, false),
+    ];
+    expand(&defaults, specs)
+}
+
+fn ruijie() -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor: Vendor::Ruijie,
+        exposure: ExposurePolicy {
+            posture: [0.04, 0.24, 0.01, 0.01, 0.06, 0.07, 0.02, 0.55],
+            snmp: 0.36,
+            open_service: 0.03,
+        },
+        syn_ack: SynAckProfile::minimal(8192, 1460),
+        banner: "SSH-2.0-RGOS_SSH",
+        engine_id_prefix: "rgos",
+        background_pps: 90.0,
+        errors_from_loopback: false,
+    };
+    let specs = vec![
+        spec!("RGOS 11", 0.8, plan(CTR0, CTR1, CTR2), true, (64, 64, 64), Rfc792Min, false),
+        spec!("RGOS 12", 0.2, plan(CTR0, CTR1, CTR2), true, (64, 64, 64), FullPacket, false),
+    ];
+    expand(&defaults, specs)
+}
+
+fn net_snmp() -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor: Vendor::NetSnmp,
+        exposure: ExposurePolicy {
+            posture: [0.02, 0.08, 0.01, 0.01, 0.04, 0.04, 0.02, 0.78],
+            snmp: 0.50,
+            open_service: 0.20,
+        },
+        syn_ack: SynAckProfile {
+            window: 29200,
+            mss: 1460,
+            window_scale: Some(7),
+            sack_permitted: true,
+            timestamps: true,
+            rto_schedule: &[1.0, 2.0, 4.0, 8.0, 16.0],
+        },
+        banner: "SSH-2.0-OpenSSH_8.4p1 Debian",
+        engine_id_prefix: "netsnmp",
+        background_pps: 40.0,
+        errors_from_loopback: false,
+    };
+    let specs = vec![
+        // All four kernel-generation vectors collide with MikroTik (and
+        // linux_a additionally with H3C's management plane).
+        linux_a("Linux 3.x", 0.30),
+        linux_b("Linux 4.x min", 0.22),
+        linux_c("Linux 4.18+", 0.25),
+        linux_d("Linux 5.x", 0.18),
+        // One genuinely unique software-router build.
+        spec!("FreeBSD frr", 0.05, plan(RAND, CTR0, CTR0), false, (64, 64, 64), Rfc792Min, true),
+    ];
+    expand(&defaults, specs)
+}
+
+fn other_vendor(
+    vendor: Vendor,
+    banner: &'static str,
+    prefix: &'static str,
+    specs: Vec<Spec>,
+) -> Vec<Variant> {
+    let defaults = VendorDefaults {
+        vendor,
+        exposure: ExposurePolicy {
+            posture: [0.04, 0.24, 0.01, 0.01, 0.06, 0.07, 0.02, 0.55],
+            snmp: 0.30,
+            open_service: 0.05,
+        },
+        syn_ack: SynAckProfile::minimal(8192, 1380),
+        banner,
+        engine_id_prefix: prefix,
+        background_pps: 80.0,
+        errors_from_loopback: false,
+    };
+    expand(&defaults, specs)
+}
+
+fn build_standard() -> Catalog {
+    let mut variants = BTreeMap::new();
+    variants.insert(Vendor::Cisco, cisco());
+    variants.insert(Vendor::Juniper, juniper());
+    variants.insert(Vendor::Huawei, huawei());
+    variants.insert(Vendor::MikroTik, mikrotik());
+    variants.insert(Vendor::H3C, h3c());
+    variants.insert(Vendor::AlcatelNokia, alcatel_nokia());
+    variants.insert(Vendor::Ericsson, ericsson());
+    variants.insert(Vendor::Brocade, brocade());
+    variants.insert(Vendor::Ruijie, ruijie());
+    variants.insert(Vendor::NetSnmp, net_snmp());
+    // "Other" vendors: mostly generic embedded stacks colliding with each
+    // other (the 18 non-unique "Other" sigs of Table 5) plus a few
+    // distinctive ones.
+    variants.insert(
+        Vendor::Zte,
+        other_vendor(
+            Vendor::Zte,
+            "SSH-2.0-ZTE_SSH",
+            "zxros",
+            vec![
+                embedded_a("ZXROS a", 0.5),
+                embedded_c("ZXROS c", 0.3),
+                spec!("ZXROS unique", 0.2, plan(CTR0, CTR1, CTR0), true, (64, 255, 255), Rfc792Min, false),
+            ],
+        ),
+    );
+    variants.insert(
+        Vendor::Extreme,
+        other_vendor(
+            Vendor::Extreme,
+            "SSH-2.0-EXOS",
+            "exos",
+            vec![
+                embedded_b("EXOS b", 0.5),
+                embedded_c("EXOS c", 0.3),
+                spec!("EXOS unique", 0.2, plan(CTR0, CTR1, CTR1), false, (64, 255, 64), FullPacket, true),
+            ],
+        ),
+    );
+    variants.insert(
+        Vendor::Arista,
+        other_vendor(
+            Vendor::Arista,
+            "SSH-2.0-OpenSSH_7.6 Arista",
+            "eos",
+            vec![
+                linux_c("EOS linux", 0.6),
+                spec!("EOS unique", 0.4, plan(ZERO, CTR0, CTR1), false, (64, 64, 255), FullPacket, true),
+            ],
+        ),
+    );
+    variants.insert(
+        Vendor::Fortinet,
+        other_vendor(
+            Vendor::Fortinet,
+            "SSH-2.0-FortiSSH",
+            "fortios",
+            vec![
+                embedded_a("FortiOS a", 0.5),
+                embedded_b("FortiOS b", 0.3),
+                spec!("FortiOS unique", 0.2, plan(RAND, CTR0, CTR1), false, (255, 64, 64), Rfc792Min, false),
+            ],
+        ),
+    );
+    variants.insert(
+        Vendor::DLink,
+        other_vendor(
+            Vendor::DLink,
+            "SSH-2.0-DLink",
+            "dlink",
+            vec![embedded_a("DGS a", 0.6), embedded_b("DGS b", 0.4)],
+        ),
+    );
+    variants.insert(
+        Vendor::Teldat,
+        other_vendor(
+            Vendor::Teldat,
+            "SSH-2.0-Teldat",
+            "cit",
+            vec![embedded_b("CIT b", 0.5), embedded_c("CIT c", 0.5)],
+        ),
+    );
+    Catalog { variants }
+}
+
+/// Approximate global market share of router vendors (prior for topology
+/// generation; regional skews are applied on top by `lfp-topo`).
+pub fn global_market_share() -> Vec<(Vendor, f64)> {
+    vec![
+        (Vendor::Cisco, 0.40),
+        (Vendor::Huawei, 0.155),
+        (Vendor::MikroTik, 0.135),
+        (Vendor::Juniper, 0.12),
+        (Vendor::H3C, 0.040),
+        (Vendor::NetSnmp, 0.040),
+        (Vendor::Brocade, 0.018),
+        (Vendor::AlcatelNokia, 0.022),
+        (Vendor::Ruijie, 0.012),
+        (Vendor::Ericsson, 0.006),
+        (Vendor::Zte, 0.016),
+        (Vendor::Extreme, 0.010),
+        (Vendor::Arista, 0.010),
+        (Vendor::Fortinet, 0.008),
+        (Vendor::DLink, 0.005),
+        (Vendor::Teldat, 0.003),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// The feature-vector-relevant projection of a profile.
+    fn vector_key(profile: &StackProfile) -> String {
+        format!(
+            "{:?}|{}|{:?}|{:?}|{}|{:?}",
+            profile.ipid,
+            profile.icmp_echo_reflect_ipid,
+            profile.ttl,
+            profile.quote,
+            profile.rst_seq_from_ack,
+            profile.echo_payload_cap
+        )
+    }
+
+    #[test]
+    fn catalog_covers_all_vendors() {
+        let catalog = Catalog::standard();
+        for vendor in Vendor::ALL {
+            assert!(
+                !catalog.variants(vendor).is_empty(),
+                "missing variants for {vendor}"
+            );
+        }
+        assert!(catalog.len() >= 100, "catalog too small: {}", catalog.len());
+    }
+
+    #[test]
+    fn anchor_profiles_reproduce_table6_relationship() {
+        let cisco = default_variant(Vendor::Cisco);
+        let juniper = default_variant(Vendor::Juniper);
+        assert_eq!(cisco.family, "IOS 15");
+        assert_eq!(juniper.family, "JunOS 18");
+        // Identical everywhere except the ICMP initial TTL.
+        assert_eq!(cisco.ipid, juniper.ipid);
+        assert_eq!(cisco.quote, juniper.quote);
+        assert_eq!(cisco.rst_seq_from_ack, juniper.rst_seq_from_ack);
+        assert_eq!(cisco.ttl.tcp, juniper.ttl.tcp);
+        assert_eq!(cisco.ttl.udp, juniper.ttl.udp);
+        assert_eq!(cisco.ttl.icmp, 255);
+        assert_eq!(juniper.ttl.icmp, 64);
+    }
+
+    #[test]
+    fn within_vendor_vectors_are_distinct() {
+        // Unique signatures require distinct vectors inside each vendor;
+        // collisions must only be cross-vendor.
+        let catalog = Catalog::standard();
+        for vendor in Vendor::ALL {
+            let mut seen = HashMap::new();
+            for variant in catalog.variants(vendor) {
+                let key = vector_key(&variant.profile);
+                if let Some(previous) = seen.insert(key.clone(), variant.profile.family) {
+                    panic!(
+                        "{vendor}: {} and {} share vector {key}",
+                        previous, variant.profile.family
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engineered_collisions_exist_across_vendors() {
+        let catalog = Catalog::standard();
+        let mut by_vector: HashMap<String, Vec<Vendor>> = HashMap::new();
+        for vendor in Vendor::ALL {
+            for variant in catalog.variants(vendor) {
+                by_vector
+                    .entry(vector_key(&variant.profile))
+                    .or_default()
+                    .push(vendor);
+            }
+        }
+        let collisions: Vec<_> = by_vector.values().filter(|v| v.len() > 1).collect();
+        assert!(
+            collisions.len() >= 8,
+            "expected ≥8 cross-vendor collisions, found {}",
+            collisions.len()
+        );
+        // The specific ones the paper motivates:
+        let has = |a: Vendor, b: Vendor| {
+            by_vector
+                .values()
+                .any(|vendors| vendors.contains(&a) && vendors.contains(&b))
+        };
+        assert!(has(Vendor::MikroTik, Vendor::NetSnmp), "Linux lineage");
+        assert!(has(Vendor::Huawei, Vendor::H3C), "Comware lineage");
+        assert!(has(Vendor::Cisco, Vendor::Brocade), "legacy IOS/NetIron");
+    }
+
+    #[test]
+    fn shares_are_positive_and_sane() {
+        let catalog = Catalog::standard();
+        for vendor in Vendor::ALL {
+            let total: f64 = catalog.variants(vendor).iter().map(|v| v.share).sum();
+            assert!(total > 0.5 && total < 1.5, "{vendor}: share sum {total}");
+            for variant in catalog.variants(vendor) {
+                assert!(variant.share > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_respects_shares() {
+        let catalog = Catalog::standard();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts: HashMap<&'static str, usize> = HashMap::new();
+        for _ in 0..20_000 {
+            let profile = catalog.sample(Vendor::Cisco, &mut rng);
+            *counts.entry(profile.family).or_default() += 1;
+        }
+        // The anchor (share 0.30) must dominate the rare trains.
+        let anchor = counts["IOS 15"];
+        assert!(anchor > 4_000, "anchor sampled only {anchor} times");
+        let rare = counts.get("IOS legacy GSR").copied().unwrap_or(0);
+        assert!(rare < anchor / 10);
+    }
+
+    #[test]
+    fn market_share_sums_to_one() {
+        let total: f64 = global_market_share().iter().map(|(_, share)| share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "market share sums to {total}");
+    }
+
+    #[test]
+    fn cisco_has_25_unique_and_1_colliding_variant() {
+        let catalog = Catalog::standard();
+        assert_eq!(catalog.variants(Vendor::Cisco).len(), 26);
+        assert_eq!(catalog.variants(Vendor::Juniper).len(), 15);
+        assert_eq!(catalog.variants(Vendor::MikroTik).len(), 30);
+        assert_eq!(catalog.variants(Vendor::Huawei).len(), 12);
+    }
+}

@@ -1,0 +1,34 @@
+//! # lfp-stack — vendor TCP/IP stack behaviour models
+//!
+//! The substrate that stands in for the real Internet's router population:
+//! per-vendor models of everything the LFP feature set can observe on the
+//! wire, and a stateful [`device::RouterDevice`] that answers raw IPv4
+//! datagrams accordingly.
+//!
+//! * [`vendor`] — vendor identities and their IANA enterprise numbers,
+//! * [`ipid`] — IPID allocation (counter layouts, randomness, background
+//!   traffic advancing counters),
+//! * [`profile`] — the knobs of a stack: initial TTLs, ICMP quoting, RFC 793
+//!   RST compliance, echo reflection, exposure posture,
+//! * [`catalog`] — ~110 concrete OS-family variants across 16 vendors,
+//!   including the engineered cross-vendor collisions that yield non-unique
+//!   signatures,
+//! * [`device`] — the packet-answering router.
+//!
+//! The separation mirrors the measurement problem: vendor truth exists only
+//! here (and leaks only through SNMPv3 engine IDs); the classifier in
+//! `lfp-core` has to rediscover it from responses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod device;
+pub mod ipid;
+pub mod profile;
+pub mod vendor;
+
+pub use catalog::Catalog;
+pub use device::RouterDevice;
+pub use profile::StackProfile;
+pub use vendor::Vendor;

@@ -1,0 +1,290 @@
+//! Stack profiles: the feature-relevant knobs of a router OS family.
+//!
+//! A [`StackProfile`] captures everything observable about how a particular
+//! router OS answers probes — exactly the dimensions the LFP feature set
+//! (paper Table 1) measures, plus the service-exposure knobs the baselines
+//! (Nmap, Hershel, banner grabbing) depend on. Profiles are *descriptions*;
+//! the stateful object that answers packets is [`crate::device::RouterDevice`].
+
+use crate::ipid::IpidPlan;
+use crate::vendor::Vendor;
+use serde::{Deserialize, Serialize};
+
+/// Initial TTL values per *probe* protocol.
+///
+/// Note the keying: the response to a UDP probe is an ICMP error, but many
+/// stacks generate ICMP errors in a different path (often the control
+/// plane) than echo replies, so its initial TTL can differ from the echo
+/// reply's — e.g. JunOS uses 64 for echo replies but 255 for port
+/// unreachable. This is precisely the (UDP, ICMP, TCP) iTTL triple of
+/// Table 1/Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TtlPlan {
+    /// Initial TTL of ICMP echo replies.
+    pub icmp: u8,
+    /// Initial TTL of TCP RSTs.
+    pub tcp: u8,
+    /// Initial TTL of ICMP errors answering UDP probes.
+    pub udp: u8,
+}
+
+impl TtlPlan {
+    /// Convenience constructor in (icmp, tcp, udp) order.
+    pub const fn new(icmp: u8, tcp: u8, udp: u8) -> Self {
+        TtlPlan { icmp, tcp, udp }
+    }
+}
+
+/// How much of an offending datagram a stack quotes inside ICMP errors.
+///
+/// This determines the "UDP response size" feature: with LFP's 40-byte UDP
+/// probe (20 IP + 8 UDP + 12 payload), RFC 792 minimal quoting yields a
+/// 56-byte response, full quoting 68 bytes, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuotePolicy {
+    /// RFC 792 minimum: original IP header + 8 bytes (28 quoted bytes).
+    Rfc792Min,
+    /// Quote the entire offending datagram (RFC 1812 "as much as possible").
+    FullPacket,
+    /// Quote at most `n` bytes of the offending datagram.
+    UpTo(u16),
+    /// Quote the full datagram and append an extension structure of `n`
+    /// bytes (RFC 4884-style length attribute, seen on some carrier gear).
+    FullWithExtension(u16),
+}
+
+impl QuotePolicy {
+    /// Number of quoted (plus extension) bytes for an offending datagram of
+    /// `original_len` bytes.
+    pub fn quoted_len(self, original_len: usize) -> usize {
+        match self {
+            QuotePolicy::Rfc792Min => original_len.min(28),
+            QuotePolicy::FullPacket => original_len,
+            QuotePolicy::UpTo(n) => original_len.min(n as usize),
+            QuotePolicy::FullWithExtension(n) => original_len + n as usize,
+        }
+    }
+}
+
+/// SYN-ACK characteristics for devices that expose a TCP service; read by
+/// the Hershel and Nmap baselines, not by LFP itself.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SynAckProfile {
+    /// Advertised window.
+    pub window: u16,
+    /// MSS option.
+    pub mss: u16,
+    /// Window-scale option, if sent.
+    pub window_scale: Option<u8>,
+    /// Whether SACK-permitted is sent.
+    pub sack_permitted: bool,
+    /// Whether timestamps are sent.
+    pub timestamps: bool,
+    /// SYN-ACK retransmission timeouts in seconds (Hershel's RTO feature).
+    pub rto_schedule: &'static [f64],
+}
+
+impl SynAckProfile {
+    /// A bare profile typical of embedded control planes.
+    pub const fn minimal(window: u16, mss: u16) -> Self {
+        SynAckProfile {
+            window,
+            mss,
+            window_scale: None,
+            sack_permitted: false,
+            timestamps: false,
+            rto_schedule: &[3.0, 6.0, 12.0],
+        }
+    }
+}
+
+/// Filtering-posture distribution controlling which devices expose what.
+///
+/// A device's responsiveness is sampled *once per device* as a joint
+/// posture over the three probe protocols — not independently per
+/// protocol. This captures the operational reality (an ACL either permits
+/// a protocol or it doesn't) and is what produces the paper's two
+/// signature observations: an IP answers all three probes of a protocol
+/// or none (Figures 5/6), and per-protocol responsiveness is strongly
+/// correlated (Figure 4's mass at 0 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExposurePolicy {
+    /// Weights over response postures, i.e. the 8 subsets of
+    /// {ICMP, TCP, UDP}, in the order: none, icmp, tcp, udp, icmp+tcp,
+    /// icmp+udp, tcp+udp, all. Need not be normalised.
+    pub posture: [f64; 8],
+    /// Probability the SNMPv3 agent is reachable from the open Internet.
+    pub snmp: f64,
+    /// Probability a management TCP service (with banner) is exposed.
+    pub open_service: f64,
+}
+
+impl ExposurePolicy {
+    /// Index into `posture` for a (icmp, tcp, udp) combination.
+    pub fn posture_index(icmp: bool, tcp: bool, udp: bool) -> usize {
+        match (icmp, tcp, udp) {
+            (false, false, false) => 0,
+            (true, false, false) => 1,
+            (false, true, false) => 2,
+            (false, false, true) => 3,
+            (true, true, false) => 4,
+            (true, false, true) => 5,
+            (false, true, true) => 6,
+            (true, true, true) => 7,
+        }
+    }
+
+    /// The (icmp, tcp, udp) combination for a posture index.
+    pub fn posture_flags(index: usize) -> (bool, bool, bool) {
+        [
+            (false, false, false),
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (true, true, false),
+            (true, false, true),
+            (false, true, true),
+            (true, true, true),
+        ][index]
+    }
+
+    /// Sample a posture from the weight vector.
+    pub fn sample_posture<R: rand::Rng>(&self, rng: &mut R) -> (bool, bool, bool) {
+        let total: f64 = self.posture.iter().sum();
+        let mut draw = rng.gen::<f64>() * total;
+        for (index, &weight) in self.posture.iter().enumerate() {
+            if draw < weight {
+                return Self::posture_flags(index);
+            }
+            draw -= weight;
+        }
+        Self::posture_flags(7)
+    }
+
+    /// Marginal probability a device answers the given protocol
+    /// (0 = icmp, 1 = tcp, 2 = udp).
+    pub fn marginal(&self, protocol: usize) -> f64 {
+        let total: f64 = self.posture.iter().sum();
+        let mut sum = 0.0;
+        for (index, &weight) in self.posture.iter().enumerate() {
+            let flags = Self::posture_flags(index);
+            let answers = [flags.0, flags.1, flags.2][protocol];
+            if answers {
+                sum += weight;
+            }
+        }
+        sum / total
+    }
+}
+
+/// The complete behavioural description of a router OS family.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StackProfile {
+    /// The vendor shipping this stack.
+    pub vendor: Vendor,
+    /// Human-readable OS family / release train ("IOS 15", "JunOS 18", ...).
+    pub family: &'static str,
+    /// IPID allocation plan.
+    pub ipid: IpidPlan,
+    /// Whether echo replies reflect the request's IPID verbatim (the "ICMP
+    /// IPID echo" feature).
+    pub icmp_echo_reflect_ipid: bool,
+    /// Initial TTLs per probe protocol.
+    pub ttl: TtlPlan,
+    /// ICMP error quoting policy.
+    pub quote: QuotePolicy,
+    /// RFC 793 §3.4 compliance: RST to a SYN with ACK set takes its
+    /// sequence number from the ACK field (true) or uses zero (false).
+    pub rst_seq_from_ack: bool,
+    /// Whether ICMP errors (port unreachable) are sourced from the
+    /// router's canonical/loopback interface instead of the probed one.
+    /// Common on big-iron control planes; it is the behaviour
+    /// iffinder-style alias resolution exploits.
+    pub errors_from_loopback: bool,
+    /// Maximum echo payload reflected in replies (None = unbounded). Stacks
+    /// that cap the reflection produce smaller "ICMP echo response size"
+    /// feature values.
+    pub echo_payload_cap: Option<u16>,
+    /// Background traffic rate (packets/s) driving IPID counters.
+    pub background_pps: f64,
+    /// Exposure probabilities.
+    pub exposure: ExposurePolicy,
+    /// SYN-ACK shape for exposed services.
+    pub syn_ack: SynAckProfile,
+    /// Banner returned by an exposed management service.
+    pub banner: &'static str,
+    /// Text prefix used when generating this stack's SNMPv3 engine ID.
+    pub engine_id_prefix: &'static str,
+}
+
+impl StackProfile {
+    /// Expected ICMP echo response size on the wire (IP total length) for a
+    /// request with `payload_len` bytes of payload.
+    pub fn echo_response_len(&self, payload_len: usize) -> usize {
+        let reflected = match self.echo_payload_cap {
+            Some(cap) => payload_len.min(cap as usize),
+            None => payload_len,
+        };
+        20 + 8 + reflected
+    }
+
+    /// Expected ICMP port-unreachable response size (IP total length) for
+    /// an offending datagram of `original_len` bytes.
+    pub fn unreachable_response_len(&self, original_len: usize) -> usize {
+        20 + 8 + self.quote.quoted_len(original_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_policies_yield_paper_sizes() {
+        // LFP's UDP probe datagram is 40 bytes (20 IP + 8 UDP + 12 payload).
+        assert_eq!(QuotePolicy::Rfc792Min.quoted_len(40), 28); // → 56-byte response
+        assert_eq!(QuotePolicy::FullPacket.quoted_len(40), 40); // → 68-byte response
+        assert_eq!(QuotePolicy::UpTo(128).quoted_len(40), 40);
+        assert_eq!(QuotePolicy::UpTo(32).quoted_len(40), 32);
+        assert_eq!(QuotePolicy::FullWithExtension(8).quoted_len(40), 48); // → 76
+    }
+
+    #[test]
+    fn response_lengths_match_table6() {
+        let profile = StackProfile {
+            vendor: Vendor::Cisco,
+            family: "test",
+            ipid: IpidPlan::random_all(),
+            icmp_echo_reflect_ipid: false,
+            ttl: TtlPlan::new(255, 64, 255),
+            quote: QuotePolicy::Rfc792Min,
+            rst_seq_from_ack: false,
+            errors_from_loopback: false,
+            echo_payload_cap: None,
+            background_pps: 50.0,
+            exposure: ExposurePolicy {
+                posture: [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+                snmp: 0.5,
+                open_service: 0.0,
+            },
+            syn_ack: SynAckProfile::minimal(4128, 536),
+            banner: "",
+            engine_id_prefix: "x",
+        };
+        // Table 6: ICMP echo response 84, UDP response 56 (probe = 56-byte
+        // payload ping, 40-byte UDP datagram).
+        assert_eq!(profile.echo_response_len(56), 84);
+        assert_eq!(profile.unreachable_response_len(40), 56);
+    }
+
+    #[test]
+    fn echo_cap_truncates() {
+        let mut profile_cap = None;
+        profile_cap.replace(16u16);
+        let reflected = match profile_cap {
+            Some(cap) => 56usize.min(cap as usize),
+            None => 56,
+        };
+        assert_eq!(20 + 8 + reflected, 44);
+    }
+}

@@ -1,0 +1,171 @@
+//! Router vendor identities and their IANA Private Enterprise Numbers.
+//!
+//! The PEN is what an SNMPv3 engine ID leaks (RFC 3411); the mapping here
+//! is the same public registry the paper's labelling step uses. Vendors
+//! beyond the paper's named set are grouped under "Other" in analyses but
+//! remain distinct here so classification mistakes can be scored honestly.
+
+use core::fmt;
+
+/// Router vendors observed in the study (paper §4.4 names the major ones;
+/// the rest populate the "Other" bucket of Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Vendor {
+    /// Cisco Systems (IOS, IOS-XE, IOS-XR, NX-OS).
+    Cisco,
+    /// Juniper Networks (JunOS).
+    Juniper,
+    /// Huawei (VRP).
+    Huawei,
+    /// MikroTik (RouterOS, Linux-based).
+    MikroTik,
+    /// H3C (Comware, UNIX-based).
+    H3C,
+    /// Alcatel-Lucent / Nokia (TiMOS / SR OS).
+    AlcatelNokia,
+    /// Ericsson (IPOS / SEOS).
+    Ericsson,
+    /// Brocade / Foundry (NetIron).
+    Brocade,
+    /// Ruijie Networks (RGOS).
+    Ruijie,
+    /// net-snmp on generic Linux (software routers, white boxes).
+    NetSnmp,
+    /// ZTE (ZXROS).
+    Zte,
+    /// Extreme Networks (EXOS).
+    Extreme,
+    /// Arista (EOS).
+    Arista,
+    /// Fortinet (FortiOS routers).
+    Fortinet,
+    /// D-Link service routers.
+    DLink,
+    /// Teldat routers.
+    Teldat,
+}
+
+impl Vendor {
+    /// Every vendor, in canonical display order (major vendors first,
+    /// matching the paper's table ordering).
+    pub const ALL: [Vendor; 16] = [
+        Vendor::Cisco,
+        Vendor::Juniper,
+        Vendor::Huawei,
+        Vendor::MikroTik,
+        Vendor::H3C,
+        Vendor::AlcatelNokia,
+        Vendor::Ericsson,
+        Vendor::Brocade,
+        Vendor::Ruijie,
+        Vendor::NetSnmp,
+        Vendor::Zte,
+        Vendor::Extreme,
+        Vendor::Arista,
+        Vendor::Fortinet,
+        Vendor::DLink,
+        Vendor::Teldat,
+    ];
+
+    /// The vendor's IANA Private Enterprise Number, as leaked by SNMPv3
+    /// engine IDs.
+    pub fn pen(self) -> u32 {
+        match self {
+            Vendor::Cisco => 9,
+            Vendor::Juniper => 2636,
+            Vendor::Huawei => 2011,
+            Vendor::MikroTik => 14988,
+            Vendor::H3C => 25506,
+            Vendor::AlcatelNokia => 6527, // TiMOS
+            Vendor::Ericsson => 193,
+            Vendor::Brocade => 1991, // Foundry
+            Vendor::Ruijie => 4881,
+            Vendor::NetSnmp => 8072,
+            Vendor::Zte => 3902,
+            Vendor::Extreme => 1916,
+            Vendor::Arista => 30065,
+            Vendor::Fortinet => 12356,
+            Vendor::DLink => 171,
+            Vendor::Teldat => 2007,
+        }
+    }
+
+    /// Reverse lookup from a PEN (the labelling step).
+    pub fn from_pen(pen: u32) -> Option<Vendor> {
+        Vendor::ALL.into_iter().find(|v| v.pen() == pen)
+    }
+
+    /// Whether this vendor belongs to the paper's named set (Table 5);
+    /// everything else is aggregated as "Other" in reports.
+    pub fn is_major(self) -> bool {
+        !matches!(
+            self,
+            Vendor::Zte
+                | Vendor::Extreme
+                | Vendor::Arista
+                | Vendor::Fortinet
+                | Vendor::DLink
+                | Vendor::Teldat
+        )
+    }
+
+    /// Short stable name used in tables and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::Cisco => "Cisco",
+            Vendor::Juniper => "Juniper",
+            Vendor::Huawei => "Huawei",
+            Vendor::MikroTik => "MikroTik",
+            Vendor::H3C => "H3C",
+            Vendor::AlcatelNokia => "Alcatel/Nokia",
+            Vendor::Ericsson => "Ericsson",
+            Vendor::Brocade => "Brocade",
+            Vendor::Ruijie => "Ruijie",
+            Vendor::NetSnmp => "net-snmp",
+            Vendor::Zte => "ZTE",
+            Vendor::Extreme => "Extreme",
+            Vendor::Arista => "Arista",
+            Vendor::Fortinet => "Fortinet",
+            Vendor::DLink => "D-Link",
+            Vendor::Teldat => "Teldat",
+        }
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pens_are_unique() {
+        let pens: HashSet<u32> = Vendor::ALL.iter().map(|v| v.pen()).collect();
+        assert_eq!(pens.len(), Vendor::ALL.len());
+    }
+
+    #[test]
+    fn from_pen_is_inverse() {
+        for vendor in Vendor::ALL {
+            assert_eq!(Vendor::from_pen(vendor.pen()), Some(vendor));
+        }
+        assert_eq!(Vendor::from_pen(424242), None);
+    }
+
+    #[test]
+    fn paper_set_has_ten_members() {
+        let major = Vendor::ALL.iter().filter(|v| v.is_major()).count();
+        assert_eq!(major, 10);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Vendor::AlcatelNokia.to_string(), "Alcatel/Nokia");
+        assert_eq!(Vendor::NetSnmp.to_string(), "net-snmp");
+    }
+}

@@ -1,0 +1,310 @@
+//! Measurement datasets: RIPE-Atlas-style traceroute snapshots and the
+//! ITDK-style alias-resolved router set (paper Table 2).
+//!
+//! Both are built by *measuring the simulated network*, not by exporting
+//! generator state: snapshots run real TTL-limited traceroutes from the
+//! vantage points, and the ITDK set runs real alias resolution. The two
+//! populations end up complementary for the same reasons as in the paper —
+//! traceroutes see ingress interfaces along used paths, the ITDK sweep
+//! enumerates (and requires responsiveness from) everything in its AS
+//! subset.
+
+use crate::internet::Internet;
+use crate::midar;
+use lfp_net::link::splitmix64;
+use lfp_net::traceroute::{traceroute, TracerouteOptions};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// One traceroute in a snapshot, with registry metadata resolved.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceRecord {
+    /// Vantage (source) AS.
+    pub src_as: u32,
+    /// Destination AS.
+    pub dst_as: u32,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Responding interface per TTL; `None` is a timeout ("*").
+    pub hops: Vec<Option<Ipv4Addr>>,
+    /// Whether the destination answered.
+    pub reached: bool,
+}
+
+impl TraceRecord {
+    /// Responsive intermediate router interfaces (destination excluded).
+    pub fn router_hops(&self) -> Vec<Ipv4Addr> {
+        self.hops
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&hop| hop != self.dst)
+            .collect()
+    }
+}
+
+/// A RIPE-style snapshot: traceroute campaign plus the derived router IPs.
+#[derive(Debug, Clone)]
+pub struct RipeSnapshot {
+    /// Snapshot name (RIPE-1 … RIPE-5).
+    pub name: String,
+    /// Synthetic collection date (mirrors Table 2's cadence).
+    pub date: &'static str,
+    /// All traceroutes collected.
+    pub traces: Vec<TraceRecord>,
+    /// Unique intermediate router interfaces.
+    pub router_ips: BTreeSet<Ipv4Addr>,
+}
+
+impl RipeSnapshot {
+    /// Number of distinct ASes hosting the router IPs.
+    pub fn as_count(&self, internet: &Internet) -> usize {
+        self.router_ips
+            .iter()
+            .filter_map(|&ip| internet.truth_of(ip))
+            .map(|meta| meta.as_id)
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+}
+
+/// The ITDK-style dataset: responsive router interfaces plus alias sets.
+#[derive(Debug, Clone)]
+pub struct ItdkDataset {
+    /// Dataset label.
+    pub name: String,
+    /// Synthetic collection date.
+    pub date: &'static str,
+    /// Responsive interfaces in the enumerated AS subset.
+    pub router_ips: BTreeSet<Ipv4Addr>,
+    /// Non-singleton alias sets (each a sorted list of interfaces).
+    pub alias_sets: Vec<Vec<Ipv4Addr>>,
+}
+
+impl ItdkDataset {
+    /// Number of distinct ASes hosting the router IPs.
+    pub fn as_count(&self, internet: &Internet) -> usize {
+        self.router_ips
+            .iter()
+            .filter_map(|&ip| internet.truth_of(ip))
+            .map(|meta| meta.as_id)
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+}
+
+const SNAPSHOT_DATES: [&str; 6] = [
+    "2022-01-24",
+    "2022-02-24",
+    "2022-06-09",
+    "2022-07-04",
+    "2022-11-07",
+    "2023-01-15",
+];
+
+/// Build the RIPE-style snapshots for an Internet, per its scale.
+///
+/// Destinations churn between snapshots at the configured rate, which is
+/// what produces the paper's ~88% pairwise router-IP overlap.
+pub fn build_ripe_snapshots(internet: &Internet) -> Vec<RipeSnapshot> {
+    let scale = internet.scale;
+    let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0x41f5_0003);
+
+    // Destination pool: interfaces spread over the whole Internet.
+    let all_interfaces = internet.all_interfaces();
+    let pool_size = (scale.vantages * scale.dests_per_vantage * 2).min(all_interfaces.len());
+    let mut pool: Vec<Ipv4Addr> = Vec::with_capacity(pool_size);
+    let stride = (all_interfaces.len() / pool_size.max(1)).max(1);
+    for chunk_start in (0..all_interfaces.len()).step_by(stride) {
+        let offset = rng.gen_range(0..stride.min(all_interfaces.len() - chunk_start));
+        pool.push(all_interfaces[chunk_start + offset]);
+        if pool.len() == pool_size {
+            break;
+        }
+    }
+
+    // Initial destination assignment per vantage.
+    let mut dest_sets: Vec<Vec<Ipv4Addr>> = internet
+        .vantages()
+        .iter()
+        .map(|_| {
+            (0..scale.dests_per_vantage)
+                .map(|_| pool[rng.gen_range(0..pool.len())])
+                .collect()
+        })
+        .collect();
+
+    let mut snapshots = Vec::with_capacity(scale.snapshots);
+    for snapshot_index in 0..scale.snapshots {
+        // Churn: resample a fraction of each vantage's destinations.
+        if snapshot_index > 0 {
+            for dests in &mut dest_sets {
+                for dest in dests.iter_mut() {
+                    if rng.gen_bool(scale.snapshot_churn) {
+                        *dest = pool[rng.gen_range(0..pool.len())];
+                    }
+                }
+            }
+        }
+
+        let base_time = 1_000_000.0 * (1.0 + snapshot_index as f64);
+        let mut traces = Vec::new();
+        let mut router_ips = BTreeSet::new();
+        for (vantage, dests) in internet.vantages().iter().zip(&dest_sets) {
+            for (dest_index, &dst) in dests.iter().enumerate() {
+                let salt = splitmix64(
+                    scale.seed
+                        ^ 0x7ace
+                        ^ (snapshot_index as u64) << 40
+                        ^ u64::from(vantage.id.0) << 20
+                        ^ dest_index as u64,
+                );
+                let result = traceroute(
+                    internet.network(),
+                    vantage.id,
+                    vantage.src_ip,
+                    dst,
+                    TracerouteOptions::default(),
+                    base_time + dest_index as f64 * 2.0,
+                    salt,
+                );
+                let dst_as = internet.truth_of(dst).map(|m| m.as_id).unwrap_or(u32::MAX);
+                for hop in result.intermediate_hops() {
+                    router_ips.insert(hop);
+                }
+                traces.push(TraceRecord {
+                    src_as: vantage.as_id,
+                    dst_as,
+                    src: vantage.src_ip,
+                    dst,
+                    hops: result.hops,
+                    reached: result.reached,
+                });
+            }
+        }
+        snapshots.push(RipeSnapshot {
+            name: format!("RIPE-{}", snapshot_index + 1),
+            date: SNAPSHOT_DATES[snapshot_index % SNAPSHOT_DATES.len()],
+            traces,
+            router_ips,
+        });
+    }
+    snapshots
+}
+
+/// Build the ITDK-style dataset: enumerate a deterministic AS subset,
+/// keep responsive interfaces, and alias-resolve them.
+pub fn build_itdk(internet: &Internet) -> ItdkDataset {
+    let scale = internet.scale;
+    let threshold = (scale.itdk_as_fraction * u64::MAX as f64) as u64;
+    let mut candidates: Vec<Ipv4Addr> = Vec::new();
+    for router in internet.routers() {
+        let in_subset =
+            splitmix64(scale.seed ^ 0x17d4 ^ u64::from(router.as_id)) <= threshold;
+        if in_subset {
+            candidates.extend(router.interfaces.iter().copied());
+        }
+    }
+    let resolution =
+        midar::resolve_aliases(internet.network(), &candidates, 10_000_000.0, scale.seed ^ 0xa11a);
+    ItdkDataset {
+        name: "ITDK".to_string(),
+        date: "2022-02-01",
+        router_ips: resolution.responsive.iter().copied().collect(),
+        alias_sets: resolution.sets,
+    }
+}
+
+/// Pairwise overlap |A ∩ B| / |A ∪ B| between two IP sets (the snapshot
+/// stability metric of §3.2).
+pub fn ip_overlap(a: &BTreeSet<Ipv4Addr>, b: &BTreeSet<Ipv4Addr>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let intersection = a.intersection(b).count();
+    let union = a.union(b).count();
+    intersection as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn internet() -> Internet {
+        Internet::generate(Scale::tiny())
+    }
+
+    #[test]
+    fn snapshots_have_routers_and_metadata() {
+        let internet = internet();
+        let snapshots = build_ripe_snapshots(&internet);
+        assert_eq!(snapshots.len(), Scale::tiny().snapshots);
+        for snapshot in &snapshots {
+            assert!(!snapshot.traces.is_empty());
+            assert!(
+                !snapshot.router_ips.is_empty(),
+                "{} discovered no routers",
+                snapshot.name
+            );
+            assert!(snapshot.as_count(&internet) > 1);
+            // Router IPs never include a trace destination-as-last-hop.
+            for trace in &snapshot.traces {
+                for hop in trace.router_hops() {
+                    assert_ne!(hop, trace.dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_snapshots_overlap_strongly() {
+        let internet = internet();
+        let snapshots = build_ripe_snapshots(&internet);
+        let overlap = ip_overlap(&snapshots[0].router_ips, &snapshots[1].router_ips);
+        // Churn is 15% of destinations; router-IP overlap stays high
+        // (paper: ~88% at 12% churn; tiny networks are noisier).
+        assert!(overlap > 0.5, "snapshot overlap only {overlap:.2}");
+    }
+
+    #[test]
+    fn itdk_contains_aliases_and_responsive_ips() {
+        let internet = internet();
+        let itdk = build_itdk(&internet);
+        assert!(!itdk.router_ips.is_empty());
+        assert!(!itdk.alias_sets.is_empty());
+        for set in &itdk.alias_sets {
+            assert!(set.len() >= 2);
+            // All alias members are known interfaces of the same router.
+            let device = internet.truth_of(set[0]).unwrap().device;
+            for &ip in set {
+                assert_eq!(internet.truth_of(ip).unwrap().device, device);
+            }
+        }
+    }
+
+    #[test]
+    fn itdk_and_ripe_are_complementary() {
+        let internet = internet();
+        let snapshots = build_ripe_snapshots(&internet);
+        let itdk = build_itdk(&internet);
+        let overlap = ip_overlap(&snapshots[0].router_ips, &itdk.router_ips);
+        assert!(
+            overlap < 0.6,
+            "ITDK should not duplicate the traceroute view: {overlap:.2}"
+        );
+    }
+
+    #[test]
+    fn dataset_builds_are_deterministic() {
+        let a = build_ripe_snapshots(&internet());
+        let b = build_ripe_snapshots(&internet());
+        assert_eq!(a[0].router_ips, b[0].router_ips);
+        assert_eq!(a[0].traces.len(), b[0].traces.len());
+    }
+}

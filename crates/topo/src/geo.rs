@@ -1,0 +1,240 @@
+//! Geography: continents, countries, and regional vendor markets.
+//!
+//! The paper geolocates endpoints through address-registry information
+//! (§6.2) and reports vendor market share per continent (Figure 21 /
+//! Appendix A.2). We reproduce that structure: every AS is registered in a
+//! country on a continent, and the continent carries a vendor market-share
+//! prior that the topology generator draws dominant vendors from. The
+//! priors below follow the paper's reported shapes: Cisco dominant in
+//! North America/Europe/Oceania/Africa, Huawei strong in Asia and South
+//! America, Juniper's largest share in North America.
+
+use lfp_stack::vendor::Vendor;
+use serde::{Deserialize, Serialize};
+
+/// Continents, using the paper's region abbreviations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Continent {
+    /// Africa (AF).
+    Africa,
+    /// Asia (AS).
+    Asia,
+    /// Europe (EU).
+    Europe,
+    /// North America (NA).
+    NorthAmerica,
+    /// Oceania (OC).
+    Oceania,
+    /// South America (SA).
+    SouthAmerica,
+}
+
+impl Continent {
+    /// All continents in display order.
+    pub const ALL: [Continent; 6] = [
+        Continent::Asia,
+        Continent::NorthAmerica,
+        Continent::Europe,
+        Continent::SouthAmerica,
+        Continent::Africa,
+        Continent::Oceania,
+    ];
+
+    /// Paper-style abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Continent::Africa => "AF",
+            Continent::Asia => "AS",
+            Continent::Europe => "EU",
+            Continent::NorthAmerica => "NA",
+            Continent::Oceania => "OC",
+            Continent::SouthAmerica => "SA",
+        }
+    }
+
+    /// Share of the world's ASes registered on this continent (drives AS
+    /// generation; approximates registry distributions).
+    pub fn as_share(self) -> f64 {
+        match self {
+            Continent::Europe => 0.34,
+            Continent::NorthAmerica => 0.26,
+            Continent::Asia => 0.24,
+            Continent::SouthAmerica => 0.08,
+            Continent::Africa => 0.05,
+            Continent::Oceania => 0.03,
+        }
+    }
+
+    /// Countries used for registry assignment, with weights.
+    pub fn countries(self) -> &'static [(&'static str, f64)] {
+        match self {
+            Continent::Africa => &[("ZA", 0.4), ("NG", 0.3), ("KE", 0.2), ("EG", 0.1)],
+            Continent::Asia => &[
+                ("CN", 0.30),
+                ("JP", 0.18),
+                ("IN", 0.16),
+                ("KR", 0.12),
+                ("SG", 0.08),
+                ("ID", 0.16),
+            ],
+            Continent::Europe => &[
+                ("DE", 0.22),
+                ("GB", 0.18),
+                ("FR", 0.14),
+                ("NL", 0.12),
+                ("RU", 0.18),
+                ("IT", 0.16),
+            ],
+            Continent::NorthAmerica => &[("US", 0.78), ("CA", 0.14), ("MX", 0.08)],
+            Continent::Oceania => &[("AU", 0.75), ("NZ", 0.25)],
+            Continent::SouthAmerica => &[("BR", 0.5), ("AR", 0.25), ("CL", 0.15), ("CO", 0.10)],
+        }
+    }
+
+    /// Vendor market-share prior for routers deployed on this continent
+    /// (the Figure 21 shape). Weights need not sum exactly to one.
+    pub fn vendor_market(self) -> &'static [(Vendor, f64)] {
+        match self {
+            Continent::NorthAmerica => &[
+                (Vendor::Cisco, 0.66),
+                (Vendor::Juniper, 0.17),
+                (Vendor::MikroTik, 0.04),
+                (Vendor::Brocade, 0.03),
+                (Vendor::AlcatelNokia, 0.03),
+                (Vendor::NetSnmp, 0.03),
+                (Vendor::Huawei, 0.01),
+                (Vendor::Arista, 0.02),
+                (Vendor::Extreme, 0.01),
+            ],
+            Continent::Europe => &[
+                (Vendor::Cisco, 0.60),
+                (Vendor::Juniper, 0.11),
+                (Vendor::MikroTik, 0.11),
+                (Vendor::Huawei, 0.06),
+                (Vendor::AlcatelNokia, 0.04),
+                (Vendor::NetSnmp, 0.04),
+                (Vendor::Brocade, 0.015),
+                (Vendor::Ericsson, 0.01),
+                (Vendor::Teldat, 0.005),
+                (Vendor::Extreme, 0.01),
+            ],
+            Continent::Asia => &[
+                (Vendor::Huawei, 0.46),
+                (Vendor::Cisco, 0.23),
+                (Vendor::Juniper, 0.09),
+                (Vendor::H3C, 0.08),
+                (Vendor::MikroTik, 0.05),
+                (Vendor::Zte, 0.04),
+                (Vendor::Ruijie, 0.03),
+                (Vendor::NetSnmp, 0.02),
+                (Vendor::Fortinet, 0.01),
+            ],
+            Continent::SouthAmerica => &[
+                (Vendor::Huawei, 0.36),
+                (Vendor::Cisco, 0.29),
+                (Vendor::MikroTik, 0.17),
+                (Vendor::Juniper, 0.07),
+                (Vendor::NetSnmp, 0.05),
+                (Vendor::Zte, 0.03),
+                (Vendor::DLink, 0.03),
+            ],
+            Continent::Africa => &[
+                (Vendor::Cisco, 0.62),
+                (Vendor::Huawei, 0.15),
+                (Vendor::MikroTik, 0.12),
+                (Vendor::Juniper, 0.05),
+                (Vendor::NetSnmp, 0.03),
+                (Vendor::Zte, 0.03),
+            ],
+            Continent::Oceania => &[
+                (Vendor::Cisco, 0.78),
+                (Vendor::Juniper, 0.07),
+                (Vendor::MikroTik, 0.07),
+                (Vendor::AlcatelNokia, 0.03),
+                (Vendor::NetSnmp, 0.03),
+                (Vendor::Huawei, 0.02),
+            ],
+        }
+    }
+}
+
+/// Sample from a weighted list (weights need not be normalised).
+pub fn weighted_choice<'a, T, R: rand::Rng>(items: &'a [(T, f64)], rng: &mut R) -> &'a T {
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (item, weight) in items {
+        if draw < *weight {
+            return item;
+        }
+        draw -= weight;
+    }
+    &items[items.len() - 1].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn as_shares_sum_to_one() {
+        let total: f64 = Continent::ALL.iter().map(|c| c.as_share()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_continent_has_countries_and_market() {
+        for continent in Continent::ALL {
+            assert!(!continent.countries().is_empty());
+            assert!(!continent.vendor_market().is_empty());
+            let market_total: f64 = continent.vendor_market().iter().map(|(_, w)| w).sum();
+            assert!(
+                (0.9..=1.1).contains(&market_total),
+                "{}: market sums to {market_total}",
+                continent.abbrev()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_market_shape_holds() {
+        let top = |continent: Continent| {
+            continent
+                .vendor_market()
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap()
+                .0
+        };
+        assert_eq!(top(Continent::NorthAmerica), Vendor::Cisco);
+        assert_eq!(top(Continent::Europe), Vendor::Cisco);
+        assert_eq!(top(Continent::Oceania), Vendor::Cisco);
+        assert_eq!(top(Continent::Africa), Vendor::Cisco);
+        assert_eq!(top(Continent::Asia), Vendor::Huawei);
+        assert_eq!(top(Continent::SouthAmerica), Vendor::Huawei);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let items = [("a", 0.8), ("b", 0.2)];
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(*weighted_choice(&items, &mut rng)).or_default() += 1;
+        }
+        assert!(counts["a"] > 7_500 && counts["a"] < 8_500);
+    }
+
+    #[test]
+    fn us_dominates_north_america() {
+        let us_weight = Continent::NorthAmerica
+            .countries()
+            .iter()
+            .find(|(code, _)| *code == "US")
+            .unwrap()
+            .1;
+        assert!(us_weight > 0.5);
+    }
+}

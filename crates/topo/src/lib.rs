@@ -1,0 +1,34 @@
+//! # lfp-topo — the synthetic Internet
+//!
+//! Everything the measurement study needs the world to contain:
+//!
+//! * [`geo`] — continents, countries, regional vendor markets,
+//! * [`scale`] — sizing presets (`tiny`/`small`/`paper`),
+//! * [`graph`] — tiered AS generation, CAIDA-style relationships, and
+//!   valley-free BGP best paths with per-AS exclusion (for the §6.3
+//!   vendor-avoidance study),
+//! * [`internet`] — router/interface/vendor assembly into a live
+//!   [`lfp_net::Network`] plus ground-truth metadata,
+//! * [`midar`] — alias resolution (MIDAR-style IPID series + iffinder-style
+//!   source observation),
+//! * [`datasets`] — RIPE-style traceroute snapshots and the ITDK-style
+//!   alias-resolved router set (Table 2's populations).
+//!
+//! Ground truth stays on this side of the fence; the measurement crates
+//! observe it only through packets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod geo;
+pub mod graph;
+pub mod internet;
+pub mod midar;
+pub mod scale;
+
+pub use datasets::{build_itdk, build_ripe_snapshots, ItdkDataset, RipeSnapshot};
+pub use geo::Continent;
+pub use graph::{AsGraph, Tier};
+pub use internet::{Internet, RouterMeta};
+pub use scale::Scale;

@@ -1,0 +1,81 @@
+//! Quickstart: fingerprint a single simulated router with the 10-packet
+//! LFP schedule and inspect every feature the classifier sees.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lfp::net::network::{DeviceId, DirectOracle};
+use lfp::net::Network;
+use lfp::prelude::*;
+use lfp::stack::catalog;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn main() {
+    // A single Juniper MX behind one interface — the smallest possible
+    // "Internet".
+    let profile = Arc::new(catalog::default_variant(Vendor::Juniper));
+    println!("target stack : {} {}", profile.vendor, profile.family);
+
+    let device = (0..500)
+        .map(|seed| RouterDevice::new(Arc::clone(&profile), seed))
+        .find(|d| {
+            let e = d.exposure();
+            e.icmp && e.tcp && e.udp && e.snmp
+        })
+        .expect("an exposed device exists");
+    let target = Ipv4Addr::new(203, 0, 113, 1);
+    let mut interfaces = HashMap::new();
+    interfaces.insert(target, DeviceId(0));
+    let mut network = Network::new(vec![device], interfaces, Box::new(DirectOracle), 42);
+    network.set_base_loss(0.0);
+
+    // The paper's measurement: 3 ICMP + 3 TCP + 3 UDP + 1 SNMPv3.
+    let observation = probe_target(&network, target, 0.0, 7);
+    println!(
+        "responses    : {} ICMP, {} TCP, {} UDP",
+        observation.icmp.len(),
+        observation.tcp.len(),
+        observation.udp.len()
+    );
+    if let Some(engine) = &observation.snmp_engine {
+        println!(
+            "SNMPv3 engine: PEN {} → {:?}",
+            engine.pen,
+            lfp::core::snmp_label::vendor_from_engine(engine)
+        );
+    }
+
+    // The fifteen features of Table 1, in Table 6's row format.
+    let vector = extract(&observation);
+    println!("features     : {}", vector.table6_row());
+
+    // Classify against a signature set trained on a small synthetic
+    // Internet (ground truth only via SNMPv3, as in the paper).
+    println!("\nbuilding a small training Internet…");
+    let internet = Internet::generate(Scale::tiny());
+    let targets = internet.all_interfaces();
+    let scan = scan_dataset(internet.network(), "train", &targets, 8);
+    let set = scan
+        .signature_db()
+        .finalize(Scale::tiny().occurrence_threshold);
+    println!(
+        "trained      : {} unique / {} non-unique signatures from {} labelled IPs",
+        set.unique_count(),
+        set.non_unique_count(),
+        scan.snmp_count()
+    );
+
+    match set.classify(&vector) {
+        Classification::Unique { vendor, partial } => println!(
+            "verdict      : {vendor} (unique {} signature)",
+            if partial { "partial" } else { "full" }
+        ),
+        Classification::NonUnique(candidates) => {
+            println!("verdict      : ambiguous between {candidates:?}")
+        }
+        other => println!("verdict      : {other:?}"),
+    }
+}

@@ -1,0 +1,65 @@
+//! A vendor atlas: regional market shares, per-network homogeneity, and
+//! the networks where LFP adds the most over SNMPv3 (paper Appendix A).
+//!
+//! ```sh
+//! cargo run --release --example vendor_atlas
+//! ```
+
+use lfp::analysis::homogeneity::{per_as_summaries, per_as_vendor_counts};
+use lfp::analysis::regional::{per_as_snmp_counts, per_continent, top_networks};
+use lfp::analysis::World;
+use lfp::prelude::*;
+
+fn main() {
+    println!("measuring a small Internet…");
+    let world = World::build(Scale::small());
+    let scan = &world.itdk_scan;
+    let lfp = world.lfp_vendor_map(scan);
+    let snmp = world.snmp_vendor_map(scan);
+
+    // Regional vendor market (Figure 21).
+    println!("\nrouter vendor share per continent (LFP-identified):");
+    let stats = per_continent(&world.internet, &scan.targets, &lfp, &snmp);
+    for (continent, stat) in &stats {
+        let total = stat.lfp_total();
+        let mut vendors: Vec<_> = stat.lfp_by_vendor.iter().collect();
+        vendors.sort_by_key(|(_, &count)| std::cmp::Reverse(count));
+        let summary: Vec<String> = vendors
+            .iter()
+            .take(3)
+            .map(|(vendor, &count)| {
+                format!("{} {:.0}%", vendor.name(), count as f64 * 100.0 / total.max(1) as f64)
+            })
+            .collect();
+        println!(
+            "  {:<3} {:>6} routers | {} | LFP adds {:+.0}% over SNMPv3",
+            continent.abbrev(),
+            total,
+            summary.join(", "),
+            stat.lfp_uplift_percent()
+        );
+    }
+
+    // Homogeneity per network (Figure 20 flavour).
+    let summaries = per_as_summaries(&world.internet, &scan.targets, &lfp, &snmp);
+    let sized: Vec<_> = summaries.values().filter(|s| s.routers >= 5).collect();
+    let single = sized.iter().filter(|s| s.vendors.len() == 1 && s.identified > 0).count();
+    let dual = sized.iter().filter(|s| s.vendors.len() == 2).count();
+    println!(
+        "\nhomogeneity: of {} networks with ≥5 routers, {} are single-vendor and {} two-vendor",
+        sized.len(),
+        single,
+        dual
+    );
+
+    // The networks where LFP matters most (Figure 22).
+    let per_as_lfp = per_as_vendor_counts(&world.internet, &scan.targets, &lfp);
+    let per_as_snmp = per_as_snmp_counts(&world.internet, &scan.targets, &snmp);
+    println!("\ntop networks by identified routers (LFP vs SNMPv3):");
+    for network in top_networks(&world.internet, &per_as_lfp, &per_as_snmp, 10) {
+        println!(
+            "  {:<6} {:>5} LFP vs {:>5} SNMPv3",
+            network.label, network.lfp_routers, network.snmp_routers
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # lfp — Lightweight router vendor FingerPrinting
+//!
+//! Umbrella crate for the LFP reproduction (IMC '23, "Illuminating Router
+//! Vendor Diversity Within Providers and Along Network Paths"): re-exports
+//! the workspace crates under one roof so examples, integration tests and
+//! downstream users need a single dependency.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`packet`] | IPv4/ICMP/TCP/UDP/SNMPv3 wire formats |
+//! | [`stack`] | vendor TCP/IP stack behaviour models and router devices |
+//! | [`net`] | deterministic network simulator and parallel scanner |
+//! | [`topo`] | synthetic Internet: ASes, BGP, vendors, datasets |
+//! | [`core`] | the LFP methodology: probes, features, signatures |
+//! | [`baselines`] | Nmap/Hershel/iTTL/banner comparators |
+//! | [`analysis`] | analyses and the experiment registry |
+//!
+//! ```no_run
+//! use lfp::prelude::*;
+//!
+//! let world = World::build(Scale::small());
+//! let report = lfp::analysis::experiments::run_by_id(&world, "fig11").unwrap();
+//! println!("{}", report.render_text());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lfp_analysis as analysis;
+pub use lfp_baselines as baselines;
+pub use lfp_core as core;
+pub use lfp_net as net;
+pub use lfp_packet as packet;
+pub use lfp_stack as stack;
+pub use lfp_topo as topo;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use lfp_analysis::{Ecdf, Report, World};
+    pub use lfp_core::{
+        classify_scan, extract, probe_target, scan_dataset, Classification, FeatureVector,
+        SignatureDb, SignatureSet,
+    };
+    pub use lfp_net::{Network, ScanConfig};
+    pub use lfp_stack::{Catalog, RouterDevice, Vendor};
+    pub use lfp_topo::{Internet, Scale};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_compile() {
+        use crate::prelude::*;
+        let _ = Scale::tiny();
+        let _ = Vendor::Cisco;
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration: the §7.3 comparison claims — LFP vs Nmap vs Hershel vs
+//! the iTTL tuple — hold in shape on the banner-labelled cohort.
+
+use lfp::analysis::World;
+use lfp::baselines::banner::{build_censys_cohort, COMPARISON_VENDORS};
+use lfp::baselines::hershel::hershel_fingerprint;
+use lfp::baselines::ittl::tuple_accuracy;
+use lfp::baselines::nmap::nmap_scan;
+use lfp::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::build(Scale::tiny()))
+}
+
+#[test]
+fn lfp_sends_two_orders_of_magnitude_fewer_packets_than_nmap() {
+    let cohort = build_censys_cohort(25, 77);
+    let mut nmap_total = 0usize;
+    for (index, &(ip, vendor)) in cohort.sample.iter().enumerate() {
+        let result = nmap_scan(&cohort.network, ip, vendor, index as f64 * 20.0, 5);
+        nmap_total += result.packets_sent;
+    }
+    let nmap_mean = nmap_total as f64 / cohort.sample.len() as f64;
+    let lfp_packets = 10.0;
+    assert!(
+        nmap_mean / lfp_packets >= 100.0,
+        "Nmap mean {nmap_mean:.0} vs LFP {lfp_packets} is not ≥100×"
+    );
+}
+
+#[test]
+fn lfp_coverage_beats_nmap_for_every_comparison_vendor() {
+    let world = world();
+    let cohort = build_censys_cohort(60, 99);
+    let mut lfp_cov = std::collections::HashMap::new();
+    let mut nmap_cov = std::collections::HashMap::new();
+    for (index, &(ip, vendor)) in cohort.sample.iter().enumerate() {
+        let observation =
+            lfp::core::probe_target(&cohort.network, ip, index as f64 * 3.0, index as u64);
+        if observation.responsive_protocols() > 0 {
+            *lfp_cov.entry(vendor).or_insert(0usize) += 1;
+        }
+        let nmap = nmap_scan(
+            &cohort.network,
+            ip,
+            vendor,
+            1e6 + index as f64 * 30.0,
+            world.scale.seed,
+        );
+        if nmap.guess.is_some() {
+            *nmap_cov.entry(vendor).or_insert(0usize) += 1;
+        }
+    }
+    for vendor in COMPARISON_VENDORS {
+        let lfp = lfp_cov.get(&vendor).copied().unwrap_or(0);
+        let nmap = nmap_cov.get(&vendor).copied().unwrap_or(0);
+        assert!(
+            lfp > nmap,
+            "{vendor}: LFP coverage {lfp} should beat Nmap {nmap}"
+        );
+    }
+}
+
+#[test]
+fn hershel_never_names_router_vendors() {
+    let cohort = build_censys_cohort(40, 3);
+    let mut covered = 0usize;
+    for (index, &(ip, _)) in cohort.sample.iter().enumerate() {
+        for port in [22u16, 23, 80] {
+            let result =
+                hershel_fingerprint(&cohort.network, ip, port, index as f64, u64::from(port));
+            if result.covered {
+                covered += 1;
+                assert_eq!(result.vendor_guess, None);
+                break;
+            }
+        }
+    }
+    assert!(covered > 0, "Hershel covered nothing");
+}
+
+#[test]
+fn ittl_tuples_confuse_huawei_with_cisco_but_lfp_does_not() {
+    let world = world();
+    let corpus = world.labeled_corpus();
+    let tuple = tuple_accuracy(&corpus);
+    // The related-work failure mode: Huawei→Cisco confusions exist.
+    assert!(
+        tuple.huawei_as_cisco > 0,
+        "expected Huawei/Cisco iTTL collisions in the corpus"
+    );
+    // LFP separates them: Huawei vectors with unique verdicts are Huawei.
+    let mut huawei_correct = 0usize;
+    let mut huawei_wrong = 0usize;
+    for (vector, vendor) in &corpus {
+        if *vendor == Vendor::Huawei {
+            match world.set.classify(vector).unique_vendor() {
+                Some(Vendor::Huawei) => huawei_correct += 1,
+                Some(_) => huawei_wrong += 1,
+                None => {}
+            }
+        }
+    }
+    assert!(huawei_correct > 0);
+    assert!(
+        huawei_correct > huawei_wrong * 10,
+        "LFP Huawei verdicts: {huawei_correct} right vs {huawei_wrong} wrong"
+    );
+}
+
+#[test]
+fn evasion_flip_defeats_the_classifier_as_in_table6() {
+    // §8: change a Juniper router's ICMP iTTL from 64 to 255 and LFP
+    // misclassifies it (Table 6's demonstration).
+    let world = world();
+    let report = lfp::analysis::experiments::run_by_id(world, "table6").unwrap();
+    assert!(
+        report.measured_claim.contains("reclassified as")
+            || report.measured_claim.contains("verdict"),
+        "evasion row missing: {}",
+        report.measured_claim
+    );
+}

@@ -1,0 +1,59 @@
+//! Reproducibility: the entire study is a pure function of the scale's
+//! seed — across runs and across parallelism levels.
+
+use lfp::prelude::*;
+use lfp::topo::build_ripe_snapshots;
+
+#[test]
+fn internet_generation_is_bit_stable() {
+    let a = Internet::generate(Scale::tiny());
+    let b = Internet::generate(Scale::tiny());
+    assert_eq!(a.routers().len(), b.routers().len());
+    for (x, y) in a.routers().iter().zip(b.routers()) {
+        assert_eq!(x.vendor, y.vendor);
+        assert_eq!(x.family, y.family);
+        assert_eq!(x.interfaces, y.interfaces);
+        assert_eq!(x.as_id, y.as_id);
+    }
+}
+
+#[test]
+fn datasets_are_reproducible() {
+    let a = Internet::generate(Scale::tiny());
+    let b = Internet::generate(Scale::tiny());
+    let snaps_a = build_ripe_snapshots(&a);
+    let snaps_b = build_ripe_snapshots(&b);
+    for (x, y) in snaps_a.iter().zip(&snaps_b) {
+        assert_eq!(x.router_ips, y.router_ips, "{} diverged", x.name);
+    }
+}
+
+#[test]
+fn scans_are_invariant_under_shard_count() {
+    // The zmap-style scanner shards by device; 1 worker and 8 workers
+    // must produce identical vectors and labels.
+    let internet_serial = Internet::generate(Scale::tiny());
+    let internet_parallel = Internet::generate(Scale::tiny());
+    let targets = internet_serial.all_interfaces();
+    let serial = scan_dataset(internet_serial.network(), "s", &targets, 1);
+    let parallel = scan_dataset(internet_parallel.network(), "p", &targets, 8);
+    assert_eq!(serial.vectors, parallel.vectors);
+    assert_eq!(serial.labels, parallel.labels);
+}
+
+#[test]
+fn classification_is_reproducible_end_to_end() {
+    let run = || {
+        let internet = Internet::generate(Scale::tiny());
+        let targets = internet.all_interfaces();
+        let scan = scan_dataset(internet.network(), "r", &targets, 4);
+        let set = scan.signature_db().finalize(2);
+        let verdicts: Vec<Option<Vendor>> = scan
+            .vectors
+            .iter()
+            .map(|v| set.classify(v).unique_vendor())
+            .collect();
+        (set.unique_count(), set.non_unique_count(), verdicts)
+    };
+    assert_eq!(run(), run());
+}

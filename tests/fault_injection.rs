@@ -1,0 +1,76 @@
+//! Robustness: the measurement pipeline under adverse conditions
+//! (smoltcp-style fault injection). Loss turns full signatures into
+//! partial ones; it must never corrupt verdicts.
+
+use lfp::net::FaultInjector;
+use lfp::prelude::*;
+
+fn scan_with_drop(drop_chance: f64) -> (Internet, lfp::core::DatasetScan) {
+    let mut internet = Internet::generate(Scale::tiny());
+    internet.network_mut().set_faults(FaultInjector {
+        drop_chance,
+        duplicate_chance: 0.0,
+    });
+    let targets = internet.all_interfaces();
+    let scan = scan_dataset(internet.network(), "faulty", &targets, 4);
+    (internet, scan)
+}
+
+#[test]
+fn loss_reduces_full_vectors_but_keeps_accuracy() {
+    let (clean_internet, clean) = scan_with_drop(0.0);
+    let (_lossy_internet, lossy) = scan_with_drop(0.25);
+
+    let full = |scan: &lfp::core::DatasetScan| {
+        scan.vectors.iter().filter(|v| v.is_full()).count()
+    };
+    assert!(
+        full(&lossy) < full(&clean),
+        "loss should reduce full vectors: {} vs {}",
+        full(&lossy),
+        full(&clean)
+    );
+
+    // Train on the clean world, classify the lossy scan: verdicts that
+    // still fire must stay accurate (partial matching absorbs the loss).
+    let set = clean.signature_db().finalize(2);
+    let mut correct = 0usize;
+    let mut wrong = 0usize;
+    for (target, vector) in lossy.targets.iter().zip(&lossy.vectors) {
+        if let Some(vendor) = set.classify(vector).unique_vendor() {
+            let truth = clean_internet.truth_of(*target).unwrap().vendor;
+            if truth == vendor {
+                correct += 1;
+            } else {
+                wrong += 1;
+            }
+        }
+    }
+    assert!(correct > 0, "nothing classified under loss");
+    let accuracy = correct as f64 / (correct + wrong) as f64;
+    assert!(accuracy > 0.85, "accuracy under loss {accuracy:.3}");
+}
+
+#[test]
+fn total_blackout_classifies_nothing() {
+    let (_, scan) = scan_with_drop(1.0);
+    assert_eq!(scan.responsive_count(), 0);
+    assert_eq!(scan.snmp_count(), 0);
+    for vector in &scan.vectors {
+        assert!(vector.is_empty());
+    }
+}
+
+#[test]
+fn responsiveness_degrades_smoothly() {
+    let mut previous = usize::MAX;
+    for drop in [0.0, 0.3, 0.7] {
+        let (_, scan) = scan_with_drop(drop);
+        let responsive = scan.responsive_count();
+        assert!(
+            responsive <= previous,
+            "responsiveness should not increase with loss"
+        );
+        previous = responsive;
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based integration tests on cross-crate invariants: the
+//! signature database, the IPID classifier, and feature projection.
+
+use lfp::core::extract::{classify_ipids, classify_ipids_with_threshold};
+use lfp::core::features::{FeatureVector, InitialTtl, IpidClass, ProtocolCoverage};
+use lfp::prelude::*;
+use proptest::prelude::*;
+
+fn arbitrary_vector() -> impl Strategy<Value = FeatureVector> {
+    let ipid = proptest::option::of(prop_oneof![
+        Just(IpidClass::Incremental),
+        Just(IpidClass::Random),
+        Just(IpidClass::Static),
+        Just(IpidClass::Zero),
+        Just(IpidClass::Duplicate),
+    ]);
+    let ttl = prop_oneof![
+        Just(InitialTtl::T32),
+        Just(InitialTtl::T64),
+        Just(InitialTtl::T128),
+        Just(InitialTtl::T255),
+    ];
+    (
+        (proptest::option::of(any::<bool>()), ipid.clone(), ipid.clone(), ipid),
+        (ttl.clone(), ttl.clone(), ttl),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+        (40u16..100, 40u16..100, 40u16..100),
+        any::<bool>(),
+    )
+        .prop_map(
+            |((echo, icmp_ipid, tcp_ipid, udp_ipid), (t1, t2, t3), (s1, s2, s3), (z1, z2, z3), seq)| {
+                // Build a *full* vector, then let tests project it.
+                FeatureVector {
+                    icmp_ipid_echo: Some(echo.unwrap_or(false)),
+                    icmp_ipid: Some(icmp_ipid.unwrap_or(IpidClass::Incremental)),
+                    tcp_ipid: Some(tcp_ipid.unwrap_or(IpidClass::Random)),
+                    udp_ipid: Some(udp_ipid.unwrap_or(IpidClass::Zero)),
+                    shared_all: Some(s1 && s2 && s3),
+                    shared_tcp_icmp: Some(s1),
+                    shared_udp_icmp: Some(s2),
+                    shared_tcp_udp: Some(s3),
+                    udp_ittl: Some(t1),
+                    icmp_ittl: Some(t2),
+                    tcp_ittl: Some(t3),
+                    icmp_resp_size: Some(z1),
+                    tcp_resp_size: Some(z2),
+                    udp_resp_size: Some(z3),
+                    tcp_syn_seq_zero: Some(seq),
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Unique classification of a trained vector always returns the
+    /// trained vendor, regardless of what else was trained.
+    #[test]
+    fn training_is_sound(
+        vectors in proptest::collection::vec(arbitrary_vector(), 1..24),
+        vendor_picks in proptest::collection::vec(0usize..4, 1..24),
+    ) {
+        let vendors = [Vendor::Cisco, Vendor::Juniper, Vendor::Huawei, Vendor::MikroTik];
+        let mut db = SignatureDb::new();
+        let mut truth = std::collections::HashMap::new();
+        for (vector, &pick) in vectors.iter().zip(vendor_picks.iter().chain(std::iter::repeat(&0))) {
+            let vendor = vendors[pick];
+            db.add(*vector, vendor);
+            truth.entry(*vector).or_insert_with(Vec::new).push(vendor);
+        }
+        let set = db.finalize(1);
+        for (vector, vendors_seen) in &truth {
+            match set.classify(vector) {
+                Classification::Unique { vendor, .. } => {
+                    // Unique verdicts must match the only trained vendor.
+                    prop_assert!(vendors_seen.iter().all(|&v| v == vendor));
+                }
+                Classification::NonUnique(list) => {
+                    // Every candidate was actually trained on this vector.
+                    for (candidate, _) in list {
+                        prop_assert!(vendors_seen.contains(&candidate));
+                    }
+                }
+                Classification::Unknown | Classification::Unresponsive => {
+                    prop_assert!(false, "trained vector must classify");
+                }
+            }
+        }
+    }
+
+    /// Raising the occurrence threshold never adds signatures.
+    #[test]
+    fn threshold_is_monotonic(
+        vectors in proptest::collection::vec(arbitrary_vector(), 1..40),
+    ) {
+        let mut db = SignatureDb::new();
+        for (index, vector) in vectors.iter().enumerate() {
+            let vendor = if index % 3 == 0 { Vendor::Cisco } else { Vendor::Juniper };
+            for _ in 0..(index % 5 + 1) {
+                db.add(*vector, vendor);
+            }
+        }
+        let mut previous = usize::MAX;
+        for threshold in [1usize, 2, 4, 8, 16] {
+            let (unique, non_unique) = db.signature_counts_at(threshold);
+            prop_assert!(unique + non_unique <= previous);
+            previous = unique + non_unique;
+        }
+    }
+
+    /// Merging databases commutes (same finalized sets either way).
+    #[test]
+    fn merge_commutes(
+        a_vectors in proptest::collection::vec(arbitrary_vector(), 0..16),
+        b_vectors in proptest::collection::vec(arbitrary_vector(), 0..16),
+    ) {
+        let mut a = SignatureDb::new();
+        for v in &a_vectors { a.add(*v, Vendor::Cisco); }
+        let mut b = SignatureDb::new();
+        for v in &b_vectors { b.add(*v, Vendor::Huawei); }
+
+        let mut ab = SignatureDb::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = SignatureDb::new();
+        ba.merge(&b);
+        ba.merge(&a);
+
+        let set_ab = ab.finalize(1);
+        let set_ba = ba.finalize(1);
+        prop_assert_eq!(set_ab.unique_count(), set_ba.unique_count());
+        prop_assert_eq!(set_ab.non_unique_count(), set_ba.non_unique_count());
+    }
+
+    /// A full vector's projection classifies consistently: if the partial
+    /// lookup is unique, it must agree with the full unique verdict.
+    #[test]
+    fn projection_never_contradicts(vector in arbitrary_vector()) {
+        let mut db = SignatureDb::new();
+        db.add(vector, Vendor::Ericsson);
+        let set = db.finalize(1);
+        for coverage in ProtocolCoverage::partial_combinations() {
+            let projected = vector.project(coverage);
+            if projected.is_empty() { continue; }
+            if let Classification::Unique { vendor, .. } = set.classify(&projected) {
+                prop_assert_eq!(vendor, Vendor::Ericsson);
+            }
+        }
+    }
+
+    /// IPID classification is threshold-consistent: a sequence called
+    /// incremental at threshold T is incremental at any larger threshold.
+    #[test]
+    fn ipid_threshold_consistency(values in proptest::collection::vec(any::<u16>(), 2..6)) {
+        let at_1300 = classify_ipids(&values);
+        let at_8000 = classify_ipids_with_threshold(&values, 8000);
+        if at_1300 == Some(IpidClass::Incremental) {
+            prop_assert_eq!(at_8000, Some(IpidClass::Incremental));
+        }
+        if at_8000 == Some(IpidClass::Random) {
+            prop_assert_eq!(at_1300, Some(IpidClass::Random));
+        }
+        // Class totality: 2+ values always classify.
+        prop_assert!(at_1300.is_some());
+    }
+
+    /// Constant-shift invariance: adding a constant to every IPID does not
+    /// change the counter class (wrap-aware steps are shift-invariant),
+    /// except where the shift creates/destroys the all-zero case.
+    #[test]
+    fn ipid_shift_invariance(
+        values in proptest::collection::vec(1u16..u16::MAX, 3..6),
+        shift in any::<u16>(),
+    ) {
+        let shifted: Vec<u16> = values.iter().map(|v| v.wrapping_add(shift)).collect();
+        let base = classify_ipids(&values);
+        let moved = classify_ipids(&shifted);
+        let zeroish = |vals: &[u16]| vals.iter().all(|&v| v == 0);
+        if !zeroish(&values) && !zeroish(&shifted) {
+            prop_assert_eq!(base, moved);
+        }
+    }
+}
