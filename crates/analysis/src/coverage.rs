@@ -145,9 +145,9 @@ mod tests {
     #[test]
     fn router_split_detects_conflicts() {
         let sets = vec![
-            vec![ip(1), ip(2)],            // agree: Cisco
-            vec![ip(3), ip(4)],            // conflict
-            vec![ip(5), ip(6)],            // unclassified
+            vec![ip(1), ip(2)], // agree: Cisco
+            vec![ip(3), ip(4)], // conflict
+            vec![ip(5), ip(6)], // unclassified
         ];
         let mut lfp = HashMap::new();
         lfp.insert(ip(1), Vendor::Cisco);

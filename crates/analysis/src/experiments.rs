@@ -52,40 +52,176 @@ pub struct Experiment {
 
 /// All experiments, in paper order.
 pub const EXPERIMENTS: &[Experiment] = &[
-    Experiment { id: "table1", title: "Feature set and observed value domains", run: table1 },
-    Experiment { id: "table2", title: "Router address datasets", run: table2 },
-    Experiment { id: "table3", title: "Measurement overview", run: table3 },
-    Experiment { id: "table4", title: "Partial signatures per protocol combination", run: table4 },
-    Experiment { id: "table5", title: "Ground-truth signatures per vendor", run: table5 },
-    Experiment { id: "table6", title: "Sample signatures and iTTL evasion", run: table6 },
-    Experiment { id: "table7", title: "LFP vs Nmap coverage/accuracy", run: table7 },
-    Experiment { id: "table8", title: "Precision and recall (80/20 split)", run: table8 },
-    Experiment { id: "fig2", title: "Max IPID step ECDF", run: fig2 },
-    Experiment { id: "fig3", title: "IPID difference histogram", run: fig3 },
-    Experiment { id: "fig4", title: "Responsive protocols per IP", run: fig4 },
-    Experiment { id: "fig5", title: "Responses per protocol (RIPE latest)", run: fig5 },
-    Experiment { id: "fig6", title: "Responses per protocol (ITDK)", run: fig6 },
-    Experiment { id: "fig7", title: "Occurrence-threshold sensitivity", run: fig7 },
-    Experiment { id: "fig8", title: "Path length distribution", run: fig8 },
-    Experiment { id: "fig9", title: "Identifiable routers per path", run: fig9 },
-    Experiment { id: "fig10", title: "LFP vs SNMPv3 on paths", run: fig10 },
-    Experiment { id: "fig11", title: "Vendor diversity per path", run: fig11 },
-    Experiment { id: "fig12", title: "Top vendor combinations (all paths)", run: fig12 },
-    Experiment { id: "fig13", title: "Top vendor combinations (intra-US)", run: fig13 },
-    Experiment { id: "fig14", title: "Top vendor combinations (inter-US)", run: fig14 },
-    Experiment { id: "fig15", title: "IPs→vendors, SNMPv3 vs LFP (RIPE latest)", run: fig15 },
-    Experiment { id: "fig16", title: "IPs→vendors, SNMPv3 vs LFP (ITDK)", run: fig16 },
-    Experiment { id: "fig17", title: "Routers→vendors (ITDK alias sets)", run: fig17 },
-    Experiment { id: "fig18", title: "Nmap packet cost", run: fig18 },
-    Experiment { id: "fig19", title: "LFP coverage per AS", run: fig19 },
-    Experiment { id: "fig20", title: "Vendors per AS (homogeneity)", run: fig20 },
-    Experiment { id: "fig21", title: "Vendor share per continent", run: fig21 },
-    Experiment { id: "fig22", title: "Top networks: LFP vs SNMPv3", run: fig22 },
-    Experiment { id: "case_routing", title: "Informed-routing avoidance study", run: case_routing },
-    Experiment { id: "ablation_threshold", title: "A1: IPID threshold sweep", run: ablation_threshold },
-    Experiment { id: "ablation_features", title: "A2: feature-group knock-out", run: ablation_features },
-    Experiment { id: "ablation_partial", title: "A3: partial signatures on/off", run: ablation_partial },
-    Experiment { id: "ablation_probes", title: "A4: probes per protocol", run: ablation_probes },
+    Experiment {
+        id: "table1",
+        title: "Feature set and observed value domains",
+        run: table1,
+    },
+    Experiment {
+        id: "table2",
+        title: "Router address datasets",
+        run: table2,
+    },
+    Experiment {
+        id: "table3",
+        title: "Measurement overview",
+        run: table3,
+    },
+    Experiment {
+        id: "table4",
+        title: "Partial signatures per protocol combination",
+        run: table4,
+    },
+    Experiment {
+        id: "table5",
+        title: "Ground-truth signatures per vendor",
+        run: table5,
+    },
+    Experiment {
+        id: "table6",
+        title: "Sample signatures and iTTL evasion",
+        run: table6,
+    },
+    Experiment {
+        id: "table7",
+        title: "LFP vs Nmap coverage/accuracy",
+        run: table7,
+    },
+    Experiment {
+        id: "table8",
+        title: "Precision and recall (80/20 split)",
+        run: table8,
+    },
+    Experiment {
+        id: "fig2",
+        title: "Max IPID step ECDF",
+        run: fig2,
+    },
+    Experiment {
+        id: "fig3",
+        title: "IPID difference histogram",
+        run: fig3,
+    },
+    Experiment {
+        id: "fig4",
+        title: "Responsive protocols per IP",
+        run: fig4,
+    },
+    Experiment {
+        id: "fig5",
+        title: "Responses per protocol (RIPE latest)",
+        run: fig5,
+    },
+    Experiment {
+        id: "fig6",
+        title: "Responses per protocol (ITDK)",
+        run: fig6,
+    },
+    Experiment {
+        id: "fig7",
+        title: "Occurrence-threshold sensitivity",
+        run: fig7,
+    },
+    Experiment {
+        id: "fig8",
+        title: "Path length distribution",
+        run: fig8,
+    },
+    Experiment {
+        id: "fig9",
+        title: "Identifiable routers per path",
+        run: fig9,
+    },
+    Experiment {
+        id: "fig10",
+        title: "LFP vs SNMPv3 on paths",
+        run: fig10,
+    },
+    Experiment {
+        id: "fig11",
+        title: "Vendor diversity per path",
+        run: fig11,
+    },
+    Experiment {
+        id: "fig12",
+        title: "Top vendor combinations (all paths)",
+        run: fig12,
+    },
+    Experiment {
+        id: "fig13",
+        title: "Top vendor combinations (intra-US)",
+        run: fig13,
+    },
+    Experiment {
+        id: "fig14",
+        title: "Top vendor combinations (inter-US)",
+        run: fig14,
+    },
+    Experiment {
+        id: "fig15",
+        title: "IPs→vendors, SNMPv3 vs LFP (RIPE latest)",
+        run: fig15,
+    },
+    Experiment {
+        id: "fig16",
+        title: "IPs→vendors, SNMPv3 vs LFP (ITDK)",
+        run: fig16,
+    },
+    Experiment {
+        id: "fig17",
+        title: "Routers→vendors (ITDK alias sets)",
+        run: fig17,
+    },
+    Experiment {
+        id: "fig18",
+        title: "Nmap packet cost",
+        run: fig18,
+    },
+    Experiment {
+        id: "fig19",
+        title: "LFP coverage per AS",
+        run: fig19,
+    },
+    Experiment {
+        id: "fig20",
+        title: "Vendors per AS (homogeneity)",
+        run: fig20,
+    },
+    Experiment {
+        id: "fig21",
+        title: "Vendor share per continent",
+        run: fig21,
+    },
+    Experiment {
+        id: "fig22",
+        title: "Top networks: LFP vs SNMPv3",
+        run: fig22,
+    },
+    Experiment {
+        id: "case_routing",
+        title: "Informed-routing avoidance study",
+        run: case_routing,
+    },
+    Experiment {
+        id: "ablation_threshold",
+        title: "A1: IPID threshold sweep",
+        run: ablation_threshold,
+    },
+    Experiment {
+        id: "ablation_features",
+        title: "A2: feature-group knock-out",
+        run: ablation_features,
+    },
+    Experiment {
+        id: "ablation_partial",
+        title: "A3: partial signatures on/off",
+        run: ablation_partial,
+    },
+    Experiment {
+        id: "ablation_probes",
+        title: "A4: probes per protocol",
+        run: ablation_probes,
+    },
 ];
 
 /// Run one experiment by id.
@@ -99,6 +235,51 @@ pub fn run_by_id(world: &World, id: &str) -> Option<Report> {
 /// All experiment ids.
 pub fn all_ids() -> Vec<&'static str> {
     EXPERIMENTS.iter().map(|e| e.id).collect()
+}
+
+/// Run every experiment sequentially, in registry (paper) order.
+pub fn run_all(world: &World) -> Vec<Report> {
+    EXPERIMENTS.iter().map(|e| (e.run)(world)).collect()
+}
+
+/// Run every experiment across all cores, returning reports in registry
+/// (paper) order — same output as [`run_all`], ~cores× faster.
+///
+/// Generators are pure functions of the world, and the world's derived
+/// maps are memoised behind `OnceLock`s, so concurrent generators share
+/// classification work instead of repeating it. Work is handed out via an
+/// atomic cursor: experiments vary widely in cost (table7's cohort scans
+/// versus fig4's ECDF), so a work-stealing queue beats static chunking.
+pub fn run_all_parallel(world: &World) -> Vec<Report> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(EXPERIMENTS.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Report>>> = EXPERIMENTS.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(experiment) = EXPERIMENTS.get(index) else {
+                    break;
+                };
+                let report = (experiment.run)(world);
+                *slots[index].lock().expect("report slot poisoned") = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("report slot poisoned")
+                .expect("every experiment produces a report")
+        })
+        .collect()
 }
 
 fn ecdf_series(name: &str, ecdf: &Ecdf, points: usize) -> Series {
@@ -149,13 +330,19 @@ fn table1(world: &World) -> Report {
     }
     let join = |set: &BTreeSet<String>| set.iter().cloned().collect::<Vec<_>>().join(", ");
     let join_u8 = |set: &BTreeSet<u8>| {
-        set.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        set.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     let sizes = |set: &BTreeSet<u16>| format!("{} distinct values", set.len());
     report.columns = vec!["Feature".into(), "Observed values".into()];
     report.row(["ICMP IPID echo".into(), "true, false".into()]);
     report.row(["ICMP/TCP/UDP IPID counter".into(), join(&ipid_classes)]);
-    report.row(["shared counters (4 pair/all flags)".into(), "true, false".into()]);
+    report.row([
+        "shared counters (4 pair/all flags)".into(),
+        "true, false".into(),
+    ]);
     report.row(["UDP/ICMP/TCP iTTL".into(), join_u8(&ittls)]);
     report.row(["ICMP echo response size".into(), sizes(&icmp_sizes)]);
     report.row(["TCP response size".into(), sizes(&tcp_sizes)]);
@@ -226,8 +413,7 @@ fn table2(world: &World) -> Report {
             &pair[1].router_ips,
         ));
     }
-    let mean_overlap =
-        overlaps.iter().sum::<f64>() / overlaps.len().max(1) as f64 * 100.0;
+    let mean_overlap = overlaps.iter().sum::<f64>() / overlaps.len().max(1) as f64 * 100.0;
     report.paper_claim =
         "5 RIPE snapshots (446k–496k IPs, 18.3k–20.2k ASes), ITDK 343k/9.9k; union 971k/24.9k; ~88% pairwise overlap".into();
     report.measured_claim = format!(
@@ -331,9 +517,8 @@ fn table4(world: &World) -> Report {
     }
     report.paper_claim =
         "Two-protocol combinations stay mostly unique (e.g. TCP&UDP 43/61); single-protocol splits roughly half".into();
-    report.measured_claim = format!(
-        "two-protocol combinations majority-unique: {majority_unique_two_proto}"
-    );
+    report.measured_claim =
+        format!("two-protocol combinations majority-unique: {majority_unique_two_proto}");
     report
 }
 
@@ -345,11 +530,8 @@ fn table5(world: &World) -> Report {
         "Unique sigs (#IPs)".into(),
         "Non-unique sigs (#IPs)".into(),
     ];
-    let scans: Vec<&lfp_core::DatasetScan> = world
-        .ripe_scans
-        .iter()
-        .chain([&world.itdk_scan])
-        .collect();
+    let scans: Vec<&lfp_core::DatasetScan> =
+        world.ripe_scans.iter().chain([&world.itdk_scan]).collect();
     let stats = vendor_signature_stats(&world.union_db, &world.set, &scans);
     let mut other = lfp_core::pipeline::VendorSignatureStats::default();
     let mut rows: Vec<(Vendor, lfp_core::pipeline::VendorSignatureStats)> = Vec::new();
@@ -364,7 +546,7 @@ fn table5(world: &World) -> Report {
             other.non_unique_ips += stat.non_unique_ips;
         }
     }
-    rows.sort_by(|a, b| b.1.labeled_ips.cmp(&a.1.labeled_ips));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1.labeled_ips));
     let mut unique_ips_total = 0usize;
     let mut labeled_total = 0usize;
     for (vendor, stat) in rows {
@@ -571,7 +753,7 @@ fn table8(world: &World) -> Report {
         world.scale.seed ^ 0x8020,
     );
     let mut rows: Vec<_> = results.iter().collect();
-    rows.sort_by(|a, b| b.1.total_test.cmp(&a.1.total_test));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1.total_test));
     let mut major_high = true;
     for (&vendor, pr) in rows {
         if pr.total_test == 0 {
@@ -589,7 +771,9 @@ fn table8(world: &World) -> Report {
             pr.total_test.to_string(),
         ]);
     }
-    report.paper_claim = "Cisco/Juniper/Huawei P and R near 1; UNIX-based vendors (net-snmp, Brocade, H3C) collapse".into();
+    report.paper_claim =
+        "Cisco/Juniper/Huawei P and R near 1; UNIX-based vendors (net-snmp, Brocade, H3C) collapse"
+            .into();
     report.measured_claim = format!("major vendors ≥0.85 P/R: {major_high}");
     report
 }
@@ -646,10 +830,7 @@ fn fig3(world: &World) -> Report {
             .collect(),
     });
     let near_zero = histogram.percent_between(-500.0, 500.0);
-    let within_threshold = diffs
-        .iter()
-        .filter(|d| d.abs() <= 1300.0)
-        .count() as f64
+    let within_threshold = diffs.iter().filter(|d| d.abs() <= 1300.0).count() as f64
         / diffs.len().max(1) as f64
         * 100.0;
     report.paper_claim =
@@ -677,8 +858,7 @@ fn fig4(world: &World) -> Report {
     }
     let (ripe_any, ripe_all) = headline_fractions(ripe);
     let (itdk_any, itdk_all) = headline_fractions(&world.itdk_scan);
-    report.paper_claim =
-        "ITDK: 50% respond on all three, 90.7% on ≥1; RIPE: 35% and 72.3%".into();
+    report.paper_claim = "ITDK: 50% respond on all three, 90.7% on ≥1; RIPE: 35% and 72.3%".into();
     report.measured_claim = format!(
         "ITDK: {} all three / {} ≥1; RIPE: {} / {}",
         fmt_pct(itdk_all * 100.0),
@@ -714,15 +894,16 @@ fn fig5(world: &World) -> Report {
     let (_, ripe) = world.latest_ripe();
     let mut report = responses_figure("fig5", "Responses per protocol (RIPE latest)", ripe);
     report.paper_claim =
-        "RIPE: 65.7% answer all three ICMP probes, 39.5% all TCP/UDP; responses are all-or-nothing".into();
+        "RIPE: 65.7% answer all three ICMP probes, 39.5% all TCP/UDP; responses are all-or-nothing"
+            .into();
     report
 }
 
 fn fig6(world: &World) -> Report {
-    let mut report =
-        responses_figure("fig6", "Responses per protocol (ITDK)", &world.itdk_scan);
+    let mut report = responses_figure("fig6", "Responses per protocol (ITDK)", &world.itdk_scan);
     report.paper_claim =
-        "ITDK: 84.4% answer all three ICMP probes, 63.6% all TCP/UDP — more responsive than RIPE".into();
+        "ITDK: 84.4% answer all three ICMP probes, 63.6% all TCP/UDP — more responsive than RIPE"
+            .into();
     report
 }
 
@@ -750,7 +931,8 @@ fn fig7(world: &World) -> Report {
         points: non_unique_points,
     });
     report.paper_claim =
-        "Low thresholds explode the signature count; the curve flattens by ~10–20 occurrences".into();
+        "Low thresholds explode the signature count; the curve flattens by ~10–20 occurrences"
+            .into();
     report.measured_claim = format!(
         "{at_min:.0} signatures at threshold 1 vs {at_knee:.0} at the working threshold ({})",
         world.scale.occurrence_threshold
@@ -880,12 +1062,7 @@ fn fig11(world: &World) -> Report {
     report
 }
 
-fn combos_figure(
-    id: &str,
-    title: &str,
-    metrics: &[PathMetrics],
-    paper_claim: &str,
-) -> Report {
+fn combos_figure(id: &str, title: &str, metrics: &[PathMetrics], paper_claim: &str) -> Report {
     let mut report = Report::new(id, title);
     report.columns = vec!["Vendor set".into(), "Share".into(), "Paths".into()];
     let combos = top_vendor_combinations(metrics, 10);
@@ -966,7 +1143,7 @@ fn method_split_figure(
     let lfp = world.lfp_vendor_map(scan);
     let split = ip_method_split(&scan.targets, &snmp, &lfp);
     let mut rows: Vec<_> = split.iter().collect();
-    rows.sort_by(|a, b| b.1.total().cmp(&a.1.total()));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1.total()));
     let mut snmp_total = 0usize;
     let mut lfp_total = 0usize;
     for (vendor, counts) in rows.iter().take(8) {
@@ -1024,7 +1201,7 @@ fn fig17(world: &World) -> Report {
     let lfp = world.lfp_vendor_map(&world.itdk_scan);
     let (split, consistency) = router_method_split(&world.itdk.alias_sets, &snmp, &lfp);
     let mut rows: Vec<_> = split.iter().collect();
-    rows.sort_by(|a, b| b.1.total().cmp(&a.1.total()));
+    rows.sort_by_key(|row| std::cmp::Reverse(row.1.total()));
     for (vendor, counts) in rows.iter().take(8) {
         report.row([
             vendor.name().to_string(),
@@ -1036,7 +1213,8 @@ fn fig17(world: &World) -> Report {
     let snmp_total: usize = split.values().map(|c| c.snmp_total()).sum();
     let lfp_total: usize = split.values().map(|c| c.total()).sum();
     report.paper_claim =
-        "≈99% of alias sets classify consistently; routers mapped grow ~96% over SNMPv3-only".into();
+        "≈99% of alias sets classify consistently; routers mapped grow ~96% over SNMPv3-only"
+            .into();
     report.measured_claim = format!(
         "alias agreement {:.1}% ({} conflicting sets); routers: {} SNMPv3 → {} combined",
         consistency.agreement_rate() * 100.0,
@@ -1067,7 +1245,9 @@ fn fig18(world: &World) -> Report {
     let sent_ecdf = Ecdf::new(sent);
     let received_ecdf = Ecdf::new(received);
     report.series.push(ecdf_series("Sent", &sent_ecdf, 40));
-    report.series.push(ecdf_series("Received", &received_ecdf, 40));
+    report
+        .series
+        .push(ecdf_series("Received", &received_ecdf, 40));
     let over_1000 = 1.0 - sent_ecdf.fraction_at_or_below(1000.0);
     report.paper_claim =
         "Nmap sends >1000 packets to >80% of IPs; mean 1538 sent / 1065 received; tail >10k. LFP: constant 10".into();
@@ -1172,10 +1352,8 @@ fn fig21(world: &World) -> Report {
             continue;
         };
         match continent.abbrev() {
-            "NA" | "EU" | "OC" | "AF" => {
-                if top != Vendor::Cisco {
-                    cisco_west = false;
-                }
+            "NA" | "EU" | "OC" | "AF" if top != Vendor::Cisco => {
+                cisco_west = false;
             }
             "AS" => huawei_asia = top == Vendor::Huawei,
             _ => {}
@@ -1256,9 +1434,8 @@ fn case_routing(world: &World) -> Report {
     let min_identified = (world.scale.occurrence_threshold * 2).max(6);
     let mut homogeneous = homogeneous_ases(&counts, min_identified, 0.85);
     // Keep transit-capable networks only (they must have customers).
-    homogeneous.retain(|(as_id, _, _)| {
-        !world.internet.graph().customers[*as_id as usize].is_empty()
-    });
+    homogeneous
+        .retain(|(as_id, _, _)| !world.internet.graph().customers[*as_id as usize].is_empty());
     homogeneous.sort_by(|a, b| {
         let size_a: usize = counts[&a.0].values().sum();
         let size_b: usize = counts[&b.0].values().sum();
@@ -1293,10 +1470,7 @@ fn case_routing(world: &World) -> Report {
 // Ablations
 // ---------------------------------------------------------------------------
 
-fn relabeled_corpus_with_threshold(
-    world: &World,
-    threshold: u16,
-) -> Vec<(FeatureVector, Vendor)> {
+fn relabeled_corpus_with_threshold(world: &World, threshold: u16) -> Vec<(FeatureVector, Vendor)> {
     let mut corpus = Vec::new();
     for scan in world.ripe_scans.iter().chain([&world.itdk_scan]) {
         for (observation, label) in scan.observations.iter().zip(&scan.labels) {
@@ -1470,8 +1644,7 @@ fn ablation_partial(world: &World) -> Report {
     }
     report.paper_claim =
         "Unique partial signatures expand coverage by ≈15% while maintaining accuracy".into();
-    report.measured_claim =
-        "partial matching adds coverage at equal accuracy (see rows)".into();
+    report.measured_claim = "partial matching adds coverage at equal accuracy (see rows)".into();
     report
 }
 
@@ -1576,6 +1749,18 @@ mod tests {
             // Text and JSON rendering never panic.
             let _ = report.render_text();
             let _ = report.to_json();
+        }
+    }
+
+    #[test]
+    fn parallel_registry_matches_sequential() {
+        let world = world();
+        let sequential = run_all(world);
+        let parallel = run_all_parallel(world);
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.iter().zip(&parallel) {
+            assert_eq!(a.id, b.id, "registry order preserved");
+            assert_eq!(a.render_text(), b.render_text(), "{} diverged", a.id);
         }
     }
 

@@ -1,0 +1,147 @@
+//! Tiny JSON emitter for report and benchmark artefacts.
+//!
+//! The build environment has no serde, so the handful of places that emit
+//! JSON (per-experiment report files, `BENCH_campaign.json`) share this
+//! order-preserving object builder. Output is always valid JSON: strings
+//! are escaped per RFC 8259 and non-finite floats become `null`.
+
+/// Escape a string for inclusion inside JSON quotes.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float as a JSON number (`null` for NaN/infinity).
+pub fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An insertion-ordered JSON object under construction.
+#[derive(Debug, Default)]
+pub struct JsonBuilder {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonBuilder {
+    /// Start an empty object.
+    pub fn object() -> Self {
+        JsonBuilder::default()
+    }
+
+    /// Add a string field.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, format!("\"{}\"", escape(value)))
+    }
+
+    /// Add a numeric field.
+    pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
+        self.raw(key, number(value))
+    }
+
+    /// Add an integer field.
+    pub fn integer(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Add an already-serialised value.
+    pub fn raw(&mut self, key: &str, value: String) -> &mut Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Add an array of strings.
+    pub fn string_array(&mut self, key: &str, values: &[String]) -> &mut Self {
+        let rendered: Vec<String> = values
+            .iter()
+            .map(|v| format!("\"{}\"", escape(v)))
+            .collect();
+        self.raw(key, format!("[{}]", rendered.join(", ")))
+    }
+
+    /// Add an array of string arrays (table rows).
+    pub fn nested_string_arrays(&mut self, key: &str, rows: &[Vec<String>]) -> &mut Self {
+        let rendered: Vec<String> = rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| format!("\"{}\"", escape(c))).collect();
+                format!("[{}]", cells.join(", "))
+            })
+            .collect();
+        self.raw(key, format!("[{}]", rendered.join(", ")))
+    }
+
+    /// Add an array of (x, y) pairs, each as a two-element array.
+    pub fn point_array(&mut self, key: &str, points: &[(f64, f64)]) -> &mut Self {
+        let rendered: Vec<String> = points
+            .iter()
+            .map(|&(x, y)| format!("[{}, {}]", number(x), number(y)))
+            .collect();
+        self.raw(key, format!("[{}]", rendered.join(", ")))
+    }
+
+    /// Add an array of already-serialised values.
+    pub fn raw_array<I: IntoIterator<Item = String>>(&mut self, key: &str, values: I) -> &mut Self {
+        let rendered: Vec<String> = values.into_iter().collect();
+        self.raw(key, format!("[{}]", rendered.join(", ")))
+    }
+
+    /// Render compactly (`{"k": v, ...}`).
+    pub fn finish(&self) -> String {
+        let fields: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(key, value)| format!("\"{}\": {}", escape(key), value))
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    }
+
+    /// Render with one field per line.
+    pub fn finish_pretty(&self) -> String {
+        let fields: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(key, value)| format!("  \"{}\": {}", escape(key), value))
+            .collect();
+        format!("{{\n{}\n}}", fields.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_render_as_json() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(2.0), "2");
+        assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let mut json = JsonBuilder::object();
+        json.string("b", "x").integer("a", 3);
+        assert_eq!(json.finish(), "{\"b\": \"x\", \"a\": 3}");
+    }
+}

@@ -27,6 +27,7 @@
 pub mod coverage;
 pub mod experiments;
 pub mod homogeneity;
+pub mod json;
 pub mod paths;
 pub mod regional;
 pub mod report;

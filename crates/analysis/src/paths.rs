@@ -66,8 +66,7 @@ pub fn path_length_ecdf(traces: &[TraceRecord]) -> Ecdf {
         traces
             .iter()
             .map(|t| {
-                let trailing_timeouts =
-                    t.hops.iter().rev().take_while(|hop| hop.is_none()).count();
+                let trailing_timeouts = t.hops.iter().rev().take_while(|hop| hop.is_none()).count();
                 (t.hops.len() - trailing_timeouts).max(1) as f64
             })
             .collect(),
@@ -105,10 +104,7 @@ pub fn vendors_per_path_ecdf(metrics: &[PathMetrics]) -> Ecdf {
 
 /// Figures 12–14: ranked vendor combinations (unordered sets) with their
 /// share of paths having at least one identified hop.
-pub fn top_vendor_combinations(
-    metrics: &[PathMetrics],
-    top: usize,
-) -> Vec<(String, f64, usize)> {
+pub fn top_vendor_combinations(metrics: &[PathMetrics], top: usize) -> Vec<(String, f64, usize)> {
     let mut counts: HashMap<String, usize> = HashMap::new();
     let mut total = 0usize;
     for metric in metrics {

@@ -2,10 +2,10 @@
 //! figure, renderable as aligned text and serialisable to JSON for
 //! EXPERIMENTS.md tooling.
 
-use serde::Serialize;
+use crate::json::JsonBuilder;
 
 /// A plottable series (one line of a figure).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub name: String,
@@ -14,7 +14,7 @@ pub struct Series {
 }
 
 /// The result of regenerating one paper artefact.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Report {
     /// Experiment id ("table3", "fig11", ...).
     pub id: String,
@@ -89,7 +89,11 @@ impl Report {
             }
         }
         for series in &self.series {
-            out.push_str(&format!("  series '{}' ({} pts): ", series.name, series.points.len()));
+            out.push_str(&format!(
+                "  series '{}' ({} pts): ",
+                series.name,
+                series.points.len()
+            ));
             let sampled: Vec<String> = series
                 .points
                 .iter()
@@ -113,7 +117,24 @@ impl Report {
 
     /// Serialise to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("reports always serialise")
+        let mut json = JsonBuilder::object();
+        json.string("id", &self.id);
+        json.string("title", &self.title);
+        json.string_array("columns", &self.columns);
+        json.nested_string_arrays("rows", &self.rows);
+        json.raw_array(
+            "series",
+            self.series.iter().map(|series| {
+                let mut entry = JsonBuilder::object();
+                entry.string("name", &series.name);
+                entry.point_array("points", &series.points);
+                entry.finish()
+            }),
+        );
+        json.string("paper_claim", &self.paper_claim);
+        json.string("measured_claim", &self.measured_claim);
+        json.string_array("notes", &self.notes);
+        json.finish_pretty()
     }
 }
 
@@ -136,16 +157,35 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip_contains_series() {
-        let mut report = Report::new("fig0", "Series demo");
+    fn json_rendering_contains_series_and_balances() {
+        let mut report = Report::new("fig0", "Series \"demo\"");
         report.series.push(Series {
             name: "ecdf".into(),
             points: vec![(0.0, 0.0), (1.0, 1.0)],
         });
+        report.notes.push("multi\nline".into());
         let json = report.to_json();
         assert!(json.contains("\"fig0\""));
         assert!(json.contains("\"ecdf\""));
-        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(value["series"][0]["points"][1][1], 1.0);
+        assert!(json.contains("Series \\\"demo\\\""));
+        assert!(json.contains("multi\\nline"));
+        assert!(json.contains("[1, 1]"), "points serialise as pairs: {json}");
+        // Structure sanity: balanced delimiters outside of strings.
+        let mut depth = 0i32;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' if in_string => escaped = true,
+                '"' => in_string = !in_string,
+                '{' | '[' if !in_string => depth += 1,
+                '}' | ']' if !in_string => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_string);
     }
 }

@@ -4,10 +4,8 @@
 //! types produce the plotted series as plain `(x, y)` points so the
 //! experiment harness can print them and EXPERIMENTS.md can quote them.
 
-use serde::Serialize;
-
 /// An empirical CDF over f64 samples.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
@@ -74,7 +72,7 @@ impl Ecdf {
 }
 
 /// A fixed-width histogram reported as percentage per bin.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     /// Bin left edges.
     pub edges: Vec<f64>,

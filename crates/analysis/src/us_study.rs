@@ -32,7 +32,11 @@ pub fn slice_of(internet: &Internet, trace: &TraceRecord) -> UsSlice {
 pub fn partition<'a>(
     internet: &Internet,
     traces: &'a [TraceRecord],
-) -> (Vec<&'a TraceRecord>, Vec<&'a TraceRecord>, Vec<&'a TraceRecord>) {
+) -> (
+    Vec<&'a TraceRecord>,
+    Vec<&'a TraceRecord>,
+    Vec<&'a TraceRecord>,
+) {
     let mut intra = Vec::new();
     let mut inter = Vec::new();
     let mut other = Vec::new();

@@ -6,14 +6,67 @@
 //! schedule, label via SNMPv3, and finalise the union signature set.
 //! Every experiment then reads from this shared state, exactly as the
 //! paper's analyses all consume the same measurement campaign.
+//!
+//! ## Parallelism and determinism
+//!
+//! Collection and scanning dominate the campaign wall-clock, and both
+//! decompose into per-dataset units. Each unit runs against its own
+//! [`lfp_net::Network::fork`] — a private copy of every device's mutable
+//! state — so no unit observes another's IPID-counter history. That makes
+//! the units order-independent: [`World::build`] fans them out across
+//! scoped threads, [`World::build_serial`] runs the same units one at a
+//! time with single-shard scans, and both produce bit-identical worlds
+//! (asserted by `tests/determinism.rs`).
+//!
+//! ## The campaign cache
+//!
+//! The ~30 experiment generators repeatedly need the same three derived
+//! maps per dataset (full classification, unique-LFP vendors, SNMPv3
+//! vendors). A [`World`] memoises them behind `OnceLock`s, so the first
+//! experiment to ask pays the classification cost and the rest share the
+//! result — which is what makes `run_all_parallel` scale.
 
 use lfp_core::pipeline::{scan_dataset, DatasetScan};
 use lfp_core::signature::{Classification, SignatureDb, SignatureSet};
 use lfp_stack::vendor::Vendor;
-use lfp_topo::datasets::{build_itdk, build_ripe_snapshots, ItdkDataset, RipeSnapshot};
+use lfp_topo::datasets::{
+    build_itdk_on, measure_ripe_snapshot, plan_ripe_snapshots, ItdkDataset, RipeSnapshot,
+};
 use lfp_topo::{Internet, Scale};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Wall-clock seconds spent in each phase of one campaign build.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignTimings {
+    /// Internet generation (topology, vendors, devices).
+    pub generate: f64,
+    /// Dataset collection: RIPE-style traceroute snapshots + ITDK sweep.
+    pub collect: f64,
+    /// LFP scans of all six target populations.
+    pub scan: f64,
+    /// Union signature database merge + finalisation.
+    pub finalize: f64,
+    /// Warming the campaign cache: classification of every dataset.
+    pub classify: f64,
+}
+
+impl CampaignTimings {
+    /// Total build time across phases.
+    pub fn total(&self) -> f64 {
+        self.generate + self.collect + self.scan + self.finalize + self.classify
+    }
+}
+
+/// Per-dataset memoised derived maps (see the module docs).
+#[derive(Debug, Default)]
+struct ScanCache {
+    classification: OnceLock<Arc<HashMap<Ipv4Addr, Classification>>>,
+    lfp_vendors: OnceLock<Arc<HashMap<Ipv4Addr, Vendor>>>,
+    snmp_vendors: OnceLock<Arc<HashMap<Ipv4Addr, Vendor>>>,
+}
 
 /// A fully measured synthetic Internet.
 pub struct World {
@@ -33,39 +86,151 @@ pub struct World {
     pub union_db: SignatureDb,
     /// Finalised signature set at the scale's occurrence threshold.
     pub set: SignatureSet,
+    /// Memoised per-dataset classification maps, index-aligned with
+    /// `ripe_scans` plus one trailing slot for `itdk_scan`.
+    cache: Vec<ScanCache>,
 }
 
 impl World {
-    /// Run the full campaign at the given scale.
+    /// Run the full campaign at the given scale, fanning dataset
+    /// collection and scanning out across all available cores. Derived
+    /// classification maps stay lazy (first use computes, the cache
+    /// shares); use [`World::build_instrumented`] to pre-warm them.
     pub fn build(scale: Scale) -> World {
-        let shards = std::thread::available_parallelism()
+        Self::build_with(scale, true, false).0
+    }
+
+    /// Run the full campaign strictly sequentially with single-shard
+    /// scans — the reference path parallel builds are verified against,
+    /// and the baseline the bench harness compares to.
+    pub fn build_serial(scale: Scale) -> World {
+        Self::build_with(scale, false, false).0
+    }
+
+    /// Build with per-phase wall-clock timings (the bench harness's
+    /// entry point). `parallel` selects the fan-out or the serial path;
+    /// `warm` additionally classifies every dataset up front (the
+    /// `classify` phase) — worth it before a full registry run, wasted
+    /// before a single experiment.
+    pub fn build_instrumented(
+        scale: Scale,
+        parallel: bool,
+        warm: bool,
+    ) -> (World, CampaignTimings) {
+        Self::build_with(scale, parallel, warm)
+    }
+
+    fn build_with(scale: Scale, parallel: bool, warm: bool) -> (World, CampaignTimings) {
+        let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
+        let mut timings = CampaignTimings::default();
+
+        let phase_start = Instant::now();
         let internet = Internet::generate(scale);
-        let ripe = build_ripe_snapshots(&internet);
-        let itdk = build_itdk(&internet);
+        timings.generate = phase_start.elapsed().as_secs_f64();
 
-        let mut ripe_scans = Vec::with_capacity(ripe.len());
-        for snapshot in &ripe {
-            let targets: Vec<Ipv4Addr> = snapshot.router_ips.iter().copied().collect();
-            ripe_scans.push(scan_dataset(
-                internet.network(),
-                &snapshot.name,
-                &targets,
-                shards,
-            ));
-        }
-        let itdk_targets: Vec<Ipv4Addr> = itdk.router_ips.iter().copied().collect();
-        let itdk_scan = scan_dataset(internet.network(), &itdk.name, &itdk_targets, shards);
+        // Collection: each snapshot (and the ITDK sweep) measures its own
+        // network fork, so the units commute and may run concurrently.
+        let phase_start = Instant::now();
+        let plans = plan_ripe_snapshots(&internet);
+        let (ripe, itdk) = if parallel {
+            std::thread::scope(|scope| {
+                let snapshot_handles: Vec<_> = plans
+                    .iter()
+                    .map(|plan| {
+                        let fork = internet.network().fork();
+                        let internet = &internet;
+                        scope.spawn(move || measure_ripe_snapshot(internet, &fork, plan))
+                    })
+                    .collect();
+                let itdk_handle = {
+                    let fork = internet.network().fork();
+                    let internet = &internet;
+                    scope.spawn(move || build_itdk_on(internet, &fork))
+                };
+                let ripe: Vec<RipeSnapshot> = snapshot_handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("snapshot collection panicked"))
+                    .collect();
+                (ripe, itdk_handle.join().expect("ITDK collection panicked"))
+            })
+        } else {
+            let ripe: Vec<RipeSnapshot> = plans
+                .iter()
+                .map(|plan| measure_ripe_snapshot(&internet, &internet.network().fork(), plan))
+                .collect();
+            let itdk = build_itdk_on(&internet, &internet.network().fork());
+            (ripe, itdk)
+        };
+        timings.collect = phase_start.elapsed().as_secs_f64();
 
+        // Scanning: one forked network per dataset; each scan is further
+        // sharded internally by the zmap-style scanner. In parallel mode
+        // the shard budget is split across the concurrent scans (with 2×
+        // headroom so the phase tail, when only the largest dataset is
+        // left, still spreads over the cores) instead of spawning
+        // datasets × cores threads.
+        let dataset_count = ripe.len() + 1;
+        let shards = if parallel {
+            ((cores * 2).div_ceil(dataset_count)).max(1)
+        } else {
+            1
+        };
+        let phase_start = Instant::now();
+        let scan_jobs: Vec<(&str, Vec<Ipv4Addr>)> = ripe
+            .iter()
+            .map(|snapshot| {
+                (
+                    snapshot.name.as_str(),
+                    snapshot.router_ips.iter().copied().collect(),
+                )
+            })
+            .chain([(
+                itdk.name.as_str(),
+                itdk.router_ips.iter().copied().collect(),
+            )])
+            .collect();
+        let mut scans: Vec<DatasetScan> = if parallel {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = scan_jobs
+                    .iter()
+                    .map(|(name, targets)| {
+                        let fork = internet.network().fork();
+                        scope.spawn(move || scan_dataset(&fork, name, targets, shards))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("dataset scan panicked"))
+                    .collect()
+            })
+        } else {
+            scan_jobs
+                .iter()
+                .map(|(name, targets)| {
+                    scan_dataset(&internet.network().fork(), name, targets, shards)
+                })
+                .collect()
+        };
+        let itdk_scan = scans.pop().expect("ITDK scan present");
+        let ripe_scans = scans;
+        timings.scan = phase_start.elapsed().as_secs_f64();
+
+        // Finalisation: union the labelled databases, build the classifier.
+        let phase_start = Instant::now();
         let mut union_db = SignatureDb::new();
         for scan in &ripe_scans {
             union_db.merge(&scan.signature_db());
         }
         union_db.merge(&itdk_scan.signature_db());
         let set = union_db.finalize(scale.occurrence_threshold);
+        timings.finalize = phase_start.elapsed().as_secs_f64();
 
-        World {
+        let cache = (0..=ripe_scans.len())
+            .map(|_| ScanCache::default())
+            .collect();
+        let world = World {
             scale,
             internet,
             ripe,
@@ -74,7 +239,63 @@ impl World {
             itdk_scan,
             union_db,
             set,
+            cache,
+        };
+
+        // Classification: optionally warm the campaign cache for every
+        // dataset so experiments start from shared, fully-classified
+        // state.
+        if warm {
+            let phase_start = Instant::now();
+            world.warm_cache(parallel);
+            timings.classify = phase_start.elapsed().as_secs_f64();
         }
+
+        (world, timings)
+    }
+
+    /// Populate every per-dataset cache slot (idempotent).
+    fn warm_cache(&self, parallel: bool) {
+        let scans: Vec<&DatasetScan> = self.all_scans().collect();
+        if parallel {
+            std::thread::scope(|scope| {
+                for scan in scans {
+                    scope.spawn(move || {
+                        let _ = self.classification_map(scan);
+                        let _ = self.lfp_vendor_map(scan);
+                        let _ = self.snmp_vendor_map(scan);
+                    });
+                }
+            });
+        } else {
+            for scan in scans {
+                let _ = self.classification_map(scan);
+                let _ = self.lfp_vendor_map(scan);
+                let _ = self.snmp_vendor_map(scan);
+            }
+        }
+    }
+
+    /// Every dataset scan, RIPE snapshots first, then ITDK.
+    pub fn all_scans(&self) -> impl Iterator<Item = &DatasetScan> {
+        self.ripe_scans.iter().chain([&self.itdk_scan])
+    }
+
+    /// The cache slot for one of this world's scans, if `scan` is one.
+    ///
+    /// RIPE slots are matched by identity *and* bounded to the slots
+    /// allocated at build time: if a caller has appended to the public
+    /// `ripe_scans` after the build, the extra scans classify uncached
+    /// rather than aliasing the ITDK slot.
+    fn cache_slot(&self, scan: &DatasetScan) -> Option<&ScanCache> {
+        if std::ptr::eq(scan, &self.itdk_scan) {
+            return self.cache.last();
+        }
+        self.ripe_scans
+            .iter()
+            .position(|candidate| std::ptr::eq(candidate, scan))
+            .filter(|index| index + 1 < self.cache.len())
+            .map(|index| &self.cache[index])
     }
 
     /// The most recent RIPE snapshot and its scan (the paper's RIPE-5,
@@ -87,39 +308,72 @@ impl World {
     }
 
     /// Classify every target of a scan; returns ip → classification.
-    pub fn classification_map(&self, scan: &DatasetScan) -> HashMap<Ipv4Addr, Classification> {
-        scan.targets
-            .iter()
-            .zip(&scan.vectors)
-            .map(|(&ip, vector)| (ip, self.set.classify(vector)))
-            .collect()
+    ///
+    /// Memoised per dataset: the first caller computes, everyone after
+    /// shares the `Arc`. Scans not belonging to this world classify
+    /// uncached.
+    pub fn classification_map(&self, scan: &DatasetScan) -> Arc<HashMap<Ipv4Addr, Classification>> {
+        let compute = || {
+            Arc::new(
+                scan.targets
+                    .iter()
+                    .zip(&scan.vectors)
+                    .map(|(&ip, vector)| (ip, self.set.classify(vector)))
+                    .collect::<HashMap<_, _>>(),
+            )
+        };
+        match self.cache_slot(scan) {
+            Some(slot) => Arc::clone(slot.classification.get_or_init(compute)),
+            None => compute(),
+        }
     }
 
     /// ip → vendor for unique (full or partial) LFP matches.
-    pub fn lfp_vendor_map(&self, scan: &DatasetScan) -> HashMap<Ipv4Addr, Vendor> {
-        scan.targets
-            .iter()
-            .zip(&scan.vectors)
-            .filter_map(|(&ip, vector)| {
-                self.set.classify(vector).unique_vendor().map(|v| (ip, v))
-            })
-            .collect()
+    ///
+    /// Memoised per dataset; derived from the cached classification map,
+    /// so the signature index is consulted once per dataset, not once per
+    /// experiment.
+    pub fn lfp_vendor_map(&self, scan: &DatasetScan) -> Arc<HashMap<Ipv4Addr, Vendor>> {
+        let compute = || {
+            let classifications = self.classification_map(scan);
+            Arc::new(
+                classifications
+                    .iter()
+                    .filter_map(|(&ip, classification)| {
+                        classification.unique_vendor().map(|vendor| (ip, vendor))
+                    })
+                    .collect::<HashMap<_, _>>(),
+            )
+        };
+        match self.cache_slot(scan) {
+            Some(slot) => Arc::clone(slot.lfp_vendors.get_or_init(compute)),
+            None => compute(),
+        }
     }
 
-    /// ip → vendor for SNMPv3 labels (the baseline technique).
-    pub fn snmp_vendor_map(&self, scan: &DatasetScan) -> HashMap<Ipv4Addr, Vendor> {
-        scan.targets
-            .iter()
-            .zip(&scan.labels)
-            .filter_map(|(&ip, label)| label.map(|v| (ip, v)))
-            .collect()
+    /// ip → vendor for SNMPv3 labels (the baseline technique). Memoised
+    /// per dataset.
+    pub fn snmp_vendor_map(&self, scan: &DatasetScan) -> Arc<HashMap<Ipv4Addr, Vendor>> {
+        let compute = || {
+            Arc::new(
+                scan.targets
+                    .iter()
+                    .zip(&scan.labels)
+                    .filter_map(|(&ip, label)| label.map(|vendor| (ip, vendor)))
+                    .collect::<HashMap<_, _>>(),
+            )
+        };
+        match self.cache_slot(scan) {
+            Some(slot) => Arc::clone(slot.snmp_vendors.get_or_init(compute)),
+            None => compute(),
+        }
     }
 
     /// All labelled (vector, vendor) pairs across every dataset — the
     /// evaluation corpus for Table 8 and the ablations.
     pub fn labeled_corpus(&self) -> Vec<(lfp_core::FeatureVector, Vendor)> {
         let mut corpus = Vec::new();
-        for scan in self.ripe_scans.iter().chain([&self.itdk_scan]) {
+        for scan in self.all_scans() {
             for (vector, label) in scan.vectors.iter().zip(&scan.labels) {
                 if let Some(vendor) = label {
                     corpus.push((*vector, *vendor));
@@ -154,7 +408,7 @@ mod tests {
         // Unique classifications are accurate against ground truth.
         let mut correct = 0usize;
         let mut wrong = 0usize;
-        for (&ip, &vendor) in &lfp {
+        for (&ip, &vendor) in lfp.iter() {
             let truth = world.internet.truth_of(ip).unwrap().vendor;
             if truth == vendor {
                 correct += 1;
@@ -164,5 +418,46 @@ mod tests {
         }
         let accuracy = correct as f64 / (correct + wrong).max(1) as f64;
         assert!(accuracy > 0.9, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn derived_maps_are_memoised_per_dataset() {
+        let world = World::build(Scale::tiny());
+        let (_, scan) = world.latest_ripe();
+        let first = world.lfp_vendor_map(scan);
+        let second = world.lfp_vendor_map(scan);
+        assert!(Arc::ptr_eq(&first, &second), "same Arc on repeat calls");
+        let classification_a = world.classification_map(scan);
+        let classification_b = world.classification_map(scan);
+        assert!(Arc::ptr_eq(&classification_a, &classification_b));
+        let itdk_map = world.lfp_vendor_map(&world.itdk_scan);
+        assert!(
+            !Arc::ptr_eq(&first, &itdk_map),
+            "distinct datasets get distinct cache slots"
+        );
+    }
+
+    #[test]
+    fn foreign_scans_classify_uncached() {
+        let world = World::build(Scale::tiny());
+        let internet = Internet::generate(Scale::tiny());
+        let targets = internet.all_interfaces();
+        let foreign = scan_dataset(internet.network(), "foreign", &targets, 2);
+        let a = world.classification_map(&foreign);
+        let b = world.classification_map(&foreign);
+        assert_eq!(a.len(), b.len());
+        assert!(!Arc::ptr_eq(&a, &b), "foreign scans must not be cached");
+    }
+
+    #[test]
+    fn instrumented_build_reports_every_phase() {
+        let (world, timings) = World::build_instrumented(Scale::tiny(), true, true);
+        assert!(timings.generate > 0.0);
+        assert!(timings.collect > 0.0);
+        assert!(timings.scan > 0.0);
+        assert!(timings.finalize >= 0.0);
+        assert!(timings.classify >= 0.0);
+        assert!(timings.total() >= timings.scan);
+        assert!(!world.ripe_scans.is_empty());
     }
 }

@@ -229,11 +229,7 @@ mod tests {
         let cohort = build_censys_cohort(40, 9);
         assert_eq!(cohort.sample.len(), 40 * COMPARISON_VENDORS.len());
         for vendor in COMPARISON_VENDORS {
-            let count = cohort
-                .sample
-                .iter()
-                .filter(|&&(_, v)| v == vendor)
-                .count();
+            let count = cohort.sample.iter().filter(|&&(_, v)| v == vendor).count();
             assert_eq!(count, 40);
         }
     }

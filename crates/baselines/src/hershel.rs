@@ -200,9 +200,16 @@ mod tests {
         // <1% vendor accuracy (§7.3.2).
         assert!(vendor_correct <= covered / 100 + 1);
         // MikroTik lands on generic Linux.
-        let mikrotik = os_by_vendor.get(&Vendor::MikroTik).cloned().unwrap_or_default();
+        let mikrotik = os_by_vendor
+            .get(&Vendor::MikroTik)
+            .cloned()
+            .unwrap_or_default();
         assert!(
-            mikrotik.iter().filter(|&&os| os == HershelOs::Linux).count() * 2
+            mikrotik
+                .iter()
+                .filter(|&&os| os == HershelOs::Linux)
+                .count()
+                * 2
                 > mikrotik.len(),
             "MikroTik should mostly classify as Linux: {mikrotik:?}"
         );

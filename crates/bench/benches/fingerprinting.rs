@@ -18,10 +18,10 @@ use std::sync::Arc;
 fn bench_ipid_classification(c: &mut Criterion) {
     let mut group = c.benchmark_group("ipid");
     let sequences: [[u16; 3]; 4] = [
-        [100, 105, 112],          // incremental
-        [7, 52_000, 31_000],      // random
-        [500, 500, 500],          // static
-        [65_530, 65_535, 4],      // wrapping incremental
+        [100, 105, 112],     // incremental
+        [7, 52_000, 31_000], // random
+        [500, 500, 500],     // static
+        [65_530, 65_535, 4], // wrapping incremental
     ];
     group.bench_function("classify_4_sequences", |b| {
         b.iter(|| {
@@ -88,5 +88,10 @@ fn bench_signature_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ipid_classification, bench_probe_and_extract, bench_signature_lookup);
+criterion_group!(
+    benches,
+    bench_ipid_classification,
+    bench_probe_and_extract,
+    bench_signature_lookup
+);
 criterion_main!(benches);

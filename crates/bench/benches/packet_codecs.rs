@@ -61,7 +61,9 @@ fn bench_transport(c: &mut Criterion) {
         dst_port: 33533,
         payload: vec![0u8; 12],
     };
-    group.bench_function("udp_emit", |b| b.iter(|| black_box(&udp).to_bytes(SRC, DST)));
+    group.bench_function("udp_emit", |b| {
+        b.iter(|| black_box(&udp).to_bytes(SRC, DST))
+    });
     let echo = IcmpRepr::EchoRequest {
         ident: 1,
         seq: 1,

@@ -3,7 +3,6 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use lfp_net::traceroute::{traceroute, TracerouteOptions};
-use lfp_net::VantageId;
 use lfp_packet::icmp::IcmpRepr;
 use lfp_packet::ipv4::{self, Ipv4Repr, Protocol};
 use lfp_topo::{AsGraph, Internet, Scale};
@@ -113,5 +112,11 @@ fn bench_traceroute(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generation, bench_bgp, bench_probe_throughput, bench_traceroute);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_bgp,
+    bench_probe_throughput,
+    bench_traceroute
+);
 criterion_main!(benches);

@@ -1,15 +1,24 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--scale tiny|small|paper] [--json DIR] [--markdown FILE] [ids…|all]
+//! experiments [--scale tiny|small|paper] [--serial] [--json DIR]
+//!             [--markdown FILE] [--bench-json FILE] [ids…|all]
 //! ```
 //!
 //! Builds one fully measured `World` at the requested scale, runs the
 //! selected experiments (default: all), prints each report, and optionally
 //! writes per-experiment JSON plus a combined Markdown summary (the body
 //! of EXPERIMENTS.md).
+//!
+//! Every run also emits `BENCH_campaign.json` with wall-clock seconds per
+//! campaign phase (generate / collect / scan / finalize / classify /
+//! experiments), so successive PRs have a performance trajectory.
+//! `--serial` forces the single-threaded single-shard reference path —
+//! the baseline the parallel campaign's speedup is measured against.
 
-use lfp_analysis::experiments::{all_ids, run_by_id, EXPERIMENTS};
+use lfp_analysis::experiments::{all_ids, run_all_parallel, run_by_id, EXPERIMENTS};
+use lfp_analysis::json::JsonBuilder;
+use lfp_analysis::world::CampaignTimings;
 use lfp_analysis::{Report, World};
 use lfp_topo::Scale;
 use std::io::Write;
@@ -19,8 +28,11 @@ fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut scale = Scale::small();
     let mut scale_name = "small".to_string();
+    let mut parallel = true;
     let mut json_dir: Option<String> = None;
     let mut markdown: Option<String> = None;
+    let mut bench_json = "BENCH_campaign.json".to_string();
+    let mut run_all_requested = false;
     let mut ids: Vec<String> = Vec::new();
 
     while let Some(arg) = args.next() {
@@ -33,49 +45,94 @@ fn main() {
                 });
                 scale_name = value;
             }
+            "--serial" => parallel = false,
             "--json" => json_dir = args.next(),
             "--markdown" => markdown = args.next(),
+            "--bench-json" => {
+                bench_json = args.next().unwrap_or_else(|| {
+                    eprintln!("--bench-json needs a path");
+                    std::process::exit(2);
+                })
+            }
             "--list" => {
                 for experiment in EXPERIMENTS {
                     println!("{:<22} {}", experiment.id, experiment.title);
                 }
                 return;
             }
-            "all" => ids = all_ids().iter().map(|s| s.to_string()).collect(),
+            "all" => run_all_requested = true,
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() {
+    let run_everything = run_all_requested || ids.is_empty();
+    if run_everything {
         ids = all_ids().iter().map(|s| s.to_string()).collect();
     }
 
     eprintln!(
-        "building world at scale '{scale_name}' (~{} routers)…",
-        scale.approx_routers()
+        "building world at scale '{scale_name}' (~{} routers, {} campaign)…",
+        scale.approx_routers(),
+        if parallel { "parallel" } else { "serial" },
     );
     let build_start = Instant::now();
-    let world = World::build(scale);
+    // Warming the campaign cache (the `classify` phase) only pays off
+    // when the whole registry runs; a subset build stays lazy.
+    let (world, timings) = World::build_instrumented(scale, parallel, run_everything);
     eprintln!(
-        "world ready in {:.1}s: {} routers, {} interfaces, {} unique / {} non-unique signatures",
+        "world ready in {:.1}s (generate {:.1}s, collect {:.1}s, scan {:.1}s, finalize {:.1}s, classify {:.1}s)",
         build_start.elapsed().as_secs_f64(),
+        timings.generate,
+        timings.collect,
+        timings.scan,
+        timings.finalize,
+        timings.classify,
+    );
+    eprintln!(
+        "  {} routers, {} interfaces, {} unique / {} non-unique signatures",
         world.internet.routers().len(),
         world.internet.network().interface_count(),
         world.set.unique_count(),
         world.set.non_unique_count(),
     );
 
-    let mut reports: Vec<Report> = Vec::new();
-    for id in &ids {
-        let started = Instant::now();
-        match run_by_id(&world, id) {
-            Some(report) => {
-                println!("{}", report.render_text());
-                eprintln!("  [{id} took {:.1}s]", started.elapsed().as_secs_f64());
-                reports.push(report);
-            }
-            None => eprintln!("unknown experiment id '{id}' — try --list"),
-        }
+    let experiments_start = Instant::now();
+    let reports: Vec<Report> = if run_everything && parallel {
+        run_all_parallel(&world)
+    } else {
+        ids.iter()
+            .filter_map(|id| {
+                let report = run_by_id(&world, id);
+                if report.is_none() {
+                    eprintln!("unknown experiment id '{id}' — try --list");
+                }
+                report
+            })
+            .collect()
+    };
+    let experiments_secs = experiments_start.elapsed().as_secs_f64();
+    for report in &reports {
+        println!("{}", report.render_text());
     }
+    eprintln!(
+        "{} experiments in {:.1}s ({})",
+        reports.len(),
+        experiments_secs,
+        if run_everything && parallel {
+            "parallel registry"
+        } else {
+            "sequential"
+        },
+    );
+
+    write_bench_json(
+        &bench_json,
+        &scale_name,
+        parallel,
+        &timings,
+        experiments_secs,
+        reports.len(),
+        &world,
+    );
 
     if let Some(dir) = json_dir {
         std::fs::create_dir_all(&dir).expect("create json dir");
@@ -88,7 +145,11 @@ fn main() {
 
     if let Some(path) = markdown {
         let mut out = std::fs::File::create(&path).expect("create markdown file");
-        writeln!(out, "<!-- generated by `experiments --scale {scale_name}` -->").unwrap();
+        writeln!(
+            out,
+            "<!-- generated by `experiments --scale {scale_name}` -->"
+        )
+        .unwrap();
         for report in &reports {
             writeln!(out, "### {} — {}\n", report.id, report.title).unwrap();
             if !report.columns.is_empty() {
@@ -96,7 +157,12 @@ fn main() {
                 writeln!(
                     out,
                     "|{}|",
-                    report.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+                    report
+                        .columns
+                        .iter()
+                        .map(|_| "---")
+                        .collect::<Vec<_>>()
+                        .join("|")
                 )
                 .unwrap();
                 for row in &report.rows {
@@ -121,4 +187,51 @@ fn main() {
         }
         eprintln!("wrote markdown summary to {path}");
     }
+}
+
+/// Emit the per-phase timing artefact (`BENCH_campaign.json`).
+#[allow(clippy::too_many_arguments)]
+fn write_bench_json(
+    path: &str,
+    scale_name: &str,
+    parallel: bool,
+    timings: &CampaignTimings,
+    experiments_secs: f64,
+    experiment_count: usize,
+    world: &World,
+) {
+    let mut phases = JsonBuilder::object();
+    phases.number("generate", timings.generate);
+    phases.number("collect", timings.collect);
+    phases.number("scan", timings.scan);
+    phases.number("finalize", timings.finalize);
+    phases.number("classify", timings.classify);
+    phases.number("experiments", experiments_secs);
+    phases.number("total", timings.total() + experiments_secs);
+
+    let mut sizes = JsonBuilder::object();
+    sizes.integer("routers", world.internet.routers().len() as u64);
+    sizes.integer(
+        "interfaces",
+        world.internet.network().interface_count() as u64,
+    );
+    sizes.integer("datasets", (world.ripe_scans.len() + 1) as u64);
+    sizes.integer("unique_signatures", world.set.unique_count() as u64);
+    sizes.integer("non_unique_signatures", world.set.non_unique_count() as u64);
+    sizes.integer("experiments", experiment_count as u64);
+
+    let mut json = JsonBuilder::object();
+    json.string("artifact", "BENCH_campaign");
+    json.string("scale", scale_name);
+    json.string("mode", if parallel { "parallel" } else { "serial" });
+    json.integer(
+        "threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+    );
+    json.raw("phases_seconds", phases.finish());
+    json.raw("campaign", sizes.finish());
+    std::fs::write(path, json.finish_pretty() + "\n").expect("write bench json");
+    eprintln!("wrote phase timings to {path}");
 }

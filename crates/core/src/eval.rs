@@ -54,7 +54,7 @@ pub fn precision_recall_80_20(
     let mut train = SignatureDb::new();
     let mut test: Vec<&(FeatureVector, Vendor)> = Vec::new();
     for (index, sample) in labeled.iter().enumerate() {
-        if splitmix64(seed ^ index as u64) % 5 == 0 {
+        if splitmix64(seed ^ index as u64).is_multiple_of(5) {
             test.push(sample);
         } else {
             train.add(sample.0, sample.1);

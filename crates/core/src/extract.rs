@@ -78,10 +78,7 @@ pub fn extract(observation: &TargetObservation) -> FeatureVector {
 }
 
 /// Extraction with an explicit IPID threshold (ablation A1).
-pub fn extract_with_threshold(
-    observation: &TargetObservation,
-    threshold: u16,
-) -> FeatureVector {
+pub fn extract_with_threshold(observation: &TargetObservation, threshold: u16) -> FeatureVector {
     let mut vector = FeatureVector::default();
 
     // A protocol group is "observed" with ≥2 responses — enough for a
@@ -116,27 +113,29 @@ pub fn extract_with_threshold(
     }
 
     // Counter sharing is only defined between incremental counters.
-    let incremental =
-        |class: Option<IpidClass>| class == Some(IpidClass::Incremental);
+    let incremental = |class: Option<IpidClass>| class == Some(IpidClass::Incremental);
     let icmp_inc = incremental(vector.icmp_ipid);
     let tcp_inc = incremental(vector.tcp_ipid);
     let udp_inc = incremental(vector.udp_ipid);
 
     if vector.tcp_ittl.is_some() && vector.icmp_ittl.is_some() {
         vector.shared_tcp_icmp = Some(
-            tcp_inc && icmp_inc
+            tcp_inc
+                && icmp_inc
                 && timelines_shared(observation, &[ProtoTag::Tcp, ProtoTag::Icmp], threshold),
         );
     }
     if vector.udp_ittl.is_some() && vector.icmp_ittl.is_some() {
         vector.shared_udp_icmp = Some(
-            udp_inc && icmp_inc
+            udp_inc
+                && icmp_inc
                 && timelines_shared(observation, &[ProtoTag::Udp, ProtoTag::Icmp], threshold),
         );
     }
     if vector.tcp_ittl.is_some() && vector.udp_ittl.is_some() {
         vector.shared_tcp_udp = Some(
-            tcp_inc && udp_inc
+            tcp_inc
+                && udp_inc
                 && timelines_shared(observation, &[ProtoTag::Tcp, ProtoTag::Udp], threshold),
         );
     }

@@ -7,10 +7,9 @@
 //! render as the pipe-separated rows of the paper's Table 6.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// IPID counter behaviour classes (Table 1 / RFC 4413).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IpidClass {
     /// Monotonically increasing (wrap-aware), steps below the threshold.
     Incremental,
@@ -39,7 +38,7 @@ impl fmt::Display for IpidClass {
 
 /// Inferred initial TTL: the smallest common initial value at or above the
 /// observed TTL (Table 1 lists the four values seen in practice).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum InitialTtl {
     /// 32.
     T32,
@@ -81,7 +80,7 @@ impl fmt::Display for InitialTtl {
 
 /// The fifteen LFP features. `None` marks a feature whose protocol group
 /// produced no responses (partial signatures).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct FeatureVector {
     /// 1. ICMP IPID echo: reply IPID equals the request's.
     pub icmp_ipid_echo: Option<bool>,
@@ -116,7 +115,7 @@ pub struct FeatureVector {
 }
 
 /// Which protocol groups a vector covers, in (ICMP, TCP, UDP) order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProtocolCoverage {
     /// ICMP features present.
     pub icmp: bool,
@@ -257,7 +256,11 @@ impl FeatureVector {
             icmp_resp_size: if keep_icmp { self.icmp_resp_size } else { None },
             tcp_resp_size: if keep_tcp { self.tcp_resp_size } else { None },
             udp_resp_size: if keep_udp { self.udp_resp_size } else { None },
-            tcp_syn_seq_zero: if keep_tcp { self.tcp_syn_seq_zero } else { None },
+            tcp_syn_seq_zero: if keep_tcp {
+                self.tcp_syn_seq_zero
+            } else {
+                None
+            },
         }
     }
 

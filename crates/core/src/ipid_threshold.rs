@@ -18,10 +18,7 @@ pub fn max_steps_per_ip(observations: &[TargetObservation]) -> Vec<u16> {
         .filter(|o| o.icmp.len() >= 3 && o.tcp.len() >= 3 && o.udp.len() >= 3)
         .filter_map(|o| {
             let ipids: Vec<u16> = o.timeline.iter().map(|&(_, _, id)| id).collect();
-            ipids
-                .windows(2)
-                .map(|w| w[1].wrapping_sub(w[0]))
-                .max()
+            ipids.windows(2).map(|w| w[1].wrapping_sub(w[0])).max()
         })
         .collect()
 }

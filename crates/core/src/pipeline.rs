@@ -38,7 +38,10 @@ pub struct DatasetScan {
 impl DatasetScan {
     /// IPs responsive to anything (the paper's "IPs" column in Table 3).
     pub fn responsive_count(&self) -> usize {
-        self.observations.iter().filter(|o| o.is_responsive()).count()
+        self.observations
+            .iter()
+            .filter(|o| o.is_responsive())
+            .count()
     }
 
     /// IPs that answered SNMPv3.
@@ -145,7 +148,7 @@ pub fn vendor_signature_stats(
         let _ = vector;
     }
     for list in set.non_unique.values() {
-        for &(vendor, _) in list {
+        for &(vendor, _) in list.iter() {
             stats.entry(vendor).or_default().non_unique_sigs += 1;
         }
     }
@@ -233,11 +236,8 @@ mod tests {
         let classifications = classify_scan(&scan, &set);
         let mut correct = 0usize;
         let mut wrong = 0usize;
-        for ((target, classification), _vector) in scan
-            .targets
-            .iter()
-            .zip(&classifications)
-            .zip(&scan.vectors)
+        for ((target, classification), _vector) in
+            scan.targets.iter().zip(&classifications).zip(&scan.vectors)
         {
             if let Some(vendor) = classification.unique_vendor() {
                 let truth = internet.truth_of(*target).unwrap().vendor;

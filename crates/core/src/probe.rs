@@ -14,7 +14,6 @@ use lfp_packet::ipv4::{self, Ipv4Packet, Ipv4Repr, Protocol};
 use lfp_packet::snmp::{EngineId, SnmpV3Message};
 use lfp_packet::tcp::{TcpFlags, TcpOptions, TcpPacket, TcpRepr};
 use lfp_packet::udp::{UdpPacket, UdpRepr};
-use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// The closed port targeted by TCP and UDP probes (§3.3).
@@ -27,7 +26,7 @@ pub const ECHO_PAYLOAD: usize = 56;
 pub const PROBE_GAP: f64 = 0.05;
 
 /// Protocol class of a probe (keyed by *probe*, not response, protocol).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtoTag {
     /// ICMP echo probes.
     Icmp,
@@ -38,7 +37,7 @@ pub enum ProtoTag {
 }
 
 /// One parsed probe response.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProbeReply {
     /// Reception time (virtual seconds).
     pub at: f64,
@@ -51,7 +50,7 @@ pub struct ProbeReply {
 }
 
 /// Everything observed about one target after the 10-packet schedule.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TargetObservation {
     /// The probed address.
     pub target: Option<Ipv4Addr>,
@@ -123,16 +122,19 @@ pub fn probe_target(
         }
         .to_bytes();
         let datagram = wrap(target, Protocol::Icmp, request_ipid, &icmp);
-        if let Some(reception) =
-            network.probe(&datagram, round_start, salt ^ (0x1c << 8 | u64::from(round)))
-        {
-            if let Some((reply, is_echo_reply)) = parse_icmp_reply(&reception.datagram, reception.at)
+        if let Some(reception) = network.probe(
+            &datagram,
+            round_start,
+            salt ^ (0x1c << 8 | u64::from(round)),
+        ) {
+            if let Some((reply, is_echo_reply)) =
+                parse_icmp_reply(&reception.datagram, reception.at)
             {
                 if is_echo_reply {
+                    observation.icmp_echo_match.push(reply.ipid == request_ipid);
                     observation
-                        .icmp_echo_match
-                        .push(reply.ipid == request_ipid);
-                    observation.timeline.push((ProtoTag::Icmp, reply.at, reply.ipid));
+                        .timeline
+                        .push((ProtoTag::Icmp, reply.at, reply.ipid));
                     observation.icmp.push(reply);
                 }
             }
@@ -156,7 +158,12 @@ pub fn probe_target(
             options: TcpOptions::default(),
         }
         .to_bytes(PROBER_IP, target);
-        let datagram = wrap(target, Protocol::Tcp, ipid_base.wrapping_add(16 + round), &tcp);
+        let datagram = wrap(
+            target,
+            Protocol::Tcp,
+            ipid_base.wrapping_add(16 + round),
+            &tcp,
+        );
         if let Some(reception) = network.probe(
             &datagram,
             round_start + PROBE_GAP,
@@ -166,7 +173,9 @@ pub fn probe_target(
                 if is_syn_round {
                     observation.syn_rst_seq = Some(rst_seq);
                 }
-                observation.timeline.push((ProtoTag::Tcp, reply.at, reply.ipid));
+                observation
+                    .timeline
+                    .push((ProtoTag::Tcp, reply.at, reply.ipid));
                 observation.tcp.push(reply);
             }
         }
@@ -178,14 +187,21 @@ pub fn probe_target(
             payload: vec![0u8; 12],
         }
         .to_bytes(PROBER_IP, target);
-        let datagram = wrap(target, Protocol::Udp, ipid_base.wrapping_add(32 + round), &udp);
+        let datagram = wrap(
+            target,
+            Protocol::Udp,
+            ipid_base.wrapping_add(32 + round),
+            &udp,
+        );
         if let Some(reception) = network.probe(
             &datagram,
             round_start + 2.0 * PROBE_GAP,
             salt ^ (0xdd << 8 | u64::from(round)),
         ) {
             if let Some(reply) = parse_udp_reply(&reception.datagram, reception.at) {
-                observation.timeline.push((ProtoTag::Udp, reply.at, reply.ipid));
+                observation
+                    .timeline
+                    .push((ProtoTag::Udp, reply.at, reply.ipid));
                 observation.udp.push(reply);
             }
         }
@@ -203,19 +219,15 @@ pub fn probe_target(
     }
     .to_bytes(PROBER_IP, target);
     let datagram = wrap(target, Protocol::Udp, ipid_base.wrapping_add(48), &udp);
-    if let Some(reception) = network.probe(
-        &datagram,
-        start_time + 10.0 * PROBE_GAP,
-        salt ^ 0x514d_5033,
-    ) {
+    if let Some(reception) =
+        network.probe(&datagram, start_time + 10.0 * PROBE_GAP, salt ^ 0x514d_5033)
+    {
         observation.snmp_engine = parse_snmp_reply(&reception.datagram, msg_id);
     }
 
     // Jitter can reorder closely-spaced receptions; shared-counter
     // analysis needs true reception order.
-    observation
-        .timeline
-        .sort_by(|a, b| a.1.total_cmp(&b.1));
+    observation.timeline.sort_by(|a, b| a.1.total_cmp(&b.1));
     observation
 }
 

@@ -9,6 +9,13 @@
 use crate::features::{FeatureVector, ProtocolCoverage};
 use lfp_stack::vendor::Vendor;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// An interned, support-ordered candidate-vendor list. Non-unique
+/// signatures share one allocation per distinct list, so cloning a
+/// [`Classification::NonUnique`] verdict is a reference-count bump, not a
+/// heap copy — the per-IP classify loop allocates nothing.
+pub type VendorList = Arc<[(Vendor, usize)]>;
 
 /// Accumulator: vector → per-vendor occurrence counts.
 #[derive(Debug, Clone, Default)]
@@ -53,9 +60,7 @@ impl SignatureDb {
     }
 
     /// Iterate over (vector, per-vendor counts).
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (&FeatureVector, &BTreeMap<Vendor, usize>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&FeatureVector, &BTreeMap<Vendor, usize>)> {
         self.counts.iter()
     }
 
@@ -87,10 +92,22 @@ impl SignatureDb {
     }
 
     /// Finalise into a classifier at the given occurrence threshold.
+    ///
+    /// Besides the four signature maps, this prebuilds a single
+    /// vector → verdict index (with interned candidate lists) so
+    /// [`SignatureSet::classify`] is one hash lookup and one cheap clone.
     pub fn finalize(&self, min_occurrences: usize) -> SignatureSet {
         let min_occurrences = min_occurrences.max(1);
         let mut unique = HashMap::new();
-        let mut non_unique: HashMap<FeatureVector, Vec<(Vendor, usize)>> = HashMap::new();
+        let mut non_unique: HashMap<FeatureVector, VendorList> = HashMap::new();
+        // Interner: one shared allocation per distinct candidate list.
+        let mut interned: HashMap<Vec<(Vendor, usize)>, VendorList> = HashMap::new();
+        let mut intern = |list: Vec<(Vendor, usize)>| -> VendorList {
+            interned
+                .entry(list)
+                .or_insert_with_key(|key| Arc::from(key.as_slice()))
+                .clone()
+        };
         // Projected (partial) accumulations: from observed partial vectors
         // *and* from projections of accepted full signatures.
         let mut partial_counts: HashMap<FeatureVector, BTreeMap<Vendor, usize>> = HashMap::new();
@@ -104,10 +121,7 @@ impl SignatureDb {
                 if vendors.len() == 1 {
                     unique.insert(*vector, *vendors.keys().next().unwrap());
                 } else {
-                    let mut list: Vec<(Vendor, usize)> =
-                        vendors.iter().map(|(&v, &c)| (v, c)).collect();
-                    list.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                    non_unique.insert(*vector, list);
+                    non_unique.insert(*vector, intern(sorted_candidates(vendors)));
                 }
                 // Project onto every partial combination.
                 for coverage in ProtocolCoverage::partial_combinations() {
@@ -130,16 +144,44 @@ impl SignatureDb {
         }
 
         let mut partial_unique = HashMap::new();
-        let mut partial_non_unique: HashMap<FeatureVector, Vec<(Vendor, usize)>> = HashMap::new();
+        let mut partial_non_unique: HashMap<FeatureVector, VendorList> = HashMap::new();
         for (vector, vendors) in partial_counts {
             if vendors.len() == 1 {
                 partial_unique.insert(vector, *vendors.keys().next().unwrap());
             } else {
-                let mut list: Vec<(Vendor, usize)> =
-                    vendors.iter().map(|(&v, &c)| (v, c)).collect();
-                list.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-                partial_non_unique.insert(vector, list);
+                partial_non_unique.insert(vector, intern(sorted_candidates(&vendors)));
             }
+        }
+
+        // Prebuilt verdict index. Full and partial vectors can never
+        // collide as keys (a full vector has every field set, a projected
+        // one does not), so one flat map serves both tiers.
+        let mut index: HashMap<FeatureVector, Classification> = HashMap::with_capacity(
+            unique.len() + non_unique.len() + partial_unique.len() + partial_non_unique.len(),
+        );
+        for (&vector, &vendor) in &unique {
+            index.insert(
+                vector,
+                Classification::Unique {
+                    vendor,
+                    partial: false,
+                },
+            );
+        }
+        for (&vector, list) in &non_unique {
+            index.insert(vector, Classification::NonUnique(Arc::clone(list)));
+        }
+        for (&vector, &vendor) in &partial_unique {
+            index.insert(
+                vector,
+                Classification::Unique {
+                    vendor,
+                    partial: true,
+                },
+            );
+        }
+        for (&vector, list) in &partial_non_unique {
+            index.insert(vector, Classification::NonUnique(Arc::clone(list)));
         }
 
         SignatureSet {
@@ -147,9 +189,17 @@ impl SignatureDb {
             non_unique,
             partial_unique,
             partial_non_unique,
+            index,
             min_occurrences,
         }
     }
+}
+
+/// Candidate list ordered by support (descending), then vendor.
+fn sorted_candidates(vendors: &BTreeMap<Vendor, usize>) -> Vec<(Vendor, usize)> {
+    let mut list: Vec<(Vendor, usize)> = vendors.iter().map(|(&v, &c)| (v, c)).collect();
+    list.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    list
 }
 
 /// Verdict of the classifier for one observed vector.
@@ -162,8 +212,9 @@ pub enum Classification {
         /// Whether the match used a partial signature.
         partial: bool,
     },
-    /// Matched a non-unique signature: candidate vendors by support.
-    NonUnique(Vec<(Vendor, usize)>),
+    /// Matched a non-unique signature: candidate vendors by support
+    /// (interned — cloning this verdict is allocation-free).
+    NonUnique(VendorList),
     /// Responsive but no signature matches.
     Unknown,
     /// Nothing to classify (unresponsive to all LFP probes).
@@ -197,18 +248,39 @@ pub struct SignatureSet {
     /// Full unique signatures → vendor.
     pub unique: HashMap<FeatureVector, Vendor>,
     /// Full non-unique signatures → vendors with counts (descending).
-    pub non_unique: HashMap<FeatureVector, Vec<(Vendor, usize)>>,
+    pub non_unique: HashMap<FeatureVector, VendorList>,
     /// Partial unique signatures (projections + observed partials).
     pub partial_unique: HashMap<FeatureVector, Vendor>,
     /// Partial non-unique signatures.
-    pub partial_non_unique: HashMap<FeatureVector, Vec<(Vendor, usize)>>,
+    pub partial_non_unique: HashMap<FeatureVector, VendorList>,
+    /// Prebuilt vector → verdict index over all four maps (the classify
+    /// hot path; candidate lists are interned, lookups allocate nothing).
+    index: HashMap<FeatureVector, Classification>,
     /// The occurrence threshold used.
     pub min_occurrences: usize,
 }
 
 impl SignatureSet {
-    /// Classify an observed vector.
+    /// Classify an observed vector: one hash lookup against the prebuilt
+    /// index (full and partial tiers share it; keys cannot collide).
     pub fn classify(&self, vector: &FeatureVector) -> Classification {
+        if vector.is_empty() {
+            return Classification::Unresponsive;
+        }
+        match self.index.get(vector) {
+            Some(verdict) => verdict.clone(),
+            // A full vector that misses the full table may still match a
+            // projection (e.g. a new firmware changed one protocol's
+            // behaviour) — stay conservative and do not guess.
+            None => Classification::Unknown,
+        }
+    }
+
+    /// The original tiered lookup, kept as the reference implementation:
+    /// full-vector tables first, then the partial tables. Property tests
+    /// assert [`SignatureSet::classify`] agrees with this on arbitrary
+    /// corpora.
+    pub fn classify_linear(&self, vector: &FeatureVector) -> Classification {
         if vector.is_empty() {
             return Classification::Unresponsive;
         }
@@ -220,11 +292,8 @@ impl SignatureSet {
                 };
             }
             if let Some(list) = self.non_unique.get(vector) {
-                return Classification::NonUnique(list.clone());
+                return Classification::NonUnique(Arc::clone(list));
             }
-            // A full vector that misses the full table may still match a
-            // projection (e.g. a new firmware changed one protocol's
-            // behaviour) — stay conservative and do not guess.
             return Classification::Unknown;
         }
         if let Some(&vendor) = self.partial_unique.get(vector) {
@@ -234,7 +303,7 @@ impl SignatureSet {
             };
         }
         if let Some(list) = self.partial_non_unique.get(vector) {
-            return Classification::NonUnique(list.clone());
+            return Classification::NonUnique(Arc::clone(list));
         }
         Classification::Unknown
     }
@@ -356,10 +425,7 @@ mod tests {
         for count in [3usize, 8, 25, 40, 100] {
             for index in 0..count {
                 let _ = index;
-                db.add(
-                    vector(InitialTtl::T255, 40 + count as u16),
-                    Vendor::Cisco,
-                );
+                db.add(vector(InitialTtl::T255, 40 + count as u16), Vendor::Cisco);
             }
         }
         let mut previous = usize::MAX;
@@ -447,6 +513,62 @@ mod tests {
     }
 
     #[test]
+    fn indexed_classify_agrees_with_linear_walk() {
+        let mut db = SignatureDb::new();
+        for _ in 0..30 {
+            db.add(vector(InitialTtl::T255, 56), Vendor::Cisco);
+        }
+        for _ in 0..20 {
+            db.add(vector(InitialTtl::T64, 68), Vendor::Juniper);
+        }
+        for _ in 0..10 {
+            db.add(vector(InitialTtl::T64, 68), Vendor::MikroTik);
+        }
+        let set = db.finalize(5);
+        // Trained vectors, their projections, an unknown vector, and the
+        // empty vector all classify identically through both paths.
+        let mut probes = vec![
+            vector(InitialTtl::T255, 56),
+            vector(InitialTtl::T64, 68),
+            vector(InitialTtl::T128, 99),
+            FeatureVector::default(),
+        ];
+        for coverage in ProtocolCoverage::partial_combinations() {
+            probes.push(vector(InitialTtl::T255, 56).project(coverage));
+            probes.push(vector(InitialTtl::T64, 68).project(coverage));
+        }
+        for probe in &probes {
+            assert_eq!(set.classify(probe), set.classify_linear(probe), "{probe:?}");
+        }
+    }
+
+    #[test]
+    fn non_unique_lists_are_interned() {
+        let mut db = SignatureDb::new();
+        // Two distinct colliding vectors with identical vendor support.
+        for _ in 0..12 {
+            db.add(vector(InitialTtl::T64, 68), Vendor::Juniper);
+            db.add(vector(InitialTtl::T128, 68), Vendor::Juniper);
+        }
+        for _ in 0..6 {
+            db.add(vector(InitialTtl::T64, 68), Vendor::MikroTik);
+            db.add(vector(InitialTtl::T128, 68), Vendor::MikroTik);
+        }
+        let set = db.finalize(5);
+        let a = set.non_unique.get(&vector(InitialTtl::T64, 68)).unwrap();
+        let b = set.non_unique.get(&vector(InitialTtl::T128, 68)).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(a, b),
+            "identical candidate lists must share one allocation"
+        );
+        // Classifying clones the interned list, not the contents.
+        match set.classify(&vector(InitialTtl::T64, 68)) {
+            Classification::NonUnique(list) => assert!(std::sync::Arc::ptr_eq(&list, a)),
+            other => panic!("wrong: {other:?}"),
+        }
+    }
+
+    #[test]
     fn classifier_verdict_helpers() {
         let unique = Classification::Unique {
             vendor: Vendor::Cisco,
@@ -455,7 +577,7 @@ mod tests {
         assert_eq!(unique.unique_vendor(), Some(Vendor::Cisco));
         assert_eq!(unique.majority_vendor(), Some(Vendor::Cisco));
         let non_unique =
-            Classification::NonUnique(vec![(Vendor::Juniper, 10), (Vendor::Cisco, 2)]);
+            Classification::NonUnique(vec![(Vendor::Juniper, 10), (Vendor::Cisco, 2)].into());
         assert_eq!(non_unique.unique_vendor(), None);
         assert_eq!(non_unique.majority_vendor(), Some(Vendor::Juniper));
         assert_eq!(Classification::Unknown.majority_vendor(), None);

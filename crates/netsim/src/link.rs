@@ -8,10 +8,9 @@
 //! partial ones, so this is a first-class behaviour, not an edge case).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Stable character of a network path.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PathCharacter {
     /// One-way base latency in seconds.
     pub base_latency: f64,
@@ -69,7 +68,7 @@ pub fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Adverse-condition injection, smoltcp-style.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultInjector {
     /// Additional probability of dropping any packet.
     pub drop_chance: f64,

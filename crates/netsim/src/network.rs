@@ -11,18 +11,19 @@
 use crate::link::{path_character_for, splitmix64, FaultInjector, PathCharacter};
 use lfp_packet::ipv4::Ipv4Packet;
 use lfp_stack::device::RouterDevice;
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Opaque device identifier (index into the network's device table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DeviceId(pub u32);
 
 /// Opaque vantage-point identifier, assigned by the topology layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VantageId(pub u32);
 
 /// One hop of a router-level path: the device and the interface address a
@@ -72,8 +73,8 @@ pub struct Reception {
 /// The simulated Internet fabric.
 pub struct Network {
     devices: Vec<Mutex<RouterDevice>>,
-    ip_index: HashMap<Ipv4Addr, DeviceId>,
-    oracle: Box<dyn RouteOracle>,
+    ip_index: Arc<HashMap<Ipv4Addr, DeviceId>>,
+    oracle: Arc<dyn RouteOracle>,
     faults: FaultInjector,
     base_loss: f64,
     /// Infrastructure-ACL model: (permanently dark ‰, churn-band ‰).
@@ -102,12 +103,37 @@ impl Network {
         }
         Network {
             devices: devices.into_iter().map(Mutex::new).collect(),
-            ip_index: interfaces,
-            oracle,
+            ip_index: Arc::new(interfaces),
+            oracle: Arc::from(oracle),
             faults: FaultInjector::none(),
             base_loss: 0.01,
             darkness: (0, 0),
             seed,
+        }
+    }
+
+    /// Fork an independent copy of this network: same topology, routing
+    /// oracle and configuration, but a private clone of every device's
+    /// mutable state (IPID counters, RNG streams).
+    ///
+    /// Forks make measurement campaigns order-independent: two scans run
+    /// against separate forks observe identical counter histories whether
+    /// they execute sequentially or concurrently, which is what lets
+    /// `World::build` fan datasets out across threads while staying
+    /// bit-identical to a serial build.
+    pub fn fork(&self) -> Network {
+        Network {
+            devices: self
+                .devices
+                .iter()
+                .map(|device| Mutex::new(device.lock().expect("device mutex poisoned").clone()))
+                .collect(),
+            ip_index: Arc::clone(&self.ip_index),
+            oracle: Arc::clone(&self.oracle),
+            faults: self.faults,
+            base_loss: self.base_loss,
+            darkness: self.darkness,
+            seed: self.seed,
         }
     }
 
@@ -162,7 +188,9 @@ impl Network {
     /// Run `f` with exclusive access to a device (used by analyses that
     /// need ground truth, e.g. accuracy scoring — never by the classifier).
     pub fn with_device<T>(&self, id: DeviceId, f: impl FnOnce(&mut RouterDevice) -> T) -> T {
-        f(&mut self.devices[id.0 as usize].lock())
+        f(&mut self.devices[id.0 as usize]
+            .lock()
+            .expect("device mutex poisoned"))
     }
 
     /// Stable path character between the prober and a target address.
@@ -194,6 +222,7 @@ impl Network {
         let arrival = send_time + forward;
         let mut response = self.devices[device.0 as usize]
             .lock()
+            .expect("device mutex poisoned")
             .handle_datagram(datagram, arrival)?;
         if self.faults.drops(&mut rng) {
             return None;
@@ -251,11 +280,10 @@ impl Network {
             if remaining_ttl == 0 && !(is_last && hop.ingress == target) {
                 // TTL expired in transit: this hop answers (or silently
                 // drops, per its exposure posture).
-                let mut response = self.devices[hop.device.0 as usize].lock().time_exceeded(
-                    datagram,
-                    hop.ingress,
-                    now,
-                )?;
+                let mut response = self.devices[hop.device.0 as usize]
+                    .lock()
+                    .expect("device mutex poisoned")
+                    .time_exceeded(datagram, hop.ingress, now)?;
                 let back = path.traverse(&mut rng)?;
                 decrement_ttl(&mut response, index as u8);
                 return Some(Reception {
@@ -270,6 +298,7 @@ impl Network {
                 }
                 let mut response = self.devices[hop.device.0 as usize]
                     .lock()
+                    .expect("device mutex poisoned")
                     .handle_datagram(datagram, now)?;
                 let back = path.traverse(&mut rng)?;
                 decrement_ttl(&mut response, index as u8);
@@ -372,6 +401,20 @@ mod tests {
         let (network, _) = tiny_network();
         let dark = Ipv4Addr::new(203, 0, 113, 99);
         assert!(network.probe(&echo_probe(dark, 64), 0.0, 0).is_none());
+    }
+
+    #[test]
+    fn forks_are_independent_and_identical() {
+        let (network, ip) = tiny_network();
+        let fork_a = network.fork();
+        let fork_b = network.fork();
+        // Advancing one fork's device state must not affect the other.
+        for round in 0..5 {
+            let _ = fork_a.probe(&echo_probe(ip, 64), round as f64, round);
+        }
+        let from_b = fork_b.probe(&echo_probe(ip, 64), 100.0, 42);
+        let from_fresh = network.fork().probe(&echo_probe(ip, 64), 100.0, 42);
+        assert_eq!(from_b, from_fresh);
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! processed in submission order, which makes entire scans deterministic
 //! regardless of thread scheduling.
 
-use crossbeam::channel;
 use std::num::NonZeroUsize;
 
 /// Scan configuration.
@@ -25,7 +24,10 @@ pub struct ScanConfig {
 impl Default for ScanConfig {
     fn default() -> Self {
         ScanConfig {
-            shards: NonZeroUsize::new(8).unwrap(),
+            // One shard per available core, like `World::build`; the shard
+            // count never changes results (see the determinism contract),
+            // only how far the scan spreads.
+            shards: std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(4).unwrap()),
             pacing: 0.001,
         }
     }
@@ -78,34 +80,35 @@ where
         partitions[shard].push(index);
     }
 
-    let (sender, receiver) = channel::unbounded::<(usize, R)>();
-    crossbeam::scope(|scope| {
-        for partition in &partitions {
-            let sender = sender.clone();
-            let worker = &worker;
-            scope.spawn(move |_| {
-                for &index in partition {
-                    let result = worker(
-                        &items[index],
-                        TargetContext {
-                            index,
-                            start_time: index as f64 * config.pacing,
-                        },
-                    );
-                    // The receiver outlives all senders; ignore the
-                    // impossible disconnection error.
-                    let _ = sender.send((index, result));
-                }
-            });
-        }
-        drop(sender);
-    })
-    .expect("scan worker panicked");
-
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for (index, result) in receiver {
-        results[index] = Some(result);
-    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|partition| {
+                let worker = &worker;
+                scope.spawn(move || {
+                    partition
+                        .iter()
+                        .map(|&index| {
+                            let result = worker(
+                                &items[index],
+                                TargetContext {
+                                    index,
+                                    start_time: index as f64 * config.pacing,
+                                },
+                            );
+                            (index, result)
+                        })
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("scan worker panicked") {
+                results[index] = Some(result);
+            }
+        }
+    });
     results
         .into_iter()
         .map(|slot| slot.expect("every target produces a result"))

@@ -102,7 +102,9 @@ mod tests {
 
     #[test]
     fn verify_detects_single_bit_flip() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0xde, 0xad, 0x00, 0x00, 0x40, 0x01, 0, 0];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0xde, 0xad, 0x00, 0x00, 0x40, 0x01, 0, 0,
+        ];
         let ck = checksum(&data);
         data[10..12].copy_from_slice(&ck.to_be_bytes());
         assert!(verify(&data));

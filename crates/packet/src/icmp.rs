@@ -224,14 +224,22 @@ impl IcmpRepr {
         {
             let data = &mut buf[..];
             match self {
-                IcmpRepr::EchoRequest { ident, seq, payload } => {
+                IcmpRepr::EchoRequest {
+                    ident,
+                    seq,
+                    payload,
+                } => {
                     data[field::TYPE] = 8;
                     data[field::CODE] = 0;
                     data[field::ECHO_IDENT].copy_from_slice(&ident.to_be_bytes());
                     data[field::ECHO_SEQ].copy_from_slice(&seq.to_be_bytes());
                     data[HEADER_LEN..].copy_from_slice(payload);
                 }
-                IcmpRepr::EchoReply { ident, seq, payload } => {
+                IcmpRepr::EchoReply {
+                    ident,
+                    seq,
+                    payload,
+                } => {
                     data[field::TYPE] = 0;
                     data[field::CODE] = 0;
                     data[field::ECHO_IDENT].copy_from_slice(&ident.to_be_bytes());

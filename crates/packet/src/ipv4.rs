@@ -16,7 +16,7 @@ use std::net::Ipv4Addr;
 pub const HEADER_LEN: usize = 20;
 
 /// IP protocol numbers relevant to the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Protocol {
     /// ICMP (1).
     Icmp,
@@ -377,7 +377,7 @@ mod tests {
             payload_len: 100,
             ..sample_repr()
         };
-        let mut buf = vec![0u8; HEADER_LEN]; // no room for payload
+        let mut buf = [0u8; HEADER_LEN]; // no room for payload
         let mut packet = Ipv4Packet::new_unchecked(&mut buf[..]);
         repr.emit(&mut packet);
         assert_eq!(Ipv4Packet::new_checked(&buf[..]), Err(Error::Truncated));

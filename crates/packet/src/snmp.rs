@@ -35,7 +35,7 @@ pub const SYS_UPTIME: [u32; 9] = [1, 3, 6, 1, 2, 1, 1, 3, 0];
 /// Layout: 4 bytes of enterprise number with the MSB set, a format octet,
 /// then format-specific data (we generate format 4, "administratively
 /// assigned text", and parse any format).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EngineId {
     /// IANA Private Enterprise Number of the implementer.
     pub pen: u32,
@@ -438,10 +438,7 @@ mod tests {
         assert_eq!(parsed.usm.engine_time, 86400);
         assert_eq!(
             parsed.pdu.bindings,
-            vec![(
-                USM_STATS_UNKNOWN_ENGINE_IDS.to_vec(),
-                Value::Counter32(1)
-            )]
+            vec![(USM_STATS_UNKNOWN_ENGINE_IDS.to_vec(), Value::Counter32(1))]
         );
     }
 

@@ -211,7 +211,7 @@ impl TcpOptions {
         let mut options = TcpOptions::default();
         while let Some((&kind, rest)) = data.split_first() {
             match kind {
-                0 => break,    // EOL
+                0 => break,       // EOL
                 1 => data = rest, // NOP
                 _ => {
                     let Some((&len, _)) = rest.split_first() else {

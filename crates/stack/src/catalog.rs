@@ -201,58 +201,154 @@ use QuotePolicy::{FullPacket, FullWithExtension, Rfc792Min, UpTo};
 /// Linux ≤4.17 era: one IPID counter for everything, full quotes,
 /// RFC-compliant RSTs. Emitted by MikroTik RouterOS 6 *and* net-snmp boxes.
 fn linux_a(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(CTR0, CTR0, CTR0), false, (64, 64, 64), FullPacket, true)
+    spec!(
+        family,
+        share,
+        plan(CTR0, CTR0, CTR0),
+        false,
+        (64, 64, 64),
+        FullPacket,
+        true
+    )
 }
 
 /// Linux with `icmp_errors_use_inbound_ifaddr` + minimal quoting configs.
 fn linux_b(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(CTR0, CTR0, CTR0), false, (64, 64, 64), Rfc792Min, true)
+    spec!(
+        family,
+        share,
+        plan(CTR0, CTR0, CTR0),
+        false,
+        (64, 64, 64),
+        Rfc792Min,
+        true
+    )
 }
 
 /// Linux ≥4.18 era: zero IPID (DF set) on echo replies, shared counter on
 /// error paths.
 fn linux_c(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(ZERO, CTR0, CTR0), false, (64, 64, 64), FullPacket, true)
+    spec!(
+        family,
+        share,
+        plan(ZERO, CTR0, CTR0),
+        false,
+        (64, 64, 64),
+        FullPacket,
+        true
+    )
 }
 
 /// Linux 5.x with per-socket TCP IPID randomisation.
 fn linux_d(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(ZERO, RAND, CTR0), false, (64, 64, 64), FullPacket, true)
+    spec!(
+        family,
+        share,
+        plan(ZERO, RAND, CTR0),
+        false,
+        (64, 64, 64),
+        FullPacket,
+        true
+    )
 }
 
 /// Comware/VRP shared lineage vectors (Huawei ↔ H3C collisions).
 fn comware_a(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), FullPacket, false)
+    spec!(
+        family,
+        share,
+        plan(CTR0, CTR1, CTR2),
+        true,
+        (255, 64, 255),
+        FullPacket,
+        false
+    )
 }
 
 fn comware_b(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(CTR0, CTR1, CTR2), true, (255, 255, 255), FullPacket, false)
+    spec!(
+        family,
+        share,
+        plan(CTR0, CTR1, CTR2),
+        true,
+        (255, 255, 255),
+        FullPacket,
+        false
+    )
 }
 
 fn comware_c(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(CTR0, CTR1, CTR0), true, (255, 64, 255), Rfc792Min, false)
+    spec!(
+        family,
+        share,
+        plan(CTR0, CTR1, CTR0),
+        true,
+        (255, 64, 255),
+        Rfc792Min,
+        false
+    )
 }
 
 fn comware_d(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(CTR0, CTR0, CTR0), true, (255, 64, 255), FullPacket, true)
+    spec!(
+        family,
+        share,
+        plan(CTR0, CTR0, CTR0),
+        true,
+        (255, 64, 255),
+        FullPacket,
+        true
+    )
 }
 
 /// Legacy vector shared by Cisco IOS 11 and Brocade NetIron.
 fn legacy_ios_netiron(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(CTR0, CTR1, CTR2), false, (64, 64, 64), Rfc792Min, false)
+    spec!(
+        family,
+        share,
+        plan(CTR0, CTR1, CTR2),
+        false,
+        (64, 64, 64),
+        Rfc792Min,
+        false
+    )
 }
 
 /// Generic embedded stacks reused across small vendors.
 fn embedded_a(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(CTR0, CTR1, CTR2), false, (64, 64, 255), Rfc792Min, false)
+    spec!(
+        family,
+        share,
+        plan(CTR0, CTR1, CTR2),
+        false,
+        (64, 64, 255),
+        Rfc792Min,
+        false
+    )
 }
 
 fn embedded_b(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(STATIC, CTR0, CTR0), false, (64, 64, 64), Rfc792Min, false)
+    spec!(
+        family,
+        share,
+        plan(STATIC, CTR0, CTR0),
+        false,
+        (64, 64, 64),
+        Rfc792Min,
+        false
+    )
 }
 
 fn embedded_c(family: &'static str, share: f64) -> Spec {
-    spec!(family, share, plan(CTR0, CTR0, CTR0), false, (255, 255, 255), Rfc792Min, true)
+    spec!(
+        family,
+        share,
+        plan(CTR0, CTR0, CTR0),
+        false,
+        (255, 255, 255),
+        Rfc792Min,
+        true
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -280,35 +376,238 @@ fn cisco() -> Vec<Variant> {
         // --- IOS trains (7 common) ---
         // The Table 6 anchor: random IPIDs, (255, 64, 255) TTLs, minimal
         // quote, non-compliant RST.
-        spec!("IOS 15", 0.30, plan(CTR0, CTR0, CTR0), false, (255, 64, 255), Rfc792Min, false),
-        spec!("IOS 12.4", 0.11, plan(RAND, RAND, RAND), false, (255, 64, 255), Rfc792Min, false),
-        spec!("IOS-XE 16", 0.10, plan(CTR0, CTR0, CTR0), false, (255, 255, 255), Rfc792Min, false),
-        spec!("IOS-XE 17", 0.06, plan(CTR0, CTR1, CTR2), false, (255, 255, 255), UpTo(32), false),
-        spec!("IOS 15 SP", 0.04, plan(CTR0, CTR1, CTR0), false, (255, 64, 255), Rfc792Min, false),
-        spec!("IOS 12.2", 0.03, plan(CTR0, CTR1, CTR2), false, (255, 64, 255), UpTo(32), false),
-        spec!("IOS 15 lowmem", 0.025, plan(RAND, RAND, RAND), false, (255, 64, 255), Rfc792Min, false, Some(36)),
+        spec!(
+            "IOS 15",
+            0.30,
+            plan(CTR0, CTR0, CTR0),
+            false,
+            (255, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "IOS 12.4",
+            0.11,
+            plan(RAND, RAND, RAND),
+            false,
+            (255, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "IOS-XE 16",
+            0.10,
+            plan(CTR0, CTR0, CTR0),
+            false,
+            (255, 255, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "IOS-XE 17",
+            0.06,
+            plan(CTR0, CTR1, CTR2),
+            false,
+            (255, 255, 255),
+            UpTo(32),
+            false
+        ),
+        spec!(
+            "IOS 15 SP",
+            0.04,
+            plan(CTR0, CTR1, CTR0),
+            false,
+            (255, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "IOS 12.2",
+            0.03,
+            plan(CTR0, CTR1, CTR2),
+            false,
+            (255, 64, 255),
+            UpTo(32),
+            false
+        ),
+        spec!(
+            "IOS 15 lowmem",
+            0.025,
+            plan(RAND, RAND, RAND),
+            false,
+            (255, 64, 255),
+            Rfc792Min,
+            false,
+            Some(36)
+        ),
         // --- IOS-XR (3) ---
-        spec!("IOS-XR 7", 0.07, plan(CTR0, CTR1, CTR2), false, (255, 255, 255), FullPacket, false),
-        spec!("IOS-XR 6", 0.05, plan(CTR0, CTR1, CTR2), false, (255, 255, 255), FullWithExtension(8), false),
-        spec!("IOS-XR 5", 0.02, plan(RAND, RAND, RAND), false, (255, 255, 255), FullPacket, false),
+        spec!(
+            "IOS-XR 7",
+            0.07,
+            plan(CTR0, CTR1, CTR2),
+            false,
+            (255, 255, 255),
+            FullPacket,
+            false
+        ),
+        spec!(
+            "IOS-XR 6",
+            0.05,
+            plan(CTR0, CTR1, CTR2),
+            false,
+            (255, 255, 255),
+            FullWithExtension(8),
+            false
+        ),
+        spec!(
+            "IOS-XR 5",
+            0.02,
+            plan(RAND, RAND, RAND),
+            false,
+            (255, 255, 255),
+            FullPacket,
+            false
+        ),
         // --- NX-OS (3) ---
-        spec!("NX-OS 9", 0.04, plan(CTR0, CTR0, CTR0), true, (255, 64, 255), FullPacket, true),
-        spec!("NX-OS 7", 0.02, plan(CTR0, CTR0, CTR0), true, (64, 64, 64), FullPacket, true),
-        spec!("NX-OS 6", 0.01, plan(CTR0, CTR1, CTR2), true, (64, 64, 64), FullPacket, true),
+        spec!(
+            "NX-OS 9",
+            0.04,
+            plan(CTR0, CTR0, CTR0),
+            true,
+            (255, 64, 255),
+            FullPacket,
+            true
+        ),
+        spec!(
+            "NX-OS 7",
+            0.02,
+            plan(CTR0, CTR0, CTR0),
+            true,
+            (64, 64, 64),
+            FullPacket,
+            true
+        ),
+        spec!(
+            "NX-OS 6",
+            0.01,
+            plan(CTR0, CTR1, CTR2),
+            true,
+            (64, 64, 64),
+            FullPacket,
+            true
+        ),
         // --- Rare trains (12) — the long tail Figure 7 filters away at
         // high occurrence thresholds. ---
-        spec!("IOS 12.0S", 0.008, plan(STATIC, CTR0, CTR1), false, (255, 64, 255), Rfc792Min, false),
-        spec!("IOS 15 MPLS", 0.008, plan(RAND, RAND, RAND), false, (255, 64, 255), FullWithExtension(8), false),
-        spec!("IOS-XE SDWAN", 0.007, plan(RAND, RAND, RAND), false, (255, 255, 255), UpTo(32), false),
-        spec!("CatOS hybrid", 0.006, plan(DUP, CTR0, CTR1), false, (255, 64, 255), Rfc792Min, false),
-        spec!("IOS 15 VoIP", 0.006, plan(CTR0, CTR1, CTR2), false, (255, 64, 255), Rfc792Min, false, Some(36)),
-        spec!("IOS-XR NCS", 0.005, plan(CTR0, CTR1, CTR2), false, (255, 255, 255), UpTo(36), false),
-        spec!("NX-OS ACI", 0.005, plan(CTR0, CTR0, CTR0), true, (255, 64, 255), Rfc792Min, true),
-        spec!("IOS 12 SB", 0.004, plan(ZERO, CTR0, CTR1), false, (255, 64, 255), Rfc792Min, false),
-        spec!("IOS-XE WLC", 0.004, plan(RAND, RAND, RAND), false, (255, 255, 64), Rfc792Min, false),
-        spec!("IOS 15 SEC", 0.004, plan(RAND, RAND, RAND), false, (255, 64, 255), UpTo(36), false),
-        spec!("IOS legacy GSR", 0.003, plan(CTR0, CTR1, CTR2), false, (255, 64, 64), Rfc792Min, false),
-        spec!("IOS 15 cap44", 0.003, plan(RAND, RAND, RAND), false, (255, 64, 255), Rfc792Min, false, Some(44)),
+        spec!(
+            "IOS 12.0S",
+            0.008,
+            plan(STATIC, CTR0, CTR1),
+            false,
+            (255, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "IOS 15 MPLS",
+            0.008,
+            plan(RAND, RAND, RAND),
+            false,
+            (255, 64, 255),
+            FullWithExtension(8),
+            false
+        ),
+        spec!(
+            "IOS-XE SDWAN",
+            0.007,
+            plan(RAND, RAND, RAND),
+            false,
+            (255, 255, 255),
+            UpTo(32),
+            false
+        ),
+        spec!(
+            "CatOS hybrid",
+            0.006,
+            plan(DUP, CTR0, CTR1),
+            false,
+            (255, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "IOS 15 VoIP",
+            0.006,
+            plan(CTR0, CTR1, CTR2),
+            false,
+            (255, 64, 255),
+            Rfc792Min,
+            false,
+            Some(36)
+        ),
+        spec!(
+            "IOS-XR NCS",
+            0.005,
+            plan(CTR0, CTR1, CTR2),
+            false,
+            (255, 255, 255),
+            UpTo(36),
+            false
+        ),
+        spec!(
+            "NX-OS ACI",
+            0.005,
+            plan(CTR0, CTR0, CTR0),
+            true,
+            (255, 64, 255),
+            Rfc792Min,
+            true
+        ),
+        spec!(
+            "IOS 12 SB",
+            0.004,
+            plan(ZERO, CTR0, CTR1),
+            false,
+            (255, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "IOS-XE WLC",
+            0.004,
+            plan(RAND, RAND, RAND),
+            false,
+            (255, 255, 64),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "IOS 15 SEC",
+            0.004,
+            plan(RAND, RAND, RAND),
+            false,
+            (255, 64, 255),
+            UpTo(36),
+            false
+        ),
+        spec!(
+            "IOS legacy GSR",
+            0.003,
+            plan(CTR0, CTR1, CTR2),
+            false,
+            (255, 64, 64),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "IOS 15 cap44",
+            0.003,
+            plan(RAND, RAND, RAND),
+            false,
+            (255, 64, 255),
+            Rfc792Min,
+            false,
+            Some(44)
+        ),
         // --- Colliding legacy train (the single Cisco non-unique sig). ---
         legacy_ios_netiron("IOS 11", 0.02),
     ];
@@ -338,21 +637,142 @@ fn juniper() -> Vec<Variant> {
     };
     let specs = vec![
         // Table 6 anchor: differs from "IOS 15" *only* in the ICMP iTTL.
-        spec!("JunOS 18", 0.34, plan(CTR0, CTR0, CTR0), false, (64, 64, 255), Rfc792Min, false),
-        spec!("JunOS 15", 0.12, plan(CTR0, CTR0, CTR0), false, (64, 64, 255), FullPacket, false),
-        spec!("JunOS 20", 0.10, plan(CTR0, CTR0, CTR0), false, (64, 64, 255), Rfc792Min, true),
-        spec!("JunOS MX", 0.09, plan(CTR0, CTR0, CTR0), false, (64, 64, 64), Rfc792Min, false),
-        spec!("JunOS EX", 0.07, plan(RAND, CTR0, CTR0), false, (64, 64, 255), Rfc792Min, false),
-        spec!("JunOS SRX", 0.06, plan(RAND, RAND, RAND), false, (64, 64, 255), Rfc792Min, false),
-        spec!("JunOS QFX", 0.05, plan(RAND, RAND, RAND), false, (64, 64, 64), FullPacket, false),
-        spec!("JunOS 12", 0.04, plan(RAND, RAND, RAND), false, (64, 64, 255), UpTo(32), false),
-        spec!("JunOS PTX", 0.03, plan(RAND, RAND, RAND), false, (64, 64, 255), FullWithExtension(8), false),
-        spec!("JunOS 21 evo", 0.025, plan(ZERO, RAND, RAND), false, (64, 64, 255), Rfc792Min, false),
-        spec!("JunOS ACX", 0.02, plan(RAND, RAND, CTR0), false, (64, 64, 255), Rfc792Min, false),
-        spec!("JunOS 10", 0.015, plan(RAND, RAND, RAND), false, (64, 64, 255), Rfc792Min, false, Some(36)),
-        spec!("JunOS T-series", 0.01, plan(RAND, RAND, RAND), false, (64, 64, 64), UpTo(32), false),
-        spec!("JunOS vMX", 0.008, plan(RAND, RAND, RAND), false, (64, 64, 64), Rfc792Min, true),
-        spec!("JunOS 9", 0.006, plan(DUP, RAND, RAND), false, (64, 64, 255), Rfc792Min, false),
+        spec!(
+            "JunOS 18",
+            0.34,
+            plan(CTR0, CTR0, CTR0),
+            false,
+            (64, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "JunOS 15",
+            0.12,
+            plan(CTR0, CTR0, CTR0),
+            false,
+            (64, 64, 255),
+            FullPacket,
+            false
+        ),
+        spec!(
+            "JunOS 20",
+            0.10,
+            plan(CTR0, CTR0, CTR0),
+            false,
+            (64, 64, 255),
+            Rfc792Min,
+            true
+        ),
+        spec!(
+            "JunOS MX",
+            0.09,
+            plan(CTR0, CTR0, CTR0),
+            false,
+            (64, 64, 64),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "JunOS EX",
+            0.07,
+            plan(RAND, CTR0, CTR0),
+            false,
+            (64, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "JunOS SRX",
+            0.06,
+            plan(RAND, RAND, RAND),
+            false,
+            (64, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "JunOS QFX",
+            0.05,
+            plan(RAND, RAND, RAND),
+            false,
+            (64, 64, 64),
+            FullPacket,
+            false
+        ),
+        spec!(
+            "JunOS 12",
+            0.04,
+            plan(RAND, RAND, RAND),
+            false,
+            (64, 64, 255),
+            UpTo(32),
+            false
+        ),
+        spec!(
+            "JunOS PTX",
+            0.03,
+            plan(RAND, RAND, RAND),
+            false,
+            (64, 64, 255),
+            FullWithExtension(8),
+            false
+        ),
+        spec!(
+            "JunOS 21 evo",
+            0.025,
+            plan(ZERO, RAND, RAND),
+            false,
+            (64, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "JunOS ACX",
+            0.02,
+            plan(RAND, RAND, CTR0),
+            false,
+            (64, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "JunOS 10",
+            0.015,
+            plan(RAND, RAND, RAND),
+            false,
+            (64, 64, 255),
+            Rfc792Min,
+            false,
+            Some(36)
+        ),
+        spec!(
+            "JunOS T-series",
+            0.01,
+            plan(RAND, RAND, RAND),
+            false,
+            (64, 64, 64),
+            UpTo(32),
+            false
+        ),
+        spec!(
+            "JunOS vMX",
+            0.008,
+            plan(RAND, RAND, RAND),
+            false,
+            (64, 64, 64),
+            Rfc792Min,
+            true
+        ),
+        spec!(
+            "JunOS 9",
+            0.006,
+            plan(DUP, RAND, RAND),
+            false,
+            (64, 64, 255),
+            Rfc792Min,
+            false
+        ),
     ];
     expand(&defaults, specs)
 }
@@ -375,14 +795,79 @@ fn huawei() -> Vec<Variant> {
         // VRP's iTTL tuple equals Cisco's (255, 64, 255) — this is why the
         // iTTL-only baseline (§2) confuses Huawei with Cisco — but the
         // incremental+reflecting IPID behaviour separates them for LFP.
-        spec!("VRP 8", 0.34, plan(CTR0, CTR0, CTR0), true, (255, 64, 255), Rfc792Min, false),
-        spec!("VRP 5", 0.16, plan(CTR0, CTR0, CTR0), true, (255, 64, 64), Rfc792Min, false),
-        spec!("VRP 8 NE", 0.10, plan(CTR0, CTR1, CTR2), true, (255, 255, 255), Rfc792Min, false),
-        spec!("VRP 8 CE", 0.07, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), Rfc792Min, false),
-        spec!("VRP 5 AR", 0.05, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), UpTo(32), false),
-        spec!("VRP 8 cap", 0.03, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), Rfc792Min, false, Some(36)),
-        spec!("VRP 8 MPLS", 0.02, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), FullWithExtension(8), false),
-        spec!("VRP legacy", 0.01, plan(STATIC, CTR0, CTR1), true, (255, 64, 255), Rfc792Min, false),
+        spec!(
+            "VRP 8",
+            0.34,
+            plan(CTR0, CTR0, CTR0),
+            true,
+            (255, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "VRP 5",
+            0.16,
+            plan(CTR0, CTR0, CTR0),
+            true,
+            (255, 64, 64),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "VRP 8 NE",
+            0.10,
+            plan(CTR0, CTR1, CTR2),
+            true,
+            (255, 255, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "VRP 8 CE",
+            0.07,
+            plan(CTR0, CTR1, CTR2),
+            true,
+            (255, 64, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "VRP 5 AR",
+            0.05,
+            plan(CTR0, CTR1, CTR2),
+            true,
+            (255, 64, 255),
+            UpTo(32),
+            false
+        ),
+        spec!(
+            "VRP 8 cap",
+            0.03,
+            plan(CTR0, CTR1, CTR2),
+            true,
+            (255, 64, 255),
+            Rfc792Min,
+            false,
+            Some(36)
+        ),
+        spec!(
+            "VRP 8 MPLS",
+            0.02,
+            plan(CTR0, CTR1, CTR2),
+            true,
+            (255, 64, 255),
+            FullWithExtension(8),
+            false
+        ),
+        spec!(
+            "VRP legacy",
+            0.01,
+            plan(STATIC, CTR0, CTR1),
+            true,
+            (255, 64, 255),
+            Rfc792Min,
+            false
+        ),
         // Comware-lineage collisions with H3C (4 non-unique sigs).
         comware_a("VRP comware-a", 0.05),
         comware_b("VRP comware-b", 0.04),
@@ -425,33 +910,223 @@ fn mikrotik() -> Vec<Variant> {
         linux_d("RouterOS 7.10", 0.08),
     ];
     // Unique quirk trains: small shares, distinct vectors.
-    let quirks: [(&'static str, IpidPlan, (u8, u8, u8), QuotePolicy, bool, Option<u16>); 26] = [
-        ("ROS 6.40", plan(CTR0, CTR0, CTR0), (64, 64, 64), UpTo(32), true, None),
-        ("ROS 6.41", plan(CTR0, CTR0, CTR0), (64, 64, 64), UpTo(36), true, None),
-        ("ROS 6.42", plan(CTR0, CTR0, CTR0), (64, 64, 64), FullPacket, false, None),
-        ("ROS 6.43", plan(CTR0, CTR0, CTR0), (64, 64, 64), Rfc792Min, false, None),
-        ("ROS 6.45", plan(CTR0, CTR0, CTR0), (255, 64, 64), FullPacket, true, None),
-        ("ROS 6.46", plan(CTR0, CTR0, CTR0), (64, 255, 64), FullPacket, true, None),
-        ("ROS 6.47", plan(CTR0, CTR0, CTR0), (64, 64, 255), FullPacket, true, None),
-        ("ROS 6.49", plan(CTR0, CTR0, CTR0), (64, 64, 64), FullPacket, true, Some(36)),
-        ("ROS 7.2", plan(ZERO, CTR0, CTR0), (64, 64, 64), Rfc792Min, true, None),
-        ("ROS 7.3", plan(ZERO, CTR0, CTR0), (64, 64, 64), UpTo(32), true, None),
-        ("ROS 7.4", plan(ZERO, RAND, CTR0), (64, 64, 64), Rfc792Min, true, None),
-        ("ROS 7.5", plan(ZERO, RAND, CTR0), (64, 64, 64), UpTo(36), true, None),
-        ("ROS 7.6", plan(ZERO, CTR0, CTR0), (64, 64, 64), FullPacket, true, Some(44)),
-        ("ROS 7.7", plan(ZERO, RAND, CTR0), (64, 64, 64), FullPacket, false, None),
-        ("ROS 7.8", plan(ZERO, CTR0, CTR0), (255, 64, 64), FullPacket, true, None),
-        ("ROS 7.9", plan(ZERO, RAND, CTR0), (64, 64, 255), FullPacket, true, None),
-        ("ROS 7.11", plan(ZERO, CTR0, CTR0), (64, 255, 64), FullPacket, true, None),
-        ("ROS 7.12", plan(ZERO, RAND, CTR0), (64, 64, 64), FullWithExtension(8), true, None),
-        ("ROS 6 PPPoE", plan(CTR0, CTR0, CTR0), (64, 64, 64), FullWithExtension(8), true, None),
-        ("ROS 6 hotspot", plan(CTR0, CTR0, CTR0), (64, 64, 64), FullPacket, true, Some(28)),
-        ("ROS 6 CHR", plan(CTR0, CTR0, CTR0), (64, 64, 64), UpTo(28), false, None),
-        ("ROS 7 CHR", plan(ZERO, RAND, CTR0), (64, 64, 64), UpTo(28), true, None),
-        ("ROS SwOS", plan(DUP, CTR0, CTR0), (64, 64, 64), Rfc792Min, true, None),
-        ("ROS 6 LTE", plan(CTR0, CTR0, CTR0), (64, 64, 64), Rfc792Min, true, Some(36)),
-        ("ROS 7 wifiwave", plan(ZERO, CTR0, CTR0), (64, 64, 64), FullPacket, false, None),
-        ("ROS 7 ax", plan(ZERO, RAND, CTR0), (255, 64, 64), FullPacket, true, None),
+    type QuirkSpec = (
+        &'static str,
+        IpidPlan,
+        (u8, u8, u8),
+        QuotePolicy,
+        bool,
+        Option<u16>,
+    );
+    let quirks: [QuirkSpec; 26] = [
+        (
+            "ROS 6.40",
+            plan(CTR0, CTR0, CTR0),
+            (64, 64, 64),
+            UpTo(32),
+            true,
+            None,
+        ),
+        (
+            "ROS 6.41",
+            plan(CTR0, CTR0, CTR0),
+            (64, 64, 64),
+            UpTo(36),
+            true,
+            None,
+        ),
+        (
+            "ROS 6.42",
+            plan(CTR0, CTR0, CTR0),
+            (64, 64, 64),
+            FullPacket,
+            false,
+            None,
+        ),
+        (
+            "ROS 6.43",
+            plan(CTR0, CTR0, CTR0),
+            (64, 64, 64),
+            Rfc792Min,
+            false,
+            None,
+        ),
+        (
+            "ROS 6.45",
+            plan(CTR0, CTR0, CTR0),
+            (255, 64, 64),
+            FullPacket,
+            true,
+            None,
+        ),
+        (
+            "ROS 6.46",
+            plan(CTR0, CTR0, CTR0),
+            (64, 255, 64),
+            FullPacket,
+            true,
+            None,
+        ),
+        (
+            "ROS 6.47",
+            plan(CTR0, CTR0, CTR0),
+            (64, 64, 255),
+            FullPacket,
+            true,
+            None,
+        ),
+        (
+            "ROS 6.49",
+            plan(CTR0, CTR0, CTR0),
+            (64, 64, 64),
+            FullPacket,
+            true,
+            Some(36),
+        ),
+        (
+            "ROS 7.2",
+            plan(ZERO, CTR0, CTR0),
+            (64, 64, 64),
+            Rfc792Min,
+            true,
+            None,
+        ),
+        (
+            "ROS 7.3",
+            plan(ZERO, CTR0, CTR0),
+            (64, 64, 64),
+            UpTo(32),
+            true,
+            None,
+        ),
+        (
+            "ROS 7.4",
+            plan(ZERO, RAND, CTR0),
+            (64, 64, 64),
+            Rfc792Min,
+            true,
+            None,
+        ),
+        (
+            "ROS 7.5",
+            plan(ZERO, RAND, CTR0),
+            (64, 64, 64),
+            UpTo(36),
+            true,
+            None,
+        ),
+        (
+            "ROS 7.6",
+            plan(ZERO, CTR0, CTR0),
+            (64, 64, 64),
+            FullPacket,
+            true,
+            Some(44),
+        ),
+        (
+            "ROS 7.7",
+            plan(ZERO, RAND, CTR0),
+            (64, 64, 64),
+            FullPacket,
+            false,
+            None,
+        ),
+        (
+            "ROS 7.8",
+            plan(ZERO, CTR0, CTR0),
+            (255, 64, 64),
+            FullPacket,
+            true,
+            None,
+        ),
+        (
+            "ROS 7.9",
+            plan(ZERO, RAND, CTR0),
+            (64, 64, 255),
+            FullPacket,
+            true,
+            None,
+        ),
+        (
+            "ROS 7.11",
+            plan(ZERO, CTR0, CTR0),
+            (64, 255, 64),
+            FullPacket,
+            true,
+            None,
+        ),
+        (
+            "ROS 7.12",
+            plan(ZERO, RAND, CTR0),
+            (64, 64, 64),
+            FullWithExtension(8),
+            true,
+            None,
+        ),
+        (
+            "ROS 6 PPPoE",
+            plan(CTR0, CTR0, CTR0),
+            (64, 64, 64),
+            FullWithExtension(8),
+            true,
+            None,
+        ),
+        (
+            "ROS 6 hotspot",
+            plan(CTR0, CTR0, CTR0),
+            (64, 64, 64),
+            FullPacket,
+            true,
+            Some(28),
+        ),
+        (
+            "ROS 6 CHR",
+            plan(CTR0, CTR0, CTR0),
+            (64, 64, 64),
+            UpTo(28),
+            false,
+            None,
+        ),
+        (
+            "ROS 7 CHR",
+            plan(ZERO, RAND, CTR0),
+            (64, 64, 64),
+            UpTo(28),
+            true,
+            None,
+        ),
+        (
+            "ROS SwOS",
+            plan(DUP, CTR0, CTR0),
+            (64, 64, 64),
+            Rfc792Min,
+            true,
+            None,
+        ),
+        (
+            "ROS 6 LTE",
+            plan(CTR0, CTR0, CTR0),
+            (64, 64, 64),
+            Rfc792Min,
+            true,
+            Some(36),
+        ),
+        (
+            "ROS 7 wifiwave",
+            plan(ZERO, CTR0, CTR0),
+            (64, 64, 64),
+            FullPacket,
+            false,
+            None,
+        ),
+        (
+            "ROS 7 ax",
+            plan(ZERO, RAND, CTR0),
+            (255, 64, 64),
+            FullPacket,
+            true,
+            None,
+        ),
     ];
     for (family, ipid, ttl, quote, rst, cap) in quirks {
         specs.push(Spec {
@@ -492,11 +1167,51 @@ fn h3c() -> Vec<Variant> {
         comware_d("Comware MSR", 0.10),
         linux_a("H3C mgmt-linux", 0.13),
         // Small unique trains.
-        spec!("Comware 7 FW", 0.05, plan(CTR0, CTR1, CTR2), true, (255, 64, 255), FullWithExtension(4), false),
-        spec!("Comware 9", 0.04, plan(CTR0, CTR1, CTR2), true, (255, 64, 64), FullPacket, false),
-        spec!("Comware 5 LSW", 0.03, plan(CTR0, CTR1, CTR0), true, (255, 255, 255), FullPacket, false),
-        spec!("Comware 7 WA", 0.02, plan(CTR0, CTR0, CTR0), true, (255, 64, 255), UpTo(32), true),
-        spec!("Comware legacy", 0.01, plan(STATIC, CTR0, CTR0), true, (255, 64, 255), FullPacket, false),
+        spec!(
+            "Comware 7 FW",
+            0.05,
+            plan(CTR0, CTR1, CTR2),
+            true,
+            (255, 64, 255),
+            FullWithExtension(4),
+            false
+        ),
+        spec!(
+            "Comware 9",
+            0.04,
+            plan(CTR0, CTR1, CTR2),
+            true,
+            (255, 64, 64),
+            FullPacket,
+            false
+        ),
+        spec!(
+            "Comware 5 LSW",
+            0.03,
+            plan(CTR0, CTR1, CTR0),
+            true,
+            (255, 255, 255),
+            FullPacket,
+            false
+        ),
+        spec!(
+            "Comware 7 WA",
+            0.02,
+            plan(CTR0, CTR0, CTR0),
+            true,
+            (255, 64, 255),
+            UpTo(32),
+            true
+        ),
+        spec!(
+            "Comware legacy",
+            0.01,
+            plan(STATIC, CTR0, CTR0),
+            true,
+            (255, 64, 255),
+            FullPacket,
+            false
+        ),
     ];
     expand(&defaults, specs)
 }
@@ -516,8 +1231,24 @@ fn alcatel_nokia() -> Vec<Variant> {
         errors_from_loopback: true,
     };
     let specs = vec![
-        spec!("TiMOS SR", 0.7, plan(ZERO, CTR0, CTR1), false, (255, 255, 255), Rfc792Min, false),
-        spec!("TiMOS SAS", 0.3, plan(STATIC, CTR0, CTR1), false, (255, 255, 255), Rfc792Min, false),
+        spec!(
+            "TiMOS SR",
+            0.7,
+            plan(ZERO, CTR0, CTR1),
+            false,
+            (255, 255, 255),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "TiMOS SAS",
+            0.3,
+            plan(STATIC, CTR0, CTR1),
+            false,
+            (255, 255, 255),
+            Rfc792Min,
+            false
+        ),
     ];
     expand(&defaults, specs)
 }
@@ -536,9 +1267,15 @@ fn ericsson() -> Vec<Variant> {
         background_pps: 130.0,
         errors_from_loopback: true,
     };
-    let specs = vec![
-        spec!("IPOS", 1.0, plan(ZERO, ZERO, ZERO), false, (255, 255, 255), Rfc792Min, false),
-    ];
+    let specs = vec![spec!(
+        "IPOS",
+        1.0,
+        plan(ZERO, ZERO, ZERO),
+        false,
+        (255, 255, 255),
+        Rfc792Min,
+        false
+    )];
     expand(&defaults, specs)
 }
 
@@ -561,8 +1298,24 @@ fn brocade() -> Vec<Variant> {
         // Brocade's precision/recall sag in Table 8).
         legacy_ios_netiron("NetIron legacy", 0.40),
         linux_b("NetIron SLX-linux", 0.15),
-        spec!("NetIron MLX", 0.30, plan(CTR0, CTR1, CTR2), false, (64, 64, 255), UpTo(36), false),
-        spec!("NetIron CES", 0.15, plan(CTR0, CTR1, CTR2), false, (64, 64, 255), FullPacket, false),
+        spec!(
+            "NetIron MLX",
+            0.30,
+            plan(CTR0, CTR1, CTR2),
+            false,
+            (64, 64, 255),
+            UpTo(36),
+            false
+        ),
+        spec!(
+            "NetIron CES",
+            0.15,
+            plan(CTR0, CTR1, CTR2),
+            false,
+            (64, 64, 255),
+            FullPacket,
+            false
+        ),
     ];
     expand(&defaults, specs)
 }
@@ -582,8 +1335,24 @@ fn ruijie() -> Vec<Variant> {
         errors_from_loopback: false,
     };
     let specs = vec![
-        spec!("RGOS 11", 0.8, plan(CTR0, CTR1, CTR2), true, (64, 64, 64), Rfc792Min, false),
-        spec!("RGOS 12", 0.2, plan(CTR0, CTR1, CTR2), true, (64, 64, 64), FullPacket, false),
+        spec!(
+            "RGOS 11",
+            0.8,
+            plan(CTR0, CTR1, CTR2),
+            true,
+            (64, 64, 64),
+            Rfc792Min,
+            false
+        ),
+        spec!(
+            "RGOS 12",
+            0.2,
+            plan(CTR0, CTR1, CTR2),
+            true,
+            (64, 64, 64),
+            FullPacket,
+            false
+        ),
     ];
     expand(&defaults, specs)
 }
@@ -617,7 +1386,15 @@ fn net_snmp() -> Vec<Variant> {
         linux_c("Linux 4.18+", 0.25),
         linux_d("Linux 5.x", 0.18),
         // One genuinely unique software-router build.
-        spec!("FreeBSD frr", 0.05, plan(RAND, CTR0, CTR0), false, (64, 64, 64), Rfc792Min, true),
+        spec!(
+            "FreeBSD frr",
+            0.05,
+            plan(RAND, CTR0, CTR0),
+            false,
+            (64, 64, 64),
+            Rfc792Min,
+            true
+        ),
     ];
     expand(&defaults, specs)
 }
@@ -668,7 +1445,15 @@ fn build_standard() -> Catalog {
             vec![
                 embedded_a("ZXROS a", 0.5),
                 embedded_c("ZXROS c", 0.3),
-                spec!("ZXROS unique", 0.2, plan(CTR0, CTR1, CTR0), true, (64, 255, 255), Rfc792Min, false),
+                spec!(
+                    "ZXROS unique",
+                    0.2,
+                    plan(CTR0, CTR1, CTR0),
+                    true,
+                    (64, 255, 255),
+                    Rfc792Min,
+                    false
+                ),
             ],
         ),
     );
@@ -681,7 +1466,15 @@ fn build_standard() -> Catalog {
             vec![
                 embedded_b("EXOS b", 0.5),
                 embedded_c("EXOS c", 0.3),
-                spec!("EXOS unique", 0.2, plan(CTR0, CTR1, CTR1), false, (64, 255, 64), FullPacket, true),
+                spec!(
+                    "EXOS unique",
+                    0.2,
+                    plan(CTR0, CTR1, CTR1),
+                    false,
+                    (64, 255, 64),
+                    FullPacket,
+                    true
+                ),
             ],
         ),
     );
@@ -693,7 +1486,15 @@ fn build_standard() -> Catalog {
             "eos",
             vec![
                 linux_c("EOS linux", 0.6),
-                spec!("EOS unique", 0.4, plan(ZERO, CTR0, CTR1), false, (64, 64, 255), FullPacket, true),
+                spec!(
+                    "EOS unique",
+                    0.4,
+                    plan(ZERO, CTR0, CTR1),
+                    false,
+                    (64, 64, 255),
+                    FullPacket,
+                    true
+                ),
             ],
         ),
     );
@@ -706,7 +1507,15 @@ fn build_standard() -> Catalog {
             vec![
                 embedded_a("FortiOS a", 0.5),
                 embedded_b("FortiOS b", 0.3),
-                spec!("FortiOS unique", 0.2, plan(RAND, CTR0, CTR1), false, (255, 64, 64), Rfc792Min, false),
+                spec!(
+                    "FortiOS unique",
+                    0.2,
+                    plan(RAND, CTR0, CTR1),
+                    false,
+                    (255, 64, 64),
+                    Rfc792Min,
+                    false
+                ),
             ],
         ),
     );

@@ -176,7 +176,12 @@ impl RouterDevice {
             return None;
         }
         let request = IcmpPacket::new_checked(payload).ok()?;
-        let IcmpRepr::EchoRequest { ident, seq, payload } = IcmpRepr::parse(&request).ok()? else {
+        let IcmpRepr::EchoRequest {
+            ident,
+            seq,
+            payload,
+        } = IcmpRepr::parse(&request).ok()?
+        else {
             return None;
         };
         let reflected = match self.profile.echo_payload_cap {
@@ -196,7 +201,14 @@ impl RouterDevice {
         } else {
             self.ipid.allocate(Protocol::Icmp, now, &mut self.rng)
         };
-        Some(self.wrap_ip_with_ipid(dst, src, Protocol::Icmp, self.profile.ttl.icmp, ipid, &reply))
+        Some(self.wrap_ip_with_ipid(
+            dst,
+            src,
+            Protocol::Icmp,
+            self.profile.ttl.icmp,
+            ipid,
+            &reply,
+        ))
     }
 
     fn handle_tcp(
@@ -232,7 +244,11 @@ impl RouterDevice {
             } else {
                 0
             };
-            (seq, probe.seq.wrapping_add(1), TcpFlags::RST | TcpFlags::ACK)
+            (
+                seq,
+                probe.seq.wrapping_add(1),
+                TcpFlags::RST | TcpFlags::ACK,
+            )
         };
         let rst = TcpRepr {
             src_port: probe.dst_port,
@@ -279,7 +295,14 @@ impl RouterDevice {
         }
         .to_bytes(dst, src);
         let ipid = self.ipid.allocate(Protocol::Tcp, now, &mut self.rng);
-        Some(self.wrap_ip_with_ipid(dst, src, Protocol::Tcp, self.profile.ttl.tcp, ipid, &syn_ack))
+        Some(self.wrap_ip_with_ipid(
+            dst,
+            src,
+            Protocol::Tcp,
+            self.profile.ttl.tcp,
+            ipid,
+            &syn_ack,
+        ))
     }
 
     fn handle_udp(
@@ -315,7 +338,14 @@ impl RouterDevice {
         } else {
             dst
         };
-        Some(self.wrap_ip_with_ipid(source, src, Protocol::Icmp, self.profile.ttl.udp, ipid, &icmp))
+        Some(self.wrap_ip_with_ipid(
+            source,
+            src,
+            Protocol::Icmp,
+            self.profile.ttl.udp,
+            ipid,
+            &icmp,
+        ))
     }
 
     fn handle_snmp(
@@ -504,8 +534,10 @@ mod tests {
         let mut device = fully_exposed(Vendor::Cisco);
         let response = device.handle_datagram(&udp_probe(), 1.0).unwrap();
         let ip = Ipv4Packet::new_checked(&response[..]).unwrap();
-        assert_eq!(usize::from(ip.total_len()),
-            device.profile().unreachable_response_len(40));
+        assert_eq!(
+            usize::from(ip.total_len()),
+            device.profile().unreachable_response_len(40)
+        );
         let icmp = IcmpPacket::new_checked(ip.payload()).unwrap();
         assert_eq!(
             icmp.kind().unwrap(),
@@ -518,7 +550,9 @@ mod tests {
     #[test]
     fn syn_with_ack_elicits_rst_with_policy_seq() {
         let mut cisco = fully_exposed(Vendor::Cisco);
-        let response = cisco.handle_datagram(&tcp_syn_probe(0xdead_beef), 1.0).unwrap();
+        let response = cisco
+            .handle_datagram(&tcp_syn_probe(0xdead_beef), 1.0)
+            .unwrap();
         let ip = Ipv4Packet::new_checked(&response[..]).unwrap();
         assert_eq!(ip.total_len(), 40); // 20 IP + 20 TCP, Table 6's TCP size
         let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
@@ -527,7 +561,9 @@ mod tests {
         assert_eq!(tcp.seq(), 0);
 
         let mut mikrotik = fully_exposed(Vendor::MikroTik);
-        let response = mikrotik.handle_datagram(&tcp_syn_probe(0xdead_beef), 1.0).unwrap();
+        let response = mikrotik
+            .handle_datagram(&tcp_syn_probe(0xdead_beef), 1.0)
+            .unwrap();
         let ip = Ipv4Packet::new_checked(&response[..]).unwrap();
         let tcp = TcpPacket::new_checked(ip.payload()).unwrap();
         // Linux-derived stacks are compliant: seq copies the probe's ACK.
@@ -600,8 +636,8 @@ mod tests {
         let mut probe = udp_probe();
         let len = probe.len();
         probe[len - 1] ^= 0xff; // corrupt payload without fixing checksum
-        // IPv4 header checksum still fine, so the IP layer accepts it, but
-        // the UDP layer must reject it.
+                                // IPv4 header checksum still fine, so the IP layer accepts it, but
+                                // the UDP layer must reject it.
         let mut ip = Ipv4Packet::new_unchecked(&mut probe[..]);
         ip.fill_checksum();
         assert!(device.handle_datagram(&probe, 1.0).is_none());

@@ -17,10 +17,9 @@
 
 use lfp_packet::ipv4::Protocol;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How one response class allocates IPID values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IpidMode {
     /// Values come from shared counter number `group` (advances with
     /// background traffic; wraps at 2^16).
@@ -45,7 +44,7 @@ pub enum IpidMode {
 /// IPID allocation plan for the three probe-response classes, keyed by the
 /// *probe* protocol (the response to a UDP probe is an ICMP error, but the
 /// feature set names it the "UDP IPID counter").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct IpidPlan {
     /// Class used for ICMP echo replies.
     pub icmp: IpidMode,
@@ -274,7 +273,7 @@ mod tests {
             let id = engine.allocate(protocol, time, &mut rng);
             if let Some(prev) = previous {
                 let step = id.wrapping_sub(prev);
-                assert!(step >= 1 && step < 1000, "step {step} out of band");
+                assert!((1..1000).contains(&step), "step {step} out of band");
             }
             previous = Some(id);
         }
@@ -306,7 +305,10 @@ mod tests {
         let first = engine.allocate(Protocol::Icmp, 1.0, &mut rng);
         assert_ne!(first, 0);
         for i in 0..5 {
-            assert_eq!(engine.allocate(Protocol::Tcp, 2.0 + i as f64, &mut rng), first);
+            assert_eq!(
+                engine.allocate(Protocol::Tcp, 2.0 + i as f64, &mut rng),
+                first
+            );
         }
     }
 

@@ -8,7 +8,6 @@
 
 use crate::ipid::IpidPlan;
 use crate::vendor::Vendor;
-use serde::{Deserialize, Serialize};
 
 /// Initial TTL values per *probe* protocol.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// reply's — e.g. JunOS uses 64 for echo replies but 255 for port
 /// unreachable. This is precisely the (UDP, ICMP, TCP) iTTL triple of
 /// Table 1/Table 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TtlPlan {
     /// Initial TTL of ICMP echo replies.
     pub icmp: u8,
@@ -40,7 +39,7 @@ impl TtlPlan {
 /// This determines the "UDP response size" feature: with LFP's 40-byte UDP
 /// probe (20 IP + 8 UDP + 12 payload), RFC 792 minimal quoting yields a
 /// 56-byte response, full quoting 68 bytes, and so on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QuotePolicy {
     /// RFC 792 minimum: original IP header + 8 bytes (28 quoted bytes).
     Rfc792Min,
@@ -68,7 +67,7 @@ impl QuotePolicy {
 
 /// SYN-ACK characteristics for devices that expose a TCP service; read by
 /// the Hershel and Nmap baselines, not by LFP itself.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SynAckProfile {
     /// Advertised window.
     pub window: u16,
@@ -107,7 +106,7 @@ impl SynAckProfile {
 /// signature observations: an IP answers all three probes of a protocol
 /// or none (Figures 5/6), and per-protocol responsiveness is strongly
 /// correlated (Figure 4's mass at 0 and 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExposurePolicy {
     /// Weights over response postures, i.e. the 8 subsets of
     /// {ICMP, TCP, UDP}, in the order: none, icmp, tcp, udp, icmp+tcp,
@@ -178,7 +177,7 @@ impl ExposurePolicy {
 }
 
 /// The complete behavioural description of a router OS family.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackProfile {
     /// The vendor shipping this stack.
     pub vendor: Vendor,

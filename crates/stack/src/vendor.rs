@@ -9,7 +9,7 @@ use core::fmt;
 
 /// Router vendors observed in the study (paper §4.4 names the major ones;
 /// the rest populate the "Other" bucket of Table 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Vendor {
     /// Cisco Systems (IOS, IOS-XE, IOS-XR, NX-OS).
     Cisco,

@@ -15,12 +15,11 @@ use lfp_net::link::splitmix64;
 use lfp_net::traceroute::{traceroute, TracerouteOptions};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 /// One traceroute in a snapshot, with registry metadata resolved.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TraceRecord {
     /// Vantage (source) AS.
     pub src_as: u32,
@@ -107,11 +106,32 @@ const SNAPSHOT_DATES: [&str; 6] = [
     "2023-01-15",
 ];
 
-/// Build the RIPE-style snapshots for an Internet, per its scale.
+/// One pre-planned snapshot campaign: every destination choice fixed
+/// before a single packet flies. Planning is cheap, sequential and purely
+/// RNG-driven (the churn chain couples consecutive snapshots); measuring a
+/// plan is the expensive part and is side-effect-free apart from the
+/// network it runs against, so plans can be measured on independent
+/// [`lfp_net::Network`] forks in any order — or concurrently.
+#[derive(Debug, Clone)]
+pub struct SnapshotPlan {
+    /// Zero-based snapshot index.
+    pub index: usize,
+    /// Snapshot name (RIPE-1 …).
+    pub name: String,
+    /// Synthetic collection date.
+    pub date: &'static str,
+    /// Virtual start time of the campaign.
+    pub base_time: f64,
+    /// Destination list per vantage point, index-aligned with
+    /// `internet.vantages()`.
+    pub dest_sets: Vec<Vec<Ipv4Addr>>,
+}
+
+/// Plan every RIPE-style snapshot for an Internet, per its scale.
 ///
 /// Destinations churn between snapshots at the configured rate, which is
 /// what produces the paper's ~88% pairwise router-IP overlap.
-pub fn build_ripe_snapshots(internet: &Internet) -> Vec<RipeSnapshot> {
+pub fn plan_ripe_snapshots(internet: &Internet) -> Vec<SnapshotPlan> {
     let scale = internet.scale;
     let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0x41f5_0003);
 
@@ -139,7 +159,7 @@ pub fn build_ripe_snapshots(internet: &Internet) -> Vec<RipeSnapshot> {
         })
         .collect();
 
-    let mut snapshots = Vec::with_capacity(scale.snapshots);
+    let mut plans = Vec::with_capacity(scale.snapshots);
     for snapshot_index in 0..scale.snapshots {
         // Churn: resample a fraction of each vantage's destinations.
         if snapshot_index > 0 {
@@ -151,73 +171,107 @@ pub fn build_ripe_snapshots(internet: &Internet) -> Vec<RipeSnapshot> {
                 }
             }
         }
-
-        let base_time = 1_000_000.0 * (1.0 + snapshot_index as f64);
-        let mut traces = Vec::new();
-        let mut router_ips = BTreeSet::new();
-        for (vantage, dests) in internet.vantages().iter().zip(&dest_sets) {
-            for (dest_index, &dst) in dests.iter().enumerate() {
-                let salt = splitmix64(
-                    scale.seed
-                        ^ 0x7ace
-                        ^ (snapshot_index as u64) << 40
-                        ^ u64::from(vantage.id.0) << 20
-                        ^ dest_index as u64,
-                );
-                let result = traceroute(
-                    internet.network(),
-                    vantage.id,
-                    vantage.src_ip,
-                    dst,
-                    TracerouteOptions::default(),
-                    base_time + dest_index as f64 * 2.0,
-                    salt,
-                );
-                let dst_as = internet.truth_of(dst).map(|m| m.as_id).unwrap_or(u32::MAX);
-                for hop in result.intermediate_hops() {
-                    router_ips.insert(hop);
-                }
-                traces.push(TraceRecord {
-                    src_as: vantage.as_id,
-                    dst_as,
-                    src: vantage.src_ip,
-                    dst,
-                    hops: result.hops,
-                    reached: result.reached,
-                });
-            }
-        }
-        snapshots.push(RipeSnapshot {
+        plans.push(SnapshotPlan {
+            index: snapshot_index,
             name: format!("RIPE-{}", snapshot_index + 1),
             date: SNAPSHOT_DATES[snapshot_index % SNAPSHOT_DATES.len()],
-            traces,
-            router_ips,
+            base_time: 1_000_000.0 * (1.0 + snapshot_index as f64),
+            dest_sets: dest_sets.clone(),
         });
     }
-    snapshots
+    plans
+}
+
+/// Measure one planned snapshot against the given network (typically a
+/// [`lfp_net::Network::fork`] so snapshots stay order-independent).
+pub fn measure_ripe_snapshot(
+    internet: &Internet,
+    network: &lfp_net::Network,
+    plan: &SnapshotPlan,
+) -> RipeSnapshot {
+    let scale = internet.scale;
+    let mut traces = Vec::new();
+    let mut router_ips = BTreeSet::new();
+    for (vantage, dests) in internet.vantages().iter().zip(&plan.dest_sets) {
+        for (dest_index, &dst) in dests.iter().enumerate() {
+            let salt = splitmix64(
+                scale.seed
+                    ^ 0x7ace
+                    ^ (plan.index as u64) << 40
+                    ^ u64::from(vantage.id.0) << 20
+                    ^ dest_index as u64,
+            );
+            let result = traceroute(
+                network,
+                vantage.id,
+                vantage.src_ip,
+                dst,
+                TracerouteOptions::default(),
+                plan.base_time + dest_index as f64 * 2.0,
+                salt,
+            );
+            let dst_as = internet.truth_of(dst).map(|m| m.as_id).unwrap_or(u32::MAX);
+            for hop in result.intermediate_hops() {
+                router_ips.insert(hop);
+            }
+            traces.push(TraceRecord {
+                src_as: vantage.as_id,
+                dst_as,
+                src: vantage.src_ip,
+                dst,
+                hops: result.hops,
+                reached: result.reached,
+            });
+        }
+    }
+    RipeSnapshot {
+        name: plan.name.clone(),
+        date: plan.date,
+        traces,
+        router_ips,
+    }
+}
+
+/// Build the RIPE-style snapshots for an Internet, per its scale.
+///
+/// Sequential convenience wrapper over [`plan_ripe_snapshots`] +
+/// [`measure_ripe_snapshot`]; each snapshot measures against its own
+/// network fork, so results match `World::build`'s parallel campaign
+/// bit for bit.
+pub fn build_ripe_snapshots(internet: &Internet) -> Vec<RipeSnapshot> {
+    plan_ripe_snapshots(internet)
+        .iter()
+        .map(|plan| measure_ripe_snapshot(internet, &internet.network().fork(), plan))
+        .collect()
 }
 
 /// Build the ITDK-style dataset: enumerate a deterministic AS subset,
-/// keep responsive interfaces, and alias-resolve them.
-pub fn build_itdk(internet: &Internet) -> ItdkDataset {
+/// keep responsive interfaces, and alias-resolve them. Runs against the
+/// given network (typically a fork; see [`measure_ripe_snapshot`]).
+pub fn build_itdk_on(internet: &Internet, network: &lfp_net::Network) -> ItdkDataset {
     let scale = internet.scale;
     let threshold = (scale.itdk_as_fraction * u64::MAX as f64) as u64;
     let mut candidates: Vec<Ipv4Addr> = Vec::new();
     for router in internet.routers() {
-        let in_subset =
-            splitmix64(scale.seed ^ 0x17d4 ^ u64::from(router.as_id)) <= threshold;
+        let in_subset = splitmix64(scale.seed ^ 0x17d4 ^ u64::from(router.as_id)) <= threshold;
         if in_subset {
             candidates.extend(router.interfaces.iter().copied());
         }
     }
     let resolution =
-        midar::resolve_aliases(internet.network(), &candidates, 10_000_000.0, scale.seed ^ 0xa11a);
+        midar::resolve_aliases(network, &candidates, 10_000_000.0, scale.seed ^ 0xa11a);
     ItdkDataset {
         name: "ITDK".to_string(),
         date: "2022-02-01",
         router_ips: resolution.responsive.iter().copied().collect(),
         alias_sets: resolution.sets,
     }
+}
+
+/// Build the ITDK-style dataset on a private fork of the Internet's
+/// network (order-independent; see [`build_itdk_on`]).
+pub fn build_itdk(internet: &Internet) -> ItdkDataset {
+    build_itdk_on(internet, &internet.network().fork())
 }
 
 /// Pairwise overlap |A ∩ B| / |A ∪ B| between two IP sets (the snapshot

@@ -10,10 +10,9 @@
 //! America, Juniper's largest share in North America.
 
 use lfp_stack::vendor::Vendor;
-use serde::{Deserialize, Serialize};
 
 /// Continents, using the paper's region abbreviations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Continent {
     /// Africa (AF).
     Africa,
@@ -222,7 +221,9 @@ mod tests {
         let items = [("a", 0.8), ("b", 0.2)];
         let mut counts: HashMap<&str, usize> = HashMap::new();
         for _ in 0..10_000 {
-            *counts.entry(*weighted_choice(&items, &mut rng)).or_default() += 1;
+            *counts
+                .entry(*weighted_choice(&items, &mut rng))
+                .or_default() += 1;
         }
         assert!(counts["a"] > 7_500 && counts["a"] < 8_500);
     }

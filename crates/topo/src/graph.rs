@@ -12,10 +12,9 @@ use crate::geo::{weighted_choice, Continent};
 use crate::scale::Scale;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Position of an AS in the routing hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tier {
     /// Member of the top clique (no providers).
     Tier1,
@@ -26,7 +25,7 @@ pub enum Tier {
 }
 
 /// One autonomous system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AsNode {
     /// Display AS number.
     pub asn: u32,
@@ -72,10 +71,7 @@ impl AsGraph {
             } else {
                 Tier::Stub
             };
-            let continent = *weighted_choice(
-                &Continent::ALL.map(|c| (c, c.as_share())),
-                &mut rng,
-            );
+            let continent = *weighted_choice(&Continent::ALL.map(|c| (c, c.as_share())), &mut rng);
             let country = *weighted_choice(continent.countries(), &mut rng);
             let router_budget = sample_budget(scale, tier, index, &mut rng);
             nodes.push(AsNode {
@@ -121,8 +117,7 @@ impl AsGraph {
                 if candidate as usize == index || chosen.contains(&candidate) {
                     continue;
                 }
-                let same_continent =
-                    nodes[candidate as usize].continent == nodes[index].continent;
+                let same_continent = nodes[candidate as usize].continent == nodes[index].continent;
                 // Prefer same-continent providers; accept foreign ones with
                 // lower probability (long-haul transit exists but is rarer).
                 if same_continent || rng.gen_bool(0.25) || guard > 40 {
@@ -200,7 +195,7 @@ impl AsGraph {
 
         // Peer routes: one peer link onto a customer route.
         let mut peer = vec![INF; n];
-        for x in 0..n {
+        for (x, best) in peer.iter_mut().enumerate() {
             if skip(x as u32) {
                 continue;
             }
@@ -208,7 +203,7 @@ impl AsGraph {
                 if skip(y) || cust[y as usize] == INF {
                     continue;
                 }
-                peer[x] = peer[x].min(cust[y as usize] + 1);
+                *best = (*best).min(cust[y as usize] + 1);
             }
         }
 
@@ -375,7 +370,10 @@ mod tests {
         let graph = tiny_graph();
         for (index, providers) in graph.providers.iter().enumerate() {
             for &p in providers {
-                assert!((p as usize) < index, "provider edge {index}→{p} not acyclic");
+                assert!(
+                    (p as usize) < index,
+                    "provider edge {index}→{p} not acyclic"
+                );
             }
         }
     }
@@ -423,7 +421,7 @@ mod tests {
             }
             let mut phase = Phase::Up;
             for pair in path.windows(2) {
-                let (a, b) = (pair[0] as usize, pair[1] as u32);
+                let (a, b) = (pair[0] as usize, pair[1]);
                 let link = if graph.providers[a].contains(&b) {
                     Phase::Up
                 } else if graph.peers[a].contains(&b) {
@@ -480,10 +478,7 @@ mod tests {
             let transit = path[1];
             let excluded = graph.routes_to(40, Some(transit));
             if let Some(alternative) = excluded.path_from(7, &graph) {
-                assert!(
-                    !alternative.contains(&transit),
-                    "excluded AS still on path"
-                );
+                assert!(!alternative.contains(&transit), "excluded AS still on path");
             }
         }
     }

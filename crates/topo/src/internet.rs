@@ -15,12 +15,12 @@ use lfp_net::{DeviceId, Hop, Network, RouteOracle, RoutePath, VantageId};
 use lfp_stack::catalog::Catalog;
 use lfp_stack::device::RouterDevice;
 use lfp_stack::vendor::Vendor;
-use parking_lot::RwLock;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// Ground-truth record for one router.
 #[derive(Debug, Clone)]
@@ -66,18 +66,27 @@ pub struct TopologyCore {
     /// Vantage points.
     pub vantages: Vec<Vantage>,
     seed: u64,
-    route_cache: RwLock<HashMap<(u32, Option<u32>), Arc<BgpTable>>>,
+    route_cache: RouteCache,
 }
+
+/// Memoised BGP tables, keyed by (destination AS, excluded AS).
+type RouteCache = RwLock<HashMap<(u32, Option<u32>), Arc<BgpTable>>>;
 
 impl TopologyCore {
     /// BGP routes toward the AS, memoised.
     pub fn bgp(&self, dst_as: u32, exclude: Option<u32>) -> Arc<BgpTable> {
-        if let Some(table) = self.route_cache.read().get(&(dst_as, exclude)) {
+        if let Some(table) = self
+            .route_cache
+            .read()
+            .expect("route cache poisoned")
+            .get(&(dst_as, exclude))
+        {
             return Arc::clone(table);
         }
         let table = Arc::new(self.graph.routes_to(dst_as, exclude));
         self.route_cache
             .write()
+            .expect("route cache poisoned")
             .entry((dst_as, exclude))
             .or_insert(table)
             .clone()
@@ -141,14 +150,17 @@ impl TopologyCore {
             previous_as = as_id;
         }
 
-        // Terminal hop: the destination interface itself.
-        push_hop(
-            &mut hops,
-            Hop {
-                device: dst_device,
-                ingress: dst,
-            },
-        );
+        // Terminal hop: the destination interface itself. If the last
+        // expanded hop already sits on the destination router (it was
+        // chosen as an ingress/interior hop), replace it — the path must
+        // end on `dst`, not on a sibling interface of the same device.
+        if hops.last().map(|last| last.device) == Some(dst_device) {
+            hops.pop();
+        }
+        hops.push(Hop {
+            device: dst_device,
+            ingress: dst,
+        });
         // The destination must not appear twice (e.g. when it was chosen
         // as its AS's ingress).
         let terminal = hops.len() - 1;
@@ -253,8 +265,7 @@ impl Internet {
                 }
                 let family = profile.family;
                 let device_id = DeviceId(routers.len() as u32);
-                let device_seed =
-                    splitmix64(scale.seed ^ 0xd00d ^ (routers.len() as u64) << 8);
+                let device_seed = splitmix64(scale.seed ^ 0xd00d ^ (routers.len() as u64) << 8);
                 let mut device = RouterDevice::new(profile, device_seed);
 
                 let is_border = router_index < border_count;
@@ -300,8 +311,8 @@ impl Internet {
             .collect();
         let mut vantages = Vec::new();
         for v in 0..scale.vantages {
-            let as_id = stubs[(splitmix64(scale.seed ^ 0xabc ^ v as u64)
-                % stubs.len() as u64) as usize];
+            let as_id =
+                stubs[(splitmix64(scale.seed ^ 0xabc ^ v as u64) % stubs.len() as u64) as usize];
             vantages.push(Vantage {
                 id: VantageId(v as u32),
                 as_id,
@@ -544,9 +555,8 @@ mod tests {
             };
             *bucket.entry(router.vendor).or_insert(0usize) += 1;
         }
-        let top = |m: &HashMap<Vendor, usize>| {
-            m.iter().max_by_key(|(_, &c)| c).map(|(&v, _)| v).unwrap()
-        };
+        let top =
+            |m: &HashMap<Vendor, usize>| m.iter().max_by_key(|(_, &c)| c).map(|(&v, _)| v).unwrap();
         assert_eq!(top(&north_america), Vendor::Cisco);
         let huawei_asia = *asia.get(&Vendor::Huawei).unwrap_or(&0);
         let cisco_asia = *asia.get(&Vendor::Cisco).unwrap_or(&0);

@@ -27,7 +27,10 @@ pub mod internet;
 pub mod midar;
 pub mod scale;
 
-pub use datasets::{build_itdk, build_ripe_snapshots, ItdkDataset, RipeSnapshot};
+pub use datasets::{
+    build_itdk, build_itdk_on, build_ripe_snapshots, measure_ripe_snapshot, plan_ripe_snapshots,
+    ItdkDataset, RipeSnapshot, SnapshotPlan,
+};
 pub use geo::Continent;
 pub use graph::{AsGraph, Tier};
 pub use internet::{Internet, RouterMeta};

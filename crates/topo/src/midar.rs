@@ -138,7 +138,9 @@ pub fn resolve_aliases(
     let reference_time = base_time + 1_002.0 + candidates.len() as f64 * 0.001;
     let mut buckets: BTreeMap<(Method, u32, u32), Vec<usize>> = BTreeMap::new();
     for (index, estimate) in estimates.iter().enumerate() {
-        let Some((method, estimate)) = estimate else { continue };
+        let Some((method, estimate)) = estimate else {
+            continue;
+        };
         let value_at_ref = estimate.extrapolate(reference_time);
         // Two bands per axis so near-boundary aliases still meet.
         for velocity_shift in 0..2u32 {
@@ -465,10 +467,7 @@ mod tests {
                 .map(|&ip| internet.truth_of(ip).unwrap().device)
                 .collect();
             for pair in devices.windows(2) {
-                assert_eq!(
-                    pair[0], pair[1],
-                    "false alias merge in set {set:?}"
-                );
+                assert_eq!(pair[0], pair[1], "false alias merge in set {set:?}");
                 correct_pairs += 1;
             }
         }

@@ -5,10 +5,8 @@
 //! paper reports is preserved across presets (that is integration-tested),
 //! so EXPERIMENTS.md compares shapes, not raw magnitudes.
 
-use serde::{Deserialize, Serialize};
-
 /// Sizing parameters of the generated Internet and measurement campaigns.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scale {
     /// Number of autonomous systems.
     pub ases: usize,

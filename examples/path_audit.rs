@@ -58,9 +58,8 @@ fn main() {
     let mut homogeneous = homogeneous_ases(&counts, 8, 0.85);
     homogeneous
         .retain(|(as_id, _, _)| !world.internet.graph().customers[*as_id as usize].is_empty());
-    homogeneous.sort_by_key(|&(as_id, _, _)| {
-        std::cmp::Reverse(counts[&as_id].values().sum::<usize>())
-    });
+    homogeneous
+        .sort_by_key(|&(as_id, _, _)| std::cmp::Reverse(counts[&as_id].values().sum::<usize>()));
 
     println!("\nvendor-homogeneous transit networks:");
     let sources = sample_sources(&world.internet, 20);

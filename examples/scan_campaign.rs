@@ -50,7 +50,9 @@ fn main() {
     );
 
     println!("scanning with the 10-packet LFP schedule…");
-    let shards = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut union_db = SignatureDb::new();
     let mut scans = Vec::new();
     for snapshot in &snapshots {

@@ -28,7 +28,11 @@ fn main() {
             .iter()
             .take(3)
             .map(|(vendor, &count)| {
-                format!("{} {:.0}%", vendor.name(), count as f64 * 100.0 / total.max(1) as f64)
+                format!(
+                    "{} {:.0}%",
+                    vendor.name(),
+                    count as f64 * 100.0 / total.max(1) as f64
+                )
             })
             .collect();
         println!(
@@ -43,7 +47,10 @@ fn main() {
     // Homogeneity per network (Figure 20 flavour).
     let summaries = per_as_summaries(&world.internet, &scan.targets, &lfp, &snmp);
     let sized: Vec<_> = summaries.values().filter(|s| s.routers >= 5).collect();
-    let single = sized.iter().filter(|s| s.vendors.len() == 1 && s.identified > 0).count();
+    let single = sized
+        .iter()
+        .filter(|s| s.vendors.len() == 1 && s.identified > 0)
+        .count();
     let dual = sized.iter().filter(|s| s.vendors.len() == 2).count();
     println!(
         "\nhomogeneity: of {} networks with ≥5 routers, {} are single-vendor and {} two-vendor",

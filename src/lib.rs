@@ -16,11 +16,20 @@
 //! | [`analysis`] | analyses and the experiment registry |
 //!
 //! ```no_run
+//! use lfp::analysis::experiments::{run_all_parallel, run_by_id};
 //! use lfp::prelude::*;
 //!
+//! // One fully measured Internet (collection + scans fan out across cores).
 //! let world = World::build(Scale::small());
-//! let report = lfp::analysis::experiments::run_by_id(&world, "fig11").unwrap();
+//!
+//! // A single artefact…
+//! let report = run_by_id(&world, "fig11").expect("fig11 is registered");
 //! println!("{}", report.render_text());
+//!
+//! // …or the whole paper, reports in registry order.
+//! for report in run_all_parallel(&world) {
+//!     println!("{}", report.render_text());
+//! }
 //! ```
 
 #![forbid(unsafe_code)]

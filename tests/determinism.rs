@@ -1,8 +1,10 @@
 //! Reproducibility: the entire study is a pure function of the scale's
 //! seed — across runs and across parallelism levels.
 
+use lfp::analysis::experiments::{run_all, run_all_parallel};
 use lfp::prelude::*;
 use lfp::topo::build_ripe_snapshots;
+use proptest::prelude::*;
 
 #[test]
 fn internet_generation_is_bit_stable() {
@@ -39,6 +41,130 @@ fn scans_are_invariant_under_shard_count() {
     let parallel = scan_dataset(internet_parallel.network(), "p", &targets, 8);
     assert_eq!(serial.vectors, parallel.vectors);
     assert_eq!(serial.labels, parallel.labels);
+}
+
+#[test]
+fn parallel_world_build_is_byte_identical_to_serial() {
+    // The tentpole guarantee: `World::build` fans collection, scanning
+    // and classification out across threads, and must reproduce the
+    // forced single-shard serial build bit for bit — including every
+    // report the experiment registry generates from it.
+    let parallel = World::build(Scale::tiny());
+    let serial = World::build_serial(Scale::tiny());
+
+    for (a, b) in parallel.ripe.iter().zip(&serial.ripe) {
+        assert_eq!(a.router_ips, b.router_ips, "{} router set diverged", a.name);
+        assert_eq!(a.traces.len(), b.traces.len());
+        for (x, y) in a.traces.iter().zip(&b.traces) {
+            assert_eq!(x.hops, y.hops, "{} trace hops diverged", a.name);
+        }
+    }
+    assert_eq!(parallel.itdk.router_ips, serial.itdk.router_ips);
+    assert_eq!(parallel.itdk.alias_sets, serial.itdk.alias_sets);
+    for (a, b) in parallel
+        .ripe_scans
+        .iter()
+        .chain([&parallel.itdk_scan])
+        .zip(serial.ripe_scans.iter().chain([&serial.itdk_scan]))
+    {
+        assert_eq!(a.targets, b.targets, "{} targets diverged", a.name);
+        assert_eq!(a.vectors, b.vectors, "{} vectors diverged", a.name);
+        assert_eq!(a.labels, b.labels, "{} labels diverged", a.name);
+    }
+    assert_eq!(parallel.set.unique_count(), serial.set.unique_count());
+    assert_eq!(
+        parallel.set.non_unique_count(),
+        serial.set.non_unique_count()
+    );
+
+    // Every regenerated artefact matches byte for byte, through both the
+    // parallel and the sequential registry runner.
+    let parallel_reports = run_all_parallel(&parallel);
+    let serial_reports = run_all(&serial);
+    assert_eq!(parallel_reports.len(), serial_reports.len());
+    for (a, b) in parallel_reports.iter().zip(&serial_reports) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.render_text(), b.render_text(), "{} text diverged", a.id);
+        assert_eq!(a.to_json(), b.to_json(), "{} json diverged", a.id);
+    }
+}
+
+/// Strategy for random (full) feature vectors, small domains to force
+/// vendor collisions.
+fn corpus_vector() -> impl Strategy<Value = FeatureVector> {
+    use lfp::core::features::{InitialTtl, IpidClass};
+    let ipid = prop_oneof![
+        Just(IpidClass::Incremental),
+        Just(IpidClass::Random),
+        Just(IpidClass::Zero),
+    ];
+    let ttl = prop_oneof![Just(InitialTtl::T64), Just(InitialTtl::T255)];
+    (
+        (ipid.clone(), ipid.clone(), ipid),
+        (ttl.clone(), ttl.clone(), ttl),
+        (84u16..87, 40u16..43, 56u16..59),
+        any::<bool>(),
+    )
+        .prop_map(
+            |((icmp, tcp, udp), (t1, t2, t3), (z1, z2, z3), seq)| FeatureVector {
+                icmp_ipid_echo: Some(false),
+                icmp_ipid: Some(icmp),
+                tcp_ipid: Some(tcp),
+                udp_ipid: Some(udp),
+                shared_all: Some(false),
+                shared_tcp_icmp: Some(false),
+                shared_udp_icmp: Some(false),
+                shared_tcp_udp: Some(seq),
+                udp_ittl: Some(t1),
+                icmp_ittl: Some(t2),
+                tcp_ittl: Some(t3),
+                icmp_resp_size: Some(z1),
+                tcp_resp_size: Some(z2),
+                udp_resp_size: Some(z3),
+                tcp_syn_seq_zero: Some(seq),
+            },
+        )
+}
+
+proptest! {
+    /// The prebuilt signature index classifies every vector — trained,
+    /// projected, or unseen — exactly as the original tiered table walk.
+    #[test]
+    fn indexed_classification_agrees_with_linear(
+        vectors in proptest::collection::vec(corpus_vector(), 1..32),
+        vendor_picks in proptest::collection::vec(0usize..4, 1..32),
+        repeats in proptest::collection::vec(1usize..4, 1..32),
+        threshold in 1usize..4,
+        probes in proptest::collection::vec(corpus_vector(), 1..16),
+    ) {
+        use lfp::core::features::ProtocolCoverage;
+        let vendors = [Vendor::Cisco, Vendor::Juniper, Vendor::Huawei, Vendor::MikroTik];
+        let mut db = SignatureDb::new();
+        for ((vector, pick), count) in vectors
+            .iter()
+            .zip(vendor_picks.iter().chain(std::iter::repeat(&0)))
+            .zip(repeats.iter().chain(std::iter::repeat(&1)))
+        {
+            for _ in 0..*count {
+                db.add(*vector, vendors[*pick]);
+            }
+        }
+        let set = db.finalize(threshold);
+        // Check trained vectors, unseen probes, and every projection of
+        // both (partial-tier lookups), plus the empty vector.
+        for vector in vectors.iter().chain(&probes) {
+            prop_assert_eq!(set.classify(vector), set.classify_linear(vector));
+            for coverage in ProtocolCoverage::partial_combinations() {
+                let projected = vector.project(coverage);
+                prop_assert_eq!(
+                    set.classify(&projected),
+                    set.classify_linear(&projected)
+                );
+            }
+        }
+        let empty = FeatureVector::default();
+        prop_assert_eq!(set.classify(&empty), set.classify_linear(&empty));
+    }
 }
 
 #[test]

@@ -18,8 +18,7 @@ fn lfp_more_than_doubles_snmp_coverage_on_some_dataset() {
     let (_, scan) = world.latest_ripe();
     let snmp = world.snmp_vendor_map(scan);
     let lfp = world.lfp_vendor_map(scan);
-    let combined: std::collections::HashSet<_> =
-        snmp.keys().chain(lfp.keys()).collect();
+    let combined: std::collections::HashSet<_> = snmp.keys().chain(lfp.keys()).collect();
     assert!(
         combined.len() as f64 >= snmp.len() as f64 * 1.5,
         "combined {} vs snmp {}",
@@ -90,7 +89,10 @@ fn signature_sets_are_stable_across_snapshots() {
             }
         }
     }
-    assert!(checked_pairs > 0, "snapshots share no signatures with the union");
+    assert!(
+        checked_pairs > 0,
+        "snapshots share no signatures with the union"
+    );
     assert_eq!(
         stable_pairs, checked_pairs,
         "a unique signature flipped vendors between a snapshot and the union"
@@ -108,19 +110,16 @@ fn partial_signatures_extend_coverage_without_hurting_accuracy() {
     let mut partial_correct = 0usize;
     let mut partial_total = 0usize;
     for (target, vector) in scan.targets.iter().zip(&scan.vectors) {
-        match world.set.classify(vector) {
-            Classification::Unique { vendor, partial } => {
-                with_partial += 1;
-                if !partial {
-                    full_only += 1;
-                } else {
-                    partial_total += 1;
-                    if world.internet.truth_of(*target).unwrap().vendor == vendor {
-                        partial_correct += 1;
-                    }
+        if let Classification::Unique { vendor, partial } = world.set.classify(vector) {
+            with_partial += 1;
+            if !partial {
+                full_only += 1;
+            } else {
+                partial_total += 1;
+                if world.internet.truth_of(*target).unwrap().vendor == vendor {
+                    partial_correct += 1;
                 }
             }
-            _ => {}
         }
     }
     assert!(

@@ -21,9 +21,7 @@ fn loss_reduces_full_vectors_but_keeps_accuracy() {
     let (clean_internet, clean) = scan_with_drop(0.0);
     let (_lossy_internet, lossy) = scan_with_drop(0.25);
 
-    let full = |scan: &lfp::core::DatasetScan| {
-        scan.vectors.iter().filter(|v| v.is_full()).count()
-    };
+    let full = |scan: &lfp::core::DatasetScan| scan.vectors.iter().filter(|v| v.is_full()).count();
     assert!(
         full(&lossy) < full(&clean),
         "loss should reduce full vectors: {} vs {}",

@@ -21,14 +21,25 @@ fn arbitrary_vector() -> impl Strategy<Value = FeatureVector> {
         Just(InitialTtl::T255),
     ];
     (
-        (proptest::option::of(any::<bool>()), ipid.clone(), ipid.clone(), ipid),
+        (
+            proptest::option::of(any::<bool>()),
+            ipid.clone(),
+            ipid.clone(),
+            ipid,
+        ),
         (ttl.clone(), ttl.clone(), ttl),
         (any::<bool>(), any::<bool>(), any::<bool>()),
         (40u16..100, 40u16..100, 40u16..100),
         any::<bool>(),
     )
         .prop_map(
-            |((echo, icmp_ipid, tcp_ipid, udp_ipid), (t1, t2, t3), (s1, s2, s3), (z1, z2, z3), seq)| {
+            |(
+                (echo, icmp_ipid, tcp_ipid, udp_ipid),
+                (t1, t2, t3),
+                (s1, s2, s3),
+                (z1, z2, z3),
+                seq,
+            )| {
                 // Build a *full* vector, then let tests project it.
                 FeatureVector {
                     icmp_ipid_echo: Some(echo.unwrap_or(false)),
@@ -76,7 +87,7 @@ proptest! {
                 }
                 Classification::NonUnique(list) => {
                     // Every candidate was actually trained on this vector.
-                    for (candidate, _) in list {
+                    for &(candidate, _) in list.iter() {
                         prop_assert!(vendors_seen.contains(&candidate));
                     }
                 }

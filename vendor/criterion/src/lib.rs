@@ -1,0 +1,148 @@
+//! Minimal, self-contained stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of Criterion the workspace benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `sample_size`, `throughput`, `Bencher::iter`, and
+//! `black_box`. Timing is a simple calibrated loop (warm-up plus a fixed
+//! measurement budget) reporting mean time per iteration — deliberately
+//! simpler than Criterion's statistics, but honest wall-clock numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — defeats constant folding of benched inputs.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation (accepted, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times to fill the budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration: estimate per-iteration cost.
+        let calibration_start = Instant::now();
+        black_box(routine());
+        let single = calibration_start.elapsed().max(Duration::from_nanos(1));
+        let budget = Duration::from_millis(200);
+        let runs = (budget.as_nanos() / single.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..runs {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = runs;
+    }
+
+    fn per_iteration(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iterations as u32
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark and print its mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.per_iteration();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.0} B/s)", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{:<32} {:>12.3?}/iter over {} iters{rate}",
+            self.name, id, per_iter, bencher.iterations
+        );
+        self
+    }
+
+    /// End the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect bench functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

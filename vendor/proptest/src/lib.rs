@@ -1,0 +1,369 @@
+//! Minimal, self-contained stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset the workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map`, implemented for ranges, tuples,
+//!   [`Just`], `option::of`, `collection::vec`, and `prop_oneof!` unions,
+//! * [`arbitrary::any`] for primitives,
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_oneof!`] macros.
+//!
+//! Cases are sampled deterministically (fixed seed per test body), so a
+//! failure reproduces on every run; there is no shrinking — the failing
+//! inputs are printed instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use std::sync::Arc;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Deterministic per-test RNG (used by the `proptest!` expansion, which
+/// cannot reference `rand` from the caller's namespace).
+pub fn new_test_rng(test_name: &str) -> TestRng {
+    let mut seed = 0x70_72_6f_70_74_65_73_74u64;
+    for byte in test_name.bytes() {
+        seed = seed
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(u64::from(byte));
+    }
+    rand::SeedableRng::seed_from_u64(seed)
+}
+
+/// Number of cases each `proptest!` test body runs.
+pub const DEFAULT_CASES: usize = 64;
+
+/// A generator of arbitrary values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Arc<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Uniform choice between boxed alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Arc<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Build from the alternatives.
+    pub fn new(arms: Vec<Arc<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let pick = rand::Rng::gen_range(rng, 0..self.arms.len());
+        self.arms[pick].sample(rng)
+    }
+}
+
+/// Primitive `any::<T>()` support.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy over the full domain of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` constructor.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// `proptest::option::of`.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` half the time, `Some(inner)` otherwise.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rand::Rng::gen_bool(rng, 0.5) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Wrap a strategy in an `Option` layer.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// `proptest::collection::vec`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Strategy yielding vectors with lengths drawn from a range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        length: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let length = rand::Rng::gen_range(rng, self.length.clone());
+            (0..length).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vector of `element` values with length in `length`.
+    pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, length }
+    }
+}
+
+/// Everything tests usually import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy, TestCaseError,
+    };
+}
+
+/// Failure type carried out of a test body by `prop_assert!`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(std::sync::Arc::new($arm) as std::sync::Arc<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
+/// Assert inside a `proptest!` body, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, "assertion failed: {:?} != {:?}", left, right);
+    }};
+}
+
+/// Define deterministic property tests.
+///
+/// Each test body runs [`DEFAULT_CASES`] times with inputs drawn from the
+/// given strategies; a failing case prints its inputs and panics.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let mut rng = $crate::new_test_rng(stringify!($name));
+            for case in 0..$crate::DEFAULT_CASES {
+                let mut rendered_inputs: Vec<String> = Vec::new();
+                $(
+                    let sampled = ($strategy).sample(&mut rng);
+                    rendered_inputs
+                        .push(format!("  {} = {:?}", stringify!($arg), sampled));
+                    let $arg = sampled;
+                )+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(error) = outcome {
+                    panic!(
+                        "property `{}` failed on case {case}: {error}\ninputs:\n{}",
+                        stringify!($name),
+                        rendered_inputs.join("\n"),
+                    );
+                }
+            }
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(value in 10u16..20, flag in any::<bool>()) {
+            prop_assert!((10..20).contains(&value));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(
+            values in crate::collection::vec(0usize..5, 2..7),
+        ) {
+            prop_assert!((2..7).contains(&values.len()));
+            prop_assert!(values.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn oneof_and_option_compose(
+            choice in crate::option::of(prop_oneof![Just(1u8), Just(2u8)]),
+        ) {
+            if let Some(v) = choice {
+                prop_assert!([1u8, 2u8].contains(&v));
+            }
+        }
+    }
+}
