@@ -9,10 +9,7 @@ use crate::coverage::{ip_method_split, router_method_split};
 use crate::homogeneity::{
     coverage_ecdf, homogeneous_ases, per_as_summaries, per_as_vendor_counts, vendors_ecdf,
 };
-use crate::paths::{
-    distinct_vendor_sets, identified_fraction_ecdf, path_length_ecdf, path_metrics,
-    top_vendor_combinations, vendors_per_path_ecdf, PathMetrics,
-};
+use crate::path_corpus::{LabelSource, PathCorpus};
 use crate::regional::{per_as_snmp_counts, per_continent, top_networks};
 use crate::report::{Report, Series};
 use crate::responsiveness::{
@@ -20,7 +17,7 @@ use crate::responsiveness::{
 };
 use crate::routing::{avoidance_study, sample_destinations, sample_sources};
 use crate::stats::{percent, Ecdf, Histogram};
-use crate::us_study::partition;
+use crate::us_study::UsSlice;
 use crate::world::World;
 use lfp_baselines::banner::{build_censys_cohort, COMPARISON_VENDORS};
 use lfp_baselines::hershel::hershel_fingerprint;
@@ -156,6 +153,21 @@ pub const EXPERIMENTS: &[Experiment] = &[
         id: "fig14",
         title: "Top vendor combinations (inter-US)",
         run: fig14,
+    },
+    Experiment {
+        id: "path_transitions",
+        title: "Vendor hand-offs along paths (transition matrix)",
+        run: path_transitions,
+    },
+    Experiment {
+        id: "path_runs",
+        title: "Longest same-vendor run per path",
+        run: path_runs,
+    },
+    Experiment {
+        id: "path_segments",
+        title: "Vendor diversity per path segment (edge vs transit)",
+        run: path_segments,
     },
     Experiment {
         id: "fig15",
@@ -942,8 +954,8 @@ fn fig7(world: &World) -> Report {
 
 fn fig8(world: &World) -> Report {
     let mut report = Report::new("fig8", "Path length distribution");
-    let (snapshot, _) = world.latest_ripe();
-    let ecdf = path_length_ecdf(&snapshot.traces);
+    let corpus = world.path_corpus();
+    let ecdf = corpus.path_length_ecdf(corpus.rows_of_source(corpus.latest_ripe_source()));
     report.series.push(ecdf_series("hop count", &ecdf, 32));
     let at_least_3 = 1.0 - ecdf.fraction_at_or_below(2.0);
     let within_15 = ecdf.fraction_at_or_below(15.0);
@@ -956,90 +968,84 @@ fn fig8(world: &World) -> Report {
     report
 }
 
-/// Shared helper: metrics for the latest snapshot under the LFP map.
-fn latest_metrics(world: &World) -> (Vec<PathMetrics>, Vec<PathMetrics>, Vec<PathMetrics>) {
-    let (snapshot, scan) = world.latest_ripe();
-    let lfp = world.lfp_vendor_map(scan);
-    let (intra, inter, _) = partition(&world.internet, &snapshot.traces);
-    let all = path_metrics(&snapshot.traces, &lfp);
-    let intra_metrics = path_metrics(
-        &intra.iter().map(|t| (*t).clone()).collect::<Vec<_>>(),
-        &lfp,
-    );
-    let inter_metrics = path_metrics(
-        &inter.iter().map(|t| (*t).clone()).collect::<Vec<_>>(),
-        &lfp,
-    );
-    (all, intra_metrics, inter_metrics)
+/// Shared helper: the latest snapshot's corpus rows, whole and sliced by
+/// the §6.2 US partition.
+fn corpus_slices(corpus: &PathCorpus) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let latest = corpus.latest_ripe_source();
+    (
+        corpus.rows_in(latest, None),
+        corpus.rows_in(latest, Some(UsSlice::IntraUs)),
+        corpus.rows_in(latest, Some(UsSlice::InterUs)),
+    )
 }
 
 fn fig9(world: &World) -> Report {
     let mut report = Report::new("fig9", "Identifiable routers per path");
-    let (all, intra, inter) = latest_metrics(world);
-    for (name, metrics) in [
+    let corpus = world.path_corpus();
+    let (all, intra, inter) = corpus_slices(corpus);
+    for (name, rows) in [
         ("All traces", &all),
         ("Intra US", &intra),
         ("Inter US", &inter),
     ] {
-        let ecdf = identified_fraction_ecdf(metrics, 3, 0);
+        let ecdf = corpus.identified_fraction_ecdf(rows, 3, 0, LabelSource::Lfp);
         report.series.push(ecdf_series(name, &ecdf, 32));
     }
-    let eligible: Vec<&PathMetrics> = all.iter().filter(|m| m.router_hops >= 3).collect();
-    let at_least_one = eligible.iter().filter(|m| m.identified >= 1).count();
-    let at_least_two = eligible.iter().filter(|m| m.identified >= 2).count();
+    let eligible = corpus.count_identified_at_least(&all, 3, 0, LabelSource::Lfp);
+    let at_least_one = corpus.count_identified_at_least(&all, 3, 1, LabelSource::Lfp);
+    let at_least_two = corpus.count_identified_at_least(&all, 3, 2, LabelSource::Lfp);
     report.paper_claim =
         "On ≥3-hop paths LFP identifies ≥1 hop on 82% of paths and ≥2 hops on 62%".into();
     report.measured_claim = format!(
         "≥1 hop identified on {}, ≥2 on {} of ≥3-hop paths",
-        fmt_pct(percent(at_least_one, eligible.len())),
-        fmt_pct(percent(at_least_two, eligible.len()))
+        fmt_pct(percent(at_least_one, eligible)),
+        fmt_pct(percent(at_least_two, eligible))
     );
     report
 }
 
 fn fig10(world: &World) -> Report {
     let mut report = Report::new("fig10", "LFP vs SNMPv3 on paths");
-    let (snapshot, scan) = world.latest_ripe();
-    let lfp_map = world.lfp_vendor_map(scan);
-    let snmp_map = world.snmp_vendor_map(scan);
-    let lfp_metrics = path_metrics(&snapshot.traces, &lfp_map);
-    let snmp_metrics = path_metrics(&snapshot.traces, &snmp_map);
-    for (name, metrics, min_fp) in [
-        ("LFP min 3 hops", &lfp_metrics, 0usize),
-        ("LFP min 3 hops, min 2 fingerprints", &lfp_metrics, 2),
-        ("SNMPv3 min 3 hops", &snmp_metrics, 0),
-        ("SNMPv3 min 3 hops, min 2 fingerprints", &snmp_metrics, 2),
+    let corpus = world.path_corpus();
+    let all = corpus.rows_in(corpus.latest_ripe_source(), None);
+    for (name, method, min_fp) in [
+        ("LFP min 3 hops", LabelSource::Lfp, 0usize),
+        ("LFP min 3 hops, min 2 fingerprints", LabelSource::Lfp, 2),
+        ("SNMPv3 min 3 hops", LabelSource::Snmp, 0),
+        (
+            "SNMPv3 min 3 hops, min 2 fingerprints",
+            LabelSource::Snmp,
+            2,
+        ),
     ] {
-        let ecdf = identified_fraction_ecdf(metrics, 3, min_fp);
+        let ecdf = corpus.identified_fraction_ecdf(&all, 3, min_fp, method);
         report.series.push(ecdf_series(name, &ecdf, 32));
     }
-    let eligible = |metrics: &[PathMetrics]| {
-        let total = metrics.iter().filter(|m| m.router_hops >= 3).count();
-        let hit = metrics
-            .iter()
-            .filter(|m| m.router_hops >= 3 && m.identified >= 1)
-            .count();
+    let eligible = |method: LabelSource| {
+        let total = corpus.count_identified_at_least(&all, 3, 0, method);
+        let hit = corpus.count_identified_at_least(&all, 3, 1, method);
         percent(hit, total)
     };
     report.paper_claim =
         "LFP identifies ≥1 vendor on 82% of ≥3-hop paths; SNMPv3 alone manages 35%".into();
     report.measured_claim = format!(
         "≥1 identified hop: LFP {} vs SNMPv3 {}",
-        fmt_pct(eligible(&lfp_metrics)),
-        fmt_pct(eligible(&snmp_metrics))
+        fmt_pct(eligible(LabelSource::Lfp)),
+        fmt_pct(eligible(LabelSource::Snmp))
     );
     report
 }
 
 fn fig11(world: &World) -> Report {
     let mut report = Report::new("fig11", "Vendor diversity per path");
-    let (all, intra, inter) = latest_metrics(world);
-    for (name, metrics) in [
+    let corpus = world.path_corpus();
+    let (all, intra, inter) = corpus_slices(corpus);
+    for (name, rows) in [
         ("All Traces", &all),
         ("Intra US", &intra),
         ("Inter US", &inter),
     ] {
-        let ecdf = vendors_per_path_ecdf(metrics);
+        let ecdf = corpus.vendors_per_path_ecdf(rows);
         report.series.push(Series {
             name: name.into(),
             points: (0..=5)
@@ -1047,25 +1053,29 @@ fn fig11(world: &World) -> Report {
                 .collect(),
         });
     }
-    let identified: Vec<&PathMetrics> = all.iter().filter(|m| m.identified > 0).collect();
-    let single = identified.iter().filter(|m| m.vendors.len() == 1).count();
-    let two = identified.iter().filter(|m| m.vendors.len() == 2).count();
-    let three = identified.iter().filter(|m| m.vendors.len() == 3).count();
+    let identified = corpus.identified_paths(&all);
+    let single = corpus.count_set_size(&all, 1);
+    let two = corpus.count_set_size(&all, 2);
+    let three = corpus.count_set_size(&all, 3);
     report.paper_claim = "≈50% single-vendor paths, ≈40% two vendors, 7% three; ~650 distinct vendor sets; intra-US ~70% single-vendor".into();
     report.measured_claim = format!(
         "{} single-vendor, {} two-vendor, {} three-vendor paths; {} distinct vendor sets",
-        fmt_pct(percent(single, identified.len())),
-        fmt_pct(percent(two, identified.len())),
-        fmt_pct(percent(three, identified.len())),
-        distinct_vendor_sets(&all)
+        fmt_pct(percent(single, identified)),
+        fmt_pct(percent(two, identified)),
+        fmt_pct(percent(three, identified)),
+        corpus.distinct_vendor_sets(&all)
     );
     report
 }
 
-fn combos_figure(id: &str, title: &str, metrics: &[PathMetrics], paper_claim: &str) -> Report {
+fn combos_figure(
+    id: &str,
+    title: &str,
+    combos: Vec<(String, f64, usize)>,
+    paper_claim: &str,
+) -> Report {
     let mut report = Report::new(id, title);
     report.columns = vec!["Vendor set".into(), "Share".into(), "Paths".into()];
-    let combos = top_vendor_combinations(metrics, 10);
     let top_share: f64 = combos.iter().map(|c| c.1).take(9).sum();
     let cisco_juniper_share: f64 = combos
         .iter()
@@ -1096,33 +1106,147 @@ fn combos_figure(id: &str, title: &str, metrics: &[PathMetrics], paper_claim: &s
 }
 
 fn fig12(world: &World) -> Report {
-    let (all, _, _) = latest_metrics(world);
+    let corpus = world.path_corpus();
+    let (all, _, _) = corpus_slices(corpus);
     combos_figure(
         "fig12",
         "Top vendor combinations (all paths)",
-        &all,
+        corpus.top_vendor_combinations(&all, 10),
         "Top 9 sets cover >95% of paths; Cisco/Juniper-only sets ≈60%",
     )
 }
 
 fn fig13(world: &World) -> Report {
-    let (_, intra, _) = latest_metrics(world);
+    let corpus = world.path_corpus();
+    let (_, intra, _) = corpus_slices(corpus);
     combos_figure(
         "fig13",
         "Top vendor combinations (intra-US)",
-        &intra,
+        corpus.top_vendor_combinations(&intra, 10),
         "Cisco/Juniper combinations make up more than two thirds of intra-US paths",
     )
 }
 
 fn fig14(world: &World) -> Report {
-    let (_, _, inter) = latest_metrics(world);
+    let corpus = world.path_corpus();
+    let (_, _, inter) = corpus_slices(corpus);
     combos_figure(
         "fig14",
         "Top vendor combinations (inter-US)",
-        &inter,
+        corpus.top_vendor_combinations(&inter, 10),
         "Inter-US paths are slightly more heterogeneous than intra-US, same leaders",
     )
+}
+
+// ---------------------------------------------------------------------------
+// Ordered-path experiments (beyond the paper; enabled by the corpus)
+// ---------------------------------------------------------------------------
+
+fn path_transitions(world: &World) -> Report {
+    let mut report = Report::new(
+        "path_transitions",
+        "Vendor hand-offs along paths (transition matrix)",
+    );
+    report.columns = vec![
+        "From".into(),
+        "To".into(),
+        "Hand-offs".into(),
+        "Share".into(),
+    ];
+    let corpus = world.path_corpus();
+    let rows = corpus.all_rows();
+    let matrix = corpus.transition_matrix(&rows);
+    let total: usize = matrix.values().sum();
+    let same: usize = matrix
+        .iter()
+        .filter(|((from, to), _)| from == to)
+        .map(|(_, &count)| count)
+        .sum();
+    let mut ranked: Vec<_> = matrix.iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    if ranked.is_empty() {
+        report.row([
+            "(no adjacent identified hops at this scale)".into(),
+            "—".into(),
+            "0".into(),
+            "—".into(),
+        ]);
+    }
+    for (&(from, to), &count) in ranked.into_iter().take(12) {
+        report.row([
+            from.name().to_string(),
+            to.name().to_string(),
+            count.to_string(),
+            fmt_pct(percent(count, total)),
+        ]);
+    }
+    report.paper_claim = "(beyond the paper) §6 reports unordered vendor sets; the ordered corpus shows who actually hands traffic to whom".into();
+    report.measured_claim = format!(
+        "{total} hand-offs across {} paths; {} keep the vendor, {} cross vendors",
+        corpus.len(),
+        fmt_pct(percent(same, total)),
+        fmt_pct(percent(total - same, total)),
+    );
+    report
+}
+
+fn path_runs(world: &World) -> Report {
+    let mut report = Report::new("path_runs", "Longest same-vendor run per path");
+    let corpus = world.path_corpus();
+    let latest = corpus.rows_in(corpus.latest_ripe_source(), None);
+    let all = corpus.all_rows();
+    let latest_ecdf = corpus.longest_run_ecdf(&latest);
+    let ecdf = corpus.longest_run_ecdf(&all);
+    report
+        .series
+        .push(ecdf_series("RIPE latest", &latest_ecdf, 16));
+    report.series.push(ecdf_series("Whole corpus", &ecdf, 16));
+    let at_most_2 = ecdf.fraction_at_or_below(2.0);
+    report.paper_claim = "(beyond the paper) single-vendor custody stretches: how long one vendor keeps a packet before handing off".into();
+    report.measured_claim = format!(
+        "mean longest run {:.2} hops, max {:.0}; {} of identified paths never exceed a 2-hop run",
+        ecdf.mean().unwrap_or(0.0),
+        ecdf.quantile(1.0).unwrap_or(0.0),
+        fmt_pct(at_most_2 * 100.0)
+    );
+    report
+}
+
+fn path_segments(world: &World) -> Report {
+    let mut report = Report::new(
+        "path_segments",
+        "Vendor diversity per path segment (edge vs transit)",
+    );
+    report.columns = vec![
+        "Segment".into(),
+        "Paths".into(),
+        "Mean distinct vendors".into(),
+        "Multi-vendor share".into(),
+    ];
+    let corpus = world.path_corpus();
+    let rows = corpus.all_rows();
+    let summary = corpus.segment_summary(&rows);
+    report.row([
+        "Edge (first + last AS)".into(),
+        summary.paths.to_string(),
+        format!("{:.2}", summary.edge_mean),
+        fmt_pct(percent(summary.edge_multi, summary.paths)),
+    ]);
+    report.row([
+        "Transit core".into(),
+        summary.paths_with_core.to_string(),
+        format!("{:.2}", summary.core_mean),
+        fmt_pct(percent(summary.core_multi, summary.paths_with_core)),
+    ]);
+    report.paper_claim = "(beyond the paper) §6.2 slices by endpoints only; segmenting each path by AS separates edge diversity from transit diversity".into();
+    report.measured_claim = format!(
+        "{} of {} identified paths traverse a transit core; edge mixes ≥2 vendors on {}, the core on {}",
+        summary.paths_with_core,
+        summary.paths,
+        fmt_pct(percent(summary.edge_multi, summary.paths)),
+        fmt_pct(percent(summary.core_multi, summary.paths_with_core)),
+    );
+    report
 }
 
 fn method_split_figure(

@@ -9,6 +9,9 @@
 //! * [`responsiveness`], [`paths`], [`us_study`], [`coverage`],
 //!   [`homogeneity`], [`regional`], [`routing`] — the paper's §4–§7 and
 //!   appendix analyses,
+//! * [`path_corpus`] — the build-once columnar store over every trace
+//!   (all snapshots + derived ITDK paths) behind the §6 path figures and
+//!   the ordered-path experiments,
 //! * [`experiments`] — the registry regenerating **every table and figure**
 //!   (Tables 1–8, Figures 2–22, the §6.3 case study, and four ablations).
 //!
@@ -28,6 +31,7 @@ pub mod coverage;
 pub mod experiments;
 pub mod homogeneity;
 pub mod json;
+pub mod path_corpus;
 pub mod paths;
 pub mod regional;
 pub mod report;
@@ -37,6 +41,7 @@ pub mod stats;
 pub mod us_study;
 pub mod world;
 
+pub use path_corpus::PathCorpus;
 pub use report::{Report, Series};
 pub use stats::{Ecdf, Histogram};
 pub use world::World;

@@ -1,0 +1,798 @@
+//! The path corpus: a build-once, query-many columnar store over every
+//! trace a measured [`World`] holds (paper §6, Figures 8–14, and the
+//! ordered-path analyses beyond them).
+//!
+//! ## Why a corpus
+//!
+//! The flat functions in [`crate::paths`] re-walk and re-classify every
+//! trace once per figure. That is seven passes over the same snapshot for
+//! Figures 8–14 alone, and it only models *unordered* vendor sets — the
+//! sequence a packet actually traverses (who hands off to whom, how long
+//! a single vendor keeps custody, how diversity differs between the edge
+//! and the transit core) is invisible to it. The corpus pays the
+//! classification cost exactly once, interns each trace's classified hop
+//! sequence into a compact vendor-run encoding, and indexes the result by
+//! source AS, destination AS, path length, vendor set and vendor
+//! sequence, so every figure — and every new ordered analysis — is a
+//! cheap scan over small integer columns.
+//!
+//! ## Construction and determinism
+//!
+//! Building ingests every RIPE snapshot plus ITDK-derivable paths
+//! ([`lfp_topo::datasets::derive_itdk_traces`]: ground-truth routed paths
+//! toward the ITDK router population). Per-trace classification fans out
+//! through [`lfp_net::scanner::scan`] and inherits its determinism
+//! contract — results return in submission order regardless of shard
+//! count — so the serial interning fold that follows sees an identical
+//! stream whether the corpus was built on one shard or sixteen
+//! (`tests/determinism.rs` asserts the built corpora compare equal).
+//!
+//! Figure 8–14 queries are regression-tested byte-for-byte against the
+//! flat reference implementation (`tests/figures_regression.rs`).
+
+use crate::paths::hop_vendors;
+use crate::stats::Ecdf;
+use crate::us_study::{slice_of, UsSlice};
+use crate::world::World;
+use lfp_net::link::splitmix64;
+use lfp_net::scanner::{scan, ScanConfig};
+use lfp_stack::vendor::Vendor;
+use lfp_topo::datasets::{derive_itdk_traces, TraceRecord};
+use lfp_topo::Internet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+use std::num::NonZeroUsize;
+
+/// Hop code for a responsive router hop without a unique LFP verdict.
+pub const UNKNOWN_HOP: u8 = u8::MAX;
+
+/// Compact code of a vendor (its index in [`Vendor::ALL`]).
+pub fn vendor_code(vendor: Vendor) -> u8 {
+    Vendor::ALL
+        .iter()
+        .position(|&v| v == vendor)
+        .expect("every vendor is in Vendor::ALL") as u8
+}
+
+/// Vendor behind a hop code ([`UNKNOWN_HOP`] and out-of-range are `None`).
+pub fn code_vendor(code: u8) -> Option<Vendor> {
+    Vendor::ALL.get(code as usize).copied()
+}
+
+/// Which identification method a per-path query consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelSource {
+    /// Unique LFP classifications (the paper's method).
+    Lfp,
+    /// SNMPv3 engine-ID labels (the baseline).
+    Snmp,
+}
+
+/// Summary of edge-vs-transit vendor diversity over a row selection
+/// (paths are segmented by the AS owning each hop; the first and last AS
+/// segments are the edge, everything between them the transit core).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SegmentSummary {
+    /// Paths considered (at least one identified hop).
+    pub paths: usize,
+    /// Paths that actually have a transit portion (≥ 3 AS segments).
+    pub paths_with_core: usize,
+    /// Mean distinct identified vendors in the edge segments.
+    pub edge_mean: f64,
+    /// Mean distinct identified vendors in the core (over paths that have
+    /// one).
+    pub core_mean: f64,
+    /// Paths whose edge segments mix ≥ 2 vendors.
+    pub edge_multi: usize,
+    /// Paths whose core mixes ≥ 2 vendors.
+    pub core_multi: usize,
+}
+
+/// One trace queued for the parallel classification fan-out.
+struct TraceItem<'a> {
+    index: usize,
+    source: u16,
+    trace: &'a TraceRecord,
+    lfp: &'a HashMap<Ipv4Addr, Vendor>,
+    snmp: &'a HashMap<Ipv4Addr, Vendor>,
+}
+
+/// Per-trace worker output: everything the serial interning fold needs.
+struct EncodedPath {
+    source: u16,
+    src_as: u32,
+    dst_as: u32,
+    effective_len: u16,
+    snmp_identified: u16,
+    slice: UsSlice,
+    codes: Vec<u8>,
+    edge_vendors: u8,
+    core_vendors: u8,
+    as_segments: u16,
+}
+
+/// The columnar path store. All per-path attributes are parallel columns
+/// indexed by row id; hop sequences live run-length encoded in a shared
+/// arena behind interned sequence ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathCorpus {
+    /// Dataset names, index-aligned with the `source` column's values.
+    sources: Vec<String>,
+    /// How many leading sources are RIPE snapshots (the rest are derived).
+    ripe_source_count: usize,
+
+    // -- columns (one entry per path) -------------------------------
+    source: Vec<u16>,
+    src_as: Vec<u32>,
+    dst_as: Vec<u32>,
+    effective_len: Vec<u16>,
+    router_hops: Vec<u16>,
+    identified: Vec<u16>,
+    snmp_identified: Vec<u16>,
+    slice: Vec<UsSlice>,
+    set_id: Vec<u32>,
+    seq_id: Vec<u32>,
+    edge_vendors: Vec<u8>,
+    core_vendors: Vec<u8>,
+    as_segments: Vec<u16>,
+
+    // -- interning arenas -------------------------------------------
+    /// Run-length encoded hop codes, shared by all sequences.
+    runs: Vec<(u8, u16)>,
+    /// (offset, len) into `runs` per sequence id.
+    seq_spans: Vec<(u32, u32)>,
+    /// Distinct identified-vendor sets (sorted), per set id.
+    sets: Vec<Vec<Vendor>>,
+    /// Pre-rendered ", "-joined labels, per set id.
+    set_labels: Vec<String>,
+
+    // -- indexes ----------------------------------------------------
+    by_source: Vec<Vec<u32>>,
+    by_src_as: HashMap<u32, Vec<u32>>,
+    by_dst_as: HashMap<u32, Vec<u32>>,
+    by_length: HashMap<u16, Vec<u32>>,
+    by_set: Vec<Vec<u32>>,
+    by_seq: Vec<Vec<u32>>,
+}
+
+impl PathCorpus {
+    /// Build the corpus for a world with the default shard budget (one
+    /// per available core, like [`ScanConfig::default`]).
+    pub fn build(world: &World) -> PathCorpus {
+        Self::build_with_shards(world, ScanConfig::default().shards)
+    }
+
+    /// Build with an explicit shard count. Shard count never changes the
+    /// result (the scanner's determinism contract), only the wall-clock.
+    pub fn build_with_shards(world: &World, shards: NonZeroUsize) -> PathCorpus {
+        let internet = &world.internet;
+        let derived = derive_itdk_traces(internet, &world.itdk, internet.scale.dests_per_vantage);
+
+        // Per-source vendor maps: each snapshot classifies through its own
+        // scan; the derived ITDK paths through the ITDK scan. The Arcs are
+        // held here so the fan-out below can borrow plain references.
+        let lfp_maps: Vec<_> = world
+            .all_scans()
+            .map(|scan| world.lfp_vendor_map(scan))
+            .collect();
+        let snmp_maps: Vec<_> = world
+            .all_scans()
+            .map(|scan| world.snmp_vendor_map(scan))
+            .collect();
+
+        let ripe_source_count = world.ripe.len();
+        let mut sources: Vec<String> = world.ripe.iter().map(|s| s.name.clone()).collect();
+        sources.push("ITDK-derived".to_string());
+
+        let mut items: Vec<TraceItem> = Vec::new();
+        for (source, snapshot) in world.ripe.iter().enumerate() {
+            for trace in &snapshot.traces {
+                items.push(TraceItem {
+                    index: items.len(),
+                    source: source as u16,
+                    trace,
+                    lfp: lfp_maps[source].as_ref(),
+                    snmp: snmp_maps[source].as_ref(),
+                });
+            }
+        }
+        for trace in &derived {
+            items.push(TraceItem {
+                index: items.len(),
+                source: ripe_source_count as u16,
+                trace,
+                lfp: lfp_maps[ripe_source_count].as_ref(),
+                snmp: snmp_maps[ripe_source_count].as_ref(),
+            });
+        }
+
+        // Phase 1 — parallel classification. Classification is pure, so
+        // any key partitioning is valid; hashing the submission index
+        // spreads work evenly. Results come back in submission order.
+        let config = ScanConfig {
+            shards,
+            pacing: 0.0,
+        };
+        let encoded = scan(
+            &items,
+            config,
+            |item| splitmix64(item.index as u64 ^ 0x9e37_79b9_7f4a_7c15),
+            |item, _ctx| encode_path(internet, item),
+        );
+
+        // Phase 2 — serial interning fold over the ordered stream.
+        let mut corpus = PathCorpus {
+            by_source: sources.iter().map(|_| Vec::new()).collect(),
+            sources,
+            ripe_source_count,
+            source: Vec::with_capacity(encoded.len()),
+            src_as: Vec::with_capacity(encoded.len()),
+            dst_as: Vec::with_capacity(encoded.len()),
+            effective_len: Vec::with_capacity(encoded.len()),
+            router_hops: Vec::with_capacity(encoded.len()),
+            identified: Vec::with_capacity(encoded.len()),
+            snmp_identified: Vec::with_capacity(encoded.len()),
+            slice: Vec::with_capacity(encoded.len()),
+            set_id: Vec::with_capacity(encoded.len()),
+            seq_id: Vec::with_capacity(encoded.len()),
+            edge_vendors: Vec::with_capacity(encoded.len()),
+            core_vendors: Vec::with_capacity(encoded.len()),
+            as_segments: Vec::with_capacity(encoded.len()),
+            runs: Vec::new(),
+            seq_spans: Vec::new(),
+            sets: Vec::new(),
+            set_labels: Vec::new(),
+            by_src_as: HashMap::new(),
+            by_dst_as: HashMap::new(),
+            by_length: HashMap::new(),
+            by_set: Vec::new(),
+            by_seq: Vec::new(),
+        };
+        let mut seq_intern: HashMap<Vec<(u8, u16)>, u32> = HashMap::new();
+        let mut set_intern: HashMap<Vec<Vendor>, u32> = HashMap::new();
+        for path in encoded {
+            corpus.intern(path, &mut seq_intern, &mut set_intern);
+        }
+        corpus
+    }
+
+    fn intern(
+        &mut self,
+        path: EncodedPath,
+        seq_intern: &mut HashMap<Vec<(u8, u16)>, u32>,
+        set_intern: &mut HashMap<Vec<Vendor>, u32>,
+    ) {
+        let row = self.source.len() as u32;
+
+        let mut runs: Vec<(u8, u16)> = Vec::new();
+        for &code in &path.codes {
+            match runs.last_mut() {
+                Some((last, count)) if *last == code && *count < u16::MAX => *count += 1,
+                _ => runs.push((code, 1)),
+            }
+        }
+        let seq_id = *seq_intern.entry(runs.clone()).or_insert_with(|| {
+            let id = self.seq_spans.len() as u32;
+            let offset = self.runs.len() as u32;
+            self.runs.extend(runs.iter().copied());
+            self.seq_spans.push((offset, runs.len() as u32));
+            self.by_seq.push(Vec::new());
+            id
+        });
+
+        let set: Vec<Vendor> = path
+            .codes
+            .iter()
+            .filter(|&&code| code != UNKNOWN_HOP)
+            .filter_map(|&code| code_vendor(code))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let set_id = *set_intern.entry(set.clone()).or_insert_with(|| {
+            let id = self.sets.len() as u32;
+            let label = set
+                .iter()
+                .map(|vendor| vendor.name().to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            self.sets.push(set.clone());
+            self.set_labels.push(label);
+            self.by_set.push(Vec::new());
+            id
+        });
+
+        let identified = path.codes.iter().filter(|&&c| c != UNKNOWN_HOP).count() as u16;
+        let router_hops = path.codes.len() as u16;
+
+        self.source.push(path.source);
+        self.src_as.push(path.src_as);
+        self.dst_as.push(path.dst_as);
+        self.effective_len.push(path.effective_len);
+        self.router_hops.push(router_hops);
+        self.identified.push(identified);
+        self.snmp_identified.push(path.snmp_identified);
+        self.slice.push(path.slice);
+        self.set_id.push(set_id);
+        self.seq_id.push(seq_id);
+        self.edge_vendors.push(path.edge_vendors);
+        self.core_vendors.push(path.core_vendors);
+        self.as_segments.push(path.as_segments);
+
+        self.by_source[path.source as usize].push(row);
+        self.by_src_as.entry(path.src_as).or_default().push(row);
+        self.by_dst_as.entry(path.dst_as).or_default().push(row);
+        self.by_length.entry(router_hops).or_default().push(row);
+        self.by_set[set_id as usize].push(row);
+        self.by_seq[seq_id as usize].push(row);
+    }
+
+    // -- shape ------------------------------------------------------
+
+    /// Number of paths stored.
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// True when no paths were ingested.
+    pub fn is_empty(&self) -> bool {
+        self.source.is_empty()
+    }
+
+    /// Dataset names, index-aligned with source ids.
+    pub fn sources(&self) -> &[String] {
+        &self.sources
+    }
+
+    /// Number of distinct interned hop sequences.
+    pub fn distinct_sequences(&self) -> usize {
+        self.seq_spans.len()
+    }
+
+    /// Source id of the most recent RIPE snapshot (the paper's path
+    /// analyses all read this source).
+    pub fn latest_ripe_source(&self) -> usize {
+        self.ripe_source_count - 1
+    }
+
+    /// Source id of the derived ITDK path set.
+    pub fn derived_source(&self) -> usize {
+        self.ripe_source_count
+    }
+
+    // -- row selection ----------------------------------------------
+
+    /// Rows of one source, in ingestion (trace) order.
+    pub fn rows_of_source(&self, source: usize) -> &[u32] {
+        self.by_source
+            .get(source)
+            .map(|rows| rows.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Every row, in ingestion order.
+    pub fn all_rows(&self) -> Vec<u32> {
+        (0..self.len() as u32).collect()
+    }
+
+    /// Rows of one source, optionally restricted to a US slice.
+    pub fn rows_in(&self, source: usize, slice: Option<UsSlice>) -> Vec<u32> {
+        self.rows_of_source(source)
+            .iter()
+            .copied()
+            .filter(|&row| slice.is_none_or(|wanted| self.slice[row as usize] == wanted))
+            .collect()
+    }
+
+    /// Rows whose vantage sits in the given AS.
+    pub fn rows_from_as(&self, as_id: u32) -> &[u32] {
+        self.by_src_as
+            .get(&as_id)
+            .map(|rows| rows.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Rows whose destination sits in the given AS.
+    pub fn rows_to_as(&self, as_id: u32) -> &[u32] {
+        self.by_dst_as
+            .get(&as_id)
+            .map(|rows| rows.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Rows with exactly `hops` router hops.
+    pub fn rows_with_length(&self, hops: u16) -> &[u32] {
+        self.by_length
+            .get(&hops)
+            .map(|rows| rows.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Rows sharing one interned hop sequence.
+    pub fn rows_with_sequence(&self, seq: u32) -> &[u32] {
+        self.by_seq
+            .get(seq as usize)
+            .map(|rows| rows.as_slice())
+            .unwrap_or(&[])
+    }
+
+    // -- per-row accessors ------------------------------------------
+
+    /// The run-length encoded hop codes of a row's sequence.
+    pub fn runs_of(&self, row: u32) -> &[(u8, u16)] {
+        let (offset, len) = self.seq_spans[self.seq_id[row as usize] as usize];
+        &self.runs[offset as usize..(offset + len) as usize]
+    }
+
+    /// The distinct identified vendors of a row (sorted).
+    pub fn vendor_set(&self, row: u32) -> &[Vendor] {
+        &self.sets[self.set_id[row as usize] as usize]
+    }
+
+    fn identified_by(&self, row: u32, method: LabelSource) -> u16 {
+        match method {
+            LabelSource::Lfp => self.identified[row as usize],
+            LabelSource::Snmp => self.snmp_identified[row as usize],
+        }
+    }
+
+    // -- figure queries (byte-identical to `crate::paths`) ----------
+
+    /// Figure 8: ECDF of effective path lengths over the selection.
+    pub fn path_length_ecdf(&self, rows: &[u32]) -> Ecdf {
+        Ecdf::new(
+            rows.iter()
+                .map(|&row| self.effective_len[row as usize] as f64)
+                .collect(),
+        )
+    }
+
+    /// Figures 9/10: ECDF of the identified-hop percentage over rows with
+    /// at least `min_hops` router hops and `min_identified` fingerprints,
+    /// under either identification method.
+    pub fn identified_fraction_ecdf(
+        &self,
+        rows: &[u32],
+        min_hops: usize,
+        min_identified: usize,
+        method: LabelSource,
+    ) -> Ecdf {
+        Ecdf::new(
+            rows.iter()
+                .filter_map(|&row| {
+                    let hops = self.router_hops[row as usize] as usize;
+                    let identified = self.identified_by(row, method) as usize;
+                    if hops >= min_hops && identified >= min_identified && hops > 0 {
+                        Some(identified as f64 * 100.0 / hops as f64)
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Count of rows with ≥ `min_hops` router hops and ≥ `min_identified`
+    /// identified hops under the method.
+    pub fn count_identified_at_least(
+        &self,
+        rows: &[u32],
+        min_hops: usize,
+        min_identified: usize,
+        method: LabelSource,
+    ) -> usize {
+        rows.iter()
+            .filter(|&&row| {
+                self.router_hops[row as usize] as usize >= min_hops
+                    && self.identified_by(row, method) as usize >= min_identified
+            })
+            .count()
+    }
+
+    /// Rows with at least one LFP-identified hop.
+    pub fn identified_paths(&self, rows: &[u32]) -> usize {
+        rows.iter()
+            .filter(|&&row| self.identified[row as usize] > 0)
+            .count()
+    }
+
+    /// Rows whose identified-vendor set has exactly `size` members
+    /// (identified paths only).
+    pub fn count_set_size(&self, rows: &[u32], size: usize) -> usize {
+        rows.iter()
+            .filter(|&&row| self.identified[row as usize] > 0 && self.vendor_set(row).len() == size)
+            .count()
+    }
+
+    /// Figure 11: ECDF of distinct vendors per path (paths with at least
+    /// one identified hop).
+    pub fn vendors_per_path_ecdf(&self, rows: &[u32]) -> Ecdf {
+        Ecdf::new(
+            rows.iter()
+                .filter(|&&row| self.identified[row as usize] > 0)
+                .map(|&row| self.vendor_set(row).len() as f64)
+                .collect(),
+        )
+    }
+
+    /// Figures 12–14: ranked vendor combinations (unordered sets) with
+    /// their share of identified paths.
+    pub fn top_vendor_combinations(&self, rows: &[u32], top: usize) -> Vec<(String, f64, usize)> {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        let mut total = 0usize;
+        for &row in rows {
+            let set_id = self.set_id[row as usize];
+            if self.sets[set_id as usize].is_empty() {
+                continue;
+            }
+            total += 1;
+            *counts.entry(set_id).or_default() += 1;
+        }
+        let mut ranked: Vec<(String, usize)> = counts
+            .into_iter()
+            .map(|(set_id, count)| (self.set_labels[set_id as usize].clone(), count))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+            .into_iter()
+            .take(top)
+            .map(|(label, count)| (label, count as f64 * 100.0 / total.max(1) as f64, count))
+            .collect()
+    }
+
+    /// Count of distinct non-empty vendor sets over the selection.
+    pub fn distinct_vendor_sets(&self, rows: &[u32]) -> usize {
+        rows.iter()
+            .map(|&row| self.set_id[row as usize])
+            .filter(|&set_id| !self.sets[set_id as usize].is_empty())
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    // -- ordered analyses (beyond the flat implementation) ----------
+
+    /// Vendor transition matrix: for every adjacent pair in each path's
+    /// identified-hop subsequence, count the hand-off `from → to`.
+    /// Consecutive same-vendor routers count as self-transitions, so the
+    /// diagonal measures custody kept and the off-diagonal custody
+    /// changed.
+    pub fn transition_matrix(&self, rows: &[u32]) -> BTreeMap<(Vendor, Vendor), usize> {
+        let mut matrix: BTreeMap<(Vendor, Vendor), usize> = BTreeMap::new();
+        for &row in rows {
+            let mut previous: Option<Vendor> = None;
+            for &(code, len) in self.runs_of(row) {
+                let Some(vendor) = code_vendor(code) else {
+                    continue;
+                };
+                if let Some(from) = previous {
+                    *matrix.entry((from, vendor)).or_default() += 1;
+                }
+                if len > 1 {
+                    *matrix.entry((vendor, vendor)).or_default() += len as usize - 1;
+                }
+                previous = Some(vendor);
+            }
+        }
+        matrix
+    }
+
+    /// ECDF of the longest same-vendor run per path (strict hop
+    /// adjacency: an unidentified hop breaks the run). Paths without an
+    /// identified hop are excluded.
+    pub fn longest_run_ecdf(&self, rows: &[u32]) -> Ecdf {
+        Ecdf::new(
+            rows.iter()
+                .filter_map(|&row| {
+                    self.runs_of(row)
+                        .iter()
+                        .filter(|&&(code, _)| code != UNKNOWN_HOP)
+                        .map(|&(_, len)| len)
+                        .max()
+                        .map(f64::from)
+                })
+                .collect(),
+        )
+    }
+
+    /// Edge-vs-transit vendor diversity over the selection (identified
+    /// paths only; see [`SegmentSummary`]).
+    pub fn segment_summary(&self, rows: &[u32]) -> SegmentSummary {
+        let mut summary = SegmentSummary::default();
+        let mut edge_total = 0usize;
+        let mut core_total = 0usize;
+        for &row in rows {
+            if self.identified[row as usize] == 0 {
+                continue;
+            }
+            summary.paths += 1;
+            let edge = self.edge_vendors[row as usize] as usize;
+            edge_total += edge;
+            if edge >= 2 {
+                summary.edge_multi += 1;
+            }
+            if self.as_segments[row as usize] >= 3 {
+                summary.paths_with_core += 1;
+                let core = self.core_vendors[row as usize] as usize;
+                core_total += core;
+                if core >= 2 {
+                    summary.core_multi += 1;
+                }
+            }
+        }
+        if summary.paths > 0 {
+            summary.edge_mean = edge_total as f64 / summary.paths as f64;
+        }
+        if summary.paths_with_core > 0 {
+            summary.core_mean = core_total as f64 / summary.paths_with_core as f64;
+        }
+        summary
+    }
+}
+
+/// Worker: classify one trace into its encoded row. Pure, so the scanner
+/// may run it on any shard.
+fn encode_path(internet: &Internet, item: &TraceItem) -> EncodedPath {
+    let hops = item.trace.router_hops();
+    let codes: Vec<u8> = hop_vendors(&hops, item.lfp)
+        .into_iter()
+        .map(|verdict| verdict.map(vendor_code).unwrap_or(UNKNOWN_HOP))
+        .collect();
+    let snmp_identified = hops
+        .iter()
+        .filter(|hop| item.snmp.contains_key(hop))
+        .count() as u16;
+    let hop_as: Vec<u32> = hops
+        .iter()
+        .map(|&hop| {
+            internet
+                .truth_of(hop)
+                .map(|meta| meta.as_id)
+                .unwrap_or(u32::MAX)
+        })
+        .collect();
+    let (edge_vendors, core_vendors, as_segments) = segment_diversity(&codes, &hop_as);
+    EncodedPath {
+        source: item.source,
+        src_as: item.trace.src_as,
+        dst_as: item.trace.dst_as,
+        effective_len: item.trace.effective_length() as u16,
+        snmp_identified,
+        slice: slice_of(internet, item.trace),
+        codes,
+        edge_vendors,
+        core_vendors,
+        as_segments,
+    }
+}
+
+/// Segment a path by the AS owning each hop; the first and last segments
+/// are the edge, the rest the transit core. Returns (distinct identified
+/// vendors in the edge, in the core, AS segment count).
+fn segment_diversity(codes: &[u8], hop_as: &[u32]) -> (u8, u8, u16) {
+    if codes.is_empty() {
+        return (0, 0, 0);
+    }
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for index in 1..hop_as.len() {
+        if hop_as[index] != hop_as[index - 1] {
+            segments.push((start, index));
+            start = index;
+        }
+    }
+    segments.push((start, hop_as.len()));
+    let last = segments.len() - 1;
+    let mut edge: BTreeSet<u8> = BTreeSet::new();
+    let mut core: BTreeSet<u8> = BTreeSet::new();
+    for (index, &(from, to)) in segments.iter().enumerate() {
+        let target = if index == 0 || index == last {
+            &mut edge
+        } else {
+            &mut core
+        };
+        for &code in &codes[from..to] {
+            if code != UNKNOWN_HOP {
+                target.insert(code);
+            }
+        }
+    }
+    (edge.len() as u8, core.len() as u8, segments.len() as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_codes_round_trip() {
+        for &vendor in &Vendor::ALL {
+            assert_eq!(code_vendor(vendor_code(vendor)), Some(vendor));
+        }
+        assert_eq!(code_vendor(UNKNOWN_HOP), None);
+    }
+
+    #[test]
+    fn segment_diversity_splits_edge_and_core() {
+        // AS layout 1 1 | 2 2 | 3 — edge = first + last segment.
+        let codes = [0u8, UNKNOWN_HOP, 1, 2, 3];
+        let hop_as = [1u32, 1, 2, 2, 3];
+        let (edge, core, segments) = segment_diversity(&codes, &hop_as);
+        assert_eq!(segments, 3);
+        assert_eq!(edge, 2); // vendor 0 at the head, vendor 3 at the tail
+        assert_eq!(core, 2); // vendors 1 and 2 in the middle AS
+                             // Two segments only: everything is edge.
+        let (edge2, core2, segments2) = segment_diversity(&[0, 1], &[1, 2]);
+        assert_eq!((edge2, core2, segments2), (2, 0, 2));
+        assert_eq!(segment_diversity(&[], &[]), (0, 0, 0));
+    }
+
+    #[test]
+    fn run_length_encoding_is_compact_and_queryable() {
+        // Build a corpus over a real tiny world and sanity-check shape.
+        let world = crate::world::World::build(lfp_topo::Scale::tiny());
+        let corpus = world.path_corpus();
+        assert!(!corpus.is_empty());
+        assert_eq!(corpus.sources().len(), world.ripe.len() + 1);
+        assert_eq!(corpus.latest_ripe_source(), world.ripe.len() - 1);
+        // Every source contributed rows and the columns stay aligned.
+        let total: usize = (0..corpus.sources().len())
+            .map(|source| corpus.rows_of_source(source).len())
+            .sum();
+        assert_eq!(total, corpus.len());
+        // Interning actually shares sequences.
+        assert!(corpus.distinct_sequences() <= corpus.len());
+        for row in corpus.all_rows() {
+            let runs = corpus.runs_of(row);
+            let hops: usize = runs.iter().map(|&(_, len)| len as usize).sum();
+            assert_eq!(hops, corpus.router_hops[row as usize] as usize);
+            let identified: usize = runs
+                .iter()
+                .filter(|&&(code, _)| code != UNKNOWN_HOP)
+                .map(|&(_, len)| len as usize)
+                .sum();
+            assert_eq!(identified, corpus.identified[row as usize] as usize);
+        }
+    }
+
+    #[test]
+    fn indexes_cover_all_rows() {
+        let world = crate::world::World::build(lfp_topo::Scale::tiny());
+        let corpus = world.path_corpus();
+        let by_src: usize = corpus.by_src_as.values().map(Vec::len).sum();
+        let by_dst: usize = corpus.by_dst_as.values().map(Vec::len).sum();
+        let by_len: usize = corpus.by_length.values().map(Vec::len).sum();
+        let by_set: usize = corpus.by_set.iter().map(Vec::len).sum();
+        let by_seq: usize = corpus.by_seq.iter().map(Vec::len).sum();
+        assert_eq!(by_src, corpus.len());
+        assert_eq!(by_dst, corpus.len());
+        assert_eq!(by_len, corpus.len());
+        assert_eq!(by_set, corpus.len());
+        assert_eq!(by_seq, corpus.len());
+        // Index lookups agree with the columns.
+        let row = 0u32;
+        assert!(corpus.rows_from_as(corpus.src_as[0]).contains(&row));
+        assert!(corpus.rows_to_as(corpus.dst_as[0]).contains(&row));
+        assert!(corpus
+            .rows_with_length(corpus.router_hops[0])
+            .contains(&row));
+        assert!(corpus.rows_with_sequence(corpus.seq_id[0]).contains(&row));
+    }
+
+    #[test]
+    fn transition_matrix_counts_handoffs() {
+        let world = crate::world::World::build(lfp_topo::Scale::tiny());
+        let corpus = world.path_corpus();
+        let rows = corpus.all_rows();
+        let matrix = corpus.transition_matrix(&rows);
+        // Total transitions = sum over rows of (identified hops - gaps' merges):
+        // every adjacent pair in the identified subsequence counts once.
+        let expected: usize = rows
+            .iter()
+            .map(|&row| {
+                let identified = corpus.identified[row as usize] as usize;
+                identified.saturating_sub(1)
+            })
+            .sum();
+        let total: usize = matrix.values().sum();
+        assert_eq!(total, expected);
+    }
+}

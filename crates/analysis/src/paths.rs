@@ -1,8 +1,16 @@
-//! Path-level vendor analyses (paper §6, Figures 8–14).
+//! Path-level vendor analyses (paper §6, Figures 8–14) — the flat
+//! reference implementation.
 //!
 //! A traceroute's router hops are classified with LFP; the analyses ask
 //! how much of each path is identifiable, how many distinct vendors a
 //! path crosses, and which vendor combinations dominate.
+//!
+//! These functions re-walk the trace list per call, which is fine for a
+//! single figure but wasteful for a registry run. The production path is
+//! [`crate::path_corpus::PathCorpus`] — a build-once columnar store whose
+//! Figure 8–14 queries are regression-tested byte-for-byte against the
+//! functions here (`tests/figures_regression.rs`), and which additionally
+//! supports the ordered-sequence analyses this flat pass cannot afford.
 
 use crate::stats::Ecdf;
 use lfp_stack::vendor::Vendor;
@@ -32,6 +40,18 @@ impl PathMetrics {
     }
 }
 
+/// Classify an ordered hop sequence against an ip → vendor map: one
+/// verdict per hop, `None` where the map has no unique vendor. Shared by
+/// the flat metrics below and the [`crate::path_corpus`] build fold.
+pub fn hop_vendors(
+    hops: &[Ipv4Addr],
+    vendor_map: &HashMap<Ipv4Addr, Vendor>,
+) -> Vec<Option<Vendor>> {
+    hops.iter()
+        .map(|hop| vendor_map.get(hop).copied())
+        .collect()
+}
+
 /// Compute metrics for every trace against an ip → vendor map.
 pub fn path_metrics(
     traces: &[TraceRecord],
@@ -41,13 +61,12 @@ pub fn path_metrics(
         .iter()
         .map(|trace| {
             let hops = trace.router_hops();
+            let verdicts = hop_vendors(&hops, vendor_map);
             let mut vendors = BTreeSet::new();
             let mut identified = 0usize;
-            for hop in &hops {
-                if let Some(&vendor) = vendor_map.get(hop) {
-                    identified += 1;
-                    vendors.insert(vendor);
-                }
+            for vendor in verdicts.into_iter().flatten() {
+                identified += 1;
+                vendors.insert(vendor);
             }
             PathMetrics {
                 router_hops: hops.len(),
@@ -62,15 +81,7 @@ pub fn path_metrics(
 /// destinations the effective length ends at the last responsive hop
 /// (trailing timeouts carry no path information).
 pub fn path_length_ecdf(traces: &[TraceRecord]) -> Ecdf {
-    Ecdf::new(
-        traces
-            .iter()
-            .map(|t| {
-                let trailing_timeouts = t.hops.iter().rev().take_while(|hop| hop.is_none()).count();
-                (t.hops.len() - trailing_timeouts).max(1) as f64
-            })
-            .collect(),
-    )
+    Ecdf::new(traces.iter().map(|t| t.effective_length() as f64).collect())
 }
 
 /// Figure 9/10 series: ECDF of the identified-hop percentage over traces

@@ -55,13 +55,17 @@ impl Ecdf {
     }
 
     /// Sample the curve at `n` evenly spaced x positions between min and
-    /// max (plus the exact min/max), for plotting.
+    /// max (plus the exact min/max), for plotting. When every sample is
+    /// equal the curve degenerates to the single point `(x, 1.0)`.
     pub fn series(&self, n: usize) -> Vec<(f64, f64)> {
         if self.sorted.is_empty() {
             return Vec::new();
         }
         let lo = self.sorted[0];
         let hi = self.sorted[self.sorted.len() - 1];
+        if lo == hi {
+            return vec![(lo, 1.0)];
+        }
         let mut points = Vec::with_capacity(n + 1);
         for step in 0..=n.max(1) {
             let x = lo + (hi - lo) * step as f64 / n.max(1) as f64;
@@ -80,6 +84,8 @@ pub struct Histogram {
     pub percent: Vec<f64>,
     /// Total sample count.
     pub total: usize,
+    /// Width of every bin.
+    pub width: f64,
 }
 
 impl Histogram {
@@ -111,17 +117,32 @@ impl Histogram {
                 })
                 .collect(),
             total,
+            width,
         }
     }
 
-    /// Percentage of samples within [lo, hi] of the original range given
-    /// bin granularity.
+    /// Percentage of samples within `[lo, hi]`, defined by bin overlap:
+    /// each bin `[edge, edge + width)` contributes its percentage scaled
+    /// by the fraction of the bin covered by the range. Bins fully inside
+    /// count whole, straddling bins count proportionally, and the bin
+    /// starting exactly at `hi` contributes nothing (zero overlap width).
     pub fn percent_between(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
         self.edges
             .iter()
             .zip(&self.percent)
-            .filter(|(&edge, _)| edge >= lo && edge < hi)
-            .map(|(_, &p)| p)
+            .map(|(&edge, &p)| {
+                if self.width > 0.0 {
+                    let overlap = (hi.min(edge + self.width) - lo.max(edge)).max(0.0);
+                    p * (overlap / self.width).min(1.0)
+                } else if edge >= lo && edge <= hi {
+                    p
+                } else {
+                    0.0
+                }
+            })
             .sum()
     }
 }
@@ -163,6 +184,14 @@ mod tests {
     }
 
     #[test]
+    fn ecdf_series_collapses_degenerate_range() {
+        let ecdf = Ecdf::new(vec![2.0; 5]);
+        assert_eq!(ecdf.series(10), vec![(2.0, 1.0)]);
+        let single = Ecdf::new(vec![7.5]);
+        assert_eq!(single.series(3), vec![(7.5, 1.0)]);
+    }
+
+    #[test]
     fn ecdf_handles_empty_and_nan() {
         let ecdf = Ecdf::new(vec![f64::NAN]);
         assert!(ecdf.is_empty());
@@ -187,6 +216,33 @@ mod tests {
         assert!((sum - 100.0).abs() < 1e-9);
         assert!(histogram.percent[0] > 0.0);
         assert!(histogram.percent[9] > 0.0);
+    }
+
+    #[test]
+    fn percent_between_counts_boundary_aligned_bins() {
+        // 10 bins of width 10 over [0, 100), one sample per bin.
+        let samples: Vec<f64> = (0..10).map(|i| i as f64 * 10.0 + 5.0).collect();
+        let histogram = Histogram::build(&samples, 0.0, 100.0, 10);
+        // [0, 50] covers bins 0–4 in full; bin 5 starts at 50 and has
+        // zero overlap width, so it contributes nothing.
+        assert!((histogram.percent_between(0.0, 50.0) - 50.0).abs() < 1e-9);
+        // The whole range is everything.
+        assert!((histogram.percent_between(0.0, 100.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percent_between_prorates_straddling_bins() {
+        let samples: Vec<f64> = (0..10).map(|i| i as f64 * 10.0 + 5.0).collect();
+        let histogram = Histogram::build(&samples, 0.0, 100.0, 10);
+        // [5, 15] covers half of bin 0 and half of bin 1.
+        assert!((histogram.percent_between(5.0, 15.0) - 10.0).abs() < 1e-9);
+        // [0, 25] = bins 0, 1 whole plus half of bin 2.
+        assert!((histogram.percent_between(0.0, 25.0) - 25.0).abs() < 1e-9);
+        // A range inside one bin takes a proportional sliver.
+        assert!((histogram.percent_between(2.0, 4.0) - 2.0).abs() < 1e-9);
+        // Inverted and out-of-range queries are empty.
+        assert_eq!(histogram.percent_between(50.0, 40.0), 0.0);
+        assert_eq!(histogram.percent_between(200.0, 300.0), 0.0);
     }
 
     #[test]

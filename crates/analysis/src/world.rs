@@ -26,6 +26,7 @@
 //! experiment to ask pays the classification cost and the rest share the
 //! result — which is what makes `run_all_parallel` scale.
 
+use crate::path_corpus::PathCorpus;
 use lfp_core::pipeline::{scan_dataset, DatasetScan};
 use lfp_core::signature::{Classification, SignatureDb, SignatureSet};
 use lfp_stack::vendor::Vendor;
@@ -51,12 +52,14 @@ pub struct CampaignTimings {
     pub finalize: f64,
     /// Warming the campaign cache: classification of every dataset.
     pub classify: f64,
+    /// Building the path corpus (classify + intern + index every trace).
+    pub path_corpus: f64,
 }
 
 impl CampaignTimings {
     /// Total build time across phases.
     pub fn total(&self) -> f64 {
-        self.generate + self.collect + self.scan + self.finalize + self.classify
+        self.generate + self.collect + self.scan + self.finalize + self.classify + self.path_corpus
     }
 }
 
@@ -89,6 +92,8 @@ pub struct World {
     /// Memoised per-dataset classification maps, index-aligned with
     /// `ripe_scans` plus one trailing slot for `itdk_scan`.
     cache: Vec<ScanCache>,
+    /// Memoised path corpus and its build wall-clock.
+    path_corpus: OnceLock<(PathCorpus, f64)>,
 }
 
 impl World {
@@ -240,15 +245,25 @@ impl World {
             union_db,
             set,
             cache,
+            path_corpus: OnceLock::new(),
         };
 
         // Classification: optionally warm the campaign cache for every
         // dataset so experiments start from shared, fully-classified
-        // state.
+        // state, then build the path corpus on top of it. The serial
+        // reference path builds single-shard, so the `path_corpus` phase
+        // participates in the serial-vs-parallel speedup comparison.
         if warm {
             let phase_start = Instant::now();
             world.warm_cache(parallel);
             timings.classify = phase_start.elapsed().as_secs_f64();
+            let shards = if parallel {
+                lfp_net::ScanConfig::default().shards
+            } else {
+                std::num::NonZeroUsize::new(1).expect("1 is non-zero")
+            };
+            world.path_corpus_with_shards(shards);
+            timings.path_corpus = world.path_corpus_seconds();
         }
 
         (world, timings)
@@ -279,6 +294,41 @@ impl World {
     /// Every dataset scan, RIPE snapshots first, then ITDK.
     pub fn all_scans(&self) -> impl Iterator<Item = &DatasetScan> {
         self.ripe_scans.iter().chain([&self.itdk_scan])
+    }
+
+    /// The path corpus over every trace this world holds (all RIPE
+    /// snapshots plus derived ITDK paths). Built once on first use with
+    /// the default shard budget; everyone after shares the result — the
+    /// path analogue of the classification cache.
+    pub fn path_corpus(&self) -> &PathCorpus {
+        self.path_corpus_with_shards(lfp_net::ScanConfig::default().shards)
+    }
+
+    /// The memoised path corpus, built with an explicit shard count if it
+    /// does not exist yet (shard count never changes the result, only the
+    /// build wall-clock — which `path_corpus_seconds` reports).
+    pub fn path_corpus_with_shards(&self, shards: std::num::NonZeroUsize) -> &PathCorpus {
+        let (corpus, _) = self.path_corpus.get_or_init(|| {
+            let start = Instant::now();
+            let corpus = PathCorpus::build_with_shards(self, shards);
+            (corpus, start.elapsed().as_secs_f64())
+        });
+        corpus
+    }
+
+    /// The corpus if it has been built, without triggering a build (for
+    /// reporting harnesses that must not distort timings).
+    pub fn path_corpus_if_built(&self) -> Option<&PathCorpus> {
+        self.path_corpus.get().map(|(corpus, _)| corpus)
+    }
+
+    /// Wall-clock seconds the corpus build took (0 when not yet built) —
+    /// the `path_corpus` phase of `BENCH_campaign.json`.
+    pub fn path_corpus_seconds(&self) -> f64 {
+        self.path_corpus
+            .get()
+            .map(|(_, seconds)| *seconds)
+            .unwrap_or(0.0)
     }
 
     /// The cache slot for one of this world's scans, if `scan` is one.
@@ -457,7 +507,19 @@ mod tests {
         assert!(timings.scan > 0.0);
         assert!(timings.finalize >= 0.0);
         assert!(timings.classify >= 0.0);
+        assert!(timings.path_corpus > 0.0, "warm builds report the corpus");
         assert!(timings.total() >= timings.scan);
         assert!(!world.ripe_scans.is_empty());
+        assert!(world.path_corpus_seconds() > 0.0);
+    }
+
+    #[test]
+    fn path_corpus_is_memoised() {
+        let world = World::build(Scale::tiny());
+        assert_eq!(world.path_corpus_seconds(), 0.0, "lazy until first use");
+        let first = world.path_corpus() as *const _;
+        let second = world.path_corpus() as *const _;
+        assert_eq!(first, second, "same corpus on repeat calls");
+        assert!(world.path_corpus_seconds() > 0.0);
     }
 }

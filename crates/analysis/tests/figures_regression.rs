@@ -1,0 +1,279 @@
+//! Figure 8–14 regression: the corpus-backed generators must reproduce
+//! the flat `paths.rs` reference implementation byte for byte.
+//!
+//! Each `legacy_*` function below is the pre-corpus generator body,
+//! expressed directly over [`lfp_analysis::paths`] and the §6.2 US
+//! partition. The registry's corpus-backed reports are compared against
+//! them with string equality on both the text and the JSON rendering.
+
+use lfp_analysis::experiments::run_by_id;
+use lfp_analysis::paths::{
+    distinct_vendor_sets, identified_fraction_ecdf, path_length_ecdf, path_metrics,
+    top_vendor_combinations, vendors_per_path_ecdf, PathMetrics,
+};
+use lfp_analysis::stats::{percent, Ecdf};
+use lfp_analysis::us_study::partition;
+use lfp_analysis::{Report, Series, World};
+use lfp_topo::Scale;
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::build(Scale::tiny()))
+}
+
+fn ecdf_series(name: &str, ecdf: &Ecdf, points: usize) -> Series {
+    Series {
+        name: name.to_string(),
+        points: ecdf.series(points),
+    }
+}
+
+fn fmt_pct(value: f64) -> String {
+    format!("{value:.1}%")
+}
+
+/// Metrics for the latest snapshot under the LFP map — the flat pass the
+/// pre-corpus generators shared.
+fn latest_metrics(world: &World) -> (Vec<PathMetrics>, Vec<PathMetrics>, Vec<PathMetrics>) {
+    let (snapshot, scan) = world.latest_ripe();
+    let lfp = world.lfp_vendor_map(scan);
+    let (intra, inter, _) = partition(&world.internet, &snapshot.traces);
+    let all = path_metrics(&snapshot.traces, &lfp);
+    let intra_metrics = path_metrics(
+        &intra.iter().map(|t| (*t).clone()).collect::<Vec<_>>(),
+        &lfp,
+    );
+    let inter_metrics = path_metrics(
+        &inter.iter().map(|t| (*t).clone()).collect::<Vec<_>>(),
+        &lfp,
+    );
+    (all, intra_metrics, inter_metrics)
+}
+
+fn legacy_fig8(world: &World) -> Report {
+    let mut report = Report::new("fig8", "Path length distribution");
+    let (snapshot, _) = world.latest_ripe();
+    let ecdf = path_length_ecdf(&snapshot.traces);
+    report.series.push(ecdf_series("hop count", &ecdf, 32));
+    let at_least_3 = 1.0 - ecdf.fraction_at_or_below(2.0);
+    let within_15 = ecdf.fraction_at_or_below(15.0);
+    report.paper_claim = "95% of paths have ≥3 hops and ≤15 hops".into();
+    report.measured_claim = format!(
+        "{} of paths ≥3 hops; {} ≤15 hops",
+        fmt_pct(at_least_3 * 100.0),
+        fmt_pct(within_15 * 100.0)
+    );
+    report
+}
+
+fn legacy_fig9(world: &World) -> Report {
+    let mut report = Report::new("fig9", "Identifiable routers per path");
+    let (all, intra, inter) = latest_metrics(world);
+    for (name, metrics) in [
+        ("All traces", &all),
+        ("Intra US", &intra),
+        ("Inter US", &inter),
+    ] {
+        let ecdf = identified_fraction_ecdf(metrics, 3, 0);
+        report.series.push(ecdf_series(name, &ecdf, 32));
+    }
+    let eligible: Vec<&PathMetrics> = all.iter().filter(|m| m.router_hops >= 3).collect();
+    let at_least_one = eligible.iter().filter(|m| m.identified >= 1).count();
+    let at_least_two = eligible.iter().filter(|m| m.identified >= 2).count();
+    report.paper_claim =
+        "On ≥3-hop paths LFP identifies ≥1 hop on 82% of paths and ≥2 hops on 62%".into();
+    report.measured_claim = format!(
+        "≥1 hop identified on {}, ≥2 on {} of ≥3-hop paths",
+        fmt_pct(percent(at_least_one, eligible.len())),
+        fmt_pct(percent(at_least_two, eligible.len()))
+    );
+    report
+}
+
+fn legacy_fig10(world: &World) -> Report {
+    let mut report = Report::new("fig10", "LFP vs SNMPv3 on paths");
+    let (snapshot, scan) = world.latest_ripe();
+    let lfp_map = world.lfp_vendor_map(scan);
+    let snmp_map = world.snmp_vendor_map(scan);
+    let lfp_metrics = path_metrics(&snapshot.traces, &lfp_map);
+    let snmp_metrics = path_metrics(&snapshot.traces, &snmp_map);
+    for (name, metrics, min_fp) in [
+        ("LFP min 3 hops", &lfp_metrics, 0usize),
+        ("LFP min 3 hops, min 2 fingerprints", &lfp_metrics, 2),
+        ("SNMPv3 min 3 hops", &snmp_metrics, 0),
+        ("SNMPv3 min 3 hops, min 2 fingerprints", &snmp_metrics, 2),
+    ] {
+        let ecdf = identified_fraction_ecdf(metrics, 3, min_fp);
+        report.series.push(ecdf_series(name, &ecdf, 32));
+    }
+    let eligible = |metrics: &[PathMetrics]| {
+        let total = metrics.iter().filter(|m| m.router_hops >= 3).count();
+        let hit = metrics
+            .iter()
+            .filter(|m| m.router_hops >= 3 && m.identified >= 1)
+            .count();
+        percent(hit, total)
+    };
+    report.paper_claim =
+        "LFP identifies ≥1 vendor on 82% of ≥3-hop paths; SNMPv3 alone manages 35%".into();
+    report.measured_claim = format!(
+        "≥1 identified hop: LFP {} vs SNMPv3 {}",
+        fmt_pct(eligible(&lfp_metrics)),
+        fmt_pct(eligible(&snmp_metrics))
+    );
+    report
+}
+
+fn legacy_fig11(world: &World) -> Report {
+    let mut report = Report::new("fig11", "Vendor diversity per path");
+    let (all, intra, inter) = latest_metrics(world);
+    for (name, metrics) in [
+        ("All Traces", &all),
+        ("Intra US", &intra),
+        ("Inter US", &inter),
+    ] {
+        let ecdf = vendors_per_path_ecdf(metrics);
+        report.series.push(Series {
+            name: name.into(),
+            points: (0..=5)
+                .map(|k| (k as f64, ecdf.fraction_at_or_below(k as f64)))
+                .collect(),
+        });
+    }
+    let identified: Vec<&PathMetrics> = all.iter().filter(|m| m.identified > 0).collect();
+    let single = identified.iter().filter(|m| m.vendors.len() == 1).count();
+    let two = identified.iter().filter(|m| m.vendors.len() == 2).count();
+    let three = identified.iter().filter(|m| m.vendors.len() == 3).count();
+    report.paper_claim = "≈50% single-vendor paths, ≈40% two vendors, 7% three; ~650 distinct vendor sets; intra-US ~70% single-vendor".into();
+    report.measured_claim = format!(
+        "{} single-vendor, {} two-vendor, {} three-vendor paths; {} distinct vendor sets",
+        fmt_pct(percent(single, identified.len())),
+        fmt_pct(percent(two, identified.len())),
+        fmt_pct(percent(three, identified.len())),
+        distinct_vendor_sets(&all)
+    );
+    report
+}
+
+fn legacy_combos_figure(
+    id: &str,
+    title: &str,
+    metrics: &[PathMetrics],
+    paper_claim: &str,
+) -> Report {
+    let mut report = Report::new(id, title);
+    report.columns = vec!["Vendor set".into(), "Share".into(), "Paths".into()];
+    let combos = top_vendor_combinations(metrics, 10);
+    let top_share: f64 = combos.iter().map(|c| c.1).take(9).sum();
+    let cisco_juniper_share: f64 = combos
+        .iter()
+        .filter(|(label, _, _)| {
+            label
+                .split(", ")
+                .all(|vendor| vendor == "Cisco" || vendor == "Juniper")
+        })
+        .map(|c| c.1)
+        .sum();
+    if combos.is_empty() {
+        report.row([
+            "(no identified paths in this slice at this scale)".into(),
+            "—".into(),
+            "0".into(),
+        ]);
+    }
+    for (label, share, count) in combos {
+        report.row([label, fmt_pct(share), count.to_string()]);
+    }
+    report.paper_claim = paper_claim.to_string();
+    report.measured_claim = format!(
+        "top-9 sets cover {}; Cisco/Juniper-only sets {}",
+        fmt_pct(top_share),
+        fmt_pct(cisco_juniper_share)
+    );
+    report
+}
+
+fn legacy_fig12(world: &World) -> Report {
+    let (all, _, _) = latest_metrics(world);
+    legacy_combos_figure(
+        "fig12",
+        "Top vendor combinations (all paths)",
+        &all,
+        "Top 9 sets cover >95% of paths; Cisco/Juniper-only sets ≈60%",
+    )
+}
+
+fn legacy_fig13(world: &World) -> Report {
+    let (_, intra, _) = latest_metrics(world);
+    legacy_combos_figure(
+        "fig13",
+        "Top vendor combinations (intra-US)",
+        &intra,
+        "Cisco/Juniper combinations make up more than two thirds of intra-US paths",
+    )
+}
+
+fn legacy_fig14(world: &World) -> Report {
+    let (_, _, inter) = latest_metrics(world);
+    legacy_combos_figure(
+        "fig14",
+        "Top vendor combinations (inter-US)",
+        &inter,
+        "Inter-US paths are slightly more heterogeneous than intra-US, same leaders",
+    )
+}
+
+type LegacyFigure = (&'static str, fn(&World) -> Report);
+
+#[test]
+fn corpus_backed_figures_match_the_flat_reference_byte_for_byte() {
+    let world = world();
+    let legacy: [LegacyFigure; 7] = [
+        ("fig8", legacy_fig8),
+        ("fig9", legacy_fig9),
+        ("fig10", legacy_fig10),
+        ("fig11", legacy_fig11),
+        ("fig12", legacy_fig12),
+        ("fig13", legacy_fig13),
+        ("fig14", legacy_fig14),
+    ];
+    for (id, reference) in legacy {
+        let expected = reference(world);
+        let actual = run_by_id(world, id).expect("figure registered");
+        assert_eq!(
+            expected.render_text(),
+            actual.render_text(),
+            "{id} text diverged from the flat reference"
+        );
+        assert_eq!(
+            expected.to_json(),
+            actual.to_json(),
+            "{id} json diverged from the flat reference"
+        );
+    }
+}
+
+#[test]
+fn corpus_slices_match_the_partition_totals() {
+    // The corpus' US-slice tagging agrees with the reference partition.
+    let world = world();
+    let corpus = world.path_corpus();
+    let (snapshot, _) = world.latest_ripe();
+    let (intra, inter, other) = partition(&world.internet, &snapshot.traces);
+    let latest = corpus.latest_ripe_source();
+    use lfp_analysis::us_study::UsSlice;
+    assert_eq!(
+        corpus.rows_in(latest, Some(UsSlice::IntraUs)).len(),
+        intra.len()
+    );
+    assert_eq!(
+        corpus.rows_in(latest, Some(UsSlice::InterUs)).len(),
+        inter.len()
+    );
+    assert_eq!(
+        corpus.rows_in(latest, Some(UsSlice::Other)).len(),
+        other.len()
+    );
+    assert_eq!(corpus.rows_in(latest, None).len(), snapshot.traces.len());
+}

@@ -1,0 +1,51 @@
+//! Path-corpus benchmarks: the build fold (single-shard vs parallel) and
+//! the query families the §6 figures and the ordered-path experiments
+//! lean on. The build is the `path_corpus` phase `BENCH_campaign.json`
+//! tracks; the queries show why a build-once store beats re-walking the
+//! trace list per figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lfp_analysis::path_corpus::{LabelSource, PathCorpus};
+use lfp_bench::shared_tiny_world;
+use std::num::NonZeroUsize;
+
+fn bench_corpus_build(c: &mut Criterion) {
+    let world = shared_tiny_world();
+    let mut group = c.benchmark_group("path_corpus_build");
+    group.sample_size(10);
+    group.bench_function("single_shard", |b| {
+        b.iter(|| PathCorpus::build_with_shards(world, NonZeroUsize::new(1).unwrap()))
+    });
+    group.bench_function("parallel", |b| b.iter(|| PathCorpus::build(world)));
+    group.finish();
+}
+
+fn bench_corpus_queries(c: &mut Criterion) {
+    let world = shared_tiny_world();
+    let corpus = world.path_corpus();
+    let rows = corpus.all_rows();
+    let latest = corpus.rows_in(corpus.latest_ripe_source(), None);
+    let mut group = c.benchmark_group("path_corpus_query");
+    group.bench_function("path_length_ecdf", |b| {
+        b.iter(|| corpus.path_length_ecdf(&latest))
+    });
+    group.bench_function("identified_fraction_ecdf", |b| {
+        b.iter(|| corpus.identified_fraction_ecdf(&latest, 3, 0, LabelSource::Lfp))
+    });
+    group.bench_function("top_vendor_combinations", |b| {
+        b.iter(|| corpus.top_vendor_combinations(&latest, 10))
+    });
+    group.bench_function("transition_matrix", |b| {
+        b.iter(|| corpus.transition_matrix(&rows))
+    });
+    group.bench_function("longest_run_ecdf", |b| {
+        b.iter(|| corpus.longest_run_ecdf(&rows))
+    });
+    group.bench_function("segment_summary", |b| {
+        b.iter(|| corpus.segment_summary(&rows))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus_build, bench_corpus_queries);
+criterion_main!(benches);

@@ -81,9 +81,12 @@ where
     }
 
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    // Shards can exceed distinct keys (e.g. a per-core default against a
+    // handful of devices); empty partitions get no thread.
     std::thread::scope(|scope| {
         let handles: Vec<_> = partitions
             .iter()
+            .filter(|partition| !partition.is_empty())
             .map(|partition| {
                 let worker = &worker;
                 scope.spawn(move || {
@@ -163,6 +166,39 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(tickets, sorted, "key {key} processed out of order");
         }
+    }
+
+    #[test]
+    fn fewer_keys_than_shards_still_covers_every_item() {
+        // 3 distinct keys against 16 shards: most partitions are empty
+        // and must not spawn workers; every item still yields its result
+        // in submission order.
+        let items: Vec<u32> = (0..60).collect();
+        let results = scan(
+            &items,
+            ScanConfig {
+                shards: NonZeroUsize::new(16).unwrap(),
+                pacing: 0.0,
+            },
+            |&item| u64::from(item % 3),
+            |&item, ctx| (item, ctx.index),
+        );
+        assert_eq!(results.len(), items.len());
+        for (index, &(item, ctx_index)) in results.iter().enumerate() {
+            assert_eq!(item as usize, index);
+            assert_eq!(ctx_index, index);
+        }
+        // Degenerate: a single key against many shards.
+        let single_key = scan(
+            &items,
+            ScanConfig {
+                shards: NonZeroUsize::new(16).unwrap(),
+                pacing: 0.0,
+            },
+            |_| 7,
+            |&item, _| item,
+        );
+        assert_eq!(single_key, items);
     }
 
     #[test]

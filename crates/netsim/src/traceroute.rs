@@ -29,16 +29,17 @@ pub struct TracerouteResult {
 }
 
 impl TracerouteResult {
-    /// The responsive intermediate router interfaces, excluding the
-    /// destination (the paper's router-IP extraction rule: drop the last
-    /// responsive hop when it equals the target, §3.2).
+    /// The responsive intermediate router interfaces (the paper's
+    /// router-IP extraction rule, §3.2): drop the *last* responsive hop
+    /// when it equals the target. A destination address appearing
+    /// mid-path — a routed loop or an interface shared with an earlier
+    /// router — is a router observation and is kept.
     pub fn intermediate_hops(&self) -> Vec<Ipv4Addr> {
-        self.hops
-            .iter()
-            .flatten()
-            .copied()
-            .filter(|&hop| hop != self.dst)
-            .collect()
+        let mut hops: Vec<Ipv4Addr> = self.hops.iter().flatten().copied().collect();
+        if hops.last() == Some(&self.dst) {
+            hops.pop();
+        }
+        hops
     }
 
     /// Total responsive hops including the destination.
@@ -231,6 +232,31 @@ mod tests {
         assert_eq!(result.hops[3], Some(dst));
         // Intermediate extraction drops the destination.
         assert_eq!(result.intermediate_hops().len(), 3);
+    }
+
+    #[test]
+    fn intermediate_hops_drop_only_the_trailing_destination() {
+        let dst = Ipv4Addr::new(10, 9, 9, 9);
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(10, 1, 1, 1);
+        // The destination address answering mid-path (routed loop or a
+        // shared interface) stays in the router population; only the
+        // final destination response is dropped.
+        let result = TracerouteResult {
+            src: VANTAGE_IP,
+            dst,
+            hops: vec![Some(a), Some(dst), None, Some(b), Some(dst)],
+            reached: true,
+        };
+        assert_eq!(result.intermediate_hops(), vec![a, dst, b]);
+        // Without a trailing destination nothing is dropped.
+        let unreached = TracerouteResult {
+            src: VANTAGE_IP,
+            dst,
+            hops: vec![Some(a), Some(b), None],
+            reached: false,
+        };
+        assert_eq!(unreached.intermediate_hops(), vec![a, b]);
     }
 
     #[test]

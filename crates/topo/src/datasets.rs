@@ -36,14 +36,34 @@ pub struct TraceRecord {
 }
 
 impl TraceRecord {
-    /// Responsive intermediate router interfaces (destination excluded).
+    /// Responsive intermediate router interfaces (the §3.2 rule: only the
+    /// *last* responsive hop is dropped, and only when it equals the
+    /// destination; a destination address answering mid-path — a routed
+    /// loop or a shared interface — is a router observation and is kept).
     pub fn router_hops(&self) -> Vec<Ipv4Addr> {
-        self.hops
+        let mut hops: Vec<Ipv4Addr> = self.hops.iter().flatten().copied().collect();
+        if hops.last() == Some(&self.dst) {
+            hops.pop();
+        }
+        hops
+    }
+
+    /// Effective path length: observed TTL slots up to the last responsive
+    /// hop (trailing timeouts carry no path information), never below 1.
+    /// This is the per-trace quantity Figure 8 distributes.
+    pub fn effective_length(&self) -> usize {
+        let trailing = self
+            .hops
             .iter()
-            .flatten()
-            .copied()
-            .filter(|&hop| hop != self.dst)
-            .collect()
+            .rev()
+            .take_while(|hop| hop.is_none())
+            .count();
+        (self.hops.len() - trailing).max(1)
+    }
+
+    /// Number of responsive hops, destination included.
+    pub fn responsive_hops(&self) -> usize {
+        self.hops.iter().flatten().count()
     }
 }
 
@@ -274,6 +294,54 @@ pub fn build_itdk(internet: &Internet) -> ItdkDataset {
     build_itdk_on(internet, &internet.network().fork())
 }
 
+/// Derive ground-truth router paths toward the ITDK population: for every
+/// vantage, a deterministic stride sample of the ITDK router interfaces is
+/// routed through the topology core (BGP AS path + router-level
+/// expansion), producing fully responsive pseudo-traceroutes without
+/// sending a probe. The ITDK dataset itself carries no hop sequences —
+/// these are the paths a traceroute campaign toward its routers would
+/// observe, and they give path-level analyses a second, topology-complete
+/// corpus source next to the RIPE snapshots.
+pub fn derive_itdk_traces(
+    internet: &Internet,
+    itdk: &ItdkDataset,
+    per_vantage: usize,
+) -> Vec<TraceRecord> {
+    let ips: Vec<Ipv4Addr> = itdk.router_ips.iter().copied().collect();
+    let core = internet.core();
+    let mut traces = Vec::new();
+    if ips.is_empty() || per_vantage == 0 {
+        return traces;
+    }
+    for vantage in internet.vantages() {
+        let count = per_vantage.min(ips.len());
+        let stride = (ips.len() / count).max(1);
+        let offset = (splitmix64(internet.scale.seed ^ 0x17ace ^ u64::from(vantage.id.0))
+            % stride as u64) as usize;
+        for index in (offset..ips.len()).step_by(stride).take(count) {
+            let dst = ips[index];
+            let Some(dst_as) = core.as_of_ip(dst) else {
+                continue;
+            };
+            let Some(as_path) = core.as_path(vantage.as_id, dst_as) else {
+                continue;
+            };
+            let Some(route) = core.expand_path(&as_path, dst) else {
+                continue;
+            };
+            traces.push(TraceRecord {
+                src_as: vantage.as_id,
+                dst_as,
+                src: vantage.src_ip,
+                dst,
+                hops: route.hops.iter().map(|hop| Some(hop.ingress)).collect(),
+                reached: true,
+            });
+        }
+    }
+    traces
+}
+
 /// Pairwise overlap |A ∩ B| / |A ∪ B| between two IP sets (the snapshot
 /// stability metric of §3.2).
 pub fn ip_overlap(a: &BTreeSet<Ipv4Addr>, b: &BTreeSet<Ipv4Addr>) -> f64 {
@@ -307,11 +375,10 @@ mod tests {
                 snapshot.name
             );
             assert!(snapshot.as_count(&internet) > 1);
-            // Router IPs never include a trace destination-as-last-hop.
+            // The §3.2 rule: extraction never *ends* on the destination
+            // (a mid-path destination observation may legitimately stay).
             for trace in &snapshot.traces {
-                for hop in trace.router_hops() {
-                    assert_ne!(hop, trace.dst);
-                }
+                assert_ne!(trace.router_hops().last(), Some(&trace.dst));
             }
         }
     }
@@ -352,6 +419,56 @@ mod tests {
             overlap < 0.6,
             "ITDK should not duplicate the traceroute view: {overlap:.2}"
         );
+    }
+
+    #[test]
+    fn router_hops_drop_only_the_trailing_destination() {
+        let dst = Ipv4Addr::new(10, 9, 9, 9);
+        let a = Ipv4Addr::new(10, 1, 0, 1);
+        let b = Ipv4Addr::new(10, 1, 1, 1);
+        let trace = TraceRecord {
+            src_as: 0,
+            dst_as: 1,
+            src: Ipv4Addr::new(192, 0, 2, 1),
+            dst,
+            hops: vec![Some(a), Some(dst), None, Some(b), Some(dst)],
+            reached: true,
+        };
+        // The mid-path destination observation survives; the trailing one
+        // is dropped per the §3.2 extraction rule.
+        assert_eq!(trace.router_hops(), vec![a, dst, b]);
+        assert_eq!(trace.responsive_hops(), 4);
+        assert_eq!(trace.effective_length(), 5);
+        let timeout_tail = TraceRecord {
+            hops: vec![Some(a), Some(b), None, None],
+            ..trace.clone()
+        };
+        assert_eq!(timeout_tail.router_hops(), vec![a, b]);
+        assert_eq!(timeout_tail.effective_length(), 2);
+        let all_timeouts = TraceRecord {
+            hops: vec![None, None],
+            ..trace
+        };
+        assert_eq!(all_timeouts.effective_length(), 1);
+    }
+
+    #[test]
+    fn derived_itdk_traces_are_routed_and_deterministic() {
+        let internet = internet();
+        let itdk = build_itdk(&internet);
+        let traces = derive_itdk_traces(&internet, &itdk, 8);
+        assert!(!traces.is_empty());
+        for trace in &traces {
+            assert!(trace.reached);
+            assert_eq!(trace.hops.last().copied().flatten(), Some(trace.dst));
+            assert!(itdk.router_ips.contains(&trace.dst));
+        }
+        let again = derive_itdk_traces(&internet, &itdk, 8);
+        assert_eq!(traces.len(), again.len());
+        for (a, b) in traces.iter().zip(&again) {
+            assert_eq!(a.hops, b.hops);
+            assert_eq!(a.dst, b.dst);
+        }
     }
 
     #[test]

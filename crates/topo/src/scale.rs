@@ -97,12 +97,37 @@ impl Scale {
         }
     }
 
+    /// Path-corpus stress preset: a moderate router population probed by
+    /// many vantages with deep destination lists, so the campaign yields
+    /// far more traces per router than `small` does. Collection and
+    /// scanning stay cheap while the path-corpus build (classify, intern
+    /// and index every trace) dominates — the workload
+    /// `BENCH_campaign.json`'s `path_corpus` phase is meant to track.
+    pub fn path_stress() -> Self {
+        Scale {
+            ases: 320,
+            tier1: 5,
+            transit_fraction: 0.2,
+            routers_per_stub: 3.0,
+            routers_per_transit: 16.0,
+            routers_per_tier1: 48.0,
+            vantages: 24,
+            dests_per_vantage: 600,
+            snapshots: 4,
+            snapshot_churn: 0.12,
+            itdk_as_fraction: 0.5,
+            occurrence_threshold: 3,
+            seed: 0x9a7_5c0,
+        }
+    }
+
     /// Parse a preset by name (used by the experiments binary).
     pub fn by_name(name: &str) -> Option<Scale> {
         match name {
             "tiny" => Some(Scale::tiny()),
             "small" => Some(Scale::small()),
             "paper" => Some(Scale::paper()),
+            "path-stress" => Some(Scale::path_stress()),
             _ => None,
         }
     }
@@ -136,7 +161,19 @@ mod tests {
         assert_eq!(Scale::by_name("tiny"), Some(Scale::tiny()));
         assert_eq!(Scale::by_name("small"), Some(Scale::small()));
         assert_eq!(Scale::by_name("paper"), Some(Scale::paper()));
+        assert_eq!(Scale::by_name("path-stress"), Some(Scale::path_stress()));
         assert_eq!(Scale::by_name("galactic"), None);
+    }
+
+    #[test]
+    fn path_stress_emphasises_traces_over_routers() {
+        let stress = Scale::path_stress();
+        let small = Scale::small();
+        let traces = |s: &Scale| s.vantages * s.dests_per_vantage * s.snapshots;
+        // More traces than `small` from a comparable router population:
+        // the corpus build, not the scan, is the dominant phase.
+        assert!(traces(&stress) > 3 * traces(&small));
+        assert!(stress.approx_routers() < 2 * small.approx_routers());
     }
 
     #[test]

@@ -89,6 +89,24 @@ fn parallel_world_build_is_byte_identical_to_serial() {
     }
 }
 
+#[test]
+fn path_corpus_is_invariant_under_shard_count() {
+    // The corpus build fans per-trace classification out through the
+    // zmap-style scanner; its determinism contract means the interning
+    // fold sees the same ordered stream on 1 shard and on 8 — the built
+    // corpora must compare equal field by field, indexes included.
+    use lfp::analysis::path_corpus::PathCorpus;
+    use std::num::NonZeroUsize;
+
+    let world = World::build(Scale::tiny());
+    let single = PathCorpus::build_with_shards(&world, NonZeroUsize::new(1).unwrap());
+    let parallel = PathCorpus::build_with_shards(&world, NonZeroUsize::new(8).unwrap());
+    assert_eq!(single, parallel, "shard count changed the corpus");
+    // The memoised world corpus (default shard budget) matches too.
+    assert_eq!(world.path_corpus(), &single);
+    assert!(!single.is_empty());
+}
+
 /// Strategy for random (full) feature vectors, small domains to force
 /// vendor collisions.
 fn corpus_vector() -> impl Strategy<Value = FeatureVector> {
