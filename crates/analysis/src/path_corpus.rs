@@ -415,7 +415,51 @@ impl PathCorpus {
             .unwrap_or(&[])
     }
 
+    /// Rows whose vantage sits in `src_as` **and** whose destination sits
+    /// in `dst_as` — the AS-pair selection every path-diversity query
+    /// starts from. Computed as a sorted intersection of the two
+    /// per-endpoint indexes (both are built in row order, hence sorted),
+    /// so the cost is linear in the smaller index, not in the corpus.
+    pub fn rows_between(&self, src_as: u32, dst_as: u32) -> Vec<u32> {
+        intersect_sorted(self.rows_from_as(src_as), self.rows_to_as(dst_as))
+    }
+
+    /// Source id of a dataset by name (e.g. `"RIPE-2"`, `"ITDK-derived"`).
+    pub fn source_id(&self, name: &str) -> Option<usize> {
+        self.sources.iter().position(|source| source == name)
+    }
+
+    /// Every source AS with at least one row, ascending (planner and
+    /// load-generator catalogs).
+    pub fn src_as_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.by_src_as.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Every destination AS with at least one row, ascending.
+    pub fn dst_as_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.by_dst_as.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     // -- per-row accessors ------------------------------------------
+
+    /// Source (dataset) id of a row.
+    pub fn source_of(&self, row: u32) -> u16 {
+        self.source[row as usize]
+    }
+
+    /// Router-hop count of a row (the length the `by_length` index keys).
+    pub fn hops_of(&self, row: u32) -> u16 {
+        self.router_hops[row as usize]
+    }
+
+    /// US slice of a row's trace endpoints.
+    pub fn us_slice_of(&self, row: u32) -> UsSlice {
+        self.slice[row as usize]
+    }
 
     /// The run-length encoded hop codes of a row's sequence.
     pub fn runs_of(&self, row: u32) -> &[(u8, u16)] {
@@ -628,6 +672,26 @@ impl PathCorpus {
     }
 }
 
+/// Intersect two ascending row-id slices (the corpus indexes are built in
+/// row order, so every index lookup returns a sorted slice). Linear
+/// two-pointer merge; the planner's only set operation.
+pub fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
 /// Worker: classify one trace into its encoded row. Pure, so the scanner
 /// may run it on any shard.
 fn encode_path(internet: &Internet, item: &TraceItem) -> EncodedPath {
@@ -775,6 +839,57 @@ mod tests {
             .rows_with_length(corpus.router_hops[0])
             .contains(&row));
         assert!(corpus.rows_with_sequence(corpus.seq_id[0]).contains(&row));
+    }
+
+    #[test]
+    fn intersect_sorted_is_set_intersection() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 9], &[2, 3, 4, 5, 10]), [3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[7], &[7]), [7]);
+        assert_eq!(intersect_sorted(&[1, 2], &[3, 4]), Vec::<u32>::new());
+        // One side a strict subset of the other.
+        assert_eq!(intersect_sorted(&[2, 4, 6, 8], &[4, 8]), [4, 8]);
+    }
+
+    #[test]
+    fn rows_between_matches_naive_pair_scan() {
+        let world = crate::world::World::build(lfp_topo::Scale::tiny());
+        let corpus = world.path_corpus();
+        let mut checked_nonempty = 0usize;
+        for &src in corpus.src_as_ids().iter().take(8) {
+            for &dst in corpus.dst_as_ids().iter().take(8) {
+                let fast = corpus.rows_between(src, dst);
+                let naive: Vec<u32> = corpus
+                    .all_rows()
+                    .into_iter()
+                    .filter(|&row| {
+                        corpus.src_as[row as usize] == src && corpus.dst_as[row as usize] == dst
+                    })
+                    .collect();
+                assert_eq!(fast, naive, "pair ({src}, {dst}) diverged");
+                checked_nonempty += usize::from(!fast.is_empty());
+            }
+        }
+        assert!(checked_nonempty > 0, "no AS pair had any path");
+        // Unknown ASes intersect to nothing.
+        assert!(corpus.rows_between(u32::MAX - 1, 0).is_empty());
+    }
+
+    #[test]
+    fn per_row_accessors_expose_the_columns() {
+        let world = crate::world::World::build(lfp_topo::Scale::tiny());
+        let corpus = world.path_corpus();
+        for row in corpus.all_rows() {
+            assert_eq!(corpus.source_of(row), corpus.source[row as usize]);
+            assert_eq!(corpus.hops_of(row), corpus.router_hops[row as usize]);
+            assert_eq!(corpus.us_slice_of(row), corpus.slice[row as usize]);
+        }
+        assert_eq!(
+            corpus.source_id("ITDK-derived"),
+            Some(corpus.derived_source())
+        );
+        assert_eq!(corpus.source_id(&corpus.sources()[0]), Some(0));
+        assert_eq!(corpus.source_id("no-such-dataset"), None);
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! query-bench — load generator for `vendor-queryd`.
+//!
+//! ```text
+//! query-bench [--addr 127.0.0.1:7377] [--connections 8] [--requests 2000]
+//!             [--distinct 64] [--wait-secs 30]
+//!             [--bench-json BENCH_campaign.json] [--shutdown]
+//! ```
+//!
+//! Connects to a running daemon (retrying until `--wait-secs`, so it can
+//! start in parallel with the daemon's world build), bootstraps a
+//! deterministic query mix from the daemon's `catalog` answer, warms the
+//! result cache with one pass over the distinct queries, then drives
+//! `--connections` concurrent client connections issuing `--requests`
+//! queries each and reports throughput and latency percentiles.
+//!
+//! Results land in `BENCH_campaign.json` as a `query_engine` phase:
+//! the file is parsed (if present), the top-level `query_engine` object
+//! is inserted or replaced, and `phases_seconds.query_engine` is set so
+//! the serving layer shows up next to the campaign phases.
+
+use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr = "127.0.0.1:7377".to_string();
+    let mut connections = 8usize;
+    let mut requests = 2000usize;
+    let mut distinct = 64usize;
+    let mut wait_secs = 30u64;
+    let mut bench_json = "BENCH_campaign.json".to_string();
+    let mut shutdown = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = args
+                    .next()
+                    .unwrap_or_else(|| usage("--addr needs host:port"))
+            }
+            "--connections" => connections = parse_number(args.next(), "--connections"),
+            "--requests" => requests = parse_number(args.next(), "--requests"),
+            "--distinct" => distinct = parse_number(args.next(), "--distinct"),
+            "--wait-secs" => wait_secs = parse_number(args.next(), "--wait-secs"),
+            "--bench-json" => {
+                bench_json = args
+                    .next()
+                    .unwrap_or_else(|| usage("--bench-json needs a path"))
+            }
+            "--shutdown" => shutdown = true,
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let connections = connections.max(1);
+    let distinct = distinct.max(1);
+
+    // -- bootstrap: wait for the daemon, fetch the catalog ------------
+    let mut probe = connect_with_retry(&addr, Duration::from_secs(wait_secs));
+    let catalog = request(&mut probe, "{\"query\":\"catalog\"}")
+        .unwrap_or_else(|error| fail(&format!("catalog query failed: {error}")));
+    let catalog =
+        parse(&catalog).unwrap_or_else(|error| fail(&format!("bad catalog JSON: {error}")));
+    if catalog.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+        fail(&format!("catalog refused: {}", catalog.render()));
+    }
+    let result = catalog.get("result").unwrap_or(&JsonValue::Null);
+    let mix = build_mix(result, distinct);
+    eprintln!(
+        "driving {addr}: {} distinct queries × {connections} connections × {requests} requests",
+        mix.len()
+    );
+
+    // -- warm pass: every distinct query once -------------------------
+    let mut warm_errors = 0usize;
+    for line in &mix {
+        match request(&mut probe, line) {
+            Ok(reply) if reply.contains("\"ok\": true") => {}
+            _ => warm_errors += 1,
+        }
+    }
+    if warm_errors > 0 {
+        eprintln!("warning: {warm_errors} queries failed during warm-up");
+    }
+
+    // -- timed run ----------------------------------------------------
+    let timed_start = Instant::now();
+    let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|worker| {
+                let mix = &mix;
+                let addr = &addr;
+                scope.spawn(move || drive_worker(addr, mix, worker, requests))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("load worker panicked"))
+            .collect()
+    });
+    let seconds = timed_start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(connections * requests);
+    let (mut ok, mut cached, mut errors) = (0u64, 0u64, 0u64);
+    for result in &worker_results {
+        latencies.extend(&result.latencies_us);
+        ok += result.ok;
+        cached += result.cached;
+        errors += result.errors;
+    }
+    latencies.sort_unstable();
+    let total = ok + errors;
+    let qps = total as f64 / seconds.max(1e-9);
+    let hit_percent = cached as f64 * 100.0 / ok.max(1) as f64;
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let index = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[index]
+    };
+    let (p50, p90, p99, max) = (
+        percentile(0.50),
+        percentile(0.90),
+        percentile(0.99),
+        percentile(1.0),
+    );
+
+    println!(
+        "query_engine: {total} queries in {seconds:.2}s → {qps:.0} q/s \
+         (p50 {p50}µs, p90 {p90}µs, p99 {p99}µs, max {max}µs, \
+         {hit_percent:.1}% cache hits, {errors} errors)"
+    );
+
+    write_bench_phase(
+        &bench_json,
+        connections,
+        total,
+        seconds,
+        qps,
+        (p50, p90, p99, max),
+        hit_percent,
+        errors,
+    );
+
+    if shutdown {
+        let _ = request(&mut probe, "{\"query\":\"shutdown\"}");
+        eprintln!("sent shutdown");
+    }
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: query-bench [--addr HOST:PORT] [--connections N] [--requests N] \
+         [--distinct N] [--wait-secs N] [--bench-json PATH] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("query-bench: {message}");
+    std::process::exit(1);
+}
+
+fn parse_number<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    value
+        .and_then(|text| text.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+}
+
+/// A connected client: line-buffered reader + writer over one stream.
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn connect(addr: &str) -> std::io::Result<Connection> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok(Connection {
+        reader,
+        writer: BufWriter::new(stream),
+    })
+}
+
+fn connect_with_retry(addr: &str, timeout: Duration) -> Connection {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match connect(addr) {
+            Ok(connection) => return connection,
+            Err(error) => {
+                if Instant::now() >= deadline {
+                    fail(&format!(
+                        "cannot connect to {addr} within {timeout:?}: {error}"
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// One request/response round trip.
+fn request(connection: &mut Connection, line: &str) -> Result<String, String> {
+    writeln!(connection.writer, "{line}")
+        .and_then(|()| connection.writer.flush())
+        .map_err(|error| format!("send: {error}"))?;
+    let mut reply = String::new();
+    match connection.reader.read_line(&mut reply) {
+        Ok(0) => Err("connection closed".to_string()),
+        Ok(_) => Ok(reply.trim_end().to_string()),
+        Err(error) => Err(format!("recv: {error}")),
+    }
+}
+
+/// Build a deterministic request mix from the daemon's catalog: every
+/// query kind, cycling through the advertised AS ids, sources, regions
+/// and slices. Deterministic so reruns are comparable and so the warm
+/// pass covers exactly the timed working set.
+fn build_mix(catalog: &JsonValue, distinct: usize) -> Vec<String> {
+    let numbers = |key: &str| -> Vec<u64> {
+        catalog
+            .get(key)
+            .and_then(JsonValue::as_array)
+            .map(|items| items.iter().filter_map(JsonValue::as_u64).collect())
+            .unwrap_or_default()
+    };
+    let strings = |key: &str| -> Vec<String> {
+        catalog
+            .get(key)
+            .and_then(JsonValue::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(JsonValue::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let src_ases = numbers("src_ases");
+    let dst_ases = numbers("dst_ases");
+    let sources = strings("sources");
+    let regions = strings("regions");
+    let slices = strings("slices");
+    if src_ases.is_empty() || dst_ases.is_empty() {
+        fail("catalog advertised no AS ids to query");
+    }
+
+    let pick = |items: &[u64], index: usize| items[index % items.len()];
+    let pick_str = |items: &[String], index: usize| items[index % items.len()].clone();
+    let mut mix = Vec::with_capacity(distinct);
+    for index in 0..distinct {
+        let line = match index % 6 {
+            0 => format!(
+                "{{\"query\":\"vendor_mix\",\"as\":{}}}",
+                pick(&src_ases, index / 6)
+            ),
+            1 if !regions.is_empty() => format!(
+                "{{\"query\":\"vendor_mix\",\"region\":\"{}\",\"method\":\"{}\"}}",
+                pick_str(&regions, index / 6),
+                if index % 2 == 0 { "lfp" } else { "snmp" },
+            ),
+            2 => format!(
+                "{{\"query\":\"path_diversity\",\"src_as\":{},\"dst_as\":{}}}",
+                pick(&src_ases, index / 6),
+                pick(&dst_ases, index / 3),
+            ),
+            3 if !sources.is_empty() => format!(
+                "{{\"query\":\"transitions\",\"source\":\"{}\"}}",
+                pick_str(&sources, index / 6)
+            ),
+            4 if !slices.is_empty() => format!(
+                "{{\"query\":\"longest_runs\",\"slice\":\"{}\"}}",
+                pick_str(&slices, index / 6)
+            ),
+            _ => format!(
+                "{{\"query\":\"path_diversity\",\"src_as\":{},\"dst_as\":{},\"min_hops\":{}}}",
+                pick(&src_ases, index / 2),
+                pick(&dst_ases, index / 4),
+                2 + index % 4,
+            ),
+        };
+        mix.push(line);
+    }
+    mix
+}
+
+struct WorkerResult {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    cached: u64,
+    errors: u64,
+}
+
+/// One timed connection: `requests` sequential round trips over the
+/// shared mix, phase-shifted per worker so connections interleave
+/// different queries.
+fn drive_worker(addr: &str, mix: &[String], worker: usize, requests: usize) -> WorkerResult {
+    let mut result = WorkerResult {
+        latencies_us: Vec::with_capacity(requests),
+        ok: 0,
+        cached: 0,
+        errors: 0,
+    };
+    let mut connection = match connect(addr) {
+        Ok(connection) => connection,
+        Err(_) => {
+            result.errors = requests as u64;
+            return result;
+        }
+    };
+    for index in 0..requests {
+        let line = &mix[(worker * 7 + index) % mix.len()];
+        let start = Instant::now();
+        match request(&mut connection, line) {
+            Ok(reply) if reply.contains("\"ok\": true") => {
+                result.latencies_us.push(start.elapsed().as_micros() as u64);
+                result.ok += 1;
+                if reply.contains("\"cached\": true") {
+                    result.cached += 1;
+                }
+            }
+            _ => result.errors += 1,
+        }
+    }
+    result
+}
+
+/// Insert/replace the `query_engine` phase in the bench artefact,
+/// preserving whatever the `experiments` binary already wrote there.
+#[allow(clippy::too_many_arguments)]
+fn write_bench_phase(
+    path: &str,
+    connections: usize,
+    queries: u64,
+    seconds: f64,
+    qps: f64,
+    (p50, p90, p99, max): (u64, u64, u64, u64),
+    hit_percent: f64,
+    errors: u64,
+) {
+    let mut latency = JsonBuilder::object();
+    latency.integer("p50", p50);
+    latency.integer("p90", p90);
+    latency.integer("p99", p99);
+    latency.integer("max", max);
+    let mut phase = JsonBuilder::object();
+    phase.integer("connections", connections as u64);
+    phase.integer("queries", queries);
+    phase.number("seconds", seconds);
+    phase.number("qps", qps);
+    phase.raw("latency_us", latency.finish());
+    phase.number("cache_hit_percent", hit_percent);
+    phase.integer("errors", errors);
+    let phase = parse(&phase.finish()).expect("phase JSON is valid");
+
+    let mut document = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| parse(&text).ok())
+        .unwrap_or_else(|| {
+            let mut fresh = JsonBuilder::object();
+            fresh.string("artifact", "BENCH_campaign");
+            parse(&fresh.finish()).expect("fresh JSON is valid")
+        });
+    if document.set("query_engine", phase.clone()).is_none() {
+        eprintln!("warning: {path} is not a JSON object; rewriting it");
+        let mut fresh = JsonBuilder::object();
+        fresh.string("artifact", "BENCH_campaign");
+        document = parse(&fresh.finish()).expect("fresh JSON is valid");
+        document.set("query_engine", phase);
+    }
+    // Mirror the wall-clock into phases_seconds so the serving layer
+    // lines up with the campaign phases.
+    if let Some(phases) = document.get("phases_seconds") {
+        let mut phases = phases.clone();
+        phases.set("query_engine", JsonValue::Number(seconds));
+        document.set("phases_seconds", phases);
+    }
+
+    // Pretty top level (one field per line), like the experiments bin.
+    let mut rendered = JsonBuilder::object();
+    if let Some(fields) = document.as_object() {
+        for (key, value) in fields {
+            rendered.raw(key, value.render());
+        }
+    }
+    std::fs::write(path, rendered.finish_pretty() + "\n").expect("write bench json");
+    eprintln!("wrote query_engine phase to {path}");
+}

@@ -1,0 +1,242 @@
+//! vendor-queryd — serve vendor-intelligence queries over TCP.
+//!
+//! ```text
+//! vendor-queryd [--scale tiny|small|paper|path-stress|query-stress]
+//!               [--addr 127.0.0.1] [--port 7377]
+//!               [--cache-shards N] [--cache-capacity N]
+//! ```
+//!
+//! Builds one fully measured `World` at the requested scale, wraps it in
+//! an `lfp_query::QueryEngine`, and serves the line protocol (see
+//! `lfp_query::wire`): one JSON query per line in, one JSON result per
+//! line out, one thread per connection, all connections sharing the
+//! engine's result cache. `--port 0` binds an ephemeral port; the
+//! `listening on` line printed to stdout carries the actual address.
+//!
+//! Two control lines exist beyond the query grammar:
+//! `{"query": "shutdown"}` stops the daemon (after acknowledging), and
+//! an EOF or `quit` line ends one connection.
+
+use lfp_analysis::json::parse;
+use lfp_analysis::World;
+use lfp_query::{wire, QueryEngine};
+use lfp_topo::Scale;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut scale = Scale::query_stress();
+    let mut scale_name = "query-stress".to_string();
+    let mut addr = "127.0.0.1".to_string();
+    let mut port = 7377u16;
+    let mut cache_shards = 16usize;
+    let mut cache_capacity = 4096usize;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().unwrap_or_default();
+                scale = Scale::by_name(&value).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown scale '{value}' (tiny|small|paper|path-stress|query-stress)"
+                    );
+                    std::process::exit(2);
+                });
+                scale_name = value;
+            }
+            "--addr" => addr = args.next().unwrap_or_else(|| usage("--addr needs a host")),
+            "--port" => port = parse_number(args.next(), "--port"),
+            "--cache-shards" => cache_shards = parse_number(args.next(), "--cache-shards"),
+            "--cache-capacity" => cache_capacity = parse_number(args.next(), "--cache-capacity"),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    eprintln!(
+        "building world at scale '{scale_name}' (~{} routers)…",
+        scale.approx_routers()
+    );
+    let build_start = Instant::now();
+    let world = World::build(scale);
+    let engine = QueryEngine::with_cache(&world, cache_shards, cache_capacity);
+    eprintln!(
+        "world + engine ready in {:.1}s ({} paths, {} sequences)",
+        build_start.elapsed().as_secs_f64(),
+        engine.corpus().len(),
+        engine.corpus().distinct_sequences(),
+    );
+
+    let listener = TcpListener::bind((addr.as_str(), port)).unwrap_or_else(|error| {
+        eprintln!("cannot bind {addr}:{port}: {error}");
+        std::process::exit(1);
+    });
+    let local = listener.local_addr().expect("bound socket has an address");
+    // The readiness line clients and CI wait for — keep it stable.
+    println!(
+        "vendor-queryd listening on {local} (scale {scale_name}, {} paths)",
+        engine.corpus().len()
+    );
+    std::io::stdout().flush().ok();
+
+    std::thread::scope(|scope| {
+        for connection in listener.incoming() {
+            match connection {
+                Ok(stream) => {
+                    let engine = &engine;
+                    scope.spawn(move || serve_connection(stream, engine));
+                }
+                Err(error) => eprintln!("accept failed: {error}"),
+            }
+        }
+    });
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: vendor-queryd [--scale NAME] [--addr HOST] [--port N] \
+         [--cache-shards N] [--cache-capacity N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_number<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    value
+        .and_then(|text| text.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+}
+
+/// Longest request line a connection may send. Far above any legal
+/// query, far below anything that could pressure memory — a client
+/// streaming an endless line must not buffer unbounded bytes before
+/// validation even runs.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// One bounded protocol line: `Line` (newline stripped), `TooLong`
+/// (the oversized line was consumed and discarded), or `Eof`.
+enum LineRead {
+    Line(String),
+    TooLong,
+    Eof,
+}
+
+/// Read one `\n`-terminated line without ever holding more than
+/// `MAX_LINE_BYTES` of it (`BufReader::lines` would buffer the whole
+/// line first).
+fn read_bounded_line<R: BufRead>(reader: &mut R) -> std::io::Result<LineRead> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let buffer = reader.fill_buf()?;
+        if buffer.is_empty() {
+            // EOF: a partial unterminated line is not a request.
+            return Ok(if overflow {
+                LineRead::TooLong
+            } else if line.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&line).into_owned())
+            });
+        }
+        match buffer.iter().position(|&byte| byte == b'\n') {
+            Some(newline) => {
+                if !overflow {
+                    line.extend_from_slice(&buffer[..newline]);
+                }
+                reader.consume(newline + 1);
+                return Ok(if overflow || line.len() > MAX_LINE_BYTES {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line(String::from_utf8_lossy(&line).into_owned())
+                });
+            }
+            None => {
+                if !overflow {
+                    line.extend_from_slice(buffer);
+                    if line.len() > MAX_LINE_BYTES {
+                        overflow = true;
+                        line = Vec::new();
+                    }
+                }
+                let consumed = buffer.len();
+                reader.consume(consumed);
+            }
+        }
+    }
+}
+
+/// One connection: read a line, answer a line, until EOF/`quit`.
+fn serve_connection(stream: TcpStream, engine: &QueryEngine<'_>) {
+    // One request per round trip: Nagle would add 40ms to every answer.
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let line = match read_bounded_line(&mut reader) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::TooLong) => {
+                // Oversized input is hostile or broken either way; answer
+                // once and drop the connection rather than resynchronise.
+                let reply =
+                    wire::error_envelope(&format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                let _ = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+                break;
+            }
+            Ok(LineRead::Eof) | Err(_) => break,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" {
+            break;
+        }
+        let (reply, shutdown) = respond(line, engine);
+        if writeln!(writer, "{reply}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if shutdown {
+            let stats = engine.cache_stats();
+            eprintln!(
+                "shutdown requested ({} cache entries, {} hits / {} misses)",
+                stats.entries, stats.hits, stats.misses
+            );
+            std::process::exit(0);
+        }
+    }
+}
+
+/// Answer one protocol line. The bool asks the caller to exit the
+/// process (the `shutdown` control query) after the reply is flushed.
+fn respond(line: &str, engine: &QueryEngine<'_>) -> (String, bool) {
+    let value = match parse(line) {
+        Ok(value) => value,
+        Err(error) => {
+            return (
+                wire::error_envelope(&format!("invalid JSON: {error}")),
+                false,
+            )
+        }
+    };
+    if value.get("query").and_then(|field| field.as_str()) == Some("shutdown") {
+        return (
+            "{\"ok\": true, \"result\": \"shutting down\"}".to_string(),
+            true,
+        );
+    }
+    match wire::decode_value(&value) {
+        Ok(query) => match engine.execute(&query) {
+            Ok(response) => (wire::ok_envelope(&query.canonical(), &response), false),
+            Err(error) => (wire::error_envelope(&error), false),
+        },
+        Err(error) => (wire::error_envelope(&error), false),
+    }
+}

@@ -1,0 +1,122 @@
+//! Batch execution: fan independent queries across a worker pool with
+//! deterministic result ordering.
+//!
+//! Reuses the zmap-style sharded scanner ([`lfp_net::scanner::scan`])
+//! rather than growing a second thread pool: queries shard by the hash
+//! of their canonical form, equal queries therefore serialise onto one
+//! worker (the second one hits the cache instead of racing the first),
+//! and the scanner's determinism contract returns results in submission
+//! order — so a concurrent batch is **byte-identical** to executing the
+//! same queries serially (asserted by `tests/determinism.rs`).
+
+use crate::engine::{QueryEngine, Response};
+use crate::query::Query;
+use lfp_net::scanner::{scan, ScanConfig};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::num::NonZeroUsize;
+
+/// Stable shard key: hash of the canonical query.
+fn shard_key(query: &Query) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    query.canonical().hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Execute a batch across `shards` workers. Results come back in
+/// submission order; each entry is the same `Ok`/`Err` the query would
+/// produce alone.
+pub fn run_batch_with_shards(
+    engine: &QueryEngine<'_>,
+    queries: &[Query],
+    shards: NonZeroUsize,
+) -> Vec<Result<Response, String>> {
+    let config = ScanConfig {
+        shards,
+        pacing: 0.0,
+    };
+    scan(queries, config, shard_key, |query, _ctx| {
+        engine.execute(query)
+    })
+}
+
+/// Execute a batch with the default shard budget (one worker per core).
+pub fn run_batch(engine: &QueryEngine<'_>, queries: &[Query]) -> Vec<Result<Response, String>> {
+    run_batch_with_shards(engine, queries, ScanConfig::default().shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Selection;
+    use crate::testutil::shared_world;
+
+    #[test]
+    fn batch_results_keep_submission_order_and_match_serial() {
+        let engine = QueryEngine::new(shared_world());
+        let src = engine.corpus().src_as_ids();
+        let queries: Vec<Query> = src
+            .iter()
+            .take(6)
+            .map(|&as_id| Query::PathDiversity {
+                selection: Selection {
+                    src_as: Some(as_id),
+                    ..Selection::default()
+                },
+            })
+            .chain([
+                Query::Catalog,
+                Query::LongestRuns {
+                    selection: Selection::default(),
+                },
+            ])
+            .collect();
+        let batch = run_batch_with_shards(&engine, &queries, NonZeroUsize::new(4).unwrap());
+        assert_eq!(batch.len(), queries.len());
+        // Fresh engine → no cache interference for the serial reference.
+        let reference = QueryEngine::new(shared_world());
+        for (query, result) in queries.iter().zip(&batch) {
+            let serial = reference.execute_uncached(query).unwrap();
+            assert_eq!(
+                &*result.as_ref().unwrap().payload,
+                serial,
+                "{} diverged",
+                query.canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_queries_in_one_batch_share_work() {
+        let engine = QueryEngine::new(shared_world());
+        let query = Query::Transitions {
+            selection: Selection::default(),
+        };
+        let queries = vec![query.clone(), query.clone(), query];
+        let results = run_batch(&engine, &queries);
+        // Duplicates shard together, so at most one cold execution.
+        let cold = results
+            .iter()
+            .filter(|result| !result.as_ref().unwrap().cached)
+            .count();
+        assert_eq!(cold, 1);
+        assert_eq!(engine.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn batch_propagates_per_query_errors() {
+        let engine = QueryEngine::new(shared_world());
+        let queries = vec![
+            Query::Catalog,
+            Query::LongestRuns {
+                selection: Selection {
+                    source: Some("missing".to_string()),
+                    ..Selection::default()
+                },
+            },
+        ];
+        let results = run_batch(&engine, &queries);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+    }
+}

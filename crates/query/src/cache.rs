@@ -1,0 +1,290 @@
+//! A sharded LRU result cache keyed by canonical query strings.
+//!
+//! The serving hot path is "same question, again": interactive clients
+//! and dashboards re-ask a small working set of queries far more often
+//! than the corpus changes (it never changes — a [`World`] is
+//! immutable), so a hit must cost a hash, one shard lock and an `Arc`
+//! clone. Keys are sharded by hash so concurrent connections contend on
+//! `shards` independent mutexes instead of one; within a shard, an
+//! intrusive doubly-linked list over a slab gives O(1) get / insert /
+//! evict. Values are the **rendered result bytes** (`Arc<str>`), which
+//! is what makes the cache-hit-equals-cold-execution property testable
+//! byte for byte.
+//!
+//! [`World`]: lfp_analysis::World
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Slab sentinel: no node.
+const NIL: usize = usize::MAX;
+
+/// Hit/miss counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to execution.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in [0, 1] (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Node {
+    key: String,
+    value: Arc<str>,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a hash map into a slab of intrusively linked nodes,
+/// most-recently-used at `head`.
+struct Shard {
+    map: HashMap<String, usize>,
+    nodes: Vec<Node>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, index: usize) {
+        let (prev, next) = (self.nodes[index].prev, self.nodes[index].next);
+        match prev {
+            NIL => self.head = next,
+            _ => self.nodes[prev].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            _ => self.nodes[next].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, index: usize) {
+        self.nodes[index].prev = NIL;
+        self.nodes[index].next = self.head;
+        match self.head {
+            NIL => self.tail = index,
+            old => self.nodes[old].prev = index,
+        }
+        self.head = index;
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<str>> {
+        let index = *self.map.get(key)?;
+        self.unlink(index);
+        self.push_front(index);
+        Some(Arc::clone(&self.nodes[index].value))
+    }
+
+    fn insert(&mut self, key: &str, value: Arc<str>) {
+        if let Some(&index) = self.map.get(key) {
+            self.nodes[index].value = value;
+            self.unlink(index);
+            self.push_front(index);
+            return;
+        }
+        let index = if self.nodes.len() < self.capacity {
+            self.nodes.push(Node {
+                key: key.to_string(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        } else {
+            // Evict the least-recently-used node and reuse its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = std::mem::replace(&mut self.nodes[victim].key, key.to_string());
+            self.map.remove(&old_key);
+            self.nodes[victim].value = value;
+            victim
+        };
+        self.map.insert(key.to_string(), index);
+        self.push_front(index);
+    }
+}
+
+/// The sharded LRU. Cheap to share by reference across worker threads;
+/// all interior mutability is per-shard.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedLru {
+    /// A cache of `shards` independent LRU shards holding up to
+    /// `capacity` entries **in total** (capacity is split evenly; at
+    /// least one entry per shard).
+    pub fn new(shards: usize, capacity: usize) -> ShardedLru {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
+        // DefaultHasher with default keys is deterministic across runs,
+        // so shard placement (and therefore eviction behaviour) is too.
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Look a key up, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        let result = self
+            .shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Insert (or refresh) a key.
+    pub fn insert(&self, key: &str, value: Arc<str>) {
+        self.shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|shard| shard.lock().expect("cache shard poisoned").map.len())
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(text: &str) -> Arc<str> {
+        Arc::from(text)
+    }
+
+    #[test]
+    fn hit_returns_inserted_value_and_counts() {
+        let cache = ShardedLru::new(4, 64);
+        assert!(cache.get("a").is_none());
+        cache.insert("a", value("1"));
+        assert_eq!(cache.get("a").as_deref(), Some("1"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_replaces_existing_value() {
+        let cache = ShardedLru::new(2, 8);
+        cache.insert("k", value("old"));
+        cache.insert("k", value("new"));
+        assert_eq!(cache.get("k").as_deref(), Some("new"));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        // Single shard so the eviction order is fully observable.
+        let cache = ShardedLru::new(1, 3);
+        cache.insert("a", value("A"));
+        cache.insert("b", value("B"));
+        cache.insert("c", value("C"));
+        // Touch `a` so `b` becomes the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.insert("d", value("D"));
+        assert!(cache.get("b").is_none(), "b should have been evicted");
+        for key in ["a", "c", "d"] {
+            assert!(cache.get(key).is_some(), "{key} should survive");
+        }
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn eviction_churn_keeps_capacity_and_consistency() {
+        let cache = ShardedLru::new(1, 4);
+        for round in 0..100u32 {
+            let key = format!("k{}", round % 10);
+            cache.insert(&key, value(&round.to_string()));
+            // The most recent insert is always resident.
+            assert!(cache.get(&key).is_some());
+            assert!(cache.stats().entries <= 4);
+        }
+    }
+
+    #[test]
+    fn shards_share_total_capacity() {
+        let cache = ShardedLru::new(8, 16);
+        for index in 0..200u32 {
+            cache.insert(&format!("key-{index}"), value("x"));
+        }
+        // Each of the 8 shards holds at most ceil(16/8) = 2 entries.
+        assert!(cache.stats().entries <= 16);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_converges() {
+        let cache = ShardedLru::new(4, 128);
+        std::thread::scope(|scope| {
+            for worker in 0..8 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for index in 0..500 {
+                        let key = format!("k{}", (worker + index) % 64);
+                        if cache.get(&key).is_none() {
+                            cache.insert(&key, value(&key));
+                        }
+                    }
+                });
+            }
+        });
+        for index in 0..64 {
+            let key = format!("k{index}");
+            assert_eq!(cache.get(&key).as_deref(), Some(key.as_str()));
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! The query engine: plan → execute → render → cache.
+//!
+//! A [`QueryEngine`] borrows a measured [`World`] (and its memoised
+//! [`PathCorpus`]), pre-aggregates the per-AS vendor counts the
+//! vendor-mix queries read, and serves every query as rendered JSON
+//! bytes. Execution is deterministic — a pure function of the world and
+//! the query — so the cache may return stored bytes without changing any
+//! observable result (property-tested in `tests/determinism.rs`).
+
+use crate::cache::{CacheStats, ShardedLru};
+use crate::plan::select_rows;
+use crate::query::{method_name, slice_name, Query};
+use lfp_analysis::homogeneity::per_as_vendor_counts;
+use lfp_analysis::json::{escape, number, JsonBuilder};
+use lfp_analysis::path_corpus::{LabelSource, PathCorpus};
+use lfp_analysis::World;
+use lfp_stack::vendor::Vendor;
+use lfp_topo::Continent;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How many vendor combinations a path-diversity answer ranks.
+const TOP_SETS: usize = 5;
+
+/// How many sample AS ids a catalog answer lists per endpoint.
+const CATALOG_SAMPLE: usize = 24;
+
+/// One answered query.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The rendered result object (compact JSON, one line).
+    pub payload: Arc<str>,
+    /// Whether the payload came from the result cache.
+    pub cached: bool,
+}
+
+/// The serving engine. Shareable by reference across worker threads and
+/// connection handlers (all interior mutability lives in the cache).
+pub struct QueryEngine<'w> {
+    world: &'w World,
+    corpus: &'w PathCorpus,
+    /// AS → vendor → identified-router count, per identification method,
+    /// over the latest RIPE snapshot (the paper's §5 dataset).
+    per_as_lfp: BTreeMap<u32, BTreeMap<Vendor, usize>>,
+    per_as_snmp: BTreeMap<u32, BTreeMap<Vendor, usize>>,
+    cache: ShardedLru,
+}
+
+impl<'w> QueryEngine<'w> {
+    /// Default cache geometry: 16 shards, 4096 resident results.
+    pub fn new(world: &'w World) -> QueryEngine<'w> {
+        Self::with_cache(world, 16, 4096)
+    }
+
+    /// Build with explicit cache geometry. Triggers the world's corpus
+    /// build (memoised) and one classification pass for the vendor-mix
+    /// aggregates; both are shared with every other consumer of the
+    /// world.
+    pub fn with_cache(world: &'w World, shards: usize, capacity: usize) -> QueryEngine<'w> {
+        let corpus = world.path_corpus();
+        let (snapshot, scan) = world.latest_ripe();
+        let targets: Vec<_> = snapshot.router_ips.iter().copied().collect();
+        let per_as_lfp =
+            per_as_vendor_counts(&world.internet, &targets, &world.lfp_vendor_map(scan));
+        let per_as_snmp =
+            per_as_vendor_counts(&world.internet, &targets, &world.snmp_vendor_map(scan));
+        QueryEngine {
+            world,
+            corpus,
+            per_as_lfp,
+            per_as_snmp,
+            cache: ShardedLru::new(shards, capacity),
+        }
+    }
+
+    /// The corpus this engine serves (for catalogs and tests).
+    pub fn corpus(&self) -> &PathCorpus {
+        self.corpus
+    }
+
+    /// Cache counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Answer one query: cache lookup by canonical key, else compute,
+    /// render and store. Errors (unknown source dataset) are not cached.
+    pub fn execute(&self, query: &Query) -> Result<Response, String> {
+        let key = query.canonical();
+        if let Some(payload) = self.cache.get(&key) {
+            return Ok(Response {
+                payload,
+                cached: true,
+            });
+        }
+        let payload: Arc<str> = Arc::from(self.compute(query)?);
+        self.cache.insert(&key, Arc::clone(&payload));
+        Ok(Response {
+            payload,
+            cached: false,
+        })
+    }
+
+    /// Cold execution, bypassing the cache entirely (reference path for
+    /// the determinism tests and benches).
+    pub fn execute_uncached(&self, query: &Query) -> Result<String, String> {
+        self.compute(query)
+    }
+
+    fn compute(&self, query: &Query) -> Result<String, String> {
+        match query {
+            Query::VendorMixAs { as_id, method } => Ok(self.vendor_mix(
+                &format!("as:{as_id}"),
+                *method,
+                |candidate| candidate == *as_id,
+            )),
+            Query::VendorMixRegion { region, method } => Ok(self.vendor_mix(
+                &format!("region:{}", region.abbrev()),
+                *method,
+                |candidate| self.world.internet.continent_of(candidate) == *region,
+            )),
+            Query::PathDiversity { selection } => {
+                let plan = select_rows(self.corpus, selection)?;
+                Ok(self.path_diversity(&plan.rows, &plan.explain))
+            }
+            Query::Transitions { selection } => {
+                let plan = select_rows(self.corpus, selection)?;
+                Ok(self.transitions(&plan.rows, &plan.explain))
+            }
+            Query::LongestRuns { selection } => {
+                let plan = select_rows(self.corpus, selection)?;
+                Ok(self.longest_runs(&plan.rows, &plan.explain))
+            }
+            Query::Catalog => Ok(self.catalog()),
+        }
+    }
+
+    fn counts_for(&self, method: LabelSource) -> &BTreeMap<u32, BTreeMap<Vendor, usize>> {
+        match method {
+            LabelSource::Lfp => &self.per_as_lfp,
+            LabelSource::Snmp => &self.per_as_snmp,
+        }
+    }
+
+    fn vendor_mix<F: Fn(u32) -> bool>(
+        &self,
+        group: &str,
+        method: LabelSource,
+        include_as: F,
+    ) -> String {
+        // Aggregate matching ASes (one AS for as:N, a continent's worth
+        // for region:XX). BTreeMaps keep iteration deterministic.
+        let mut totals: BTreeMap<Vendor, usize> = BTreeMap::new();
+        let mut ases = 0usize;
+        for (&as_id, vendors) in self.counts_for(method) {
+            if !include_as(as_id) {
+                continue;
+            }
+            ases += 1;
+            for (&vendor, &count) in vendors {
+                *totals.entry(vendor).or_default() += count;
+            }
+        }
+        let routers: usize = totals.values().sum();
+        let mut ranked: Vec<(Vendor, usize)> = totals.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.name().cmp(b.0.name())));
+        let mut json = JsonBuilder::object();
+        json.string("group", group);
+        json.string("method", method_name(method));
+        json.integer("ases", ases as u64);
+        json.integer("routers", routers as u64);
+        json.raw_array(
+            "vendors",
+            ranked.into_iter().map(|(vendor, count)| {
+                format!(
+                    "[\"{}\", {count}, {}]",
+                    escape(vendor.name()),
+                    number(count as f64 * 100.0 / routers.max(1) as f64)
+                )
+            }),
+        );
+        json.finish()
+    }
+
+    fn path_diversity(&self, rows: &[u32], explain: &str) -> String {
+        let corpus = self.corpus;
+        let identified = corpus.identified_paths(rows);
+        let single = corpus.count_set_size(rows, 1);
+        let multi = identified.saturating_sub(single);
+        let mean = corpus
+            .vendors_per_path_ecdf(rows)
+            .mean()
+            .unwrap_or(f64::NAN);
+        let mut json = JsonBuilder::object();
+        json.integer("paths", rows.len() as u64);
+        json.integer("identified_paths", identified as u64);
+        json.number("mean_vendors", mean);
+        json.integer("multi_vendor_paths", multi as u64);
+        json.number(
+            "multi_vendor_percent",
+            multi as f64 * 100.0 / identified.max(1) as f64,
+        );
+        json.integer(
+            "distinct_vendor_sets",
+            corpus.distinct_vendor_sets(rows) as u64,
+        );
+        json.raw_array(
+            "top_sets",
+            corpus
+                .top_vendor_combinations(rows, TOP_SETS)
+                .into_iter()
+                .map(|(label, share, count)| {
+                    format!("[\"{}\", {count}, {}]", escape(&label), number(share))
+                }),
+        );
+        json.string("plan", explain);
+        json.finish()
+    }
+
+    fn transitions(&self, rows: &[u32], explain: &str) -> String {
+        let matrix = self.corpus.transition_matrix(rows);
+        let handoffs: usize = matrix.values().sum();
+        let kept: usize = matrix
+            .iter()
+            .filter(|((from, to), _)| from == to)
+            .map(|(_, &count)| count)
+            .sum();
+        let mut json = JsonBuilder::object();
+        json.integer("paths", rows.len() as u64);
+        json.integer("handoffs", handoffs as u64);
+        json.number(
+            "custody_kept_percent",
+            kept as f64 * 100.0 / handoffs.max(1) as f64,
+        );
+        json.raw_array(
+            "transitions",
+            matrix.into_iter().map(|((from, to), count)| {
+                format!(
+                    "[\"{}\", \"{}\", {count}]",
+                    escape(from.name()),
+                    escape(to.name())
+                )
+            }),
+        );
+        json.string("plan", explain);
+        json.finish()
+    }
+
+    fn longest_runs(&self, rows: &[u32], explain: &str) -> String {
+        let ecdf = self.corpus.longest_run_ecdf(rows);
+        let quantile = |q: f64| ecdf.quantile(q).unwrap_or(f64::NAN);
+        let mut json = JsonBuilder::object();
+        json.integer("paths", ecdf.len() as u64);
+        json.number("mean", ecdf.mean().unwrap_or(f64::NAN));
+        json.number("p50", quantile(0.5));
+        json.number("p90", quantile(0.9));
+        json.number("max", quantile(1.0));
+        json.string("plan", explain);
+        json.finish()
+    }
+
+    fn catalog(&self) -> String {
+        let corpus = self.corpus;
+        let sample = |ids: Vec<u32>| {
+            ids.into_iter()
+                .take(CATALOG_SAMPLE)
+                .map(|id| id.to_string())
+        };
+        let mut json = JsonBuilder::object();
+        json.string_array("sources", corpus.sources());
+        json.string(
+            "latest_source",
+            &corpus.sources()[corpus.latest_ripe_source()],
+        );
+        json.integer("paths", corpus.len() as u64);
+        json.integer("sequences", corpus.distinct_sequences() as u64);
+        json.raw_array("src_ases", sample(corpus.src_as_ids()));
+        json.raw_array("dst_ases", sample(corpus.dst_as_ids()));
+        json.raw_array(
+            "regions",
+            Continent::ALL
+                .iter()
+                .map(|region| format!("\"{}\"", region.abbrev())),
+        );
+        json.raw_array(
+            "slices",
+            [
+                lfp_analysis::us_study::UsSlice::IntraUs,
+                lfp_analysis::us_study::UsSlice::InterUs,
+                lfp_analysis::us_study::UsSlice::Other,
+            ]
+            .into_iter()
+            .map(|slice| format!("\"{}\"", slice_name(slice))),
+        );
+        json.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Selection;
+    use crate::testutil::shared_world;
+    use lfp_analysis::json::parse;
+
+    fn engine() -> QueryEngine<'static> {
+        QueryEngine::new(shared_world())
+    }
+
+    #[test]
+    fn vendor_mix_by_as_sums_to_router_total() {
+        let engine = engine();
+        let as_id = *engine.per_as_lfp.keys().next().expect("some AS identified");
+        let response = engine
+            .execute(&Query::VendorMixAs {
+                as_id,
+                method: LabelSource::Lfp,
+            })
+            .unwrap();
+        let value = parse(&response.payload).unwrap();
+        let routers = value.get("routers").unwrap().as_u64().unwrap();
+        let from_rows: u64 = value
+            .get("vendors")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|row| row.as_array().unwrap()[1].as_u64().unwrap())
+            .sum();
+        assert_eq!(routers, from_rows);
+        assert_eq!(value.get("ases").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn vendor_mix_by_region_covers_member_ases() {
+        let engine = engine();
+        // Regions partition the ASes, so summing router counts over all
+        // six regions equals the total over all ASes.
+        let total: u64 = Continent::ALL
+            .iter()
+            .map(|&region| {
+                let response = engine
+                    .execute(&Query::VendorMixRegion {
+                        region,
+                        method: LabelSource::Lfp,
+                    })
+                    .unwrap();
+                parse(&response.payload)
+                    .unwrap()
+                    .get("routers")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .sum();
+        let identified: u64 = engine
+            .per_as_lfp
+            .values()
+            .flat_map(|vendors| vendors.values())
+            .map(|&count| count as u64)
+            .sum();
+        assert_eq!(total, identified);
+    }
+
+    #[test]
+    fn path_diversity_and_runs_report_consistent_shapes() {
+        let engine = engine();
+        let response = engine
+            .execute(&Query::PathDiversity {
+                selection: Selection::default(),
+            })
+            .unwrap();
+        let value = parse(&response.payload).unwrap();
+        assert_eq!(
+            value.get("paths").unwrap().as_u64().unwrap(),
+            engine.corpus().len() as u64
+        );
+        assert!(value
+            .get("plan")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("base=all"));
+        let runs = engine
+            .execute(&Query::LongestRuns {
+                selection: Selection::default(),
+            })
+            .unwrap();
+        let runs = parse(&runs.payload).unwrap();
+        assert!(
+            runs.get("p50").unwrap().as_f64().unwrap()
+                <= runs.get("max").unwrap().as_f64().unwrap()
+        );
+    }
+
+    #[test]
+    fn transitions_match_the_corpus_matrix() {
+        let engine = engine();
+        let response = engine
+            .execute(&Query::Transitions {
+                selection: Selection::default(),
+            })
+            .unwrap();
+        let value = parse(&response.payload).unwrap();
+        let rows = engine.corpus().all_rows();
+        let matrix = engine.corpus().transition_matrix(&rows);
+        let expected: u64 = matrix.values().map(|&count| count as u64).sum();
+        assert_eq!(value.get("handoffs").unwrap().as_u64(), Some(expected));
+        assert_eq!(
+            value.get("transitions").unwrap().as_array().unwrap().len(),
+            matrix.len()
+        );
+    }
+
+    #[test]
+    fn second_execution_is_a_cache_hit_with_identical_bytes() {
+        let engine = engine();
+        let query = Query::PathDiversity {
+            selection: Selection {
+                min_hops: Some(2),
+                ..Selection::default()
+            },
+        };
+        let cold = engine.execute(&query).unwrap();
+        assert!(!cold.cached);
+        let warm = engine.execute(&query).unwrap();
+        assert!(warm.cached);
+        assert_eq!(cold.payload, warm.payload);
+        assert_eq!(&*cold.payload, engine.execute_uncached(&query).unwrap());
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn unknown_source_errors_and_is_not_cached() {
+        let engine = engine();
+        let query = Query::Transitions {
+            selection: Selection {
+                source: Some("nope".to_string()),
+                ..Selection::default()
+            },
+        };
+        assert!(engine.execute(&query).is_err());
+        assert!(engine.execute(&query).is_err());
+        assert_eq!(engine.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn catalog_lists_sources_and_samples() {
+        let engine = engine();
+        let response = engine.execute(&Query::Catalog).unwrap();
+        let value = parse(&response.payload).unwrap();
+        assert_eq!(
+            value.get("sources").unwrap().as_array().unwrap().len(),
+            engine.corpus().sources().len()
+        );
+        assert!(!value
+            .get("src_ases")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        assert_eq!(value.get("regions").unwrap().as_array().unwrap().len(), 6);
+    }
+}

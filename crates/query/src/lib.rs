@@ -1,0 +1,68 @@
+//! # lfp-query — the vendor-intelligence query engine
+//!
+//! The paper's end product is *queryable* intelligence — "which vendors
+//! does provider X run?", "how vendor-diverse are paths between AS A and
+//! AS B?" (§5–§6) — but the batch pipeline answers those questions by
+//! rebuilding a [`World`](lfp_analysis::World) and regenerating figures.
+//! This crate turns the measured state into a serving layer:
+//!
+//! * [`query`] — the typed [`Query`] AST (vendor mix by AS or region,
+//!   path diversity between AS pairs, transition-matrix and longest-run
+//!   slices) with filters by source dataset, path length and US slice,
+//!   plus a canonical wire form that doubles as the cache key,
+//! * [`plan`] — the planner: lowers a [`Selection`] onto the path
+//!   corpus's columnar indexes (`rows_between` / `rows_of_source` /
+//!   `rows_with_length`), intersecting sorted row-id slices and applying
+//!   residual predicates, with an `explain` trace per query,
+//! * [`cache`] — a sharded LRU keyed by the canonical query, storing the
+//!   rendered result bytes so a hit is a hash, a lock and an `Arc` clone,
+//! * [`engine`] — [`QueryEngine`]: plan → execute → render → cache,
+//! * [`batch`] — fans independent queries across the zmap-style sharded
+//!   scanner with deterministic result ordering (batch ≡ serial, byte
+//!   for byte),
+//! * [`wire`] — the line protocol: one JSON query per line in, one JSON
+//!   result per line out (the `vendor-queryd` binary in `lfp-bench`
+//!   serves it over TCP).
+//!
+//! ```no_run
+//! use lfp_analysis::World;
+//! use lfp_query::{wire, QueryEngine};
+//! use lfp_topo::Scale;
+//!
+//! let world = World::build(Scale::tiny());
+//! let engine = QueryEngine::new(&world);
+//! let query = wire::decode(r#"{"query": "path_diversity", "src_as": 3, "dst_as": 9}"#)?;
+//! let response = engine.execute(&query)?;
+//! println!("{}", response.payload);
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod plan;
+pub mod query;
+pub mod wire;
+
+pub use batch::{run_batch, run_batch_with_shards};
+pub use cache::{CacheStats, ShardedLru};
+pub use engine::{QueryEngine, Response};
+pub use plan::{select_rows, RowPlan};
+pub use query::{Query, Selection};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use lfp_analysis::World;
+    use lfp_topo::Scale;
+    use std::sync::OnceLock;
+
+    /// One tiny world shared by every test in this crate (building a
+    /// world dominates test wall-clock; the engine under test does not).
+    pub fn shared_world() -> &'static World {
+        static WORLD: OnceLock<World> = OnceLock::new();
+        WORLD.get_or_init(|| World::build(Scale::tiny()))
+    }
+}

@@ -1,0 +1,295 @@
+//! The planner: lower a [`Selection`] onto the path corpus's columnar
+//! indexes.
+//!
+//! Every indexable predicate contributes a **sorted row-id slice** (the
+//! corpus builds its indexes in row order): AS pair → `rows_between`
+//! (itself a sorted intersection of the per-endpoint indexes), single
+//! endpoint → `rows_from_as`/`rows_to_as`, dataset → `rows_of_source`,
+//! exact hop count → `rows_with_length`. The planner picks the smallest
+//! contribution as the scan base, intersects the rest pairwise (linear
+//! two-pointer merges via
+//! [`intersect_sorted`](lfp_analysis::path_corpus::intersect_sorted)),
+//! then applies the residual predicates an index cannot answer (hop
+//! *ranges*, US slice) as per-row filters. The result is the row set a
+//! query's aggregation runs over, plus an `explain` trace recording the
+//! chosen base and the selectivity of each step.
+
+use crate::query::{slice_name, Selection};
+use lfp_analysis::path_corpus::{intersect_sorted, PathCorpus};
+
+/// A planned (and executed) row selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPlan {
+    /// The selected rows, ascending.
+    pub rows: Vec<u32>,
+    /// Human-readable plan trace: base index, intersections, residual
+    /// filters, and the row count after each step.
+    pub explain: String,
+}
+
+/// One index-backed contribution to the selection.
+struct IndexPart<'a> {
+    label: String,
+    rows: RowSet<'a>,
+}
+
+/// Borrowed index slices and computed intersections, unified.
+enum RowSet<'a> {
+    Borrowed(&'a [u32]),
+    Owned(Vec<u32>),
+}
+
+impl RowSet<'_> {
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            RowSet::Borrowed(rows) => rows,
+            RowSet::Owned(rows) => rows,
+        }
+    }
+}
+
+/// Plan and execute a selection against the corpus.
+///
+/// Errors only on an unknown `source` dataset name (the one filter whose
+/// domain a client cannot know a priori; the error lists what exists).
+pub fn select_rows(corpus: &PathCorpus, selection: &Selection) -> Result<RowPlan, String> {
+    let mut parts: Vec<IndexPart> = Vec::new();
+
+    // AS endpoints: the pair index when both are present (the satellite
+    // `rows_between` helper), the single-endpoint index otherwise.
+    let pair;
+    match (selection.src_as, selection.dst_as) {
+        (Some(src_as), Some(dst_as)) => {
+            pair = corpus.rows_between(src_as, dst_as);
+            parts.push(IndexPart {
+                label: format!("between({src_as},{dst_as})"),
+                rows: RowSet::Owned(pair),
+            });
+        }
+        (Some(src_as), None) => parts.push(IndexPart {
+            label: format!("src_as({src_as})"),
+            rows: RowSet::Borrowed(corpus.rows_from_as(src_as)),
+        }),
+        (None, Some(dst_as)) => parts.push(IndexPart {
+            label: format!("dst_as({dst_as})"),
+            rows: RowSet::Borrowed(corpus.rows_to_as(dst_as)),
+        }),
+        (None, None) => {}
+    }
+
+    if let Some(name) = &selection.source {
+        let source = corpus.source_id(name).ok_or_else(|| {
+            format!(
+                "unknown source dataset '{name}' (have: {})",
+                corpus.sources().join(", ")
+            )
+        })?;
+        parts.push(IndexPart {
+            label: format!("source({name})"),
+            rows: RowSet::Borrowed(corpus.rows_of_source(source)),
+        });
+    }
+
+    // An exact hop count lowers onto the length index; a range stays a
+    // residual filter.
+    let exact_hops = match (selection.min_hops, selection.max_hops) {
+        (Some(min), Some(max)) if min == max => Some(min),
+        _ => None,
+    };
+    if let Some(hops) = exact_hops {
+        parts.push(IndexPart {
+            label: format!("length({hops})"),
+            rows: RowSet::Borrowed(corpus.rows_with_length(hops)),
+        });
+    }
+
+    // Smallest contribution first: every later intersection is bounded
+    // by the base's cardinality.
+    parts.sort_by_key(|part| part.rows.as_slice().len());
+
+    let mut explain = String::new();
+    let mut rows: Vec<u32> = match parts.split_first() {
+        None => {
+            explain.push_str(&format!("base=all({})", corpus.len()));
+            corpus.all_rows()
+        }
+        Some((base, rest)) => {
+            explain.push_str(&format!(
+                "base={}[{}]",
+                base.label,
+                base.rows.as_slice().len()
+            ));
+            let mut rows = base.rows.as_slice().to_vec();
+            for part in rest {
+                rows = intersect_sorted(&rows, part.rows.as_slice());
+                explain.push_str(&format!(
+                    " ∩ {}[{}] → {}",
+                    part.label,
+                    part.rows.as_slice().len(),
+                    rows.len()
+                ));
+            }
+            rows
+        }
+    };
+
+    // Residual predicates: hop range (when not consumed by the length
+    // index) and US slice.
+    if exact_hops.is_none() && (selection.min_hops.is_some() || selection.max_hops.is_some()) {
+        let min = selection.min_hops.unwrap_or(0);
+        let max = selection.max_hops.unwrap_or(u16::MAX);
+        rows.retain(|&row| (min..=max).contains(&corpus.hops_of(row)));
+        explain.push_str(&format!(" ▸ hops {min}..={max} → {}", rows.len()));
+    }
+    if let Some(slice) = selection.slice {
+        rows.retain(|&row| corpus.us_slice_of(row) == slice);
+        explain.push_str(&format!(" ▸ slice {} → {}", slice_name(slice), rows.len()));
+    }
+
+    Ok(RowPlan { rows, explain })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::shared_world;
+    use lfp_analysis::us_study::UsSlice;
+
+    /// Reference implementation: scan every row, apply every predicate.
+    fn naive_rows(corpus: &PathCorpus, selection: &Selection) -> Vec<u32> {
+        let source = selection
+            .source
+            .as_deref()
+            .map(|name| corpus.source_id(name).expect("known source") as u16);
+        corpus
+            .all_rows()
+            .into_iter()
+            .filter(|&row| {
+                let hops = corpus.hops_of(row);
+                selection
+                    .src_as
+                    .is_none_or(|src| corpus.rows_from_as(src).contains(&row))
+                    && selection
+                        .dst_as
+                        .is_none_or(|dst| corpus.rows_to_as(dst).contains(&row))
+                    && source.is_none_or(|wanted| corpus.source_of(row) == wanted)
+                    && selection.min_hops.is_none_or(|min| hops >= min)
+                    && selection.max_hops.is_none_or(|max| hops <= max)
+                    && selection
+                        .slice
+                        .is_none_or(|wanted| corpus.us_slice_of(row) == wanted)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_selection_selects_every_row() {
+        let corpus = shared_world().path_corpus();
+        let plan = select_rows(corpus, &Selection::default()).unwrap();
+        assert_eq!(plan.rows, corpus.all_rows());
+        assert!(plan.explain.contains("base=all"), "{}", plan.explain);
+    }
+
+    #[test]
+    fn planner_matches_naive_scan_across_filter_shapes() {
+        let corpus = shared_world().path_corpus();
+        let src = corpus.src_as_ids();
+        let dst = corpus.dst_as_ids();
+        let sources = corpus.sources();
+        let selections = [
+            Selection {
+                src_as: Some(src[0]),
+                ..Selection::default()
+            },
+            Selection {
+                dst_as: Some(dst[dst.len() / 2]),
+                ..Selection::default()
+            },
+            Selection {
+                src_as: Some(src[0]),
+                dst_as: Some(dst[0]),
+                ..Selection::default()
+            },
+            Selection {
+                source: Some(sources[0].clone()),
+                min_hops: Some(2),
+                max_hops: Some(6),
+                ..Selection::default()
+            },
+            Selection {
+                source: Some("ITDK-derived".to_string()),
+                slice: Some(UsSlice::IntraUs),
+                ..Selection::default()
+            },
+            Selection {
+                min_hops: Some(4),
+                max_hops: Some(4),
+                ..Selection::default()
+            },
+            Selection {
+                src_as: Some(src[src.len() - 1]),
+                source: Some(sources[sources.len() - 1].clone()),
+                min_hops: Some(1),
+                slice: Some(UsSlice::Other),
+                ..Selection::default()
+            },
+        ];
+        for selection in &selections {
+            let plan = select_rows(corpus, selection).unwrap();
+            assert_eq!(
+                plan.rows,
+                naive_rows(corpus, selection),
+                "selection {selection:?} (plan: {})",
+                plan.explain
+            );
+            // Planned rows always come back sorted (index order).
+            assert!(plan.rows.windows(2).all(|pair| pair[0] < pair[1]));
+        }
+    }
+
+    #[test]
+    fn exact_hop_count_uses_the_length_index() {
+        let corpus = shared_world().path_corpus();
+        let selection = Selection {
+            min_hops: Some(3),
+            max_hops: Some(3),
+            ..Selection::default()
+        };
+        let plan = select_rows(corpus, &selection).unwrap();
+        assert!(plan.explain.contains("length(3)"), "{}", plan.explain);
+        assert_eq!(plan.rows, corpus.rows_with_length(3));
+    }
+
+    #[test]
+    fn pair_selection_uses_rows_between() {
+        let corpus = shared_world().path_corpus();
+        let src = corpus.src_as_ids()[0];
+        let dst = corpus.dst_as_ids()[0];
+        let plan = select_rows(
+            corpus,
+            &Selection {
+                src_as: Some(src),
+                dst_as: Some(dst),
+                ..Selection::default()
+            },
+        )
+        .unwrap();
+        assert!(plan.explain.contains("between("), "{}", plan.explain);
+        assert_eq!(plan.rows, corpus.rows_between(src, dst));
+    }
+
+    #[test]
+    fn unknown_source_is_a_descriptive_error() {
+        let corpus = shared_world().path_corpus();
+        let error = select_rows(
+            corpus,
+            &Selection {
+                source: Some("RIPE-99".to_string()),
+                ..Selection::default()
+            },
+        )
+        .unwrap_err();
+        assert!(error.contains("RIPE-99"), "{error}");
+        assert!(error.contains("ITDK-derived"), "{error}");
+    }
+}

@@ -1,0 +1,254 @@
+//! The typed query AST and its canonical wire form.
+//!
+//! Every query canonicalises to a compact JSON object with fields in a
+//! fixed order and `None` filters omitted. The canonical form serves
+//! three masters at once: it is the **cache key** (two spellings of the
+//! same question share one cache entry), it is **echoed** back in every
+//! response so clients see what was actually answered, and it is itself
+//! a **valid wire query** — `wire::decode(query.canonical())` returns
+//! the original query (property-tested).
+
+use lfp_analysis::json::escape;
+use lfp_analysis::path_corpus::LabelSource;
+use lfp_analysis::us_study::UsSlice;
+use lfp_topo::Continent;
+
+/// Row filters shared by every path-level query. All fields optional;
+/// an empty selection means "every path in the corpus".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Selection {
+    /// Only paths whose vantage sits in this AS.
+    pub src_as: Option<u32>,
+    /// Only paths whose destination sits in this AS.
+    pub dst_as: Option<u32>,
+    /// Only paths from this source dataset (by name, e.g. `"RIPE-2"` or
+    /// `"ITDK-derived"`).
+    pub source: Option<String>,
+    /// Only paths with at least this many router hops.
+    pub min_hops: Option<u16>,
+    /// Only paths with at most this many router hops.
+    pub max_hops: Option<u16>,
+    /// Only paths in this US slice (§6.2).
+    pub slice: Option<UsSlice>,
+}
+
+impl Selection {
+    /// True when no filter is set (the whole corpus).
+    pub fn is_empty(&self) -> bool {
+        *self == Selection::default()
+    }
+
+    /// Append this selection's canonical fields (leading comma included
+    /// before each present field).
+    fn canonical_fields(&self, out: &mut String) {
+        if let Some(src_as) = self.src_as {
+            out.push_str(&format!(",\"src_as\":{src_as}"));
+        }
+        if let Some(dst_as) = self.dst_as {
+            out.push_str(&format!(",\"dst_as\":{dst_as}"));
+        }
+        if let Some(source) = &self.source {
+            out.push_str(&format!(",\"source\":\"{}\"", escape(source)));
+        }
+        if let Some(min_hops) = self.min_hops {
+            out.push_str(&format!(",\"min_hops\":{min_hops}"));
+        }
+        if let Some(max_hops) = self.max_hops {
+            out.push_str(&format!(",\"max_hops\":{max_hops}"));
+        }
+        if let Some(slice) = self.slice {
+            out.push_str(&format!(",\"slice\":\"{}\"", slice_name(slice)));
+        }
+    }
+}
+
+/// One question against a measured world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Vendor mix of identified routers inside one AS (§5): which vendors
+    /// does this provider run, under LFP or SNMPv3 identification?
+    VendorMixAs {
+        /// The provider's AS number.
+        as_id: u32,
+        /// Identification method the counts come from.
+        method: LabelSource,
+    },
+    /// Vendor mix aggregated over every AS registered on a continent
+    /// (Figure 21's regional market view).
+    VendorMixRegion {
+        /// The region, by paper abbreviation.
+        region: Continent,
+        /// Identification method the counts come from.
+        method: LabelSource,
+    },
+    /// Path vendor diversity over a selection (§6, Figures 11–14):
+    /// identified paths, mean distinct vendors, multi-vendor share, top
+    /// vendor combinations. `src_as`/`dst_as` in the selection make this
+    /// the paper's per-AS-pair question.
+    PathDiversity {
+        /// Row filters.
+        selection: Selection,
+    },
+    /// The vendor hand-off (transition) matrix over a selection's
+    /// identified-hop subsequences.
+    Transitions {
+        /// Row filters.
+        selection: Selection,
+    },
+    /// ECDF summary of the longest same-vendor run per path.
+    LongestRuns {
+        /// Row filters.
+        selection: Selection,
+    },
+    /// What is queryable: sources, corpus size, sample AS ids. Clients
+    /// (and the load generator) bootstrap from this.
+    Catalog,
+}
+
+impl Query {
+    /// The canonical compact-JSON form (cache key, response echo, and a
+    /// valid wire query).
+    pub fn canonical(&self) -> String {
+        match self {
+            Query::VendorMixAs { as_id, method } => format!(
+                "{{\"query\":\"vendor_mix\",\"as\":{as_id},\"method\":\"{}\"}}",
+                method_name(*method)
+            ),
+            Query::VendorMixRegion { region, method } => format!(
+                "{{\"query\":\"vendor_mix\",\"region\":\"{}\",\"method\":\"{}\"}}",
+                region.abbrev(),
+                method_name(*method)
+            ),
+            Query::PathDiversity { selection } => canonical_path_query("path_diversity", selection),
+            Query::Transitions { selection } => canonical_path_query("transitions", selection),
+            Query::LongestRuns { selection } => canonical_path_query("longest_runs", selection),
+            Query::Catalog => "{\"query\":\"catalog\"}".to_string(),
+        }
+    }
+}
+
+fn canonical_path_query(kind: &str, selection: &Selection) -> String {
+    let mut out = format!("{{\"query\":\"{kind}\"");
+    selection.canonical_fields(&mut out);
+    out.push('}');
+    out
+}
+
+/// Wire name of an identification method.
+pub fn method_name(method: LabelSource) -> &'static str {
+    match method {
+        LabelSource::Lfp => "lfp",
+        LabelSource::Snmp => "snmp",
+    }
+}
+
+/// Parse an identification method's wire name.
+pub fn method_by_name(name: &str) -> Option<LabelSource> {
+    match name {
+        "lfp" => Some(LabelSource::Lfp),
+        "snmp" => Some(LabelSource::Snmp),
+        _ => None,
+    }
+}
+
+/// Wire name of a US slice.
+pub fn slice_name(slice: UsSlice) -> &'static str {
+    match slice {
+        UsSlice::IntraUs => "intra-us",
+        UsSlice::InterUs => "inter-us",
+        UsSlice::Other => "other",
+    }
+}
+
+/// Parse a US slice's wire name.
+pub fn slice_by_name(name: &str) -> Option<UsSlice> {
+    match name {
+        "intra-us" => Some(UsSlice::IntraUs),
+        "inter-us" => Some(UsSlice::InterUs),
+        "other" => Some(UsSlice::Other),
+        _ => None,
+    }
+}
+
+/// Parse a continent's paper abbreviation.
+pub fn region_by_abbrev(abbrev: &str) -> Option<Continent> {
+    Continent::ALL
+        .into_iter()
+        .find(|region| region.abbrev() == abbrev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_is_stable_and_omits_empty_filters() {
+        let query = Query::PathDiversity {
+            selection: Selection {
+                src_as: Some(3),
+                dst_as: Some(9),
+                ..Selection::default()
+            },
+        };
+        assert_eq!(
+            query.canonical(),
+            "{\"query\":\"path_diversity\",\"src_as\":3,\"dst_as\":9}"
+        );
+        let bare = Query::LongestRuns {
+            selection: Selection::default(),
+        };
+        assert_eq!(bare.canonical(), "{\"query\":\"longest_runs\"}");
+        let full = Query::Transitions {
+            selection: Selection {
+                src_as: Some(1),
+                dst_as: Some(2),
+                source: Some("RIPE-1".to_string()),
+                min_hops: Some(3),
+                max_hops: Some(12),
+                slice: Some(UsSlice::IntraUs),
+            },
+        };
+        assert_eq!(
+            full.canonical(),
+            "{\"query\":\"transitions\",\"src_as\":1,\"dst_as\":2,\"source\":\"RIPE-1\",\
+             \"min_hops\":3,\"max_hops\":12,\"slice\":\"intra-us\"}"
+        );
+    }
+
+    #[test]
+    fn canonical_distinguishes_vendor_mix_groups_and_methods() {
+        let by_as = Query::VendorMixAs {
+            as_id: 12,
+            method: LabelSource::Lfp,
+        };
+        let by_region = Query::VendorMixRegion {
+            region: Continent::Europe,
+            method: LabelSource::Snmp,
+        };
+        assert_eq!(
+            by_as.canonical(),
+            "{\"query\":\"vendor_mix\",\"as\":12,\"method\":\"lfp\"}"
+        );
+        assert_eq!(
+            by_region.canonical(),
+            "{\"query\":\"vendor_mix\",\"region\":\"EU\",\"method\":\"snmp\"}"
+        );
+        assert_ne!(by_as.canonical(), by_region.canonical());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for method in [LabelSource::Lfp, LabelSource::Snmp] {
+            assert_eq!(method_by_name(method_name(method)), Some(method));
+        }
+        for slice in [UsSlice::IntraUs, UsSlice::InterUs, UsSlice::Other] {
+            assert_eq!(slice_by_name(slice_name(slice)), Some(slice));
+        }
+        for region in Continent::ALL {
+            assert_eq!(region_by_abbrev(region.abbrev()), Some(region));
+        }
+        assert_eq!(method_by_name("banner"), None);
+        assert_eq!(slice_by_name("mars"), None);
+        assert_eq!(region_by_abbrev("XX"), None);
+    }
+}

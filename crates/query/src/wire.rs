@@ -1,0 +1,373 @@
+//! The line protocol: one JSON query per line in, one JSON result per
+//! line out.
+//!
+//! ## Request grammar
+//!
+//! Every request is a single-line JSON object with a `"query"` field
+//! naming the question; remaining fields parameterise it. Unknown fields
+//! are **rejected** (a typo'd filter silently selecting everything is
+//! worse than an error).
+//!
+//! | `"query"` | fields |
+//! |---|---|
+//! | `vendor_mix` | `as` *or* `region` (`AF AS EU NA OC SA`); optional `method` (`lfp`\|`snmp`, default `lfp`) |
+//! | `path_diversity` | required `src_as`, `dst_as`; optional filters |
+//! | `transitions` | optional filters |
+//! | `longest_runs` | optional filters |
+//! | `catalog` | — |
+//!
+//! Optional filters on the path queries: `src_as`, `dst_as` (AS
+//! numbers), `source` (dataset name from the catalog), `min_hops`,
+//! `max_hops` (router-hop bounds), `slice`
+//! (`intra-us`\|`inter-us`\|`other`).
+//!
+//! ## Responses
+//!
+//! `{"ok": true, "cached": …, "query": <canonical echo>, "result": …}`
+//! on success, `{"ok": false, "error": "…"}` otherwise. The echoed
+//! canonical form is itself a valid request (and the result-cache key).
+
+use crate::engine::Response;
+use crate::query::{method_by_name, region_by_abbrev, slice_by_name, Query, Selection};
+use lfp_analysis::json::{escape, parse, JsonValue};
+use lfp_analysis::path_corpus::LabelSource;
+
+/// Decode one protocol line into a query.
+pub fn decode(line: &str) -> Result<Query, String> {
+    let value = parse(line.trim()).map_err(|error| format!("invalid JSON: {error}"))?;
+    decode_value(&value)
+}
+
+/// Decode an already-parsed request object.
+pub fn decode_value(value: &JsonValue) -> Result<Query, String> {
+    let fields = value
+        .as_object()
+        .ok_or_else(|| "request must be a JSON object".to_string())?;
+    // Strictness extends to duplicates: `JsonValue::get` would silently
+    // answer from the first occurrence and drop the second.
+    for (index, (name, _)) in fields.iter().enumerate() {
+        if fields[..index].iter().any(|(prior, _)| prior == name) {
+            return Err(format!("duplicate field '{name}'"));
+        }
+    }
+    let kind = value
+        .get("query")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing string field \"query\"".to_string())?;
+    let allowed: &[&str] = match kind {
+        "vendor_mix" => &["query", "as", "region", "method"],
+        "path_diversity" | "transitions" | "longest_runs" => &[
+            "query", "src_as", "dst_as", "source", "min_hops", "max_hops", "slice",
+        ],
+        "catalog" => &["query"],
+        other => {
+            return Err(format!(
+                "unknown query kind '{other}' (try vendor_mix, path_diversity, transitions, \
+                 longest_runs, catalog)"
+            ))
+        }
+    };
+    for (name, _) in fields {
+        if !allowed.contains(&name.as_str()) {
+            return Err(format!("unknown field '{name}' for query '{kind}'"));
+        }
+    }
+    match kind {
+        "vendor_mix" => decode_vendor_mix(value),
+        "path_diversity" => {
+            let selection = decode_selection(value)?;
+            if selection.src_as.is_none() || selection.dst_as.is_none() {
+                return Err("path_diversity requires both src_as and dst_as".to_string());
+            }
+            Ok(Query::PathDiversity { selection })
+        }
+        "transitions" => Ok(Query::Transitions {
+            selection: decode_selection(value)?,
+        }),
+        "longest_runs" => Ok(Query::LongestRuns {
+            selection: decode_selection(value)?,
+        }),
+        "catalog" => Ok(Query::Catalog),
+        _ => unreachable!("kind vetted above"),
+    }
+}
+
+fn decode_vendor_mix(value: &JsonValue) -> Result<Query, String> {
+    let method = match value.get("method") {
+        None => LabelSource::Lfp,
+        Some(field) => {
+            let name = field
+                .as_str()
+                .ok_or_else(|| "field 'method' must be a string".to_string())?;
+            method_by_name(name).ok_or_else(|| format!("unknown method '{name}' (lfp or snmp)"))?
+        }
+    };
+    match (value.get("as"), value.get("region")) {
+        (Some(as_field), None) => Ok(Query::VendorMixAs {
+            as_id: decode_as_number(as_field, "as")?,
+            method,
+        }),
+        (None, Some(region_field)) => {
+            let abbrev = region_field
+                .as_str()
+                .ok_or_else(|| "field 'region' must be a string".to_string())?;
+            let region = region_by_abbrev(abbrev)
+                .ok_or_else(|| format!("unknown region '{abbrev}' (AF AS EU NA OC SA)"))?;
+            Ok(Query::VendorMixRegion { region, method })
+        }
+        (Some(_), Some(_)) => Err("vendor_mix takes 'as' or 'region', not both".to_string()),
+        (None, None) => Err("vendor_mix requires 'as' or 'region'".to_string()),
+    }
+}
+
+fn decode_selection(value: &JsonValue) -> Result<Selection, String> {
+    let mut selection = Selection::default();
+    if let Some(field) = value.get("src_as") {
+        selection.src_as = Some(decode_as_number(field, "src_as")?);
+    }
+    if let Some(field) = value.get("dst_as") {
+        selection.dst_as = Some(decode_as_number(field, "dst_as")?);
+    }
+    if let Some(field) = value.get("source") {
+        selection.source = Some(
+            field
+                .as_str()
+                .ok_or_else(|| "field 'source' must be a string".to_string())?
+                .to_string(),
+        );
+    }
+    if let Some(field) = value.get("min_hops") {
+        selection.min_hops = Some(decode_hops(field, "min_hops")?);
+    }
+    if let Some(field) = value.get("max_hops") {
+        selection.max_hops = Some(decode_hops(field, "max_hops")?);
+    }
+    if let (Some(min), Some(max)) = (selection.min_hops, selection.max_hops) {
+        if min > max {
+            return Err(format!("min_hops {min} exceeds max_hops {max}"));
+        }
+    }
+    if let Some(field) = value.get("slice") {
+        let name = field
+            .as_str()
+            .ok_or_else(|| "field 'slice' must be a string".to_string())?;
+        selection.slice = Some(
+            slice_by_name(name)
+                .ok_or_else(|| format!("unknown slice '{name}' (intra-us, inter-us, other)"))?,
+        );
+    }
+    Ok(selection)
+}
+
+fn decode_as_number(field: &JsonValue, name: &str) -> Result<u32, String> {
+    field
+        .as_u64()
+        .filter(|&value| value <= u64::from(u32::MAX))
+        .map(|value| value as u32)
+        .ok_or_else(|| format!("field '{name}' must be an AS number (u32)"))
+}
+
+fn decode_hops(field: &JsonValue, name: &str) -> Result<u16, String> {
+    field
+        .as_u64()
+        .filter(|&value| value <= u64::from(u16::MAX))
+        .map(|value| value as u16)
+        .ok_or_else(|| format!("field '{name}' must be a hop count (u16)"))
+}
+
+/// Render the success envelope for an answered query. `canonical` and
+/// the response payload are already-rendered JSON and embed raw.
+pub fn ok_envelope(canonical: &str, response: &Response) -> String {
+    format!(
+        "{{\"ok\": true, \"cached\": {}, \"query\": {canonical}, \"result\": {}}}",
+        response.cached, response.payload
+    )
+}
+
+/// Render the failure envelope.
+pub fn error_envelope(message: &str) -> String {
+    format!("{{\"ok\": false, \"error\": \"{}\"}}", escape(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfp_analysis::us_study::UsSlice;
+    use lfp_topo::Continent;
+    use std::sync::Arc;
+
+    #[test]
+    fn decodes_every_query_kind() {
+        assert_eq!(
+            decode(r#"{"query": "vendor_mix", "as": 7}"#).unwrap(),
+            Query::VendorMixAs {
+                as_id: 7,
+                method: LabelSource::Lfp
+            }
+        );
+        assert_eq!(
+            decode(r#"{"query": "vendor_mix", "region": "AS", "method": "snmp"}"#).unwrap(),
+            Query::VendorMixRegion {
+                region: Continent::Asia,
+                method: LabelSource::Snmp
+            }
+        );
+        assert_eq!(
+            decode(
+                r#"{"query": "path_diversity", "src_as": 1, "dst_as": 2, "min_hops": 3,
+                    "max_hops": 9, "source": "RIPE-1", "slice": "inter-us"}"#
+            )
+            .unwrap(),
+            Query::PathDiversity {
+                selection: Selection {
+                    src_as: Some(1),
+                    dst_as: Some(2),
+                    source: Some("RIPE-1".to_string()),
+                    min_hops: Some(3),
+                    max_hops: Some(9),
+                    slice: Some(UsSlice::InterUs),
+                }
+            }
+        );
+        assert_eq!(
+            decode(r#"{"query": "transitions"}"#).unwrap(),
+            Query::Transitions {
+                selection: Selection::default()
+            }
+        );
+        assert_eq!(
+            decode(r#"{"query": "longest_runs", "slice": "other"}"#).unwrap(),
+            Query::LongestRuns {
+                selection: Selection {
+                    slice: Some(UsSlice::Other),
+                    ..Selection::default()
+                }
+            }
+        );
+        assert_eq!(decode(r#"{"query": "catalog"}"#).unwrap(), Query::Catalog);
+    }
+
+    #[test]
+    fn canonical_form_is_a_valid_request() {
+        let queries = [
+            Query::VendorMixAs {
+                as_id: 42,
+                method: LabelSource::Snmp,
+            },
+            Query::VendorMixRegion {
+                region: Continent::SouthAmerica,
+                method: LabelSource::Lfp,
+            },
+            Query::PathDiversity {
+                selection: Selection {
+                    src_as: Some(3),
+                    dst_as: Some(9),
+                    min_hops: Some(2),
+                    ..Selection::default()
+                },
+            },
+            Query::Transitions {
+                selection: Selection {
+                    source: Some("ITDK-derived".to_string()),
+                    ..Selection::default()
+                },
+            },
+            Query::LongestRuns {
+                selection: Selection {
+                    slice: Some(UsSlice::IntraUs),
+                    max_hops: Some(30),
+                    ..Selection::default()
+                },
+            },
+            Query::Catalog,
+        ];
+        for query in queries {
+            assert_eq!(
+                decode(&query.canonical()).unwrap(),
+                query,
+                "{}",
+                query.canonical()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_useful_errors() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"q": "catalog"}"#, "missing string field"),
+            (r#"{"query": "mystery"}"#, "unknown query kind"),
+            (r#"{"query": "catalog", "as": 1}"#, "unknown field 'as'"),
+            (r#"{"query": "vendor_mix"}"#, "'as' or 'region'"),
+            (
+                r#"{"query": "vendor_mix", "as": 1, "region": "EU"}"#,
+                "not both",
+            ),
+            (r#"{"query": "vendor_mix", "as": -3}"#, "AS number"),
+            (r#"{"query": "vendor_mix", "as": 1.5}"#, "AS number"),
+            (
+                r#"{"query": "vendor_mix", "region": "ZZ"}"#,
+                "unknown region",
+            ),
+            (
+                r#"{"query": "vendor_mix", "as": 1, "method": "banner"}"#,
+                "unknown method",
+            ),
+            (
+                r#"{"query": "path_diversity", "src_as": 1}"#,
+                "requires both",
+            ),
+            (
+                r#"{"query": "transitions", "min_hops": 9, "max_hops": 2}"#,
+                "exceeds",
+            ),
+            (
+                r#"{"query": "transitions", "slice": "lunar"}"#,
+                "unknown slice",
+            ),
+            (
+                r#"{"query": "longest_runs", "min_hops": 100000}"#,
+                "hop count",
+            ),
+            (
+                r#"{"query": "transitions", "typo_filter": 1}"#,
+                "unknown field 'typo_filter'",
+            ),
+            (
+                r#"{"query": "transitions", "min_hops": 2, "min_hops": 9}"#,
+                "duplicate field 'min_hops'",
+            ),
+        ] {
+            let error = decode(line).unwrap_err();
+            assert!(
+                error.contains(needle),
+                "{line}: expected {needle:?} in {error:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn envelopes_are_single_line_valid_json() {
+        let response = Response {
+            payload: Arc::from(r#"{"paths": 3}"#),
+            cached: true,
+        };
+        let ok = ok_envelope("{\"query\":\"catalog\"}", &response);
+        let parsed = lfp_analysis::json::parse(&ok).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(parsed.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            parsed.get("result").unwrap().get("paths").unwrap().as_u64(),
+            Some(3)
+        );
+        let error = error_envelope("bad \"thing\"\nhappened\u{2028}");
+        assert!(!error.contains('\n'));
+        let parsed = lfp_analysis::json::parse(&error).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            parsed.get("error").unwrap().as_str(),
+            Some("bad \"thing\"\nhappened\u{2028}")
+        );
+    }
+}

@@ -121,6 +121,31 @@ impl Scale {
         }
     }
 
+    /// Query-serving stress preset: a campaign sized so the *measurement*
+    /// finishes in seconds while still yielding a path corpus with enough
+    /// distinct AS pairs, lengths and slices to exercise every index the
+    /// query planner lowers onto. This is the preset `vendor-queryd` and
+    /// the `query-bench` load generator run in CI: world build is a small
+    /// fixed cost, and the serving layer (cache hits, planner scans,
+    /// protocol round trips) dominates the benchmark.
+    pub fn query_stress() -> Self {
+        Scale {
+            ases: 140,
+            tier1: 4,
+            transit_fraction: 0.2,
+            routers_per_stub: 3.0,
+            routers_per_transit: 12.0,
+            routers_per_tier1: 36.0,
+            vantages: 8,
+            dests_per_vantage: 150,
+            snapshots: 2,
+            snapshot_churn: 0.12,
+            itdk_as_fraction: 0.5,
+            occurrence_threshold: 2,
+            seed: 0x0_9e4d,
+        }
+    }
+
     /// Parse a preset by name (used by the experiments binary).
     pub fn by_name(name: &str) -> Option<Scale> {
         match name {
@@ -128,6 +153,7 @@ impl Scale {
             "small" => Some(Scale::small()),
             "paper" => Some(Scale::paper()),
             "path-stress" => Some(Scale::path_stress()),
+            "query-stress" => Some(Scale::query_stress()),
             _ => None,
         }
     }
@@ -162,7 +188,23 @@ mod tests {
         assert_eq!(Scale::by_name("small"), Some(Scale::small()));
         assert_eq!(Scale::by_name("paper"), Some(Scale::paper()));
         assert_eq!(Scale::by_name("path-stress"), Some(Scale::path_stress()));
+        assert_eq!(Scale::by_name("query-stress"), Some(Scale::query_stress()));
         assert_eq!(Scale::by_name("galactic"), None);
+    }
+
+    #[test]
+    fn query_stress_is_a_fast_build_with_a_rich_corpus() {
+        let stress = Scale::query_stress();
+        let small = Scale::small();
+        // Cheaper to measure than `small` (the serving layer, not the
+        // campaign, is what the preset stresses)…
+        assert!(stress.approx_routers() < small.approx_routers());
+        let traces = |s: &Scale| s.vantages * s.dests_per_vantage * s.snapshots;
+        assert!(traces(&stress) < traces(&small));
+        // …but with enough ASes and traces that the planner's indexes
+        // (per AS pair, per source, per length) all have real fan-out.
+        assert!(stress.ases >= 100);
+        assert!(traces(&stress) >= 2_000);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! An example `vendor-queryd` session, in process.
+//!
+//! Issues the same protocol lines a TCP client would send (see the
+//! README's "Query protocol" section), through the same decode →
+//! plan → execute → render pipeline, and prints each request/response
+//! pair. Every line below works verbatim against a running daemon:
+//!
+//! ```sh
+//! cargo run --release -p lfp-bench --bin vendor-queryd -- --scale tiny --port 7377 &
+//! printf '%s\n' '{"query": "catalog"}' | nc 127.0.0.1 7377
+//! ```
+//!
+//! ```sh
+//! cargo run --release --example query_session
+//! ```
+
+use lfp::prelude::*;
+use lfp::query::wire;
+
+fn main() {
+    println!("building a tiny measured world…");
+    let world = World::build(Scale::tiny());
+    let engine = QueryEngine::new(&world);
+    let corpus = engine.corpus();
+    println!(
+        "engine ready: {} paths, {} sources\n",
+        corpus.len(),
+        corpus.sources().len()
+    );
+
+    // A representative session: discovery first, then the intelligence
+    // questions the paper's §5–§6 answer. The AS ids come from the
+    // catalog the way a remote client would get them.
+    let src = corpus.src_as_ids()[0];
+    let dst = corpus.dst_as_ids()[0];
+    let session = vec![
+        "{\"query\": \"catalog\"}".to_string(),
+        format!("{{\"query\": \"vendor_mix\", \"as\": {src}}}"),
+        "{\"query\": \"vendor_mix\", \"region\": \"EU\", \"method\": \"snmp\"}".to_string(),
+        format!("{{\"query\": \"path_diversity\", \"src_as\": {src}, \"dst_as\": {dst}}}"),
+        "{\"query\": \"transitions\", \"min_hops\": 3}".to_string(),
+        "{\"query\": \"longest_runs\", \"slice\": \"intra-us\"}".to_string(),
+        // Same question again: answered from the result cache.
+        format!("{{\"query\": \"path_diversity\", \"src_as\": {src}, \"dst_as\": {dst}}}"),
+        // A malformed request, to show the error envelope.
+        "{\"query\": \"vendor_mix\", \"vendor\": \"Cisco\"}".to_string(),
+    ];
+
+    for line in &session {
+        println!("→ {line}");
+        let reply = match wire::decode(line) {
+            Ok(query) => match engine.execute(&query) {
+                Ok(response) => wire::ok_envelope(&query.canonical(), &response),
+                Err(error) => wire::error_envelope(&error),
+            },
+            Err(error) => wire::error_envelope(&error),
+        };
+        println!("← {reply}\n");
+    }
+
+    let stats = engine.cache_stats();
+    println!(
+        "cache after the session: {} entries, {} hits, {} misses ({:.0}% hit rate)",
+        stats.entries,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}

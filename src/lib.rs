@@ -14,6 +14,7 @@
 //! | [`core`] | the LFP methodology: probes, features, signatures |
 //! | [`baselines`] | Nmap/Hershel/iTTL/banner comparators |
 //! | [`analysis`] | analyses and the experiment registry |
+//! | [`query`] | the vendor-intelligence query engine and wire protocol |
 //!
 //! ```no_run
 //! use lfp::analysis::experiments::{run_all_parallel, run_by_id};
@@ -40,6 +41,7 @@ pub use lfp_baselines as baselines;
 pub use lfp_core as core;
 pub use lfp_net as net;
 pub use lfp_packet as packet;
+pub use lfp_query as query;
 pub use lfp_stack as stack;
 pub use lfp_topo as topo;
 
@@ -51,6 +53,7 @@ pub mod prelude {
         SignatureDb, SignatureSet,
     };
     pub use lfp_net::{Network, ScanConfig};
+    pub use lfp_query::{Query, QueryEngine, Selection};
     pub use lfp_stack::{Catalog, RouterDevice, Vendor};
     pub use lfp_topo::{Internet, Scale};
 }

@@ -185,6 +185,144 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Query-engine determinism: the serving layer must be a pure function of
+// the world and the query — cached answers byte-identical to cold
+// execution, concurrent batches byte-identical to serial execution.
+
+mod query_determinism {
+    use lfp::prelude::*;
+    use lfp::query::{run_batch_with_shards, wire};
+    use lfp_analysis::path_corpus::LabelSource;
+    use lfp_analysis::us_study::UsSlice;
+    use lfp_topo::Continent;
+    use proptest::prelude::*;
+    use std::num::NonZeroUsize;
+    use std::sync::OnceLock;
+
+    fn world() -> &'static World {
+        static WORLD: OnceLock<World> = OnceLock::new();
+        WORLD.get_or_init(|| World::build(Scale::tiny()))
+    }
+
+    /// Raw generator draws for one query; mapped onto the corpus's real
+    /// AS ids / dataset names inside the test (strategies cannot borrow
+    /// the lazily built world).
+    type RawQuery = (u8, (u32, u32), (u8, u8), (u8, u8), bool);
+
+    fn raw_query() -> impl Strategy<Value = RawQuery> {
+        (
+            0u8..6,
+            (any::<u32>(), any::<u32>()),
+            (0u8..8, 0u8..8),
+            (0u8..4, 0u8..5),
+            any::<bool>(),
+        )
+    }
+
+    fn materialise(raw: RawQuery) -> Query {
+        let corpus = world().path_corpus();
+        let (kind, (src_pick, dst_pick), (min_pick, max_extra), (slice_pick, source_pick), lfp) =
+            raw;
+        let src = corpus.src_as_ids();
+        let dst = corpus.dst_as_ids();
+        let sources = corpus.sources();
+        let method = if lfp {
+            LabelSource::Lfp
+        } else {
+            LabelSource::Snmp
+        };
+        let selection = Selection {
+            src_as: (src_pick % 3 == 0).then(|| src[src_pick as usize % src.len()]),
+            dst_as: (dst_pick % 3 != 1).then(|| dst[dst_pick as usize % dst.len()]),
+            source: (source_pick > 2)
+                .then(|| sources[source_pick as usize % sources.len()].clone()),
+            min_hops: (min_pick > 3).then(|| u16::from(min_pick - 3)),
+            max_hops: (max_extra > 4).then(|| u16::from(min_pick + max_extra)),
+            slice: match slice_pick {
+                0 => Some(UsSlice::IntraUs),
+                1 => Some(UsSlice::InterUs),
+                2 => Some(UsSlice::Other),
+                _ => None,
+            },
+        };
+        match kind {
+            0 => Query::VendorMixAs {
+                as_id: src[src_pick as usize % src.len()],
+                method,
+            },
+            1 => Query::VendorMixRegion {
+                region: Continent::ALL[src_pick as usize % Continent::ALL.len()],
+                method,
+            },
+            2 => Query::PathDiversity {
+                selection: Selection {
+                    src_as: Some(src[src_pick as usize % src.len()]),
+                    dst_as: Some(dst[dst_pick as usize % dst.len()]),
+                    ..selection
+                },
+            },
+            3 => Query::Transitions { selection },
+            4 => Query::LongestRuns { selection },
+            _ => Query::Catalog,
+        }
+    }
+
+    proptest! {
+        /// A cache hit returns the exact bytes a cold execution renders,
+        /// and the canonical form survives a wire round trip.
+        #[test]
+        fn cache_hit_is_byte_identical_to_cold_execution(raw in raw_query()) {
+            let query = materialise(raw);
+            let engine = QueryEngine::new(world());
+            let cold = engine.execute(&query).unwrap();
+            prop_assert!(!cold.cached);
+            let warm = engine.execute(&query).unwrap();
+            prop_assert!(warm.cached);
+            prop_assert_eq!(&*cold.payload, &*warm.payload);
+            let uncached = engine.execute_uncached(&query).unwrap();
+            prop_assert_eq!(&*cold.payload, uncached.as_str());
+            // Canonical echo decodes back to the same query (the cache
+            // key really does canonicalise).
+            prop_assert_eq!(wire::decode(&query.canonical()).unwrap(), query);
+        }
+
+        /// Concurrent batch execution returns, per slot, the same bytes
+        /// as executing the queries one by one on a fresh engine.
+        #[test]
+        fn concurrent_batch_matches_serial_execution(
+            raws in proptest::collection::vec(raw_query(), 1..12),
+        ) {
+            let queries: Vec<Query> = raws.into_iter().map(materialise).collect();
+            let parallel_engine = QueryEngine::new(world());
+            let batch = run_batch_with_shards(
+                &parallel_engine,
+                &queries,
+                NonZeroUsize::new(8).unwrap(),
+            );
+            let serial_engine = QueryEngine::new(world());
+            for (query, result) in queries.iter().zip(batch) {
+                let serial = serial_engine.execute_uncached(query);
+                match (result, serial) {
+                    (Ok(response), Ok(payload)) => {
+                        prop_assert_eq!(&*response.payload, payload.as_str())
+                    }
+                    (Err(batch_error), Err(serial_error)) => {
+                        prop_assert_eq!(batch_error, serial_error)
+                    }
+                    (batch_result, serial_result) => prop_assert!(
+                        false,
+                        "batch {:?} vs serial {:?} for {}",
+                        batch_result.map(|r| r.payload.to_string()),
+                        serial_result,
+                        query.canonical(),
+                    ),
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn classification_is_reproducible_end_to_end() {
     let run = || {
