@@ -120,6 +120,10 @@ pub struct PathCorpus {
     sources: Vec<String>,
     /// How many leading sources are RIPE snapshots (the rest are derived).
     ripe_source_count: usize,
+    /// Source id of the most recent RIPE-style snapshot. Starts at
+    /// `ripe_source_count - 1`; epoch ingestion moves it to the newest
+    /// appended snapshot source.
+    latest_ripe: usize,
 
     // -- columns (one entry per path) -------------------------------
     source: Vec<u16>,
@@ -225,6 +229,7 @@ impl PathCorpus {
             by_source: sources.iter().map(|_| Vec::new()).collect(),
             sources,
             ripe_source_count,
+            latest_ripe: ripe_source_count - 1,
             source: Vec::with_capacity(encoded.len()),
             src_as: Vec::with_capacity(encoded.len()),
             dst_as: Vec::with_capacity(encoded.len()),
@@ -349,9 +354,10 @@ impl PathCorpus {
     }
 
     /// Source id of the most recent RIPE snapshot (the paper's path
-    /// analyses all read this source).
+    /// analyses all read this source). Epoch ingestion advances it to the
+    /// newest appended snapshot.
     pub fn latest_ripe_source(&self) -> usize {
-        self.ripe_source_count - 1
+        self.latest_ripe
     }
 
     /// Source id of the derived ITDK path set.
@@ -670,6 +676,353 @@ impl PathCorpus {
         }
         summary
     }
+
+    // -- serialization and incremental ingestion --------------------
+
+    /// Dump everything a store needs to reconstruct this corpus exactly:
+    /// the column vectors and interning arenas, with enums lowered to
+    /// stable one-byte codes. Indexes, derived columns (`router_hops`,
+    /// `identified`) and rendered labels are *not* dumped — they are pure
+    /// functions of the rest and [`PathCorpus::from_parts`] rebuilds them.
+    pub fn to_parts(&self) -> CorpusParts {
+        CorpusParts {
+            sources: self.sources.clone(),
+            ripe_source_count: self.ripe_source_count as u32,
+            latest_ripe: self.latest_ripe as u32,
+            source: self.source.clone(),
+            src_as: self.src_as.clone(),
+            dst_as: self.dst_as.clone(),
+            effective_len: self.effective_len.clone(),
+            snmp_identified: self.snmp_identified.clone(),
+            slice: self.slice.iter().map(|slice| slice.code()).collect(),
+            set_id: self.set_id.clone(),
+            seq_id: self.seq_id.clone(),
+            edge_vendors: self.edge_vendors.clone(),
+            core_vendors: self.core_vendors.clone(),
+            as_segments: self.as_segments.clone(),
+            runs: self.runs.clone(),
+            seq_spans: self.seq_spans.clone(),
+            sets: self
+                .sets
+                .iter()
+                .map(|set| set.iter().map(|&vendor| vendor_code(vendor)).collect())
+                .collect(),
+        }
+    }
+
+    /// Reconstruct a corpus from dumped parts, validating every id,
+    /// code and span before touching an index (a corrupted store must
+    /// produce an error, never a panic). Byte-identical to the corpus
+    /// the parts were dumped from (`PartialEq`-tested).
+    pub fn from_parts(parts: CorpusParts) -> Result<PathCorpus, String> {
+        let rows = parts.source.len();
+        let columns = [
+            ("src_as", parts.src_as.len()),
+            ("dst_as", parts.dst_as.len()),
+            ("effective_len", parts.effective_len.len()),
+            ("snmp_identified", parts.snmp_identified.len()),
+            ("slice", parts.slice.len()),
+            ("set_id", parts.set_id.len()),
+            ("seq_id", parts.seq_id.len()),
+            ("edge_vendors", parts.edge_vendors.len()),
+            ("core_vendors", parts.core_vendors.len()),
+            ("as_segments", parts.as_segments.len()),
+        ];
+        for (name, len) in columns {
+            if len != rows {
+                return Err(format!("column {name} has {len} rows, expected {rows}"));
+            }
+        }
+        let source_count = parts.sources.len();
+        let ripe_source_count = parts.ripe_source_count as usize;
+        let latest_ripe = parts.latest_ripe as usize;
+        if source_count == 0 {
+            return Err("corpus has no sources".to_string());
+        }
+        for (index, name) in parts.sources.iter().enumerate() {
+            if parts.sources[..index].iter().any(|prior| prior == name) {
+                return Err(format!("duplicate source name '{name}'"));
+            }
+        }
+        if ripe_source_count == 0 || ripe_source_count >= source_count {
+            return Err(format!(
+                "ripe_source_count {ripe_source_count} out of range for {source_count} sources"
+            ));
+        }
+        if latest_ripe >= source_count || latest_ripe == ripe_source_count {
+            return Err(format!(
+                "latest_ripe {latest_ripe} is not a snapshot source id"
+            ));
+        }
+        // Arenas: spans in bounds, codes valid, sets sorted and unique.
+        for &(offset, len) in &parts.seq_spans {
+            let end = (offset as usize)
+                .checked_add(len as usize)
+                .ok_or_else(|| "sequence span overflows".to_string())?;
+            if end > parts.runs.len() {
+                return Err(format!(
+                    "sequence span {offset}+{len} exceeds {} runs",
+                    parts.runs.len()
+                ));
+            }
+        }
+        for &(code, len) in &parts.runs {
+            if code != UNKNOWN_HOP && code_vendor(code).is_none() {
+                return Err(format!("invalid vendor code {code} in run arena"));
+            }
+            if len == 0 {
+                return Err("zero-length run in arena".to_string());
+            }
+        }
+        let sets: Vec<Vec<Vendor>> = parts
+            .sets
+            .iter()
+            .map(|codes| {
+                let set: Vec<Vendor> = codes
+                    .iter()
+                    .map(|&code| {
+                        code_vendor(code)
+                            .ok_or_else(|| format!("invalid vendor code {code} in set"))
+                    })
+                    .collect::<Result<_, String>>()?;
+                if set.windows(2).any(|pair| pair[0] >= pair[1]) {
+                    return Err("vendor set not sorted/unique".to_string());
+                }
+                Ok(set)
+            })
+            .collect::<Result<_, String>>()?;
+        let slice: Vec<UsSlice> = parts
+            .slice
+            .iter()
+            .map(|&code| {
+                UsSlice::from_code(code).ok_or_else(|| format!("invalid slice code {code}"))
+            })
+            .collect::<Result<_, String>>()?;
+
+        let set_labels: Vec<String> = sets
+            .iter()
+            .map(|set| {
+                set.iter()
+                    .map(|vendor| vendor.name().to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .collect();
+
+        let mut corpus = PathCorpus {
+            by_source: parts.sources.iter().map(|_| Vec::new()).collect(),
+            sources: parts.sources,
+            ripe_source_count,
+            latest_ripe,
+            source: parts.source,
+            src_as: parts.src_as,
+            dst_as: parts.dst_as,
+            effective_len: parts.effective_len,
+            router_hops: Vec::with_capacity(rows),
+            identified: Vec::with_capacity(rows),
+            snmp_identified: parts.snmp_identified,
+            slice,
+            set_id: parts.set_id,
+            seq_id: parts.seq_id,
+            edge_vendors: parts.edge_vendors,
+            core_vendors: parts.core_vendors,
+            as_segments: parts.as_segments,
+            runs: parts.runs,
+            seq_spans: parts.seq_spans,
+            sets,
+            set_labels,
+            by_src_as: HashMap::new(),
+            by_dst_as: HashMap::new(),
+            by_length: HashMap::new(),
+            by_set: vec![Vec::new(); parts.sets.len()],
+            by_seq: Vec::new(),
+        };
+        corpus.by_seq = vec![Vec::new(); corpus.seq_spans.len()];
+
+        // Per-row validation + derived columns + index rebuild, one pass
+        // in row order (indexes come out sorted, exactly as built).
+        for row in 0..rows {
+            let source = corpus.source[row] as usize;
+            if source >= source_count {
+                return Err(format!("row {row} references unknown source {source}"));
+            }
+            let seq_id = corpus.seq_id[row] as usize;
+            if seq_id >= corpus.seq_spans.len() {
+                return Err(format!("row {row} references unknown sequence {seq_id}"));
+            }
+            let set_id = corpus.set_id[row] as usize;
+            if set_id >= corpus.sets.len() {
+                return Err(format!("row {row} references unknown set {set_id}"));
+            }
+            let (offset, len) = corpus.seq_spans[seq_id];
+            let runs = &corpus.runs[offset as usize..(offset + len) as usize];
+            let hops: usize = runs.iter().map(|&(_, count)| count as usize).sum();
+            if hops > u16::MAX as usize {
+                return Err(format!("row {row} has {hops} hops (exceeds u16)"));
+            }
+            let identified: usize = runs
+                .iter()
+                .filter(|&&(code, _)| code != UNKNOWN_HOP)
+                .map(|&(_, count)| count as usize)
+                .sum();
+            corpus.router_hops.push(hops as u16);
+            corpus.identified.push(identified as u16);
+
+            let row = row as u32;
+            corpus.by_source[source].push(row);
+            corpus
+                .by_src_as
+                .entry(corpus.src_as[row as usize])
+                .or_default()
+                .push(row);
+            corpus
+                .by_dst_as
+                .entry(corpus.dst_as[row as usize])
+                .or_default()
+                .push(row);
+            corpus.by_length.entry(hops as u16).or_default().push(row);
+            corpus.by_set[set_id].push(row);
+            corpus.by_seq[seq_id].push(row);
+        }
+        Ok(corpus)
+    }
+
+    /// Fold new snapshot sources into a copy of this corpus without
+    /// touching any existing row: per-trace classification of the *new*
+    /// traces fans out through [`scan`] (the same determinism contract as
+    /// [`PathCorpus::build`]), then the serial interning fold appends
+    /// them as fresh sources. The interning tables are re-derived from
+    /// the arenas, so appended rows share sequence/set ids with the base
+    /// corpus — and a one-source-at-a-time chain of calls produces a
+    /// corpus equal to one call carrying every source (regression-tested
+    /// by `lfp-store`).
+    pub fn extended_with(
+        &self,
+        internet: &Internet,
+        additions: &[NewPathSource<'_>],
+        shards: NonZeroUsize,
+    ) -> Result<PathCorpus, String> {
+        let mut corpus = self.clone();
+        // Names must be fresh against the corpus *and* unique within the
+        // batch — otherwise one call could build a corpus whose persisted
+        // form `from_parts` would reject forever.
+        for (index, addition) in additions.iter().enumerate() {
+            if corpus.sources.iter().any(|name| name == &addition.name)
+                || additions[..index]
+                    .iter()
+                    .any(|prior| prior.name == addition.name)
+            {
+                return Err(format!("source '{}' already in corpus", addition.name));
+            }
+        }
+        if corpus.sources.len() + additions.len() > u16::MAX as usize {
+            return Err("source id space exhausted".to_string());
+        }
+        // Re-derive the interning tables from the arenas (cheap relative
+        // to classification; the arenas are append-only so ids persist).
+        let mut seq_intern: HashMap<Vec<(u8, u16)>, u32> = HashMap::new();
+        for (id, &(offset, len)) in corpus.seq_spans.iter().enumerate() {
+            let key = corpus.runs[offset as usize..(offset + len) as usize].to_vec();
+            seq_intern.insert(key, id as u32);
+        }
+        let mut set_intern: HashMap<Vec<Vendor>, u32> = HashMap::new();
+        for (id, set) in corpus.sets.iter().enumerate() {
+            set_intern.insert(set.clone(), id as u32);
+        }
+
+        let config = ScanConfig {
+            shards,
+            pacing: 0.0,
+        };
+        for addition in additions {
+            let source_id = corpus.sources.len();
+            corpus.sources.push(addition.name.clone());
+            corpus.by_source.push(Vec::new());
+            let items: Vec<TraceItem> = addition
+                .traces
+                .iter()
+                .enumerate()
+                .map(|(index, trace)| TraceItem {
+                    index,
+                    source: source_id as u16,
+                    trace,
+                    lfp: addition.lfp,
+                    snmp: addition.snmp,
+                })
+                .collect();
+            let encoded = scan(
+                &items,
+                config,
+                |item| splitmix64(item.index as u64 ^ 0x9e37_79b9_7f4a_7c15),
+                |item, _ctx| encode_path(internet, item),
+            );
+            for path in encoded {
+                corpus.intern(path, &mut seq_intern, &mut set_intern);
+            }
+            if addition.is_ripe_snapshot {
+                corpus.latest_ripe = source_id;
+            }
+        }
+        Ok(corpus)
+    }
+}
+
+/// One snapshot's worth of new traces for [`PathCorpus::extended_with`]:
+/// the traces plus the per-method vendor maps they classify through
+/// (produced by scanning the snapshot's router population and classifying
+/// it against the world's frozen signature set).
+pub struct NewPathSource<'a> {
+    /// Dataset name the new source registers under (must be unused).
+    pub name: String,
+    /// The new traces, in collection order.
+    pub traces: &'a [TraceRecord],
+    /// ip → vendor for unique LFP verdicts over the new population.
+    pub lfp: &'a HashMap<Ipv4Addr, Vendor>,
+    /// ip → vendor for SNMPv3 labels over the new population.
+    pub snmp: &'a HashMap<Ipv4Addr, Vendor>,
+    /// Whether this source is a RIPE-style snapshot (advances
+    /// [`PathCorpus::latest_ripe_source`]).
+    pub is_ripe_snapshot: bool,
+}
+
+/// Everything [`PathCorpus::to_parts`] dumps — plain vectors with enums
+/// lowered to stable codes, ready for a length-prefixed columnar store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusParts {
+    /// Dataset names, index-aligned with source ids.
+    pub sources: Vec<String>,
+    /// How many leading sources are base RIPE snapshots.
+    pub ripe_source_count: u32,
+    /// Source id of the most recent RIPE-style snapshot.
+    pub latest_ripe: u32,
+    /// Source id per row.
+    pub source: Vec<u16>,
+    /// Vantage AS per row.
+    pub src_as: Vec<u32>,
+    /// Destination AS per row.
+    pub dst_as: Vec<u32>,
+    /// Effective path length per row.
+    pub effective_len: Vec<u16>,
+    /// SNMPv3-identified hop count per row.
+    pub snmp_identified: Vec<u16>,
+    /// US slice code per row (see [`UsSlice::code`]).
+    pub slice: Vec<u8>,
+    /// Interned vendor-set id per row.
+    pub set_id: Vec<u32>,
+    /// Interned hop-sequence id per row.
+    pub seq_id: Vec<u32>,
+    /// Distinct identified vendors in the edge segments, per row.
+    pub edge_vendors: Vec<u8>,
+    /// Distinct identified vendors in the transit core, per row.
+    pub core_vendors: Vec<u8>,
+    /// AS segment count per row.
+    pub as_segments: Vec<u16>,
+    /// The shared run-length arena.
+    pub runs: Vec<(u8, u16)>,
+    /// (offset, len) into `runs` per sequence id.
+    pub seq_spans: Vec<(u32, u32)>,
+    /// Vendor codes per interned set (sorted, unique).
+    pub sets: Vec<Vec<u8>>,
 }
 
 /// Intersect two ascending row-id slices (the corpus indexes are built in

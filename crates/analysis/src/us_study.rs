@@ -17,6 +17,25 @@ pub enum UsSlice {
     Other,
 }
 
+impl UsSlice {
+    /// Every slice, in code order.
+    pub const ALL: [UsSlice; 3] = [UsSlice::IntraUs, UsSlice::InterUs, UsSlice::Other];
+
+    /// Stable one-byte code (the store format's on-disk value).
+    pub fn code(self) -> u8 {
+        match self {
+            UsSlice::IntraUs => 0,
+            UsSlice::InterUs => 1,
+            UsSlice::Other => 2,
+        }
+    }
+
+    /// Slice behind a code, if valid.
+    pub fn from_code(code: u8) -> Option<UsSlice> {
+        UsSlice::ALL.get(code as usize).copied()
+    }
+}
+
 /// Classify one trace by its endpoints' registry countries.
 pub fn slice_of(internet: &Internet, trace: &TraceRecord) -> UsSlice {
     let src_us = internet.is_us(trace.src_as);

@@ -92,8 +92,10 @@ pub struct World {
     /// Memoised per-dataset classification maps, index-aligned with
     /// `ripe_scans` plus one trailing slot for `itdk_scan`.
     cache: Vec<ScanCache>,
-    /// Memoised path corpus and its build wall-clock.
-    path_corpus: OnceLock<(PathCorpus, f64)>,
+    /// Memoised path corpus and its build wall-clock. Behind an `Arc` so
+    /// serving layers can hold (and epoch-extend) the corpus without
+    /// borrowing the world.
+    path_corpus: OnceLock<(Arc<PathCorpus>, f64)>,
 }
 
 impl World {
@@ -224,29 +226,8 @@ impl World {
 
         // Finalisation: union the labelled databases, build the classifier.
         let phase_start = Instant::now();
-        let mut union_db = SignatureDb::new();
-        for scan in &ripe_scans {
-            union_db.merge(&scan.signature_db());
-        }
-        union_db.merge(&itdk_scan.signature_db());
-        let set = union_db.finalize(scale.occurrence_threshold);
+        let world = World::assemble(scale, internet, ripe, itdk, ripe_scans, itdk_scan);
         timings.finalize = phase_start.elapsed().as_secs_f64();
-
-        let cache = (0..=ripe_scans.len())
-            .map(|_| ScanCache::default())
-            .collect();
-        let world = World {
-            scale,
-            internet,
-            ripe,
-            itdk,
-            ripe_scans,
-            itdk_scan,
-            union_db,
-            set,
-            cache,
-            path_corpus: OnceLock::new(),
-        };
 
         // Classification: optionally warm the campaign cache for every
         // dataset so experiments start from shared, fully-classified
@@ -267,6 +248,65 @@ impl World {
         }
 
         (world, timings)
+    }
+
+    /// Assemble a world from already-measured parts: union the labelled
+    /// signature databases, finalise the classifier at the scale's
+    /// threshold, and allocate fresh (empty) per-dataset cache slots.
+    ///
+    /// This is the tail of every build — and the constructor `lfp-store`
+    /// uses when loading a persisted campaign: finalisation is a cheap,
+    /// order-independent fold over the labelled rows, so a loaded world's
+    /// classifier equals the originally-built one without re-classifying
+    /// a single target.
+    pub fn assemble(
+        scale: Scale,
+        internet: Internet,
+        ripe: Vec<RipeSnapshot>,
+        itdk: ItdkDataset,
+        ripe_scans: Vec<DatasetScan>,
+        itdk_scan: DatasetScan,
+    ) -> World {
+        let mut union_db = SignatureDb::new();
+        for scan in &ripe_scans {
+            union_db.merge(&scan.signature_db());
+        }
+        union_db.merge(&itdk_scan.signature_db());
+        let set = union_db.finalize(scale.occurrence_threshold);
+        let cache = (0..=ripe_scans.len())
+            .map(|_| ScanCache::default())
+            .collect();
+        World {
+            scale,
+            internet,
+            ripe,
+            itdk,
+            ripe_scans,
+            itdk_scan,
+            union_db,
+            set,
+            cache,
+            path_corpus: OnceLock::new(),
+        }
+    }
+
+    /// Seed the memoised unique-LFP vendor map of one dataset slot
+    /// (`0..ripe_scans.len()` for the snapshots, `ripe_scans.len()` for
+    /// ITDK) with an already-computed map — the store's way of restoring
+    /// classification results without re-running the classifier. Returns
+    /// `false` if the slot does not exist or was already populated.
+    pub fn seed_lfp_vendor_map(&self, slot: usize, map: Arc<HashMap<Ipv4Addr, Vendor>>) -> bool {
+        match self.cache.get(slot) {
+            Some(entry) => entry.lfp_vendors.set(map).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Seed the memoised path corpus with an already-built one (the
+    /// store's way of restoring it without re-classifying any trace).
+    /// Returns `false` if a corpus was already built or seeded.
+    pub fn seed_path_corpus(&self, corpus: Arc<PathCorpus>, seconds: f64) -> bool {
+        self.path_corpus.set((corpus, seconds)).is_ok()
     }
 
     /// Populate every per-dataset cache slot (idempotent).
@@ -311,15 +351,24 @@ impl World {
         let (corpus, _) = self.path_corpus.get_or_init(|| {
             let start = Instant::now();
             let corpus = PathCorpus::build_with_shards(self, shards);
-            (corpus, start.elapsed().as_secs_f64())
+            (Arc::new(corpus), start.elapsed().as_secs_f64())
         });
         corpus
+    }
+
+    /// A shared handle to the memoised corpus (built on first use) —
+    /// what the serving layer holds so epoch swaps never borrow the
+    /// world.
+    pub fn path_corpus_arc(&self) -> Arc<PathCorpus> {
+        let _ = self.path_corpus();
+        let (corpus, _) = self.path_corpus.get().expect("corpus just built");
+        Arc::clone(corpus)
     }
 
     /// The corpus if it has been built, without triggering a build (for
     /// reporting harnesses that must not distort timings).
     pub fn path_corpus_if_built(&self) -> Option<&PathCorpus> {
-        self.path_corpus.get().map(|(corpus, _)| corpus)
+        self.path_corpus.get().map(|(corpus, _)| &**corpus)
     }
 
     /// Wall-clock seconds the corpus build took (0 when not yet built) —

@@ -12,7 +12,7 @@ fn bench_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments");
     group.sample_size(10);
     for experiment in EXPERIMENTS {
-        group.bench_function(experiment.id, |b| b.iter(|| (experiment.run)(world)));
+        group.bench_function(experiment.id, |b| b.iter(|| (experiment.run)(&world)));
     }
     group.finish();
 }

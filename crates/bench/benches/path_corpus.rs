@@ -14,9 +14,9 @@ fn bench_corpus_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("path_corpus_build");
     group.sample_size(10);
     group.bench_function("single_shard", |b| {
-        b.iter(|| PathCorpus::build_with_shards(world, NonZeroUsize::new(1).unwrap()))
+        b.iter(|| PathCorpus::build_with_shards(&world, NonZeroUsize::new(1).unwrap()))
     });
-    group.bench_function("parallel", |b| b.iter(|| PathCorpus::build(world)));
+    group.bench_function("parallel", |b| b.iter(|| PathCorpus::build(&world)));
     group.finish();
 }
 

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use lfp_bench::shared_tiny_world;
 use lfp_query::{run_batch, wire, Query, QueryEngine, Selection};
 
-fn mixed_queries(engine: &QueryEngine<'_>, count: usize) -> Vec<Query> {
+fn mixed_queries(engine: &QueryEngine, count: usize) -> Vec<Query> {
     let src = engine.corpus().src_as_ids();
     let dst = engine.corpus().dst_as_ids();
     (0..count)
@@ -73,12 +73,12 @@ fn bench_batch(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("batch_64_cold_engine", |b| {
         b.iter(|| {
-            let engine = QueryEngine::new(world);
+            let engine = QueryEngine::new(world.clone());
             let queries = mixed_queries(&engine, 64);
             run_batch(&engine, &queries)
         })
     });
-    let engine = QueryEngine::new(world);
+    let engine = QueryEngine::new(world.clone());
     let queries = mixed_queries(&engine, 64);
     run_batch(&engine, &queries);
     group.bench_function("batch_64_warm_cache", |b| {

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--scale tiny|small|paper|path-stress] [--serial] [--json DIR]
+//! experiments [--scale tiny|small|paper|path-stress|query-stress|ingest-stress] [--serial] [--json DIR]
 //!             [--markdown FILE] [--bench-json FILE] [ids…|all]
 //! ```
 //!
@@ -43,7 +43,7 @@ fn main() {
             "--scale" => {
                 let value = args.next().unwrap_or_default();
                 scale = Scale::by_name(&value).unwrap_or_else(|| {
-                    eprintln!("unknown scale '{value}' (tiny|small|paper|path-stress)");
+                    eprintln!("unknown scale '{value}' (tiny|small|paper|path-stress|query-stress|ingest-stress)");
                     std::process::exit(2);
                 });
                 scale_name = value;

@@ -19,6 +19,7 @@
 //! the serving layer shows up next to the campaign phases.
 
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
+use lfp_bench::merge_bench_phase;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -334,7 +335,8 @@ fn drive_worker(addr: &str, mix: &[String], worker: usize, requests: usize) -> W
 }
 
 /// Insert/replace the `query_engine` phase in the bench artefact,
-/// preserving whatever the `experiments` binary already wrote there.
+/// preserving whatever the `experiments` binary already wrote there
+/// (shared merge logic lives in `lfp_bench::merge_bench_phase`).
 #[allow(clippy::too_many_arguments)]
 fn write_bench_phase(
     path: &str,
@@ -360,37 +362,6 @@ fn write_bench_phase(
     phase.number("cache_hit_percent", hit_percent);
     phase.integer("errors", errors);
     let phase = parse(&phase.finish()).expect("phase JSON is valid");
-
-    let mut document = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|text| parse(&text).ok())
-        .unwrap_or_else(|| {
-            let mut fresh = JsonBuilder::object();
-            fresh.string("artifact", "BENCH_campaign");
-            parse(&fresh.finish()).expect("fresh JSON is valid")
-        });
-    if document.set("query_engine", phase.clone()).is_none() {
-        eprintln!("warning: {path} is not a JSON object; rewriting it");
-        let mut fresh = JsonBuilder::object();
-        fresh.string("artifact", "BENCH_campaign");
-        document = parse(&fresh.finish()).expect("fresh JSON is valid");
-        document.set("query_engine", phase);
-    }
-    // Mirror the wall-clock into phases_seconds so the serving layer
-    // lines up with the campaign phases.
-    if let Some(phases) = document.get("phases_seconds") {
-        let mut phases = phases.clone();
-        phases.set("query_engine", JsonValue::Number(seconds));
-        document.set("phases_seconds", phases);
-    }
-
-    // Pretty top level (one field per line), like the experiments bin.
-    let mut rendered = JsonBuilder::object();
-    if let Some(fields) = document.as_object() {
-        for (key, value) in fields {
-            rendered.raw(key, value.render());
-        }
-    }
-    std::fs::write(path, rendered.finish_pretty() + "\n").expect("write bench json");
+    merge_bench_phase(path, "query_engine", phase, Some(seconds));
     eprintln!("wrote query_engine phase to {path}");
 }

@@ -1,0 +1,155 @@
+//! store-tool — offline companion for the persistent world store.
+//!
+//! ```text
+//! store-tool deltas  --scale NAME --count N --out DIR
+//! store-tool inspect --store PATH
+//! ```
+//!
+//! `deltas` measures `N` snapshot campaigns *beyond* a scale's base
+//! campaign — the planning churn chain simply continues past
+//! `scale.snapshots`, so the deltas are exactly the snapshots a
+//! longer-running measurement would have collected next — scans each
+//! delta's router population, and writes one `*.delta` file per
+//! snapshot (consumed by `vendor-queryd --ingest DIR`).
+//!
+//! `inspect` prints a store file's section layout and campaign summary
+//! without loading a world.
+
+use lfp_core::pipeline::scan_dataset;
+use lfp_store::codec::decode_campaign;
+use lfp_store::format::{FileReader, MAGIC};
+use lfp_store::SnapshotDelta;
+use lfp_topo::datasets::{measure_ripe_snapshot, plan_ripe_snapshots_extended};
+use lfp_topo::{Internet, Scale};
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("deltas") => deltas(args),
+        Some("inspect") => inspect(args),
+        _ => usage("expected a subcommand"),
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: store-tool deltas --scale NAME --count N --out DIR");
+    eprintln!("       store-tool inspect --store PATH");
+    std::process::exit(2);
+}
+
+fn deltas(mut args: impl Iterator<Item = String>) {
+    let mut scale = Scale::ingest_stress();
+    let mut scale_name = "ingest-stress".to_string();
+    let mut count = 2usize;
+    let mut out = "deltas".to_string();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().unwrap_or_default();
+                scale = Scale::by_name(&value)
+                    .unwrap_or_else(|| usage(&format!("unknown scale '{value}'")));
+                scale_name = value;
+            }
+            "--count" => {
+                count = args
+                    .next()
+                    .and_then(|value| value.parse().ok())
+                    .unwrap_or_else(|| usage("--count needs a number"))
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a dir")),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if count == 0 {
+        usage("--count must be at least 1");
+    }
+    std::fs::create_dir_all(&out).unwrap_or_else(|error| {
+        eprintln!("cannot create {out}: {error}");
+        std::process::exit(1);
+    });
+
+    eprintln!("generating internet at scale '{scale_name}'…");
+    let start = Instant::now();
+    let internet = Internet::generate(scale);
+    let base = scale.snapshots;
+    let plans = plan_ripe_snapshots_extended(&internet, base + count);
+    for (index, plan) in plans[base..].iter().enumerate() {
+        let measure_start = Instant::now();
+        let snapshot = measure_ripe_snapshot(&internet, &internet.network().fork(), plan);
+        let targets: Vec<Ipv4Addr> = snapshot.router_ips.iter().copied().collect();
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let scan = scan_dataset(&internet.network().fork(), &snapshot.name, &targets, shards);
+        let delta = SnapshotDelta::from_measurement(&snapshot, &scan);
+        let path = PathBuf::from(&out).join(format!("{:02}-{}.delta", index + 1, snapshot.name));
+        std::fs::write(&path, delta.to_bytes()).unwrap_or_else(|error| {
+            eprintln!("cannot write {}: {error}", path.display());
+            std::process::exit(1);
+        });
+        println!(
+            "wrote {} ({} traces, {} targets) in {:.2}s",
+            path.display(),
+            delta.traces.len(),
+            delta.targets.len(),
+            measure_start.elapsed().as_secs_f64(),
+        );
+    }
+    eprintln!(
+        "emitted {count} snapshot deltas beyond {scale_name}'s base campaign in {:.2}s",
+        start.elapsed().as_secs_f64()
+    );
+}
+
+fn inspect(mut args: impl Iterator<Item = String>) {
+    let mut store: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => store = args.next(),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let path = store.unwrap_or_else(|| usage("inspect needs --store PATH"));
+    let bytes = std::fs::read(&path).unwrap_or_else(|error| {
+        eprintln!("cannot read {path}: {error}");
+        std::process::exit(1);
+    });
+    let file = match FileReader::parse(&bytes, MAGIC) {
+        Ok(file) => file,
+        Err(error) => {
+            eprintln!("{path}: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("{path}: {} bytes", bytes.len());
+    for (tag, len) in file.section_summaries() {
+        println!("  section {tag:<4} {len:>12} bytes");
+    }
+    match decode_campaign(&bytes) {
+        Ok(campaign) => {
+            println!(
+                "  campaign: {} snapshots + ITDK, {} corpus rows over {} sources, epoch {}",
+                campaign.ripe.len(),
+                campaign.corpus.source.len(),
+                campaign.corpus.sources.len(),
+                campaign.epoch,
+            );
+            for delta in &campaign.deltas {
+                println!(
+                    "  epoch delta {}: {} traces, {} targets",
+                    delta.name,
+                    delta.traces.len(),
+                    delta.targets.len()
+                );
+            }
+        }
+        Err(error) => {
+            eprintln!("{path}: sections verify but campaign is invalid: {error}");
+            std::process::exit(1);
+        }
+    }
+}

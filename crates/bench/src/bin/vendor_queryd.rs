@@ -1,28 +1,51 @@
 //! vendor-queryd — serve vendor-intelligence queries over TCP.
 //!
 //! ```text
-//! vendor-queryd [--scale tiny|small|paper|path-stress|query-stress]
+//! vendor-queryd [--scale tiny|small|paper|path-stress|query-stress|ingest-stress]
 //!               [--addr 127.0.0.1] [--port 7377]
 //!               [--cache-shards N] [--cache-capacity N]
+//!               [--store PATH] [--ingest DIR] [--bench-json FILE]
 //! ```
 //!
-//! Builds one fully measured `World` at the requested scale, wraps it in
-//! an `lfp_query::QueryEngine`, and serves the line protocol (see
-//! `lfp_query::wire`): one JSON query per line in, one JSON result per
-//! line out, one thread per connection, all connections sharing the
-//! engine's result cache. `--port 0` binds an ephemeral port; the
-//! `listening on` line printed to stdout carries the actual address.
+//! Serves the line protocol (see `lfp_query::wire`): one JSON query per
+//! line in, one JSON result per line out, one thread per connection, all
+//! connections sharing the current epoch's result cache. `--port 0`
+//! binds an ephemeral port; the `listening on` line printed to stdout
+//! carries the actual address.
+//!
+//! ## Persistence and ingestion
+//!
+//! Without `--store`, the daemon measures a fresh `World` at the
+//! requested scale on every start. With `--store PATH`:
+//!
+//! * if `PATH` exists, the daemon **cold-starts from the store** — the
+//!   deterministic Internet regenerates, everything measured or
+//!   classified loads from disk, and serving resumes at the persisted
+//!   epoch (an order of magnitude faster than a rebuild);
+//! * otherwise the daemon builds the world once and **saves the store**
+//!   to `PATH` for the next start.
+//!
+//! `--ingest DIR` then folds every `*.delta` file in `DIR` (sorted by
+//! file name; written by `store-tool deltas`) into the serving state as
+//! one epoch per snapshot before the listener opens, and re-persists the
+//! store when `--store` is set. `--bench-json FILE` records the
+//! `store` phase — rebuild seconds on the first run, load seconds and
+//! the rebuild/load speedup on a restart.
 //!
 //! Two control lines exist beyond the query grammar:
 //! `{"query": "shutdown"}` stops the daemon (after acknowledging), and
 //! an EOF or `quit` line ends one connection.
 
-use lfp_analysis::json::parse;
+use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_analysis::World;
-use lfp_query::{wire, QueryEngine};
+use lfp_bench::{merge_bench_phase, read_bench_phase};
+use lfp_query::wire;
+use lfp_store::{SnapshotDelta, Store};
 use lfp_topo::Scale;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -33,6 +56,9 @@ fn main() {
     let mut port = 7377u16;
     let mut cache_shards = 16usize;
     let mut cache_capacity = 4096usize;
+    let mut store_path: Option<String> = None;
+    let mut ingest_dir: Option<String> = None;
+    let mut bench_json: Option<String> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,7 +66,8 @@ fn main() {
                 let value = args.next().unwrap_or_default();
                 scale = Scale::by_name(&value).unwrap_or_else(|| {
                     eprintln!(
-                        "unknown scale '{value}' (tiny|small|paper|path-stress|query-stress)"
+                        "unknown scale '{value}' \
+                         (tiny|small|paper|path-stress|query-stress|ingest-stress)"
                     );
                     std::process::exit(2);
                 });
@@ -50,23 +77,46 @@ fn main() {
             "--port" => port = parse_number(args.next(), "--port"),
             "--cache-shards" => cache_shards = parse_number(args.next(), "--cache-shards"),
             "--cache-capacity" => cache_capacity = parse_number(args.next(), "--cache-capacity"),
+            "--store" => {
+                store_path = Some(args.next().unwrap_or_else(|| usage("--store needs a path")))
+            }
+            "--ingest" => {
+                ingest_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--ingest needs a directory")),
+                )
+            }
+            "--bench-json" => {
+                bench_json = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--bench-json needs a path")),
+                )
+            }
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
 
-    eprintln!(
-        "building world at scale '{scale_name}' (~{} routers)…",
-        scale.approx_routers()
+    let store = open_store(
+        scale,
+        &scale_name,
+        store_path.as_deref(),
+        cache_shards,
+        cache_capacity,
+        bench_json.as_deref(),
     );
-    let build_start = Instant::now();
-    let world = World::build(scale);
-    let engine = QueryEngine::with_cache(&world, cache_shards, cache_capacity);
-    eprintln!(
-        "world + engine ready in {:.1}s ({} paths, {} sequences)",
-        build_start.elapsed().as_secs_f64(),
-        engine.corpus().len(),
-        engine.corpus().distinct_sequences(),
-    );
+
+    if let Some(dir) = ingest_dir.as_deref() {
+        ingest_directory(&store, dir);
+        if let Some(path) = store_path.as_deref() {
+            match store.save(Path::new(path)) {
+                Ok(report) => eprintln!(
+                    "re-persisted store after ingest ({} bytes in {:.3}s)",
+                    report.bytes, report.seconds
+                ),
+                Err(error) => eprintln!("warning: could not re-persist store: {error}"),
+            }
+        }
+    }
 
     let listener = TcpListener::bind((addr.as_str(), port)).unwrap_or_else(|error| {
         eprintln!("cannot bind {addr}:{port}: {error}");
@@ -75,8 +125,9 @@ fn main() {
     let local = listener.local_addr().expect("bound socket has an address");
     // The readiness line clients and CI wait for — keep it stable.
     println!(
-        "vendor-queryd listening on {local} (scale {scale_name}, {} paths)",
-        engine.corpus().len()
+        "vendor-queryd listening on {local} (scale {scale_name}, {} paths, epoch {})",
+        store.engine().corpus().len(),
+        store.epoch(),
     );
     std::io::stdout().flush().ok();
 
@@ -84,8 +135,8 @@ fn main() {
         for connection in listener.incoming() {
             match connection {
                 Ok(stream) => {
-                    let engine = &engine;
-                    scope.spawn(move || serve_connection(stream, engine));
+                    let store = &store;
+                    scope.spawn(move || serve_connection(stream, store));
                 }
                 Err(error) => eprintln!("accept failed: {error}"),
             }
@@ -93,11 +144,173 @@ fn main() {
     });
 }
 
+/// Open the serving store: load from `--store` when the file exists,
+/// else build (and persist, when `--store` was given). Records the
+/// `store` bench phase either way.
+fn open_store(
+    scale: Scale,
+    scale_name: &str,
+    store_path: Option<&str>,
+    cache_shards: usize,
+    cache_capacity: usize,
+    bench_json: Option<&str>,
+) -> Store {
+    if let Some(path) = store_path {
+        if Path::new(path).exists() {
+            eprintln!("loading store from {path}…");
+            let (store, report) =
+                Store::load_with_cache(Path::new(path), cache_shards, cache_capacity)
+                    .unwrap_or_else(|error| {
+                        eprintln!("cannot load store {path}: {error}");
+                        std::process::exit(1);
+                    });
+            if store.world().scale != scale {
+                eprintln!(
+                    "warning: store was built at a different scale; serving the stored campaign"
+                );
+            }
+            eprintln!(
+                "cold start from store in {:.3}s ({} bytes, epoch {}, {} paths)",
+                report.seconds,
+                report.bytes,
+                report.epoch,
+                store.engine().corpus().len(),
+            );
+            if let Some(bench) = bench_json {
+                record_store_phase(bench, scale_name, None, Some(report.seconds), report.bytes);
+            }
+            return store;
+        }
+    }
+
+    eprintln!(
+        "building world at scale '{scale_name}' (~{} routers)…",
+        scale.approx_routers()
+    );
+    let build_start = Instant::now();
+    let world = Arc::new(World::build(scale));
+    let store = Store::from_world_with_cache(world, cache_shards, cache_capacity);
+    let rebuild_seconds = build_start.elapsed().as_secs_f64();
+    eprintln!(
+        "world + engine ready in {rebuild_seconds:.1}s ({} paths, {} sequences)",
+        store.engine().corpus().len(),
+        store.engine().corpus().distinct_sequences(),
+    );
+    let mut bytes = 0u64;
+    if let Some(path) = store_path {
+        match store.save(Path::new(path)) {
+            Ok(report) => {
+                bytes = report.bytes;
+                eprintln!(
+                    "saved store to {path} ({} bytes in {:.3}s)",
+                    report.bytes, report.seconds
+                );
+            }
+            Err(error) => eprintln!("warning: could not save store to {path}: {error}"),
+        }
+    }
+    if let Some(bench) = bench_json {
+        record_store_phase(bench, scale_name, Some(rebuild_seconds), None, bytes);
+    }
+    store
+}
+
+/// Merge the `store` phase into the bench artefact. Rebuild and load
+/// runs each contribute their half; once both halves are present the
+/// phase carries the cold-start speedup CI asserts on.
+fn record_store_phase(
+    path: &str,
+    scale_name: &str,
+    rebuild_seconds: Option<f64>,
+    load_seconds: Option<f64>,
+    bytes: u64,
+) {
+    let previous = read_bench_phase(path, "store");
+    let field = |name: &str| -> Option<f64> {
+        previous
+            .as_ref()
+            .and_then(|phase| phase.get(name))
+            .and_then(JsonValue::as_f64)
+    };
+    let rebuild = rebuild_seconds.or_else(|| field("rebuild_seconds"));
+    let load = load_seconds.or_else(|| field("load_seconds"));
+
+    let mut phase = JsonBuilder::object();
+    phase.string("scale", scale_name);
+    if let Some(rebuild) = rebuild {
+        phase.number("rebuild_seconds", rebuild);
+    }
+    if let Some(load) = load {
+        phase.number("load_seconds", load);
+    }
+    if bytes > 0 {
+        phase.integer("store_bytes", bytes);
+    }
+    if let (Some(rebuild), Some(load)) = (rebuild, load) {
+        phase.number("speedup", rebuild / load.max(1e-9));
+    }
+    let seconds = load_seconds.or(rebuild_seconds);
+    let phase = parse(&phase.finish()).expect("phase JSON is valid");
+    merge_bench_phase(path, "store", phase, seconds);
+    eprintln!("recorded store phase in {path}");
+}
+
+/// Ingest every `*.delta` file in a directory, sorted by file name, one
+/// epoch per snapshot.
+fn ingest_directory(store: &Store, dir: &str) {
+    let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.path())
+            .filter(|path| path.extension().is_some_and(|ext| ext == "delta"))
+            .collect(),
+        Err(error) => {
+            eprintln!("cannot read ingest directory {dir}: {error}");
+            std::process::exit(1);
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("warning: no *.delta files in {dir}");
+        return;
+    }
+    for path in paths {
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(error) => {
+                eprintln!("cannot read {}: {error}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let delta = match SnapshotDelta::from_bytes(&bytes) {
+            Ok(delta) => delta,
+            Err(error) => {
+                eprintln!("cannot decode {}: {error}", path.display());
+                std::process::exit(1);
+            }
+        };
+        match store.ingest(delta) {
+            Ok(report) => eprintln!(
+                "ingested {} → epoch {} (+{} paths in {:.3}s)",
+                report.sources.join(", "),
+                report.epoch,
+                report.new_paths,
+                report.seconds,
+            ),
+            Err(error) => {
+                eprintln!("ingest of {} failed: {error}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: vendor-queryd [--scale NAME] [--addr HOST] [--port N] \
-         [--cache-shards N] [--cache-capacity N]"
+         [--cache-shards N] [--cache-capacity N] \
+         [--store PATH] [--ingest DIR] [--bench-json FILE]"
     );
     std::process::exit(2);
 }
@@ -167,8 +380,10 @@ fn read_bounded_line<R: BufRead>(reader: &mut R) -> std::io::Result<LineRead> {
     }
 }
 
-/// One connection: read a line, answer a line, until EOF/`quit`.
-fn serve_connection(stream: TcpStream, engine: &QueryEngine<'_>) {
+/// One connection: read a line, answer a line, until EOF/`quit`. The
+/// serving engine is fetched from the store **per request**, so a
+/// long-lived connection observes an epoch swap on its very next query.
+fn serve_connection(stream: TcpStream, store: &Store) {
     // One request per round trip: Nagle would add 40ms to every answer.
     stream.set_nodelay(true).ok();
     let Ok(read_half) = stream.try_clone() else {
@@ -196,7 +411,7 @@ fn serve_connection(stream: TcpStream, engine: &QueryEngine<'_>) {
         if line == "quit" {
             break;
         }
-        let (reply, shutdown) = respond(line, engine);
+        let (reply, shutdown) = respond(line, store);
         if writeln!(writer, "{reply}")
             .and_then(|()| writer.flush())
             .is_err()
@@ -204,10 +419,13 @@ fn serve_connection(stream: TcpStream, engine: &QueryEngine<'_>) {
             break;
         }
         if shutdown {
-            let stats = engine.cache_stats();
+            let stats = store.engine().cache_stats();
             eprintln!(
-                "shutdown requested ({} cache entries, {} hits / {} misses)",
-                stats.entries, stats.hits, stats.misses
+                "shutdown requested at epoch {} ({} cache entries, {} hits / {} misses)",
+                store.epoch(),
+                stats.entries,
+                stats.hits,
+                stats.misses
             );
             std::process::exit(0);
         }
@@ -216,7 +434,7 @@ fn serve_connection(stream: TcpStream, engine: &QueryEngine<'_>) {
 
 /// Answer one protocol line. The bool asks the caller to exit the
 /// process (the `shutdown` control query) after the reply is flushed.
-fn respond(line: &str, engine: &QueryEngine<'_>) -> (String, bool) {
+fn respond(line: &str, store: &Store) -> (String, bool) {
     let value = match parse(line) {
         Ok(value) => value,
         Err(error) => {
@@ -232,9 +450,13 @@ fn respond(line: &str, engine: &QueryEngine<'_>) -> (String, bool) {
             true,
         );
     }
+    let engine = store.engine();
     match wire::decode_value(&value) {
         Ok(query) => match engine.execute(&query) {
-            Ok(response) => (wire::ok_envelope(&query.canonical(), &response), false),
+            Ok(response) => (
+                wire::ok_envelope(&engine.canonical(&query), &response),
+                false,
+            ),
             Err(error) => (wire::error_envelope(&error), false),
         },
         Err(error) => (wire::error_envelope(&error), false),

@@ -11,21 +11,69 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_analysis::World;
 use lfp_topo::Scale;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A lazily built tiny world shared by benches (building a world is
 /// expensive; timing individual experiments should not re-measure it).
-pub fn shared_tiny_world() -> &'static World {
-    static WORLD: OnceLock<World> = OnceLock::new();
-    WORLD.get_or_init(|| World::build(Scale::tiny()))
+/// Shared ownership so serving-layer benches can hand it to a
+/// `QueryEngine` directly.
+pub fn shared_tiny_world() -> Arc<World> {
+    static WORLD: OnceLock<Arc<World>> = OnceLock::new();
+    Arc::clone(WORLD.get_or_init(|| Arc::new(World::build(Scale::tiny()))))
 }
 
 /// A lazily built small world for scaling benches.
-pub fn shared_small_world() -> &'static World {
-    static WORLD: OnceLock<World> = OnceLock::new();
-    WORLD.get_or_init(|| World::build(Scale::small()))
+pub fn shared_small_world() -> Arc<World> {
+    static WORLD: OnceLock<Arc<World>> = OnceLock::new();
+    Arc::clone(WORLD.get_or_init(|| Arc::new(World::build(Scale::small()))))
+}
+
+/// Insert/replace one named phase object in `BENCH_campaign.json`,
+/// preserving every other top-level field (the `experiments`,
+/// `query-bench` and `vendor-queryd` binaries all write into the same
+/// artefact). When `seconds` is given, `phases_seconds.<name>` is
+/// mirrored so the phase lines up with the campaign timings.
+pub fn merge_bench_phase(path: &str, name: &str, phase: JsonValue, seconds: Option<f64>) {
+    let mut document = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| parse(&text).ok())
+        .unwrap_or_else(|| {
+            let mut fresh = JsonBuilder::object();
+            fresh.string("artifact", "BENCH_campaign");
+            parse(&fresh.finish()).expect("fresh JSON is valid")
+        });
+    if document.set(name, phase.clone()).is_none() {
+        eprintln!("warning: {path} is not a JSON object; rewriting it");
+        let mut fresh = JsonBuilder::object();
+        fresh.string("artifact", "BENCH_campaign");
+        document = parse(&fresh.finish()).expect("fresh JSON is valid");
+        document.set(name, phase);
+    }
+    if let (Some(seconds), Some(phases)) = (seconds, document.get("phases_seconds")) {
+        let mut phases = phases.clone();
+        phases.set(name, JsonValue::Number(seconds));
+        document.set("phases_seconds", phases);
+    }
+
+    // Pretty top level (one field per line), like the experiments bin.
+    let mut rendered = JsonBuilder::object();
+    if let Some(fields) = document.as_object() {
+        for (key, value) in fields {
+            rendered.raw(key, value.render());
+        }
+    }
+    std::fs::write(path, rendered.finish_pretty() + "\n").expect("write bench json");
+}
+
+/// Read one phase object back from the bench artefact, if present (the
+/// store bench uses this to compute rebuild-vs-load speedups across two
+/// daemon runs).
+pub fn read_bench_phase(path: &str, name: &str) -> Option<JsonValue> {
+    let text = std::fs::read_to_string(path).ok()?;
+    parse(&text).ok()?.get(name).cloned()
 }
 
 #[cfg(test)]
@@ -34,8 +82,8 @@ mod tests {
 
     #[test]
     fn shared_world_is_cached() {
-        let a = shared_tiny_world() as *const World;
-        let b = shared_tiny_world() as *const World;
-        assert_eq!(a, b);
+        let a = shared_tiny_world();
+        let b = shared_tiny_world();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

@@ -27,7 +27,7 @@ fn shard_key(query: &Query) -> u64 {
 /// submission order; each entry is the same `Ok`/`Err` the query would
 /// produce alone.
 pub fn run_batch_with_shards(
-    engine: &QueryEngine<'_>,
+    engine: &QueryEngine,
     queries: &[Query],
     shards: NonZeroUsize,
 ) -> Vec<Result<Response, String>> {
@@ -41,7 +41,7 @@ pub fn run_batch_with_shards(
 }
 
 /// Execute a batch with the default shard budget (one worker per core).
-pub fn run_batch(engine: &QueryEngine<'_>, queries: &[Query]) -> Vec<Result<Response, String>> {
+pub fn run_batch(engine: &QueryEngine, queries: &[Query]) -> Vec<Result<Response, String>> {
     run_batch_with_shards(engine, queries, ScanConfig::default().shards)
 }
 

@@ -1,11 +1,23 @@
 //! The query engine: plan → execute → render → cache.
 //!
-//! A [`QueryEngine`] borrows a measured [`World`] (and its memoised
-//! [`PathCorpus`]), pre-aggregates the per-AS vendor counts the
-//! vendor-mix queries read, and serves every query as rendered JSON
-//! bytes. Execution is deterministic — a pure function of the world and
-//! the query — so the cache may return stored bytes without changing any
-//! observable result (property-tested in `tests/determinism.rs`).
+//! A [`QueryEngine`] holds shared ownership of a measured [`World`] and
+//! a [`PathCorpus`] (normally the world's memoised one, but an epoch
+//! store may hand it an *extended* corpus), pre-aggregates the per-AS
+//! vendor counts the vendor-mix queries read, and serves every query as
+//! rendered JSON bytes. Execution is deterministic — a pure function of
+//! the engine's state and the query — so the cache may return stored
+//! bytes without changing any observable result (property-tested in
+//! `tests/determinism.rs`).
+//!
+//! ## Epochs
+//!
+//! Every engine carries an **epoch id**: 0 for an engine built straight
+//! from a world, `n` after `n` snapshots have been ingested by an epoch
+//! store. The epoch participates in the canonical form the engine caches
+//! and echoes ([`QueryEngine::canonical`]), which is what makes a shared
+//! result cache safe across an epoch swap: the new engine's keys never
+//! collide with the old engine's, so a stale answer is structurally
+//! unservable and old entries simply age out of the LRU.
 
 use crate::cache::{CacheStats, ShardedLru};
 use crate::plan::select_rows;
@@ -16,7 +28,8 @@ use lfp_analysis::path_corpus::{LabelSource, PathCorpus};
 use lfp_analysis::World;
 use lfp_stack::vendor::Vendor;
 use lfp_topo::Continent;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 /// How many vendor combinations a path-diversity answer ranks.
@@ -34,48 +47,112 @@ pub struct Response {
     pub cached: bool,
 }
 
-/// The serving engine. Shareable by reference across worker threads and
-/// connection handlers (all interior mutability lives in the cache).
-pub struct QueryEngine<'w> {
-    world: &'w World,
-    corpus: &'w PathCorpus,
+/// The serving engine. Shareable by reference (or `Arc`) across worker
+/// threads and connection handlers (all interior mutability lives in the
+/// cache).
+pub struct QueryEngine {
+    world: Arc<World>,
+    corpus: Arc<PathCorpus>,
     /// AS → vendor → identified-router count, per identification method,
-    /// over the latest RIPE snapshot (the paper's §5 dataset).
+    /// over the engine's latest snapshot (the paper's §5 dataset; the
+    /// newest ingested snapshot after an epoch swap).
     per_as_lfp: BTreeMap<u32, BTreeMap<Vendor, usize>>,
     per_as_snmp: BTreeMap<u32, BTreeMap<Vendor, usize>>,
-    cache: ShardedLru,
+    cache: Arc<ShardedLru>,
+    epoch: u64,
 }
 
-impl<'w> QueryEngine<'w> {
+impl QueryEngine {
     /// Default cache geometry: 16 shards, 4096 resident results.
-    pub fn new(world: &'w World) -> QueryEngine<'w> {
+    pub fn new(world: Arc<World>) -> QueryEngine {
         Self::with_cache(world, 16, 4096)
     }
 
-    /// Build with explicit cache geometry. Triggers the world's corpus
-    /// build (memoised) and one classification pass for the vendor-mix
-    /// aggregates; both are shared with every other consumer of the
-    /// world.
-    pub fn with_cache(world: &'w World, shards: usize, capacity: usize) -> QueryEngine<'w> {
-        let corpus = world.path_corpus();
-        let (snapshot, scan) = world.latest_ripe();
-        let targets: Vec<_> = snapshot.router_ips.iter().copied().collect();
-        let per_as_lfp =
-            per_as_vendor_counts(&world.internet, &targets, &world.lfp_vendor_map(scan));
-        let per_as_snmp =
-            per_as_vendor_counts(&world.internet, &targets, &world.snmp_vendor_map(scan));
+    /// Build with explicit cache geometry at epoch 0. Triggers the
+    /// world's corpus build (memoised) and one classification pass for
+    /// the vendor-mix aggregates; both are shared with every other
+    /// consumer of the world.
+    pub fn with_cache(world: Arc<World>, shards: usize, capacity: usize) -> QueryEngine {
+        let corpus = world.path_corpus_arc();
+        let (targets, lfp, snmp) = {
+            let (snapshot, scan) = world.latest_ripe();
+            let targets: Vec<Ipv4Addr> = snapshot.router_ips.iter().copied().collect();
+            (
+                targets,
+                world.lfp_vendor_map(scan),
+                world.snmp_vendor_map(scan),
+            )
+        };
+        Self::for_epoch(
+            world,
+            corpus,
+            &targets,
+            &lfp,
+            &snmp,
+            Arc::new(ShardedLru::new(shards, capacity)),
+            0,
+        )
+    }
+
+    /// Build an engine for one epoch of a serving store: an explicit
+    /// corpus (possibly extended past the world's memoised one), the
+    /// newest snapshot's router population and vendor maps for the
+    /// vendor-mix aggregates, a **shared** result cache, and the epoch id
+    /// that tags every cache key this engine writes or reads.
+    pub fn for_epoch(
+        world: Arc<World>,
+        corpus: Arc<PathCorpus>,
+        latest_targets: &[Ipv4Addr],
+        lfp: &HashMap<Ipv4Addr, Vendor>,
+        snmp: &HashMap<Ipv4Addr, Vendor>,
+        cache: Arc<ShardedLru>,
+        epoch: u64,
+    ) -> QueryEngine {
+        let per_as_lfp = per_as_vendor_counts(&world.internet, latest_targets, lfp);
+        let per_as_snmp = per_as_vendor_counts(&world.internet, latest_targets, snmp);
         QueryEngine {
             world,
             corpus,
             per_as_lfp,
             per_as_snmp,
-            cache: ShardedLru::new(shards, capacity),
+            cache,
+            epoch,
         }
     }
 
     /// The corpus this engine serves (for catalogs and tests).
     pub fn corpus(&self) -> &PathCorpus {
-        self.corpus
+        &self.corpus
+    }
+
+    /// A shared handle to the served corpus (the epoch store extends it
+    /// into the next epoch's corpus).
+    pub fn corpus_arc(&self) -> Arc<PathCorpus> {
+        Arc::clone(&self.corpus)
+    }
+
+    /// The world this engine serves.
+    pub fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
+    /// This engine's epoch id (0 for a freshly built world; incremented
+    /// by each ingested snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A shared handle to the result cache (epoch swaps pass it to the
+    /// next engine; epoch-tagged keys keep the generations disjoint).
+    pub fn cache_handle(&self) -> Arc<ShardedLru> {
+        Arc::clone(&self.cache)
+    }
+
+    /// The canonical form this engine caches under and echoes: the
+    /// query's canonical JSON with the engine's epoch appended (see
+    /// [`Query::canonical_at`]).
+    pub fn canonical(&self, query: &Query) -> String {
+        query.canonical_at(self.epoch)
     }
 
     /// Cache counters since construction.
@@ -83,10 +160,11 @@ impl<'w> QueryEngine<'w> {
         self.cache.stats()
     }
 
-    /// Answer one query: cache lookup by canonical key, else compute,
-    /// render and store. Errors (unknown source dataset) are not cached.
+    /// Answer one query: cache lookup by the epoch-tagged canonical key,
+    /// else compute, render and store. Errors (unknown source dataset)
+    /// are not cached.
     pub fn execute(&self, query: &Query) -> Result<Response, String> {
-        let key = query.canonical();
+        let key = self.canonical(query);
         if let Some(payload) = self.cache.get(&key) {
             return Ok(Response {
                 payload,
@@ -120,15 +198,15 @@ impl<'w> QueryEngine<'w> {
                 |candidate| self.world.internet.continent_of(candidate) == *region,
             )),
             Query::PathDiversity { selection } => {
-                let plan = select_rows(self.corpus, selection)?;
+                let plan = select_rows(&self.corpus, selection)?;
                 Ok(self.path_diversity(&plan.rows, &plan.explain))
             }
             Query::Transitions { selection } => {
-                let plan = select_rows(self.corpus, selection)?;
+                let plan = select_rows(&self.corpus, selection)?;
                 Ok(self.transitions(&plan.rows, &plan.explain))
             }
             Query::LongestRuns { selection } => {
-                let plan = select_rows(self.corpus, selection)?;
+                let plan = select_rows(&self.corpus, selection)?;
                 Ok(self.longest_runs(&plan.rows, &plan.explain))
             }
             Query::Catalog => Ok(self.catalog()),
@@ -183,7 +261,7 @@ impl<'w> QueryEngine<'w> {
     }
 
     fn path_diversity(&self, rows: &[u32], explain: &str) -> String {
-        let corpus = self.corpus;
+        let corpus = &self.corpus;
         let identified = corpus.identified_paths(rows);
         let single = corpus.count_set_size(rows, 1);
         let multi = identified.saturating_sub(single);
@@ -260,13 +338,14 @@ impl<'w> QueryEngine<'w> {
     }
 
     fn catalog(&self) -> String {
-        let corpus = self.corpus;
+        let corpus = &self.corpus;
         let sample = |ids: Vec<u32>| {
             ids.into_iter()
                 .take(CATALOG_SAMPLE)
                 .map(|id| id.to_string())
         };
         let mut json = JsonBuilder::object();
+        json.integer("epoch", self.epoch);
         json.string_array("sources", corpus.sources());
         json.string(
             "latest_source",
@@ -303,7 +382,7 @@ mod tests {
     use crate::testutil::shared_world;
     use lfp_analysis::json::parse;
 
-    fn engine() -> QueryEngine<'static> {
+    fn engine() -> QueryEngine {
         QueryEngine::new(shared_world())
     }
 

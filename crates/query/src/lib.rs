@@ -28,9 +28,10 @@
 //! use lfp_analysis::World;
 //! use lfp_query::{wire, QueryEngine};
 //! use lfp_topo::Scale;
+//! use std::sync::Arc;
 //!
-//! let world = World::build(Scale::tiny());
-//! let engine = QueryEngine::new(&world);
+//! let world = Arc::new(World::build(Scale::tiny()));
+//! let engine = QueryEngine::new(world);
 //! let query = wire::decode(r#"{"query": "path_diversity", "src_as": 3, "dst_as": 9}"#)?;
 //! let response = engine.execute(&query)?;
 //! println!("{}", response.payload);
@@ -57,12 +58,12 @@ pub use query::{Query, Selection};
 pub(crate) mod testutil {
     use lfp_analysis::World;
     use lfp_topo::Scale;
-    use std::sync::OnceLock;
+    use std::sync::{Arc, OnceLock};
 
     /// One tiny world shared by every test in this crate (building a
     /// world dominates test wall-clock; the engine under test does not).
-    pub fn shared_world() -> &'static World {
-        static WORLD: OnceLock<World> = OnceLock::new();
-        WORLD.get_or_init(|| World::build(Scale::tiny()))
+    pub fn shared_world() -> Arc<World> {
+        static WORLD: OnceLock<Arc<World>> = OnceLock::new();
+        Arc::clone(WORLD.get_or_init(|| Arc::new(World::build(Scale::tiny()))))
     }
 }

@@ -184,7 +184,8 @@ mod tests {
 
     #[test]
     fn empty_selection_selects_every_row() {
-        let corpus = shared_world().path_corpus();
+        let world = shared_world();
+        let corpus = world.path_corpus();
         let plan = select_rows(corpus, &Selection::default()).unwrap();
         assert_eq!(plan.rows, corpus.all_rows());
         assert!(plan.explain.contains("base=all"), "{}", plan.explain);
@@ -192,7 +193,8 @@ mod tests {
 
     #[test]
     fn planner_matches_naive_scan_across_filter_shapes() {
-        let corpus = shared_world().path_corpus();
+        let world = shared_world();
+        let corpus = world.path_corpus();
         let src = corpus.src_as_ids();
         let dst = corpus.dst_as_ids();
         let sources = corpus.sources();
@@ -249,7 +251,8 @@ mod tests {
 
     #[test]
     fn exact_hop_count_uses_the_length_index() {
-        let corpus = shared_world().path_corpus();
+        let world = shared_world();
+        let corpus = world.path_corpus();
         let selection = Selection {
             min_hops: Some(3),
             max_hops: Some(3),
@@ -262,7 +265,8 @@ mod tests {
 
     #[test]
     fn pair_selection_uses_rows_between() {
-        let corpus = shared_world().path_corpus();
+        let world = shared_world();
+        let corpus = world.path_corpus();
         let src = corpus.src_as_ids()[0];
         let dst = corpus.dst_as_ids()[0];
         let plan = select_rows(
@@ -280,7 +284,8 @@ mod tests {
 
     #[test]
     fn unknown_source_is_a_descriptive_error() {
-        let corpus = shared_world().path_corpus();
+        let world = shared_world();
+        let corpus = world.path_corpus();
         let error = select_rows(
             corpus,
             &Selection {

@@ -109,7 +109,22 @@ impl Query {
     /// The canonical compact-JSON form (cache key, response echo, and a
     /// valid wire query).
     pub fn canonical(&self) -> String {
-        match self {
+        self.render_canonical(None)
+    }
+
+    /// The canonical form tagged with a serving epoch: the same compact
+    /// JSON with a trailing `"epoch"` field. This is what a
+    /// [`QueryEngine`](crate::QueryEngine) caches under and echoes —
+    /// tagging is what guarantees a result rendered at one epoch can
+    /// never be served from the cache at another. Still a valid wire
+    /// request: the decoder accepts (and ignores) the `epoch` field, so
+    /// replaying an echoed query asks the same question again.
+    pub fn canonical_at(&self, epoch: u64) -> String {
+        self.render_canonical(Some(epoch))
+    }
+
+    fn render_canonical(&self, epoch: Option<u64>) -> String {
+        let mut out = match self {
             Query::VendorMixAs { as_id, method } => format!(
                 "{{\"query\":\"vendor_mix\",\"as\":{as_id},\"method\":\"{}\"}}",
                 method_name(*method)
@@ -123,7 +138,12 @@ impl Query {
             Query::Transitions { selection } => canonical_path_query("transitions", selection),
             Query::LongestRuns { selection } => canonical_path_query("longest_runs", selection),
             Query::Catalog => "{\"query\":\"catalog\"}".to_string(),
+        };
+        if let Some(epoch) = epoch {
+            out.pop();
+            out.push_str(&format!(",\"epoch\":{epoch}}}"));
         }
+        out
     }
 }
 
@@ -234,6 +254,28 @@ mod tests {
             "{\"query\":\"vendor_mix\",\"region\":\"EU\",\"method\":\"snmp\"}"
         );
         assert_ne!(by_as.canonical(), by_region.canonical());
+    }
+
+    #[test]
+    fn canonical_at_appends_the_epoch_tag() {
+        let query = Query::PathDiversity {
+            selection: Selection {
+                src_as: Some(3),
+                dst_as: Some(9),
+                ..Selection::default()
+            },
+        };
+        assert_eq!(
+            query.canonical_at(7),
+            "{\"query\":\"path_diversity\",\"src_as\":3,\"dst_as\":9,\"epoch\":7}"
+        );
+        assert_eq!(
+            Query::Catalog.canonical_at(0),
+            "{\"query\":\"catalog\",\"epoch\":0}"
+        );
+        // Distinct epochs never share a cache key.
+        assert_ne!(query.canonical_at(0), query.canonical_at(1));
+        assert_ne!(query.canonical(), query.canonical_at(0));
     }
 
     #[test]

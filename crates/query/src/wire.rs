@@ -21,6 +21,12 @@
 //! `max_hops` (router-hop bounds), `slice`
 //! (`intra-us`\|`inter-us`\|`other`).
 //!
+//! Every kind additionally accepts an optional `epoch` field (u64): the
+//! serving-epoch tag `Query::canonical_at` appends to echoed queries.
+//! Requests are always answered at the daemon's current epoch, so the
+//! value is validated and otherwise ignored — it exists so an echoed
+//! canonical form replays verbatim.
+//!
 //! ## Responses
 //!
 //! `{"ok": true, "cached": …, "query": <canonical echo>, "result": …}`
@@ -55,11 +61,11 @@ pub fn decode_value(value: &JsonValue) -> Result<Query, String> {
         .and_then(JsonValue::as_str)
         .ok_or_else(|| "missing string field \"query\"".to_string())?;
     let allowed: &[&str] = match kind {
-        "vendor_mix" => &["query", "as", "region", "method"],
+        "vendor_mix" => &["query", "as", "region", "method", "epoch"],
         "path_diversity" | "transitions" | "longest_runs" => &[
-            "query", "src_as", "dst_as", "source", "min_hops", "max_hops", "slice",
+            "query", "src_as", "dst_as", "source", "min_hops", "max_hops", "slice", "epoch",
         ],
-        "catalog" => &["query"],
+        "catalog" => &["query", "epoch"],
         other => {
             return Err(format!(
                 "unknown query kind '{other}' (try vendor_mix, path_diversity, transitions, \
@@ -71,6 +77,14 @@ pub fn decode_value(value: &JsonValue) -> Result<Query, String> {
         if !allowed.contains(&name.as_str()) {
             return Err(format!("unknown field '{name}' for query '{kind}'"));
         }
+    }
+    // The `epoch` field marks which serving epoch an echoed canonical
+    // form came from (see `Query::canonical_at`). Replays are answered
+    // at the *current* epoch, so the value is validated but not kept.
+    if let Some(field) = value.get("epoch") {
+        field
+            .as_u64()
+            .ok_or_else(|| "field 'epoch' must be an epoch id (u64)".to_string())?;
     }
     match kind {
         "vendor_mix" => decode_vendor_mix(value),
@@ -289,6 +303,41 @@ mod tests {
                 query.canonical()
             );
         }
+    }
+
+    #[test]
+    fn epoch_tagged_canonical_forms_replay_verbatim() {
+        // The echo of an answered query carries the serving epoch; that
+        // exact line must decode back to the original query at any later
+        // epoch (the tag is advisory, never a selector).
+        let queries = [
+            Query::Catalog,
+            Query::VendorMixAs {
+                as_id: 9,
+                method: LabelSource::Lfp,
+            },
+            Query::Transitions {
+                selection: Selection {
+                    min_hops: Some(2),
+                    ..Selection::default()
+                },
+            },
+        ];
+        for query in queries {
+            for epoch in [0u64, 1, 77] {
+                assert_eq!(
+                    decode(&query.canonical_at(epoch)).unwrap(),
+                    query,
+                    "{}",
+                    query.canonical_at(epoch)
+                );
+            }
+        }
+        // A malformed epoch is rejected, not ignored.
+        let error = decode(r#"{"query": "catalog", "epoch": "three"}"#).unwrap_err();
+        assert!(error.contains("epoch"), "{error}");
+        let error = decode(r#"{"query": "catalog", "epoch": -1}"#).unwrap_err();
+        assert!(error.contains("epoch"), "{error}");
     }
 
     #[test]

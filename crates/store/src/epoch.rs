@@ -1,0 +1,407 @@
+//! The live store: a served world plus epoch-based incremental
+//! ingestion.
+//!
+//! A [`Store`] owns an immutable base [`World`], a shared result cache,
+//! and the *current* [`QueryEngine`] behind an `RwLock<Arc<…>>`. Each
+//! [`Store::ingest`] call:
+//!
+//! 1. classifies **only the new snapshot's** scan vectors against the
+//!    world's frozen signature set (fanning out through
+//!    [`lfp_net::scanner::scan`], the same determinism contract every
+//!    other classification pass in the repo rides),
+//! 2. folds the new traces into an *extended copy* of the serving
+//!    corpus ([`PathCorpus::extended_with`]) — existing rows, interned
+//!    sequences and indexes are reused, never recomputed,
+//! 3. builds a new engine at `epoch + k` sharing the result cache, and
+//! 4. atomically swaps it in. In-flight requests finish against the old
+//!    engine's `Arc`; the epoch-tagged cache keys guarantee no answer
+//!    rendered at an old epoch is ever served at a new one.
+//!
+//! The signature set is frozen at the base build: epochs extend the
+//! *path corpus* and move the vendor-mix aggregates to the newest
+//! snapshot, exactly like a production classifier serving between
+//! retrainings. Because the epoch id counts ingested snapshots (not
+//! ingest calls), folding k snapshots one at a time and folding them in
+//! one call land on identical state — a regression test holds the two
+//! paths byte-identical across the full query catalog.
+
+use crate::codec::{decode_campaign, encode_campaign, CampaignRefs, SnapshotDelta, StoredCampaign};
+use crate::error::StoreError;
+use lfp_analysis::path_corpus::NewPathSource;
+use lfp_analysis::World;
+use lfp_core::signature::SignatureSet;
+use lfp_core::FeatureVector;
+use lfp_net::link::splitmix64;
+use lfp_net::scanner::{scan, ScanConfig};
+use lfp_query::QueryEngine;
+use lfp_stack::vendor::Vendor;
+use lfp_topo::Internet;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Default cache geometry, matching `QueryEngine::new`.
+const DEFAULT_CACHE_SHARDS: usize = 16;
+const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// One ingested epoch, retained so the store can be re-persisted.
+struct IngestedEpoch {
+    delta: SnapshotDelta,
+    lfp: Arc<HashMap<Ipv4Addr, Vendor>>,
+}
+
+/// What a load cost (the `store` phase of `BENCH_campaign.json`).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Wall-clock seconds from bytes to a serving engine.
+    pub seconds: f64,
+    /// Store size in bytes.
+    pub bytes: u64,
+    /// Epoch the store resumed at.
+    pub epoch: u64,
+}
+
+/// What a save cost.
+#[derive(Debug, Clone, Copy)]
+pub struct SaveReport {
+    /// Wall-clock seconds from engine state to bytes on disk.
+    pub seconds: f64,
+    /// Store size in bytes.
+    pub bytes: u64,
+}
+
+/// What one ingest did.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Epoch after the swap.
+    pub epoch: u64,
+    /// Paths added across the ingested snapshots.
+    pub new_paths: usize,
+    /// Names of the ingested snapshot sources.
+    pub sources: Vec<String>,
+    /// Wall-clock seconds for classify + fold + swap.
+    pub seconds: f64,
+}
+
+/// A persistent, restartable, incrementally-updatable serving store.
+pub struct Store {
+    world: Arc<World>,
+    engine: RwLock<Arc<QueryEngine>>,
+    epochs: Mutex<Vec<IngestedEpoch>>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("epoch", &self.epoch())
+            .field("paths", &self.engine().corpus().len())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Wrap a freshly built world at epoch 0 with default cache
+    /// geometry.
+    pub fn from_world(world: Arc<World>) -> Store {
+        Self::from_world_with_cache(world, DEFAULT_CACHE_SHARDS, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wrap a freshly built world at epoch 0 with explicit cache
+    /// geometry.
+    pub fn from_world_with_cache(world: Arc<World>, shards: usize, capacity: usize) -> Store {
+        let engine = QueryEngine::with_cache(Arc::clone(&world), shards, capacity);
+        Store {
+            world,
+            engine: RwLock::new(Arc::new(engine)),
+            epochs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current serving engine. Connection handlers fetch this per
+    /// request; an ingest swapping epochs never invalidates a handle
+    /// already taken (the old engine stays alive until its last `Arc`
+    /// drops).
+    pub fn engine(&self) -> Arc<QueryEngine> {
+        Arc::clone(&self.engine.read().expect("engine lock poisoned"))
+    }
+
+    /// The base world (shared by every epoch).
+    pub fn world(&self) -> &Arc<World> {
+        &self.world
+    }
+
+    /// Current serving epoch (number of ingested snapshots).
+    pub fn epoch(&self) -> u64 {
+        self.engine().epoch()
+    }
+
+    /// Fold one snapshot delta into the next epoch.
+    pub fn ingest(&self, delta: SnapshotDelta) -> Result<IngestReport, StoreError> {
+        self.ingest_many(vec![delta])
+    }
+
+    /// Fold several snapshot deltas in one step: one corpus extension,
+    /// one engine swap, epoch advanced by the number of snapshots. State
+    /// after `ingest_many([a, b])` equals `ingest(a); ingest(b)` —
+    /// byte-identically, across every query.
+    pub fn ingest_many(&self, deltas: Vec<SnapshotDelta>) -> Result<IngestReport, StoreError> {
+        if deltas.is_empty() {
+            return Err(StoreError::Ingest("no deltas to ingest".to_string()));
+        }
+        let start = Instant::now();
+        // The epochs lock serialises ingests; readers keep serving.
+        let mut epochs = self.epochs.lock().expect("epoch lock poisoned");
+        let engine = self.engine();
+
+        for delta in &deltas {
+            delta.validate()?;
+        }
+        let prepared: Vec<IngestedEpoch> = deltas
+            .into_iter()
+            .map(|delta| {
+                let lfp = classify_population(&self.world.set, &delta.targets, &delta.vectors);
+                IngestedEpoch {
+                    delta,
+                    lfp: Arc::new(lfp),
+                }
+            })
+            .collect();
+
+        let snmp_maps: Vec<HashMap<Ipv4Addr, Vendor>> = prepared
+            .iter()
+            .map(|epoch| snmp_map(&epoch.delta))
+            .collect();
+        let additions: Vec<NewPathSource<'_>> = prepared
+            .iter()
+            .zip(&snmp_maps)
+            .map(|(epoch, snmp)| NewPathSource {
+                name: epoch.delta.name.clone(),
+                traces: &epoch.delta.traces,
+                lfp: &epoch.lfp,
+                snmp,
+                is_ripe_snapshot: true,
+            })
+            .collect();
+        let base = engine.corpus_arc();
+        let extended = base
+            .extended_with(
+                &self.world.internet,
+                &additions,
+                ScanConfig::default().shards,
+            )
+            .map_err(StoreError::Ingest)?;
+        let new_paths = extended.len() - base.len();
+
+        let epoch = engine.epoch() + prepared.len() as u64;
+        let last = prepared.last().expect("at least one delta");
+        let next = QueryEngine::for_epoch(
+            Arc::clone(&self.world),
+            Arc::new(extended),
+            &last.delta.targets,
+            &last.lfp,
+            snmp_maps.last().expect("at least one delta"),
+            engine.cache_handle(),
+            epoch,
+        );
+        let sources = prepared
+            .iter()
+            .map(|epoch| epoch.delta.name.clone())
+            .collect();
+        *self.engine.write().expect("engine lock poisoned") = Arc::new(next);
+        epochs.extend(prepared);
+        Ok(IngestReport {
+            epoch,
+            new_paths,
+            sources,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Serialize the current state (base campaign + every ingested
+    /// epoch) to store-file bytes. Everything borrows from the live
+    /// state — no deep copies of snapshots, observations or deltas;
+    /// only the corpus columns are dumped into an owned `CorpusParts`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let epochs = self.epochs.lock().expect("epoch lock poisoned");
+        let engine = self.engine();
+        let world = &self.world;
+        // The per-dataset maps are memoised `Arc`s; hold them so the
+        // encode below can borrow plain references.
+        let base_maps: Vec<Arc<HashMap<Ipv4Addr, Vendor>>> = world
+            .all_scans()
+            .map(|scan| world.lfp_vendor_map(scan))
+            .collect();
+        let lfp_maps: Vec<&HashMap<Ipv4Addr, Vendor>> = base_maps
+            .iter()
+            .map(Arc::as_ref)
+            .chain(epochs.iter().map(|epoch| epoch.lfp.as_ref()))
+            .collect();
+        let corpus = engine.corpus().to_parts();
+        let campaign = CampaignRefs {
+            scale: world.scale,
+            epoch: engine.epoch(),
+            ripe: &world.ripe,
+            itdk: &world.itdk,
+            scans: world.all_scans().collect(),
+            lfp_maps,
+            corpus: &corpus,
+            deltas: epochs.iter().map(|epoch| &epoch.delta).collect(),
+        };
+        encode_campaign(&campaign)
+    }
+
+    /// Persist to a file: write-to-temp then rename, so a crash mid-save
+    /// never leaves a half-written store at `path`.
+    pub fn save(&self, path: &Path) -> Result<SaveReport, StoreError> {
+        let start = Instant::now();
+        let bytes = self.to_bytes();
+        let temporary = path.with_extension("tmp");
+        std::fs::write(&temporary, &bytes)?;
+        std::fs::rename(&temporary, path)?;
+        Ok(SaveReport {
+            seconds: start.elapsed().as_secs_f64(),
+            bytes: bytes.len() as u64,
+        })
+    }
+
+    /// Reopen a store from bytes with default cache geometry.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Store, StoreError> {
+        Self::from_bytes_with_cache(bytes, DEFAULT_CACHE_SHARDS, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Reopen a store from bytes: regenerate the (cheap, deterministic)
+    /// Internet from the stored scale, assemble the world from the
+    /// stored datasets, seed every classification product from the
+    /// store, and resume serving at the stored epoch — **zero targets
+    /// re-classified, zero traces re-encoded**.
+    pub fn from_bytes_with_cache(
+        bytes: &[u8],
+        shards: usize,
+        capacity: usize,
+    ) -> Result<Store, StoreError> {
+        let campaign = decode_campaign(bytes)?;
+        let StoredCampaign {
+            scale,
+            epoch,
+            ripe,
+            itdk,
+            mut scans,
+            lfp_maps,
+            corpus,
+            deltas,
+        } = campaign;
+        let internet = Internet::generate(scale);
+        let itdk_scan = scans.pop().expect("decode guarantees snapshots + ITDK");
+        let world = World::assemble(scale, internet, ripe, itdk, scans, itdk_scan);
+        let base_slots = world.ripe_scans.len() + 1;
+        let mut lfp_maps = lfp_maps.into_iter();
+        for slot in 0..base_slots {
+            let map = lfp_maps.next().expect("decode validated map count");
+            world.seed_lfp_vendor_map(slot, Arc::new(map));
+        }
+        let corpus = Arc::new(
+            lfp_analysis::path_corpus::PathCorpus::from_parts(corpus)
+                .map_err(StoreError::Corrupt)?,
+        );
+        if corpus.sources().len() != base_slots + deltas.len() {
+            return Err(StoreError::Corrupt(format!(
+                "corpus holds {} sources, campaign implies {}",
+                corpus.sources().len(),
+                base_slots + deltas.len()
+            )));
+        }
+        world.seed_path_corpus(Arc::clone(&corpus), 0.0);
+        let world = Arc::new(world);
+
+        let epochs: Vec<IngestedEpoch> = deltas
+            .into_iter()
+            .zip(lfp_maps)
+            .map(|(delta, lfp)| IngestedEpoch {
+                delta,
+                lfp: Arc::new(lfp),
+            })
+            .collect();
+        let engine = match epochs.last() {
+            None => QueryEngine::with_cache(Arc::clone(&world), shards, capacity),
+            Some(last) => {
+                let snmp = snmp_map(&last.delta);
+                QueryEngine::for_epoch(
+                    Arc::clone(&world),
+                    corpus,
+                    &last.delta.targets,
+                    &last.lfp,
+                    &snmp,
+                    Arc::new(lfp_query::ShardedLru::new(shards, capacity)),
+                    epoch,
+                )
+            }
+        };
+        Ok(Store {
+            world,
+            engine: RwLock::new(Arc::new(engine)),
+            epochs: Mutex::new(epochs),
+        })
+    }
+
+    /// Reopen a store file with default cache geometry.
+    pub fn load(path: &Path) -> Result<(Store, LoadReport), StoreError> {
+        Self::load_with_cache(path, DEFAULT_CACHE_SHARDS, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Reopen a store file with explicit cache geometry, reporting the
+    /// cold-start cost.
+    pub fn load_with_cache(
+        path: &Path,
+        shards: usize,
+        capacity: usize,
+    ) -> Result<(Store, LoadReport), StoreError> {
+        let start = Instant::now();
+        let bytes = std::fs::read(path)?;
+        let store = Self::from_bytes_with_cache(&bytes, shards, capacity)?;
+        let report = LoadReport {
+            seconds: start.elapsed().as_secs_f64(),
+            bytes: bytes.len() as u64,
+            epoch: store.epoch(),
+        };
+        Ok((store, report))
+    }
+}
+
+/// Classify one snapshot population against the frozen signature set,
+/// fanned out through the zmap-style scanner (pure per-target work, so
+/// any shard count yields identical results).
+fn classify_population(
+    set: &SignatureSet,
+    targets: &[Ipv4Addr],
+    vectors: &[FeatureVector],
+) -> HashMap<Ipv4Addr, Vendor> {
+    let items: Vec<(Ipv4Addr, &FeatureVector)> =
+        targets.iter().copied().zip(vectors.iter()).collect();
+    let config = ScanConfig {
+        shards: ScanConfig::default().shards,
+        pacing: 0.0,
+    };
+    let verdicts = scan(
+        &items,
+        config,
+        |(ip, _)| splitmix64(u64::from(u32::from(*ip))),
+        |(_, vector), _ctx| set.classify(vector).unique_vendor(),
+    );
+    items
+        .into_iter()
+        .zip(verdicts)
+        .filter_map(|((ip, _), verdict)| verdict.map(|vendor| (ip, vendor)))
+        .collect()
+}
+
+/// ip → vendor for a delta's SNMPv3 labels.
+fn snmp_map(delta: &SnapshotDelta) -> HashMap<Ipv4Addr, Vendor> {
+    delta
+        .targets
+        .iter()
+        .zip(&delta.labels)
+        .filter_map(|(&ip, &label)| label.map(|vendor| (ip, vendor)))
+        .collect()
+}

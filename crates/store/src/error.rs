@@ -1,0 +1,91 @@
+//! Typed failure modes of the store.
+//!
+//! Every way a store file can be wrong — wrong magic, future version,
+//! cut short, bit-flipped, internally inconsistent — maps onto a
+//! variant here. The decoder's contract is that **no input can make it
+//! panic or allocate unboundedly**: every length is validated against
+//! the bytes actually present before a single element is read, and the
+//! fuzz-style corruption tests drive random mutations through the whole
+//! pipeline to hold it to that.
+
+use std::fmt;
+
+/// Everything that can go wrong opening, decoding or extending a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying file could not be read or written.
+    Io(String),
+    /// The file does not start with the store magic — not a store file.
+    BadMagic,
+    /// The file's format version is newer than this decoder understands.
+    UnsupportedVersion(u32),
+    /// The input ended before the value being decoded did.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's payload does not hash to its recorded checksum.
+    ChecksumMismatch {
+        /// The four-character section tag.
+        section: String,
+    },
+    /// The bytes decoded, but the decoded values are inconsistent
+    /// (out-of-range id, misaligned columns, invalid enum code, …).
+    Corrupt(String),
+    /// An ingest was rejected (duplicate source name, misaligned delta).
+    Ingest(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(message) => write!(f, "I/O error: {message}"),
+            StoreError::BadMagic => write!(f, "not a store file (bad magic)"),
+            StoreError::UnsupportedVersion(version) => {
+                write!(f, "unsupported store version {version}")
+            }
+            StoreError::Truncated { context } => {
+                write!(f, "store truncated while decoding {context}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section '{section}'")
+            }
+            StoreError::Corrupt(message) => write!(f, "corrupt store: {message}"),
+            StoreError::Ingest(message) => write!(f, "ingest rejected: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(error: std::io::Error) -> StoreError {
+        StoreError::Io(error.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let cases: Vec<(StoreError, &str)> = vec![
+            (StoreError::BadMagic, "magic"),
+            (StoreError::UnsupportedVersion(9), "9"),
+            (StoreError::Truncated { context: "trace" }, "trace"),
+            (
+                StoreError::ChecksumMismatch {
+                    section: "CORP".to_string(),
+                },
+                "CORP",
+            ),
+            (StoreError::Corrupt("bad set id".to_string()), "bad set id"),
+            (StoreError::Ingest("duplicate".to_string()), "duplicate"),
+            (StoreError::Io("denied".to_string()), "denied"),
+        ];
+        for (error, needle) in cases {
+            assert!(error.to_string().contains(needle), "{error}");
+        }
+    }
+}

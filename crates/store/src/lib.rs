@@ -1,0 +1,47 @@
+//! # lfp-store — persistent world store + epoch-based ingestion
+//!
+//! `vendor-queryd` used to rebuild its entire `World` + `PathCorpus`
+//! from scratch on every start, which made restarts cost a full
+//! measurement campaign and made new snapshots impossible to absorb
+//! without one. This crate closes both gaps:
+//!
+//! * [`format`] — the on-disk container: a versioned, checksummed
+//!   sequence of length-prefixed sections; decoding is fully defensive
+//!   (typed [`StoreError`]s, never a panic, never an unbounded
+//!   allocation),
+//! * [`codec`] — the domain encoding: snapshots, raw scan observations,
+//!   feature vectors, labels, per-dataset vendor maps (the products of
+//!   classification), and the dumped path corpus columns + arenas,
+//! * [`Store`] — the live serving store: load/save (`zero
+//!   re-classification` on load — only the deterministic Internet
+//!   generation re-runs), and [`Store::ingest`] — epoch-based
+//!   incremental ingestion that classifies *only* the new snapshot,
+//!   folds it into an extended corpus, and atomically swaps a new
+//!   epoch-tagged [`QueryEngine`](lfp_query::QueryEngine) under the
+//!   running daemon.
+//!
+//! ```no_run
+//! use lfp_analysis::World;
+//! use lfp_store::Store;
+//! use lfp_topo::Scale;
+//! use std::path::Path;
+//! use std::sync::Arc;
+//!
+//! let store = Store::from_world(Arc::new(World::build(Scale::tiny())));
+//! store.save(Path::new("world.lfps"))?;
+//! let (reopened, report) = Store::load(Path::new("world.lfps"))?;
+//! println!("cold start in {:.3}s at epoch {}", report.seconds, report.epoch);
+//! # Ok::<(), lfp_store::StoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod epoch;
+pub mod error;
+pub mod format;
+
+pub use codec::{SnapshotDelta, StoredCampaign};
+pub use epoch::{IngestReport, LoadReport, SaveReport, Store};
+pub use error::StoreError;

@@ -1,0 +1,245 @@
+//! Corrupt-store battery: truncation at every section boundary, flipped
+//! checksum bytes, bad magic/version, hostile counts, and a fuzz-style
+//! sweep of random byte mutations. The decoder must return a typed
+//! [`StoreError`] for every one — never panic, never allocate past the
+//! input.
+
+mod util;
+
+use lfp_store::format::{FileReader, FileWriter, Writer, MAGIC};
+use lfp_store::{Store, StoreError};
+use std::sync::{Arc, OnceLock};
+
+fn store_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| Store::from_world(Arc::clone(&util::shared_tiny_world())).to_bytes())
+}
+
+/// Byte offsets of every section boundary (start of each section frame
+/// and the file end), recovered by walking the container framing.
+fn section_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut boundaries = vec![8usize];
+    let mut pos = 8usize;
+    while pos + 12 <= bytes.len() {
+        let len =
+            u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes")) as usize;
+        pos += 12 + len + 8;
+        boundaries.push(pos.min(bytes.len()));
+        if pos >= bytes.len() {
+            break;
+        }
+    }
+    boundaries
+}
+
+#[test]
+fn the_clean_store_decodes() {
+    assert!(Store::from_bytes(store_bytes()).is_ok());
+    let file = FileReader::parse(store_bytes(), MAGIC).unwrap();
+    let tags: Vec<String> = file
+        .section_summaries()
+        .into_iter()
+        .map(|(tag, _)| tag)
+        .collect();
+    for expected in ["META", "RIPE", "ITDK", "SCAN", "VMAP", "CORP", "EPOC"] {
+        assert!(tags.contains(&expected.to_string()), "missing {expected}");
+    }
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_a_typed_error() {
+    let bytes = store_bytes();
+    let boundaries = section_boundaries(bytes);
+    assert!(boundaries.len() >= 8, "expected one boundary per section");
+    for &boundary in &boundaries {
+        for cut in [
+            boundary.saturating_sub(1),
+            boundary,
+            (boundary + 1).min(bytes.len()),
+        ] {
+            if cut == bytes.len() {
+                continue;
+            }
+            let error = Store::from_bytes(&bytes[..cut]).expect_err("truncated store decoded");
+            assert!(
+                matches!(
+                    error,
+                    StoreError::Truncated { .. } | StoreError::BadMagic | StoreError::Corrupt(_)
+                ),
+                "cut at {cut}: unexpected error {error}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncation_at_a_byte_stride_never_panics() {
+    let bytes = store_bytes();
+    let mut cut = 0usize;
+    while cut < bytes.len() {
+        assert!(
+            Store::from_bytes(&bytes[..cut]).is_err(),
+            "cut at {cut} decoded"
+        );
+        cut += 997; // prime stride: hits every section over the sweep
+    }
+}
+
+#[test]
+fn flipped_checksum_bytes_are_detected_per_section() {
+    let bytes = store_bytes();
+    let mut pos = 8usize;
+    while pos + 12 <= bytes.len() {
+        let tag = String::from_utf8_lossy(&bytes[pos..pos + 4]).into_owned();
+        let len =
+            u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes")) as usize;
+        let checksum_at = pos + 12 + len;
+        // Flip one checksum byte: parsing must blame exactly this section.
+        let mut mutated = bytes.to_vec();
+        mutated[checksum_at] ^= 0x01;
+        match FileReader::parse(&mutated, MAGIC).expect_err("bad checksum accepted") {
+            StoreError::ChecksumMismatch { section } => assert_eq!(section, tag),
+            other => panic!("section {tag}: unexpected error {other}"),
+        }
+        // Flipping a payload byte (when there is one) fails the same way.
+        if len > 0 {
+            let mut mutated = bytes.to_vec();
+            mutated[pos + 12] ^= 0x80;
+            assert!(
+                matches!(
+                    FileReader::parse(&mutated, MAGIC).expect_err("bad payload accepted"),
+                    StoreError::ChecksumMismatch { .. }
+                ),
+                "section {tag}: payload flip undetected"
+            );
+        }
+        pos = checksum_at + 8;
+    }
+}
+
+#[test]
+fn bad_magic_and_version_are_typed() {
+    let mut bytes = store_bytes().to_vec();
+    bytes[0] = b'X';
+    assert_eq!(Store::from_bytes(&bytes).unwrap_err(), StoreError::BadMagic);
+    let mut bytes = store_bytes().to_vec();
+    bytes[4] = 2;
+    assert_eq!(
+        Store::from_bytes(&bytes).unwrap_err(),
+        StoreError::UnsupportedVersion(2)
+    );
+    assert_eq!(
+        Store::from_bytes(&[]).unwrap_err(),
+        StoreError::Truncated { context: "header" }
+    );
+}
+
+#[test]
+fn hostile_counts_fail_before_allocating() {
+    // A syntactically valid container whose first section claims u32::MAX
+    // snapshots: the decoder must reject it from the length budget alone.
+    let mut file = FileWriter::new(MAGIC);
+    let mut meta = Writer::new();
+    for _ in 0..6 {
+        meta.u64(1);
+        meta.f64(0.5);
+    }
+    meta.u64(1); // seed
+    meta.u64(0); // epoch
+    meta.u32(u32::MAX); // ripe count
+    meta.u32(0); // delta count
+    file.section(*b"META", meta);
+    let mut ripe = Writer::new();
+    ripe.u32(u32::MAX);
+    file.section(*b"RIPE", ripe);
+    let bytes = file.finish();
+    let error = Store::from_bytes(&bytes).expect_err("hostile counts decoded");
+    assert!(
+        matches!(error, StoreError::Truncated { .. } | StoreError::Corrupt(_)),
+        "unexpected error {error}"
+    );
+}
+
+#[test]
+fn random_mutation_fuzz_never_panics_or_overallocates() {
+    // Deterministic splitmix-style fuzz: flip 1–4 bytes per iteration
+    // anywhere in the file (header, frames, payloads, checksums) and
+    // require decode to come back with *some* Result. Iterations that
+    // land exclusively in redundant bytes may still decode — that is
+    // fine; the property under test is totality, not rejection.
+    let bytes = store_bytes();
+    let mut state = 0x9e37_79b9_97f4_a7c1u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let mut rejected = 0usize;
+    const ITERATIONS: usize = 250;
+    for _ in 0..ITERATIONS {
+        let mut mutated = bytes.to_vec();
+        let flips = 1 + (next() % 4) as usize;
+        for _ in 0..flips {
+            let offset = (next() % mutated.len() as u64) as usize;
+            let mask = (next() % 255 + 1) as u8;
+            mutated[offset] ^= mask;
+        }
+        if Store::from_bytes(&mutated).is_err() {
+            rejected += 1;
+        }
+    }
+    // Checksums make silent acceptance of a corrupted store vanishingly
+    // rare; demand that the overwhelming majority is rejected.
+    assert!(
+        rejected >= ITERATIONS - 5,
+        "only {rejected}/{ITERATIONS} mutations rejected"
+    );
+}
+
+#[test]
+fn semantic_corruption_inside_a_valid_container_is_caught() {
+    // Rewrite the CORP section with nonsense ids but a *correct*
+    // checksum: framing passes, semantic validation must still reject.
+    let bytes = store_bytes();
+    let file = FileReader::parse(bytes, MAGIC).unwrap();
+    let summaries = file.section_summaries();
+    assert!(summaries.iter().any(|(tag, _)| tag == "CORP"));
+    // Walk frames and rebuild the file, replacing CORP's payload.
+    let mut rebuilt = FileWriter::new(MAGIC);
+    let mut pos = 8usize;
+    while pos + 12 <= bytes.len() {
+        let tag: [u8; 4] = bytes[pos..pos + 4].try_into().expect("4 bytes");
+        let len =
+            u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes")) as usize;
+        let payload = &bytes[pos + 12..pos + 12 + len];
+        pos += 12 + len + 8;
+        if &tag == b"END!" {
+            break;
+        }
+        let mut writer = Writer::new();
+        if &tag == b"CORP" {
+            // One source, zero rows, but a row-less corpus is invalid
+            // (ripe_source_count must be < source count).
+            writer.u32(1);
+            writer.str("RIPE-1");
+            writer.u32(1); // ripe_source_count
+            writer.u32(0); // latest_ripe
+            writer.u32(0); // rows
+            writer.u32(0); // runs
+            writer.u32(0); // seq spans
+            writer.u32(0); // sets
+        } else {
+            let mut raw = Writer::new();
+            raw.u32(0);
+            let _ = raw; // keep payload byte-identical for other sections
+            writer = Writer::new();
+            for &byte in payload {
+                writer.u8(byte);
+            }
+        }
+        rebuilt.section(tag, writer);
+    }
+    let error = Store::from_bytes(&rebuilt.finish()).expect_err("semantic corruption decoded");
+    assert!(matches!(error, StoreError::Corrupt(_)), "{error}");
+}

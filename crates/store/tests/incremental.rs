@@ -1,0 +1,181 @@
+//! Incremental-equals-batch: folding snapshot deltas in one at a time
+//! must land on exactly the state one batched fold produces — same
+//! epoch, same corpus, byte-identical responses across the full catalog
+//! mix — and cache entries from an old epoch are never served after a
+//! swap. The persisted form round-trips the epochs too.
+
+mod util;
+
+use lfp_query::Query;
+use lfp_store::{Store, StoreError};
+use std::sync::Arc;
+
+#[test]
+fn one_at_a_time_equals_all_at_once_byte_for_byte() {
+    let world = util::shared_tiny_world();
+    let deltas = util::measure_deltas(&world, 2);
+    assert_eq!(deltas.len(), 2);
+    for delta in &deltas {
+        assert!(!delta.traces.is_empty(), "{} has no traces", delta.name);
+        assert!(!delta.targets.is_empty(), "{} has no targets", delta.name);
+    }
+
+    let incremental = Store::from_world(Arc::clone(&world));
+    for delta in deltas.clone() {
+        let before = incremental.epoch();
+        let report = incremental.ingest(delta).expect("ingest succeeds");
+        assert_eq!(report.epoch, before + 1, "epoch counts snapshots");
+        assert!(report.new_paths > 0, "epoch added no paths");
+    }
+
+    let batch = Store::from_world(Arc::clone(&world));
+    let report = batch.ingest_many(deltas.clone()).expect("batch ingest");
+    assert_eq!(report.epoch, 2);
+    assert_eq!(report.sources.len(), 2);
+
+    // Identical corpora (column-by-column PartialEq, indexes included)…
+    assert_eq!(
+        incremental.engine().corpus(),
+        batch.engine().corpus(),
+        "incremental and batch corpora diverged"
+    );
+    // …and byte-identical responses, epoch-tagged echoes included.
+    assert_eq!(
+        util::mix_responses(&incremental),
+        util::mix_responses(&batch)
+    );
+}
+
+#[test]
+fn ingested_snapshots_are_queryable_and_advance_the_catalog() {
+    let world = util::shared_tiny_world();
+    let deltas = util::measure_deltas(&world, 1);
+    let delta_name = deltas[0].name.clone();
+    let store = Store::from_world(Arc::clone(&world));
+    let base_paths = store.engine().corpus().len();
+
+    store.ingest(deltas.into_iter().next().unwrap()).unwrap();
+    let engine = store.engine();
+    assert_eq!(engine.epoch(), 1);
+    let corpus = engine.corpus();
+    assert!(corpus.len() > base_paths);
+    // The new snapshot registered as a source and became the latest
+    // RIPE-style source.
+    let source = corpus.source_id(&delta_name).expect("delta source exists");
+    assert_eq!(corpus.latest_ripe_source(), source);
+    assert!(!corpus.rows_of_source(source).is_empty());
+    // It is addressable through the query layer.
+    let response = engine
+        .execute(&Query::Transitions {
+            selection: lfp_query::Selection {
+                source: Some(delta_name),
+                ..lfp_query::Selection::default()
+            },
+        })
+        .unwrap();
+    assert!(response.payload.contains("\"paths\""));
+}
+
+#[test]
+fn old_epoch_cache_entries_are_never_served_after_a_swap() {
+    let world = util::shared_tiny_world();
+    let deltas = util::measure_deltas(&world, 1);
+    let store = Store::from_world(Arc::clone(&world));
+
+    let query = Query::Catalog;
+    let engine_before = store.engine();
+    let cold = engine_before.execute(&query).unwrap();
+    assert!(!cold.cached);
+    let warm = engine_before.execute(&query).unwrap();
+    assert!(warm.cached, "second execution hits the epoch-0 cache");
+    assert_eq!(cold.payload, warm.payload);
+
+    store.ingest(deltas.into_iter().next().unwrap()).unwrap();
+    let engine_after = store.engine();
+    // Same shared cache object…
+    assert_eq!(engine_after.cache_stats().entries, {
+        let stats = engine_before.cache_stats();
+        stats.entries
+    });
+    // …but the first post-swap execution must MISS (epoch-tagged key)
+    // and render fresh bytes that reflect the new epoch.
+    let fresh = engine_after.execute(&query).unwrap();
+    assert!(!fresh.cached, "old-epoch entry served after the swap");
+    assert_ne!(fresh.payload, cold.payload);
+    assert!(fresh.payload.contains("\"epoch\": 1") || fresh.payload.contains("\"epoch\":1"));
+    // The old engine handle keeps serving its own epoch consistently
+    // (in-flight connections during a swap).
+    let stale = engine_before.execute(&query).unwrap();
+    assert!(stale.cached);
+    assert_eq!(stale.payload, cold.payload);
+}
+
+#[test]
+fn epochs_survive_persistence() {
+    let world = util::shared_tiny_world();
+    let deltas = util::measure_deltas(&world, 2);
+    let store = Store::from_world(Arc::clone(&world));
+    store.ingest_many(deltas).unwrap();
+
+    let bytes = store.to_bytes();
+    let reopened = Store::from_bytes(&bytes).expect("epoch store decodes");
+    assert_eq!(reopened.epoch(), 2);
+    assert_eq!(reopened.to_bytes(), bytes, "epoch re-encode diverged");
+    assert_eq!(
+        store.engine().corpus(),
+        reopened.engine().corpus(),
+        "persisted epoch corpus diverged"
+    );
+    assert_eq!(util::mix_responses(&store), util::mix_responses(&reopened));
+}
+
+#[test]
+fn ingest_rejects_duplicates_and_misalignment() {
+    let world = util::shared_tiny_world();
+    let deltas = util::measure_deltas(&world, 1);
+    let store = Store::from_world(Arc::clone(&world));
+
+    // A source name that already exists (the base snapshot's).
+    let mut duplicate = deltas[0].clone();
+    duplicate.name = "RIPE-1".to_string();
+    assert!(matches!(
+        store.ingest(duplicate).unwrap_err(),
+        StoreError::Ingest(_)
+    ));
+
+    // Two same-named deltas inside ONE batch (e.g. a duplicated .delta
+    // file): must be rejected up front, not folded into a corpus whose
+    // persisted form could never load again.
+    assert!(matches!(
+        store
+            .ingest_many(vec![deltas[0].clone(), deltas[0].clone()])
+            .unwrap_err(),
+        StoreError::Ingest(_)
+    ));
+
+    // Misaligned scan columns.
+    let mut misaligned = deltas[0].clone();
+    misaligned.vectors.pop();
+    assert!(matches!(
+        store.ingest(misaligned).unwrap_err(),
+        StoreError::Ingest(_)
+    ));
+
+    // An empty batch.
+    assert!(matches!(
+        store.ingest_many(Vec::new()).unwrap_err(),
+        StoreError::Ingest(_)
+    ));
+
+    // Nothing above may have advanced the epoch.
+    assert_eq!(store.epoch(), 0);
+
+    // The same delta cannot be ingested twice (its source now exists).
+    let delta = deltas.into_iter().next().unwrap();
+    store.ingest(delta.clone()).unwrap();
+    assert!(matches!(
+        store.ingest(delta).unwrap_err(),
+        StoreError::Ingest(_)
+    ));
+    assert_eq!(store.epoch(), 1);
+}

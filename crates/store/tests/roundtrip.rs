@@ -1,0 +1,127 @@
+//! Round-trip property tests: any Scale-generated world → encode →
+//! decode → byte-identical figure output and byte-identical query
+//! responses for the full catalog mix — and the encoding itself is
+//! canonical (`encode(decode(bytes)) == bytes`).
+
+mod util;
+
+use lfp_analysis::experiments::run_by_id;
+use lfp_analysis::World;
+use lfp_query::QueryEngine;
+use lfp_store::Store;
+use lfp_topo::Scale;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The corpus-backed experiments whose rendered output must survive a
+/// store round trip byte for byte (§6 figures + the ordered analyses).
+const FIGURES: &[&str] = &[
+    "fig8",
+    "fig9",
+    "fig11",
+    "fig12",
+    "path_transitions",
+    "path_runs",
+    "path_segments",
+];
+
+fn assert_roundtrip(scale: Scale) {
+    let world = Arc::new(World::build(scale));
+    let store = Store::from_world(Arc::clone(&world));
+    let bytes = store.to_bytes();
+
+    let reopened = Store::from_bytes(&bytes).expect("fresh store bytes decode");
+    // The encoding is canonical: decode → encode reproduces the bytes.
+    assert_eq!(reopened.to_bytes(), bytes, "re-encode diverged");
+    assert_eq!(reopened.epoch(), 0);
+
+    // The serving corpus is *equal*, not merely similar.
+    assert_eq!(
+        world.path_corpus(),
+        reopened.world().path_corpus(),
+        "corpus diverged across the round trip"
+    );
+
+    // Byte-identical figure output from the loaded world.
+    for id in FIGURES {
+        let original = run_by_id(&world, id).expect("registered experiment");
+        let loaded = run_by_id(reopened.world(), id).expect("registered experiment");
+        assert_eq!(
+            original.render_text(),
+            loaded.render_text(),
+            "{id} text diverged"
+        );
+        assert_eq!(original.to_json(), loaded.to_json(), "{id} json diverged");
+    }
+
+    // Byte-identical responses for the full catalog mix.
+    assert_eq!(
+        util::mix_responses(&store),
+        util::mix_responses(&reopened),
+        "query responses diverged across the round trip"
+    );
+}
+
+#[test]
+fn tiny_world_round_trips_byte_identically() {
+    assert_roundtrip(Scale::tiny());
+}
+
+/// Property flavour: sample a handful of scale variants (seed, vantage
+/// count, destination depth, snapshot count all vary) and hold the
+/// round-trip contract on each. The loop is hand-rolled at a small case
+/// count because every case builds a full measured world.
+#[test]
+fn sampled_scales_round_trip_byte_identically() {
+    let mut rng = proptest::new_test_rng("store_roundtrip_scales");
+    let seed = any::<u64>();
+    let vantages = 2usize..4;
+    let dests = 10usize..24;
+    let snapshots = 2usize..4;
+    for _ in 0..3 {
+        let scale = Scale {
+            seed: seed.sample(&mut rng),
+            vantages: vantages.sample(&mut rng),
+            dests_per_vantage: dests.sample(&mut rng),
+            snapshots: snapshots.sample(&mut rng),
+            ..Scale::tiny()
+        };
+        assert_roundtrip(scale);
+    }
+}
+
+proptest! {
+    /// The engine built on a loaded world answers single queries with
+    /// the same bytes as the engine on the originally built world, for
+    /// arbitrary hop-range filters (the residual-predicate path).
+    #[test]
+    fn filtered_queries_survive_the_round_trip(
+        min_hops in 0u16..6,
+        extra in 0u16..6,
+        slice_pick in 0u8..4,
+    ) {
+        use lfp_analysis::us_study::UsSlice;
+        use lfp_query::{Query, Selection};
+
+        static STATE: std::sync::OnceLock<(Arc<World>, Store)> = std::sync::OnceLock::new();
+        let (world, reopened) = STATE.get_or_init(|| {
+            let world = util::shared_tiny_world();
+            let bytes = Store::from_world(Arc::clone(&world)).to_bytes();
+            (world, Store::from_bytes(&bytes).expect("store decodes"))
+        });
+        let query = Query::LongestRuns {
+            selection: Selection {
+                min_hops: (min_hops > 0).then_some(min_hops),
+                max_hops: (extra > 0).then_some(min_hops + extra),
+                slice: UsSlice::ALL.get(slice_pick as usize).copied(),
+                ..Selection::default()
+            },
+        };
+        let original = QueryEngine::new(Arc::clone(world));
+        let loaded = reopened.engine();
+        prop_assert_eq!(
+            original.execute_uncached(&query).unwrap(),
+            loaded.execute_uncached(&query).unwrap()
+        );
+    }
+}

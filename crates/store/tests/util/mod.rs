@@ -1,0 +1,119 @@
+//! Shared fixtures for the store test battery.
+//!
+//! Each test binary uses its own subset of these helpers.
+#![allow(dead_code)]
+
+use lfp_analysis::World;
+use lfp_core::pipeline::scan_dataset;
+use lfp_query::{Query, QueryEngine, Selection};
+use lfp_store::{SnapshotDelta, Store};
+use lfp_topo::datasets::{measure_ripe_snapshot, plan_ripe_snapshots_extended};
+use lfp_topo::Scale;
+use std::net::Ipv4Addr;
+use std::sync::{Arc, OnceLock};
+
+/// One tiny world shared by every test in a binary (world builds
+/// dominate the battery's wall-clock).
+pub fn shared_tiny_world() -> Arc<World> {
+    static WORLD: OnceLock<Arc<World>> = OnceLock::new();
+    Arc::clone(WORLD.get_or_init(|| Arc::new(World::build(Scale::tiny()))))
+}
+
+/// Measure `count` snapshot deltas beyond a world's base campaign by
+/// continuing the planning churn chain, and scan each delta's router
+/// population — the exact flow `store-tool deltas` ships to disk.
+pub fn measure_deltas(world: &World, count: usize) -> Vec<SnapshotDelta> {
+    let internet = &world.internet;
+    let base = internet.scale.snapshots;
+    let plans = plan_ripe_snapshots_extended(internet, base + count);
+    plans[base..]
+        .iter()
+        .map(|plan| {
+            let snapshot = measure_ripe_snapshot(internet, &internet.network().fork(), plan);
+            let targets: Vec<Ipv4Addr> = snapshot.router_ips.iter().copied().collect();
+            let scan = scan_dataset(&internet.network().fork(), &snapshot.name, &targets, 4);
+            SnapshotDelta::from_measurement(&snapshot, &scan)
+        })
+        .collect()
+}
+
+/// The full catalog mix: every query kind the engine serves, spread over
+/// the catalog's advertised AS ids, sources and slices — the working set
+/// whose byte-identity the store guarantees across save/load and across
+/// incremental-vs-batch ingestion.
+pub fn catalog_mix(engine: &QueryEngine) -> Vec<Query> {
+    use lfp_analysis::path_corpus::LabelSource;
+    use lfp_analysis::us_study::UsSlice;
+    use lfp_topo::Continent;
+
+    let corpus = engine.corpus();
+    let src = corpus.src_as_ids();
+    let dst = corpus.dst_as_ids();
+    let sources = corpus.sources().to_vec();
+    let mut mix = vec![Query::Catalog];
+    for (index, &as_id) in src.iter().take(6).enumerate() {
+        mix.push(Query::VendorMixAs {
+            as_id,
+            method: if index % 2 == 0 {
+                LabelSource::Lfp
+            } else {
+                LabelSource::Snmp
+            },
+        });
+    }
+    for &region in &Continent::ALL {
+        mix.push(Query::VendorMixRegion {
+            region,
+            method: LabelSource::Lfp,
+        });
+    }
+    for (index, &src_as) in src.iter().take(4).enumerate() {
+        mix.push(Query::PathDiversity {
+            selection: Selection {
+                src_as: Some(src_as),
+                dst_as: Some(dst[index % dst.len()]),
+                ..Selection::default()
+            },
+        });
+    }
+    for source in &sources {
+        mix.push(Query::Transitions {
+            selection: Selection {
+                source: Some(source.clone()),
+                ..Selection::default()
+            },
+        });
+    }
+    for slice in UsSlice::ALL {
+        mix.push(Query::LongestRuns {
+            selection: Selection {
+                slice: Some(slice),
+                min_hops: Some(1),
+                ..Selection::default()
+            },
+        });
+    }
+    mix.push(Query::Transitions {
+        selection: Selection::default(),
+    });
+    mix.push(Query::LongestRuns {
+        selection: Selection::default(),
+    });
+    mix
+}
+
+/// Render the mix the way the daemon would: the epoch-tagged canonical
+/// echo plus the cold result payload, per query.
+pub fn mix_responses(store: &Store) -> Vec<(String, String)> {
+    let engine = store.engine();
+    catalog_mix(&engine)
+        .iter()
+        .map(|query| {
+            let canonical = engine.canonical(query);
+            let payload = engine
+                .execute_uncached(query)
+                .unwrap_or_else(|error| panic!("{canonical} failed: {error}"));
+            (canonical, payload)
+        })
+        .collect()
+}

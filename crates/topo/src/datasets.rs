@@ -19,7 +19,7 @@ use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 /// One traceroute in a snapshot, with registry metadata resolved.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Vantage (source) AS.
     pub src_as: u32,
@@ -126,6 +126,19 @@ const SNAPSHOT_DATES: [&str; 6] = [
     "2023-01-15",
 ];
 
+/// Synthetic collection date of the `index`-th snapshot (Table 2's
+/// cadence, cycling at the table's end).
+pub fn snapshot_date(index: usize) -> &'static str {
+    SNAPSHOT_DATES[index % SNAPSHOT_DATES.len()]
+}
+
+/// Resolve a date string back to its `'static` table entry (the store
+/// format persists dates as plain strings; decoding maps them onto the
+/// cadence table so a round-tripped snapshot is field-identical).
+pub fn resolve_snapshot_date(date: &str) -> Option<&'static str> {
+    SNAPSHOT_DATES.iter().copied().find(|&known| known == date)
+}
+
 /// One pre-planned snapshot campaign: every destination choice fixed
 /// before a single packet flies. Planning is cheap, sequential and purely
 /// RNG-driven (the churn chain couples consecutive snapshots); measuring a
@@ -152,6 +165,16 @@ pub struct SnapshotPlan {
 /// Destinations churn between snapshots at the configured rate, which is
 /// what produces the paper's ~88% pairwise router-IP overlap.
 pub fn plan_ripe_snapshots(internet: &Internet) -> Vec<SnapshotPlan> {
+    plan_ripe_snapshots_extended(internet, internet.scale.snapshots)
+}
+
+/// Plan `total` snapshots, continuing the churn chain past the scale's
+/// configured count. The first `scale.snapshots` plans are **identical**
+/// to [`plan_ripe_snapshots`] (the chain is one RNG stream), so the tail
+/// plans are exactly the campaigns a longer-running measurement would
+/// have collected next — the snapshot *deltas* the store's epoch
+/// ingestion folds in.
+pub fn plan_ripe_snapshots_extended(internet: &Internet, total: usize) -> Vec<SnapshotPlan> {
     let scale = internet.scale;
     let mut rng = SmallRng::seed_from_u64(scale.seed ^ 0x41f5_0003);
 
@@ -179,8 +202,8 @@ pub fn plan_ripe_snapshots(internet: &Internet) -> Vec<SnapshotPlan> {
         })
         .collect();
 
-    let mut plans = Vec::with_capacity(scale.snapshots);
-    for snapshot_index in 0..scale.snapshots {
+    let mut plans = Vec::with_capacity(total);
+    for snapshot_index in 0..total {
         // Churn: resample a fraction of each vantage's destinations.
         if snapshot_index > 0 {
             for dests in &mut dest_sets {
@@ -194,7 +217,7 @@ pub fn plan_ripe_snapshots(internet: &Internet) -> Vec<SnapshotPlan> {
         plans.push(SnapshotPlan {
             index: snapshot_index,
             name: format!("RIPE-{}", snapshot_index + 1),
-            date: SNAPSHOT_DATES[snapshot_index % SNAPSHOT_DATES.len()],
+            date: snapshot_date(snapshot_index),
             base_time: 1_000_000.0 * (1.0 + snapshot_index as f64),
             dest_sets: dest_sets.clone(),
         });
@@ -469,6 +492,31 @@ mod tests {
             assert_eq!(a.hops, b.hops);
             assert_eq!(a.dst, b.dst);
         }
+    }
+
+    #[test]
+    fn extended_plans_share_the_base_prefix() {
+        let internet = internet();
+        let base = plan_ripe_snapshots(&internet);
+        let extended = plan_ripe_snapshots_extended(&internet, base.len() + 2);
+        assert_eq!(extended.len(), base.len() + 2);
+        // The first `scale.snapshots` plans are the base campaign exactly.
+        for (a, b) in base.iter().zip(&extended) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.dest_sets, b.dest_sets);
+            assert_eq!(a.base_time, b.base_time);
+        }
+        // The tail continues the churn chain: new names, new (partially
+        // churned) destination lists, monotone virtual start times.
+        let last_base = &extended[base.len() - 1];
+        let first_delta = &extended[base.len()];
+        assert_eq!(first_delta.name, format!("RIPE-{}", base.len() + 1));
+        assert!(first_delta.base_time > last_base.base_time);
+        assert_ne!(first_delta.dest_sets, last_base.dest_sets);
+        assert_eq!(
+            resolve_snapshot_date(first_delta.date),
+            Some(first_delta.date)
+        );
     }
 
     #[test]

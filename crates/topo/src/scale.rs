@@ -146,6 +146,32 @@ impl Scale {
         }
     }
 
+    /// Incremental-ingestion stress preset: a deliberately small *base*
+    /// campaign (two snapshots) over a topology rich enough that the
+    /// follow-up snapshot deltas — planned beyond the base by continuing
+    /// the churn chain (see
+    /// `lfp_topo::datasets::plan_ripe_snapshots_extended`) — carry
+    /// thousands of new traces each. This is the preset the store CI job
+    /// uses: build a base world, persist it, restart from the store, and
+    /// fold delta snapshots in as epochs.
+    pub fn ingest_stress() -> Self {
+        Scale {
+            ases: 180,
+            tier1: 4,
+            transit_fraction: 0.2,
+            routers_per_stub: 3.0,
+            routers_per_transit: 14.0,
+            routers_per_tier1: 40.0,
+            vantages: 10,
+            dests_per_vantage: 220,
+            snapshots: 2,
+            snapshot_churn: 0.15,
+            itdk_as_fraction: 0.5,
+            occurrence_threshold: 2,
+            seed: 0x1_57e55,
+        }
+    }
+
     /// Parse a preset by name (used by the experiments binary).
     pub fn by_name(name: &str) -> Option<Scale> {
         match name {
@@ -154,6 +180,7 @@ impl Scale {
             "paper" => Some(Scale::paper()),
             "path-stress" => Some(Scale::path_stress()),
             "query-stress" => Some(Scale::query_stress()),
+            "ingest-stress" => Some(Scale::ingest_stress()),
             _ => None,
         }
     }
@@ -189,7 +216,24 @@ mod tests {
         assert_eq!(Scale::by_name("paper"), Some(Scale::paper()));
         assert_eq!(Scale::by_name("path-stress"), Some(Scale::path_stress()));
         assert_eq!(Scale::by_name("query-stress"), Some(Scale::query_stress()));
+        assert_eq!(
+            Scale::by_name("ingest-stress"),
+            Some(Scale::ingest_stress())
+        );
         assert_eq!(Scale::by_name("galactic"), None);
+    }
+
+    #[test]
+    fn ingest_stress_keeps_the_base_small_but_deltas_meaty() {
+        let stress = Scale::ingest_stress();
+        // A small base campaign: the point is restart + ingest, not the
+        // initial measurement…
+        assert_eq!(stress.snapshots, 2);
+        assert!(stress.approx_routers() < Scale::small().approx_routers());
+        // …while each planned delta snapshot still carries enough traces
+        // per vantage to exercise the epoch fold's interning and indexes.
+        assert!(stress.vantages * stress.dests_per_vantage >= 2_000);
+        assert!(stress.snapshot_churn > 0.1, "deltas must actually churn");
     }
 
     #[test]

@@ -19,8 +19,8 @@ use lfp::query::wire;
 
 fn main() {
     println!("building a tiny measured world…");
-    let world = World::build(Scale::tiny());
-    let engine = QueryEngine::new(&world);
+    let world = std::sync::Arc::new(World::build(Scale::tiny()));
+    let engine = QueryEngine::new(world);
     let corpus = engine.corpus();
     println!(
         "engine ready: {} paths, {} sources\n",
@@ -50,7 +50,7 @@ fn main() {
         println!("→ {line}");
         let reply = match wire::decode(line) {
             Ok(query) => match engine.execute(&query) {
-                Ok(response) => wire::ok_envelope(&query.canonical(), &response),
+                Ok(response) => wire::ok_envelope(&engine.canonical(&query), &response),
                 Err(error) => wire::error_envelope(&error),
             },
             Err(error) => wire::error_envelope(&error),

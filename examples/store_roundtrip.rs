@@ -1,0 +1,82 @@
+//! Persist a measured world, cold-start from the store, and fold a new
+//! snapshot in as an epoch — the full `lfp-store` life cycle, in
+//! process.
+//!
+//! ```sh
+//! cargo run --release --example store_roundtrip
+//! ```
+//!
+//! The same flow over the daemon:
+//!
+//! ```sh
+//! cargo run --release -p lfp-bench --bin store-tool -- deltas --scale query-stress --count 1 --out deltas/
+//! cargo run --release -p lfp-bench --bin vendor-queryd -- --store world.lfps                 # builds + saves
+//! cargo run --release -p lfp-bench --bin vendor-queryd -- --store world.lfps --ingest deltas # loads + ingests
+//! ```
+
+use lfp::core::scan_dataset;
+use lfp::prelude::*;
+use lfp::store::{SnapshotDelta, Store};
+use lfp::topo::datasets::{measure_ripe_snapshot, plan_ripe_snapshots_extended};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    println!("measuring a tiny world…");
+    let build_start = Instant::now();
+    let world = Arc::new(World::build(Scale::tiny()));
+    let rebuild_seconds = build_start.elapsed().as_secs_f64();
+    let store = Store::from_world(Arc::clone(&world));
+    println!(
+        "  built in {rebuild_seconds:.3}s — {} paths at epoch {}",
+        store.engine().corpus().len(),
+        store.epoch()
+    );
+
+    // Persist and cold-start from the bytes (a file works identically;
+    // see `Store::save` / `Store::load`).
+    let bytes = store.to_bytes();
+    println!("store is {} bytes", bytes.len());
+    let load_start = Instant::now();
+    let reopened = Store::from_bytes(&bytes).expect("fresh store bytes decode");
+    let load_seconds = load_start.elapsed().as_secs_f64();
+    println!(
+        "cold start from store in {load_seconds:.3}s ({:.1}x faster than the rebuild)",
+        rebuild_seconds / load_seconds.max(1e-9)
+    );
+
+    // Identical answers, bit for bit.
+    let question = r#"{"query": "path_diversity", "src_as": 3, "dst_as": 9, "min_hops": 1}"#;
+    let query = lfp::query::wire::decode(question).expect("valid query");
+    let before = store.engine().execute_uncached(&query);
+    let after = reopened.engine().execute_uncached(&query);
+    assert_eq!(before, after, "store round trip changed an answer");
+    println!("→ {question}");
+    println!("← identical from both daemons: {}", before.unwrap());
+
+    // Measure the snapshot a longer campaign would have collected next,
+    // and fold it in as epoch 1 — only the new traces classify.
+    println!("\nmeasuring one snapshot delta…");
+    let internet = &world.internet;
+    let plans = plan_ripe_snapshots_extended(internet, internet.scale.snapshots + 1);
+    let plan = plans.last().expect("one extra plan");
+    let snapshot = measure_ripe_snapshot(internet, &internet.network().fork(), plan);
+    let targets: Vec<std::net::Ipv4Addr> = snapshot.router_ips.iter().copied().collect();
+    let scan = scan_dataset(&internet.network().fork(), &snapshot.name, &targets, 4);
+    let delta = SnapshotDelta::from_measurement(&snapshot, &scan);
+
+    let report = reopened.ingest(delta).expect("delta ingests");
+    println!(
+        "ingested {} → epoch {} (+{} paths in {:.3}s)",
+        report.sources.join(", "),
+        report.epoch,
+        report.new_paths,
+        report.seconds
+    );
+    let engine = reopened.engine();
+    let catalog = engine
+        .execute(&lfp::query::Query::Catalog)
+        .expect("catalog answers");
+    println!("catalog now: {}", catalog.payload);
+    assert!(catalog.payload.contains("\"epoch\": 1") || catalog.payload.contains("\"epoch\":1"));
+}

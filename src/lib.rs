@@ -15,6 +15,7 @@
 //! | [`baselines`] | Nmap/Hershel/iTTL/banner comparators |
 //! | [`analysis`] | analyses and the experiment registry |
 //! | [`query`] | the vendor-intelligence query engine and wire protocol |
+//! | [`store`] | persistent world store + epoch-based incremental ingestion |
 //!
 //! ```no_run
 //! use lfp::analysis::experiments::{run_all_parallel, run_by_id};
@@ -43,6 +44,7 @@ pub use lfp_net as net;
 pub use lfp_packet as packet;
 pub use lfp_query as query;
 pub use lfp_stack as stack;
+pub use lfp_store as store;
 pub use lfp_topo as topo;
 
 /// The most common imports in one place.

@@ -198,11 +198,11 @@ mod query_determinism {
     use lfp_topo::Continent;
     use proptest::prelude::*;
     use std::num::NonZeroUsize;
-    use std::sync::OnceLock;
+    use std::sync::{Arc, OnceLock};
 
-    fn world() -> &'static World {
-        static WORLD: OnceLock<World> = OnceLock::new();
-        WORLD.get_or_init(|| World::build(Scale::tiny()))
+    fn world() -> Arc<World> {
+        static WORLD: OnceLock<Arc<World>> = OnceLock::new();
+        Arc::clone(WORLD.get_or_init(|| Arc::new(World::build(Scale::tiny()))))
     }
 
     /// Raw generator draws for one query; mapped onto the corpus's real
@@ -221,7 +221,8 @@ mod query_determinism {
     }
 
     fn materialise(raw: RawQuery) -> Query {
-        let corpus = world().path_corpus();
+        let world = world();
+        let corpus = world.path_corpus();
         let (kind, (src_pick, dst_pick), (min_pick, max_extra), (slice_pick, source_pick), lfp) =
             raw;
         let src = corpus.src_as_ids();
@@ -270,7 +271,9 @@ mod query_determinism {
 
     proptest! {
         /// A cache hit returns the exact bytes a cold execution renders,
-        /// and the canonical form survives a wire round trip.
+        /// and the canonical form survives a wire round trip — in both
+        /// its bare and epoch-tagged spellings (the engine caches and
+        /// echoes the tagged form).
         #[test]
         fn cache_hit_is_byte_identical_to_cold_execution(raw in raw_query()) {
             let query = materialise(raw);
@@ -284,7 +287,14 @@ mod query_determinism {
             prop_assert_eq!(&*cold.payload, uncached.as_str());
             // Canonical echo decodes back to the same query (the cache
             // key really does canonicalise).
-            prop_assert_eq!(wire::decode(&query.canonical()).unwrap(), query);
+            prop_assert_eq!(wire::decode(&query.canonical()).unwrap(), query.clone());
+            // The engine's echo is the epoch-tagged canonical form: it
+            // names this engine's epoch, stays a valid wire request, and
+            // round-trips to the same query.
+            let echo = engine.canonical(&query);
+            prop_assert!(echo.ends_with(&format!(",\"epoch\":{}}}", engine.epoch())));
+            prop_assert_eq!(&echo, &query.canonical_at(engine.epoch()));
+            prop_assert_eq!(wire::decode(&echo).unwrap(), query);
         }
 
         /// Concurrent batch execution returns, per slot, the same bytes
@@ -321,6 +331,52 @@ mod query_determinism {
             }
         }
     }
+}
+
+#[test]
+fn epoch_tag_partitions_a_shared_cache() {
+    // Two engines at different epochs over the same world and the SAME
+    // cache object (the epoch-store swap scenario): the epoch field in
+    // the canonical key must keep their entries fully disjoint, so a
+    // result rendered at epoch 0 can never answer an epoch-1 query.
+    use lfp::prelude::*;
+    use std::sync::{Arc, OnceLock};
+
+    static WORLD: OnceLock<Arc<World>> = OnceLock::new();
+    let world = Arc::clone(WORLD.get_or_init(|| Arc::new(World::build(Scale::tiny()))));
+    let engine0 = QueryEngine::new(Arc::clone(&world));
+    let shared_cache = engine0.cache_handle();
+    let (targets, lfp, snmp) = {
+        let (snapshot, scan) = world.latest_ripe();
+        let targets: Vec<std::net::Ipv4Addr> = snapshot.router_ips.iter().copied().collect();
+        (
+            targets,
+            world.lfp_vendor_map(scan),
+            world.snmp_vendor_map(scan),
+        )
+    };
+    let engine1 = QueryEngine::for_epoch(
+        Arc::clone(&world),
+        world.path_corpus_arc(),
+        &targets,
+        &lfp,
+        &snmp,
+        shared_cache,
+        1,
+    );
+
+    let query = Query::Catalog;
+    let cold0 = engine0.execute(&query).unwrap();
+    assert!(!cold0.cached);
+    assert!(engine0.execute(&query).unwrap().cached);
+    // Same cache object, different epoch: must miss, and the rendered
+    // catalog names its own epoch.
+    let cold1 = engine1.execute(&query).unwrap();
+    assert!(!cold1.cached, "epoch-0 bytes served at epoch 1");
+    assert_ne!(cold0.payload, cold1.payload);
+    assert!(engine1.execute(&query).unwrap().cached);
+    // Both generations stay resident side by side.
+    assert_eq!(engine0.cache_stats().entries, 2);
 }
 
 #[test]
