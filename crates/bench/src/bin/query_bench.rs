@@ -20,8 +20,7 @@
 
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_bench::merge_bench_phase;
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::TcpStream;
+use lfp_bench::mix::{build_mix, connect, connect_with_retry, percentile_us, request};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -58,7 +57,8 @@ fn main() {
     let distinct = distinct.max(1);
 
     // -- bootstrap: wait for the daemon, fetch the catalog ------------
-    let mut probe = connect_with_retry(&addr, Duration::from_secs(wait_secs));
+    let mut probe = connect_with_retry(&addr, Duration::from_secs(wait_secs))
+        .unwrap_or_else(|error| fail(&error));
     let catalog = request(&mut probe, "{\"query\":\"catalog\"}")
         .unwrap_or_else(|error| fail(&format!("catalog query failed: {error}")));
     let catalog =
@@ -67,7 +67,8 @@ fn main() {
         fail(&format!("catalog refused: {}", catalog.render()));
     }
     let result = catalog.get("result").unwrap_or(&JsonValue::Null);
-    let mix = build_mix(result, distinct);
+    let mix = build_mix(result, distinct)
+        .unwrap_or_else(|| fail("catalog advertised no AS ids to query"));
     eprintln!(
         "driving {addr}: {} distinct queries × {connections} connections × {requests} requests",
         mix.len()
@@ -114,18 +115,11 @@ fn main() {
     let total = ok + errors;
     let qps = total as f64 / seconds.max(1e-9);
     let hit_percent = cached as f64 * 100.0 / ok.max(1) as f64;
-    let percentile = |p: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let index = ((latencies.len() - 1) as f64 * p).round() as usize;
-        latencies[index]
-    };
     let (p50, p90, p99, max) = (
-        percentile(0.50),
-        percentile(0.90),
-        percentile(0.99),
-        percentile(1.0),
+        percentile_us(&latencies, 0.50),
+        percentile_us(&latencies, 0.90),
+        percentile_us(&latencies, 0.99),
+        percentile_us(&latencies, 1.0),
     );
 
     println!(
@@ -172,125 +166,6 @@ fn parse_number<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
     value
         .and_then(|text| text.parse().ok())
         .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
-}
-
-/// A connected client: line-buffered reader + writer over one stream.
-struct Connection {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-}
-
-fn connect(addr: &str) -> std::io::Result<Connection> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    let reader = BufReader::new(stream.try_clone()?);
-    Ok(Connection {
-        reader,
-        writer: BufWriter::new(stream),
-    })
-}
-
-fn connect_with_retry(addr: &str, timeout: Duration) -> Connection {
-    let deadline = Instant::now() + timeout;
-    loop {
-        match connect(addr) {
-            Ok(connection) => return connection,
-            Err(error) => {
-                if Instant::now() >= deadline {
-                    fail(&format!(
-                        "cannot connect to {addr} within {timeout:?}: {error}"
-                    ));
-                }
-                std::thread::sleep(Duration::from_millis(100));
-            }
-        }
-    }
-}
-
-/// One request/response round trip.
-fn request(connection: &mut Connection, line: &str) -> Result<String, String> {
-    writeln!(connection.writer, "{line}")
-        .and_then(|()| connection.writer.flush())
-        .map_err(|error| format!("send: {error}"))?;
-    let mut reply = String::new();
-    match connection.reader.read_line(&mut reply) {
-        Ok(0) => Err("connection closed".to_string()),
-        Ok(_) => Ok(reply.trim_end().to_string()),
-        Err(error) => Err(format!("recv: {error}")),
-    }
-}
-
-/// Build a deterministic request mix from the daemon's catalog: every
-/// query kind, cycling through the advertised AS ids, sources, regions
-/// and slices. Deterministic so reruns are comparable and so the warm
-/// pass covers exactly the timed working set.
-fn build_mix(catalog: &JsonValue, distinct: usize) -> Vec<String> {
-    let numbers = |key: &str| -> Vec<u64> {
-        catalog
-            .get(key)
-            .and_then(JsonValue::as_array)
-            .map(|items| items.iter().filter_map(JsonValue::as_u64).collect())
-            .unwrap_or_default()
-    };
-    let strings = |key: &str| -> Vec<String> {
-        catalog
-            .get(key)
-            .and_then(JsonValue::as_array)
-            .map(|items| {
-                items
-                    .iter()
-                    .filter_map(JsonValue::as_str)
-                    .map(str::to_string)
-                    .collect()
-            })
-            .unwrap_or_default()
-    };
-    let src_ases = numbers("src_ases");
-    let dst_ases = numbers("dst_ases");
-    let sources = strings("sources");
-    let regions = strings("regions");
-    let slices = strings("slices");
-    if src_ases.is_empty() || dst_ases.is_empty() {
-        fail("catalog advertised no AS ids to query");
-    }
-
-    let pick = |items: &[u64], index: usize| items[index % items.len()];
-    let pick_str = |items: &[String], index: usize| items[index % items.len()].clone();
-    let mut mix = Vec::with_capacity(distinct);
-    for index in 0..distinct {
-        let line = match index % 6 {
-            0 => format!(
-                "{{\"query\":\"vendor_mix\",\"as\":{}}}",
-                pick(&src_ases, index / 6)
-            ),
-            1 if !regions.is_empty() => format!(
-                "{{\"query\":\"vendor_mix\",\"region\":\"{}\",\"method\":\"{}\"}}",
-                pick_str(&regions, index / 6),
-                if index % 2 == 0 { "lfp" } else { "snmp" },
-            ),
-            2 => format!(
-                "{{\"query\":\"path_diversity\",\"src_as\":{},\"dst_as\":{}}}",
-                pick(&src_ases, index / 6),
-                pick(&dst_ases, index / 3),
-            ),
-            3 if !sources.is_empty() => format!(
-                "{{\"query\":\"transitions\",\"source\":\"{}\"}}",
-                pick_str(&sources, index / 6)
-            ),
-            4 if !slices.is_empty() => format!(
-                "{{\"query\":\"longest_runs\",\"slice\":\"{}\"}}",
-                pick_str(&slices, index / 6)
-            ),
-            _ => format!(
-                "{{\"query\":\"path_diversity\",\"src_as\":{},\"dst_as\":{},\"min_hops\":{}}}",
-                pick(&src_ases, index / 2),
-                pick(&dst_ases, index / 4),
-                2 + index % 4,
-            ),
-        };
-        mix.push(line);
-    }
-    mix
 }
 
 struct WorkerResult {

@@ -1,0 +1,505 @@
+//! query-load — open-loop pipelined load generator for `vendor-queryd`.
+//!
+//! ```text
+//! query-load [--addr 127.0.0.1:7377] [--connections 512] [--pipeline 16]
+//!            [--requests-per-conn 200] [--churn-every 0] [--distinct 64]
+//!            [--wait-secs 30] [--deadline-secs 180]
+//!            [--phase serve] [--bench-json BENCH_campaign.json] [--shutdown]
+//! ```
+//!
+//! Where `query-bench` is a *closed-loop* client (one request per round
+//! trip — it measures latency under polite load), this generator drives
+//! the hostile schedule the event-loop daemon exists for: hundreds of
+//! concurrent connections, each keeping `--pipeline` requests in flight
+//! without waiting for answers, optionally tearing the connection down
+//! and reconnecting every `--churn-every` responses. All connections
+//! are multiplexed from **one thread** over the same `poll(2)` layer
+//! the server uses (`lfp_serve::sys`), so the generator itself stays
+//! cheap at 512+ sockets.
+//!
+//! Results land in `BENCH_campaign.json` under `--phase` (default
+//! `serve`). When writing the `serve` phase and a `serve_baseline`
+//! phase (the thread-per-connection daemon measured by an earlier run
+//! with `--phase serve_baseline`) is present, the phase also records
+//! the baseline throughput and the event-loop/baseline ratio CI
+//! asserts on.
+
+use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
+use lfp_bench::mix::{build_mix, connect_with_retry, percentile_us, request};
+use lfp_bench::{merge_bench_phase, read_bench_phase};
+use lfp_query::FrameDecoder;
+use lfp_serve::sys::{poll_fds, PollFd, POLLIN, POLLOUT};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr = "127.0.0.1:7377".to_string();
+    let mut connections = 512usize;
+    let mut pipeline = 16usize;
+    let mut requests_per_conn = 200usize;
+    let mut churn_every = 0usize;
+    let mut distinct = 64usize;
+    let mut wait_secs = 30u64;
+    let mut deadline_secs = 180u64;
+    let mut phase_name = "serve".to_string();
+    let mut bench_json = "BENCH_campaign.json".to_string();
+    let mut shutdown = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = args
+                    .next()
+                    .unwrap_or_else(|| usage("--addr needs host:port"))
+            }
+            "--connections" => connections = parse_number(args.next(), "--connections"),
+            "--pipeline" => pipeline = parse_number(args.next(), "--pipeline"),
+            "--requests-per-conn" => {
+                requests_per_conn = parse_number(args.next(), "--requests-per-conn")
+            }
+            "--churn-every" => churn_every = parse_number(args.next(), "--churn-every"),
+            "--distinct" => distinct = parse_number(args.next(), "--distinct"),
+            "--wait-secs" => wait_secs = parse_number(args.next(), "--wait-secs"),
+            "--deadline-secs" => deadline_secs = parse_number(args.next(), "--deadline-secs"),
+            "--phase" => phase_name = args.next().unwrap_or_else(|| usage("--phase needs a name")),
+            "--bench-json" => {
+                bench_json = args
+                    .next()
+                    .unwrap_or_else(|| usage("--bench-json needs a path"))
+            }
+            "--shutdown" => shutdown = true,
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let connections = connections.max(1);
+    let pipeline = pipeline.max(1);
+    let requests_per_conn = requests_per_conn.max(1);
+
+    // -- bootstrap: wait for the daemon, fetch the catalog, warm ------
+    let mut probe = connect_with_retry(&addr, Duration::from_secs(wait_secs))
+        .unwrap_or_else(|error| fail(&error));
+    let catalog = request(&mut probe, "{\"query\":\"catalog\"}")
+        .unwrap_or_else(|error| fail(&format!("catalog query failed: {error}")));
+    let catalog =
+        parse(&catalog).unwrap_or_else(|error| fail(&format!("bad catalog JSON: {error}")));
+    if catalog.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+        fail(&format!("catalog refused: {}", catalog.render()));
+    }
+    let result = catalog.get("result").unwrap_or(&JsonValue::Null);
+    let mix = build_mix(result, distinct)
+        .unwrap_or_else(|| fail("catalog advertised no AS ids to query"));
+    let mut warm_errors = 0usize;
+    for line in &mix {
+        match request(&mut probe, line) {
+            Ok(reply) if reply.contains("\"ok\": true") => {}
+            _ => warm_errors += 1,
+        }
+    }
+    if warm_errors > 0 {
+        eprintln!("warning: {warm_errors} queries failed during warm-up");
+    }
+    eprintln!(
+        "driving {addr}: {connections} connections × {requests_per_conn} requests, \
+         pipeline {pipeline}, churn every {churn_every}, {} distinct queries",
+        mix.len()
+    );
+
+    // -- timed open-loop run ------------------------------------------
+    let run = drive(
+        &addr,
+        &mix,
+        connections,
+        pipeline,
+        requests_per_conn,
+        churn_every,
+        Duration::from_secs(deadline_secs),
+    );
+    let total = (connections * requests_per_conn) as u64;
+    let qps = run.ok as f64 / run.seconds.max(1e-9);
+    let (p50, p90, p99, max) = (
+        percentile_us(&run.latencies_us, 0.50),
+        percentile_us(&run.latencies_us, 0.90),
+        percentile_us(&run.latencies_us, 0.99),
+        percentile_us(&run.latencies_us, 1.0),
+    );
+    println!(
+        "{phase_name}: {}/{total} pipelined queries in {:.2}s → {qps:.0} q/s \
+         (p50 {p50}µs, p90 {p90}µs, p99 {p99}µs, max {max}µs, \
+         {} reconnects, {} errors)",
+        run.ok, run.seconds, run.churn_events, run.errors
+    );
+
+    write_phase(
+        &bench_json,
+        &phase_name,
+        connections,
+        pipeline,
+        run.ok,
+        run.errors,
+        run.churn_events,
+        run.seconds,
+        qps,
+        (p50, p90, p99, max),
+    );
+
+    if shutdown {
+        let _ = request(&mut probe, "{\"query\":\"shutdown\"}");
+        eprintln!("sent shutdown");
+    }
+    if run.errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: query-load [--addr HOST:PORT] [--connections N] [--pipeline N] \
+         [--requests-per-conn N] [--churn-every N] [--distinct N] [--wait-secs N] \
+         [--deadline-secs N] [--phase NAME] [--bench-json PATH] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("query-load: {message}");
+    std::process::exit(1);
+}
+
+fn parse_number<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    value
+        .and_then(|text| text.parse().ok())
+        .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+}
+
+/// One load connection's life: a budget of requests pushed through a
+/// bounded pipeline, with optional teardown-and-reconnect churn.
+struct LoadConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Requests committed to the output buffer (not necessarily sent).
+    queued: usize,
+    /// Responses fully received.
+    answered: usize,
+    budget: usize,
+    send_times: VecDeque<Instant>,
+    mix_cursor: usize,
+    /// Positive: reconnect after this many more responses.
+    churn_every: usize,
+    until_churn: usize,
+    want_churn: bool,
+    done: bool,
+    failed: bool,
+}
+
+impl LoadConn {
+    fn open(addr: &str, budget: usize, churn_every: usize, cursor: usize) -> Option<LoadConn> {
+        let stream = TcpStream::connect(addr).ok()?;
+        stream.set_nodelay(true).ok();
+        stream.set_nonblocking(true).ok()?;
+        Some(LoadConn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            queued: 0,
+            answered: 0,
+            budget,
+            send_times: VecDeque::new(),
+            mix_cursor: cursor,
+            churn_every,
+            until_churn: churn_every.max(1),
+            want_churn: false,
+            done: false,
+            failed: false,
+        })
+    }
+
+    fn live(&self) -> bool {
+        !self.done && !self.failed
+    }
+
+    /// Keep the pipeline topped up, with half-depth hysteresis: refill
+    /// only once the window has drained to `depth/2`, then burst back
+    /// to `depth`. One-request-per-reply refills would degenerate the
+    /// whole path into 40-byte segments (a packet per query, each with
+    /// its own softirq and wakeup); bursting keeps requests, reads,
+    /// executions and replies batched end to end.
+    fn fill(&mut self, mix: &[String], depth: usize) {
+        let outstanding = self.queued - self.answered;
+        if outstanding > depth / 2 {
+            return;
+        }
+        while !self.want_churn && self.queued < self.budget && self.queued - self.answered < depth {
+            let line = &mix[self.mix_cursor % mix.len()];
+            self.mix_cursor += 1;
+            self.out.extend_from_slice(line.as_bytes());
+            self.out.push(b'\n');
+            self.send_times.push_back(Instant::now());
+            self.queued += 1;
+        }
+    }
+
+    fn wants_write(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    fn try_write(&mut self) {
+        while self.wants_write() {
+            match (&self.stream).write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.failed = true;
+                    return;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.failed = true;
+                    return;
+                }
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+    }
+
+    /// Read whatever arrived and account completed responses.
+    fn try_read(&mut self, ok: &mut u64, errors: &mut u64, latencies: &mut Vec<u64>) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match (&self.stream).read(&mut chunk) {
+                Ok(0) => {
+                    if self.answered < self.budget {
+                        self.failed = true;
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    self.decoder.feed(&chunk[..n]);
+                    while let Some(frame) = self.decoder.next_frame() {
+                        let reply = match frame {
+                            Ok(line) => line,
+                            Err(_) => {
+                                self.failed = true;
+                                return;
+                            }
+                        };
+                        if let Some(start) = self.send_times.pop_front() {
+                            latencies.push(start.elapsed().as_micros() as u64);
+                        }
+                        if reply.contains("\"ok\": true") {
+                            *ok += 1;
+                        } else {
+                            *errors += 1;
+                        }
+                        self.answered += 1;
+                        if self.churn_every > 0 && self.answered < self.budget {
+                            self.until_churn -= 1;
+                            if self.until_churn == 0 {
+                                self.until_churn = self.churn_every;
+                                self.want_churn = true;
+                            }
+                        }
+                        if self.answered >= self.budget {
+                            self.done = true;
+                            return;
+                        }
+                    }
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.failed = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// At a churn point with an empty pipeline: tear down and reconnect.
+    fn churn_if_due(&mut self, addr: &str) -> bool {
+        if !self.want_churn || self.queued != self.answered || !self.out.is_empty() {
+            return false;
+        }
+        let Some(fresh) = LoadConn::open(addr, self.budget, self.churn_every, self.mix_cursor)
+        else {
+            self.failed = true;
+            return false;
+        };
+        let (queued, answered, until) = (self.queued, self.answered, self.churn_every);
+        *self = fresh;
+        self.queued = queued;
+        self.answered = answered;
+        self.until_churn = until;
+        true
+    }
+}
+
+struct RunResult {
+    ok: u64,
+    errors: u64,
+    churn_events: u64,
+    seconds: f64,
+    latencies_us: Vec<u64>,
+}
+
+/// Multiplex every connection from this one thread until all budgets
+/// are spent (or the deadline expires, counting the shortfall as
+/// errors).
+fn drive(
+    addr: &str,
+    mix: &[String],
+    connections: usize,
+    pipeline: usize,
+    requests_per_conn: usize,
+    churn_every: usize,
+    deadline: Duration,
+) -> RunResult {
+    let started = Instant::now();
+    let hard_deadline = started + deadline;
+    let mut conns: Vec<LoadConn> = Vec::with_capacity(connections);
+    for index in 0..connections {
+        // Phase-shift each connection's cursor so the fleet interleaves
+        // different queries, like real fan-in would.
+        match LoadConn::open(addr, requests_per_conn, churn_every, index * 7) {
+            Some(conn) => conns.push(conn),
+            None => fail(&format!("cannot open load connection {index} to {addr}")),
+        }
+        if churn_every > 0 {
+            // Stagger the first churn point per connection: the whole
+            // fleet reconnecting on the same response index would melt
+            // the listener backlog into SYN-retransmit stalls and
+            // measure TCP retry timers instead of the server.
+            let conn = conns.last_mut().expect("just pushed");
+            conn.until_churn = 1 + (index % churn_every.max(1));
+        }
+    }
+
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut churn_events = 0u64;
+    let mut iterations = 0u64;
+    let mut latencies: Vec<u64> = Vec::with_capacity(connections * requests_per_conn);
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+
+    loop {
+        iterations += 1;
+        let mut live = 0usize;
+        fds.clear();
+        order.clear();
+        for (index, conn) in conns.iter_mut().enumerate() {
+            if conn.churn_if_due(addr) {
+                churn_events += 1;
+            }
+            if !conn.live() {
+                continue;
+            }
+            live += 1;
+            conn.fill(mix, pipeline);
+            let mut events = POLLIN;
+            if conn.wants_write() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+            order.push(index);
+        }
+        if live == 0 {
+            break;
+        }
+        if Instant::now() >= hard_deadline {
+            for conn in &conns {
+                if conn.live() {
+                    errors += (conn.budget - conn.answered) as u64;
+                }
+            }
+            eprintln!("warning: deadline expired with {live} connections unfinished");
+            break;
+        }
+        if poll_fds(&mut fds, 200).is_err() {
+            fail("poll failed in the load loop");
+        }
+        for (slot, &index) in order.iter().enumerate() {
+            let conn = &mut conns[index];
+            if fds[slot].writable() && conn.wants_write() {
+                conn.try_write();
+            }
+            if fds[slot].readable() && conn.live() {
+                conn.try_read(&mut ok, &mut errors, &mut latencies);
+            }
+        }
+    }
+
+    for conn in &conns {
+        if conn.failed {
+            errors += (conn.budget - conn.answered) as u64;
+        }
+    }
+    eprintln!(
+        "load loop: {iterations} iterations, {:.1} replies/iteration",
+        ok as f64 / iterations.max(1) as f64
+    );
+    latencies.sort_unstable();
+    RunResult {
+        ok,
+        errors,
+        churn_events,
+        seconds: started.elapsed().as_secs_f64(),
+        latencies_us: latencies,
+    }
+}
+
+/// Insert/replace the phase in the bench artefact. The `serve` phase
+/// additionally records the thread-per-connection baseline (written by
+/// an earlier `--phase serve_baseline` run) and the ratio against it.
+#[allow(clippy::too_many_arguments)]
+fn write_phase(
+    path: &str,
+    phase_name: &str,
+    connections: usize,
+    pipeline: usize,
+    ok: u64,
+    errors: u64,
+    churn_events: u64,
+    seconds: f64,
+    qps: f64,
+    (p50, p90, p99, max): (u64, u64, u64, u64),
+) {
+    let mut latency = JsonBuilder::object();
+    latency.integer("p50", p50);
+    latency.integer("p90", p90);
+    latency.integer("p99", p99);
+    latency.integer("max", max);
+    let mut phase = JsonBuilder::object();
+    phase.integer("connections", connections as u64);
+    phase.integer("pipeline", pipeline as u64);
+    phase.integer("queries", ok);
+    phase.integer("errors", errors);
+    phase.integer("reconnects", churn_events);
+    phase.number("seconds", seconds);
+    phase.number("qps", qps);
+    phase.raw("latency_us", latency.finish());
+    if phase_name == "serve" {
+        if let Some(baseline) = read_bench_phase(path, "serve_baseline") {
+            if let Some(baseline_qps) = baseline.get("qps").and_then(JsonValue::as_f64) {
+                phase.number("baseline_qps", baseline_qps);
+                if let Some(baseline_conns) =
+                    baseline.get("connections").and_then(JsonValue::as_u64)
+                {
+                    phase.integer("baseline_connections", baseline_conns);
+                }
+                phase.number("qps_vs_threaded", qps / baseline_qps.max(1e-9));
+            }
+        }
+    }
+    let phase = parse(&phase.finish()).expect("phase JSON is valid");
+    merge_bench_phase(path, phase_name, phase, Some(seconds));
+    eprintln!("wrote {phase_name} phase to {path}");
+}

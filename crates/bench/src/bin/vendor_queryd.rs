@@ -3,15 +3,31 @@
 //! ```text
 //! vendor-queryd [--scale tiny|small|paper|path-stress|query-stress|ingest-stress]
 //!               [--addr 127.0.0.1] [--port 7377]
+//!               [--workers N] [--max-connections N] [--max-inflight N]
+//!               [--write-buffer-cap BYTES] [--drain-timeout-ms N]
 //!               [--cache-shards N] [--cache-capacity N]
 //!               [--store PATH] [--ingest DIR] [--bench-json FILE]
+//!               [--threaded]
 //! ```
 //!
 //! Serves the line protocol (see `lfp_query::wire`): one JSON query per
-//! line in, one JSON result per line out, one thread per connection, all
-//! connections sharing the current epoch's result cache. `--port 0`
-//! binds an ephemeral port; the `listening on` line printed to stdout
-//! carries the actual address.
+//! line in, one JSON result per line out. By default the daemon runs on
+//! the **readiness-driven event loop** from `lfp-serve` — one loop
+//! thread multiplexing every connection over `poll(2)`, a fixed worker
+//! pool executing queries, pipelining and per-connection backpressure,
+//! slow-reader eviction, and a graceful drain on shutdown. `--threaded`
+//! selects the legacy thread-per-connection core instead (kept as the
+//! baseline the `serve` bench phase compares against). `--port 0` binds
+//! an ephemeral port; the `listening on` line printed to stdout carries
+//! the actual address.
+//!
+//! ## Control queries
+//!
+//! Beyond the query grammar: `{"query": "stats"}` (event loop only)
+//! reports connections, queue depths and the serving epoch;
+//! `{"query": "shutdown"}` acknowledges, **drains every accepted
+//! request on every connection**, then exits; an EOF or `quit` line
+//! ends one connection (after its pipelined responses flush).
 //!
 //! ## Persistence and ingestion
 //!
@@ -31,22 +47,20 @@
 //! store when `--store` is set. `--bench-json FILE` records the
 //! `store` phase — rebuild seconds on the first run, load seconds and
 //! the rebuild/load speedup on a restart.
-//!
-//! Two control lines exist beyond the query grammar:
-//! `{"query": "shutdown"}` stops the daemon (after acknowledging), and
-//! an EOF or `quit` line ends one connection.
 
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_analysis::World;
 use lfp_bench::{merge_bench_phase, read_bench_phase};
 use lfp_query::wire;
+use lfp_serve::{answer_line, is_shutdown_line, EngineSource, ServeConfig, Server, SHUTDOWN_ACK};
 use lfp_store::{SnapshotDelta, Store};
 use lfp_topo::Scale;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -59,6 +73,9 @@ fn main() {
     let mut store_path: Option<String> = None;
     let mut ingest_dir: Option<String> = None;
     let mut bench_json: Option<String> = None;
+    let mut threaded = false;
+    let mut config = ServeConfig::default();
+    let mut tuned_event_loop = false;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,6 +92,27 @@ fn main() {
             }
             "--addr" => addr = args.next().unwrap_or_else(|| usage("--addr needs a host")),
             "--port" => port = parse_number(args.next(), "--port"),
+            "--workers" => {
+                config.workers = parse_number(args.next(), "--workers");
+                tuned_event_loop = true;
+            }
+            "--max-connections" => {
+                config.max_connections = parse_number(args.next(), "--max-connections");
+                tuned_event_loop = true;
+            }
+            "--max-inflight" => {
+                config.max_inflight = parse_number(args.next(), "--max-inflight");
+                tuned_event_loop = true;
+            }
+            "--write-buffer-cap" => {
+                config.write_buffer_cap = parse_number(args.next(), "--write-buffer-cap");
+                tuned_event_loop = true;
+            }
+            "--drain-timeout-ms" => {
+                config.drain_timeout =
+                    Duration::from_millis(parse_number(args.next(), "--drain-timeout-ms"));
+                tuned_event_loop = true;
+            }
             "--cache-shards" => cache_shards = parse_number(args.next(), "--cache-shards"),
             "--cache-capacity" => cache_capacity = parse_number(args.next(), "--cache-capacity"),
             "--store" => {
@@ -92,18 +130,19 @@ fn main() {
                         .unwrap_or_else(|| usage("--bench-json needs a path")),
                 )
             }
+            "--threaded" => threaded = true,
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
 
-    let store = open_store(
+    let store = Arc::new(open_store(
         scale,
         &scale_name,
         store_path.as_deref(),
         cache_shards,
         cache_capacity,
         bench_json.as_deref(),
-    );
+    ));
 
     if let Some(dir) = ingest_dir.as_deref() {
         ingest_directory(&store, dir);
@@ -118,30 +157,63 @@ fn main() {
         }
     }
 
-    let listener = TcpListener::bind((addr.as_str(), port)).unwrap_or_else(|error| {
+    if threaded {
+        if tuned_event_loop {
+            eprintln!(
+                "warning: --workers/--max-connections/--max-inflight/--write-buffer-cap/\
+                 --drain-timeout-ms tune the event loop and are ignored with --threaded"
+            );
+        }
+        serve_threaded(&addr, port, &scale_name, &store);
+    } else {
+        serve_event_loop(&addr, port, &scale_name, config, store);
+    }
+}
+
+/// The default serving core: the `lfp-serve` readiness loop.
+fn serve_event_loop(
+    addr: &str,
+    port: u16,
+    scale_name: &str,
+    config: ServeConfig,
+    store: Arc<Store>,
+) {
+    let engine_store = Arc::clone(&store);
+    let source: Arc<dyn EngineSource> = Arc::new(move || engine_store.engine());
+    let server = Server::bind((addr, port), config, source).unwrap_or_else(|error| {
         eprintln!("cannot bind {addr}:{port}: {error}");
         std::process::exit(1);
     });
-    let local = listener.local_addr().expect("bound socket has an address");
     // The readiness line clients and CI wait for — keep it stable.
     println!(
-        "vendor-queryd listening on {local} (scale {scale_name}, {} paths, epoch {})",
+        "vendor-queryd listening on {} (scale {scale_name}, {} paths, epoch {}, \
+         event loop, {} workers)",
+        server.local_addr(),
         store.engine().corpus().len(),
         store.epoch(),
+        server.worker_count(),
     );
     std::io::stdout().flush().ok();
 
-    std::thread::scope(|scope| {
-        for connection in listener.incoming() {
-            match connection {
-                Ok(stream) => {
-                    let store = &store;
-                    scope.spawn(move || serve_connection(stream, store));
-                }
-                Err(error) => eprintln!("accept failed: {error}"),
-            }
-        }
-    });
+    let report = server.run();
+    let stats = store.engine().cache_stats();
+    eprintln!(
+        "drained and stopped at epoch {}: {} connections, {} queries, {} control, \
+         {} evicted, drained_cleanly={} ({} loop iterations, {} reads / {} bytes in, \
+         {} cache entries, {} hits / {} misses)",
+        store.epoch(),
+        report.accepted,
+        report.queries,
+        report.control,
+        report.evicted,
+        report.drained_cleanly,
+        report.iterations,
+        report.socket_reads,
+        report.bytes_read,
+        stats.entries,
+        stats.hits,
+        stats.misses,
+    );
 }
 
 /// Open the serving store: load from `--store` when the file exists,
@@ -309,8 +381,10 @@ fn usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: vendor-queryd [--scale NAME] [--addr HOST] [--port N] \
+         [--workers N] [--max-connections N] [--max-inflight N] \
+         [--write-buffer-cap BYTES] [--drain-timeout-ms N] \
          [--cache-shards N] [--cache-capacity N] \
-         [--store PATH] [--ingest DIR] [--bench-json FILE]"
+         [--store PATH] [--ingest DIR] [--bench-json FILE] [--threaded]"
     );
     std::process::exit(2);
 }
@@ -321,11 +395,94 @@ fn parse_number<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
         .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
 }
 
-/// Longest request line a connection may send. Far above any legal
-/// query, far below anything that could pressure memory — a client
-/// streaming an endless line must not buffer unbounded bytes before
-/// validation even runs.
+// ---------------------------------------------------------------------
+// The legacy thread-per-connection core (`--threaded`): retained as the
+// baseline the `serve` bench phase measures the event loop against.
+// ---------------------------------------------------------------------
+
+/// Longest request line a threaded connection may send (the event loop
+/// gets this from `ServeConfig::max_frame_bytes` instead).
 const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// How long a threaded shutdown waits for other connections' in-flight
+/// responses before exiting anyway.
+const THREADED_DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Requests currently being answered across all connection threads —
+/// the gauge the `shutdown` handler drains before exiting, so another
+/// connection's already-read request is not cut off mid-write (the old
+/// daemon acked and called `exit(0)`, dropping them).
+struct Inflight {
+    count: Mutex<u64>,
+    idle: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Inflight {
+        Inflight {
+            count: Mutex::new(0),
+            idle: Condvar::new(),
+        }
+    }
+
+    fn enter(&self) {
+        *self.count.lock().expect("inflight lock") += 1;
+    }
+
+    fn exit(&self) {
+        let mut count = self.count.lock().expect("inflight lock");
+        *count -= 1;
+        if *count == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Wait until no request is mid-flight (or the timeout passes).
+    fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut count = self.count.lock().expect("inflight lock");
+        while *count > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (next, _) = self.idle.wait_timeout(count, left).expect("inflight lock");
+            count = next;
+        }
+        true
+    }
+}
+
+fn serve_threaded(addr: &str, port: u16, scale_name: &str, store: &Arc<Store>) {
+    let listener = TcpListener::bind((addr, port)).unwrap_or_else(|error| {
+        eprintln!("cannot bind {addr}:{port}: {error}");
+        std::process::exit(1);
+    });
+    let local = listener.local_addr().expect("bound socket has an address");
+    println!(
+        "vendor-queryd listening on {local} (scale {scale_name}, {} paths, epoch {}, \
+         thread per connection)",
+        store.engine().corpus().len(),
+        store.epoch(),
+    );
+    std::io::stdout().flush().ok();
+
+    let inflight = Arc::new(Inflight::new());
+    let draining = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for connection in listener.incoming() {
+            match connection {
+                Ok(stream) => {
+                    let store = Arc::clone(store);
+                    let inflight = Arc::clone(&inflight);
+                    let draining = Arc::clone(&draining);
+                    scope.spawn(move || serve_connection(stream, &store, &inflight, &draining));
+                }
+                Err(error) => eprintln!("accept failed: {error}"),
+            }
+        }
+    });
+}
 
 /// One bounded protocol line: `Line` (newline stripped), `TooLong`
 /// (the oversized line was consumed and discarded), or `Eof`.
@@ -383,7 +540,7 @@ fn read_bounded_line<R: BufRead>(reader: &mut R) -> std::io::Result<LineRead> {
 /// One connection: read a line, answer a line, until EOF/`quit`. The
 /// serving engine is fetched from the store **per request**, so a
 /// long-lived connection observes an epoch swap on its very next query.
-fn serve_connection(stream: TcpStream, store: &Store) {
+fn serve_connection(stream: TcpStream, store: &Store, inflight: &Inflight, draining: &AtomicBool) {
     // One request per round trip: Nagle would add 40ms to every answer.
     stream.set_nodelay(true).ok();
     let Ok(read_half) = stream.try_clone() else {
@@ -411,17 +568,31 @@ fn serve_connection(stream: TcpStream, store: &Store) {
         if line == "quit" {
             break;
         }
+        // Count the request in-flight *before* checking the drain flag:
+        // a request that got past the check is guaranteed to be waited
+        // for by the shutting-down thread.
+        inflight.enter();
+        if draining.load(Ordering::SeqCst) {
+            inflight.exit();
+            break;
+        }
         let (reply, shutdown) = respond(line, store);
-        if writeln!(writer, "{reply}")
+        let delivered = writeln!(writer, "{reply}")
             .and_then(|()| writer.flush())
-            .is_err()
-        {
+            .is_ok();
+        inflight.exit();
+        if !delivered {
             break;
         }
         if shutdown {
+            // Drain: let every other connection's in-flight response
+            // reach its socket before the process goes away.
+            draining.store(true, Ordering::SeqCst);
+            let clean = inflight.drain(THREADED_DRAIN_TIMEOUT);
             let stats = store.engine().cache_stats();
             eprintln!(
-                "shutdown requested at epoch {} ({} cache entries, {} hits / {} misses)",
+                "shutdown requested at epoch {} (drained={clean}, {} cache entries, \
+                 {} hits / {} misses)",
                 store.epoch(),
                 stats.entries,
                 stats.hits,
@@ -434,31 +605,11 @@ fn serve_connection(stream: TcpStream, store: &Store) {
 
 /// Answer one protocol line. The bool asks the caller to exit the
 /// process (the `shutdown` control query) after the reply is flushed.
+/// Detection and ack come from `lfp-serve`, so the two serving cores
+/// answer shutdown byte-identically by construction.
 fn respond(line: &str, store: &Store) -> (String, bool) {
-    let value = match parse(line) {
-        Ok(value) => value,
-        Err(error) => {
-            return (
-                wire::error_envelope(&format!("invalid JSON: {error}")),
-                false,
-            )
-        }
-    };
-    if value.get("query").and_then(|field| field.as_str()) == Some("shutdown") {
-        return (
-            "{\"ok\": true, \"result\": \"shutting down\"}".to_string(),
-            true,
-        );
+    if is_shutdown_line(line) {
+        return (SHUTDOWN_ACK.to_string(), true);
     }
-    let engine = store.engine();
-    match wire::decode_value(&value) {
-        Ok(query) => match engine.execute(&query) {
-            Ok(response) => (
-                wire::ok_envelope(&engine.canonical(&query), &response),
-                false,
-            ),
-            Err(error) => (wire::error_envelope(&error), false),
-        },
-        Err(error) => (wire::error_envelope(&error), false),
-    }
+    (answer_line(line, &store.engine()), false)
 }

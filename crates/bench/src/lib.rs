@@ -1,15 +1,20 @@
 //! # lfp-bench — benches and the experiments harness
 //!
-//! Two consumers share this crate:
+//! Three consumers share this crate:
 //!
 //! * the `experiments` binary (`cargo run -p lfp-bench --release --bin
 //!   experiments -- all`) regenerates every paper table and figure from a
-//!   freshly measured [`lfp_analysis::World`], and
+//!   freshly measured [`lfp_analysis::World`],
+//! * the serving binaries — `vendor-queryd` plus the `query-bench`
+//!   (closed-loop) and `query-load` (open-loop pipelined) generators,
+//!   which share the catalog-bootstrapped request [`mix`] — and
 //! * the Criterion benches (`cargo bench`) time the packet codecs, the
 //!   fingerprinting hot paths, the simulator, and each experiment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod mix;
 
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_analysis::World;

@@ -1,0 +1,146 @@
+//! Client-side plumbing shared by the load generators.
+//!
+//! `query-bench` (closed-loop round trips) and `query-load` (open-loop
+//! pipelining with connection churn) both bootstrap their request mix
+//! from the daemon's `catalog` answer and speak the same line protocol;
+//! the shared pieces live here so the two generators cannot drift.
+
+use lfp_analysis::json::JsonValue;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A connected blocking client: line-buffered reader + writer over one
+/// stream.
+pub struct Connection {
+    /// Buffered read half.
+    pub reader: BufReader<TcpStream>,
+    /// Buffered write half.
+    pub writer: BufWriter<TcpStream>,
+}
+
+/// Connect once (nodelay on).
+pub fn connect(addr: &str) -> std::io::Result<Connection> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok(Connection {
+        reader,
+        writer: BufWriter::new(stream),
+    })
+}
+
+/// Connect, retrying until `timeout` (the daemon may still be building
+/// its world).
+pub fn connect_with_retry(addr: &str, timeout: Duration) -> Result<Connection, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match connect(addr) {
+            Ok(connection) => return Ok(connection),
+            Err(error) => {
+                if Instant::now() >= deadline {
+                    return Err(format!(
+                        "cannot connect to {addr} within {timeout:?}: {error}"
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// One request/response round trip.
+pub fn request(connection: &mut Connection, line: &str) -> Result<String, String> {
+    writeln!(connection.writer, "{line}")
+        .and_then(|()| connection.writer.flush())
+        .map_err(|error| format!("send: {error}"))?;
+    let mut reply = String::new();
+    match connection.reader.read_line(&mut reply) {
+        Ok(0) => Err("connection closed".to_string()),
+        Ok(_) => Ok(reply.trim_end().to_string()),
+        Err(error) => Err(format!("recv: {error}")),
+    }
+}
+
+/// Build a deterministic request mix from the daemon's catalog: every
+/// query kind, cycling through the advertised AS ids, sources, regions
+/// and slices. Deterministic so reruns are comparable and so a warm
+/// pass covers exactly the timed working set. Returns `None` when the
+/// catalog advertised no AS ids at all.
+pub fn build_mix(catalog: &JsonValue, distinct: usize) -> Option<Vec<String>> {
+    let numbers = |key: &str| -> Vec<u64> {
+        catalog
+            .get(key)
+            .and_then(JsonValue::as_array)
+            .map(|items| items.iter().filter_map(JsonValue::as_u64).collect())
+            .unwrap_or_default()
+    };
+    let strings = |key: &str| -> Vec<String> {
+        catalog
+            .get(key)
+            .and_then(JsonValue::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(JsonValue::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let src_ases = numbers("src_ases");
+    let dst_ases = numbers("dst_ases");
+    let sources = strings("sources");
+    let regions = strings("regions");
+    let slices = strings("slices");
+    if src_ases.is_empty() || dst_ases.is_empty() {
+        return None;
+    }
+
+    let pick = |items: &[u64], index: usize| items[index % items.len()];
+    let pick_str = |items: &[String], index: usize| items[index % items.len()].clone();
+    let mut mix = Vec::with_capacity(distinct);
+    for index in 0..distinct.max(1) {
+        let line = match index % 6 {
+            0 => format!(
+                "{{\"query\":\"vendor_mix\",\"as\":{}}}",
+                pick(&src_ases, index / 6)
+            ),
+            1 if !regions.is_empty() => format!(
+                "{{\"query\":\"vendor_mix\",\"region\":\"{}\",\"method\":\"{}\"}}",
+                pick_str(&regions, index / 6),
+                if index % 2 == 0 { "lfp" } else { "snmp" },
+            ),
+            2 => format!(
+                "{{\"query\":\"path_diversity\",\"src_as\":{},\"dst_as\":{}}}",
+                pick(&src_ases, index / 6),
+                pick(&dst_ases, index / 3),
+            ),
+            3 if !sources.is_empty() => format!(
+                "{{\"query\":\"transitions\",\"source\":\"{}\"}}",
+                pick_str(&sources, index / 6)
+            ),
+            4 if !slices.is_empty() => format!(
+                "{{\"query\":\"longest_runs\",\"slice\":\"{}\"}}",
+                pick_str(&slices, index / 6)
+            ),
+            _ => format!(
+                "{{\"query\":\"path_diversity\",\"src_as\":{},\"dst_as\":{},\"min_hops\":{}}}",
+                pick(&src_ases, index / 2),
+                pick(&dst_ases, index / 4),
+                2 + index % 4,
+            ),
+        };
+        mix.push(line);
+    }
+    Some(mix)
+}
+
+/// Latency percentile over a **sorted** µs list (nearest-rank).
+pub fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let index = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[index]
+}

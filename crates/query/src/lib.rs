@@ -21,8 +21,9 @@
 //!   scanner with deterministic result ordering (batch ≡ serial, byte
 //!   for byte),
 //! * [`wire`] — the line protocol: one JSON query per line in, one JSON
-//!   result per line out (the `vendor-queryd` binary in `lfp-bench`
-//!   serves it over TCP).
+//!   result per line out, plus the incremental [`FrameDecoder`] the
+//!   event-driven server feeds raw socket chunks (the `vendor-queryd`
+//!   binary in `lfp-bench` serves it over TCP via `lfp-serve`).
 //!
 //! ```no_run
 //! use lfp_analysis::World;
@@ -53,6 +54,7 @@ pub use cache::{CacheStats, ShardedLru};
 pub use engine::{QueryEngine, Response};
 pub use plan::{select_rows, RowPlan};
 pub use query::{Query, Selection};
+pub use wire::{FrameDecoder, FrameError};
 
 #[cfg(test)]
 pub(crate) mod testutil {

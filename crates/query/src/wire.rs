@@ -37,6 +37,179 @@ use crate::engine::Response;
 use crate::query::{method_by_name, region_by_abbrev, slice_by_name, Query, Selection};
 use lfp_analysis::json::{escape, parse, JsonValue};
 use lfp_analysis::path_corpus::LabelSource;
+use std::collections::VecDeque;
+
+/// Default upper bound on one request frame. Far above any legal query,
+/// far below anything that could pressure memory.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// A typed framing failure. Framing errors are *per frame*: the decoder
+/// resynchronises at the next newline, so one hostile line never
+/// poisons the frames behind it (callers may still choose to hang up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line (excluding its terminator) exceeded the decoder limit.
+    /// The oversized bytes were discarded, never buffered.
+    TooLong {
+        /// The decoder's frame limit in bytes.
+        limit: usize,
+    },
+    /// The line is not valid UTF-8.
+    InvalidUtf8,
+    /// The line contains a NUL byte (valid UTF-8, but no JSON query
+    /// ever carries one — a classic smuggling vector).
+    NulByte,
+    /// End of stream with a partial, unterminated frame buffered.
+    Unterminated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLong { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
+            }
+            FrameError::InvalidUtf8 => write!(f, "request line is not valid UTF-8"),
+            FrameError::NulByte => write!(f, "request line contains a NUL byte"),
+            FrameError::Unterminated => write!(f, "connection ended mid-request"),
+        }
+    }
+}
+
+/// An incremental decoder for the newline-delimited request framing.
+///
+/// The blocking daemon consumed whole `BufRead` lines; an event-driven
+/// server sees arbitrary byte chunks instead — half a frame, three
+/// frames and a tail, a frame split at every possible boundary. `feed`
+/// accepts chunks exactly as they come off the socket and
+/// [`next_frame`](FrameDecoder::next_frame) yields complete frames in
+/// order, each either a line (terminator stripped) or a typed
+/// [`FrameError`].
+///
+/// **Memory bound:** at most `limit` bytes of one partial frame are ever
+/// buffered. An overlong frame flips the decoder into a discard state
+/// that drops bytes until the next newline, then reports one
+/// [`FrameError::TooLong`] — so a client streaming an endless line costs
+/// `limit` bytes, not memory proportional to what it sends.
+///
+/// **Equivalence:** for a valid byte stream (every line terminated,
+/// within the limit, UTF-8, NUL-free) the decoded frames are
+/// byte-identical to splitting the whole stream on `\n` — regardless of
+/// how the stream is chunked (property-tested in
+/// `tests/frame_decoder.rs`).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    /// Bytes of the current, still-unterminated frame (≤ `limit`).
+    partial: Vec<u8>,
+    /// Complete frames decoded but not yet taken.
+    frames: VecDeque<Result<String, FrameError>>,
+    limit: usize,
+    /// Inside an overlong frame: drop bytes until the next newline.
+    discarding: bool,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with the protocol default frame limit.
+    pub fn new() -> FrameDecoder {
+        Self::with_limit(MAX_FRAME_BYTES)
+    }
+
+    /// A decoder with an explicit frame limit (tests and torture rigs
+    /// shrink it to provoke the overflow path cheaply).
+    pub fn with_limit(limit: usize) -> FrameDecoder {
+        FrameDecoder {
+            partial: Vec::new(),
+            frames: VecDeque::new(),
+            limit,
+            discarding: false,
+        }
+    }
+
+    /// The decoder's frame limit in bytes.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Bytes of partial frame currently buffered (always ≤ `limit`).
+    pub fn buffered(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Complete frames ready to take.
+    pub fn pending(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Absorb one chunk exactly as it came off the socket.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        let mut rest = chunk;
+        while let Some(newline) = rest.iter().position(|&byte| byte == b'\n') {
+            let (segment, tail) = rest.split_at(newline);
+            rest = &tail[1..];
+            if self.discarding {
+                // The newline ends the oversized frame; report it once
+                // and resynchronise.
+                self.discarding = false;
+                self.frames
+                    .push_back(Err(FrameError::TooLong { limit: self.limit }));
+                continue;
+            }
+            if self.partial.len() + segment.len() > self.limit {
+                self.partial.clear();
+                self.frames
+                    .push_back(Err(FrameError::TooLong { limit: self.limit }));
+                continue;
+            }
+            self.partial.extend_from_slice(segment);
+            let line = std::mem::take(&mut self.partial);
+            self.frames.push_back(Self::validate(line));
+        }
+        if self.discarding {
+            return; // Still inside the oversized frame: drop the tail.
+        }
+        if self.partial.len() + rest.len() > self.limit {
+            // The frame already exceeds the limit with no newline in
+            // sight: stop buffering it at all.
+            self.partial.clear();
+            self.discarding = true;
+            return;
+        }
+        self.partial.extend_from_slice(rest);
+    }
+
+    /// Take the next complete frame, if one is ready.
+    pub fn next_frame(&mut self) -> Option<Result<String, FrameError>> {
+        self.frames.pop_front()
+    }
+
+    /// Signal end of stream. A cleanly terminated stream yields `None`;
+    /// a buffered partial (or discarded overlong) frame yields its typed
+    /// error. Idempotent.
+    pub fn finish(&mut self) -> Option<FrameError> {
+        if self.discarding {
+            self.discarding = false;
+            return Some(FrameError::TooLong { limit: self.limit });
+        }
+        if !self.partial.is_empty() {
+            self.partial.clear();
+            return Some(FrameError::Unterminated);
+        }
+        None
+    }
+
+    fn validate(line: Vec<u8>) -> Result<String, FrameError> {
+        if line.contains(&0) {
+            return Err(FrameError::NulByte);
+        }
+        String::from_utf8(line).map_err(|_| FrameError::InvalidUtf8)
+    }
+}
 
 /// Decode one protocol line into a query.
 pub fn decode(line: &str) -> Result<Query, String> {

@@ -1,0 +1,242 @@
+//! The incremental frame decoder's contract, adversarially.
+//!
+//! * **Chunking invariance:** every byte-boundary split and every
+//!   pipelined concatenation of a valid request stream decodes
+//!   byte-identically to whole-line parsing.
+//! * **Hostile inputs:** unterminated lines, huge frames, invalid
+//!   UTF-8 and NUL bytes yield typed errors under a hard memory bound —
+//!   never a panic, never unbounded buffering.
+
+use lfp_query::{FrameDecoder, FrameError};
+use proptest::collection;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Reference semantics: the whole stream split on `\n`, terminators
+/// stripped — exactly what `BufRead::lines` handed the old daemon.
+fn whole_line_parse(stream: &[u8]) -> Vec<String> {
+    let text = std::str::from_utf8(stream).expect("valid streams are UTF-8");
+    let mut lines: Vec<&str> = text.split('\n').collect();
+    let trailing = lines.pop();
+    assert_eq!(trailing, Some(""), "valid streams end with a newline");
+    lines.iter().map(|line| line.to_string()).collect()
+}
+
+/// Decode a stream fed as the given chunks, asserting every frame is
+/// `Ok` and the decoder never buffers more than its limit.
+fn decode_chunked(chunks: &[&[u8]], limit: usize) -> Vec<String> {
+    let mut decoder = FrameDecoder::with_limit(limit);
+    let mut frames = Vec::new();
+    for chunk in chunks {
+        decoder.feed(chunk);
+        assert!(
+            decoder.buffered() <= limit,
+            "decoder buffered {} > limit {limit}",
+            decoder.buffered()
+        );
+        while let Some(frame) = decoder.next_frame() {
+            frames.push(frame.expect("valid stream decodes cleanly"));
+        }
+    }
+    assert_eq!(decoder.finish(), None, "valid stream ends cleanly");
+    frames
+}
+
+/// A strategy for one valid request line (no newline, no NUL, UTF-8,
+/// short enough for any limit the tests use). Mixes real queries with
+/// arbitrary text: framing is agnostic to line content.
+fn line_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(r#"{"query": "catalog"}"#.to_string()),
+        Just(r#"{"query": "vendor_mix", "as": 7}"#.to_string()),
+        Just(r#"{"query":"path_diversity","src_as":1,"dst_as":2}"#.to_string()),
+        Just(String::new()),
+        Just("quit".to_string()),
+        (0u32..4000).prop_map(|n| format!("{{\"query\": \"vendor_mix\", \"as\": {n}}}")),
+        collection::vec(1u8..=127, 0..40)
+            .prop_map(|bytes| { String::from_utf8(bytes).unwrap().replace(['\n', '\0'], " ") }),
+        Just("ünïcödé — §5 路径".to_string()),
+    ]
+}
+
+proptest! {
+    /// Random line sets under random chunkings decode identically to
+    /// whole-line parsing of the concatenated stream.
+    #[test]
+    fn random_chunking_matches_whole_line_parsing(
+        lines in collection::vec(line_strategy(), 0..24),
+        seed in any::<u64>(),
+    ) {
+        let mut stream = Vec::new();
+        for line in &lines {
+            stream.extend_from_slice(line.as_bytes());
+            stream.push(b'\n');
+        }
+        let expected = whole_line_parse(&stream);
+        prop_assert_eq!(&expected, &lines);
+
+        // Cut the stream at pseudo-random boundaries derived from seed.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut chunks: Vec<&[u8]> = Vec::new();
+        let mut start = 0usize;
+        while start < stream.len() {
+            let len = 1 + rng.gen_range(0..7) as usize;
+            let end = (start + len).min(stream.len());
+            chunks.push(&stream[start..end]);
+            start = end;
+        }
+        prop_assert_eq!(decode_chunked(&chunks, 64 * 1024), expected);
+    }
+}
+
+#[test]
+fn every_byte_boundary_split_is_identical() {
+    let stream: &[u8] =
+        b"{\"query\": \"catalog\"}\n\nquit\n{\"query\": \"vendor_mix\", \"as\": 9}\n";
+    let expected = whole_line_parse(stream);
+    for split in 0..=stream.len() {
+        let chunks = [&stream[..split], &stream[split..]];
+        assert_eq!(
+            decode_chunked(&chunks, 1024),
+            expected,
+            "split at byte {split} diverged"
+        );
+    }
+    // And byte-at-a-time — the most extreme chunking a client can send.
+    let bytes: Vec<&[u8]> = stream.chunks(1).collect();
+    assert_eq!(decode_chunked(&bytes, 1024), expected);
+}
+
+#[test]
+fn pipelined_concatenation_equals_frame_by_frame() {
+    let requests = [
+        r#"{"query": "catalog"}"#,
+        r#"{"query": "transitions"}"#,
+        r#"{"query": "longest_runs", "slice": "other"}"#,
+    ];
+    // Feeding each framed request separately…
+    let mut one_by_one = Vec::new();
+    for request in &requests {
+        let framed = format!("{request}\n");
+        one_by_one.extend(decode_chunked(&[framed.as_bytes()], 1024));
+    }
+    // …equals feeding the whole pipeline in one burst.
+    let pipeline: String = requests.iter().map(|r| format!("{r}\n")).collect();
+    assert_eq!(decode_chunked(&[pipeline.as_bytes()], 1024), one_by_one);
+    assert_eq!(one_by_one.len(), requests.len());
+}
+
+#[test]
+fn huge_frames_are_discarded_under_the_memory_bound() {
+    let limit = 4 * 1024;
+    let mut decoder = FrameDecoder::with_limit(limit);
+    // Stream 16 MiB of a single endless line in socket-sized chunks: the
+    // decoder must hold at most `limit` bytes the whole way through.
+    let chunk = [b'a'; 8192];
+    for _ in 0..2048 {
+        decoder.feed(&chunk);
+        assert!(decoder.buffered() <= limit, "unbounded buffering");
+        assert_eq!(decoder.pending(), 0);
+    }
+    // The newline finally lands: exactly one typed error…
+    decoder.feed(b"\n{\"query\": \"catalog\"}\n");
+    assert_eq!(
+        decoder.next_frame(),
+        Some(Err(FrameError::TooLong { limit }))
+    );
+    // …and the decoder has resynchronised on the next frame.
+    assert_eq!(
+        decoder.next_frame(),
+        Some(Ok(r#"{"query": "catalog"}"#.to_string()))
+    );
+    assert_eq!(decoder.next_frame(), None);
+    assert_eq!(decoder.finish(), None);
+}
+
+#[test]
+fn a_frame_of_exactly_limit_bytes_survives() {
+    let limit = 64;
+    let line = "x".repeat(limit);
+    let mut decoder = FrameDecoder::with_limit(limit);
+    decoder.feed(line.as_bytes());
+    assert_eq!(decoder.buffered(), limit);
+    decoder.feed(b"\n");
+    assert_eq!(decoder.next_frame(), Some(Ok(line)));
+    // One byte more is rejected, split across feeds or not.
+    let over = "x".repeat(limit + 1);
+    decoder.feed(over.as_bytes());
+    decoder.feed(b"\n");
+    assert_eq!(
+        decoder.next_frame(),
+        Some(Err(FrameError::TooLong { limit }))
+    );
+}
+
+#[test]
+fn invalid_utf8_and_nul_bytes_yield_typed_errors_and_resync() {
+    let mut decoder = FrameDecoder::with_limit(1024);
+    decoder.feed(b"\xff\xfe broken\n\0smuggled\n{\"query\": \"catalog\"}\n");
+    assert_eq!(decoder.next_frame(), Some(Err(FrameError::InvalidUtf8)));
+    assert_eq!(decoder.next_frame(), Some(Err(FrameError::NulByte)));
+    assert_eq!(
+        decoder.next_frame(),
+        Some(Ok(r#"{"query": "catalog"}"#.to_string()))
+    );
+    assert_eq!(decoder.finish(), None);
+}
+
+#[test]
+fn unterminated_streams_error_at_finish() {
+    let mut decoder = FrameDecoder::with_limit(1024);
+    decoder.feed(b"{\"query\": \"catalog\"}\n{\"query\": \"half");
+    assert_eq!(
+        decoder.next_frame(),
+        Some(Ok(r#"{"query": "catalog"}"#.to_string()))
+    );
+    assert_eq!(decoder.next_frame(), None);
+    assert_eq!(decoder.finish(), Some(FrameError::Unterminated));
+    // Idempotent: the partial was dropped with the first report.
+    assert_eq!(decoder.finish(), None);
+
+    // EOF while discarding an overlong frame reports TooLong instead.
+    let mut decoder = FrameDecoder::with_limit(8);
+    decoder.feed(b"way past the limit with no newline");
+    assert_eq!(decoder.finish(), Some(FrameError::TooLong { limit: 8 }));
+    assert_eq!(decoder.finish(), None);
+}
+
+proptest! {
+    /// Arbitrary hostile byte soup, arbitrarily chunked: the decoder
+    /// never panics, never buffers past its limit, and every produced
+    /// frame is either a NUL-free UTF-8 line or a typed error.
+    #[test]
+    fn fuzz_never_panics_and_stays_bounded(
+        chunks in collection::vec(collection::vec(any::<u8>(), 0..64), 0..32),
+    ) {
+        let limit = 48;
+        let mut decoder = FrameDecoder::with_limit(limit);
+        for chunk in &chunks {
+            decoder.feed(chunk);
+            prop_assert!(decoder.buffered() <= limit);
+            while let Some(frame) = decoder.next_frame() {
+                match frame {
+                    Ok(line) => {
+                        prop_assert!(line.len() <= limit);
+                        prop_assert!(!line.contains('\0'));
+                        prop_assert!(!line.contains('\n'));
+                    }
+                    Err(
+                        FrameError::TooLong { .. }
+                        | FrameError::InvalidUtf8
+                        | FrameError::NulByte,
+                    ) => {}
+                    Err(FrameError::Unterminated) => {
+                        prop_assert!(false, "Unterminated only comes from finish()");
+                    }
+                }
+            }
+        }
+        decoder.finish();
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+}

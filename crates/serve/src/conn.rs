@@ -1,0 +1,219 @@
+//! Per-connection state: one pipelined, order-preserving response
+//! assembly line.
+//!
+//! A connection accumulates raw socket chunks in a
+//! [`FrameDecoder`](lfp_query::FrameDecoder), hands decoded requests to
+//! the worker pool tagged with a per-connection **sequence number**, and
+//! reassembles the (possibly out-of-order) completions into an in-order
+//! byte stream:
+//!
+//! ```text
+//!  socket ──► decoder ──► seq-tagged jobs ──► workers (any order)
+//!                                               │
+//!  socket ◄── write_buf ◄── in-order flush ◄── done: BTreeMap<seq, …>
+//! ```
+//!
+//! Backpressure is two bounds: the event loop stops *reading* a
+//! connection whose unanswered pipeline reaches `max_inflight`, and a
+//! connection whose write buffer outgrows `write_buffer_cap` (a slow or
+//! stalled reader) is **evicted** — buffering for it would let one
+//! client hold server memory hostage.
+
+use lfp_query::FrameDecoder;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+
+/// Read at most this much from one connection per event-loop iteration,
+/// so a firehose client cannot starve its neighbours (poll is
+/// level-triggered: leftovers surface next iteration).
+const READ_BUDGET: usize = 64 * 1024;
+
+/// Why a connection was taken out of the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CloseReason {
+    /// EOF/`quit` seen and every accepted request was answered and
+    /// flushed.
+    Finished,
+    /// The write buffer outgrew its cap (stalled/slow reader) or the
+    /// drain deadline expired with bytes still pending.
+    Evicted,
+    /// A read or write on the socket failed outright.
+    Error,
+}
+
+/// One live connection's state machine.
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    pub(crate) decoder: FrameDecoder,
+    /// Sequence number the next accepted request will carry.
+    next_assign: u64,
+    /// Sequence number whose response is the next to enter `write_buf`.
+    next_flush: u64,
+    /// Completed responses waiting for their turn (keyed by seq).
+    done: BTreeMap<u64, String>,
+    /// Bytes ready for the socket; `write_pos..` is still unsent.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// No more requests will be accepted (EOF, `quit`, or a framing
+    /// error that ends the conversation). Pending responses still flush.
+    pub(crate) read_closed: bool,
+    /// The decoder's end-of-stream error has been surfaced (at most
+    /// one per connection).
+    pub(crate) eof_handled: bool,
+    /// The socket failed; drop everything as soon as possible.
+    pub(crate) fatal: bool,
+    /// Something happened off-poll (a completion landed, or state was
+    /// left half-processed): process this connection next iteration
+    /// even if the socket reports no readiness. This is what keeps the
+    /// loop's per-iteration work proportional to *activity* rather
+    /// than to the connection count.
+    pub(crate) touched: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, max_frame_bytes: usize) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::with_limit(max_frame_bytes),
+            next_assign: 0,
+            next_flush: 0,
+            done: BTreeMap::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            read_closed: false,
+            eof_handled: false,
+            fatal: false,
+            touched: true,
+        }
+    }
+
+    pub(crate) fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Accept one request into the pipeline, returning its sequence
+    /// number.
+    pub(crate) fn assign_seq(&mut self) -> u64 {
+        let seq = self.next_assign;
+        self.next_assign += 1;
+        seq
+    }
+
+    /// Record the response for `seq` (from a worker, or synthesised
+    /// in-loop for control queries and framing errors).
+    pub(crate) fn complete(&mut self, seq: u64, payload: String) {
+        self.done.insert(seq, payload);
+    }
+
+    /// Requests accepted but not yet flushed into the write buffer —
+    /// queued, executing, or reordering in `done`. This is the pipeline
+    /// depth the read-side backpressure bounds.
+    pub(crate) fn inflight(&self) -> usize {
+        (self.next_assign - self.next_flush) as usize
+    }
+
+    /// Whether the event loop should poll this connection for reads.
+    pub(crate) fn wants_read(&self, max_inflight: usize) -> bool {
+        !self.read_closed && !self.fatal && self.inflight() < max_inflight
+    }
+
+    /// Whether unsent response bytes are pending.
+    pub(crate) fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Unsent response bytes currently buffered.
+    pub(crate) fn buffered_write_bytes(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Every accepted request answered and flushed to the socket.
+    pub(crate) fn drained(&self) -> bool {
+        self.inflight() == 0 && self.done.is_empty() && !self.wants_write()
+    }
+
+    /// Read side done *and* fully drained: nothing left to live for.
+    pub(crate) fn finished(&self) -> bool {
+        self.read_closed && self.decoder.pending() == 0 && self.drained()
+    }
+
+    /// Pull whatever the socket has (within the fairness budget) into
+    /// the frame decoder. Sets `read_closed` on EOF, `fatal` on error.
+    /// Returns (read syscalls, bytes) for the loop's activity counters.
+    pub(crate) fn read_some(&mut self) -> (u64, u64) {
+        let mut chunk = [0u8; 8192];
+        let mut taken = 0usize;
+        let mut calls = 0u64;
+        loop {
+            calls += 1;
+            match (&self.stream).read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return (calls, taken as u64);
+                }
+                Ok(n) => {
+                    self.decoder.feed(&chunk[..n]);
+                    taken += n;
+                    if taken >= READ_BUDGET {
+                        return (calls, taken as u64);
+                    }
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                    return (calls, taken as u64)
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.fatal = true;
+                    return (calls, taken as u64);
+                }
+            }
+        }
+    }
+
+    /// Move every response whose turn has come from `done` into the
+    /// write buffer, newline-framed. The write-buffer cap is checked by
+    /// the caller *after* the socket has had a chance to drain — a
+    /// healthy reader must never be evicted for a burst the kernel
+    /// would have absorbed.
+    pub(crate) fn flush_ready(&mut self) {
+        while let Some(payload) = self.done.remove(&self.next_flush) {
+            self.write_buf.extend_from_slice(payload.as_bytes());
+            self.write_buf.push(b'\n');
+            self.next_flush += 1;
+        }
+    }
+
+    /// Once the already-sent prefix outgrows this, compact the buffer
+    /// instead of letting it grow for the connection's lifetime (the
+    /// cap bounds only *unsent* bytes).
+    const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+    /// Push buffered bytes to the socket until it stops accepting them.
+    /// Sets `fatal` on error.
+    pub(crate) fn try_write(&mut self) {
+        while self.wants_write() {
+            match (&self.stream).write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    self.fatal = true;
+                    return;
+                }
+                Ok(n) => self.write_pos += n,
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.fatal = true;
+                    return;
+                }
+            }
+        }
+        if !self.wants_write() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        } else if self.write_pos >= Self::COMPACT_THRESHOLD {
+            self.write_buf.drain(..self.write_pos);
+            self.write_pos = 0;
+        }
+    }
+}

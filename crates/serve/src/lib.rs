@@ -1,0 +1,53 @@
+//! # lfp-serve — the readiness-driven serving core
+//!
+//! `vendor-queryd` began as a thread-per-connection daemon: fine for a
+//! handful of analysts, hopeless for the bursty, pipelined fan-in the
+//! path-level analyses attract once they are a *service*. A thread per
+//! socket means a stack per idle client, a scheduler fight per burst,
+//! and no way to bound what a slow reader costs. This crate rebuilds
+//! the serving half of the stack around **readiness**:
+//!
+//! * [`sys`] — a thin `poll(2)` wrapper (the workspace's only `unsafe`,
+//!   one FFI call; std-only rule intact — no new dependencies),
+//! * `conn` *(internal)* — per-connection state machines: an
+//!   incremental [`FrameDecoder`](lfp_query::FrameDecoder) accumulating
+//!   partial frames, sequence-numbered pipelining, in-order response
+//!   reassembly, bounded write buffers with slow-client eviction,
+//! * [`server`] — [`Server`]: one event-loop thread (accept + decode +
+//!   reassemble + write) feeding a fixed worker pool that executes
+//!   queries against the engine fetched per request from an
+//!   [`EngineSource`] — so store epoch swaps land mid-pipeline without
+//!   torn responses.
+//!
+//! Graceful shutdown is a first-class state: the `shutdown` control
+//! query stops accepting and reading, *drains every accepted request on
+//! every connection* through the pool and out the sockets, then closes
+//! the listener. A `stats` control query reports connections, queue
+//! depths and the serving epoch straight from the loop.
+//!
+//! ```no_run
+//! use lfp_analysis::World;
+//! use lfp_query::QueryEngine;
+//! use lfp_serve::{EngineSource, ServeConfig, Server};
+//! use lfp_topo::Scale;
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(QueryEngine::new(Arc::new(World::build(Scale::tiny()))));
+//! let source: Arc<dyn EngineSource> = Arc::new(move || Arc::clone(&engine));
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default(), source)?;
+//! println!("listening on {}", server.local_addr());
+//! server.run(); // blocks until a shutdown control query drains it
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub(crate) mod conn;
+pub mod server;
+pub mod sys;
+
+pub use server::{
+    answer_line, is_shutdown_line, EngineSource, ServeConfig, ServeReport, Server, ServerHandle,
+    SHUTDOWN_ACK,
+};

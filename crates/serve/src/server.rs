@@ -1,0 +1,705 @@
+//! The readiness-driven serving core.
+//!
+//! One **event-loop thread** owns the nonblocking listener and every
+//! connection: it accepts, reads raw chunks into each connection's
+//! frame decoder, assigns sequence numbers to decoded requests, and
+//! pushes them onto a bounded work queue. A **fixed worker pool**
+//! executes queries against the engine (fetched from the
+//! [`EngineSource`] *per request*, so an epoch swap mid-pipeline is
+//! observed on the very next query) and posts completions back; a
+//! self-pipe wakes the loop, which reassembles responses in request
+//! order and writes them out under per-connection buffer caps.
+//!
+//! Two control queries live above the wire grammar, answered in the
+//! loop itself (they describe loop state no worker can see):
+//!
+//! * `{"query": "stats"}` → connections, queue depths, epoch, counters;
+//! * `{"query": "shutdown"}` → acknowledged in order on its own
+//!   connection, then the server **drains**: accepting and reading
+//!   stop, every request already accepted (on *every* connection) is
+//!   executed and its response flushed, and only then does the listener
+//!   close. A drain deadline bounds how long a stalled peer can hold
+//!   the exit hostage. *Accepted* means assigned a pipeline sequence
+//!   number: frames still sitting undecoded past the inflight bound —
+//!   like request bytes still in kernel buffers — are past the
+//!   shutdown's edge and are not answered; anything looser would make
+//!   the drain unbounded against a client that keeps a deep decoder
+//!   queue.
+
+use crate::conn::{CloseReason, Conn};
+use crate::sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
+use lfp_query::{wire, QueryEngine};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where the serving loop gets the engine for each request. Fetching
+/// per request is the contract that makes epoch swaps linearizable:
+/// a request decoded after an ingest swap runs on the new engine, one
+/// decoded before may run on the old — but never on a mix.
+pub trait EngineSource: Send + Sync {
+    /// The engine to answer the next request with.
+    fn engine(&self) -> Arc<QueryEngine>;
+}
+
+impl<F: Fn() -> Arc<QueryEngine> + Send + Sync> EngineSource for F {
+    fn engine(&self) -> Arc<QueryEngine> {
+        self()
+    }
+}
+
+/// Tuning knobs for the serving core.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing queries. `0` sizes from
+    /// `available_parallelism` (capped at 8).
+    pub workers: usize,
+    /// Hard cap on concurrent connections; beyond it the listener is
+    /// simply not polled, parking further clients in the accept queue.
+    pub max_connections: usize,
+    /// Per-frame byte limit for the incremental decoder.
+    pub max_frame_bytes: usize,
+    /// Unsent-response bytes a connection may buffer before it is
+    /// evicted as a stalled reader.
+    pub write_buffer_cap: usize,
+    /// Requests one connection may have unanswered before the loop
+    /// stops reading it (pipelining backpressure).
+    pub max_inflight: usize,
+    /// How long a graceful shutdown waits for pending responses to
+    /// flush before abandoning the stragglers.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            max_connections: 1024,
+            max_frame_bytes: wire::MAX_FRAME_BYTES,
+            write_buffer_cap: 1 << 20,
+            max_inflight: 128,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What a serving run did, returned when the loop exits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeReport {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Data requests accepted into pipelines.
+    pub queries: u64,
+    /// Control requests (stats/shutdown) answered.
+    pub control: u64,
+    /// Worker completions delivered to connections.
+    pub completed: u64,
+    /// Connections evicted (write-buffer cap or drain deadline).
+    pub evicted: u64,
+    /// Whether shutdown drained every pending response in time.
+    pub drained_cleanly: bool,
+    /// Event-loop iterations over the server's lifetime.
+    pub iterations: u64,
+    /// `read(2)` calls issued on connection sockets.
+    pub socket_reads: u64,
+    /// Bytes pulled off connection sockets.
+    pub bytes_read: u64,
+}
+
+/// One decoded request travelling to the worker pool.
+struct Job {
+    conn: u64,
+    seq: u64,
+    line: String,
+}
+
+/// One executed response travelling back.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    payload: String,
+}
+
+struct JobState {
+    queue: VecDeque<Job>,
+    stop: bool,
+}
+
+/// State shared between the loop, the workers and [`ServerHandle`]s.
+struct Shared {
+    jobs: Mutex<JobState>,
+    jobs_ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    /// Writer half of the self-pipe; any thread may nudge the loop.
+    wake_tx: UnixStream,
+    stop: AtomicBool,
+    queries: AtomicU64,
+    control: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl Shared {
+    fn wake(&self) {
+        // A full pipe means a wake-up is already pending — ignore.
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+}
+
+/// A cloneable remote control for a running server: `shutdown()`
+/// triggers the same graceful drain as the wire-level control query.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.wake();
+    }
+}
+
+/// Answer one already-framed protocol line against an engine. This is
+/// the whole per-request data path the workers run; the threaded
+/// baseline daemon reuses it verbatim, which is what makes the two
+/// serving cores byte-identical per request.
+pub fn answer_line(line: &str, engine: &QueryEngine) -> String {
+    let value = match parse(line) {
+        Ok(value) => value,
+        Err(error) => return wire::error_envelope(&format!("invalid JSON: {error}")),
+    };
+    match wire::decode_value(&value) {
+        Ok(query) => match engine.execute(&query) {
+            Ok(response) => wire::ok_envelope(&engine.canonical(&query), &response),
+            Err(error) => wire::error_envelope(&error),
+        },
+        Err(error) => wire::error_envelope(&error),
+    }
+}
+
+/// The control queries the loop answers itself.
+enum Control {
+    Stats,
+    Shutdown,
+}
+
+/// Detect a control line without JSON-parsing the fast path: the cheap
+/// substring test rejects virtually every data query, and only
+/// candidates pay for a parse that confirms the `query` field exactly.
+fn control_of(line: &str) -> Option<Control> {
+    if !line.contains("stats") && !line.contains("shutdown") {
+        return None;
+    }
+    let value = parse(line).ok()?;
+    match value.get("query").and_then(JsonValue::as_str) {
+        Some("stats") => Some(Control::Stats),
+        Some("shutdown") => Some(Control::Shutdown),
+        _ => None,
+    }
+}
+
+/// The wire acknowledgement for `shutdown` (kept byte-identical to the
+/// thread-per-connection daemon's historical reply; the threaded
+/// baseline reuses it so the two serving cores can never drift).
+pub const SHUTDOWN_ACK: &str = "{\"ok\": true, \"result\": \"shutting down\"}";
+
+/// Whether a protocol line is the `shutdown` control query. Shares the
+/// event loop's detection (substring pre-filter, then an exact check of
+/// the parsed `query` field) with the threaded baseline daemon.
+pub fn is_shutdown_line(line: &str) -> bool {
+    matches!(control_of(line), Some(Control::Shutdown))
+}
+
+/// A readiness-driven query server bound to a TCP address.
+pub struct Server {
+    listener: TcpListener,
+    local: SocketAddr,
+    config: ServeConfig,
+    source: Arc<dyn EngineSource>,
+    shared: Arc<Shared>,
+    wake_rx: UnixStream,
+}
+
+impl Server {
+    /// Bind the listener (nonblocking) and set up the worker plumbing.
+    /// Port 0 binds an ephemeral port — read it back via
+    /// [`local_addr`](Server::local_addr).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        config: ServeConfig,
+        source: Arc<dyn EngineSource>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            jobs: Mutex::new(JobState {
+                queue: VecDeque::new(),
+                stop: false,
+            }),
+            jobs_ready: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            wake_tx,
+            stop: AtomicBool::new(false),
+            queries: AtomicU64::new(0),
+            control: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        Ok(Server {
+            listener,
+            local,
+            config,
+            source,
+            shared,
+            wake_rx,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// A handle that can shut the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Resolved worker-pool size.
+    pub fn worker_count(&self) -> usize {
+        if self.config.workers > 0 {
+            self.config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8)
+        }
+    }
+
+    /// Run the serving loop until a `shutdown` control query (or a
+    /// [`ServerHandle::shutdown`]) drains it. Blocks the calling
+    /// thread; workers are joined before it returns.
+    pub fn run(self) -> ServeReport {
+        let workers = self.worker_count();
+        let mut pool = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let shared = Arc::clone(&self.shared);
+            let source = Arc::clone(&self.source);
+            let thread = std::thread::Builder::new()
+                .name(format!("lfp-serve-{index}"))
+                .spawn(move || worker_loop(shared, source))
+                .expect("spawn worker thread");
+            pool.push(thread);
+        }
+
+        let report = self.event_loop(workers);
+
+        {
+            let mut jobs = self.shared.jobs.lock().expect("jobs lock");
+            jobs.stop = true;
+        }
+        self.shared.jobs_ready.notify_all();
+        for thread in pool {
+            let _ = thread.join();
+        }
+        report
+    }
+
+    fn event_loop(&self, workers: usize) -> ServeReport {
+        let config = &self.config;
+        let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+        let mut next_id = 0u64;
+        let mut report = ServeReport::default();
+        let mut draining = false;
+        let mut drain_deadline: Option<Instant> = None;
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut order: Vec<u64> = Vec::new();
+
+        loop {
+            report.iterations += 1;
+            if !draining && self.shared.stop.load(Ordering::SeqCst) {
+                draining = true;
+            }
+            if draining && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + config.drain_timeout);
+            }
+
+            // ---- interest set -------------------------------------
+            let accepting = !draining && conns.len() < config.max_connections;
+            fds.clear();
+            order.clear();
+            fds.push(PollFd::new(
+                self.listener.as_raw_fd(),
+                if accepting { POLLIN } else { 0 },
+            ));
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+            for (&id, conn) in &conns {
+                let mut events = 0i16;
+                if !draining && conn.wants_read(config.max_inflight) {
+                    events |= POLLIN;
+                }
+                if conn.wants_write() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.fd(), events));
+                order.push(id);
+            }
+
+            // A touched connection has work queued that no poll event
+            // will re-announce (resumed pumping, fresh completions):
+            // don't sleep on it.
+            let timeout = if draining {
+                20
+            } else if conns.values().any(|conn| conn.touched) {
+                0
+            } else {
+                200
+            };
+            if let Err(error) = poll_fds(&mut fds, timeout) {
+                // EBADF and friends mean loop state is corrupt; there
+                // is no sane recovery beyond draining out.
+                eprintln!("lfp-serve: poll failed: {error}");
+                draining = true;
+            }
+
+            // ---- wake pipe ----------------------------------------
+            if fds[1].readable() {
+                let mut sink = [0u8; 64];
+                while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+            }
+
+            // ---- completions from the pool ------------------------
+            let completions =
+                std::mem::take(&mut *self.shared.completions.lock().expect("completions lock"));
+            for completion in completions {
+                // A completion for an already-closed connection is
+                // dropped on the floor — its client is gone.
+                if let Some(conn) = conns.get_mut(&completion.conn) {
+                    conn.complete(completion.seq, completion.payload);
+                    conn.touched = true;
+                    self.shared.completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+
+            // ---- accept -------------------------------------------
+            if accepting && fds[0].readable() {
+                while conns.len() < config.max_connections {
+                    match self.listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            stream.set_nodelay(true).ok();
+                            report.accepted += 1;
+                            let id = next_id;
+                            next_id += 1;
+                            conns.insert(id, Conn::new(stream, config.max_frame_bytes));
+                        }
+                        Err(error) if error.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(error) => {
+                            eprintln!("lfp-serve: accept failed: {error}");
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // ---- connection work ------------------------------------
+            // Only connections with poll events or off-poll activity
+            // (`touched`) are processed, so one iteration costs
+            // O(active), not O(connections) — the property that keeps
+            // throughput flat as idle connections pile up.
+            let mut shutdown_requested = false;
+            let mut closed: Vec<(u64, CloseReason)> = Vec::new();
+            let mut new_jobs: Vec<Job> = Vec::new();
+            let mut stats_requests: Vec<(u64, u64)> = Vec::new();
+            let mut active: Vec<u64> = Vec::new();
+
+            // Pass 1: read fresh bytes and pump decoded frames into
+            // jobs / control responses.
+            for (position, &id) in order.iter().enumerate() {
+                let readiness = fds[position + 2];
+                let conn = conns.get_mut(&id).expect("registered conn exists");
+                if !readiness.readable() && !readiness.writable() && !conn.touched {
+                    continue;
+                }
+                conn.touched = false;
+                active.push(id);
+                // An error/hangup state is reported by poll even when
+                // POLLIN wasn't requested; read through the inflight
+                // gate in that case, else the dead socket re-arms poll
+                // forever while nothing collects its EOF (busy-spin).
+                let broken = readiness.revents() & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                let may_read = !conn.read_closed
+                    && !conn.fatal
+                    && (conn.wants_read(config.max_inflight) || broken);
+                if !draining && readiness.readable() && may_read {
+                    let (calls, bytes) = conn.read_some();
+                    report.socket_reads += calls;
+                    report.bytes_read += bytes;
+                }
+                if !draining {
+                    shutdown_requested |= self.pump_frames(
+                        id,
+                        conn,
+                        config.max_inflight,
+                        &mut stats_requests,
+                        &mut new_jobs,
+                    );
+                }
+            }
+
+            // `stats` is answered from loop state, rendered once per
+            // iteration at most — and only when someone actually asked.
+            if !stats_requests.is_empty() {
+                let payload = self.render_stats(&conns, workers, draining, &report);
+                for (id, seq) in stats_requests {
+                    if let Some(conn) = conns.get_mut(&id) {
+                        conn.complete(seq, format!("{{\"ok\": true, \"result\": {payload}}}"));
+                    }
+                }
+            }
+
+            // Pass 2: move ready responses out, give the socket a
+            // chance, then enforce the write cap on what it refused —
+            // eviction is for stalled readers, not for bursts the
+            // kernel would have absorbed.
+            for &id in &active {
+                let conn = conns.get_mut(&id).expect("active conn exists");
+                conn.flush_ready();
+                if conn.wants_write() {
+                    conn.try_write();
+                }
+                if conn.buffered_write_bytes() > config.write_buffer_cap {
+                    closed.push((id, CloseReason::Evicted));
+                    continue;
+                }
+                if conn.decoder.pending() > 0 && conn.inflight() < config.max_inflight {
+                    // Frames held back by the pipeline bound can move
+                    // again: revisit without waiting for a poll event.
+                    conn.touched = true;
+                }
+                if conn.fatal {
+                    closed.push((id, CloseReason::Error));
+                } else if conn.finished() || (draining && conn.drained()) {
+                    closed.push((id, CloseReason::Finished));
+                }
+            }
+
+            for (id, reason) in closed {
+                if reason == CloseReason::Evicted {
+                    report.evicted += 1;
+                }
+                conns.remove(&id);
+            }
+
+            if !new_jobs.is_empty() {
+                let single = new_jobs.len() == 1;
+                {
+                    let mut jobs = self.shared.jobs.lock().expect("jobs lock");
+                    jobs.queue.extend(new_jobs);
+                }
+                if single {
+                    self.shared.jobs_ready.notify_one();
+                } else {
+                    self.shared.jobs_ready.notify_all();
+                }
+            }
+
+            if shutdown_requested {
+                draining = true;
+            }
+
+            // ---- drain exit ---------------------------------------
+            if draining {
+                if drain_deadline.is_none() {
+                    drain_deadline = Some(Instant::now() + config.drain_timeout);
+                }
+                let everything_flushed = conns.values().all(Conn::drained);
+                if everything_flushed {
+                    report.drained_cleanly = true;
+                    break;
+                }
+                if Instant::now() >= drain_deadline.expect("set above") {
+                    report.evicted += conns.len() as u64;
+                    break;
+                }
+            }
+        }
+
+        report.queries = self.shared.queries.load(Ordering::Relaxed);
+        report.control = self.shared.control.load(Ordering::Relaxed);
+        report.completed = self.shared.completed.load(Ordering::Relaxed);
+        report
+    }
+
+    /// Drain decoded frames out of one connection into jobs and
+    /// control responses, respecting the pipeline bound. `stats`
+    /// requests are only *reserved* here (sequence number + origin);
+    /// the loop renders one snapshot for all of them afterwards.
+    /// Returns true if a `shutdown` control query was accepted.
+    fn pump_frames(
+        &self,
+        id: u64,
+        conn: &mut Conn,
+        max_inflight: usize,
+        stats_requests: &mut Vec<(u64, u64)>,
+        new_jobs: &mut Vec<Job>,
+    ) -> bool {
+        let mut shutdown = false;
+        while conn.inflight() < max_inflight {
+            let Some(frame) = conn.decoder.next_frame() else {
+                break;
+            };
+            match frame {
+                Ok(line) => {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if line == "quit" {
+                        // End of conversation: anything already
+                        // pipelined still gets answered, anything
+                        // decoded after the quit does not.
+                        conn.read_closed = true;
+                        conn.eof_handled = true;
+                        conn.decoder = lfp_query::FrameDecoder::with_limit(conn.decoder.limit());
+                        break;
+                    }
+                    match control_of(line) {
+                        Some(Control::Stats) => {
+                            let seq = conn.assign_seq();
+                            self.shared.control.fetch_add(1, Ordering::Relaxed);
+                            stats_requests.push((id, seq));
+                        }
+                        Some(Control::Shutdown) => {
+                            let seq = conn.assign_seq();
+                            self.shared.control.fetch_add(1, Ordering::Relaxed);
+                            conn.complete(seq, SHUTDOWN_ACK.to_string());
+                            shutdown = true;
+                        }
+                        None => {
+                            let seq = conn.assign_seq();
+                            self.shared.queries.fetch_add(1, Ordering::Relaxed);
+                            new_jobs.push(Job {
+                                conn: id,
+                                seq,
+                                line: line.to_string(),
+                            });
+                        }
+                    }
+                }
+                Err(error) => {
+                    // Hostile or broken framing: answer once with the
+                    // typed error, finish what was already pipelined,
+                    // and end the conversation.
+                    let seq = conn.assign_seq();
+                    conn.complete(seq, wire::error_envelope(&error.to_string()));
+                    conn.read_closed = true;
+                    conn.eof_handled = true;
+                    conn.decoder = lfp_query::FrameDecoder::with_limit(conn.decoder.limit());
+                    break;
+                }
+            }
+        }
+        // EOF with a partial frame buffered: surface the decoder's
+        // end-of-stream verdict exactly once.
+        if conn.read_closed && !conn.eof_handled && conn.decoder.pending() == 0 {
+            conn.eof_handled = true;
+            if let Some(error) = conn.decoder.finish() {
+                let seq = conn.assign_seq();
+                conn.complete(seq, wire::error_envelope(&error.to_string()));
+            }
+        }
+        shutdown
+    }
+
+    /// Render the `stats` control result from live loop state.
+    fn render_stats(
+        &self,
+        conns: &BTreeMap<u64, Conn>,
+        workers: usize,
+        draining: bool,
+        report: &ServeReport,
+    ) -> String {
+        let inflight: usize = conns.values().map(Conn::inflight).sum();
+        let buffered: usize = conns.values().map(Conn::buffered_write_bytes).sum();
+        let queued = self.shared.jobs.lock().expect("jobs lock").queue.len();
+        let mut json = JsonBuilder::object();
+        json.integer("connections", conns.len() as u64);
+        json.integer("queued_jobs", queued as u64);
+        json.integer("inflight", inflight as u64);
+        json.integer("write_buffered_bytes", buffered as u64);
+        json.integer("epoch", self.source.engine().epoch());
+        json.integer("workers", workers as u64);
+        json.raw("draining", draining.to_string());
+        json.integer("accepted", report.accepted);
+        json.integer("queries", self.shared.queries.load(Ordering::Relaxed));
+        json.integer("control", self.shared.control.load(Ordering::Relaxed));
+        json.integer("completed", self.shared.completed.load(Ordering::Relaxed));
+        json.integer("evicted", report.evicted);
+        json.finish()
+    }
+}
+
+/// Jobs a worker claims per queue lock. Batching amortises the lock,
+/// the completion post and the wake pipe over many requests — without
+/// it, every pipelined query pays a cross-thread ping-pong, which on a
+/// loaded box costs more than executing the (cache-hit) query itself.
+const WORKER_BATCH: usize = 64;
+
+/// One worker: claim a batch, fetch the *current* engine per request,
+/// execute, post the completions in one go, nudge the loop once.
+fn worker_loop(shared: Arc<Shared>, source: Arc<dyn EngineSource>) {
+    let mut batch: Vec<Job> = Vec::with_capacity(WORKER_BATCH);
+    let mut finished: Vec<Completion> = Vec::with_capacity(WORKER_BATCH);
+    loop {
+        batch.clear();
+        {
+            let mut state = shared.jobs.lock().expect("jobs lock");
+            loop {
+                if !state.queue.is_empty() {
+                    let take = state.queue.len().min(WORKER_BATCH);
+                    batch.extend(state.queue.drain(..take));
+                    break;
+                }
+                if state.stop {
+                    return;
+                }
+                state = shared.jobs_ready.wait(state).expect("jobs lock");
+            }
+        }
+        finished.clear();
+        for job in batch.drain(..) {
+            // Per request, not per batch: an epoch swap mid-batch is
+            // picked up by the very next query.
+            let engine = source.engine();
+            let payload = answer_line(&job.line, &engine);
+            finished.push(Completion {
+                conn: job.conn,
+                seq: job.seq,
+                payload,
+            });
+        }
+        shared
+            .completions
+            .lock()
+            .expect("completions lock")
+            .append(&mut finished);
+        shared.wake();
+    }
+}

@@ -1,0 +1,138 @@
+//! A thin readiness layer over `poll(2)`.
+//!
+//! The workspace is std-only and offline, and `std` exposes nonblocking
+//! sockets but no way to *wait* on a set of them — that one missing
+//! primitive is declared here directly against libc (which every Rust
+//! binary already links), keeping the dependency rule intact. `poll`
+//! rather than `epoll` because it is portable across the Unixes CI
+//! runs, allocation-free for the caller (the fd array doubles as the
+//! result), and O(n) in a few hundred descriptors — invisible next to
+//! query execution. The interest-set rebuild per iteration is what
+//! keeps the serving loop's state machine trivially correct; swapping
+//! in `epoll` later would change only this module.
+//!
+//! This module contains the workspace's only `unsafe` block: one FFI
+//! call whose contract — `fds` points at `len` valid `pollfd` records —
+//! is enforced by taking a Rust slice.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable interest / readiness (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// Writable interest / readiness (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (returned in `revents` only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (returned in `revents` only).
+pub const POLLHUP: i16 = 0x010;
+/// Fd not open (returned in `revents` only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the interest set, layout-compatible with `struct
+/// pollfd` from `<poll.h>`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Interest in `events` (a bitwise OR of [`POLLIN`] / [`POLLOUT`])
+    /// on `fd`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The readiness bits the kernel reported for this fd.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// Readable — or in an error/hangup state, which reads surface.
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Writable — or in an error/hangup state, which writes surface.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+/// `nfds_t` differs across the Unixes (unsigned long on Linux,
+/// unsigned int on the BSDs/macOS).
+#[cfg(target_os = "linux")]
+type Nfds = std::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type Nfds = std::ffi::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: Nfds, timeout: std::ffi::c_int) -> std::ffi::c_int;
+}
+
+/// Wait until at least one fd in `fds` is ready or `timeout_ms` elapses
+/// (`0` returns immediately, negative waits forever). Returns how many
+/// entries have nonzero `revents`. `EINTR` is retried internally.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-layout records; the kernel writes only
+        // within its `len` bounds.
+        let ready = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+        if ready >= 0 {
+            return Ok(ready as usize);
+        }
+        let error = io::Error::last_os_error();
+        if error.kind() != io::ErrorKind::Interrupted {
+            return Err(error);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn reports_readability_when_bytes_arrive() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut set = [PollFd::new(b.as_raw_fd(), POLLIN)];
+
+        // Nothing pending: a zero timeout reports no readiness.
+        assert_eq!(poll_fds(&mut set, 0).unwrap(), 0);
+        assert!(!set[0].readable());
+
+        a.write_all(b"x").unwrap();
+        let ready = poll_fds(&mut set, 1000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(set[0].readable());
+        let mut byte = [0u8; 1];
+        (&b).read_exact(&mut byte).unwrap();
+        assert_eq!(&byte, b"x");
+    }
+
+    #[test]
+    fn reports_writability_and_hangup() {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let mut set = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        assert_eq!(poll_fds(&mut set, 1000).unwrap(), 1);
+        assert!(set[0].writable());
+
+        drop(b);
+        let mut set = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut set, 1000).unwrap(), 1);
+        assert!(set[0].readable(), "hangup must surface as readable");
+    }
+}

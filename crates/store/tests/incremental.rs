@@ -2,12 +2,17 @@
 //! must land on exactly the state one batched fold produces — same
 //! epoch, same corpus, byte-identical responses across the full catalog
 //! mix — and cache entries from an old epoch are never served after a
-//! swap. The persisted form round-trips the epochs too.
+//! swap. The persisted form round-trips the epochs too, and an epoch
+//! swapping in *while clients are mid-pipeline* on the live serving
+//! loop never produces a torn or stale-epoch response.
 
 mod util;
 
-use lfp_query::Query;
+use lfp_query::{wire, Query, QueryEngine, Response};
+use lfp_serve::{EngineSource, ServeConfig, Server};
 use lfp_store::{Store, StoreError};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 #[test]
@@ -127,6 +132,150 @@ fn epochs_survive_persistence() {
         "persisted epoch corpus diverged"
     );
     assert_eq!(util::mix_responses(&store), util::mix_responses(&reopened));
+}
+
+/// The serving-loop face of the swap guarantee: clients pipelining
+/// against a live `lfp-serve` event loop while `Store::ingest` swaps
+/// the engine underneath them must only ever see responses that are
+/// byte-identical to a *single* epoch's direct execution — echo tag,
+/// payload and all. A torn response (old-epoch payload under a
+/// new-epoch echo, or vice versa) or a stale answer re-served across
+/// the swap would fail the exact-bytes comparison.
+#[test]
+fn epoch_swap_mid_pipeline_is_never_torn_or_stale() {
+    let world = util::shared_tiny_world();
+    let deltas = util::measure_deltas(&world, 1);
+    let store = Arc::new(Store::from_world(Arc::clone(&world)));
+
+    let engine_store = Arc::clone(&store);
+    let source: Arc<dyn EngineSource> = Arc::new(move || engine_store.engine());
+    let server =
+        Server::bind("127.0.0.1:0", ServeConfig::default(), source).expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Epoch handles captured on either side of the swap: the oracles
+    // every observed response must match exactly.
+    let engine_epoch0 = store.engine();
+
+    let mix = [
+        "{\"query\": \"catalog\"}".to_string(),
+        "{\"query\": \"transitions\"}".to_string(),
+        "{\"query\": \"path_diversity\", \"src_as\": 0, \"dst_as\": 0}".to_string(),
+        "{\"query\": \"longest_runs\", \"min_hops\": 1}".to_string(),
+    ];
+    // path_diversity needs real AS ids; rewrite slot 2 from the corpus.
+    let (src, dst) = {
+        let corpus = engine_epoch0.corpus();
+        (corpus.src_as_ids()[0], corpus.dst_as_ids()[0])
+    };
+    let mix = {
+        let mut mix = mix;
+        mix[2] = format!("{{\"query\": \"path_diversity\", \"src_as\": {src}, \"dst_as\": {dst}}}");
+        mix
+    };
+
+    // One client pipelines bursts nonstop while the main thread
+    // ingests; it collects every (request, reply) pair it completes and
+    // publishes a completed-burst counter so the main thread can
+    // sequence the swap deterministically (no sleeps to race against).
+    let stop = Arc::new(AtomicBool::new(false));
+    let bursts_done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let client_stop = Arc::clone(&stop);
+    let client_bursts = Arc::clone(&bursts_done);
+    let client_mix = mix.clone();
+    let client = std::thread::spawn(move || {
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let mut observed: Vec<(String, String)> = Vec::new();
+        let mut cursor = 0usize;
+        while !client_stop.load(Ordering::SeqCst) {
+            let mut burst = Vec::new();
+            let mut lines = Vec::new();
+            for _ in 0..8 {
+                let line = &client_mix[cursor % client_mix.len()];
+                cursor += 1;
+                lines.push(line.clone());
+                burst.extend_from_slice(line.as_bytes());
+                burst.push(b'\n');
+            }
+            writer.write_all(&burst).expect("pipeline burst");
+            for line in lines {
+                let mut reply = String::new();
+                assert!(
+                    reader.read_line(&mut reply).expect("read reply") > 0,
+                    "server closed mid-pipeline"
+                );
+                observed.push((line, reply.trim_end().to_string()));
+            }
+            client_bursts.fetch_add(1, Ordering::SeqCst);
+        }
+        observed
+    });
+    let wait_for_bursts = |target: usize| {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while bursts_done.load(Ordering::SeqCst) < target {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "client never completed {target} bursts"
+            );
+            std::thread::yield_now();
+        }
+    };
+
+    // Guarantee completed epoch-0 traffic, swap the epoch underneath
+    // the pipeline, then guarantee completed post-swap traffic. The
+    // full mix covers both epochs by construction, not by timing luck.
+    wait_for_bursts(2);
+    store
+        .ingest(deltas.into_iter().next().unwrap())
+        .expect("ingest succeeds");
+    let engine_epoch1 = store.engine();
+    assert_eq!(engine_epoch1.epoch(), 1);
+    wait_for_bursts(bursts_done.load(Ordering::SeqCst) + 2);
+    stop.store(true, Ordering::SeqCst);
+    let observed = client.join().expect("client thread");
+
+    handle.shutdown();
+    let report = server_thread.join().expect("server thread");
+    assert!(report.drained_cleanly);
+
+    // Every reply must be one epoch's exact rendering — nothing torn,
+    // nothing mixed, nothing stale.
+    let render = |engine: &QueryEngine, line: &str, cached: bool| {
+        let query = wire::decode(line).expect("mix decodes");
+        let payload = engine.execute_uncached(&query).expect("mix executes");
+        wire::ok_envelope(
+            &engine.canonical(&query),
+            &Response {
+                payload: Arc::from(payload.as_str()),
+                cached,
+            },
+        )
+    };
+    let mut saw = [false, false];
+    assert!(!observed.is_empty());
+    for (line, reply) in &observed {
+        let epoch0_cold = render(&engine_epoch0, line, false);
+        let epoch0_warm = render(&engine_epoch0, line, true);
+        let epoch1_cold = render(&engine_epoch1, line, false);
+        let epoch1_warm = render(&engine_epoch1, line, true);
+        if *reply == epoch0_cold || *reply == epoch0_warm {
+            saw[0] = true;
+        } else if *reply == epoch1_cold || *reply == epoch1_warm {
+            saw[1] = true;
+        } else {
+            panic!(
+                "torn or stale response for {line}\n got: {reply}\n e0: {epoch0_cold}\n e1: {epoch1_cold}"
+            );
+        }
+    }
+    // The schedule spans the swap: both epochs must have answered.
+    assert!(saw[0], "no epoch-0 responses observed before the swap");
+    assert!(saw[1], "no epoch-1 responses observed after the swap");
 }
 
 #[test]

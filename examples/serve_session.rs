@@ -1,0 +1,87 @@
+//! A live event-loop serving session: boot an `lfp-serve` server on an
+//! ephemeral port, then speak to it over real TCP the way a bursty
+//! client would — one pipelined burst of queries, a `stats` control
+//! query, and a graceful `shutdown` that drains the pipeline.
+//!
+//! ```sh
+//! cargo run --release --example serve_session
+//! ```
+//!
+//! The same conversation works verbatim against the daemon:
+//!
+//! ```sh
+//! cargo run --release -p lfp-bench --bin vendor-queryd -- --scale tiny --port 7377 &
+//! printf '%s\n' '{"query": "catalog"}' '{"query": "stats"}' | nc 127.0.0.1 7377
+//! ```
+
+use lfp::prelude::*;
+use lfp::serve::{EngineSource, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn main() -> std::io::Result<()> {
+    println!("building a tiny measured world…");
+    let engine = Arc::new(QueryEngine::new(Arc::new(World::build(Scale::tiny()))));
+    let corpus = engine.corpus();
+    let (src, dst) = (corpus.src_as_ids()[0], corpus.dst_as_ids()[0]);
+
+    // The daemon wraps a `Store` here so epochs can swap mid-flight;
+    // a fixed engine is enough for a session tour.
+    let source_engine = Arc::clone(&engine);
+    let source: Arc<dyn EngineSource> = Arc::new(move || Arc::clone(&source_engine));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        source,
+    )?;
+    let addr = server.local_addr();
+    println!(
+        "event loop listening on {addr} ({} paths, {} workers)\n",
+        corpus.len(),
+        server.worker_count()
+    );
+    let loop_thread = std::thread::spawn(move || server.run());
+
+    // One burst: every request written before any response is read —
+    // the readiness loop decodes the pipeline incrementally and answers
+    // strictly in order.
+    let session = [
+        "{\"query\": \"catalog\"}".to_string(),
+        format!("{{\"query\": \"vendor_mix\", \"as\": {src}}}"),
+        format!("{{\"query\": \"path_diversity\", \"src_as\": {src}, \"dst_as\": {dst}}}"),
+        "{\"query\": \"transitions\", \"min_hops\": 3}".to_string(),
+        "{\"query\": \"stats\"}".to_string(),
+        "{\"query\": \"shutdown\"}".to_string(),
+    ];
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    let mut burst = String::new();
+    for line in &session {
+        burst.push_str(line);
+        burst.push('\n');
+    }
+    writer.write_all(burst.as_bytes())?;
+    println!("→ pipelined {} requests in one write\n", session.len());
+
+    for line in &session {
+        let mut reply = String::new();
+        reader.read_line(&mut reply)?;
+        println!("→ {line}");
+        println!("← {}\n", reply.trim_end());
+    }
+
+    let report = loop_thread.join().expect("serving loop exits");
+    println!(
+        "server drained and stopped: {} connection(s), {} queries, {} control, \
+         drained_cleanly={}",
+        report.accepted, report.queries, report.control, report.drained_cleanly
+    );
+    Ok(())
+}

@@ -15,6 +15,7 @@
 //! | [`baselines`] | Nmap/Hershel/iTTL/banner comparators |
 //! | [`analysis`] | analyses and the experiment registry |
 //! | [`query`] | the vendor-intelligence query engine and wire protocol |
+//! | [`serve`] | readiness-driven event-loop serving core (`vendor-queryd`'s engine room) |
 //! | [`store`] | persistent world store + epoch-based incremental ingestion |
 //!
 //! ```no_run
@@ -43,6 +44,7 @@ pub use lfp_core as core;
 pub use lfp_net as net;
 pub use lfp_packet as packet;
 pub use lfp_query as query;
+pub use lfp_serve as serve;
 pub use lfp_stack as stack;
 pub use lfp_store as store;
 pub use lfp_topo as topo;
