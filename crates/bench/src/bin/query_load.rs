@@ -23,14 +23,28 @@
 //! with `--phase serve_baseline`) is present, the phase also records
 //! the baseline throughput and the event-loop/baseline ratio CI
 //! asserts on.
+//!
+//! `--chaos` switches to the resilient-client scenario: the daemon is
+//! expected to be running under a fault-injecting I/O policy and/or an
+//! admission-control watermark (`vendor-queryd --fault-profile
+//! aggressive --queue-watermark N`), and every connection retries
+//! `overloaded` sheds and connection resets with seeded, jittered
+//! exponential backoff ([`lfp_bench::mix::Backoff`]) from a global
+//! `--retry-budget`. The run records a `chaos` phase whose
+//! `lost_acknowledged` field CI asserts is **zero**: every request
+//! slot ends in an acknowledged success, no received reply goes
+//! unattributed, and the retry budget is not exhausted — the
+//! client-observable statement of "graceful degradation". Churn is
+//! ignored under `--chaos` (the injected resets *are* the churn).
 
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
-use lfp_bench::mix::{build_mix, connect_with_retry, percentile_us, request};
+use lfp_bench::mix::{build_mix, connect_with_retry, percentile_us, request, Backoff};
 use lfp_bench::{merge_bench_phase, read_bench_phase};
-use lfp_query::FrameDecoder;
+use lfp_net::link::splitmix64;
+use lfp_query::{wire, FrameDecoder};
 use lfp_serve::sys::{poll_fds, PollFd, POLLIN, POLLOUT};
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant};
@@ -45,9 +59,12 @@ fn main() {
     let mut distinct = 64usize;
     let mut wait_secs = 30u64;
     let mut deadline_secs = 180u64;
-    let mut phase_name = "serve".to_string();
+    let mut phase_name: Option<String> = None;
     let mut bench_json = "BENCH_campaign.json".to_string();
     let mut shutdown = false;
+    let mut chaos = false;
+    let mut seed = 1u64;
+    let mut retry_budget = 100_000u64;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -65,25 +82,50 @@ fn main() {
             "--distinct" => distinct = parse_number(args.next(), "--distinct"),
             "--wait-secs" => wait_secs = parse_number(args.next(), "--wait-secs"),
             "--deadline-secs" => deadline_secs = parse_number(args.next(), "--deadline-secs"),
-            "--phase" => phase_name = args.next().unwrap_or_else(|| usage("--phase needs a name")),
+            "--phase" => {
+                phase_name = Some(args.next().unwrap_or_else(|| usage("--phase needs a name")))
+            }
             "--bench-json" => {
                 bench_json = args
                     .next()
                     .unwrap_or_else(|| usage("--bench-json needs a path"))
             }
             "--shutdown" => shutdown = true,
+            "--chaos" => chaos = true,
+            "--seed" => seed = parse_number(args.next(), "--seed"),
+            "--retry-budget" => retry_budget = parse_number(args.next(), "--retry-budget"),
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
     let connections = connections.max(1);
     let pipeline = pipeline.max(1);
     let requests_per_conn = requests_per_conn.max(1);
+    let phase_name = phase_name.unwrap_or_else(|| {
+        if chaos {
+            "chaos".to_string()
+        } else {
+            "serve".to_string()
+        }
+    });
 
     // -- bootstrap: wait for the daemon, fetch the catalog, warm ------
-    let mut probe = connect_with_retry(&addr, Duration::from_secs(wait_secs))
-        .unwrap_or_else(|error| fail(&error));
-    let catalog = request(&mut probe, "{\"query\":\"catalog\"}")
-        .unwrap_or_else(|error| fail(&format!("catalog query failed: {error}")));
+    // Under chaos the daemon is injecting faults on every connection,
+    // so the bootstrap itself must already tolerate resets: retry the
+    // whole connect-and-ask sequence instead of dying on the first cut.
+    let deadline = Instant::now() + Duration::from_secs(wait_secs);
+    let mut probe;
+    let catalog = loop {
+        probe = connect_with_retry(&addr, Duration::from_secs(wait_secs))
+            .unwrap_or_else(|error| fail(&error));
+        match request(&mut probe, "{\"query\":\"catalog\"}") {
+            Ok(reply) => break reply,
+            Err(error) if chaos && Instant::now() < deadline => {
+                eprintln!("catalog attempt failed ({error}); retrying");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(error) => fail(&format!("catalog query failed: {error}")),
+        }
+    };
     let catalog =
         parse(&catalog).unwrap_or_else(|error| fail(&format!("bad catalog JSON: {error}")));
     if catalog.get("ok").and_then(JsonValue::as_bool) != Some(true) {
@@ -99,60 +141,165 @@ fn main() {
             _ => warm_errors += 1,
         }
     }
-    if warm_errors > 0 {
+    if warm_errors > 0 && !chaos {
         eprintln!("warning: {warm_errors} queries failed during warm-up");
     }
     eprintln!(
         "driving {addr}: {connections} connections × {requests_per_conn} requests, \
-         pipeline {pipeline}, churn every {churn_every}, {} distinct queries",
-        mix.len()
+         pipeline {pipeline}, churn every {churn_every}, {} distinct queries{}",
+        mix.len(),
+        if chaos { ", chaos mode" } else { "" },
     );
 
-    // -- timed open-loop run ------------------------------------------
-    let run = drive(
-        &addr,
-        &mix,
-        connections,
-        pipeline,
-        requests_per_conn,
-        churn_every,
-        Duration::from_secs(deadline_secs),
-    );
     let total = (connections * requests_per_conn) as u64;
-    let qps = run.ok as f64 / run.seconds.max(1e-9);
-    let (p50, p90, p99, max) = (
-        percentile_us(&run.latencies_us, 0.50),
-        percentile_us(&run.latencies_us, 0.90),
-        percentile_us(&run.latencies_us, 0.99),
-        percentile_us(&run.latencies_us, 1.0),
-    );
-    println!(
-        "{phase_name}: {}/{total} pipelined queries in {:.2}s → {qps:.0} q/s \
-         (p50 {p50}µs, p90 {p90}µs, p99 {p99}µs, max {max}µs, \
-         {} reconnects, {} errors)",
-        run.ok, run.seconds, run.churn_events, run.errors
-    );
+    let exit_code = if chaos {
+        let run = chaos_drive(
+            &addr,
+            &mix,
+            connections,
+            pipeline,
+            requests_per_conn,
+            Duration::from_secs(deadline_secs),
+            seed,
+            retry_budget,
+        );
+        let qps = run.ok as f64 / run.seconds.max(1e-9);
+        println!(
+            "{phase_name}: {}/{total} acknowledged in {:.2}s → {qps:.0} q/s \
+             ({} sheds retried, {} reconnects, {} retries used of {retry_budget}, \
+             {} lost acknowledged)",
+            run.ok, run.seconds, run.sheds, run.reconnects, run.retries_used, run.lost
+        );
+        // The daemon's own accounting closes the loop: nonzero
+        // injected-fault and shed counters prove the run actually
+        // exercised the chaos path rather than sailing through.
+        let stats = probe_stats(&addr);
+        write_chaos_phase(
+            &bench_json,
+            &phase_name,
+            connections,
+            pipeline,
+            &run,
+            retry_budget,
+            stats.as_ref(),
+        );
+        (run.lost > 0 || run.retry_budget_remaining == 0) as i32
+    } else {
+        // -- timed open-loop run --------------------------------------
+        let run = drive(
+            &addr,
+            &mix,
+            connections,
+            pipeline,
+            requests_per_conn,
+            churn_every,
+            Duration::from_secs(deadline_secs),
+        );
+        let qps = run.ok as f64 / run.seconds.max(1e-9);
+        let (p50, p90, p99, max) = (
+            percentile_us(&run.latencies_us, 0.50),
+            percentile_us(&run.latencies_us, 0.90),
+            percentile_us(&run.latencies_us, 0.99),
+            percentile_us(&run.latencies_us, 1.0),
+        );
+        println!(
+            "{phase_name}: {}/{total} pipelined queries in {:.2}s → {qps:.0} q/s \
+             (p50 {p50}µs, p90 {p90}µs, p99 {p99}µs, max {max}µs, \
+             {} reconnects, {} errors)",
+            run.ok, run.seconds, run.churn_events, run.errors
+        );
 
-    write_phase(
-        &bench_json,
-        &phase_name,
-        connections,
-        pipeline,
-        run.ok,
-        run.errors,
-        run.churn_events,
-        run.seconds,
-        qps,
-        (p50, p90, p99, max),
-    );
+        write_phase(
+            &bench_json,
+            &phase_name,
+            connections,
+            pipeline,
+            run.ok,
+            run.errors,
+            run.churn_events,
+            run.seconds,
+            qps,
+            (p50, p90, p99, max),
+        );
+        (run.errors > 0) as i32
+    };
 
     if shutdown {
-        let _ = request(&mut probe, "{\"query\":\"shutdown\"}");
+        send_shutdown(&addr, chaos, &mut probe);
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
+    }
+}
+
+/// Ask the daemon for its `stats` control answer, tolerating injected
+/// resets on the probe connection itself (bounded retries, read
+/// timeout so a killed reply can't hang the run).
+fn probe_stats(addr: &str) -> Option<JsonValue> {
+    for _attempt in 0..20 {
+        let Ok(stream) = TcpStream::connect(addr) else {
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        };
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => continue,
+        });
+        let mut stream = stream;
+        if writeln!(stream, "{{\"query\":\"stats\"}}").is_err() {
+            continue;
+        }
+        let mut reply = String::new();
+        if matches!(reader.read_line(&mut reply), Ok(n) if n > 0) {
+            if let Ok(value) = parse(reply.trim_end()) {
+                if value.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+                    return value.get("result").cloned();
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("warning: could not fetch stats from {addr}");
+    None
+}
+
+/// Send the shutdown control query. In chaos mode the bootstrap probe
+/// may long since have been reset, so retry over fresh connections
+/// until the acknowledgement (or the drain refusing new connections)
+/// confirms the daemon got it.
+fn send_shutdown(addr: &str, chaos: bool, probe: &mut lfp_bench::mix::Connection) {
+    if !chaos {
+        let _ = request(probe, "{\"query\":\"shutdown\"}");
         eprintln!("sent shutdown");
+        return;
     }
-    if run.errors > 0 {
-        std::process::exit(1);
+    for _attempt in 0..20 {
+        let Ok(stream) = TcpStream::connect(addr) else {
+            // Refusing connections: the daemon is already draining.
+            eprintln!("sent shutdown");
+            return;
+        };
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => continue,
+        });
+        let mut stream = stream;
+        if writeln!(stream, "{{\"query\":\"shutdown\"}}").is_err() {
+            continue;
+        }
+        let mut reply = String::new();
+        if matches!(reader.read_line(&mut reply), Ok(n) if n > 0) && reply.contains("shutting down")
+        {
+            eprintln!("sent shutdown");
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
+    eprintln!("warning: shutdown acknowledgement never arrived");
 }
 
 fn usage(message: &str) -> ! {
@@ -160,7 +307,8 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "usage: query-load [--addr HOST:PORT] [--connections N] [--pipeline N] \
          [--requests-per-conn N] [--churn-every N] [--distinct N] [--wait-secs N] \
-         [--deadline-secs N] [--phase NAME] [--bench-json PATH] [--shutdown]"
+         [--deadline-secs N] [--phase NAME] [--bench-json PATH] [--shutdown] \
+         [--chaos] [--seed N] [--retry-budget N]"
     );
     std::process::exit(2);
 }
@@ -454,6 +602,387 @@ fn drive(
         seconds: started.elapsed().as_secs_f64(),
         latencies_us: latencies,
     }
+}
+
+/// What the chaos scenario observed, client-side.
+struct ChaosRun {
+    /// Request slots resolved by an acknowledged success.
+    ok: u64,
+    /// Replies received for sheds the client then retried.
+    sheds: u64,
+    /// Connection re-opens after injected resets/EOFs.
+    reconnects: u64,
+    /// Retries consumed from the global budget.
+    retries_used: u64,
+    /// Budget left at the end (must be > 0 for a passing run).
+    retry_budget_remaining: u64,
+    /// The invariant: slots that ended without an acknowledged
+    /// success, plus replies that matched no outstanding request.
+    lost: u64,
+    seconds: f64,
+    latencies_us: Vec<u64>,
+}
+
+/// One resilient connection: request slots move `pending` →
+/// `outstanding` → resolved, and failures move them *back* — an
+/// injected reset requeues everything unanswered (spending retries), a
+/// typed `overloaded` reply requeues one slot and pauses sending for
+/// the backed-off window. The connection only ever gives a slot up
+/// when the global retry budget is gone.
+struct ChaosConn {
+    /// `None` between a failure and the backed-off reconnect.
+    stream: Option<TcpStream>,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Mix cursors not yet committed to the wire.
+    pending: VecDeque<usize>,
+    /// Mix cursors on the wire awaiting their (in-order) reply.
+    outstanding: VecDeque<usize>,
+    send_times: VecDeque<Instant>,
+    backoff: Backoff,
+    /// When to attempt the next reconnect (stream is `None`).
+    reopen_at: Instant,
+    /// Overload shed: no new sends before this instant.
+    pause_until: Option<Instant>,
+    resolved_ok: u64,
+    /// Slots abandoned (budget exhausted / terminal errors) — each one
+    /// is a lost response.
+    abandoned: u64,
+}
+
+impl ChaosConn {
+    fn new(index: usize, slots: usize, seed: u64) -> ChaosConn {
+        ChaosConn {
+            stream: None,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            // Phase-shifted cursors, like the plain generator.
+            pending: (0..slots).map(|slot| index * 7 + slot).collect(),
+            outstanding: VecDeque::new(),
+            send_times: VecDeque::new(),
+            backoff: Backoff::new(splitmix64(seed ^ index as u64), 5, 2_000),
+            reopen_at: Instant::now(),
+            pause_until: None,
+            resolved_ok: 0,
+            abandoned: 0,
+        }
+    }
+
+    /// Every slot resolved (acknowledged or — budget gone — abandoned).
+    fn finished(&self) -> bool {
+        self.pending.is_empty() && self.outstanding.is_empty()
+    }
+
+    /// Drop the stream, requeue everything unanswered, and schedule the
+    /// backed-off reconnect. Each requeued slot spends one retry; slots
+    /// the exhausted budget cannot cover are abandoned (= lost).
+    fn disconnect(&mut self, run: &mut ChaosRun, budget_left: &mut u64) {
+        self.stream = None;
+        self.decoder = FrameDecoder::new();
+        self.out.clear();
+        self.out_pos = 0;
+        self.send_times.clear();
+        while let Some(cursor) = self.outstanding.pop_front() {
+            if *budget_left > 0 {
+                *budget_left -= 1;
+                run.retries_used += 1;
+                self.pending.push_back(cursor);
+            } else {
+                self.abandoned += 1;
+            }
+        }
+        if *budget_left == 0 {
+            // No budget to resend with: the pending slots can never be
+            // acknowledged either.
+            self.abandoned += self.pending.len() as u64;
+            self.pending.clear();
+        }
+        self.reopen_at = Instant::now() + self.backoff.next_delay(None);
+        self.pause_until = None;
+    }
+
+    /// Reconnect if the backoff window has passed. Returns whether a
+    /// (re)connection was established this call.
+    fn try_reopen(&mut self, addr: &str, now: Instant) -> bool {
+        if self.stream.is_some() || self.finished() || now < self.reopen_at {
+            return false;
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                if stream.set_nonblocking(true).is_err() {
+                    self.reopen_at = now + self.backoff.next_delay(None);
+                    return false;
+                }
+                self.stream = Some(stream);
+                true
+            }
+            Err(_) => {
+                self.reopen_at = now + self.backoff.next_delay(None);
+                false
+            }
+        }
+    }
+
+    /// Top up the pipeline from `pending` (same half-depth hysteresis
+    /// as the plain generator), unless paused by an overload shed.
+    fn fill(&mut self, mix: &[String], depth: usize, now: Instant) {
+        if self.stream.is_none() {
+            return;
+        }
+        if let Some(until) = self.pause_until {
+            if now < until {
+                return;
+            }
+            self.pause_until = None;
+        }
+        if self.outstanding.len() > depth / 2 {
+            return;
+        }
+        while self.outstanding.len() < depth {
+            let Some(cursor) = self.pending.pop_front() else {
+                break;
+            };
+            let line = &mix[cursor % mix.len()];
+            self.out.extend_from_slice(line.as_bytes());
+            self.out.push(b'\n');
+            self.send_times.push_back(Instant::now());
+            self.outstanding.push_back(cursor);
+        }
+    }
+
+    fn wants_write(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    fn try_write(&mut self, run: &mut ChaosRun, budget_left: &mut u64) {
+        let Some(stream) = &self.stream else { return };
+        while self.out_pos < self.out.len() {
+            match (&*stream).write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    run.reconnects += 1;
+                    self.disconnect(run, budget_left);
+                    return;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    run.reconnects += 1;
+                    self.disconnect(run, budget_left);
+                    return;
+                }
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+    }
+
+    /// Read and resolve replies. Sheds are retried (with the server's
+    /// hint flooring the backoff), resets requeue via
+    /// [`disconnect`](ChaosConn::disconnect), and a reply with no
+    /// outstanding request — which a correct server can never produce —
+    /// counts directly as lost.
+    fn try_read(&mut self, run: &mut ChaosRun, budget_left: &mut u64, now: Instant) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let Some(stream) = &self.stream else { return };
+            match (&*stream).read(&mut chunk) {
+                Ok(0) => {
+                    if !self.finished() {
+                        run.reconnects += 1;
+                        self.disconnect(run, budget_left);
+                    } else {
+                        self.stream = None;
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    self.decoder.feed(&chunk[..n]);
+                    while let Some(frame) = self.decoder.next_frame() {
+                        let reply = match frame {
+                            Ok(line) => line,
+                            Err(_) => {
+                                run.reconnects += 1;
+                                self.disconnect(run, budget_left);
+                                return;
+                            }
+                        };
+                        if let Some(start) = self.send_times.pop_front() {
+                            run.latencies_us.push(start.elapsed().as_micros() as u64);
+                        }
+                        let Some(cursor) = self.outstanding.pop_front() else {
+                            run.lost += 1;
+                            continue;
+                        };
+                        if let Some(hint) = wire::overload_retry_ms(&reply) {
+                            run.sheds += 1;
+                            if *budget_left > 0 {
+                                *budget_left -= 1;
+                                run.retries_used += 1;
+                                self.pending.push_back(cursor);
+                                self.pause_until = Some(now + self.backoff.next_delay(Some(hint)));
+                            } else {
+                                self.abandoned += 1;
+                            }
+                        } else if reply.contains("\"ok\": true") {
+                            self.resolved_ok += 1;
+                            run.ok += 1;
+                            self.backoff.reset();
+                        } else {
+                            // A non-overload error under chaos means a
+                            // request the warm-up proved valid failed:
+                            // that response is lost, not retryable.
+                            self.abandoned += 1;
+                        }
+                    }
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    run.reconnects += 1;
+                    self.disconnect(run, budget_left);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Multiplex the resilient fleet until every slot is resolved, the
+/// retry budget dies, or the deadline expires.
+#[allow(clippy::too_many_arguments)]
+fn chaos_drive(
+    addr: &str,
+    mix: &[String],
+    connections: usize,
+    pipeline: usize,
+    requests_per_conn: usize,
+    deadline: Duration,
+    seed: u64,
+    retry_budget: u64,
+) -> ChaosRun {
+    let started = Instant::now();
+    let hard_deadline = started + deadline;
+    let mut budget_left = retry_budget;
+    let mut run = ChaosRun {
+        ok: 0,
+        sheds: 0,
+        reconnects: 0,
+        retries_used: 0,
+        retry_budget_remaining: 0,
+        lost: 0,
+        seconds: 0.0,
+        latencies_us: Vec::with_capacity(connections * requests_per_conn),
+    };
+    let mut conns: Vec<ChaosConn> = (0..connections)
+        .map(|index| ChaosConn::new(index, requests_per_conn, seed))
+        .collect();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+
+    loop {
+        let now = Instant::now();
+        fds.clear();
+        order.clear();
+        let mut unfinished = 0usize;
+        for (index, conn) in conns.iter_mut().enumerate() {
+            if conn.finished() {
+                continue;
+            }
+            unfinished += 1;
+            conn.try_reopen(addr, now);
+            conn.fill(mix, pipeline, now);
+            if let Some(stream) = &conn.stream {
+                let mut events = POLLIN;
+                if conn.wants_write() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(stream.as_raw_fd(), events));
+                order.push(index);
+            }
+        }
+        if unfinished == 0 {
+            break;
+        }
+        if now >= hard_deadline {
+            eprintln!("warning: chaos deadline expired with {unfinished} connections unfinished");
+            for conn in &mut conns {
+                run.lost += (conn.pending.len() + conn.outstanding.len()) as u64;
+                conn.pending.clear();
+                conn.outstanding.clear();
+            }
+            break;
+        }
+        // Even with every socket down (all in backoff), tick at 20ms so
+        // reconnects and pause expiries are observed promptly.
+        if !fds.is_empty() && poll_fds(&mut fds, 20).is_err() {
+            fail("poll failed in the chaos loop");
+        }
+        if fds.is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for (slot, &index) in order.iter().enumerate() {
+            let conn = &mut conns[index];
+            if fds[slot].writable() && conn.wants_write() {
+                conn.try_write(&mut run, &mut budget_left);
+            }
+            if fds[slot].readable() {
+                conn.try_read(&mut run, &mut budget_left, Instant::now());
+            }
+        }
+    }
+
+    run.lost += conns.iter().map(|conn| conn.abandoned).sum::<u64>();
+    run.retry_budget_remaining = budget_left;
+    run.seconds = started.elapsed().as_secs_f64();
+    run.latencies_us.sort_unstable();
+    run
+}
+
+/// Write the `chaos` phase: client-observed accounting plus the
+/// daemon's own fault/shed counters from a post-run `stats` probe.
+fn write_chaos_phase(
+    path: &str,
+    phase_name: &str,
+    connections: usize,
+    pipeline: usize,
+    run: &ChaosRun,
+    retry_budget: u64,
+    stats: Option<&JsonValue>,
+) {
+    let stat = |key: &str| -> u64 {
+        stats
+            .and_then(|value| value.get(key))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0)
+    };
+    let mut latency = JsonBuilder::object();
+    latency.integer("p50", percentile_us(&run.latencies_us, 0.50));
+    latency.integer("p90", percentile_us(&run.latencies_us, 0.90));
+    latency.integer("p99", percentile_us(&run.latencies_us, 0.99));
+    latency.integer("max", percentile_us(&run.latencies_us, 1.0));
+    let mut phase = JsonBuilder::object();
+    phase.integer("connections", connections as u64);
+    phase.integer("pipeline", pipeline as u64);
+    phase.integer("acknowledged", run.ok);
+    phase.integer("lost_acknowledged", run.lost);
+    phase.integer("sheds_observed", run.sheds);
+    phase.integer("reconnects", run.reconnects);
+    phase.integer("retries_used", run.retries_used);
+    phase.integer("retry_budget", retry_budget);
+    phase.integer("retry_budget_remaining", run.retry_budget_remaining);
+    phase.integer("injected_faults", stat("injected_faults"));
+    phase.integer("shed", stat("shed"));
+    phase.integer("deadline_expired", stat("deadline_expired"));
+    phase.number("seconds", run.seconds);
+    phase.number("qps", run.ok as f64 / run.seconds.max(1e-9));
+    phase.raw("latency_us", latency.finish());
+    let phase = parse(&phase.finish()).expect("phase JSON is valid");
+    merge_bench_phase(path, phase_name, phase, Some(run.seconds));
+    eprintln!("wrote {phase_name} phase to {path}");
 }
 
 /// Insert/replace the phase in the bench artefact. The `serve` phase

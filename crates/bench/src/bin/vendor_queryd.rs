@@ -5,10 +5,25 @@
 //!               [--addr 127.0.0.1] [--port 7377]
 //!               [--workers N] [--max-connections N] [--max-inflight N]
 //!               [--write-buffer-cap BYTES] [--drain-timeout-ms N]
+//!               [--queue-watermark N] [--request-deadline-ms N]
+//!               [--retry-hint-ms N]
+//!               [--fault-seed N] [--fault-profile quiet|light|aggressive]
 //!               [--cache-shards N] [--cache-capacity N]
 //!               [--store PATH] [--ingest DIR] [--bench-json FILE]
 //!               [--threaded]
 //! ```
+//!
+//! ## Overload and chaos
+//!
+//! `--queue-watermark N` sheds data queries with the typed
+//! `overloaded` wire error once N decoded requests are queued for the
+//! worker pool; `--request-deadline-ms` expires queued requests the
+//! same way; `--retry-hint-ms` sets the `retry_ms` hint clients back
+//! off by. `--fault-seed`/`--fault-profile` put the deterministic
+//! [`FaultPolicy`](lfp_serve::FaultPolicy) between the event loop and
+//! the kernel — the daemon then injects short reads/writes, `EINTR`,
+//! spurious wakeups, resets and write stalls against itself, which is
+//! what `query-load --chaos` drives in CI. Event loop only.
 //!
 //! Serves the line protocol (see `lfp_query::wire`): one JSON query per
 //! line in, one JSON result per line out. By default the daemon runs on
@@ -52,7 +67,10 @@ use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_analysis::World;
 use lfp_bench::{merge_bench_phase, read_bench_phase};
 use lfp_query::wire;
-use lfp_serve::{answer_line, is_shutdown_line, EngineSource, ServeConfig, Server, SHUTDOWN_ACK};
+use lfp_serve::{
+    answer_line, is_shutdown_line, DirectIo, EngineSource, FaultPlan, FaultPolicy, IoPolicy,
+    ServeConfig, Server, SHUTDOWN_ACK,
+};
 use lfp_store::{SnapshotDelta, Store};
 use lfp_topo::Scale;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -76,6 +94,8 @@ fn main() {
     let mut threaded = false;
     let mut config = ServeConfig::default();
     let mut tuned_event_loop = false;
+    let mut fault_seed = 0u64;
+    let mut fault_profile: Option<String> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -111,6 +131,30 @@ fn main() {
             "--drain-timeout-ms" => {
                 config.drain_timeout =
                     Duration::from_millis(parse_number(args.next(), "--drain-timeout-ms"));
+                tuned_event_loop = true;
+            }
+            "--queue-watermark" => {
+                config.queue_watermark = parse_number(args.next(), "--queue-watermark");
+                tuned_event_loop = true;
+            }
+            "--request-deadline-ms" => {
+                config.request_deadline =
+                    Duration::from_millis(parse_number(args.next(), "--request-deadline-ms"));
+                tuned_event_loop = true;
+            }
+            "--retry-hint-ms" => {
+                config.retry_hint_ms = parse_number(args.next(), "--retry-hint-ms");
+                tuned_event_loop = true;
+            }
+            "--fault-seed" => {
+                fault_seed = parse_number(args.next(), "--fault-seed");
+                tuned_event_loop = true;
+            }
+            "--fault-profile" => {
+                fault_profile = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--fault-profile needs a name")),
+                );
                 tuned_event_loop = true;
             }
             "--cache-shards" => cache_shards = parse_number(args.next(), "--cache-shards"),
@@ -166,7 +210,16 @@ fn main() {
         }
         serve_threaded(&addr, port, &scale_name, &store);
     } else {
-        serve_event_loop(&addr, port, &scale_name, config, store);
+        let policy: Box<dyn IoPolicy> = match fault_profile.as_deref() {
+            Some(name) => {
+                let plan = FaultPlan::by_name(name, fault_seed)
+                    .unwrap_or_else(|| usage("--fault-profile must be quiet, light or aggressive"));
+                eprintln!("fault injection armed: profile {name}, seed {fault_seed}");
+                Box::new(FaultPolicy::new(plan))
+            }
+            None => Box::new(DirectIo),
+        };
+        serve_event_loop(&addr, port, &scale_name, config, store, policy);
     }
 }
 
@@ -177,13 +230,15 @@ fn serve_event_loop(
     scale_name: &str,
     config: ServeConfig,
     store: Arc<Store>,
+    policy: Box<dyn IoPolicy>,
 ) {
     let engine_store = Arc::clone(&store);
     let source: Arc<dyn EngineSource> = Arc::new(move || engine_store.engine());
-    let server = Server::bind((addr, port), config, source).unwrap_or_else(|error| {
-        eprintln!("cannot bind {addr}:{port}: {error}");
-        std::process::exit(1);
-    });
+    let server =
+        Server::bind_with_policy((addr, port), config, source, policy).unwrap_or_else(|error| {
+            eprintln!("cannot bind {addr}:{port}: {error}");
+            std::process::exit(1);
+        });
     // The readiness line clients and CI wait for — keep it stable.
     println!(
         "vendor-queryd listening on {} (scale {scale_name}, {} paths, epoch {}, \
@@ -199,13 +254,17 @@ fn serve_event_loop(
     let stats = store.engine().cache_stats();
     eprintln!(
         "drained and stopped at epoch {}: {} connections, {} queries, {} control, \
-         {} evicted, drained_cleanly={} ({} loop iterations, {} reads / {} bytes in, \
+         {} evicted, {} shed, {} deadline-expired, {} injected faults, \
+         drained_cleanly={} ({} loop iterations, {} reads / {} bytes in, \
          {} cache entries, {} hits / {} misses)",
         store.epoch(),
         report.accepted,
         report.queries,
         report.control,
         report.evicted,
+        report.shed,
+        report.deadline_expired,
+        report.injected_faults,
         report.drained_cleanly,
         report.iterations,
         report.socket_reads,
@@ -383,6 +442,8 @@ fn usage(message: &str) -> ! {
         "usage: vendor-queryd [--scale NAME] [--addr HOST] [--port N] \
          [--workers N] [--max-connections N] [--max-inflight N] \
          [--write-buffer-cap BYTES] [--drain-timeout-ms N] \
+         [--queue-watermark N] [--request-deadline-ms N] [--retry-hint-ms N] \
+         [--fault-seed N] [--fault-profile quiet|light|aggressive] \
          [--cache-shards N] [--cache-capacity N] \
          [--store PATH] [--ingest DIR] [--bench-json FILE] [--threaded]"
     );

@@ -6,9 +6,70 @@
 //! the shared pieces live here so the two generators cannot drift.
 
 use lfp_analysis::json::JsonValue;
+use lfp_net::link::splitmix64;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
+
+/// Jittered exponential backoff for `overloaded` sheds and connection
+/// resets — the client half of the server's admission-control
+/// contract.
+///
+/// Full-jitter: each retry sleeps `uniform(0, min(cap, base << attempt))`,
+/// floored at the server's `retry_ms` hint when one came back (the
+/// server knows its own queue; the client must not undercut it).
+/// Uniform-over-the-window rather than around-the-midpoint because
+/// shed clients are *synchronised* by the shed itself — deterministic
+/// delays would march them back in lockstep and re-trigger the
+/// watermark. Seeded, so a chaos run's retry timing is reproducible.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    seed: u64,
+    base_ms: u64,
+    cap_ms: u64,
+    /// Consecutive failures since the last success.
+    attempt: u32,
+    /// Jitter draws so far (the deterministic randomness clock).
+    draws: u64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base_ms` and capping at `cap_ms`.
+    pub fn new(seed: u64, base_ms: u64, cap_ms: u64) -> Backoff {
+        Backoff {
+            seed,
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            attempt: 0,
+            draws: 0,
+        }
+    }
+
+    /// Delay before the next retry. `hint_ms` is the server's
+    /// `retry_ms` field when the failure was a typed `overloaded`
+    /// shed (`None` for resets). Advances the attempt counter.
+    pub fn next_delay(&mut self, hint_ms: Option<u64>) -> Duration {
+        let window = self
+            .base_ms
+            .saturating_mul(1u64 << self.attempt.min(20))
+            .min(self.cap_ms);
+        self.attempt = self.attempt.saturating_add(1);
+        self.draws = self.draws.wrapping_add(1);
+        let jittered = splitmix64(self.seed ^ self.draws) % window.max(1);
+        Duration::from_millis(jittered.max(hint_ms.unwrap_or(0)))
+    }
+
+    /// A success ends the failure streak: the next delay starts from
+    /// `base_ms` again.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Consecutive failures since the last [`reset`](Backoff::reset).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
 
 /// A connected blocking client: line-buffered reader + writer over one
 /// stream.
@@ -143,4 +204,41 @@ pub fn percentile_us(sorted: &[u64], p: f64) -> u64 {
     }
     let index = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[index]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let mut a = Backoff::new(11, 10, 500);
+        let mut b = Backoff::new(11, 10, 500);
+        for attempt in 0..12 {
+            let left = a.next_delay(None);
+            assert_eq!(left, b.next_delay(None), "attempt {attempt}");
+            // Window for attempt n is min(cap, base << n); full jitter
+            // stays strictly inside it.
+            let window = 10u64.saturating_mul(1 << attempt.min(20)).min(500);
+            assert!(left.as_millis() < u128::from(window.max(1)) + 1);
+        }
+        // Different seeds decorrelate — the whole point of jitter.
+        let mut c = Backoff::new(12, 10, 500);
+        let same = (0..12).filter(|_| a.next_delay(None) == c.next_delay(None));
+        assert!(
+            same.count() < 12,
+            "seeds 11 and 12 produced identical jitter"
+        );
+    }
+
+    #[test]
+    fn backoff_honours_server_hint_and_reset() {
+        let mut backoff = Backoff::new(7, 1, 4);
+        // Window is tiny (≤4ms) but the server said 50ms: the hint
+        // floors the delay.
+        assert!(backoff.next_delay(Some(50)) >= Duration::from_millis(50));
+        assert_eq!(backoff.attempts(), 1);
+        backoff.reset();
+        assert_eq!(backoff.attempts(), 0);
+    }
 }

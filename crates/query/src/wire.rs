@@ -376,6 +376,40 @@ pub fn error_envelope(message: &str) -> String {
     format!("{{\"ok\": false, \"error\": \"{}\"}}", escape(message))
 }
 
+/// The typed error a server sheds load with. Distinct from
+/// [`error_envelope`]: `error` is the fixed token `"overloaded"` (so
+/// clients can dispatch on it without parsing prose), `reason` says
+/// which guard fired (`"queue"`, `"deadline"`), and `retry_ms` is the
+/// server's backoff hint — the client contract is to wait *at least*
+/// that long, with jitter, before retrying.
+pub fn overloaded_envelope(reason: &str, retry_ms: u64) -> String {
+    format!(
+        "{{\"ok\": false, \"error\": \"overloaded\", \"reason\": \"{}\", \"retry_ms\": {retry_ms}}}",
+        escape(reason)
+    )
+}
+
+/// Detect the `overloaded` envelope and extract its retry hint.
+/// Mirrors the serving loop's control detection: a cheap substring
+/// test rejects every ordinary reply, and only candidates pay for a
+/// parse that confirms the `error` field exactly. Returns `None` for
+/// anything that is not a well-formed overload shed.
+pub fn overload_retry_ms(reply: &str) -> Option<u64> {
+    if !reply.contains("overloaded") {
+        return None;
+    }
+    let value = parse(reply).ok()?;
+    if value.get("error").and_then(JsonValue::as_str) != Some("overloaded") {
+        return None;
+    }
+    Some(
+        value
+            .get("retry_ms")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +624,35 @@ mod tests {
         assert_eq!(
             parsed.get("error").unwrap().as_str(),
             Some("bad \"thing\"\nhappened\u{2028}")
+        );
+    }
+
+    #[test]
+    fn overloaded_envelope_round_trips_through_detection() {
+        let shed = overloaded_envelope("queue", 25);
+        let parsed = lfp_analysis::json::parse(&shed).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(parsed.get("error").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(parsed.get("reason").unwrap().as_str(), Some("queue"));
+        assert_eq!(overload_retry_ms(&shed), Some(25));
+
+        // Ordinary errors — even ones *mentioning* overload in prose —
+        // must not trip the typed detection.
+        assert_eq!(overload_retry_ms(&error_envelope("no such query")), None);
+        assert_eq!(
+            overload_retry_ms(&error_envelope("system felt overloaded")),
+            None
+        );
+        // A success payload containing the word is rejected by the
+        // exact check on the `error` field.
+        assert_eq!(
+            overload_retry_ms("{\"ok\": true, \"result\": \"overloaded\"}"),
+            None
+        );
+        // Missing hint degrades to 0, not to a parse failure.
+        assert_eq!(
+            overload_retry_ms("{\"ok\": false, \"error\": \"overloaded\"}"),
+            Some(0)
         );
     }
 }

@@ -19,9 +19,9 @@
 //! stalled reader) is **evicted** — buffering for it would let one
 //! client hold server memory hostage.
 
+use crate::policy::IoPolicy;
 use lfp_query::FrameDecoder;
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::os::fd::{AsRawFd, RawFd};
 
@@ -140,15 +140,17 @@ impl Conn {
     }
 
     /// Pull whatever the socket has (within the fairness budget) into
-    /// the frame decoder. Sets `read_closed` on EOF, `fatal` on error.
-    /// Returns (read syscalls, bytes) for the loop's activity counters.
-    pub(crate) fn read_some(&mut self) -> (u64, u64) {
+    /// the frame decoder, going through the I/O `policy` so chaos runs
+    /// can perturb every read. Sets `read_closed` on EOF, `fatal` on
+    /// error. Returns (read syscalls, bytes) for the loop's activity
+    /// counters.
+    pub(crate) fn read_some(&mut self, id: u64, policy: &mut dyn IoPolicy) -> (u64, u64) {
         let mut chunk = [0u8; 8192];
         let mut taken = 0usize;
         let mut calls = 0u64;
         loop {
             calls += 1;
-            match (&self.stream).read(&mut chunk) {
+            match policy.read(id, &self.stream, &mut chunk) {
                 Ok(0) => {
                     self.read_closed = true;
                     return (calls, taken as u64);
@@ -190,11 +192,11 @@ impl Conn {
     /// cap bounds only *unsent* bytes).
     const COMPACT_THRESHOLD: usize = 64 * 1024;
 
-    /// Push buffered bytes to the socket until it stops accepting them.
-    /// Sets `fatal` on error.
-    pub(crate) fn try_write(&mut self) {
+    /// Push buffered bytes to the socket (through the I/O `policy`)
+    /// until it stops accepting them. Sets `fatal` on error.
+    pub(crate) fn try_write(&mut self, id: u64, policy: &mut dyn IoPolicy) {
         while self.wants_write() {
-            match (&self.stream).write(&self.write_buf[self.write_pos..]) {
+            match policy.write(id, &self.stream, &self.write_buf[self.write_pos..]) {
                 Ok(0) => {
                     self.fatal = true;
                     return;

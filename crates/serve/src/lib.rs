@@ -9,6 +9,11 @@
 //!
 //! * [`sys`] — a thin `poll(2)` wrapper (the workspace's only `unsafe`,
 //!   one FFI call; std-only rule intact — no new dependencies),
+//! * [`policy`] — the [`IoPolicy`] seam between the loop and the
+//!   kernel: [`DirectIo`] passes through at zero cost in production,
+//!   [`FaultPolicy`] injects a seeded, schedule-driven stream of
+//!   short I/O, `EINTR`/`EAGAIN`, spurious wakeups, resets and write
+//!   stalls for reproducible chaos testing,
 //! * `conn` *(internal)* — per-connection state machines: an
 //!   incremental [`FrameDecoder`](lfp_query::FrameDecoder) accumulating
 //!   partial frames, sequence-numbered pipelining, in-order response
@@ -44,9 +49,11 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub(crate) mod conn;
+pub mod policy;
 pub mod server;
 pub mod sys;
 
+pub use policy::{DirectIo, FaultCounters, FaultPlan, FaultPolicy, IoPolicy};
 pub use server::{
     answer_line, is_shutdown_line, EngineSource, ServeConfig, ServeReport, Server, ServerHandle,
     SHUTDOWN_ACK,

@@ -1,0 +1,487 @@
+//! The I/O policy seam: every kernel interaction the event loop makes
+//! goes through one trait object.
+//!
+//! Production runs [`DirectIo`], a zero-cost passthrough. Chaos runs
+//! swap in [`FaultPolicy`], which injects the Internet-shaped failures
+//! the paper's measurement infrastructure has to survive — short reads
+//! and writes, `EINTR`, spurious `EAGAIN`, spurious poll wakeups,
+//! mid-stream `ECONNRESET`, and stalled-write windows — from a
+//! **seeded, schedule-driven** plan: the decision for the *n*-th I/O
+//! call is a pure function of `(seed, n)`, so a failing chaos run
+//! replays with the same seed.
+//!
+//! The seam deliberately sits *below* the connection state machines:
+//! `Conn::read_some`/`Conn::try_write` and the accept/poll paths call
+//! the policy exactly where they would call the kernel, so an injected
+//! `ErrorKind` exercises the very same `match` arms a real kernel error
+//! would. Injected faults never corrupt bytes — short reads/writes
+//! shrink the buffer handed to the real syscall and resets kill the
+//! connection outright — which is what makes the chaos invariant
+//! ("every surviving response is byte-identical") meaningful.
+
+use crate::sys::{poll_fds, PollFd};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// SplitMix64: the one PRNG step the fault schedule needs (kept local
+/// so `lfp-serve` stays dependency-light; the constant-by-constant form
+/// matches `lfp_net::link::splitmix64`).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// How often each fault fires, as 1-in-N odds per I/O call (0 disables
+/// that fault). The schedule is deterministic: whether call number `n`
+/// faults depends only on `seed` and `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Seed for the whole schedule.
+    pub seed: u64,
+    /// Truncate a socket read to 1–8 bytes.
+    pub short_read: u32,
+    /// Truncate a socket write to 1–8 bytes.
+    pub short_write: u32,
+    /// Inject `EINTR` (reads, writes and accepts).
+    pub eintr: u32,
+    /// Inject a spurious `EAGAIN`/`WouldBlock` (reads, writes, accepts).
+    pub eagain: u32,
+    /// Inject a mid-stream `ECONNRESET` (reads and writes), killing the
+    /// connection.
+    pub reset: u32,
+    /// Make `poll` return early with no readiness at all.
+    pub spurious_wakeup: u32,
+    /// Open a stalled-write window on the connection: its next
+    /// [`stall_ops`](FaultPlan::stall_ops) writes all report
+    /// `WouldBlock`, as if the peer's receive window slammed shut.
+    pub stall_write: u32,
+    /// Length of a stalled-write window, in write calls.
+    pub stall_ops: u32,
+}
+
+impl FaultPlan {
+    /// Nothing injected — byte-identical to [`DirectIo`] in behaviour
+    /// (useful as a matrix control row).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            short_read: 0,
+            short_write: 0,
+            eintr: 0,
+            eagain: 0,
+            reset: 0,
+            spurious_wakeup: 0,
+            stall_write: 0,
+            stall_ops: 0,
+        }
+    }
+
+    /// Noise without kills: short I/O, `EINTR`, `EAGAIN`, spurious
+    /// wakeups. Every connection survives, so every response must
+    /// arrive, byte-identically.
+    pub fn light(seed: u64) -> FaultPlan {
+        FaultPlan {
+            short_read: 3,
+            short_write: 3,
+            eintr: 7,
+            eagain: 11,
+            spurious_wakeup: 5,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    /// Everything at once: the light noise plus mid-stream resets and
+    /// stalled-write windows. Clients need reconnect-and-retry to
+    /// finish under this plan.
+    pub fn aggressive(seed: u64) -> FaultPlan {
+        FaultPlan {
+            reset: 197,
+            stall_write: 61,
+            stall_ops: 24,
+            ..FaultPlan::light(seed)
+        }
+    }
+
+    /// A plan by profile name (the `--fault-profile` flag).
+    pub fn by_name(name: &str, seed: u64) -> Option<FaultPlan> {
+        match name {
+            "quiet" => Some(FaultPlan::quiet(seed)),
+            "light" => Some(FaultPlan::light(seed)),
+            "aggressive" => Some(FaultPlan::aggressive(seed)),
+            _ => None,
+        }
+    }
+}
+
+/// What a [`FaultPolicy`] injected, by category.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultCounters {
+    /// Reads truncated below the caller's buffer.
+    pub short_reads: u64,
+    /// Writes truncated below the caller's buffer.
+    pub short_writes: u64,
+    /// `EINTR` results injected.
+    pub eintr: u64,
+    /// Spurious `EAGAIN` results injected.
+    pub eagain: u64,
+    /// Mid-stream `ECONNRESET` results injected.
+    pub resets: u64,
+    /// Poll calls returned early with no readiness.
+    pub spurious_wakeups: u64,
+    /// Writes refused inside a stalled-write window.
+    pub stalled_writes: u64,
+}
+
+impl FaultCounters {
+    /// Total injected faults across every category.
+    pub fn total(&self) -> u64 {
+        self.short_reads
+            + self.short_writes
+            + self.eintr
+            + self.eagain
+            + self.resets
+            + self.spurious_wakeups
+            + self.stalled_writes
+    }
+}
+
+/// The seam between the event loop and the kernel. Implementations may
+/// pass through ([`DirectIo`]) or perturb ([`FaultPolicy`]) every
+/// socket read, write, accept and poll the serving core performs.
+///
+/// `conn` is the loop's connection id — stable for the connection's
+/// lifetime — so a policy can carry per-connection state (stall
+/// windows) and a schedule can single out one victim deterministically.
+pub trait IoPolicy: Send {
+    /// Read from a connection's socket into `buf`.
+    fn read(&mut self, conn: u64, stream: &TcpStream, buf: &mut [u8]) -> io::Result<usize>;
+    /// Write a connection's pending bytes to its socket.
+    fn write(&mut self, conn: u64, stream: &TcpStream, buf: &[u8]) -> io::Result<usize>;
+    /// Accept one connection from the listener.
+    fn accept(&mut self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)>;
+    /// Wait for readiness on the interest set.
+    fn poll(&mut self, fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize>;
+    /// The loop dropped this connection; forget any per-connection
+    /// state.
+    fn closed(&mut self, _conn: u64) {}
+    /// Injected-fault counters (all zero for a passthrough policy).
+    fn counters(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
+}
+
+/// The production policy: every call goes straight to the kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectIo;
+
+impl IoPolicy for DirectIo {
+    fn read(&mut self, _conn: u64, stream: &TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+        (&*stream).read(buf)
+    }
+
+    fn write(&mut self, _conn: u64, stream: &TcpStream, buf: &[u8]) -> io::Result<usize> {
+        (&*stream).write(buf)
+    }
+
+    fn accept(&mut self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
+        listener.accept()
+    }
+
+    fn poll(&mut self, fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        poll_fds(fds, timeout_ms)
+    }
+}
+
+/// The chaos policy: a [`FaultPlan`]-driven adversary between the loop
+/// and the kernel. See the module docs for the failure menu.
+#[derive(Debug)]
+pub struct FaultPolicy {
+    plan: FaultPlan,
+    /// I/O calls observed so far; the schedule's clock.
+    ops: u64,
+    counters: FaultCounters,
+    /// Open stalled-write windows: conn id → write calls left to refuse.
+    stalls: HashMap<u64, u32>,
+}
+
+impl FaultPolicy {
+    /// A policy executing `plan`.
+    pub fn new(plan: FaultPlan) -> FaultPolicy {
+        FaultPolicy {
+            plan,
+            ops: 0,
+            counters: FaultCounters::default(),
+            stalls: HashMap::new(),
+        }
+    }
+
+    /// Advance the schedule clock and decide a 1-in-`one_in` fault.
+    fn roll(&mut self, one_in: u32) -> bool {
+        self.ops = self.ops.wrapping_add(1);
+        one_in != 0 && splitmix64(self.plan.seed ^ self.ops).is_multiple_of(u64::from(one_in))
+    }
+
+    /// Advance the clock and draw a raw value (for fault parameters).
+    fn draw(&mut self) -> u64 {
+        self.ops = self.ops.wrapping_add(1);
+        splitmix64(self.plan.seed ^ self.ops)
+    }
+
+    fn interrupted() -> io::Error {
+        io::Error::from(io::ErrorKind::Interrupted)
+    }
+
+    fn would_block() -> io::Error {
+        io::Error::from(io::ErrorKind::WouldBlock)
+    }
+
+    fn reset() -> io::Error {
+        io::Error::from(io::ErrorKind::ConnectionReset)
+    }
+}
+
+impl IoPolicy for FaultPolicy {
+    fn read(&mut self, _conn: u64, stream: &TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+        if self.roll(self.plan.eintr) {
+            self.counters.eintr += 1;
+            return Err(Self::interrupted());
+        }
+        if self.roll(self.plan.eagain) {
+            self.counters.eagain += 1;
+            return Err(Self::would_block());
+        }
+        if self.roll(self.plan.reset) {
+            self.counters.resets += 1;
+            return Err(Self::reset());
+        }
+        let cap = if self.roll(self.plan.short_read) && buf.len() > 1 {
+            self.counters.short_reads += 1;
+            1 + (self.draw() as usize % 8).min(buf.len() - 1)
+        } else {
+            buf.len()
+        };
+        (&*stream).read(&mut buf[..cap])
+    }
+
+    fn write(&mut self, conn: u64, stream: &TcpStream, buf: &[u8]) -> io::Result<usize> {
+        if let Some(left) = self.stalls.get_mut(&conn) {
+            if *left > 0 {
+                *left -= 1;
+                self.counters.stalled_writes += 1;
+                return Err(Self::would_block());
+            }
+            self.stalls.remove(&conn);
+        }
+        if self.roll(self.plan.stall_write) && self.plan.stall_ops > 0 {
+            self.stalls.insert(conn, self.plan.stall_ops);
+            self.counters.stalled_writes += 1;
+            return Err(Self::would_block());
+        }
+        if self.roll(self.plan.eintr) {
+            self.counters.eintr += 1;
+            return Err(Self::interrupted());
+        }
+        if self.roll(self.plan.eagain) {
+            self.counters.eagain += 1;
+            return Err(Self::would_block());
+        }
+        if self.roll(self.plan.reset) {
+            self.counters.resets += 1;
+            return Err(Self::reset());
+        }
+        let cap = if self.roll(self.plan.short_write) && buf.len() > 1 {
+            self.counters.short_writes += 1;
+            1 + (self.draw() as usize % 8).min(buf.len() - 1)
+        } else {
+            buf.len()
+        };
+        (&*stream).write(&buf[..cap])
+    }
+
+    fn accept(&mut self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
+        if self.roll(self.plan.eintr) {
+            self.counters.eintr += 1;
+            return Err(Self::interrupted());
+        }
+        if self.roll(self.plan.eagain) {
+            self.counters.eagain += 1;
+            return Err(Self::would_block());
+        }
+        listener.accept()
+    }
+
+    fn poll(&mut self, fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        if self.roll(self.plan.spurious_wakeup) {
+            self.counters.spurious_wakeups += 1;
+            for fd in fds.iter_mut() {
+                fd.clear_revents();
+            }
+            return Ok(0);
+        }
+        poll_fds(fds, timeout_ms)
+    }
+
+    fn closed(&mut self, conn: u64) {
+        self.stalls.remove(&conn);
+    }
+
+    fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A connected loopback pair for exercising the policy surface.
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    /// The same seed must yield the same injected schedule for the same
+    /// call sequence — that is the reproducibility contract chaos runs
+    /// rely on.
+    #[test]
+    fn same_seed_same_schedule() {
+        let (client, server) = tcp_pair();
+        client.set_nonblocking(true).unwrap();
+        (&server)
+            .write_all(b"0123456789abcdef0123456789abcdef")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+
+        let run = |seed: u64| {
+            let mut policy = FaultPolicy::new(FaultPlan::light(seed));
+            let mut log = Vec::new();
+            let mut buf = [0u8; 8];
+            for _ in 0..64 {
+                match policy.read(1, &client, &mut buf) {
+                    Ok(n) => log.push(format!("ok{n}")),
+                    Err(error) => log.push(format!("{:?}", error.kind())),
+                }
+            }
+            (log, policy.counters().total())
+        };
+
+        // Two fresh sockets would race kernel buffering; replaying on
+        // the *same* drained socket keeps the comparison honest: after
+        // the payload is consumed every real read is WouldBlock, and
+        // the injected schedule is all that differs.
+        let (first, injected_a) = run(42);
+        let (second, injected_b) = run(42);
+        assert!(injected_a > 0, "light plan injected nothing in 64 calls");
+        // The schedules are seed-deterministic even though the socket
+        // state differs between runs: compare only the injected-fault
+        // positions (Interrupted/WouldBlock-by-schedule markers).
+        let faults = |log: &[String]| -> Vec<(usize, String)> {
+            log.iter()
+                .enumerate()
+                .filter(|(_, entry)| *entry == "Interrupted")
+                .map(|(index, entry)| (index, entry.clone()))
+                .collect()
+        };
+        assert_eq!(faults(&first), faults(&second));
+        assert_eq!(injected_a, injected_b);
+    }
+
+    #[test]
+    fn short_reads_truncate_but_never_lose_bytes() {
+        let (client, server) = tcp_pair();
+        client.set_nonblocking(true).unwrap();
+        let payload = b"the quick brown fox jumps over the lazy dog";
+        (&server).write_all(payload).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+
+        let mut policy = FaultPolicy::new(FaultPlan {
+            short_read: 1, // every read is short
+            ..FaultPlan::quiet(7)
+        });
+        let mut got = Vec::new();
+        let mut buf = [0u8; 64];
+        while got.len() < payload.len() {
+            match policy.read(1, &client, &mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    assert!(n <= 8, "short read returned {n} bytes");
+                    got.extend_from_slice(&buf[..n]);
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => break,
+                Err(error) => panic!("unexpected error: {error}"),
+            }
+        }
+        assert_eq!(got, payload, "short reads reordered or dropped bytes");
+        assert!(policy.counters().short_reads > 0);
+    }
+
+    #[test]
+    fn stalled_write_window_opens_and_closes() {
+        let (client, _server) = tcp_pair();
+        client.set_nonblocking(true).unwrap();
+        let mut policy = FaultPolicy::new(FaultPlan {
+            stall_write: 1, // first write opens the window immediately
+            stall_ops: 3,
+            ..FaultPlan::quiet(3)
+        });
+        // Window opens: the triggering write and the next 3 are refused.
+        for _ in 0..4 {
+            let error = policy.write(9, &client, b"x").unwrap_err();
+            assert_eq!(error.kind(), io::ErrorKind::WouldBlock);
+        }
+        // The window is spent — but stall_write=1 immediately re-opens
+        // it on the next roll, so disable it to observe the close.
+        policy.plan.stall_write = 0;
+        assert_eq!(policy.write(9, &client, b"x").unwrap(), 1);
+        assert_eq!(policy.counters().stalled_writes, 4);
+
+        // closed() forgets the per-connection window.
+        policy.plan.stall_write = 1;
+        let _ = policy.write(9, &client, b"x");
+        policy.closed(9);
+        assert!(policy.stalls.is_empty());
+    }
+
+    #[test]
+    fn spurious_wakeup_reports_no_readiness() {
+        let (client, server) = tcp_pair();
+        (&server).write_all(b"ready").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut policy = FaultPolicy::new(FaultPlan {
+            spurious_wakeup: 1,
+            ..FaultPlan::quiet(1)
+        });
+        let mut fds = [PollFd::new(
+            std::os::fd::AsRawFd::as_raw_fd(&client),
+            crate::sys::POLLIN,
+        )];
+        let ready = policy.poll(&mut fds, 0).unwrap();
+        assert_eq!(ready, 0);
+        assert!(!fds[0].readable(), "spurious wakeup leaked readiness");
+        assert_eq!(policy.counters().spurious_wakeups, 1);
+
+        // With the fault off, the same poll reports the pending bytes.
+        policy.plan.spurious_wakeup = 0;
+        let ready = policy.poll(&mut fds, 1000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn direct_io_is_a_passthrough() {
+        let (client, server) = tcp_pair();
+        let mut policy = DirectIo;
+        assert_eq!(policy.write(0, &client, b"ping").unwrap(), 4);
+        let mut buf = [0u8; 8];
+        let n = policy.read(0, &server, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        assert_eq!(policy.counters().total(), 0);
+    }
+}

@@ -27,7 +27,8 @@
 //!   queue.
 
 use crate::conn::{CloseReason, Conn};
-use crate::sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use crate::policy::{DirectIo, FaultCounters, IoPolicy};
+use crate::sys::{PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_query::{wire, QueryEngine};
 use std::collections::{BTreeMap, VecDeque};
@@ -74,6 +75,20 @@ pub struct ServeConfig {
     /// How long a graceful shutdown waits for pending responses to
     /// flush before abandoning the stragglers.
     pub drain_timeout: Duration,
+    /// Admission-control watermark on the aggregate job-queue depth:
+    /// once this many decoded requests are waiting for a worker, new
+    /// data queries are **shed** with the typed `overloaded` wire error
+    /// instead of joining the queue. `usize::MAX` (the default)
+    /// disables shedding.
+    pub queue_watermark: usize,
+    /// Per-request deadline, measured from pipeline admission. A job a
+    /// worker picks up after its deadline is answered `overloaded`
+    /// (reason `deadline`) without executing — under backlog the
+    /// client has long since retried or given up, and executing it
+    /// anyway only starves requests that can still make it.
+    pub request_deadline: Duration,
+    /// Retry hint (milliseconds) embedded in `overloaded` responses.
+    pub retry_hint_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +100,9 @@ impl Default for ServeConfig {
             write_buffer_cap: 1 << 20,
             max_inflight: 128,
             drain_timeout: Duration::from_secs(5),
+            queue_watermark: usize::MAX,
+            request_deadline: Duration::from_secs(30),
+            retry_hint_ms: 25,
         }
     }
 }
@@ -110,6 +128,13 @@ pub struct ServeReport {
     pub socket_reads: u64,
     /// Bytes pulled off connection sockets.
     pub bytes_read: u64,
+    /// Data queries shed at admission (queue watermark).
+    pub shed: u64,
+    /// Jobs answered `overloaded` because their deadline expired
+    /// before a worker reached them.
+    pub deadline_expired: u64,
+    /// Faults the I/O policy injected (0 under [`DirectIo`]).
+    pub injected_faults: u64,
 }
 
 /// One decoded request travelling to the worker pool.
@@ -117,6 +142,9 @@ struct Job {
     conn: u64,
     seq: u64,
     line: String,
+    /// When the request was admitted to a pipeline — the epoch its
+    /// deadline is measured from.
+    accepted: Instant,
 }
 
 /// One executed response travelling back.
@@ -142,12 +170,47 @@ struct Shared {
     queries: AtomicU64,
     control: AtomicU64,
     completed: AtomicU64,
+    /// Jobs sitting in the queue right now (admission-control gauge:
+    /// incremented at push, decremented at claim). The loop sheds
+    /// against this plus its own not-yet-pushed batch, so the
+    /// watermark holds even though workers drain concurrently.
+    queued: AtomicU64,
+    shed: AtomicU64,
+    deadline_expired: AtomicU64,
 }
 
 impl Shared {
     fn wake(&self) {
-        // A full pipe means a wake-up is already pending — ignore.
-        let _ = (&self.wake_tx).write(&[1]);
+        nudge_wake_pipe(&self.wake_tx);
+    }
+}
+
+/// Write one wake byte, retrying `EINTR`. A full pipe (`WouldBlock`)
+/// means a wake-up is already pending — ignore; any other failure is
+/// also ignored (the loop's poll timeout bounds the added latency).
+fn nudge_wake_pipe(mut pipe: impl Write) {
+    loop {
+        match pipe.write(&[1]) {
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+            _ => return,
+        }
+    }
+}
+
+/// Drain every pending byte from the wake pipe, retrying `EINTR` —
+/// a signal landing mid-drain must not leave stale wake bytes that
+/// would turn every later poll into a spurious wakeup. Returns bytes
+/// drained (for tests; the loop ignores it).
+fn drain_wake_pipe(mut pipe: impl Read) -> u64 {
+    let mut sink = [0u8; 64];
+    let mut drained = 0u64;
+    loop {
+        match pipe.read(&mut sink) {
+            Ok(0) => return drained,
+            Ok(n) => drained += n as u64,
+            Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return drained,
+        }
     }
 }
 
@@ -217,6 +280,38 @@ pub fn is_shutdown_line(line: &str) -> bool {
     matches!(control_of(line), Some(Control::Shutdown))
 }
 
+/// Drain state for the event loop. Entering drain is **idempotent**:
+/// the deadline is armed exactly once, by whichever trigger fires
+/// first (wire `shutdown`, [`ServerHandle::shutdown`], a poll
+/// failure), and re-entry — which chaos schedules provoke by racing
+/// triggers — can never push it back. Previously the deadline was
+/// armed at two separate sites, and a re-entered drain could reset it.
+#[derive(Debug, Default)]
+struct Drain {
+    deadline: Option<Instant>,
+}
+
+impl Drain {
+    /// Whether the loop is draining.
+    fn active(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Enter drain, arming the deadline only if it is not already set.
+    fn begin(&mut self, timeout: Duration) {
+        if self.deadline.is_none() {
+            self.deadline = Some(Instant::now() + timeout);
+        }
+    }
+
+    /// Whether the armed deadline has passed (never true before
+    /// [`begin`](Drain::begin)).
+    fn expired(&self) -> bool {
+        self.deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+}
+
 /// A readiness-driven query server bound to a TCP address.
 pub struct Server {
     listener: TcpListener,
@@ -225,16 +320,32 @@ pub struct Server {
     source: Arc<dyn EngineSource>,
     shared: Arc<Shared>,
     wake_rx: UnixStream,
+    /// The seam every socket read/write/accept/poll goes through.
+    policy: Box<dyn IoPolicy>,
 }
 
 impl Server {
-    /// Bind the listener (nonblocking) and set up the worker plumbing.
-    /// Port 0 binds an ephemeral port — read it back via
+    /// Bind the listener (nonblocking) and set up the worker plumbing,
+    /// serving through the production passthrough I/O policy. Port 0
+    /// binds an ephemeral port — read it back via
     /// [`local_addr`](Server::local_addr).
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         config: ServeConfig,
         source: Arc<dyn EngineSource>,
+    ) -> io::Result<Server> {
+        Server::bind_with_policy(addr, config, source, Box::new(DirectIo))
+    }
+
+    /// [`bind`](Server::bind), but serving through an explicit
+    /// [`IoPolicy`] — the entry point chaos runs use to put a
+    /// [`FaultPolicy`](crate::policy::FaultPolicy) between the loop and
+    /// the kernel.
+    pub fn bind_with_policy<A: ToSocketAddrs>(
+        addr: A,
+        config: ServeConfig,
+        source: Arc<dyn EngineSource>,
+        policy: Box<dyn IoPolicy>,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -254,6 +365,9 @@ impl Server {
             queries: AtomicU64::new(0),
             control: AtomicU64::new(0),
             completed: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
         });
         Ok(Server {
             listener,
@@ -262,6 +376,7 @@ impl Server {
             source,
             shared,
             wake_rx,
+            policy,
         })
     }
 
@@ -292,20 +407,25 @@ impl Server {
     /// Run the serving loop until a `shutdown` control query (or a
     /// [`ServerHandle::shutdown`]) drains it. Blocks the calling
     /// thread; workers are joined before it returns.
-    pub fn run(self) -> ServeReport {
+    pub fn run(mut self) -> ServeReport {
+        // The loop needs `&mut dyn IoPolicy` while `event_loop` borrows
+        // `&self`; swap the box out for the zero-state passthrough.
+        let mut policy = std::mem::replace(&mut self.policy, Box::new(DirectIo));
         let workers = self.worker_count();
+        let deadline = self.config.request_deadline;
+        let retry_hint = self.config.retry_hint_ms;
         let mut pool = Vec::with_capacity(workers);
         for index in 0..workers {
             let shared = Arc::clone(&self.shared);
             let source = Arc::clone(&self.source);
             let thread = std::thread::Builder::new()
                 .name(format!("lfp-serve-{index}"))
-                .spawn(move || worker_loop(shared, source))
+                .spawn(move || worker_loop(shared, source, deadline, retry_hint))
                 .expect("spawn worker thread");
             pool.push(thread);
         }
 
-        let report = self.event_loop(workers);
+        let report = self.event_loop(workers, policy.as_mut());
 
         {
             let mut jobs = self.shared.jobs.lock().expect("jobs lock");
@@ -318,24 +438,21 @@ impl Server {
         report
     }
 
-    fn event_loop(&self, workers: usize) -> ServeReport {
+    fn event_loop(&self, workers: usize, policy: &mut dyn IoPolicy) -> ServeReport {
         let config = &self.config;
         let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
         let mut next_id = 0u64;
         let mut report = ServeReport::default();
-        let mut draining = false;
-        let mut drain_deadline: Option<Instant> = None;
+        let mut drain = Drain::default();
         let mut fds: Vec<PollFd> = Vec::new();
         let mut order: Vec<u64> = Vec::new();
 
         loop {
             report.iterations += 1;
-            if !draining && self.shared.stop.load(Ordering::SeqCst) {
-                draining = true;
+            if self.shared.stop.load(Ordering::SeqCst) {
+                drain.begin(config.drain_timeout);
             }
-            if draining && drain_deadline.is_none() {
-                drain_deadline = Some(Instant::now() + config.drain_timeout);
-            }
+            let draining = drain.active();
 
             // ---- interest set -------------------------------------
             let accepting = !draining && conns.len() < config.max_connections;
@@ -368,18 +485,20 @@ impl Server {
             } else {
                 200
             };
-            if let Err(error) = poll_fds(&mut fds, timeout) {
+            if let Err(error) = policy.poll(&mut fds, timeout) {
                 // EBADF and friends mean loop state is corrupt; there
                 // is no sane recovery beyond draining out.
                 eprintln!("lfp-serve: poll failed: {error}");
-                draining = true;
+                drain.begin(config.drain_timeout);
             }
 
             // ---- wake pipe ----------------------------------------
             if fds[1].readable() {
-                let mut sink = [0u8; 64];
-                while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+                drain_wake_pipe(&self.wake_rx);
             }
+            // A poll failure above may have begun draining; everything
+            // from here on must observe it this same iteration.
+            let draining = draining || drain.active();
 
             // ---- completions from the pool ------------------------
             let completions =
@@ -397,7 +516,7 @@ impl Server {
             // ---- accept -------------------------------------------
             if accepting && fds[0].readable() {
                 while conns.len() < config.max_connections {
-                    match self.listener.accept() {
+                    match policy.accept(&self.listener) {
                         Ok((stream, _peer)) => {
                             if stream.set_nonblocking(true).is_err() {
                                 continue;
@@ -448,7 +567,7 @@ impl Server {
                     && !conn.fatal
                     && (conn.wants_read(config.max_inflight) || broken);
                 if !draining && readiness.readable() && may_read {
-                    let (calls, bytes) = conn.read_some();
+                    let (calls, bytes) = conn.read_some(id, policy);
                     report.socket_reads += calls;
                     report.bytes_read += bytes;
                 }
@@ -466,7 +585,8 @@ impl Server {
             // `stats` is answered from loop state, rendered once per
             // iteration at most — and only when someone actually asked.
             if !stats_requests.is_empty() {
-                let payload = self.render_stats(&conns, workers, draining, &report);
+                let payload =
+                    self.render_stats(&conns, workers, draining, &report, policy.counters());
                 for (id, seq) in stats_requests {
                     if let Some(conn) = conns.get_mut(&id) {
                         conn.complete(seq, format!("{{\"ok\": true, \"result\": {payload}}}"));
@@ -482,7 +602,7 @@ impl Server {
                 let conn = conns.get_mut(&id).expect("active conn exists");
                 conn.flush_ready();
                 if conn.wants_write() {
-                    conn.try_write();
+                    conn.try_write(id, policy);
                 }
                 if conn.buffered_write_bytes() > config.write_buffer_cap {
                     closed.push((id, CloseReason::Evicted));
@@ -505,10 +625,14 @@ impl Server {
                     report.evicted += 1;
                 }
                 conns.remove(&id);
+                policy.closed(id);
             }
 
             if !new_jobs.is_empty() {
                 let single = new_jobs.len() == 1;
+                self.shared
+                    .queued
+                    .fetch_add(new_jobs.len() as u64, Ordering::Relaxed);
                 {
                     let mut jobs = self.shared.jobs.lock().expect("jobs lock");
                     jobs.queue.extend(new_jobs);
@@ -521,20 +645,17 @@ impl Server {
             }
 
             if shutdown_requested {
-                draining = true;
+                drain.begin(config.drain_timeout);
             }
 
             // ---- drain exit ---------------------------------------
-            if draining {
-                if drain_deadline.is_none() {
-                    drain_deadline = Some(Instant::now() + config.drain_timeout);
-                }
+            if drain.active() {
                 let everything_flushed = conns.values().all(Conn::drained);
                 if everything_flushed {
                     report.drained_cleanly = true;
                     break;
                 }
-                if Instant::now() >= drain_deadline.expect("set above") {
+                if drain.expired() {
                     report.evicted += conns.len() as u64;
                     break;
                 }
@@ -544,6 +665,9 @@ impl Server {
         report.queries = self.shared.queries.load(Ordering::Relaxed);
         report.control = self.shared.control.load(Ordering::Relaxed);
         report.completed = self.shared.completed.load(Ordering::Relaxed);
+        report.shed = self.shared.shed.load(Ordering::Relaxed);
+        report.deadline_expired = self.shared.deadline_expired.load(Ordering::Relaxed);
+        report.injected_faults = policy.counters().total();
         report
     }
 
@@ -594,11 +718,27 @@ impl Server {
                         }
                         None => {
                             let seq = conn.assign_seq();
+                            // Admission control: shed against the live
+                            // queue depth plus this iteration's not-yet
+                            // -pushed batch. The response slot is
+                            // already assigned, so the shed reply keeps
+                            // its place in the pipeline order.
+                            let depth = self.shared.queued.load(Ordering::Relaxed) as usize
+                                + new_jobs.len();
+                            if depth >= self.config.queue_watermark {
+                                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                                conn.complete(
+                                    seq,
+                                    wire::overloaded_envelope("queue", self.config.retry_hint_ms),
+                                );
+                                continue;
+                            }
                             self.shared.queries.fetch_add(1, Ordering::Relaxed);
                             new_jobs.push(Job {
                                 conn: id,
                                 seq,
                                 line: line.to_string(),
+                                accepted: Instant::now(),
                             });
                         }
                     }
@@ -635,6 +775,7 @@ impl Server {
         workers: usize,
         draining: bool,
         report: &ServeReport,
+        faults: FaultCounters,
     ) -> String {
         let inflight: usize = conns.values().map(Conn::inflight).sum();
         let buffered: usize = conns.values().map(Conn::buffered_write_bytes).sum();
@@ -652,6 +793,12 @@ impl Server {
         json.integer("control", self.shared.control.load(Ordering::Relaxed));
         json.integer("completed", self.shared.completed.load(Ordering::Relaxed));
         json.integer("evicted", report.evicted);
+        json.integer("shed", self.shared.shed.load(Ordering::Relaxed));
+        json.integer(
+            "deadline_expired",
+            self.shared.deadline_expired.load(Ordering::Relaxed),
+        );
+        json.integer("injected_faults", faults.total());
         json.finish()
     }
 }
@@ -663,8 +810,14 @@ impl Server {
 const WORKER_BATCH: usize = 64;
 
 /// One worker: claim a batch, fetch the *current* engine per request,
-/// execute, post the completions in one go, nudge the loop once.
-fn worker_loop(shared: Arc<Shared>, source: Arc<dyn EngineSource>) {
+/// execute (or expire), post the completions in one go, nudge the loop
+/// once.
+fn worker_loop(
+    shared: Arc<Shared>,
+    source: Arc<dyn EngineSource>,
+    deadline: Duration,
+    retry_hint_ms: u64,
+) {
     let mut batch: Vec<Job> = Vec::with_capacity(WORKER_BATCH);
     let mut finished: Vec<Completion> = Vec::with_capacity(WORKER_BATCH);
     loop {
@@ -675,6 +828,7 @@ fn worker_loop(shared: Arc<Shared>, source: Arc<dyn EngineSource>) {
                 if !state.queue.is_empty() {
                     let take = state.queue.len().min(WORKER_BATCH);
                     batch.extend(state.queue.drain(..take));
+                    shared.queued.fetch_sub(take as u64, Ordering::Relaxed);
                     break;
                 }
                 if state.stop {
@@ -685,10 +839,19 @@ fn worker_loop(shared: Arc<Shared>, source: Arc<dyn EngineSource>) {
         }
         finished.clear();
         for job in batch.drain(..) {
-            // Per request, not per batch: an epoch swap mid-batch is
-            // picked up by the very next query.
-            let engine = source.engine();
-            let payload = answer_line(&job.line, &engine);
+            // A request the queue held past its deadline is answered
+            // `overloaded` without executing: its client has already
+            // retried (or walked), and every cycle spent on it delays
+            // requests that can still make their deadlines.
+            let payload = if job.accepted.elapsed() >= deadline {
+                shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                wire::overloaded_envelope("deadline", retry_hint_ms)
+            } else {
+                // Per request, not per batch: an epoch swap mid-batch
+                // is picked up by the very next query.
+                let engine = source.engine();
+                answer_line(&job.line, &engine)
+            };
             finished.push(Completion {
                 conn: job.conn,
                 seq: job.seq,
@@ -701,5 +864,98 @@ fn worker_loop(shared: Arc<Shared>, source: Arc<dyn EngineSource>) {
             .expect("completions lock")
             .append(&mut finished);
         shared.wake();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pipe end that fails with a scripted error kind before every
+    /// real byte — the signal-storm adversary for the self-pipe paths.
+    struct Flaky<T> {
+        inner: T,
+        /// Error kinds to inject, one per call, before passing through.
+        script: Vec<io::ErrorKind>,
+    }
+
+    impl<T> Flaky<T> {
+        fn new(inner: T, script: Vec<io::ErrorKind>) -> Flaky<T> {
+            Flaky { inner, script }
+        }
+    }
+
+    impl<T: Read> Read for Flaky<T> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop() {
+                Some(kind) => Err(io::Error::from(kind)),
+                None => self.inner.read(buf),
+            }
+        }
+    }
+
+    impl<T: Write> Write for Flaky<T> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            match self.script.pop() {
+                Some(kind) => Err(io::Error::from(kind)),
+                None => self.inner.write(buf),
+            }
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    #[test]
+    fn drain_wake_pipe_retries_interrupted() {
+        let (tx, rx) = UnixStream::pair().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        (&tx).write_all(&[1, 1, 1]).unwrap();
+        // Three EINTRs land before the bytes; every byte must still be
+        // drained, or the next poll spins on a stale wake.
+        let flaky = Flaky::new(&rx, vec![io::ErrorKind::Interrupted; 3]);
+        assert_eq!(drain_wake_pipe(flaky), 3);
+        // Pipe is now empty: the nonblocking read reports WouldBlock,
+        // which ends the drain without error.
+        assert_eq!(drain_wake_pipe(&rx), 0);
+    }
+
+    #[test]
+    fn nudge_wake_pipe_retries_interrupted() {
+        let (tx, rx) = UnixStream::pair().unwrap();
+        tx.set_nonblocking(true).unwrap();
+        rx.set_nonblocking(true).unwrap();
+        let flaky = Flaky::new(&tx, vec![io::ErrorKind::Interrupted; 5]);
+        nudge_wake_pipe(flaky);
+        let mut byte = [0u8; 4];
+        let got = (&rx).read(&mut byte).unwrap();
+        assert_eq!(got, 1, "the wake byte must survive an EINTR storm");
+    }
+
+    #[test]
+    fn nudge_wake_pipe_tolerates_full_pipe() {
+        let (tx, rx) = UnixStream::pair().unwrap();
+        tx.set_nonblocking(true).unwrap();
+        // Stuff the pipe until the kernel refuses; the nudge must not
+        // loop forever or panic — a pending wake-up is already enough.
+        while (&tx).write(&[1u8; 4096]).is_ok() {}
+        nudge_wake_pipe(&tx);
+        drop(rx);
+    }
+
+    #[test]
+    fn drain_deadline_arms_once() {
+        let mut drain = Drain::default();
+        assert!(!drain.active());
+        assert!(!drain.expired());
+        drain.begin(Duration::from_millis(5));
+        let armed = drain.deadline.unwrap();
+        // Chaos-induced re-entry (second shutdown, poll failure while
+        // already draining) must not push the deadline back.
+        drain.begin(Duration::from_secs(3600));
+        assert_eq!(drain.deadline.unwrap(), armed);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(drain.expired());
     }
 }

@@ -55,6 +55,13 @@ impl PollFd {
         self.revents
     }
 
+    /// Erase reported readiness — what a spurious wakeup looks like to
+    /// the caller. Used by fault-injecting I/O policies; the kernel
+    /// path overwrites `revents` on every poll anyway.
+    pub fn clear_revents(&mut self) {
+        self.revents = 0;
+    }
+
     /// Readable — or in an error/hangup state, which reads surface.
     pub fn readable(&self) -> bool {
         self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0

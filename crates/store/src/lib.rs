@@ -43,5 +43,5 @@ pub mod error;
 pub mod format;
 
 pub use codec::{SnapshotDelta, StoredCampaign};
-pub use epoch::{IngestReport, LoadReport, SaveReport, Store};
+pub use epoch::{Durable, IngestReport, LoadReport, SaveFaults, SaveReport, Store, SAVE_CHUNK};
 pub use error::StoreError;

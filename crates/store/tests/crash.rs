@@ -1,0 +1,219 @@
+//! Crash-injection battery for durable saves.
+//!
+//! The [`SaveFaults`] seam lets a test kill a save at precisely the
+//! points a real crash can land: before any chunk write (leaving the
+//! temp file truncated at a recorded boundary) or just before the
+//! rename publish (temp complete, store path untouched). The property
+//! under test is the store's durability contract: **after a crash at
+//! any boundary, `Store::load` reopens the last successfully published
+//! epoch, byte-identically** — never a torn file, never an error.
+
+mod util;
+
+use lfp_store::{SaveFaults, Store, StoreError, SAVE_CHUNK};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A scratch directory unique to this test run; cleaned up on drop.
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("lfp-crash-{tag}-{}-{unique}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch { dir }
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Records every write boundary a save crosses without interfering —
+/// the map of crash points the injection loop then enumerates.
+#[derive(Default)]
+struct Recorder {
+    /// (offset, len) of every chunk write, in order.
+    chunks: Vec<(usize, usize)>,
+    publishes: usize,
+}
+
+impl SaveFaults for Recorder {
+    fn on_chunk(&mut self, offset: usize, len: usize) -> Result<(), StoreError> {
+        self.chunks.push((offset, len));
+        Ok(())
+    }
+
+    fn on_publish(&mut self) -> Result<(), StoreError> {
+        self.publishes += 1;
+        Ok(())
+    }
+}
+
+/// Kills the save just before chunk number `at` is written (or, with
+/// `at_publish`, just before the rename).
+struct CrashAt {
+    at: usize,
+    at_publish: bool,
+    seen: usize,
+}
+
+impl CrashAt {
+    fn chunk(at: usize) -> CrashAt {
+        CrashAt {
+            at,
+            at_publish: false,
+            seen: 0,
+        }
+    }
+
+    fn publish() -> CrashAt {
+        CrashAt {
+            at: usize::MAX,
+            at_publish: true,
+            seen: 0,
+        }
+    }
+}
+
+impl SaveFaults for CrashAt {
+    fn on_chunk(&mut self, _offset: usize, _len: usize) -> Result<(), StoreError> {
+        if self.seen == self.at {
+            return Err(StoreError::Io("injected crash before chunk".to_string()));
+        }
+        self.seen += 1;
+        Ok(())
+    }
+
+    fn on_publish(&mut self) -> Result<(), StoreError> {
+        if self.at_publish {
+            return Err(StoreError::Io("injected crash before publish".to_string()));
+        }
+        Ok(())
+    }
+}
+
+/// Load the store at `path` and return (epoch, full catalog responses).
+fn loaded_state(path: &Path) -> (u64, Vec<(String, String)>) {
+    let (store, _report) = Store::load(path).expect("store loads after crash");
+    (store.epoch(), util::mix_responses(&store))
+}
+
+#[test]
+fn save_records_stable_chunk_boundaries() {
+    let store = Store::from_world(util::shared_tiny_world());
+    let scratch = Scratch::new("boundaries");
+    let path = scratch.path("world.lfps");
+
+    let mut recorder = Recorder::default();
+    let report = store.save_with(&path, &mut recorder).expect("clean save");
+
+    // The boundaries tile the byte stream exactly: contiguous, starting
+    // at 0, summing to the store size, every chunk ≤ SAVE_CHUNK.
+    assert!(!recorder.chunks.is_empty());
+    assert_eq!(recorder.publishes, 1);
+    let mut expected_offset = 0usize;
+    for &(offset, len) in &recorder.chunks {
+        assert_eq!(offset, expected_offset, "chunk boundaries not contiguous");
+        assert!(len > 0 && len <= SAVE_CHUNK);
+        expected_offset += len;
+    }
+    assert_eq!(expected_offset as u64, report.bytes);
+    assert!(
+        recorder.chunks.len() >= 2,
+        "store too small to cross a chunk boundary — the crash matrix \
+         would only test the empty-file case"
+    );
+
+    // Recording perturbed nothing: the published file is the store.
+    let (epoch, _) = loaded_state(&path);
+    assert_eq!(epoch, 0);
+}
+
+#[test]
+fn crash_at_every_write_boundary_recovers_last_good_epoch() {
+    let world = util::shared_tiny_world();
+    let store = Store::from_world(world.clone());
+    let scratch = Scratch::new("matrix");
+    let path = scratch.path("world.lfps");
+
+    // Publish epoch 0 — the "last good" state every crash must preserve.
+    store.save(&path).expect("baseline save");
+    let baseline = loaded_state(&path);
+    assert_eq!(baseline.0, 0);
+
+    // Advance to epoch 1, so the crashing saves carry genuinely new
+    // bytes the crash must *not* publish partially.
+    let deltas = util::measure_deltas(&world, 1);
+    store
+        .ingest(deltas.into_iter().next().unwrap())
+        .expect("ingest");
+    assert_eq!(store.epoch(), 1);
+
+    // Map the crash points of the epoch-1 image (against a scratch
+    // path, so the real one still holds epoch 0).
+    let mut recorder = Recorder::default();
+    store
+        .save_with(&scratch.path("probe.lfps"), &mut recorder)
+        .expect("probe save");
+    let boundaries = recorder.chunks.len();
+
+    // Crash before every chunk write, including chunk 0 (empty temp).
+    for at in 0..boundaries {
+        let error = store
+            .save_with(&path, &mut CrashAt::chunk(at))
+            .expect_err("injected crash must surface");
+        assert!(matches!(error, StoreError::Io(_)));
+
+        // The temp file is truncated at exactly the recorded boundary…
+        let tmp_len = std::fs::metadata(path.with_extension("tmp"))
+            .expect("crashed save leaves its temp file")
+            .len() as usize;
+        assert_eq!(tmp_len, recorder.chunks[at].0, "crash point {at}");
+
+        // …and the published path still loads as epoch 0, responding
+        // byte-identically to the pre-crash baseline.
+        assert_eq!(loaded_state(&path), baseline, "crash point {at}");
+    }
+
+    // Crash after the temp file is complete but before the rename: the
+    // new epoch is on disk yet *unpublished* — load must still see 0.
+    let error = store
+        .save_with(&path, &mut CrashAt::publish())
+        .expect_err("publish crash must surface");
+    assert!(matches!(error, StoreError::Io(_)));
+    assert_eq!(loaded_state(&path), baseline);
+
+    // A clean save after any number of crashes publishes epoch 1.
+    store.save(&path).expect("post-crash save");
+    let (epoch, responses) = loaded_state(&path);
+    assert_eq!(epoch, 1);
+    assert_ne!(responses, baseline.1, "epoch 1 must answer differently");
+    assert_eq!(responses, util::mix_responses(&store));
+}
+
+#[test]
+fn save_survives_bare_filename_paths() {
+    // `path.parent()` is empty for a bare filename; the directory
+    // fsync must fall back to "." instead of failing the save.
+    let store = Store::from_world(util::shared_tiny_world());
+    let scratch = Scratch::new("bare");
+    let previous = std::env::current_dir().expect("cwd");
+    std::env::set_current_dir(&scratch.dir).expect("enter scratch");
+    let result = store.save(Path::new("bare.lfps"));
+    let loaded = Store::load(Path::new("bare.lfps")).map(|(store, _)| store.epoch());
+    std::env::set_current_dir(previous).expect("restore cwd");
+    result.expect("bare-filename save");
+    assert_eq!(loaded.expect("bare-filename load"), 0);
+}

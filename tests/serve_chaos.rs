@@ -1,0 +1,523 @@
+//! Chaos matrix for the serving core: seeded fault schedules × live
+//! pipelined clients.
+//!
+//! [`FaultPolicy`] sits between the event loop and the kernel (the
+//! [`IoPolicy`] seam), injecting short reads/writes, `EINTR`, spurious
+//! `EAGAIN`, spurious poll wakeups, mid-stream resets, and stalled-write
+//! windows from a seeded schedule. The invariants under test:
+//!
+//! * **noise never corrupts**: on every connection that survives, every
+//!   response is byte-identical to direct `QueryEngine` execution;
+//! * **kills never wedge**: resets lose connections, not the server —
+//!   reconnecting clients always finish their workload;
+//! * **overload is typed**: shed and deadline-expired requests get the
+//!   machine-readable `overloaded` envelope with a retry hint, never a
+//!   dropped or mangled reply;
+//! * the whole schedule replays from its seed, so a failure here is
+//!   reproducible by construction.
+
+use lfp::query::{wire, QueryEngine, Response};
+use lfp::serve::{
+    DirectIo, EngineSource, FaultCounters, FaultPlan, FaultPolicy, IoPolicy, ServeConfig,
+    ServeReport, Server, ServerHandle,
+};
+use lfp::topo::Scale;
+use lfp_analysis::json::{parse, JsonValue};
+use lfp_analysis::World;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One tiny world / engine shared by every test in the binary.
+fn shared_engine() -> Arc<QueryEngine> {
+    static ENGINE: OnceLock<Arc<QueryEngine>> = OnceLock::new();
+    Arc::clone(
+        ENGINE.get_or_init(|| Arc::new(QueryEngine::new(Arc::new(World::build(Scale::tiny()))))),
+    )
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    handle: ServerHandle,
+    thread: Option<JoinHandle<ServeReport>>,
+}
+
+impl TestServer {
+    fn start(config: ServeConfig, policy: Box<dyn IoPolicy>) -> TestServer {
+        let engine = shared_engine();
+        let source: Arc<dyn EngineSource> = Arc::new(move || Arc::clone(&engine));
+        let server = Server::bind_with_policy("127.0.0.1:0", config, source, policy).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            handle,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(mut self) -> ServeReport {
+        self.handle.shutdown();
+        self.thread
+            .take()
+            .expect("server thread present")
+            .join()
+            .expect("server thread exits")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.handle.shutdown();
+            let _ = thread.join();
+        }
+    }
+}
+
+/// A deterministic pipeline mix covering every query kind.
+fn test_mix(engine: &QueryEngine) -> Vec<String> {
+    let corpus = engine.corpus();
+    let src = corpus.src_as_ids();
+    let dst = corpus.dst_as_ids();
+    assert!(!src.is_empty() && !dst.is_empty());
+    vec![
+        "{\"query\": \"catalog\"}".to_string(),
+        format!("{{\"query\": \"vendor_mix\", \"as\": {}}}", src[0]),
+        "{\"query\": \"vendor_mix\", \"region\": \"EU\", \"method\": \"snmp\"}".to_string(),
+        format!(
+            "{{\"query\": \"path_diversity\", \"src_as\": {}, \"dst_as\": {}}}",
+            src[0], dst[0]
+        ),
+        "{\"query\": \"transitions\"}".to_string(),
+        "{\"query\": \"longest_runs\", \"min_hops\": 2}".to_string(),
+    ]
+}
+
+/// The two legal envelopes for a request line: cold and cache-hit
+/// renderings of the byte-identical payload direct execution produces.
+fn expected_envelopes(engine: &QueryEngine, line: &str) -> [String; 2] {
+    let query = wire::decode(line).expect("mix lines decode");
+    let payload = engine.execute_uncached(&query).expect("mix lines execute");
+    let canonical = engine.canonical(&query);
+    let rendered = |cached: bool| {
+        wire::ok_envelope(
+            &canonical,
+            &Response {
+                payload: Arc::from(payload.as_str()),
+                cached,
+            },
+        )
+    };
+    [rendered(false), rendered(true)]
+}
+
+fn assert_is_direct_execution(engine: &QueryEngine, line: &str, reply: &str) {
+    let [cold, warm] = expected_envelopes(engine, line);
+    assert!(
+        reply == cold || reply == warm,
+        "response diverged from direct execution\n line: {line}\nreply: {reply}\n cold: {cold}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Matrix row 1–4: noise schedules that never kill a connection. Every
+// pipelined client on every schedule must see byte-identical replies.
+// ---------------------------------------------------------------------
+
+/// The no-kill rows of the chaos matrix: distinct fault mixes (and a
+/// reseeded replay of the first) under which **no** connection dies, so
+/// **every** response must arrive byte-identical.
+fn noise_schedules() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("light-1", FaultPlan::light(1)),
+        ("light-4242", FaultPlan::light(4242)),
+        (
+            "read-noise",
+            FaultPlan {
+                short_read: 2,
+                eintr: 3,
+                eagain: 5,
+                ..FaultPlan::quiet(7)
+            },
+        ),
+        (
+            "write-noise",
+            FaultPlan {
+                short_write: 2,
+                stall_write: 17,
+                stall_ops: 5,
+                eintr: 9,
+                ..FaultPlan::quiet(11)
+            },
+        ),
+        (
+            "wakeup-storm",
+            FaultPlan {
+                spurious_wakeup: 2,
+                eagain: 3,
+                ..FaultPlan::quiet(13)
+            },
+        ),
+    ]
+}
+
+#[test]
+fn noise_matrix_keeps_every_pipelined_reply_byte_identical() {
+    let engine = shared_engine();
+    let mix = test_mix(&engine);
+
+    for (name, plan) in noise_schedules() {
+        let server = TestServer::start(ServeConfig::default(), Box::new(FaultPolicy::new(plan)));
+        let addr = server.addr;
+
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let mix = &mix;
+                let engine = &engine;
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .expect("read timeout");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    for burst in 0..4 {
+                        let mut lines = Vec::new();
+                        let mut bytes = Vec::new();
+                        for index in 0..6 {
+                            let line = &mix[(worker + burst * 2 + index) % mix.len()];
+                            lines.push(line.clone());
+                            bytes.extend_from_slice(line.as_bytes());
+                            bytes.push(b'\n');
+                        }
+                        (&stream).write_all(&bytes).expect("burst write");
+                        for line in &lines {
+                            let mut reply = String::new();
+                            let n = reader.read_line(&mut reply).expect("reply read");
+                            assert!(n > 0, "[{name}] connection died under a no-kill plan");
+                            assert_is_direct_execution(engine, line, reply.trim_end());
+                        }
+                    }
+                });
+            }
+        });
+
+        let report = server.stop();
+        assert_eq!(report.queries, 4 * 4 * 6, "[{name}] lost requests");
+        assert!(report.drained_cleanly, "[{name}] drain aborted");
+        assert!(
+            report.injected_faults > 0,
+            "[{name}] schedule injected nothing — the row tests nothing"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Matrix row: kills. Mid-stream resets may sever connections; clients
+// reconnect and re-issue. Nothing may wedge, and every reply that does
+// arrive over a surviving connection is byte-identical.
+// ---------------------------------------------------------------------
+
+#[test]
+fn aggressive_resets_lose_connections_not_correctness() {
+    let engine = shared_engine();
+    let mix = test_mix(&engine);
+    let server = TestServer::start(
+        ServeConfig::default(),
+        Box::new(FaultPolicy::new(FaultPlan::aggressive(33))),
+    );
+    let addr = server.addr;
+
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let mix = &mix;
+            let engine = &engine;
+            scope.spawn(move || {
+                // The workload: 24 requests that must each eventually be
+                // answered correctly, across however many connections
+                // the resets force.
+                let todo: Vec<&String> = (0..24)
+                    .map(|index| &mix[(worker + index) % mix.len()])
+                    .collect();
+                let mut answered = 0usize;
+                let mut reconnects = 0usize;
+                while answered < todo.len() {
+                    assert!(
+                        reconnects < 500,
+                        "retry budget exhausted: {answered}/{} answered",
+                        todo.len()
+                    );
+                    let Ok(stream) = TcpStream::connect(addr) else {
+                        reconnects += 1;
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    };
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .expect("read timeout");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    // Pipeline the whole remainder, then read until the
+                    // connection dies or the remainder is answered.
+                    let mut bytes = Vec::new();
+                    for line in &todo[answered..] {
+                        bytes.extend_from_slice(line.as_bytes());
+                        bytes.push(b'\n');
+                    }
+                    if (&stream).write_all(&bytes).is_err() {
+                        reconnects += 1;
+                        continue; // reset mid-send: reconnect, re-issue
+                    }
+                    while answered < todo.len() {
+                        let mut reply = String::new();
+                        match reader.read_line(&mut reply) {
+                            // A complete frame is sacred: byte-identical
+                            // or the server corrupted data under chaos.
+                            Ok(n) if n > 0 && reply.ends_with('\n') => {
+                                assert_is_direct_execution(
+                                    engine,
+                                    todo[answered],
+                                    reply.trim_end(),
+                                );
+                                answered += 1;
+                            }
+                            // EOF or a torn tail: the reset landed
+                            // mid-reply. The unacknowledged remainder is
+                            // re-issued on a fresh connection.
+                            Ok(_) => break,
+                            Err(_) => break,
+                        }
+                    }
+                    reconnects += 1;
+                }
+            });
+        }
+    });
+
+    let report = server.stop();
+    assert!(
+        report.injected_faults > 0,
+        "aggressive plan injected nothing"
+    );
+    // Every re-issued request was admitted afresh, so the server saw at
+    // least the workload total.
+    assert!(report.queries >= 4 * 24, "requests lost: {report:?}");
+}
+
+// ---------------------------------------------------------------------
+// Matrix row: overload. A one-worker server with a tiny admission
+// watermark sheds pipelined bursts with the typed `overloaded` error —
+// every request still gets exactly one reply, in order.
+// ---------------------------------------------------------------------
+
+#[test]
+fn watermark_sheds_bursts_with_typed_overloaded_errors() {
+    let engine = shared_engine();
+    let server = TestServer::start(
+        ServeConfig {
+            workers: 1,
+            queue_watermark: 1,
+            retry_hint_ms: 7,
+            ..ServeConfig::default()
+        },
+        Box::new(DirectIo),
+    );
+
+    let stream = TcpStream::connect(server.addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // One 32-request burst in a single write: the pump admits at most
+    // the watermark's worth and sheds the rest of the batch.
+    let line = "{\"query\": \"catalog\"}";
+    let burst = 32usize;
+    let mut bytes = Vec::new();
+    for _ in 0..burst {
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+    }
+    (&stream).write_all(&bytes).expect("burst write");
+
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    for _ in 0..burst {
+        let mut reply = String::new();
+        assert!(reader.read_line(&mut reply).expect("reply") > 0);
+        let reply = reply.trim_end();
+        match wire::overload_retry_ms(reply) {
+            Some(hint) => {
+                assert_eq!(hint, 7, "shed reply must carry the configured hint");
+                assert!(reply.contains("\"error\": \"overloaded\""), "{reply}");
+                shed += 1;
+            }
+            None => {
+                assert_is_direct_execution(&engine, line, reply);
+                served += 1;
+            }
+        }
+    }
+    assert!(served >= 1, "watermark shed the entire burst");
+    assert!(shed >= 1, "a 32-deep burst over watermark 1 never shed");
+
+    // The shed counter is observable over the wire, not just in the
+    // exit report.
+    (&stream)
+        .write_all(b"{\"query\": \"stats\"}\n")
+        .expect("stats");
+    let mut stats_reply = String::new();
+    reader.read_line(&mut stats_reply).expect("stats reply");
+    let stats = parse(stats_reply.trim_end()).expect("stats JSON");
+    let result = stats.get("result").expect("stats result");
+    assert_eq!(
+        result.get("shed").and_then(JsonValue::as_u64),
+        Some(shed as u64)
+    );
+
+    let report = server.stop();
+    assert_eq!(report.shed, shed as u64);
+    assert_eq!(report.queries, served as u64);
+}
+
+// ---------------------------------------------------------------------
+// Matrix row: deadlines. With a zero request deadline every admitted
+// job expires before its worker reaches it — the reply is the typed
+// `overloaded` envelope with reason `deadline`, never silence.
+// ---------------------------------------------------------------------
+
+#[test]
+fn expired_deadlines_answer_typed_overloaded_not_silence() {
+    let server = TestServer::start(
+        ServeConfig {
+            request_deadline: Duration::from_millis(0),
+            retry_hint_ms: 9,
+            ..ServeConfig::default()
+        },
+        Box::new(DirectIo),
+    );
+
+    let stream = TcpStream::connect(server.addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    for _ in 0..4 {
+        (&stream)
+            .write_all(b"{\"query\": \"catalog\"}\n")
+            .expect("send");
+        let mut reply = String::new();
+        assert!(reader.read_line(&mut reply).expect("reply") > 0);
+        let reply = reply.trim_end();
+        assert_eq!(wire::overload_retry_ms(reply), Some(9), "{reply}");
+        assert!(reply.contains("deadline"), "{reply}");
+    }
+
+    // Control queries bypass the worker queue: stats still answers.
+    (&stream)
+        .write_all(b"{\"query\": \"stats\"}\n")
+        .expect("stats");
+    let mut stats_reply = String::new();
+    reader.read_line(&mut stats_reply).expect("stats reply");
+    let stats = parse(stats_reply.trim_end()).expect("stats JSON");
+    assert_eq!(stats.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(
+        stats
+            .get("result")
+            .and_then(|result| result.get("deadline_expired"))
+            .and_then(JsonValue::as_u64),
+        Some(4)
+    );
+
+    let report = server.stop();
+    assert_eq!(report.deadline_expired, 4);
+}
+
+// ---------------------------------------------------------------------
+// Matrix row: accept-path EINTR. A policy that interrupts every other
+// accept call — the loop's `Interrupted => continue` arm must retry so
+// no connection is ever lost to a signal.
+// ---------------------------------------------------------------------
+
+/// Interrupts every odd-numbered accept call; everything else passes
+/// straight through.
+struct AcceptInterrupter {
+    accepts: u64,
+    injected: u64,
+}
+
+impl IoPolicy for AcceptInterrupter {
+    fn read(&mut self, conn: u64, stream: &TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+        DirectIo.read(conn, stream, buf)
+    }
+
+    fn write(&mut self, conn: u64, stream: &TcpStream, buf: &[u8]) -> io::Result<usize> {
+        DirectIo.write(conn, stream, buf)
+    }
+
+    fn accept(&mut self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
+        self.accepts += 1;
+        if self.accepts % 2 == 1 {
+            self.injected += 1;
+            return Err(io::Error::from(io::ErrorKind::Interrupted));
+        }
+        listener.accept()
+    }
+
+    fn poll(&mut self, fds: &mut [lfp::serve::sys::PollFd], timeout_ms: i32) -> io::Result<usize> {
+        DirectIo.poll(fds, timeout_ms)
+    }
+
+    fn counters(&self) -> FaultCounters {
+        FaultCounters {
+            eintr: self.injected,
+            ..FaultCounters::default()
+        }
+    }
+}
+
+#[test]
+fn interrupted_accepts_are_retried_never_dropped() {
+    let engine = shared_engine();
+    let server = TestServer::start(
+        ServeConfig::default(),
+        Box::new(AcceptInterrupter {
+            accepts: 0,
+            injected: 0,
+        }),
+    );
+
+    // Every one of these sequential connections hits at least one
+    // injected EINTR on the accept path (every other call interrupts,
+    // and each accepted connection consumes exactly one successful
+    // call), yet all of them must be served.
+    let line = "{\"query\": \"transitions\"}";
+    for _ in 0..12 {
+        let stream = TcpStream::connect(server.addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        (&stream)
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut reply = String::new();
+        assert!(reader.read_line(&mut reply).expect("reply") > 0);
+        assert_is_direct_execution(&engine, line, reply.trim_end());
+    }
+
+    let report = server.stop();
+    assert_eq!(report.accepted, 12);
+    assert!(
+        report.injected_faults >= 12,
+        "every connection should have cost one interrupted accept: {report:?}"
+    );
+}
