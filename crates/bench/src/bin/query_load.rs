@@ -3,8 +3,9 @@
 //! ```text
 //! query-load [--addr 127.0.0.1:7377] [--connections 512] [--pipeline 16]
 //!            [--requests-per-conn 200] [--churn-every 0] [--distinct 64]
-//!            [--wait-secs 30] [--deadline-secs 180]
-//!            [--phase serve] [--bench-json BENCH_campaign.json] [--shutdown]
+//!            [--wait-secs 30] [--deadline-secs 180] [--threads 1]
+//!            [--phase serve] [--scaling-loops N]
+//!            [--bench-json BENCH_campaign.json] [--shutdown]
 //! ```
 //!
 //! Where `query-bench` is a *closed-loop* client (one request per round
@@ -12,10 +13,11 @@
 //! the hostile schedule the event-loop daemon exists for: hundreds of
 //! concurrent connections, each keeping `--pipeline` requests in flight
 //! without waiting for answers, optionally tearing the connection down
-//! and reconnecting every `--churn-every` responses. All connections
-//! are multiplexed from **one thread** over the same `poll(2)` layer
-//! the server uses (`lfp_serve::sys`), so the generator itself stays
-//! cheap at 512+ sockets.
+//! and reconnecting every `--churn-every` responses. Connections are
+//! multiplexed over the same `poll(2)` layer the server uses
+//! (`lfp_serve::sys`) from `--threads N` driver threads (default one —
+//! cheap at 512+ sockets; raise it when one generator core cannot
+//! saturate a multi-loop daemon).
 //!
 //! Results land in `BENCH_campaign.json` under `--phase` (default
 //! `serve`). When writing the `serve` phase and a `serve_baseline`
@@ -23,6 +25,13 @@
 //! with `--phase serve_baseline`) is present, the phase also records
 //! the baseline throughput and the event-loop/baseline ratio CI
 //! asserts on.
+//!
+//! `--scaling-loops N` tags the run as one cell of the **serve scaling
+//! sweep** (the daemon is expected to be running with `--loops N`): the
+//! run additionally merges a `loops{N}_conns{C}` cell into the
+//! `serve_scaling` phase, and once both the `loops1_conns512` and
+//! `loops4_conns512` cells are present the phase records
+//! `speedup_4loops_512` — the multi-loop scaling ratio CI asserts on.
 //!
 //! `--chaos` switches to the resilient-client scenario: the daemon is
 //! expected to be running under a fault-injecting I/O policy and/or an
@@ -65,6 +74,8 @@ fn main() {
     let mut chaos = false;
     let mut seed = 1u64;
     let mut retry_budget = 100_000u64;
+    let mut threads = 1usize;
+    let mut scaling_loops: Option<u64> = None;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -90,6 +101,8 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("--bench-json needs a path"))
             }
+            "--threads" => threads = parse_number(args.next(), "--threads"),
+            "--scaling-loops" => scaling_loops = Some(parse_number(args.next(), "--scaling-loops")),
             "--shutdown" => shutdown = true,
             "--chaos" => chaos = true,
             "--seed" => seed = parse_number(args.next(), "--seed"),
@@ -100,6 +113,7 @@ fn main() {
     let connections = connections.max(1);
     let pipeline = pipeline.max(1);
     let requests_per_conn = requests_per_conn.max(1);
+    let threads = threads.clamp(1, connections);
     let phase_name = phase_name.unwrap_or_else(|| {
         if chaos {
             "chaos".to_string()
@@ -186,7 +200,7 @@ fn main() {
         (run.lost > 0 || run.retry_budget_remaining == 0) as i32
     } else {
         // -- timed open-loop run --------------------------------------
-        let run = drive(
+        let run = drive_multi(
             &addr,
             &mix,
             connections,
@@ -194,6 +208,7 @@ fn main() {
             requests_per_conn,
             churn_every,
             Duration::from_secs(deadline_secs),
+            threads,
         );
         let qps = run.ok as f64 / run.seconds.max(1e-9);
         let (p50, p90, p99, max) = (
@@ -221,6 +236,17 @@ fn main() {
             qps,
             (p50, p90, p99, max),
         );
+        if let Some(loops) = scaling_loops {
+            write_scaling_cell(
+                &bench_json,
+                loops,
+                connections,
+                run.ok,
+                run.errors,
+                run.seconds,
+                qps,
+            );
+        }
         (run.errors > 0) as i32
     };
 
@@ -307,8 +333,8 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "usage: query-load [--addr HOST:PORT] [--connections N] [--pipeline N] \
          [--requests-per-conn N] [--churn-every N] [--distinct N] [--wait-secs N] \
-         [--deadline-secs N] [--phase NAME] [--bench-json PATH] [--shutdown] \
-         [--chaos] [--seed N] [--retry-budget N]"
+         [--deadline-secs N] [--threads N] [--phase NAME] [--scaling-loops N] \
+         [--bench-json PATH] [--shutdown] [--chaos] [--seed N] [--retry-budget N]"
     );
     std::process::exit(2);
 }
@@ -472,8 +498,20 @@ impl LoadConn {
     }
 
     /// At a churn point with an empty pipeline: tear down and reconnect.
+    ///
+    /// A connection that finished (or failed) while its churn was still
+    /// pending must never reconnect: replacing `self` resets `done`,
+    /// which would resurrect a budget-complete connection as a zombie
+    /// that can neither fill nor finish — pinning the drive loop until
+    /// its hard deadline. The collision is easy to hit when a churn
+    /// point lands inside the final pipelined batch.
     fn churn_if_due(&mut self, addr: &str) -> bool {
-        if !self.want_churn || self.queued != self.answered || !self.out.is_empty() {
+        if !self.live()
+            || self.answered >= self.budget
+            || !self.want_churn
+            || self.queued != self.answered
+            || !self.out.is_empty()
+        {
             return false;
         }
         let Some(fresh) = LoadConn::open(addr, self.budget, self.churn_every, self.mix_cursor)
@@ -496,6 +534,77 @@ struct RunResult {
     churn_events: u64,
     seconds: f64,
     latencies_us: Vec<u64>,
+}
+
+/// Split the fleet across `threads` driver threads (each running the
+/// single-threaded [`drive`] over its own slice of connections) and
+/// merge the results. One thread is the historical layout and skips
+/// the scaffolding; more are for sweeps where a single generator core
+/// would be the bottleneck before a multi-loop daemon is.
+#[allow(clippy::too_many_arguments)]
+fn drive_multi(
+    addr: &str,
+    mix: &[String],
+    connections: usize,
+    pipeline: usize,
+    requests_per_conn: usize,
+    churn_every: usize,
+    deadline: Duration,
+    threads: usize,
+) -> RunResult {
+    if threads <= 1 {
+        return drive(
+            addr,
+            mix,
+            connections,
+            pipeline,
+            requests_per_conn,
+            churn_every,
+            deadline,
+        );
+    }
+    let started = Instant::now();
+    let results: Vec<RunResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for index in 0..threads {
+            // Spread the remainder over the first few threads so every
+            // connection is driven by exactly one thread.
+            let share = connections / threads + usize::from(index < connections % threads);
+            if share == 0 {
+                continue;
+            }
+            handles.push(scope.spawn(move || {
+                drive(
+                    addr,
+                    mix,
+                    share,
+                    pipeline,
+                    requests_per_conn,
+                    churn_every,
+                    deadline,
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("driver thread panicked"))
+            .collect()
+    });
+    let mut merged = RunResult {
+        ok: 0,
+        errors: 0,
+        churn_events: 0,
+        seconds: started.elapsed().as_secs_f64(),
+        latencies_us: Vec::new(),
+    };
+    for result in results {
+        merged.ok += result.ok;
+        merged.errors += result.errors;
+        merged.churn_events += result.churn_events;
+        merged.latencies_us.extend(result.latencies_us);
+    }
+    merged.latencies_us.sort_unstable();
+    merged
 }
 
 /// Multiplex every connection from this one thread until all budgets
@@ -983,6 +1092,64 @@ fn write_chaos_phase(
     let phase = parse(&phase.finish()).expect("phase JSON is valid");
     merge_bench_phase(path, phase_name, phase, Some(run.seconds));
     eprintln!("wrote {phase_name} phase to {path}");
+}
+
+/// Merge one cell of the serve scaling sweep into the `serve_scaling`
+/// phase: cells accumulate across runs under `loops{N}_conns{C}` keys,
+/// and once the 1-loop and 4-loop cells at 512 connections are both
+/// present the phase records `speedup_4loops_512` — the scaling ratio
+/// CI asserts on.
+fn write_scaling_cell(
+    path: &str,
+    loops: u64,
+    connections: usize,
+    ok: u64,
+    errors: u64,
+    seconds: f64,
+    qps: f64,
+) {
+    let key = format!("loops{loops}_conns{connections}");
+    let mut cell = JsonBuilder::object();
+    cell.integer("loops", loops);
+    cell.integer("connections", connections as u64);
+    cell.integer("queries", ok);
+    cell.integer("errors", errors);
+    cell.number("seconds", seconds);
+    cell.number("qps", qps);
+
+    // Carry every other cell of the grid over from earlier runs.
+    let mut grid: Vec<(String, String)> = Vec::new();
+    if let Some(previous) = read_bench_phase(path, "serve_scaling") {
+        if let Some(entries) = previous.as_object() {
+            for (name, value) in entries {
+                if name.starts_with("loops") && name != &key {
+                    grid.push((name.clone(), value.render()));
+                }
+            }
+        }
+    }
+    grid.push((key, cell.finish()));
+    grid.sort();
+
+    let qps_of = |name: &str| -> Option<f64> {
+        let (_, raw) = grid.iter().find(|(cell_name, _)| cell_name == name)?;
+        parse(raw).ok()?.get("qps").and_then(JsonValue::as_f64)
+    };
+    let speedup = match (qps_of("loops1_conns512"), qps_of("loops4_conns512")) {
+        (Some(single), Some(quad)) => Some(quad / single.max(1e-9)),
+        _ => None,
+    };
+
+    let mut phase = JsonBuilder::object();
+    for (name, raw) in grid {
+        phase.raw(&name, raw);
+    }
+    if let Some(speedup) = speedup {
+        phase.number("speedup_4loops_512", speedup);
+    }
+    let phase = parse(&phase.finish()).expect("phase JSON is valid");
+    merge_bench_phase(path, "serve_scaling", phase, Some(seconds));
+    eprintln!("merged serve_scaling cell loops{loops}_conns{connections} into {path}");
 }
 
 /// Insert/replace the phase in the bench artefact. The `serve` phase

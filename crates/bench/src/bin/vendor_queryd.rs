@@ -3,7 +3,7 @@
 //! ```text
 //! vendor-queryd [--scale tiny|small|paper|path-stress|query-stress|ingest-stress]
 //!               [--addr 127.0.0.1] [--port 7377]
-//!               [--workers N] [--max-connections N] [--max-inflight N]
+//!               [--loops N] [--workers N] [--max-connections N] [--max-inflight N]
 //!               [--write-buffer-cap BYTES] [--drain-timeout-ms N]
 //!               [--queue-watermark N] [--request-deadline-ms N]
 //!               [--retry-hint-ms N]
@@ -23,13 +23,19 @@
 //! [`FaultPolicy`](lfp_serve::FaultPolicy) between the event loop and
 //! the kernel — the daemon then injects short reads/writes, `EINTR`,
 //! spurious wakeups, resets and write stalls against itself, which is
-//! what `query-load --chaos` drives in CI. Event loop only.
+//! what `query-load --chaos` drives in CI. With multiple loops each
+//! shard runs an **independent lane** of the seeded schedule
+//! (`seed ⊕ shard_id` — see the determinism contract in
+//! `lfp_serve::policy`), so multi-loop chaos runs stay replayable.
+//! Event loop only.
 //!
 //! Serves the line protocol (see `lfp_query::wire`): one JSON query per
 //! line in, one JSON result per line out. By default the daemon runs on
-//! the **readiness-driven event loop** from `lfp-serve` — one loop
-//! thread multiplexing every connection over `poll(2)`, a fixed worker
-//! pool executing queries, pipelining and per-connection backpressure,
+//! the **sharded readiness-driven core** from `lfp-serve` — an
+//! acceptor distributing connections round-robin across `--loops N`
+//! independent event loops (default 1; `0` sizes from the machine),
+//! each multiplexing its connections over `poll(2)` with its own
+//! worker pool, pipelining and per-connection backpressure,
 //! slow-reader eviction, and a graceful drain on shutdown. `--threaded`
 //! selects the legacy thread-per-connection core instead (kept as the
 //! baseline the `serve` bench phase compares against). `--port 0` binds
@@ -112,6 +118,10 @@ fn main() {
             }
             "--addr" => addr = args.next().unwrap_or_else(|| usage("--addr needs a host")),
             "--port" => port = parse_number(args.next(), "--port"),
+            "--loops" => {
+                config.loops = parse_number(args.next(), "--loops");
+                tuned_event_loop = true;
+            }
             "--workers" => {
                 config.workers = parse_number(args.next(), "--workers");
                 tuned_event_loop = true;
@@ -210,42 +220,50 @@ fn main() {
         }
         serve_threaded(&addr, port, &scale_name, &store);
     } else {
-        let policy: Box<dyn IoPolicy> = match fault_profile.as_deref() {
-            Some(name) => {
-                let plan = FaultPlan::by_name(name, fault_seed)
-                    .unwrap_or_else(|| usage("--fault-profile must be quiet, light or aggressive"));
-                eprintln!("fault injection armed: profile {name}, seed {fault_seed}");
-                Box::new(FaultPolicy::new(plan))
-            }
-            None => Box::new(DirectIo),
-        };
-        serve_event_loop(&addr, port, &scale_name, config, store, policy);
+        let fault_plan = fault_profile.as_deref().map(|name| {
+            let plan = FaultPlan::by_name(name, fault_seed)
+                .unwrap_or_else(|| usage("--fault-profile must be quiet, light or aggressive"));
+            eprintln!(
+                "fault injection armed: profile {name}, seed {fault_seed} \
+                 (lane seed ⊕ shard per loop)"
+            );
+            plan
+        });
+        serve_event_loop(&addr, port, &scale_name, config, store, fault_plan);
     }
 }
 
-/// The default serving core: the `lfp-serve` readiness loop.
+/// The default serving core: the sharded `lfp-serve` readiness loops.
+/// Each shard gets its own fault lane (`seed ⊕ shard_id`) when a plan
+/// is armed, so a multi-loop chaos run is exactly as replayable as a
+/// single-loop one.
 fn serve_event_loop(
     addr: &str,
     port: u16,
     scale_name: &str,
     config: ServeConfig,
     store: Arc<Store>,
-    policy: Box<dyn IoPolicy>,
+    fault_plan: Option<FaultPlan>,
 ) {
     let engine_store = Arc::clone(&store);
     let source: Arc<dyn EngineSource> = Arc::new(move || engine_store.engine());
     let server =
-        Server::bind_with_policy((addr, port), config, source, policy).unwrap_or_else(|error| {
+        Server::bind_with_policy_factory((addr, port), config, source, |shard| match fault_plan {
+            Some(plan) => Box::new(FaultPolicy::new(plan.lane(shard as u64))),
+            None => Box::new(DirectIo) as Box<dyn IoPolicy>,
+        })
+        .unwrap_or_else(|error| {
             eprintln!("cannot bind {addr}:{port}: {error}");
             std::process::exit(1);
         });
     // The readiness line clients and CI wait for — keep it stable.
     println!(
         "vendor-queryd listening on {} (scale {scale_name}, {} paths, epoch {}, \
-         event loop, {} workers)",
+         event loop, {} loops, {} workers)",
         server.local_addr(),
         store.engine().corpus().len(),
         store.epoch(),
+        server.loop_count(),
         server.worker_count(),
     );
     std::io::stdout().flush().ok();
@@ -255,8 +273,8 @@ fn serve_event_loop(
     eprintln!(
         "drained and stopped at epoch {}: {} connections, {} queries, {} control, \
          {} evicted, {} shed, {} deadline-expired, {} injected faults, \
-         drained_cleanly={} ({} loop iterations, {} reads / {} bytes in, \
-         {} cache entries, {} hits / {} misses)",
+         {}/{} shards drained, drained_cleanly={} ({} loop iterations, \
+         {} reads / {} bytes in, {} cache entries, {} hits / {} misses)",
         store.epoch(),
         report.accepted,
         report.queries,
@@ -265,6 +283,8 @@ fn serve_event_loop(
         report.shed,
         report.deadline_expired,
         report.injected_faults,
+        report.shards_drained,
+        report.loops,
         report.drained_cleanly,
         report.iterations,
         report.socket_reads,
@@ -440,7 +460,7 @@ fn usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: vendor-queryd [--scale NAME] [--addr HOST] [--port N] \
-         [--workers N] [--max-connections N] [--max-inflight N] \
+         [--loops N] [--workers N] [--max-connections N] [--max-inflight N] \
          [--write-buffer-cap BYTES] [--drain-timeout-ms N] \
          [--queue-watermark N] [--request-deadline-ms N] [--retry-hint-ms N] \
          [--fault-seed N] [--fault-profile quiet|light|aggressive] \

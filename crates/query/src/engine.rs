@@ -164,15 +164,23 @@ impl QueryEngine {
     /// else compute, render and store. Errors (unknown source dataset)
     /// are not cached.
     pub fn execute(&self, query: &Query) -> Result<Response, String> {
+        self.execute_lane(query, 0)
+    }
+
+    /// [`execute`](QueryEngine::execute) with an explicit cache lane.
+    /// A multi-loop server passes its event-loop shard id so each loop
+    /// keeps its hot working set on its own cache shards (see
+    /// [`ShardedLru::get_lane`]); results are identical bytes either way.
+    pub fn execute_lane(&self, query: &Query, lane: u64) -> Result<Response, String> {
         let key = self.canonical(query);
-        if let Some(payload) = self.cache.get(&key) {
+        if let Some(payload) = self.cache.get_lane(&key, lane) {
             return Ok(Response {
                 payload,
                 cached: true,
             });
         }
         let payload: Arc<str> = Arc::from(self.compute(query)?);
-        self.cache.insert(&key, Arc::clone(&payload));
+        self.cache.insert_lane(&key, Arc::clone(&payload), lane);
         Ok(Response {
             payload,
             cached: false,

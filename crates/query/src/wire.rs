@@ -365,11 +365,24 @@ fn decode_hops(field: &JsonValue, name: &str) -> Result<u16, String> {
 /// Render the success envelope for an answered query. `canonical` and
 /// the response payload are already-rendered JSON and embed raw.
 pub fn ok_envelope(canonical: &str, response: &Response) -> String {
-    format!(
-        "{{\"ok\": true, \"cached\": {}, \"query\": {canonical}, \"result\": {}}}",
-        response.cached, response.payload
-    )
+    let mut line = ok_envelope_head(canonical, response.cached);
+    line.push_str(&response.payload);
+    line.push_str(OK_ENVELOPE_TAIL);
+    line
 }
+
+/// Everything of the success envelope *before* the result payload.
+/// A server that already holds the rendered payload as shared bytes
+/// (`Arc<str>` out of the result cache) can write
+/// `head ++ payload ++ OK_ENVELOPE_TAIL` with one vectored write instead
+/// of copying the payload into a fresh `String` — the concatenation is
+/// byte-identical to [`ok_envelope`] by construction.
+pub fn ok_envelope_head(canonical: &str, cached: bool) -> String {
+    format!("{{\"ok\": true, \"cached\": {cached}, \"query\": {canonical}, \"result\": ")
+}
+
+/// Everything of the success envelope *after* the result payload.
+pub const OK_ENVELOPE_TAIL: &str = "}";
 
 /// Render the failure envelope.
 pub fn error_envelope(message: &str) -> String {
@@ -625,6 +638,24 @@ mod tests {
             parsed.get("error").unwrap().as_str(),
             Some("bad \"thing\"\nhappened\u{2028}")
         );
+    }
+
+    #[test]
+    fn envelope_head_and_tail_reassemble_byte_identically() {
+        for cached in [false, true] {
+            let response = Response {
+                payload: Arc::from(r#"{"paths": 3, "nested": [1, 2]}"#),
+                cached,
+            };
+            let canonical = "{\"query\":\"catalog\",\"epoch\":7}";
+            let assembled = format!(
+                "{}{}{}",
+                ok_envelope_head(canonical, cached),
+                response.payload,
+                OK_ENVELOPE_TAIL
+            );
+            assert_eq!(assembled, ok_envelope(canonical, &response));
+        }
     }
 
     #[test]

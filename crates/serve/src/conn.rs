@@ -18,17 +18,72 @@
 //! connection whose write buffer outgrows `write_buffer_cap` (a slow or
 //! stalled reader) is **evicted** — buffering for it would let one
 //! client hold server memory hostage.
+//!
+//! ## The zero-copy flush path
+//!
+//! Responses queue as **segments**, not flat bytes. A cache-served
+//! answer stays three segments long — the envelope head (small, owned),
+//! the rendered result payload (`Arc<str>` straight out of the result
+//! cache, never copied), and a static tail+newline — and
+//! [`Conn::try_write`] hands the segment run to the I/O policy's
+//! `write_vectored` (one `writev(2)` under [`DirectIo`]). The hot path
+//! for a hot key therefore copies the payload bytes zero times between
+//! the cache and the kernel, at any fan-out.
+//!
+//! [`DirectIo`]: crate::policy::DirectIo
 
 use crate::policy::IoPolicy;
 use lfp_query::FrameDecoder;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::IoSlice;
 use std::net::TcpStream;
 use std::os::fd::{AsRawFd, RawFd};
+use std::sync::Arc;
 
 /// Read at most this much from one connection per event-loop iteration,
 /// so a firehose client cannot starve its neighbours (poll is
 /// level-triggered: leftovers surface next iteration).
 const READ_BUDGET: usize = 64 * 1024;
+
+/// One response, as the pipeline reassembles it. Control replies and
+/// error envelopes are single owned strings; answered queries keep the
+/// cache-resident result bytes shared so flushing never copies them.
+#[derive(Debug, Clone)]
+pub(crate) enum Payload {
+    /// A fully rendered line (control acks, errors, sheds).
+    Owned(String),
+    /// `head ++ body ++ "}"`: the success envelope split around the
+    /// cache-resident payload (see `lfp_query::ok_envelope_head`).
+    Rendered { head: String, body: Arc<str> },
+}
+
+/// One queued wire segment. The enum exists so a segment can borrow
+/// nothing: owned envelope fragments, shared cache bytes, and the
+/// static tail all coexist in one `VecDeque`.
+#[derive(Debug)]
+enum Seg {
+    Owned(String),
+    Shared(Arc<str>),
+    Static(&'static [u8]),
+}
+
+impl Seg {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Seg::Owned(s) => s.as_bytes(),
+            Seg::Shared(s) => s.as_bytes(),
+            Seg::Static(b) => b,
+        }
+    }
+}
+
+/// The success-envelope tail plus the line terminator, queued as one
+/// static segment.
+const RENDERED_TAIL: &[u8] = b"}\n";
+
+/// At most this many segments per gathered write — comfortably under
+/// every platform's `IOV_MAX`, and five pipelined cache hits deep.
+const MAX_GATHER_SEGS: usize = 16;
 
 /// Why a connection was taken out of the loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,10 +107,14 @@ pub(crate) struct Conn {
     /// Sequence number whose response is the next to enter `write_buf`.
     next_flush: u64,
     /// Completed responses waiting for their turn (keyed by seq).
-    done: BTreeMap<u64, String>,
-    /// Bytes ready for the socket; `write_pos..` is still unsent.
-    write_buf: Vec<u8>,
-    write_pos: usize,
+    done: BTreeMap<u64, Payload>,
+    /// Wire segments ready for the socket, oldest first; the front
+    /// segment is already sent up to `front_pos`.
+    out: VecDeque<Seg>,
+    front_pos: usize,
+    /// Unsent bytes across `out` (the quantity `write_buffer_cap`
+    /// bounds), maintained incrementally so the cap check stays O(1).
+    out_bytes: usize,
     /// No more requests will be accepted (EOF, `quit`, or a framing
     /// error that ends the conversation). Pending responses still flush.
     pub(crate) read_closed: bool,
@@ -80,8 +139,9 @@ impl Conn {
             next_assign: 0,
             next_flush: 0,
             done: BTreeMap::new(),
-            write_buf: Vec::new(),
-            write_pos: 0,
+            out: VecDeque::new(),
+            front_pos: 0,
+            out_bytes: 0,
             read_closed: false,
             eof_handled: false,
             fatal: false,
@@ -103,7 +163,7 @@ impl Conn {
 
     /// Record the response for `seq` (from a worker, or synthesised
     /// in-loop for control queries and framing errors).
-    pub(crate) fn complete(&mut self, seq: u64, payload: String) {
+    pub(crate) fn complete(&mut self, seq: u64, payload: Payload) {
         self.done.insert(seq, payload);
     }
 
@@ -121,12 +181,12 @@ impl Conn {
 
     /// Whether unsent response bytes are pending.
     pub(crate) fn wants_write(&self) -> bool {
-        self.write_pos < self.write_buf.len()
+        self.out_bytes > 0
     }
 
     /// Unsent response bytes currently buffered.
     pub(crate) fn buffered_write_bytes(&self) -> usize {
-        self.write_buf.len() - self.write_pos
+        self.out_bytes
     }
 
     /// Every accepted request answered and flushed to the socket.
@@ -174,34 +234,74 @@ impl Conn {
         }
     }
 
-    /// Move every response whose turn has come from `done` into the
-    /// write buffer, newline-framed. The write-buffer cap is checked by
-    /// the caller *after* the socket has had a chance to drain — a
-    /// healthy reader must never be evicted for a burst the kernel
-    /// would have absorbed.
+    /// Move every response whose turn has come from `done` onto the
+    /// outbound segment queue, newline-framed. Owned payloads queue as
+    /// one segment (the newline folded in); rendered payloads queue as
+    /// head / shared body / static tail, so the cache bytes are never
+    /// copied. The write-buffer cap is checked by the caller *after*
+    /// the socket has had a chance to drain — a healthy reader must
+    /// never be evicted for a burst the kernel would have absorbed.
     pub(crate) fn flush_ready(&mut self) {
         while let Some(payload) = self.done.remove(&self.next_flush) {
-            self.write_buf.extend_from_slice(payload.as_bytes());
-            self.write_buf.push(b'\n');
+            match payload {
+                Payload::Owned(mut line) => {
+                    line.push('\n');
+                    self.out_bytes += line.len();
+                    self.out.push_back(Seg::Owned(line));
+                }
+                Payload::Rendered { head, body } => {
+                    self.out_bytes += head.len() + body.len() + RENDERED_TAIL.len();
+                    self.out.push_back(Seg::Owned(head));
+                    self.out.push_back(Seg::Shared(body));
+                    self.out.push_back(Seg::Static(RENDERED_TAIL));
+                }
+            }
             self.next_flush += 1;
         }
     }
 
-    /// Once the already-sent prefix outgrows this, compact the buffer
-    /// instead of letting it grow for the connection's lifetime (the
-    /// cap bounds only *unsent* bytes).
-    const COMPACT_THRESHOLD: usize = 64 * 1024;
+    /// Drop `n` accepted bytes off the front of the segment queue.
+    fn advance_out(&mut self, mut n: usize) {
+        self.out_bytes -= n;
+        while n > 0 {
+            let front_len = self
+                .out
+                .front()
+                .expect("advance past queue end")
+                .bytes()
+                .len();
+            let remaining = front_len - self.front_pos;
+            if n < remaining {
+                self.front_pos += n;
+                return;
+            }
+            n -= remaining;
+            self.front_pos = 0;
+            self.out.pop_front();
+        }
+    }
 
-    /// Push buffered bytes to the socket (through the I/O `policy`)
-    /// until it stops accepting them. Sets `fatal` on error.
+    /// Push queued segments to the socket with gathered writes (through
+    /// the I/O `policy`) until it stops accepting them. Sets `fatal` on
+    /// error.
     pub(crate) fn try_write(&mut self, id: u64, policy: &mut dyn IoPolicy) {
         while self.wants_write() {
-            match policy.write(id, &self.stream, &self.write_buf[self.write_pos..]) {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_GATHER_SEGS);
+            for (index, seg) in self.out.iter().take(MAX_GATHER_SEGS).enumerate() {
+                let bytes = seg.bytes();
+                let bytes = if index == 0 {
+                    &bytes[self.front_pos..]
+                } else {
+                    bytes
+                };
+                slices.push(IoSlice::new(bytes));
+            }
+            match policy.write_vectored(id, &self.stream, &slices) {
                 Ok(0) => {
                     self.fatal = true;
                     return;
                 }
-                Ok(n) => self.write_pos += n,
+                Ok(n) => self.advance_out(n),
                 Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(error) if error.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -209,13 +309,6 @@ impl Conn {
                     return;
                 }
             }
-        }
-        if !self.wants_write() {
-            self.write_buf.clear();
-            self.write_pos = 0;
-        } else if self.write_pos >= Self::COMPACT_THRESHOLD {
-            self.write_buf.drain(..self.write_pos);
-            self.write_pos = 0;
         }
     }
 }

@@ -1,34 +1,48 @@
-//! # lfp-serve — the readiness-driven serving core
+//! # lfp-serve — the sharded, readiness-driven serving core
 //!
 //! `vendor-queryd` began as a thread-per-connection daemon: fine for a
 //! handful of analysts, hopeless for the bursty, pipelined fan-in the
 //! path-level analyses attract once they are a *service*. A thread per
 //! socket means a stack per idle client, a scheduler fight per burst,
 //! and no way to bound what a slow reader costs. This crate rebuilds
-//! the serving half of the stack around **readiness**:
+//! the serving half of the stack around **readiness**, layered so it
+//! saturates every core:
 //!
-//! * [`sys`] — a thin `poll(2)` wrapper (the workspace's only `unsafe`,
-//!   one FFI call; std-only rule intact — no new dependencies),
-//! * [`policy`] — the [`IoPolicy`] seam between the loop and the
+//! * [`sys`] — thin `poll(2)` / `writev(2)` wrappers (the workspace's
+//!   only `unsafe`, two FFI calls; std-only rule intact — no new
+//!   dependencies),
+//! * [`policy`] — the [`IoPolicy`] seam between the loops and the
 //!   kernel: [`DirectIo`] passes through at zero cost in production,
 //!   [`FaultPolicy`] injects a seeded, schedule-driven stream of
 //!   short I/O, `EINTR`/`EAGAIN`, spurious wakeups, resets and write
-//!   stalls for reproducible chaos testing,
+//!   stalls for reproducible chaos testing — with an independent,
+//!   replayable **lane** per shard ([`FaultPlan::lane`]),
 //! * `conn` *(internal)* — per-connection state machines: an
 //!   incremental [`FrameDecoder`](lfp_query::FrameDecoder) accumulating
 //!   partial frames, sequence-numbered pipelining, in-order response
-//!   reassembly, bounded write buffers with slow-client eviction,
-//! * [`server`] — [`Server`]: one event-loop thread (accept + decode +
-//!   reassemble + write) feeding a fixed worker pool that executes
-//!   queries against the engine fetched per request from an
-//!   [`EngineSource`] — so store epoch swaps land mid-pipeline without
-//!   torn responses.
+//!   reassembly as zero-copy segment queues (cache-resident result
+//!   bytes flush through gathered writes, never copied), bounded write
+//!   buffers with slow-client eviction,
+//! * `accept` *(internal)* — the acceptor loop: accept, configure,
+//!   hand each stream to a shard round-robin by accept order,
+//! * `shard` *(internal)* — one independent event loop per shard: its
+//!   own poll set, wake pipe, worker pool, fault lane and result-cache
+//!   lane; decode + reassemble + write for exactly the connections it
+//!   owns,
+//! * [`server`] — [`Server`]: the thin supervisor that binds the
+//!   listener, spawns `loops` shards, runs the acceptor, fans out
+//!   shutdown/drain through one control plane, and merges per-shard
+//!   counters into the final report and the `stats` reply (with a
+//!   `per_shard` breakdown). Workers execute queries against the
+//!   engine fetched per request from an [`EngineSource`] — so store
+//!   epoch swaps land mid-pipeline without torn responses.
 //!
 //! Graceful shutdown is a first-class state: the `shutdown` control
-//! query stops accepting and reading, *drains every accepted request on
-//! every connection* through the pool and out the sockets, then closes
-//! the listener. A `stats` control query reports connections, queue
-//! depths and the serving epoch straight from the loop.
+//! query (on any shard) stops accepting and reading everywhere,
+//! *drains every accepted request on every connection of every shard*
+//! through the pools and out the sockets, then closes the listener. A
+//! `stats` control query reports aggregate connections, queue depths
+//! and the serving epoch, plus one row per shard.
 //!
 //! ```no_run
 //! use lfp_analysis::World;
@@ -39,7 +53,8 @@
 //!
 //! let engine = Arc::new(QueryEngine::new(Arc::new(World::build(Scale::tiny()))));
 //! let source: Arc<dyn EngineSource> = Arc::new(move || Arc::clone(&engine));
-//! let server = Server::bind("127.0.0.1:0", ServeConfig::default(), source)?;
+//! let config = ServeConfig { loops: 4, ..ServeConfig::default() };
+//! let server = Server::bind("127.0.0.1:0", config, source)?;
 //! println!("listening on {}", server.local_addr());
 //! server.run(); // blocks until a shutdown control query drains it
 //! # Ok::<(), std::io::Error>(())
@@ -48,9 +63,11 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub(crate) mod accept;
 pub(crate) mod conn;
 pub mod policy;
 pub mod server;
+pub(crate) mod shard;
 pub mod sys;
 
 pub use policy::{DirectIo, FaultCounters, FaultPlan, FaultPolicy, IoPolicy};

@@ -18,11 +18,30 @@
 //! shrink the buffer handed to the real syscall and resets kill the
 //! connection outright — which is what makes the chaos invariant
 //! ("every surviving response is byte-identical") meaningful.
+//!
+//! ## Determinism contract under multi-loop serving
+//!
+//! A [`FaultPolicy`]'s schedule is indexed by its **own** I/O call
+//! counter: the decision for call *n* is `f(seed, n)`, full stop. With
+//! one event loop that made whole runs replayable; with N shard loops a
+//! single shared counter would interleave nondeterministically (shard
+//! scheduling is OS-dependent), so the contract is **per shard**: each
+//! shard loop owns a private `FaultPolicy` seeded with
+//! [`FaultPlan::lane`]`(shard_id)` — `seed ⊕ shard_id`, diffused to an
+//! independent schedule by the splitmix64 draw — and its schedule
+//! depends only on (lane seed, that shard's own call sequence). A
+//! connection's fault history is therefore a pure function
+//! of `(base seed, the shard it landed on, its I/O interleaving within
+//! that shard)`; with round-robin accept distribution the shard a
+//! connection lands on is its accept index mod N, so chaos runs stay
+//! replayable at any loop count. Lane 0 keeps the historical
+//! single-loop schedule: `lane(0)` returns the plan unchanged.
 
-use crate::sys::{poll_fds, PollFd};
+use crate::sys::{poll_fds, writev_fd, PollFd};
 use std::collections::HashMap;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 
 /// SplitMix64: the one PRNG step the fault schedule needs (kept local
 /// so `lfp-serve` stays dependency-light; the constant-by-constant form
@@ -105,6 +124,17 @@ impl FaultPlan {
         }
     }
 
+    /// This plan re-seeded for one shard loop's independent fault lane:
+    /// `seed ⊕ shard_id` (see the module docs for the multi-loop
+    /// determinism contract). The fault odds are unchanged — every
+    /// shard runs the same *plan*, each on its own replayable
+    /// *schedule*. `lane(0)` is the identity, so single-loop runs keep
+    /// their historical schedules.
+    pub fn lane(mut self, shard_id: u64) -> FaultPlan {
+        self.seed ^= shard_id;
+        self
+    }
+
     /// A plan by profile name (the `--fault-profile` flag).
     pub fn by_name(name: &str, seed: u64) -> Option<FaultPlan> {
         match name {
@@ -160,6 +190,25 @@ pub trait IoPolicy: Send {
     fn read(&mut self, conn: u64, stream: &TcpStream, buf: &mut [u8]) -> io::Result<usize>;
     /// Write a connection's pending bytes to its socket.
     fn write(&mut self, conn: u64, stream: &TcpStream, buf: &[u8]) -> io::Result<usize>;
+    /// Gather-write a connection's pending segments to its socket.
+    ///
+    /// The default forwards the first non-empty segment to
+    /// [`write`](IoPolicy::write), so a policy that only overrides the
+    /// scalar path (every pre-existing custom test policy) still sees —
+    /// and may perturb — every byte the loop sends; it merely loses the
+    /// single-syscall gather. [`DirectIo`] and [`FaultPolicy`] override
+    /// this with real `writev(2)`.
+    fn write_vectored(
+        &mut self,
+        conn: u64,
+        stream: &TcpStream,
+        bufs: &[IoSlice<'_>],
+    ) -> io::Result<usize> {
+        match bufs.iter().find(|buf| !buf.is_empty()) {
+            Some(first) => self.write(conn, stream, first),
+            None => Ok(0),
+        }
+    }
     /// Accept one connection from the listener.
     fn accept(&mut self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)>;
     /// Wait for readiness on the interest set.
@@ -184,6 +233,15 @@ impl IoPolicy for DirectIo {
 
     fn write(&mut self, _conn: u64, stream: &TcpStream, buf: &[u8]) -> io::Result<usize> {
         (&*stream).write(buf)
+    }
+
+    fn write_vectored(
+        &mut self,
+        _conn: u64,
+        stream: &TcpStream,
+        bufs: &[IoSlice<'_>],
+    ) -> io::Result<usize> {
+        writev_fd(stream.as_raw_fd(), bufs)
     }
 
     fn accept(&mut self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
@@ -301,6 +359,54 @@ impl IoPolicy for FaultPolicy {
         (&*stream).write(&buf[..cap])
     }
 
+    fn write_vectored(
+        &mut self,
+        conn: u64,
+        stream: &TcpStream,
+        bufs: &[IoSlice<'_>],
+    ) -> io::Result<usize> {
+        // Identical fault menu (and schedule clock) to the scalar
+        // write, so a loop switching to gathered flushes keeps the same
+        // class of injected failures; a short write truncates to a 1–8
+        // byte prefix of the *first* segment, the gather-path analogue
+        // of the scalar truncation.
+        if let Some(left) = self.stalls.get_mut(&conn) {
+            if *left > 0 {
+                *left -= 1;
+                self.counters.stalled_writes += 1;
+                return Err(Self::would_block());
+            }
+            self.stalls.remove(&conn);
+        }
+        if self.roll(self.plan.stall_write) && self.plan.stall_ops > 0 {
+            self.stalls.insert(conn, self.plan.stall_ops);
+            self.counters.stalled_writes += 1;
+            return Err(Self::would_block());
+        }
+        if self.roll(self.plan.eintr) {
+            self.counters.eintr += 1;
+            return Err(Self::interrupted());
+        }
+        if self.roll(self.plan.eagain) {
+            self.counters.eagain += 1;
+            return Err(Self::would_block());
+        }
+        if self.roll(self.plan.reset) {
+            self.counters.resets += 1;
+            return Err(Self::reset());
+        }
+        let first = match bufs.iter().find(|buf| !buf.is_empty()) {
+            Some(first) => first,
+            None => return Ok(0),
+        };
+        if self.roll(self.plan.short_write) && first.len() > 1 {
+            self.counters.short_writes += 1;
+            let cap = 1 + (self.draw() as usize % 8).min(first.len() - 1);
+            return (&*stream).write(&first[..cap]);
+        }
+        writev_fd(stream.as_raw_fd(), bufs)
+    }
+
     fn accept(&mut self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
         if self.roll(self.plan.eintr) {
             self.counters.eintr += 1;
@@ -391,6 +497,75 @@ mod tests {
         };
         assert_eq!(faults(&first), faults(&second));
         assert_eq!(injected_a, injected_b);
+    }
+
+    /// Shard lanes must be independent *and* replayable: the same
+    /// (plan, shard) pair always yields the same schedule, lane 0 is
+    /// the historical single-loop schedule, and distinct lanes diverge.
+    #[test]
+    fn fault_lanes_are_replayable_and_independent() {
+        let schedule = |plan: FaultPlan| -> Vec<bool> {
+            let mut policy = FaultPolicy::new(plan);
+            (0..256).map(|_| policy.roll(7)).collect()
+        };
+        let base = FaultPlan::light(4242);
+        assert_eq!(base.lane(0).seed, base.seed, "lane 0 must be identity");
+        for shard in 0..4u64 {
+            assert_eq!(
+                schedule(base.lane(shard)),
+                schedule(base.lane(shard)),
+                "lane {shard} must replay"
+            );
+        }
+        let lanes: Vec<Vec<bool>> = (0..4).map(|shard| schedule(base.lane(shard))).collect();
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                assert_ne!(lanes[a], lanes[b], "lanes {a} and {b} coincide");
+            }
+        }
+    }
+
+    /// The gathered write path must draw from the same fault menu as
+    /// the scalar one: stall windows refuse it, short writes truncate
+    /// the first segment, and a quiet plan passes everything through.
+    #[test]
+    fn vectored_writes_share_the_fault_menu() {
+        let (client, server) = tcp_pair();
+        let segments = [
+            IoSlice::new(b"head "),
+            IoSlice::new(b"body "),
+            IoSlice::new(b"tail"),
+        ];
+
+        let mut stalled = FaultPolicy::new(FaultPlan {
+            stall_write: 1,
+            stall_ops: 2,
+            ..FaultPlan::quiet(5)
+        });
+        for _ in 0..3 {
+            let error = stalled.write_vectored(1, &client, &segments).unwrap_err();
+            assert_eq!(error.kind(), io::ErrorKind::WouldBlock);
+        }
+        assert_eq!(stalled.counters().stalled_writes, 3);
+
+        let mut short = FaultPolicy::new(FaultPlan {
+            short_write: 1,
+            ..FaultPlan::quiet(11)
+        });
+        let wrote = short.write_vectored(1, &client, &segments).unwrap();
+        assert!(wrote <= 8, "short vectored write sent {wrote} bytes");
+        assert_eq!(short.counters().short_writes, 1);
+
+        let mut quiet = FaultPolicy::new(FaultPlan::quiet(0));
+        let short_wrote = wrote;
+        let wrote = quiet.write_vectored(1, &client, &segments).unwrap();
+        assert_eq!(wrote, 14);
+        assert_eq!(quiet.counters().total(), 0);
+        // Both writes landed in order, uncorrupted.
+        let mut received = vec![0u8; short_wrote + 14];
+        use std::io::Read as _;
+        (&server).read_exact(&mut received).unwrap();
+        assert_eq!(&received[short_wrote..], b"head body tail");
     }
 
     #[test]

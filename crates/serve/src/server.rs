@@ -1,44 +1,63 @@
-//! The readiness-driven serving core.
+//! The serving supervisor: lifecycle above N independent shard loops.
 //!
-//! One **event-loop thread** owns the nonblocking listener and every
-//! connection: it accepts, reads raw chunks into each connection's
-//! frame decoder, assigns sequence numbers to decoded requests, and
-//! pushes them onto a bounded work queue. A **fixed worker pool**
-//! executes queries against the engine (fetched from the
-//! [`EngineSource`] *per request*, so an epoch swap mid-pipeline is
-//! observed on the very next query) and posts completions back; a
-//! self-pipe wakes the loop, which reassembles responses in request
-//! order and writes them out under per-connection buffer caps.
+//! The serving core is layered (see the README diagram):
+//!
+//! ```text
+//!            listener
+//!               │
+//!          ┌────▼─────┐   round-robin by accept order
+//!          │ acceptor │──────────────┐
+//!          └──────────┘              │
+//!        ┌──────────┬────────────┬───▼──────┐
+//!        │ shard 0  │  shard 1   │  shard N-1│   independent poll sets,
+//!        │ loop     │  loop      │  loop     │   wake pipes, fault lanes
+//!        └───┬──────┴────┬───────┴────┬──────┘
+//!          workers     workers      workers      per-shard pools
+//!            └────────────┴────────────┘
+//!                    query engine                shared, epoch-swapped
+//! ```
+//!
+//! This module is the thin **supervisor**: it binds the listener, builds
+//! the shards ([`crate::shard`]) and the acceptor ([`crate::accept`]),
+//! fans shutdown/drain out through one [`ControlPlane`], and merges
+//! per-shard counters — both into the final [`ServeReport`] and, via
+//! [`StatsHub`], into the `stats` control reply (aggregate plus a
+//! `per_shard` breakdown). Each shard owns its connections outright:
+//! reads, pipelining, write-buffer caps, slow-reader eviction and drain
+//! all happen shard-locally, so the only cross-shard traffic is accept
+//! hand-off and stop propagation.
 //!
 //! Two control queries live above the wire grammar, answered in the
-//! loop itself (they describe loop state no worker can see):
+//! shard loops themselves (they describe serving state no worker can
+//! see):
 //!
-//! * `{"query": "stats"}` → connections, queue depths, epoch, counters;
+//! * `{"query": "stats"}` → aggregate connections, queue depths, epoch,
+//!   counters, plus per-shard rows;
 //! * `{"query": "shutdown"}` → acknowledged in order on its own
-//!   connection, then the server **drains**: accepting and reading
-//!   stop, every request already accepted (on *every* connection) is
-//!   executed and its response flushed, and only then does the listener
-//!   close. A drain deadline bounds how long a stalled peer can hold
-//!   the exit hostage. *Accepted* means assigned a pipeline sequence
-//!   number: frames still sitting undecoded past the inflight bound —
-//!   like request bytes still in kernel buffers — are past the
-//!   shutdown's edge and are not answered; anything looser would make
-//!   the drain unbounded against a client that keeps a deep decoder
-//!   queue.
+//!   connection, then the **whole server** drains: the control plane
+//!   stops the acceptor and every shard, each shard executes and
+//!   flushes every request it already accepted (on *every* connection),
+//!   and only then does the process exit. A drain deadline bounds how
+//!   long a stalled peer can hold the exit hostage. *Accepted* means
+//!   assigned a pipeline sequence number: frames still sitting
+//!   undecoded past the inflight bound — like request bytes still in
+//!   kernel buffers — are past the shutdown's edge and are not
+//!   answered; anything looser would make the drain unbounded against
+//!   a client that keeps a deep decoder queue.
 
-use crate::conn::{CloseReason, Conn};
+use crate::accept::{Acceptor, ShardLink};
 use crate::policy::{DirectIo, FaultCounters, IoPolicy};
-use crate::sys::{PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use crate::shard::{ShardPublic, ShardSeed, ShardSnapshot, Shared};
+use crate::sys::PollFd;
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_query::{wire, QueryEngine};
-use std::collections::{BTreeMap, VecDeque};
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
-use std::os::fd::AsRawFd;
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Where the serving loop gets the engine for each request. Fetching
 /// per request is the contract that makes epoch swaps linearizable:
@@ -58,16 +77,23 @@ impl<F: Fn() -> Arc<QueryEngine> + Send + Sync> EngineSource for F {
 /// Tuning knobs for the serving core.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads executing queries. `0` sizes from
-    /// `available_parallelism` (capped at 8).
+    /// Independent event-loop shards. `1` is the single-loop layout;
+    /// `0` sizes from `available_parallelism` (capped at 8). Each shard
+    /// gets its own poll set, wake pipe, worker pool, fault lane and
+    /// result-cache lane.
+    pub loops: usize,
+    /// Worker threads executing queries, **per shard**. `0` sizes from
+    /// `available_parallelism / loops` (at least 1, capped at 8).
     pub workers: usize,
-    /// Hard cap on concurrent connections; beyond it the listener is
-    /// simply not polled, parking further clients in the accept queue.
+    /// Hard cap on concurrent connections across all shards; beyond it
+    /// the listener is simply not polled, parking further clients in
+    /// the accept queue.
     pub max_connections: usize,
     /// Per-frame byte limit for the incremental decoder.
     pub max_frame_bytes: usize,
     /// Unsent-response bytes a connection may buffer before it is
-    /// evicted as a stalled reader.
+    /// evicted as a stalled reader (accounted on the shard that owns
+    /// the connection).
     pub write_buffer_cap: usize,
     /// Requests one connection may have unanswered before the loop
     /// stops reading it (pipelining backpressure).
@@ -75,11 +101,11 @@ pub struct ServeConfig {
     /// How long a graceful shutdown waits for pending responses to
     /// flush before abandoning the stragglers.
     pub drain_timeout: Duration,
-    /// Admission-control watermark on the aggregate job-queue depth:
-    /// once this many decoded requests are waiting for a worker, new
-    /// data queries are **shed** with the typed `overloaded` wire error
-    /// instead of joining the queue. `usize::MAX` (the default)
-    /// disables shedding.
+    /// Admission-control watermark on a shard's job-queue depth: once
+    /// this many decoded requests are waiting for that shard's workers,
+    /// new data queries on it are **shed** with the typed `overloaded`
+    /// wire error instead of joining the queue. `usize::MAX` (the
+    /// default) disables shedding.
     pub queue_watermark: usize,
     /// Per-request deadline, measured from pipeline admission. A job a
     /// worker picks up after its deadline is answered `overloaded`
@@ -94,6 +120,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
+            loops: 1,
             workers: 0,
             max_connections: 1024,
             max_frame_bytes: wire::MAX_FRAME_BYTES,
@@ -107,7 +134,8 @@ impl Default for ServeConfig {
     }
 }
 
-/// What a serving run did, returned when the loop exits.
+/// What a serving run did: the supervisor's merge of every shard's
+/// report (also the shape each shard reports in).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServeReport {
     /// Connections accepted over the server's lifetime.
@@ -120,9 +148,10 @@ pub struct ServeReport {
     pub completed: u64,
     /// Connections evicted (write-buffer cap or drain deadline).
     pub evicted: u64,
-    /// Whether shutdown drained every pending response in time.
+    /// Whether shutdown drained every pending response in time, on
+    /// **every** shard.
     pub drained_cleanly: bool,
-    /// Event-loop iterations over the server's lifetime.
+    /// Event-loop iterations, summed across shards.
     pub iterations: u64,
     /// `read(2)` calls issued on connection sockets.
     pub socket_reads: u64,
@@ -133,62 +162,19 @@ pub struct ServeReport {
     /// Jobs answered `overloaded` because their deadline expired
     /// before a worker reached them.
     pub deadline_expired: u64,
-    /// Faults the I/O policy injected (0 under [`DirectIo`]).
+    /// Faults the I/O policies injected (0 under [`DirectIo`]).
     pub injected_faults: u64,
-}
-
-/// One decoded request travelling to the worker pool.
-struct Job {
-    conn: u64,
-    seq: u64,
-    line: String,
-    /// When the request was admitted to a pipeline — the epoch its
-    /// deadline is measured from.
-    accepted: Instant,
-}
-
-/// One executed response travelling back.
-struct Completion {
-    conn: u64,
-    seq: u64,
-    payload: String,
-}
-
-struct JobState {
-    queue: VecDeque<Job>,
-    stop: bool,
-}
-
-/// State shared between the loop, the workers and [`ServerHandle`]s.
-struct Shared {
-    jobs: Mutex<JobState>,
-    jobs_ready: Condvar,
-    completions: Mutex<Vec<Completion>>,
-    /// Writer half of the self-pipe; any thread may nudge the loop.
-    wake_tx: UnixStream,
-    stop: AtomicBool,
-    queries: AtomicU64,
-    control: AtomicU64,
-    completed: AtomicU64,
-    /// Jobs sitting in the queue right now (admission-control gauge:
-    /// incremented at push, decremented at claim). The loop sheds
-    /// against this plus its own not-yet-pushed batch, so the
-    /// watermark holds even though workers drain concurrently.
-    queued: AtomicU64,
-    shed: AtomicU64,
-    deadline_expired: AtomicU64,
-}
-
-impl Shared {
-    fn wake(&self) {
-        nudge_wake_pipe(&self.wake_tx);
-    }
+    /// Event-loop shards the server ran.
+    pub loops: u64,
+    /// Shards that drained every pending response before their
+    /// deadline (equals `loops` on a clean exit).
+    pub shards_drained: u64,
 }
 
 /// Write one wake byte, retrying `EINTR`. A full pipe (`WouldBlock`)
 /// means a wake-up is already pending — ignore; any other failure is
 /// also ignored (the loop's poll timeout bounds the added latency).
-fn nudge_wake_pipe(mut pipe: impl Write) {
+pub(crate) fn nudge_wake_pipe(mut pipe: impl Write) {
     loop {
         match pipe.write(&[1]) {
             Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
@@ -200,8 +186,8 @@ fn nudge_wake_pipe(mut pipe: impl Write) {
 /// Drain every pending byte from the wake pipe, retrying `EINTR` —
 /// a signal landing mid-drain must not leave stale wake bytes that
 /// would turn every later poll into a spurious wakeup. Returns bytes
-/// drained (for tests; the loop ignores it).
-fn drain_wake_pipe(mut pipe: impl Read) -> u64 {
+/// drained (for tests; the loops ignore it).
+pub(crate) fn drain_wake_pipe(mut pipe: impl Read) -> u64 {
     let mut sink = [0u8; 64];
     let mut drained = 0u64;
     loop {
@@ -214,25 +200,61 @@ fn drain_wake_pipe(mut pipe: impl Read) -> u64 {
     }
 }
 
+/// The supervisor's stop-and-wake fabric, shared by the acceptor, every
+/// shard, and every [`ServerHandle`]. One stop flag; one wake pipe per
+/// party, so a stop request (or a freed accept slot) interrupts any
+/// poll wherever it is sleeping.
+pub(crate) struct ControlPlane {
+    stop: AtomicBool,
+    acceptor_wake: UnixStream,
+    shard_wakes: Vec<UnixStream>,
+}
+
+impl ControlPlane {
+    pub(crate) fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stop the whole server: flag, then wake everything that might be
+    /// asleep in a poll. Idempotent.
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        nudge_wake_pipe(&self.acceptor_wake);
+        for wake in &self.shard_wakes {
+            nudge_wake_pipe(wake);
+        }
+    }
+
+    pub(crate) fn wake_shard(&self, shard: usize) {
+        nudge_wake_pipe(&self.shard_wakes[shard]);
+    }
+
+    pub(crate) fn wake_acceptor(&self) {
+        nudge_wake_pipe(&self.acceptor_wake);
+    }
+}
+
 /// A cloneable remote control for a running server: `shutdown()`
-/// triggers the same graceful drain as the wire-level control query.
+/// triggers the same graceful drain as the wire-level control query,
+/// on every shard.
 #[derive(Clone)]
 pub struct ServerHandle {
-    shared: Arc<Shared>,
+    control: Arc<ControlPlane>,
 }
 
 impl ServerHandle {
     /// Ask the server to drain and exit.
     pub fn shutdown(&self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.wake();
+        self.control.request_stop();
     }
 }
 
 /// Answer one already-framed protocol line against an engine. This is
 /// the whole per-request data path the workers run; the threaded
 /// baseline daemon reuses it verbatim, which is what makes the two
-/// serving cores byte-identical per request.
+/// serving cores byte-identical per request. (The shard workers use
+/// the segmented equivalent, `shard::answer_line_payload`, whose
+/// rendering is property-tested identical.)
 pub fn answer_line(line: &str, engine: &QueryEngine) -> String {
     let value = match parse(line) {
         Ok(value) => value,
@@ -247,8 +269,8 @@ pub fn answer_line(line: &str, engine: &QueryEngine) -> String {
     }
 }
 
-/// The control queries the loop answers itself.
-enum Control {
+/// The control queries the shard loops answer themselves.
+pub(crate) enum Control {
     Stats,
     Shutdown,
 }
@@ -256,7 +278,7 @@ enum Control {
 /// Detect a control line without JSON-parsing the fast path: the cheap
 /// substring test rejects virtually every data query, and only
 /// candidates pay for a parse that confirms the `query` field exactly.
-fn control_of(line: &str) -> Option<Control> {
+pub(crate) fn control_of(line: &str) -> Option<Control> {
     if !line.contains("stats") && !line.contains("shutdown") {
         return None;
     }
@@ -274,109 +296,292 @@ fn control_of(line: &str) -> Option<Control> {
 pub const SHUTDOWN_ACK: &str = "{\"ok\": true, \"result\": \"shutting down\"}";
 
 /// Whether a protocol line is the `shutdown` control query. Shares the
-/// event loop's detection (substring pre-filter, then an exact check of
+/// shard loops' detection (substring pre-filter, then an exact check of
 /// the parsed `query` field) with the threaded baseline daemon.
 pub fn is_shutdown_line(line: &str) -> bool {
     matches!(control_of(line), Some(Control::Shutdown))
 }
 
-/// Drain state for the event loop. Entering drain is **idempotent**:
-/// the deadline is armed exactly once, by whichever trigger fires
-/// first (wire `shutdown`, [`ServerHandle::shutdown`], a poll
-/// failure), and re-entry — which chaos schedules provoke by racing
-/// triggers — can never push it back. Previously the deadline was
-/// armed at two separate sites, and a re-entered drain could reset it.
-#[derive(Debug, Default)]
-struct Drain {
-    deadline: Option<Instant>,
+/// The supervisor's `stats` aggregator. Every shard publishes a
+/// consistent [`ShardSnapshot`] under its own mutex each iteration;
+/// rendering reads each snapshot whole, so no counter in the reply can
+/// mix two moments of one shard — the torn-read-free contract the
+/// per-shard collection replaced ad-hoc field reads for.
+pub(crate) struct StatsHub {
+    publics: Vec<Arc<ShardPublic>>,
+    accepted: Arc<AtomicU64>,
+    total_workers: usize,
 }
 
-impl Drain {
-    /// Whether the loop is draining.
-    fn active(&self) -> bool {
-        self.deadline.is_some()
-    }
-
-    /// Enter drain, arming the deadline only if it is not already set.
-    fn begin(&mut self, timeout: Duration) {
-        if self.deadline.is_none() {
-            self.deadline = Some(Instant::now() + timeout);
-        }
-    }
-
-    /// Whether the armed deadline has passed (never true before
-    /// [`begin`](Drain::begin)).
-    fn expired(&self) -> bool {
-        self.deadline
-            .is_some_and(|deadline| Instant::now() >= deadline)
+impl StatsHub {
+    /// Render the `stats` control result: the aggregate over every
+    /// shard's latest snapshot, plus a `per_shard` breakdown.
+    /// `draining` is the asking shard's own state (folded in with any
+    /// sibling already observed draining).
+    pub(crate) fn render(&self, epoch: u64, draining: bool) -> String {
+        let snapshots: Vec<ShardSnapshot> = self.publics.iter().map(|p| p.read()).collect();
+        let sum = |field: fn(&ShardSnapshot) -> u64| -> u64 { snapshots.iter().map(field).sum() };
+        let mut json = JsonBuilder::object();
+        json.integer("connections", sum(|s| s.connections));
+        json.integer("queued_jobs", sum(|s| s.queued_jobs));
+        json.integer("inflight", sum(|s| s.inflight));
+        json.integer("write_buffered_bytes", sum(|s| s.write_buffered_bytes));
+        json.integer("epoch", epoch);
+        json.integer("workers", self.total_workers as u64);
+        json.integer("loops", self.publics.len() as u64);
+        json.raw(
+            "draining",
+            (draining || snapshots.iter().any(|s| s.draining)).to_string(),
+        );
+        json.integer("accepted", self.accepted.load(Ordering::Relaxed));
+        json.integer("queries", sum(|s| s.queries));
+        json.integer("control", sum(|s| s.control));
+        json.integer("completed", sum(|s| s.completed));
+        json.integer("evicted", sum(|s| s.evicted));
+        json.integer("shed", sum(|s| s.shed));
+        json.integer("deadline_expired", sum(|s| s.deadline_expired));
+        json.integer("injected_faults", sum(|s| s.injected_faults));
+        json.raw_array(
+            "per_shard",
+            snapshots.iter().enumerate().map(|(shard, s)| {
+                let mut row = JsonBuilder::object();
+                row.integer("shard", shard as u64);
+                row.integer("connections", s.connections);
+                row.integer("queued_jobs", s.queued_jobs);
+                row.integer("inflight", s.inflight);
+                row.integer("accepted", s.adopted);
+                row.integer("queries", s.queries);
+                row.integer("completed", s.completed);
+                row.integer("evicted", s.evicted);
+                row.integer("shed", s.shed);
+                row.integer("injected_faults", s.injected_faults);
+                row.integer("iterations", s.iterations);
+                row.raw("draining", s.draining.to_string());
+                row.finish()
+            }),
+        );
+        json.finish()
     }
 }
 
-/// A readiness-driven query server bound to a TCP address.
+/// One boxed policy shared (behind a mutex) by the acceptor and a
+/// single shard — the compatibility shim that keeps the historical
+/// [`Server::bind_with_policy`] signature meaningful: one policy
+/// object observes every accept, poll, read and write, exactly as it
+/// did when one loop made all those calls. Only valid at `loops == 1`
+/// (several shards sharing one schedule clock would destroy the
+/// per-lane determinism contract; multi-loop chaos uses
+/// [`Server::bind_with_policy_factory`]).
+struct SharedPolicy(Arc<Mutex<Box<dyn IoPolicy>>>);
+
+impl SharedPolicy {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Box<dyn IoPolicy>> {
+        self.0.lock().expect("shared policy poisoned")
+    }
+}
+
+impl IoPolicy for SharedPolicy {
+    fn read(&mut self, conn: u64, stream: &TcpStream, buf: &mut [u8]) -> io::Result<usize> {
+        self.lock().read(conn, stream, buf)
+    }
+
+    fn write(&mut self, conn: u64, stream: &TcpStream, buf: &[u8]) -> io::Result<usize> {
+        self.lock().write(conn, stream, buf)
+    }
+
+    fn write_vectored(
+        &mut self,
+        conn: u64,
+        stream: &TcpStream,
+        bufs: &[IoSlice<'_>],
+    ) -> io::Result<usize> {
+        self.lock().write_vectored(conn, stream, bufs)
+    }
+
+    fn accept(&mut self, listener: &TcpListener) -> io::Result<(TcpStream, SocketAddr)> {
+        self.lock().accept(listener)
+    }
+
+    fn poll(&mut self, fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        self.lock().poll(fds, timeout_ms)
+    }
+
+    fn closed(&mut self, conn: u64) {
+        self.lock().closed(conn)
+    }
+
+    fn counters(&self) -> FaultCounters {
+        self.lock().counters()
+    }
+}
+
+/// A readiness-driven query server bound to a TCP address: one
+/// acceptor, `loops` shard event loops, a worker pool per shard.
 pub struct Server {
-    listener: TcpListener,
     local: SocketAddr,
     config: ServeConfig,
-    source: Arc<dyn EngineSource>,
-    shared: Arc<Shared>,
-    wake_rx: UnixStream,
-    /// The seam every socket read/write/accept/poll goes through.
-    policy: Box<dyn IoPolicy>,
+    control: Arc<ControlPlane>,
+    shards: Vec<ShardSeed>,
+    acceptor: Acceptor,
+    accepted: Arc<AtomicU64>,
+    workers_per_shard: usize,
 }
 
 impl Server {
-    /// Bind the listener (nonblocking) and set up the worker plumbing,
-    /// serving through the production passthrough I/O policy. Port 0
-    /// binds an ephemeral port — read it back via
+    /// Bind the listener (nonblocking) and set up the shard and worker
+    /// plumbing, serving through the production passthrough I/O policy
+    /// everywhere. Port 0 binds an ephemeral port — read it back via
     /// [`local_addr`](Server::local_addr).
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         config: ServeConfig,
         source: Arc<dyn EngineSource>,
     ) -> io::Result<Server> {
-        Server::bind_with_policy(addr, config, source, Box::new(DirectIo))
+        Server::bind_with_policy_factory(addr, config, source, |_| Box::new(DirectIo))
     }
 
-    /// [`bind`](Server::bind), but serving through an explicit
-    /// [`IoPolicy`] — the entry point chaos runs use to put a
-    /// [`FaultPolicy`](crate::policy::FaultPolicy) between the loop and
-    /// the kernel.
+    /// [`bind`](Server::bind), but serving through one explicit
+    /// [`IoPolicy`] shared by the acceptor and the (single) shard — the
+    /// historical single-loop chaos entry point. Errors with
+    /// `InvalidInput` when the config resolves to more than one loop:
+    /// one schedule clock across shards would not be replayable; use
+    /// [`bind_with_policy_factory`](Server::bind_with_policy_factory)
+    /// with [`FaultPlan::lane`](crate::policy::FaultPlan::lane) there.
     pub fn bind_with_policy<A: ToSocketAddrs>(
         addr: A,
         config: ServeConfig,
         source: Arc<dyn EngineSource>,
         policy: Box<dyn IoPolicy>,
     ) -> io::Result<Server> {
+        if resolve_loops(&config) != 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "bind_with_policy serves one loop; use bind_with_policy_factory for loops > 1",
+            ));
+        }
+        let shared = Arc::new(Mutex::new(policy));
+        let acceptor_policy = Box::new(SharedPolicy(Arc::clone(&shared)));
+        Server::bind_inner(
+            addr,
+            config,
+            source,
+            vec![Box::new(SharedPolicy(shared))],
+            acceptor_policy,
+        )
+    }
+
+    /// [`bind`](Server::bind), but with an explicit I/O policy **per
+    /// shard**: `factory(shard_id)` is called once for each of the
+    /// resolved loops. This is the multi-loop chaos entry point — pair
+    /// it with [`FaultPlan::lane`](crate::policy::FaultPlan::lane) so
+    /// each shard runs an independent, replayable fault schedule. The
+    /// acceptor itself runs the passthrough policy.
+    pub fn bind_with_policy_factory<A: ToSocketAddrs, F>(
+        addr: A,
+        config: ServeConfig,
+        source: Arc<dyn EngineSource>,
+        mut factory: F,
+    ) -> io::Result<Server>
+    where
+        F: FnMut(usize) -> Box<dyn IoPolicy>,
+    {
+        let loops = resolve_loops(&config);
+        let policies = (0..loops).map(&mut factory).collect();
+        Server::bind_inner(addr, config, source, policies, Box::new(DirectIo))
+    }
+
+    fn bind_inner<A: ToSocketAddrs>(
+        addr: A,
+        mut config: ServeConfig,
+        source: Arc<dyn EngineSource>,
+        policies: Vec<Box<dyn IoPolicy>>,
+        acceptor_policy: Box<dyn IoPolicy>,
+    ) -> io::Result<Server> {
+        let loops = resolve_loops(&config);
+        debug_assert_eq!(policies.len(), loops);
+        config.loops = loops;
+        let workers_per_shard = resolve_workers(&config, loops);
+
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
-        let (wake_rx, wake_tx) = UnixStream::pair()?;
-        wake_rx.set_nonblocking(true)?;
-        wake_tx.set_nonblocking(true)?;
-        let shared = Arc::new(Shared {
-            jobs: Mutex::new(JobState {
-                queue: VecDeque::new(),
-                stop: false,
-            }),
-            jobs_ready: Condvar::new(),
-            completions: Mutex::new(Vec::new()),
-            wake_tx,
+
+        let (acceptor_rx, acceptor_tx) = UnixStream::pair()?;
+        acceptor_rx.set_nonblocking(true)?;
+        acceptor_tx.set_nonblocking(true)?;
+        let mut shard_wakes = Vec::with_capacity(loops);
+        let mut shard_rxs = Vec::with_capacity(loops);
+        let mut shard_txs = Vec::with_capacity(loops);
+        for _ in 0..loops {
+            let (rx, tx) = UnixStream::pair()?;
+            rx.set_nonblocking(true)?;
+            tx.set_nonblocking(true)?;
+            shard_wakes.push(tx.try_clone()?);
+            shard_rxs.push(rx);
+            shard_txs.push(tx);
+        }
+        let control = Arc::new(ControlPlane {
             stop: AtomicBool::new(false),
-            queries: AtomicU64::new(0),
-            control: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            queued: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            deadline_expired: AtomicU64::new(0),
+            acceptor_wake: acceptor_tx,
+            shard_wakes,
         });
-        Ok(Server {
+
+        let conn_gauge = Arc::new(AtomicUsize::new(0));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let publics: Vec<Arc<ShardPublic>> = (0..loops)
+            .map(|_| Arc::new(ShardPublic::default()))
+            .collect();
+        let hub = Arc::new(StatsHub {
+            publics: publics.clone(),
+            accepted: Arc::clone(&accepted),
+            total_workers: workers_per_shard * loops,
+        });
+        let inboxes: Vec<Arc<Mutex<VecDeque<TcpStream>>>> = (0..loops)
+            .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+            .collect();
+
+        let mut shards = Vec::with_capacity(loops);
+        for (id, policy) in policies.into_iter().enumerate() {
+            shards.push(ShardSeed {
+                id,
+                config: config.clone(),
+                source: Arc::clone(&source),
+                shared: Arc::new(Shared::new(shard_txs.remove(0))),
+                wake_rx: shard_rxs.remove(0),
+                inbox: Arc::clone(&inboxes[id]),
+                public: Arc::clone(&publics[id]),
+                control: Arc::clone(&control),
+                hub: Arc::clone(&hub),
+                conn_gauge: Arc::clone(&conn_gauge),
+                policy,
+                workers: workers_per_shard,
+            });
+        }
+
+        let acceptor = Acceptor {
             listener,
+            wake_rx: acceptor_rx,
+            control: Arc::clone(&control),
+            links: inboxes
+                .iter()
+                .map(|inbox| ShardLink {
+                    inbox: Arc::clone(inbox),
+                })
+                .collect(),
+            conn_gauge,
+            max_connections: config.max_connections,
+            accepted: Arc::clone(&accepted),
+            policy: acceptor_policy,
+        };
+
+        Ok(Server {
             local,
             config,
-            source,
-            shared,
-            wake_rx,
-            policy,
+            control,
+            shards,
+            acceptor,
+            accepted,
+            workers_per_shard,
         })
     }
 
@@ -388,482 +593,93 @@ impl Server {
     /// A handle that can shut the server down from another thread.
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
-            shared: Arc::clone(&self.shared),
+            control: Arc::clone(&self.control),
         }
     }
 
-    /// Resolved worker-pool size.
+    /// Resolved event-loop shard count.
+    pub fn loop_count(&self) -> usize {
+        self.config.loops
+    }
+
+    /// Resolved worker count across every shard.
     pub fn worker_count(&self) -> usize {
-        if self.config.workers > 0 {
-            self.config.workers
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(8)
-        }
+        self.workers_per_shard * self.config.loops
     }
 
-    /// Run the serving loop until a `shutdown` control query (or a
-    /// [`ServerHandle::shutdown`]) drains it. Blocks the calling
-    /// thread; workers are joined before it returns.
-    pub fn run(mut self) -> ServeReport {
-        // The loop needs `&mut dyn IoPolicy` while `event_loop` borrows
-        // `&self`; swap the box out for the zero-state passthrough.
-        let mut policy = std::mem::replace(&mut self.policy, Box::new(DirectIo));
-        let workers = self.worker_count();
-        let deadline = self.config.request_deadline;
-        let retry_hint = self.config.retry_hint_ms;
-        let mut pool = Vec::with_capacity(workers);
-        for index in 0..workers {
-            let shared = Arc::clone(&self.shared);
-            let source = Arc::clone(&self.source);
+    /// Run the server until a `shutdown` control query (or a
+    /// [`ServerHandle::shutdown`]) drains it: spawn one thread per
+    /// shard, run the acceptor on the calling thread, then join the
+    /// shards and merge their reports. Blocks until every shard (and
+    /// every worker) has exited.
+    pub fn run(self) -> ServeReport {
+        let loops = self.config.loops;
+        let mut threads = Vec::with_capacity(loops);
+        for seed in self.shards {
+            let id = seed.id;
             let thread = std::thread::Builder::new()
-                .name(format!("lfp-serve-{index}"))
-                .spawn(move || worker_loop(shared, source, deadline, retry_hint))
-                .expect("spawn worker thread");
-            pool.push(thread);
+                .name(format!("lfp-shard-{id}"))
+                .spawn(move || seed.run())
+                .expect("spawn shard thread");
+            threads.push(thread);
         }
 
-        let report = self.event_loop(workers, policy.as_mut());
+        self.acceptor.run();
 
-        {
-            let mut jobs = self.shared.jobs.lock().expect("jobs lock");
-            jobs.stop = true;
-        }
-        self.shared.jobs_ready.notify_all();
-        for thread in pool {
-            let _ = thread.join();
-        }
-        report
-    }
-
-    fn event_loop(&self, workers: usize, policy: &mut dyn IoPolicy) -> ServeReport {
-        let config = &self.config;
-        let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
-        let mut next_id = 0u64;
-        let mut report = ServeReport::default();
-        let mut drain = Drain::default();
-        let mut fds: Vec<PollFd> = Vec::new();
-        let mut order: Vec<u64> = Vec::new();
-
-        loop {
-            report.iterations += 1;
-            if self.shared.stop.load(Ordering::SeqCst) {
-                drain.begin(config.drain_timeout);
-            }
-            let draining = drain.active();
-
-            // ---- interest set -------------------------------------
-            let accepting = !draining && conns.len() < config.max_connections;
-            fds.clear();
-            order.clear();
-            fds.push(PollFd::new(
-                self.listener.as_raw_fd(),
-                if accepting { POLLIN } else { 0 },
-            ));
-            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
-            for (&id, conn) in &conns {
-                let mut events = 0i16;
-                if !draining && conn.wants_read(config.max_inflight) {
-                    events |= POLLIN;
+        let mut merged = ServeReport {
+            drained_cleanly: true,
+            loops: loops as u64,
+            ..ServeReport::default()
+        };
+        for thread in threads {
+            match thread.join() {
+                Ok(report) => {
+                    merged.queries += report.queries;
+                    merged.control += report.control;
+                    merged.completed += report.completed;
+                    merged.evicted += report.evicted;
+                    merged.iterations += report.iterations;
+                    merged.socket_reads += report.socket_reads;
+                    merged.bytes_read += report.bytes_read;
+                    merged.shed += report.shed;
+                    merged.deadline_expired += report.deadline_expired;
+                    merged.injected_faults += report.injected_faults;
+                    merged.shards_drained += report.shards_drained;
+                    merged.drained_cleanly &= report.drained_cleanly;
                 }
-                if conn.wants_write() {
-                    events |= POLLOUT;
-                }
-                fds.push(PollFd::new(conn.fd(), events));
-                order.push(id);
-            }
-
-            // A touched connection has work queued that no poll event
-            // will re-announce (resumed pumping, fresh completions):
-            // don't sleep on it.
-            let timeout = if draining {
-                20
-            } else if conns.values().any(|conn| conn.touched) {
-                0
-            } else {
-                200
-            };
-            if let Err(error) = policy.poll(&mut fds, timeout) {
-                // EBADF and friends mean loop state is corrupt; there
-                // is no sane recovery beyond draining out.
-                eprintln!("lfp-serve: poll failed: {error}");
-                drain.begin(config.drain_timeout);
-            }
-
-            // ---- wake pipe ----------------------------------------
-            if fds[1].readable() {
-                drain_wake_pipe(&self.wake_rx);
-            }
-            // A poll failure above may have begun draining; everything
-            // from here on must observe it this same iteration.
-            let draining = draining || drain.active();
-
-            // ---- completions from the pool ------------------------
-            let completions =
-                std::mem::take(&mut *self.shared.completions.lock().expect("completions lock"));
-            for completion in completions {
-                // A completion for an already-closed connection is
-                // dropped on the floor — its client is gone.
-                if let Some(conn) = conns.get_mut(&completion.conn) {
-                    conn.complete(completion.seq, completion.payload);
-                    conn.touched = true;
-                    self.shared.completed.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-
-            // ---- accept -------------------------------------------
-            if accepting && fds[0].readable() {
-                while conns.len() < config.max_connections {
-                    match policy.accept(&self.listener) {
-                        Ok((stream, _peer)) => {
-                            if stream.set_nonblocking(true).is_err() {
-                                continue;
-                            }
-                            stream.set_nodelay(true).ok();
-                            report.accepted += 1;
-                            let id = next_id;
-                            next_id += 1;
-                            conns.insert(id, Conn::new(stream, config.max_frame_bytes));
-                        }
-                        Err(error) if error.kind() == io::ErrorKind::WouldBlock => break,
-                        Err(error) if error.kind() == io::ErrorKind::Interrupted => continue,
-                        Err(error) => {
-                            eprintln!("lfp-serve: accept failed: {error}");
-                            break;
-                        }
-                    }
-                }
-            }
-
-            // ---- connection work ------------------------------------
-            // Only connections with poll events or off-poll activity
-            // (`touched`) are processed, so one iteration costs
-            // O(active), not O(connections) — the property that keeps
-            // throughput flat as idle connections pile up.
-            let mut shutdown_requested = false;
-            let mut closed: Vec<(u64, CloseReason)> = Vec::new();
-            let mut new_jobs: Vec<Job> = Vec::new();
-            let mut stats_requests: Vec<(u64, u64)> = Vec::new();
-            let mut active: Vec<u64> = Vec::new();
-
-            // Pass 1: read fresh bytes and pump decoded frames into
-            // jobs / control responses.
-            for (position, &id) in order.iter().enumerate() {
-                let readiness = fds[position + 2];
-                let conn = conns.get_mut(&id).expect("registered conn exists");
-                if !readiness.readable() && !readiness.writable() && !conn.touched {
-                    continue;
-                }
-                conn.touched = false;
-                active.push(id);
-                // An error/hangup state is reported by poll even when
-                // POLLIN wasn't requested; read through the inflight
-                // gate in that case, else the dead socket re-arms poll
-                // forever while nothing collects its EOF (busy-spin).
-                let broken = readiness.revents() & (POLLERR | POLLHUP | POLLNVAL) != 0;
-                let may_read = !conn.read_closed
-                    && !conn.fatal
-                    && (conn.wants_read(config.max_inflight) || broken);
-                if !draining && readiness.readable() && may_read {
-                    let (calls, bytes) = conn.read_some(id, policy);
-                    report.socket_reads += calls;
-                    report.bytes_read += bytes;
-                }
-                if !draining {
-                    shutdown_requested |= self.pump_frames(
-                        id,
-                        conn,
-                        config.max_inflight,
-                        &mut stats_requests,
-                        &mut new_jobs,
-                    );
-                }
-            }
-
-            // `stats` is answered from loop state, rendered once per
-            // iteration at most — and only when someone actually asked.
-            if !stats_requests.is_empty() {
-                let payload =
-                    self.render_stats(&conns, workers, draining, &report, policy.counters());
-                for (id, seq) in stats_requests {
-                    if let Some(conn) = conns.get_mut(&id) {
-                        conn.complete(seq, format!("{{\"ok\": true, \"result\": {payload}}}"));
-                    }
-                }
-            }
-
-            // Pass 2: move ready responses out, give the socket a
-            // chance, then enforce the write cap on what it refused —
-            // eviction is for stalled readers, not for bursts the
-            // kernel would have absorbed.
-            for &id in &active {
-                let conn = conns.get_mut(&id).expect("active conn exists");
-                conn.flush_ready();
-                if conn.wants_write() {
-                    conn.try_write(id, policy);
-                }
-                if conn.buffered_write_bytes() > config.write_buffer_cap {
-                    closed.push((id, CloseReason::Evicted));
-                    continue;
-                }
-                if conn.decoder.pending() > 0 && conn.inflight() < config.max_inflight {
-                    // Frames held back by the pipeline bound can move
-                    // again: revisit without waiting for a poll event.
-                    conn.touched = true;
-                }
-                if conn.fatal {
-                    closed.push((id, CloseReason::Error));
-                } else if conn.finished() || (draining && conn.drained()) {
-                    closed.push((id, CloseReason::Finished));
-                }
-            }
-
-            for (id, reason) in closed {
-                if reason == CloseReason::Evicted {
-                    report.evicted += 1;
-                }
-                conns.remove(&id);
-                policy.closed(id);
-            }
-
-            if !new_jobs.is_empty() {
-                let single = new_jobs.len() == 1;
-                self.shared
-                    .queued
-                    .fetch_add(new_jobs.len() as u64, Ordering::Relaxed);
-                {
-                    let mut jobs = self.shared.jobs.lock().expect("jobs lock");
-                    jobs.queue.extend(new_jobs);
-                }
-                if single {
-                    self.shared.jobs_ready.notify_one();
-                } else {
-                    self.shared.jobs_ready.notify_all();
-                }
-            }
-
-            if shutdown_requested {
-                drain.begin(config.drain_timeout);
-            }
-
-            // ---- drain exit ---------------------------------------
-            if drain.active() {
-                let everything_flushed = conns.values().all(Conn::drained);
-                if everything_flushed {
-                    report.drained_cleanly = true;
-                    break;
-                }
-                if drain.expired() {
-                    report.evicted += conns.len() as u64;
-                    break;
-                }
+                Err(_) => merged.drained_cleanly = false,
             }
         }
-
-        report.queries = self.shared.queries.load(Ordering::Relaxed);
-        report.control = self.shared.control.load(Ordering::Relaxed);
-        report.completed = self.shared.completed.load(Ordering::Relaxed);
-        report.shed = self.shared.shed.load(Ordering::Relaxed);
-        report.deadline_expired = self.shared.deadline_expired.load(Ordering::Relaxed);
-        report.injected_faults = policy.counters().total();
-        report
-    }
-
-    /// Drain decoded frames out of one connection into jobs and
-    /// control responses, respecting the pipeline bound. `stats`
-    /// requests are only *reserved* here (sequence number + origin);
-    /// the loop renders one snapshot for all of them afterwards.
-    /// Returns true if a `shutdown` control query was accepted.
-    fn pump_frames(
-        &self,
-        id: u64,
-        conn: &mut Conn,
-        max_inflight: usize,
-        stats_requests: &mut Vec<(u64, u64)>,
-        new_jobs: &mut Vec<Job>,
-    ) -> bool {
-        let mut shutdown = false;
-        while conn.inflight() < max_inflight {
-            let Some(frame) = conn.decoder.next_frame() else {
-                break;
-            };
-            match frame {
-                Ok(line) => {
-                    let line = line.trim();
-                    if line.is_empty() {
-                        continue;
-                    }
-                    if line == "quit" {
-                        // End of conversation: anything already
-                        // pipelined still gets answered, anything
-                        // decoded after the quit does not.
-                        conn.read_closed = true;
-                        conn.eof_handled = true;
-                        conn.decoder = lfp_query::FrameDecoder::with_limit(conn.decoder.limit());
-                        break;
-                    }
-                    match control_of(line) {
-                        Some(Control::Stats) => {
-                            let seq = conn.assign_seq();
-                            self.shared.control.fetch_add(1, Ordering::Relaxed);
-                            stats_requests.push((id, seq));
-                        }
-                        Some(Control::Shutdown) => {
-                            let seq = conn.assign_seq();
-                            self.shared.control.fetch_add(1, Ordering::Relaxed);
-                            conn.complete(seq, SHUTDOWN_ACK.to_string());
-                            shutdown = true;
-                        }
-                        None => {
-                            let seq = conn.assign_seq();
-                            // Admission control: shed against the live
-                            // queue depth plus this iteration's not-yet
-                            // -pushed batch. The response slot is
-                            // already assigned, so the shed reply keeps
-                            // its place in the pipeline order.
-                            let depth = self.shared.queued.load(Ordering::Relaxed) as usize
-                                + new_jobs.len();
-                            if depth >= self.config.queue_watermark {
-                                self.shared.shed.fetch_add(1, Ordering::Relaxed);
-                                conn.complete(
-                                    seq,
-                                    wire::overloaded_envelope("queue", self.config.retry_hint_ms),
-                                );
-                                continue;
-                            }
-                            self.shared.queries.fetch_add(1, Ordering::Relaxed);
-                            new_jobs.push(Job {
-                                conn: id,
-                                seq,
-                                line: line.to_string(),
-                                accepted: Instant::now(),
-                            });
-                        }
-                    }
-                }
-                Err(error) => {
-                    // Hostile or broken framing: answer once with the
-                    // typed error, finish what was already pipelined,
-                    // and end the conversation.
-                    let seq = conn.assign_seq();
-                    conn.complete(seq, wire::error_envelope(&error.to_string()));
-                    conn.read_closed = true;
-                    conn.eof_handled = true;
-                    conn.decoder = lfp_query::FrameDecoder::with_limit(conn.decoder.limit());
-                    break;
-                }
-            }
-        }
-        // EOF with a partial frame buffered: surface the decoder's
-        // end-of-stream verdict exactly once.
-        if conn.read_closed && !conn.eof_handled && conn.decoder.pending() == 0 {
-            conn.eof_handled = true;
-            if let Some(error) = conn.decoder.finish() {
-                let seq = conn.assign_seq();
-                conn.complete(seq, wire::error_envelope(&error.to_string()));
-            }
-        }
-        shutdown
-    }
-
-    /// Render the `stats` control result from live loop state.
-    fn render_stats(
-        &self,
-        conns: &BTreeMap<u64, Conn>,
-        workers: usize,
-        draining: bool,
-        report: &ServeReport,
-        faults: FaultCounters,
-    ) -> String {
-        let inflight: usize = conns.values().map(Conn::inflight).sum();
-        let buffered: usize = conns.values().map(Conn::buffered_write_bytes).sum();
-        let queued = self.shared.jobs.lock().expect("jobs lock").queue.len();
-        let mut json = JsonBuilder::object();
-        json.integer("connections", conns.len() as u64);
-        json.integer("queued_jobs", queued as u64);
-        json.integer("inflight", inflight as u64);
-        json.integer("write_buffered_bytes", buffered as u64);
-        json.integer("epoch", self.source.engine().epoch());
-        json.integer("workers", workers as u64);
-        json.raw("draining", draining.to_string());
-        json.integer("accepted", report.accepted);
-        json.integer("queries", self.shared.queries.load(Ordering::Relaxed));
-        json.integer("control", self.shared.control.load(Ordering::Relaxed));
-        json.integer("completed", self.shared.completed.load(Ordering::Relaxed));
-        json.integer("evicted", report.evicted);
-        json.integer("shed", self.shared.shed.load(Ordering::Relaxed));
-        json.integer(
-            "deadline_expired",
-            self.shared.deadline_expired.load(Ordering::Relaxed),
-        );
-        json.integer("injected_faults", faults.total());
-        json.finish()
+        merged.accepted = self.accepted.load(Ordering::Relaxed);
+        merged
     }
 }
 
-/// Jobs a worker claims per queue lock. Batching amortises the lock,
-/// the completion post and the wake pipe over many requests — without
-/// it, every pipelined query pays a cross-thread ping-pong, which on a
-/// loaded box costs more than executing the (cache-hit) query itself.
-const WORKER_BATCH: usize = 64;
+/// Resolve `config.loops`: explicit when nonzero, else the machine's
+/// parallelism capped at 8.
+fn resolve_loops(config: &ServeConfig) -> usize {
+    if config.loops > 0 {
+        config.loops
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+}
 
-/// One worker: claim a batch, fetch the *current* engine per request,
-/// execute (or expire), post the completions in one go, nudge the loop
-/// once.
-fn worker_loop(
-    shared: Arc<Shared>,
-    source: Arc<dyn EngineSource>,
-    deadline: Duration,
-    retry_hint_ms: u64,
-) {
-    let mut batch: Vec<Job> = Vec::with_capacity(WORKER_BATCH);
-    let mut finished: Vec<Completion> = Vec::with_capacity(WORKER_BATCH);
-    loop {
-        batch.clear();
-        {
-            let mut state = shared.jobs.lock().expect("jobs lock");
-            loop {
-                if !state.queue.is_empty() {
-                    let take = state.queue.len().min(WORKER_BATCH);
-                    batch.extend(state.queue.drain(..take));
-                    shared.queued.fetch_sub(take as u64, Ordering::Relaxed);
-                    break;
-                }
-                if state.stop {
-                    return;
-                }
-                state = shared.jobs_ready.wait(state).expect("jobs lock");
-            }
-        }
-        finished.clear();
-        for job in batch.drain(..) {
-            // A request the queue held past its deadline is answered
-            // `overloaded` without executing: its client has already
-            // retried (or walked), and every cycle spent on it delays
-            // requests that can still make their deadlines.
-            let payload = if job.accepted.elapsed() >= deadline {
-                shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
-                wire::overloaded_envelope("deadline", retry_hint_ms)
-            } else {
-                // Per request, not per batch: an epoch swap mid-batch
-                // is picked up by the very next query.
-                let engine = source.engine();
-                answer_line(&job.line, &engine)
-            };
-            finished.push(Completion {
-                conn: job.conn,
-                seq: job.seq,
-                payload,
-            });
-        }
-        shared
-            .completions
-            .lock()
-            .expect("completions lock")
-            .append(&mut finished);
-        shared.wake();
+/// Resolve the per-shard worker count: explicit when nonzero, else the
+/// machine's parallelism split across the shards (at least 1 each,
+/// capped at 8).
+fn resolve_workers(config: &ServeConfig, loops: usize) -> usize {
+    if config.workers > 0 {
+        config.workers
+    } else {
+        (std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            / loops.max(1))
+        .clamp(1, 8)
     }
 }
 
@@ -945,17 +761,17 @@ mod tests {
     }
 
     #[test]
-    fn drain_deadline_arms_once() {
-        let mut drain = Drain::default();
-        assert!(!drain.active());
-        assert!(!drain.expired());
-        drain.begin(Duration::from_millis(5));
-        let armed = drain.deadline.unwrap();
-        // Chaos-induced re-entry (second shutdown, poll failure while
-        // already draining) must not push the deadline back.
-        drain.begin(Duration::from_secs(3600));
-        assert_eq!(drain.deadline.unwrap(), armed);
-        std::thread::sleep(Duration::from_millis(10));
-        assert!(drain.expired());
+    fn bind_with_policy_refuses_multiple_loops() {
+        let source: Arc<dyn EngineSource> = Arc::new(|| -> Arc<QueryEngine> {
+            unreachable!("never serves");
+        });
+        let config = ServeConfig {
+            loops: 4,
+            ..ServeConfig::default()
+        };
+        let error = Server::bind_with_policy("127.0.0.1:0", config, source, Box::new(DirectIo))
+            .err()
+            .expect("must refuse loops > 1");
+        assert_eq!(error.kind(), io::ErrorKind::InvalidInput);
     }
 }

@@ -1,0 +1,751 @@
+//! One serving shard: an independent event loop with its own poll set,
+//! wake pipe, worker pool, fault lane and cache lane.
+//!
+//! A shard owns every connection the acceptor hands it for life — the
+//! connection's decoder, pipeline sequencing, write-buffer cap
+//! accounting and slow-reader eviction all live on the shard, so no
+//! cross-shard lock ever sits on the per-request path. Shards share
+//! exactly three things: the engine source (immutable per epoch), the
+//! result cache (sharded internally, addressed through a per-shard
+//! lane), and the supervisor's control plane (a stop flag plus wake
+//! pipes). Everything else — job queue, worker pool, I/O policy,
+//! counters — is private, which is what lets N shards saturate N cores
+//! without a shared hot lock.
+//!
+//! The split against the old monolith is mechanical: this module is the
+//! former `server.rs` event loop minus the listener (connections arrive
+//! pre-accepted through an **inbox**, a mutexed queue the acceptor
+//! pushes into and nudges the shard's wake pipe about), plus a
+//! [`ShardPublic`] snapshot the shard republishes every iteration so
+//! the supervisor can aggregate `stats` without torn reads (each
+//! shard's contribution is written and read under its own mutex as one
+//! consistent unit).
+
+use crate::conn::{CloseReason, Conn, Payload};
+use crate::policy::IoPolicy;
+use crate::server::{
+    control_of, drain_wake_pipe, nudge_wake_pipe, Control, ControlPlane, EngineSource, ServeConfig,
+    ServeReport, StatsHub, SHUTDOWN_ACK,
+};
+use crate::sys::{PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use lfp_analysis::json::parse;
+use lfp_query::{wire, QueryEngine};
+use std::collections::{BTreeMap, VecDeque};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One decoded request travelling to the shard's worker pool.
+pub(crate) struct Job {
+    conn: u64,
+    seq: u64,
+    line: String,
+    /// When the request was admitted to a pipeline — the epoch its
+    /// deadline is measured from.
+    accepted: Instant,
+}
+
+/// One executed response travelling back.
+pub(crate) struct Completion {
+    conn: u64,
+    seq: u64,
+    payload: Payload,
+}
+
+pub(crate) struct JobState {
+    queue: VecDeque<Job>,
+    stop: bool,
+}
+
+/// State shared between one shard's loop and its workers.
+pub(crate) struct Shared {
+    jobs: Mutex<JobState>,
+    jobs_ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    /// Writer half of the shard's self-pipe; any thread may nudge the
+    /// loop.
+    wake_tx: UnixStream,
+    pub(crate) queries: AtomicU64,
+    pub(crate) control: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    /// Jobs sitting in the queue right now (admission-control gauge:
+    /// incremented at push, decremented at claim). The loop sheds
+    /// against this plus its own not-yet-pushed batch, so the
+    /// watermark holds even though workers drain concurrently.
+    queued: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn new(wake_tx: UnixStream) -> Shared {
+        Shared {
+            jobs: Mutex::new(JobState {
+                queue: VecDeque::new(),
+                stop: false,
+            }),
+            jobs_ready: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            wake_tx,
+            queries: AtomicU64::new(0),
+            control: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+        }
+    }
+
+    fn wake(&self) {
+        nudge_wake_pipe(&self.wake_tx);
+    }
+}
+
+/// A consistent, whole-iteration view of one shard, published under one
+/// mutex so a `stats` aggregation can never observe half an update —
+/// the torn-read-free contract the supervisor's [`StatsHub`] builds on.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardSnapshot {
+    pub connections: u64,
+    pub queued_jobs: u64,
+    pub inflight: u64,
+    pub write_buffered_bytes: u64,
+    pub adopted: u64,
+    pub queries: u64,
+    pub control: u64,
+    pub completed: u64,
+    pub evicted: u64,
+    pub shed: u64,
+    pub deadline_expired: u64,
+    pub injected_faults: u64,
+    pub iterations: u64,
+    pub draining: bool,
+}
+
+/// The shard's outward face: the supervisor (and any shard answering a
+/// `stats` query) reads the latest snapshot from here.
+#[derive(Default)]
+pub(crate) struct ShardPublic {
+    snapshot: Mutex<ShardSnapshot>,
+}
+
+impl ShardPublic {
+    pub(crate) fn publish(&self, snapshot: ShardSnapshot) {
+        *self.snapshot.lock().expect("shard snapshot poisoned") = snapshot;
+    }
+
+    pub(crate) fn read(&self) -> ShardSnapshot {
+        *self.snapshot.lock().expect("shard snapshot poisoned")
+    }
+}
+
+/// Drain state for a shard loop. Entering drain is **idempotent**: the
+/// deadline is armed exactly once, by whichever trigger fires first
+/// (wire `shutdown`, [`ServerHandle`], a poll failure), and re-entry —
+/// which chaos schedules provoke by racing triggers — can never push it
+/// back.
+///
+/// [`ServerHandle`]: crate::server::ServerHandle
+#[derive(Debug, Default)]
+pub(crate) struct Drain {
+    pub(crate) deadline: Option<Instant>,
+}
+
+impl Drain {
+    /// Whether the loop is draining.
+    pub(crate) fn active(&self) -> bool {
+        self.deadline.is_some()
+    }
+
+    /// Enter drain, arming the deadline only if it is not already set.
+    pub(crate) fn begin(&mut self, timeout: Duration) {
+        if self.deadline.is_none() {
+            self.deadline = Some(Instant::now() + timeout);
+        }
+    }
+
+    /// Whether the armed deadline has passed (never true before
+    /// [`begin`](Drain::begin)).
+    pub(crate) fn expired(&self) -> bool {
+        self.deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+}
+
+/// Answer one already-framed protocol line as a segmented [`Payload`]:
+/// successful answers keep the cache-resident result bytes shared
+/// (flushed later with one gathered write), failures render owned.
+/// Byte-for-byte equivalent to `answer_line` + newline framing — the
+/// head/tail split is property-tested in `lfp_query::wire`.
+pub(crate) fn answer_line_payload(line: &str, engine: &QueryEngine, lane: u64) -> Payload {
+    let value = match parse(line) {
+        Ok(value) => value,
+        Err(error) => {
+            return Payload::Owned(wire::error_envelope(&format!("invalid JSON: {error}")))
+        }
+    };
+    match wire::decode_value(&value) {
+        Ok(query) => match engine.execute_lane(&query, lane) {
+            Ok(response) => Payload::Rendered {
+                head: wire::ok_envelope_head(&engine.canonical(&query), response.cached),
+                body: response.payload,
+            },
+            Err(error) => Payload::Owned(wire::error_envelope(&error)),
+        },
+        Err(error) => Payload::Owned(wire::error_envelope(&error)),
+    }
+}
+
+/// Everything one shard thread needs, bundled at bind time and moved
+/// into the thread at run time.
+pub(crate) struct ShardSeed {
+    pub id: usize,
+    pub config: ServeConfig,
+    pub source: Arc<dyn EngineSource>,
+    pub shared: Arc<Shared>,
+    pub wake_rx: UnixStream,
+    pub inbox: Arc<Mutex<VecDeque<TcpStream>>>,
+    pub public: Arc<ShardPublic>,
+    pub control: Arc<ControlPlane>,
+    pub hub: Arc<StatsHub>,
+    pub conn_gauge: Arc<AtomicUsize>,
+    pub policy: Box<dyn IoPolicy>,
+    /// Worker threads this shard spawns (already resolved per shard).
+    pub workers: usize,
+}
+
+impl ShardSeed {
+    /// Run the shard to completion: spawn this shard's workers, drive
+    /// the event loop until the control plane stops it and the drain
+    /// finishes, join the workers, and return the shard's report.
+    pub(crate) fn run(mut self) -> ServeReport {
+        let mut policy = std::mem::replace(&mut self.policy, Box::new(crate::policy::DirectIo));
+        let workers = self.workers;
+        let deadline = self.config.request_deadline;
+        let retry_hint = self.config.retry_hint_ms;
+        let lane = self.id as u64;
+        let mut pool = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let shared = Arc::clone(&self.shared);
+            let source = Arc::clone(&self.source);
+            let thread = std::thread::Builder::new()
+                .name(format!("lfp-serve-{}-{index}", self.id))
+                .spawn(move || worker_loop(shared, source, deadline, retry_hint, lane))
+                .expect("spawn worker thread");
+            pool.push(thread);
+        }
+
+        let report = self.event_loop(policy.as_mut());
+
+        {
+            let mut jobs = self.shared.jobs.lock().expect("jobs lock");
+            jobs.stop = true;
+        }
+        self.shared.jobs_ready.notify_all();
+        for thread in pool {
+            let _ = thread.join();
+        }
+        report
+    }
+
+    fn event_loop(&mut self, policy: &mut dyn IoPolicy) -> ServeReport {
+        let config = self.config.clone();
+        let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+        let mut next_id = 0u64;
+        let mut report = ServeReport::default();
+        let mut drain = Drain::default();
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut order: Vec<u64> = Vec::new();
+
+        loop {
+            report.iterations += 1;
+            if self.control.stopped() {
+                drain.begin(config.drain_timeout);
+            }
+            let draining = drain.active();
+
+            // ---- interest set -------------------------------------
+            fds.clear();
+            order.clear();
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+            for (&id, conn) in &conns {
+                let mut events = 0i16;
+                if !draining && conn.wants_read(config.max_inflight) {
+                    events |= POLLIN;
+                }
+                if conn.wants_write() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.fd(), events));
+                order.push(id);
+            }
+
+            // A touched connection has work queued that no poll event
+            // will re-announce (resumed pumping, fresh completions):
+            // don't sleep on it.
+            let timeout = if draining {
+                20
+            } else if conns.values().any(|conn| conn.touched) {
+                0
+            } else {
+                200
+            };
+            if let Err(error) = policy.poll(&mut fds, timeout) {
+                // EBADF and friends mean loop state is corrupt; there
+                // is no sane recovery beyond draining out.
+                eprintln!("lfp-serve[shard {}]: poll failed: {error}", self.id);
+                drain.begin(config.drain_timeout);
+            }
+
+            // ---- wake pipe ----------------------------------------
+            if fds[0].readable() {
+                drain_wake_pipe(&self.wake_rx);
+            }
+            // A poll failure above may have begun draining; everything
+            // from here on must observe it this same iteration.
+            let draining = draining || drain.active();
+
+            // ---- adopt connections from the acceptor --------------
+            // Adopted connections enter `touched`, so the zero-timeout
+            // re-poll processes their first bytes next iteration —
+            // exactly the latency the old in-loop accept had.
+            {
+                let mut inbox = self.inbox.lock().expect("shard inbox poisoned");
+                while let Some(stream) = inbox.pop_front() {
+                    report.accepted += 1;
+                    let id = next_id;
+                    next_id += 1;
+                    conns.insert(id, Conn::new(stream, config.max_frame_bytes));
+                }
+            }
+
+            // ---- completions from the pool ------------------------
+            let completions =
+                std::mem::take(&mut *self.shared.completions.lock().expect("completions lock"));
+            for completion in completions {
+                // A completion for an already-closed connection is
+                // dropped on the floor — its client is gone.
+                if let Some(conn) = conns.get_mut(&completion.conn) {
+                    conn.complete(completion.seq, completion.payload);
+                    conn.touched = true;
+                    self.shared.completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+
+            // ---- connection work ----------------------------------
+            // Only connections with poll events or off-poll activity
+            // (`touched`) are processed, so one iteration costs
+            // O(active), not O(connections) — the property that keeps
+            // throughput flat as idle connections pile up.
+            let mut shutdown_requested = false;
+            let mut closed: Vec<(u64, CloseReason)> = Vec::new();
+            let mut new_jobs: Vec<Job> = Vec::new();
+            let mut stats_requests: Vec<(u64, u64)> = Vec::new();
+            let mut active: Vec<u64> = Vec::new();
+
+            // Pass 1: read fresh bytes and pump decoded frames into
+            // jobs / control responses.
+            for (position, &id) in order.iter().enumerate() {
+                let readiness = fds[position + 1];
+                let conn = conns.get_mut(&id).expect("registered conn exists");
+                if !readiness.readable() && !readiness.writable() && !conn.touched {
+                    continue;
+                }
+                conn.touched = false;
+                active.push(id);
+                // An error/hangup state is reported by poll even when
+                // POLLIN wasn't requested; read through the inflight
+                // gate in that case, else the dead socket re-arms poll
+                // forever while nothing collects its EOF (busy-spin).
+                let broken = readiness.revents() & (POLLERR | POLLHUP | POLLNVAL) != 0;
+                let may_read = !conn.read_closed
+                    && !conn.fatal
+                    && (conn.wants_read(config.max_inflight) || broken);
+                if !draining && readiness.readable() && may_read {
+                    let (calls, bytes) = conn.read_some(id, policy);
+                    report.socket_reads += calls;
+                    report.bytes_read += bytes;
+                }
+                if !draining {
+                    shutdown_requested |= self.pump_frames(
+                        id,
+                        conn,
+                        config.max_inflight,
+                        &mut stats_requests,
+                        &mut new_jobs,
+                    );
+                }
+            }
+
+            // `stats` is answered from the supervisor's hub, rendered
+            // once per iteration at most — and only when someone
+            // actually asked. Publish this shard's snapshot first so
+            // the aggregate includes the request that asked for it.
+            if !stats_requests.is_empty() {
+                self.publish(&conns, &report, draining, policy);
+                let epoch = self.source.engine().epoch();
+                let payload = self.hub.render(epoch, draining);
+                for (id, seq) in stats_requests {
+                    if let Some(conn) = conns.get_mut(&id) {
+                        conn.complete(
+                            seq,
+                            Payload::Owned(format!("{{\"ok\": true, \"result\": {payload}}}")),
+                        );
+                    }
+                }
+            }
+
+            // Pass 2: move ready responses out, give the socket a
+            // chance, then enforce the write cap on what it refused —
+            // eviction is for stalled readers, not for bursts the
+            // kernel would have absorbed.
+            for &id in &active {
+                let conn = conns.get_mut(&id).expect("active conn exists");
+                conn.flush_ready();
+                if conn.wants_write() {
+                    conn.try_write(id, policy);
+                }
+                if conn.buffered_write_bytes() > config.write_buffer_cap {
+                    closed.push((id, CloseReason::Evicted));
+                    continue;
+                }
+                if conn.decoder.pending() > 0 && conn.inflight() < config.max_inflight {
+                    // Frames held back by the pipeline bound can move
+                    // again: revisit without waiting for a poll event.
+                    conn.touched = true;
+                }
+                if conn.fatal {
+                    closed.push((id, CloseReason::Error));
+                } else if conn.finished() || (draining && conn.drained()) {
+                    closed.push((id, CloseReason::Finished));
+                }
+            }
+
+            for (id, reason) in closed {
+                if reason == CloseReason::Evicted {
+                    report.evicted += 1;
+                }
+                conns.remove(&id);
+                policy.closed(id);
+                // The global gauge frees an accept slot; wake the
+                // acceptor only when it was actually pinned at the cap.
+                let before = self.conn_gauge.fetch_sub(1, Ordering::SeqCst);
+                if before >= config.max_connections {
+                    self.control.wake_acceptor();
+                }
+            }
+
+            if !new_jobs.is_empty() {
+                let single = new_jobs.len() == 1;
+                self.shared
+                    .queued
+                    .fetch_add(new_jobs.len() as u64, Ordering::Relaxed);
+                {
+                    let mut jobs = self.shared.jobs.lock().expect("jobs lock");
+                    jobs.queue.extend(new_jobs);
+                }
+                if single {
+                    self.shared.jobs_ready.notify_one();
+                } else {
+                    self.shared.jobs_ready.notify_all();
+                }
+            }
+
+            if shutdown_requested {
+                // A wire shutdown stops the *whole server*, not just
+                // this shard: flag the control plane (which nudges every
+                // sibling shard and the acceptor) and start draining
+                // locally this same iteration.
+                self.control.request_stop();
+                drain.begin(config.drain_timeout);
+            }
+
+            self.publish(&conns, &report, drain.active(), policy);
+
+            // ---- drain exit ---------------------------------------
+            if drain.active() {
+                let everything_flushed = conns.values().all(Conn::drained);
+                if everything_flushed {
+                    report.drained_cleanly = true;
+                    break;
+                }
+                if drain.expired() {
+                    report.evicted += conns.len() as u64;
+                    break;
+                }
+            }
+        }
+
+        // Release the gauge slots of connections the expired drain
+        // abandoned, and publish the final counters.
+        if !conns.is_empty() {
+            self.conn_gauge.fetch_sub(conns.len(), Ordering::SeqCst);
+            self.control.wake_acceptor();
+        }
+        conns.clear();
+
+        report.queries = self.shared.queries.load(Ordering::Relaxed);
+        report.control = self.shared.control.load(Ordering::Relaxed);
+        report.completed = self.shared.completed.load(Ordering::Relaxed);
+        report.shed = self.shared.shed.load(Ordering::Relaxed);
+        report.deadline_expired = self.shared.deadline_expired.load(Ordering::Relaxed);
+        report.injected_faults = policy.counters().total();
+        if report.drained_cleanly {
+            report.shards_drained = 1;
+        }
+        self.publish(&conns, &report, true, policy);
+        report
+    }
+
+    /// Publish a consistent snapshot of this shard for the supervisor's
+    /// aggregation (one mutexed write; see [`ShardPublic`]).
+    fn publish(
+        &self,
+        conns: &BTreeMap<u64, Conn>,
+        report: &ServeReport,
+        draining: bool,
+        policy: &dyn IoPolicy,
+    ) {
+        let inflight: usize = conns.values().map(Conn::inflight).sum();
+        let buffered: usize = conns.values().map(Conn::buffered_write_bytes).sum();
+        let queued = self.shared.jobs.lock().expect("jobs lock").queue.len();
+        self.public.publish(ShardSnapshot {
+            connections: conns.len() as u64,
+            queued_jobs: queued as u64,
+            inflight: inflight as u64,
+            write_buffered_bytes: buffered as u64,
+            adopted: report.accepted,
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            control: self.shared.control.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            evicted: report.evicted,
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
+            injected_faults: policy.counters().total(),
+            iterations: report.iterations,
+            draining,
+        });
+    }
+
+    /// Drain decoded frames out of one connection into jobs and
+    /// control responses, respecting the pipeline bound. `stats`
+    /// requests are only *reserved* here (sequence number + origin);
+    /// the loop renders one snapshot for all of them afterwards.
+    /// Returns true if a `shutdown` control query was accepted.
+    fn pump_frames(
+        &self,
+        id: u64,
+        conn: &mut Conn,
+        max_inflight: usize,
+        stats_requests: &mut Vec<(u64, u64)>,
+        new_jobs: &mut Vec<Job>,
+    ) -> bool {
+        let mut shutdown = false;
+        while conn.inflight() < max_inflight {
+            let Some(frame) = conn.decoder.next_frame() else {
+                break;
+            };
+            match frame {
+                Ok(line) => {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    if line == "quit" {
+                        // End of conversation: anything already
+                        // pipelined still gets answered, anything
+                        // decoded after the quit does not.
+                        conn.read_closed = true;
+                        conn.eof_handled = true;
+                        conn.decoder = lfp_query::FrameDecoder::with_limit(conn.decoder.limit());
+                        break;
+                    }
+                    match control_of(line) {
+                        Some(Control::Stats) => {
+                            let seq = conn.assign_seq();
+                            self.shared.control.fetch_add(1, Ordering::Relaxed);
+                            stats_requests.push((id, seq));
+                        }
+                        Some(Control::Shutdown) => {
+                            let seq = conn.assign_seq();
+                            self.shared.control.fetch_add(1, Ordering::Relaxed);
+                            conn.complete(seq, Payload::Owned(SHUTDOWN_ACK.to_string()));
+                            shutdown = true;
+                        }
+                        None => {
+                            let seq = conn.assign_seq();
+                            // Admission control: shed against this
+                            // shard's live queue depth plus this
+                            // iteration's not-yet-pushed batch. The
+                            // response slot is already assigned, so the
+                            // shed reply keeps its place in the
+                            // pipeline order.
+                            let depth = self.shared.queued.load(Ordering::Relaxed) as usize
+                                + new_jobs.len();
+                            if depth >= self.config.queue_watermark {
+                                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                                conn.complete(
+                                    seq,
+                                    Payload::Owned(wire::overloaded_envelope(
+                                        "queue",
+                                        self.config.retry_hint_ms,
+                                    )),
+                                );
+                                continue;
+                            }
+                            self.shared.queries.fetch_add(1, Ordering::Relaxed);
+                            new_jobs.push(Job {
+                                conn: id,
+                                seq,
+                                line: line.to_string(),
+                                accepted: Instant::now(),
+                            });
+                        }
+                    }
+                }
+                Err(error) => {
+                    // Hostile or broken framing: answer once with the
+                    // typed error, finish what was already pipelined,
+                    // and end the conversation.
+                    let seq = conn.assign_seq();
+                    conn.complete(
+                        seq,
+                        Payload::Owned(wire::error_envelope(&error.to_string())),
+                    );
+                    conn.read_closed = true;
+                    conn.eof_handled = true;
+                    conn.decoder = lfp_query::FrameDecoder::with_limit(conn.decoder.limit());
+                    break;
+                }
+            }
+        }
+        // EOF with a partial frame buffered: surface the decoder's
+        // end-of-stream verdict exactly once.
+        if conn.read_closed && !conn.eof_handled && conn.decoder.pending() == 0 {
+            conn.eof_handled = true;
+            if let Some(error) = conn.decoder.finish() {
+                let seq = conn.assign_seq();
+                conn.complete(
+                    seq,
+                    Payload::Owned(wire::error_envelope(&error.to_string())),
+                );
+            }
+        }
+        shutdown
+    }
+}
+
+/// Jobs a worker claims per queue lock. Batching amortises the lock,
+/// the completion post and the wake pipe over many requests — without
+/// it, every pipelined query pays a cross-thread ping-pong, which on a
+/// loaded box costs more than executing the (cache-hit) query itself.
+const WORKER_BATCH: usize = 64;
+
+/// One worker: claim a batch, fetch the *current* engine per request,
+/// execute (or expire), post the completions in one go, nudge the loop
+/// once. `lane` is the owning shard's id — it selects the result-cache
+/// lane so each shard's hot set stays on its own cache shards.
+fn worker_loop(
+    shared: Arc<Shared>,
+    source: Arc<dyn EngineSource>,
+    deadline: Duration,
+    retry_hint_ms: u64,
+    lane: u64,
+) {
+    let mut batch: Vec<Job> = Vec::with_capacity(WORKER_BATCH);
+    let mut finished: Vec<Completion> = Vec::with_capacity(WORKER_BATCH);
+    loop {
+        batch.clear();
+        {
+            let mut state = shared.jobs.lock().expect("jobs lock");
+            loop {
+                if !state.queue.is_empty() {
+                    let take = state.queue.len().min(WORKER_BATCH);
+                    batch.extend(state.queue.drain(..take));
+                    shared.queued.fetch_sub(take as u64, Ordering::Relaxed);
+                    break;
+                }
+                if state.stop {
+                    return;
+                }
+                state = shared.jobs_ready.wait(state).expect("jobs lock");
+            }
+        }
+        finished.clear();
+        for job in batch.drain(..) {
+            // A request the queue held past its deadline is answered
+            // `overloaded` without executing: its client has already
+            // retried (or walked), and every cycle spent on it delays
+            // requests that can still make their deadlines.
+            let payload = if job.accepted.elapsed() >= deadline {
+                shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                Payload::Owned(wire::overloaded_envelope("deadline", retry_hint_ms))
+            } else {
+                // Per request, not per batch: an epoch swap mid-batch
+                // is picked up by the very next query.
+                let engine = source.engine();
+                answer_line_payload(&job.line, &engine, lane)
+            };
+            finished.push(Completion {
+                conn: job.conn,
+                seq: job.seq,
+                payload,
+            });
+        }
+        shared
+            .completions
+            .lock()
+            .expect("completions lock")
+            .append(&mut finished);
+        shared.wake();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_deadline_arms_once() {
+        let mut drain = Drain::default();
+        assert!(!drain.active());
+        assert!(!drain.expired());
+        drain.begin(Duration::from_millis(5));
+        let armed = drain.deadline.unwrap();
+        // Chaos-induced re-entry (second shutdown, poll failure while
+        // already draining) must not push the deadline back.
+        drain.begin(Duration::from_secs(3600));
+        assert_eq!(drain.deadline.unwrap(), armed);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(drain.expired());
+    }
+
+    #[test]
+    fn answer_line_payload_matches_scalar_rendering() {
+        use crate::server::answer_line;
+        let world = Arc::new(lfp_analysis::World::build(lfp_topo::Scale::tiny()));
+        let engine = QueryEngine::new(world);
+        for line in [
+            "{\"query\": \"catalog\"}",
+            "{\"query\": \"transitions\"}",
+            "{\"query\": \"transitions\"}", // warm: cached=true path
+            "not json at all",
+            "{\"query\": \"mystery\"}",
+        ] {
+            // Warm the cache first: both renderings below then take the
+            // cached=true path, so the `cached` flag cannot differ by
+            // evaluation order (the flag's own rendering is covered by
+            // the head/tail property test in `lfp_query::wire`).
+            let _ = answer_line(line, &engine);
+            let scalar = answer_line(line, &engine);
+            let rendered = match answer_line_payload(line, &engine, 0) {
+                Payload::Owned(s) => s,
+                Payload::Rendered { head, body } => format!("{head}{body}}}"),
+            };
+            assert_eq!(scalar, rendered, "line {line}");
+        }
+    }
+}

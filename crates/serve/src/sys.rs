@@ -11,11 +11,22 @@
 //! keeps the serving loop's state machine trivially correct; swapping
 //! in `epoll` later would change only this module.
 //!
-//! This module contains the workspace's only `unsafe` block: one FFI
-//! call whose contract — `fds` points at `len` valid `pollfd` records —
-//! is enforced by taking a Rust slice.
+//! Alongside `poll` lives the hot path's other missing primitive:
+//! `writev(2)`, which lets a connection flush a response assembled from
+//! several owned/shared segments (envelope head, cache-resident payload
+//! bytes, tail, newline) in one syscall without ever copying them into a
+//! contiguous buffer. `std`'s `Write::write_vectored` exists but is not
+//! implemented for `&TcpStream` pre-gather on all platforms we care
+//! about uniformly, and the I/O-policy seam wants the raw-fd form
+//! anyway.
+//!
+//! This module contains the workspace's only `unsafe` blocks: two FFI
+//! calls whose contracts — `fds` points at `len` valid `pollfd`
+//! records; `iov` points at `iovcnt` valid `iovec` records — are
+//! enforced by taking Rust slices (`IoSlice` is guaranteed
+//! ABI-compatible with `iovec`).
 
-use std::io;
+use std::io::{self, IoSlice};
 use std::os::fd::RawFd;
 
 /// Readable interest / readiness (`POLLIN`).
@@ -82,6 +93,7 @@ type Nfds = std::ffi::c_uint;
 
 extern "C" {
     fn poll(fds: *mut PollFd, nfds: Nfds, timeout: std::ffi::c_int) -> std::ffi::c_int;
+    fn writev(fd: std::ffi::c_int, iov: *const IoSlice<'_>, iovcnt: std::ffi::c_int) -> isize;
 }
 
 /// Wait until at least one fd in `fds` is ready or `timeout_ms` elapses
@@ -100,6 +112,30 @@ pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
         if error.kind() != io::ErrorKind::Interrupted {
             return Err(error);
         }
+    }
+}
+
+/// Gather-write `bufs` to `fd` in one syscall. Returns how many bytes
+/// the kernel accepted (possibly spanning only part of the segments —
+/// the caller advances its queue by the count, exactly as for a short
+/// `write`). `EINTR`/`EAGAIN` are **not** retried here: the calling
+/// connection state machine already has arms for both, and the
+/// fault-injection policies need to observe them.
+pub fn writev_fd(fd: RawFd, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+    if bufs.is_empty() {
+        return Ok(0);
+    }
+    // POSIX caps iovcnt at IOV_MAX (>= 16 everywhere, 1024 on Linux);
+    // callers batch far below that, but clamp defensively.
+    let count = bufs.len().min(16) as std::ffi::c_int;
+    // SAFETY: `IoSlice` is documented ABI-compatible with `iovec`; the
+    // slice borrow guarantees `count` valid records for the call's
+    // duration, and the kernel only reads through them.
+    let wrote = unsafe { writev(fd, bufs.as_ptr(), count) };
+    if wrote >= 0 {
+        Ok(wrote as usize)
+    } else {
+        Err(io::Error::last_os_error())
     }
 }
 
@@ -127,6 +163,27 @@ mod tests {
         let mut byte = [0u8; 1];
         (&b).read_exact(&mut byte).unwrap();
         assert_eq!(&byte, b"x");
+    }
+
+    #[test]
+    fn writev_gathers_segments_in_order() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        let head = b"{\"ok\": true, \"result\": ";
+        let body = b"[1, 2, 3]";
+        let tail = b"}\n";
+        let bufs = [IoSlice::new(head), IoSlice::new(body), IoSlice::new(tail)];
+        let wrote = writev_fd(a.as_raw_fd(), &bufs).unwrap();
+        assert_eq!(wrote, head.len() + body.len() + tail.len());
+        drop(a);
+        let mut received = Vec::new();
+        b.read_to_end(&mut received).unwrap();
+        assert_eq!(received, b"{\"ok\": true, \"result\": [1, 2, 3]}\n");
+    }
+
+    #[test]
+    fn writev_on_empty_slice_is_a_no_op() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        assert_eq!(writev_fd(a.as_raw_fd(), &[]).unwrap(), 0);
     }
 
     #[test]

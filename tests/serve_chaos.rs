@@ -59,6 +59,26 @@ impl TestServer {
         }
     }
 
+    /// Multi-loop chaos: every shard runs its own lane of `plan`
+    /// (`seed ⊕ shard_id` — the determinism contract in
+    /// `lfp_serve::policy`).
+    fn start_sharded(config: ServeConfig, plan: FaultPlan) -> TestServer {
+        let engine = shared_engine();
+        let source: Arc<dyn EngineSource> = Arc::new(move || Arc::clone(&engine));
+        let server = Server::bind_with_policy_factory("127.0.0.1:0", config, source, |shard| {
+            Box::new(FaultPolicy::new(plan.lane(shard as u64)))
+        })
+        .expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let thread = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            handle,
+            thread: Some(thread),
+        }
+    }
+
     fn stop(mut self) -> ServeReport {
         self.handle.shutdown();
         self.thread
@@ -212,6 +232,85 @@ fn noise_matrix_keeps_every_pipelined_reply_byte_identical() {
         assert!(
             report.injected_faults > 0,
             "[{name}] schedule injected nothing — the row tests nothing"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Matrix row: the noise schedules again, at four loops. Each shard runs
+// an independent lane of the same seeded plan; the semantics must be
+// unchanged — byte-identical replies, zero lost-acknowledged responses,
+// a drain that empties every shard.
+// ---------------------------------------------------------------------
+
+#[test]
+fn noise_matrix_at_four_loops_keeps_every_reply_byte_identical() {
+    let engine = shared_engine();
+    let mix = test_mix(&engine);
+
+    for (name, plan) in noise_schedules() {
+        let server = TestServer::start_sharded(
+            ServeConfig {
+                loops: 4,
+                ..ServeConfig::default()
+            },
+            plan,
+        );
+        let addr = server.addr;
+
+        // Eight clients → two per shard by round-robin accept order.
+        std::thread::scope(|scope| {
+            for worker in 0..8 {
+                let mix = &mix;
+                let engine = &engine;
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .expect("read timeout");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    for burst in 0..4 {
+                        let mut lines = Vec::new();
+                        let mut bytes = Vec::new();
+                        for index in 0..6 {
+                            let line = &mix[(worker + burst * 2 + index) % mix.len()];
+                            lines.push(line.clone());
+                            bytes.extend_from_slice(line.as_bytes());
+                            bytes.push(b'\n');
+                        }
+                        (&stream).write_all(&bytes).expect("burst write");
+                        for line in &lines {
+                            let mut reply = String::new();
+                            let n = reader.read_line(&mut reply).expect("reply read");
+                            assert!(
+                                n > 0,
+                                "[{name}/4-loop] connection died under a no-kill plan"
+                            );
+                            assert_is_direct_execution(engine, line, reply.trim_end());
+                        }
+                    }
+                });
+            }
+        });
+
+        let report = server.stop();
+        // Zero lost-acknowledged: every request got its reply above, and
+        // the server's own accounting agrees nothing vanished.
+        assert_eq!(report.queries, 8 * 4 * 6, "[{name}/4-loop] lost requests");
+        assert_eq!(
+            report.completed,
+            8 * 4 * 6,
+            "[{name}/4-loop] a completion never reached its connection"
+        );
+        assert!(report.drained_cleanly, "[{name}/4-loop] drain aborted");
+        assert_eq!(
+            report.shards_drained, 4,
+            "[{name}/4-loop] a shard did not drain before exit"
+        );
+        assert!(
+            report.injected_faults > 0,
+            "[{name}/4-loop] schedule injected nothing — the row tests nothing"
         );
     }
 }

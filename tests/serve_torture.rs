@@ -482,3 +482,240 @@ fn stats_reports_epoch_connections_and_counters() {
     assert!(stats.get("queries").and_then(JsonValue::as_u64) >= Some(2));
     server.stop();
 }
+
+// ---------------------------------------------------------------------
+// Multi-loop rows: the same invariants must hold when the serving core
+// is sharded across independent event loops.
+// ---------------------------------------------------------------------
+
+#[test]
+fn four_loop_pipelined_clients_match_direct_execution() {
+    let engine = shared_engine();
+    let server = TestServer::start(ServeConfig {
+        loops: 4,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+    let mix = test_mix(&engine);
+
+    // Eight concurrent clients land two per shard (round-robin by
+    // accept order); every reply must still be byte-identical to
+    // direct execution, wherever the connection landed.
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let mix = &mix;
+            let engine = &engine;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for burst in 0..5 {
+                    let mut lines = Vec::new();
+                    let mut wire_burst = Vec::new();
+                    for index in 0..8 {
+                        let line = &mix[(worker + burst * 3 + index) % mix.len()];
+                        lines.push(line.clone());
+                        wire_burst.extend_from_slice(line.as_bytes());
+                        wire_burst.push(b'\n');
+                    }
+                    client.send(&wire_burst);
+                    for line in &lines {
+                        let reply = client.read_line().expect("pipelined reply");
+                        assert_is_direct_execution(engine, line, &reply);
+                    }
+                }
+            });
+        }
+    });
+
+    let report = server.stop();
+    assert_eq!(report.loops, 4);
+    assert_eq!(report.queries, 8 * 5 * 8);
+    assert!(report.drained_cleanly);
+    assert_eq!(report.shards_drained, 4, "a shard aborted its drain");
+}
+
+#[test]
+fn stats_aggregates_across_shards_with_a_per_shard_breakdown() {
+    let engine = shared_engine();
+    let server = TestServer::start(ServeConfig {
+        loops: 4,
+        workers: 1,
+        ..ServeConfig::default()
+    });
+
+    // Four clients, one per shard by round-robin; each issues two data
+    // queries so every shard's counters move.
+    let mut clients: Vec<Client> = (0..4).map(|_| Client::connect(server.addr)).collect();
+    for client in &mut clients {
+        client.send(b"{\"query\": \"catalog\"}\n{\"query\": \"transitions\"}\n");
+        client.read_line().expect("catalog reply");
+        client.read_line().expect("transitions reply");
+    }
+
+    let stats = wait_for_stats(&mut clients[0], |stats| {
+        stats.get("completed").and_then(JsonValue::as_u64) >= Some(8)
+    });
+    assert_eq!(stats.get("loops").and_then(JsonValue::as_u64), Some(4));
+    // 1 worker per shard × 4 shards.
+    assert_eq!(stats.get("workers").and_then(JsonValue::as_u64), Some(4));
+    assert_eq!(
+        stats.get("epoch").and_then(JsonValue::as_u64),
+        Some(engine.epoch())
+    );
+    assert_eq!(
+        stats.get("connections").and_then(JsonValue::as_u64),
+        Some(4)
+    );
+
+    // The per-shard breakdown is present, one row per shard, and its
+    // columns sum to the aggregate — the torn-read-free contract: each
+    // row is one shard's consistent snapshot.
+    let rows = stats
+        .get("per_shard")
+        .and_then(JsonValue::as_array)
+        .expect("per_shard array");
+    assert_eq!(rows.len(), 4);
+    let column = |name: &str| -> u64 {
+        rows.iter()
+            .map(|row| row.get(name).and_then(JsonValue::as_u64).unwrap_or(0))
+            .sum()
+    };
+    for (index, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.get("shard").and_then(JsonValue::as_u64),
+            Some(index as u64)
+        );
+        // Round-robin spread the 4 clients one per shard, and each
+        // issued queries — no shard sat idle.
+        assert_eq!(row.get("connections").and_then(JsonValue::as_u64), Some(1));
+        assert!(row.get("queries").and_then(JsonValue::as_u64) >= Some(2));
+    }
+    assert_eq!(
+        Some(column("connections")),
+        stats.get("connections").and_then(JsonValue::as_u64)
+    );
+    assert_eq!(
+        Some(column("queries")),
+        stats.get("queries").and_then(JsonValue::as_u64)
+    );
+    server.stop();
+}
+
+/// The drain-before-exit satellite at four loops: responses queued on
+/// connections owned by *every* shard survive a shutdown fired on one
+/// of them.
+#[test]
+fn shutdown_at_four_loops_drains_every_shard() {
+    let engine = shared_engine();
+    let server = TestServer::start(ServeConfig {
+        loops: 4,
+        ..ServeConfig::default()
+    });
+    let mix = test_mix(&engine);
+
+    // One unread pipelined burst per shard (round-robin: the first four
+    // connections land on shards 0..3).
+    let per_conn = 6usize;
+    let mut pipeliners: Vec<(Client, Vec<String>)> = Vec::new();
+    for offset in 0..4 {
+        let mut client = Client::connect(server.addr);
+        let mut burst = Vec::new();
+        let mut lines = Vec::new();
+        for index in 0..per_conn {
+            let line = &mix[(offset + index) % mix.len()];
+            lines.push(line.clone());
+            burst.extend_from_slice(line.as_bytes());
+            burst.push(b'\n');
+        }
+        client.send(&burst);
+        pipeliners.push((client, lines));
+    }
+
+    // Fire the shutdown only after every request is admitted somewhere.
+    let mut trigger = Client::connect(server.addr);
+    wait_for_stats(&mut trigger, |stats| {
+        stats.get("queries").and_then(JsonValue::as_u64) >= Some((4 * per_conn) as u64)
+    });
+    trigger.send(b"{\"query\": \"shutdown\"}\n");
+    let ack = trigger.read_line().expect("shutdown ack");
+    assert!(ack.contains("shutting down"), "{ack}");
+
+    for (mut client, lines) in pipeliners {
+        for line in &lines {
+            let reply = client
+                .read_line()
+                .unwrap_or_else(|| panic!("shutdown dropped a response for {line}"));
+            assert_is_direct_execution(&engine, line, &reply);
+        }
+        assert_eq!(client.read_line(), None, "clean EOF after the drain");
+    }
+
+    let report = server.stop();
+    assert!(report.drained_cleanly, "drain aborted: {report:?}");
+    assert_eq!(report.shards_drained, 4, "some shard did not drain");
+    assert_eq!(report.queries, (4 * per_conn) as u64);
+}
+
+/// The eviction-isolation satellite: at two loops, a stalled reader
+/// evicted on shard A must never stall — or evict — a polite client on
+/// shard B. Round-robin placement makes the assignment deterministic:
+/// the first connection lands on shard 0, the second on shard 1.
+#[test]
+fn evicted_reader_on_one_shard_never_stalls_the_other() {
+    let engine = shared_engine();
+    let server = TestServer::start(ServeConfig {
+        loops: 2,
+        write_buffer_cap: 2 * 1024,
+        max_inflight: 64,
+        ..ServeConfig::default()
+    });
+
+    // Connection #1 → shard 0: pipelines far more response bytes than
+    // the kernel can absorb and never reads.
+    let staller = Client::connect(server.addr);
+    let mut writer_half = staller.stream.try_clone().expect("clone staller");
+    let writer = std::thread::spawn(move || {
+        let line: &[u8] = b"{\"query\": \"catalog\"}\n";
+        for _ in 0..32_000 {
+            if writer_half.write_all(line).is_err() {
+                return;
+            }
+        }
+    });
+
+    // Connection #2 → shard 1: stays fully served throughout.
+    let mut polite = Client::connect(server.addr);
+    for _ in 0..20 {
+        for line in test_mix(&engine) {
+            polite.send(format!("{line}\n").as_bytes());
+            let reply = polite.read_line().expect("polite reply");
+            assert_is_direct_execution(&engine, &line, &reply);
+        }
+    }
+    writer.join().expect("staller writer thread");
+
+    // The eviction is attributed to shard 0, and shard 1 evicted
+    // nobody: the cap accounting moved with the connection to its
+    // shard.
+    let stats = wait_for_stats(&mut polite, |stats| {
+        stats.get("evicted").and_then(JsonValue::as_u64) >= Some(1)
+    });
+    let rows = stats
+        .get("per_shard")
+        .and_then(JsonValue::as_array)
+        .expect("per_shard array");
+    assert_eq!(rows.len(), 2);
+    assert!(
+        rows[0].get("evicted").and_then(JsonValue::as_u64) >= Some(1),
+        "staller not evicted on its own shard: {}",
+        stats.render()
+    );
+    assert_eq!(
+        rows[1].get("evicted").and_then(JsonValue::as_u64),
+        Some(0),
+        "the polite client's shard evicted someone: {}",
+        stats.render()
+    );
+
+    let report = server.stop();
+    assert!(report.evicted >= 1, "staller was never evicted: {report:?}");
+}
