@@ -47,9 +47,10 @@
 //! ignored under `--chaos` (the injected resets *are* the churn).
 
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
-use lfp_bench::mix::{build_mix, connect_with_retry, percentile_us, request, Backoff};
+use lfp_bench::mix::{build_mix, connect_with_retry, request, Backoff};
 use lfp_bench::{merge_bench_phase, read_bench_phase};
 use lfp_net::link::splitmix64;
+use lfp_obs::Histogram;
 use lfp_query::{wire, FrameDecoder};
 use lfp_serve::sys::{poll_fds, PollFd, POLLIN, POLLOUT};
 use std::collections::VecDeque;
@@ -158,6 +159,10 @@ fn main() {
     if warm_errors > 0 && !chaos {
         eprintln!("warning: {warm_errors} queries failed during warm-up");
     }
+    // The bootstrap replies (catalog + warm-up) were acknowledged by
+    // this client too: a reconciliation against the daemon's response
+    // ledger must count them alongside the timed run.
+    let bootstrap_acked = 1 + (mix.len() - warm_errors) as u64;
     eprintln!(
         "driving {addr}: {connections} connections × {requests_per_conn} requests, \
          pipeline {pipeline}, churn every {churn_every}, {} distinct queries{}",
@@ -211,15 +216,16 @@ fn main() {
             threads,
         );
         let qps = run.ok as f64 / run.seconds.max(1e-9);
-        let (p50, p90, p99, max) = (
-            percentile_us(&run.latencies_us, 0.50),
-            percentile_us(&run.latencies_us, 0.90),
-            percentile_us(&run.latencies_us, 0.99),
-            percentile_us(&run.latencies_us, 1.0),
+        let (p50, p90, p99, p999, max) = (
+            run.latency_us.quantile(0.50),
+            run.latency_us.quantile(0.90),
+            run.latency_us.quantile(0.99),
+            run.latency_us.quantile(0.999),
+            run.latency_us.max(),
         );
         println!(
-            "{phase_name}: {}/{total} pipelined queries in {:.2}s → {qps:.0} q/s \
-             (p50 {p50}µs, p90 {p90}µs, p99 {p99}µs, max {max}µs, \
+            "{phase_name}: {}/{total} pipelined queries acknowledged in {:.2}s → {qps:.0} q/s \
+             (p50 {p50}µs, p90 {p90}µs, p99 {p99}µs, p999 {p999}µs, max {max}µs, \
              {} reconnects, {} errors)",
             run.ok, run.seconds, run.churn_events, run.errors
         );
@@ -234,7 +240,8 @@ fn main() {
             run.churn_events,
             run.seconds,
             qps,
-            (p50, p90, p99, max),
+            &run.latency_us,
+            bootstrap_acked,
         );
         if let Some(loops) = scaling_loops {
             write_scaling_cell(
@@ -445,7 +452,7 @@ impl LoadConn {
     }
 
     /// Read whatever arrived and account completed responses.
-    fn try_read(&mut self, ok: &mut u64, errors: &mut u64, latencies: &mut Vec<u64>) {
+    fn try_read(&mut self, ok: &mut u64, errors: &mut u64, latency_us: &mut Histogram) {
         let mut chunk = [0u8; 16 * 1024];
         loop {
             match (&self.stream).read(&mut chunk) {
@@ -466,7 +473,7 @@ impl LoadConn {
                             }
                         };
                         if let Some(start) = self.send_times.pop_front() {
-                            latencies.push(start.elapsed().as_micros() as u64);
+                            latency_us.record(start.elapsed().as_micros() as u64);
                         }
                         if reply.contains("\"ok\": true") {
                             *ok += 1;
@@ -533,7 +540,10 @@ struct RunResult {
     errors: u64,
     churn_events: u64,
     seconds: f64,
-    latencies_us: Vec<u64>,
+    /// Client-observed send-to-reply latency, µs — the same log-linear
+    /// grid the daemon's own histograms use, so per-thread results merge
+    /// exactly and quantiles on both sides are comparable.
+    latency_us: Histogram,
 }
 
 /// Split the fleet across `threads` driver threads (each running the
@@ -595,15 +605,14 @@ fn drive_multi(
         errors: 0,
         churn_events: 0,
         seconds: started.elapsed().as_secs_f64(),
-        latencies_us: Vec::new(),
+        latency_us: Histogram::new(),
     };
     for result in results {
         merged.ok += result.ok;
         merged.errors += result.errors;
         merged.churn_events += result.churn_events;
-        merged.latencies_us.extend(result.latencies_us);
+        merged.latency_us.merge(&result.latency_us);
     }
-    merged.latencies_us.sort_unstable();
     merged
 }
 
@@ -643,7 +652,7 @@ fn drive(
     let mut errors = 0u64;
     let mut churn_events = 0u64;
     let mut iterations = 0u64;
-    let mut latencies: Vec<u64> = Vec::with_capacity(connections * requests_per_conn);
+    let mut latency_us = Histogram::new();
     let mut fds: Vec<PollFd> = Vec::new();
     let mut order: Vec<usize> = Vec::new();
 
@@ -689,7 +698,7 @@ fn drive(
                 conn.try_write();
             }
             if fds[slot].readable() && conn.live() {
-                conn.try_read(&mut ok, &mut errors, &mut latencies);
+                conn.try_read(&mut ok, &mut errors, &mut latency_us);
             }
         }
     }
@@ -703,13 +712,12 @@ fn drive(
         "load loop: {iterations} iterations, {:.1} replies/iteration",
         ok as f64 / iterations.max(1) as f64
     );
-    latencies.sort_unstable();
     RunResult {
         ok,
         errors,
         churn_events,
         seconds: started.elapsed().as_secs_f64(),
-        latencies_us: latencies,
+        latency_us,
     }
 }
 
@@ -729,7 +737,9 @@ struct ChaosRun {
     /// success, plus replies that matched no outstanding request.
     lost: u64,
     seconds: f64,
-    latencies_us: Vec<u64>,
+    /// Client-observed send-to-reply latency, µs (shared bucket grid
+    /// with the daemon's histograms).
+    latency_us: Histogram,
 }
 
 /// One resilient connection: request slots move `pending` →
@@ -920,7 +930,7 @@ impl ChaosConn {
                             }
                         };
                         if let Some(start) = self.send_times.pop_front() {
-                            run.latencies_us.push(start.elapsed().as_micros() as u64);
+                            run.latency_us.record(start.elapsed().as_micros() as u64);
                         }
                         let Some(cursor) = self.outstanding.pop_front() else {
                             run.lost += 1;
@@ -984,7 +994,7 @@ fn chaos_drive(
         retry_budget_remaining: 0,
         lost: 0,
         seconds: 0.0,
-        latencies_us: Vec::with_capacity(connections * requests_per_conn),
+        latency_us: Histogram::new(),
     };
     let mut conns: Vec<ChaosConn> = (0..connections)
         .map(|index| ChaosConn::new(index, requests_per_conn, seed))
@@ -1047,8 +1057,18 @@ fn chaos_drive(
     run.lost += conns.iter().map(|conn| conn.abandoned).sum::<u64>();
     run.retry_budget_remaining = budget_left;
     run.seconds = started.elapsed().as_secs_f64();
-    run.latencies_us.sort_unstable();
     run
+}
+
+/// Render the client-side latency quantiles for a bench phase.
+fn latency_json(latency_us: &Histogram) -> String {
+    let mut latency = JsonBuilder::object();
+    latency.integer("p50", latency_us.quantile(0.50));
+    latency.integer("p90", latency_us.quantile(0.90));
+    latency.integer("p99", latency_us.quantile(0.99));
+    latency.integer("p999", latency_us.quantile(0.999));
+    latency.integer("max", latency_us.max());
+    latency.finish()
 }
 
 /// Write the `chaos` phase: client-observed accounting plus the
@@ -1068,11 +1088,7 @@ fn write_chaos_phase(
             .and_then(JsonValue::as_u64)
             .unwrap_or(0)
     };
-    let mut latency = JsonBuilder::object();
-    latency.integer("p50", percentile_us(&run.latencies_us, 0.50));
-    latency.integer("p90", percentile_us(&run.latencies_us, 0.90));
-    latency.integer("p99", percentile_us(&run.latencies_us, 0.99));
-    latency.integer("max", percentile_us(&run.latencies_us, 1.0));
+    let latency = latency_json(&run.latency_us);
     let mut phase = JsonBuilder::object();
     phase.integer("connections", connections as u64);
     phase.integer("pipeline", pipeline as u64);
@@ -1088,7 +1104,7 @@ fn write_chaos_phase(
     phase.integer("deadline_expired", stat("deadline_expired"));
     phase.number("seconds", run.seconds);
     phase.number("qps", run.ok as f64 / run.seconds.max(1e-9));
-    phase.raw("latency_us", latency.finish());
+    phase.raw("latency_us", latency);
     let phase = parse(&phase.finish()).expect("phase JSON is valid");
     merge_bench_phase(path, phase_name, phase, Some(run.seconds));
     eprintln!("wrote {phase_name} phase to {path}");
@@ -1166,22 +1182,22 @@ fn write_phase(
     churn_events: u64,
     seconds: f64,
     qps: f64,
-    (p50, p90, p99, max): (u64, u64, u64, u64),
+    latency_us: &Histogram,
+    bootstrap_acked: u64,
 ) {
-    let mut latency = JsonBuilder::object();
-    latency.integer("p50", p50);
-    latency.integer("p90", p90);
-    latency.integer("p99", p99);
-    latency.integer("max", max);
+    let latency = latency_json(latency_us);
     let mut phase = JsonBuilder::object();
     phase.integer("connections", connections as u64);
     phase.integer("pipeline", pipeline as u64);
     phase.integer("queries", ok);
+    // Every successful data reply this process read, bootstrap
+    // included — the exact number `lfp_responses_total` must show.
+    phase.integer("acknowledged_total", ok + bootstrap_acked);
     phase.integer("errors", errors);
     phase.integer("reconnects", churn_events);
     phase.number("seconds", seconds);
     phase.number("qps", qps);
-    phase.raw("latency_us", latency.finish());
+    phase.raw("latency_us", latency);
     if phase_name == "serve" {
         if let Some(baseline) = read_bench_phase(path, "serve_baseline") {
             if let Some(baseline_qps) = baseline.get("qps").and_then(JsonValue::as_f64) {

@@ -9,6 +9,7 @@
 //!               [--retry-hint-ms N]
 //!               [--fault-seed N] [--fault-profile quiet|light|aggressive]
 //!               [--cache-shards N] [--cache-capacity N]
+//!               [--slowlog-size N] [--metrics-dump]
 //!               [--store PATH] [--ingest DIR] [--bench-json FILE]
 //!               [--threaded]
 //! ```
@@ -42,13 +43,19 @@
 //! an ephemeral port; the `listening on` line printed to stdout carries
 //! the actual address.
 //!
-//! ## Control queries
+//! ## Control queries and observability
 //!
 //! Beyond the query grammar: `{"query": "stats"}` (event loop only)
 //! reports connections, queue depths and the serving epoch;
-//! `{"query": "shutdown"}` acknowledges, **drains every accepted
-//! request on every connection**, then exits; an EOF or `quit` line
-//! ends one connection (after its pipelined responses flush).
+//! `{"query": "metrics"}` returns the Prometheus text exposition
+//! (JSON-escaped in the reply envelope); `{"query": "slowlog"}` dumps
+//! the top-K-by-latency slow-query log (`--slowlog-size N` sets K,
+//! default 64, 0 disables); `{"query": "shutdown"}` acknowledges,
+//! **drains every accepted request on every connection**, then exits;
+//! an EOF or `quit` line ends one connection (after its pipelined
+//! responses flush). `--metrics-dump` prints the final exposition to
+//! stdout after the drain — the scrape CI archives next to the bench
+//! artefact. Event loop only.
 //!
 //! ## Persistence and ingestion
 //!
@@ -102,6 +109,7 @@ fn main() {
     let mut tuned_event_loop = false;
     let mut fault_seed = 0u64;
     let mut fault_profile: Option<String> = None;
+    let mut metrics_dump = false;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -167,6 +175,14 @@ fn main() {
                 );
                 tuned_event_loop = true;
             }
+            "--slowlog-size" => {
+                config.slowlog_capacity = parse_number(args.next(), "--slowlog-size");
+                tuned_event_loop = true;
+            }
+            "--metrics-dump" => {
+                metrics_dump = true;
+                tuned_event_loop = true;
+            }
             "--cache-shards" => cache_shards = parse_number(args.next(), "--cache-shards"),
             "--cache-capacity" => cache_capacity = parse_number(args.next(), "--cache-capacity"),
             "--store" => {
@@ -229,7 +245,15 @@ fn main() {
             );
             plan
         });
-        serve_event_loop(&addr, port, &scale_name, config, store, fault_plan);
+        serve_event_loop(
+            &addr,
+            port,
+            &scale_name,
+            config,
+            store,
+            fault_plan,
+            metrics_dump,
+        );
     }
 }
 
@@ -237,6 +261,7 @@ fn main() {
 /// Each shard gets its own fault lane (`seed ⊕ shard_id`) when a plan
 /// is armed, so a multi-loop chaos run is exactly as replayable as a
 /// single-loop one.
+#[allow(clippy::too_many_arguments)]
 fn serve_event_loop(
     addr: &str,
     port: u16,
@@ -244,6 +269,7 @@ fn serve_event_loop(
     config: ServeConfig,
     store: Arc<Store>,
     fault_plan: Option<FaultPlan>,
+    metrics_dump: bool,
 ) {
     let engine_store = Arc::clone(&store);
     let source: Arc<dyn EngineSource> = Arc::new(move || engine_store.engine());
@@ -268,7 +294,14 @@ fn serve_event_loop(
     );
     std::io::stdout().flush().ok();
 
+    let obs = server.obs_handle();
     let report = server.run();
+    if metrics_dump {
+        // The drained daemon's final exposition: every counter has
+        // quiesced, so this is the scrape CI reconciles and archives.
+        print!("{}", obs.metrics(&store.engine()));
+        std::io::stdout().flush().ok();
+    }
     let stats = store.engine().cache_stats();
     eprintln!(
         "drained and stopped at epoch {}: {} connections, {} queries, {} control, \
@@ -465,6 +498,7 @@ fn usage(message: &str) -> ! {
          [--queue-watermark N] [--request-deadline-ms N] [--retry-hint-ms N] \
          [--fault-seed N] [--fault-profile quiet|light|aggressive] \
          [--cache-shards N] [--cache-capacity N] \
+         [--slowlog-size N] [--metrics-dump] \
          [--store PATH] [--ingest DIR] [--bench-json FILE] [--threaded]"
     );
     std::process::exit(2);

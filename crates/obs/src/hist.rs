@@ -1,0 +1,383 @@
+//! Log-linear (HDR-style) latency histograms.
+//!
+//! The bucket layout is **fixed and global**: every histogram in the
+//! process uses the same `BUCKETS` boundaries, so snapshots from
+//! different shards merge exactly (bucket-wise addition) and any bucket
+//! boundary emitted in an exposition comes from the same grid.
+//!
+//! Layout: values below `2^SUB_BITS` (= 32) get width-1 linear buckets;
+//! above that, each power-of-two range `[2^k, 2^(k+1))` is split into 32
+//! linear sub-buckets. Quantiles therefore carry a relative error of at
+//! most `1/32` (~3.2%) outside the exact linear region.
+//!
+//! Two flavours share the layout:
+//!
+//! - [`AtomicHistogram`] — the recording side: lock-free relaxed
+//!   `fetch_add` per sample, shard-local, scraped on demand.
+//! - [`Histogram`] — a plain snapshot value: mergeable, serialisable,
+//!   and also usable directly as a single-threaded recorder (e.g. on the
+//!   load-generator client side).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of linear sub-buckets per power-of-two range, as a power of two.
+pub const SUB_BITS: u32 = 5;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Total number of buckets covering the full `u64` value range.
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * (SUBS as usize);
+
+/// Index of the bucket `value` falls into.
+#[inline(always)]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUBS {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let sub = ((value >> (exp - SUB_BITS)) - SUBS) as usize;
+    (exp - SUB_BITS + 1) as usize * SUBS as usize + sub
+}
+
+/// Smallest value mapping to bucket `index`.
+pub fn bucket_low(index: usize) -> u64 {
+    let range = index / SUBS as usize;
+    let sub = (index % SUBS as usize) as u64;
+    if range == 0 {
+        sub
+    } else {
+        (SUBS + sub) << (range - 1)
+    }
+}
+
+/// Largest value mapping to bucket `index` (inclusive).
+pub fn bucket_high(index: usize) -> u64 {
+    let range = index / SUBS as usize;
+    if range == 0 {
+        bucket_low(index)
+    } else {
+        bucket_low(index) + ((1u64 << (range - 1)) - 1)
+    }
+}
+
+/// A plain histogram value: snapshot of an [`AtomicHistogram`], exact
+/// merge target across shards, or a direct single-threaded recorder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline(always)]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Add `n` zero-valued samples in one step — identical to calling
+    /// [`record(0)`](Histogram::record) `n` times (bucket 0 and the
+    /// count grow by `n`; the sum is unchanged; the minimum becomes 0).
+    /// Lets a recorder skip zero samples on its hot path and restore
+    /// them exactly at snapshot time.
+    pub fn pad_zeros(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[0] += n;
+        self.count += n;
+        self.min = 0;
+    }
+
+    /// Merge `other` into `self` bucket-wise; the result is identical to a
+    /// histogram recorded over the concatenation of both sample streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded sample values (wrapping, matching the lock-free
+    /// recording side; realistic latency sums never approach the wrap).
+    #[inline(always)]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether any samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th smallest sample, capped at the
+    /// observed maximum. Relative error is at most `1/32` above the exact
+    /// linear region; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            if seen >= rank {
+                return bucket_high(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterate `(bucket_index, count)` over non-empty buckets, ascending.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lock-free recording-side histogram: one per shard per stage.
+///
+/// Recording is a relaxed `fetch_add` on the sample's bucket plus running
+/// sum/min/max updates — no locks on the hot path. [`AtomicHistogram::snapshot`]
+/// derives the sample count from the bucket array itself, so a snapshot is
+/// always internally consistent (`count == Σ buckets`) even when taken
+/// concurrently with recording.
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        AtomicHistogram {
+            buckets: buckets.into_boxed_slice(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample (lock-free, safe with concurrent recorders).
+    #[inline(always)]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record one sample from the histogram's **single writer**.
+    ///
+    /// Observably identical to [`AtomicHistogram::record`] when exactly
+    /// one thread ever records (the serving shards' usage: each shard's
+    /// event loop is the sole recorder, scrapers only load) — but it
+    /// compiles to plain load/store pairs instead of bus-locked
+    /// read-modify-writes, which matters when a request records into
+    /// eight histograms at flush. With concurrent recorders increments
+    /// can be lost (memory-safe, counts wrong) — callers own that
+    /// contract.
+    #[inline(always)]
+    pub fn record_single_writer(&self, value: u64) {
+        let bucket = &self.buckets[bucket_index(value)];
+        bucket.store(bucket.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.sum.store(
+            self.sum.load(Ordering::Relaxed).wrapping_add(value),
+            Ordering::Relaxed,
+        );
+        let min = self.min.load(Ordering::Relaxed);
+        if value < min {
+            self.min.store(value, Ordering::Relaxed);
+        }
+        let max = self.max.load(Ordering::Relaxed);
+        if value > max {
+            self.max.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Take a whole-value snapshot. The count is computed from the bucket
+    /// array so `snapshot.count() == Σ snapshot buckets` always holds.
+    pub fn snapshot(&self) -> Histogram {
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut count = 0u64;
+        for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            let n = bucket.load(Ordering::Relaxed);
+            *slot = n;
+            count += n;
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        Histogram {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_covers_u64_without_gaps() {
+        // Bucket bounds tile the u64 range: each bucket starts right after
+        // the previous one ends, index 0 starts at 0, and the last bucket
+        // ends at u64::MAX.
+        assert_eq!(bucket_low(0), 0);
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_low(i), bucket_high(i - 1) + 1, "gap at bucket {i}");
+        }
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn index_respects_bounds() {
+        let probes = [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 40,
+            (1 << 40) + 12345,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(bucket_low(i) <= v, "low({i}) > {v}");
+            assert!(bucket_high(i) >= v, "high({i}) < {v}");
+        }
+    }
+
+    #[test]
+    fn relative_width_bound() {
+        for i in (SUBS as usize)..BUCKETS {
+            let low = bucket_low(i);
+            let width = bucket_high(i) - low + 1;
+            assert!(width * 32 <= low, "bucket {i}: width {width} low {low}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        for (q, exact) in [(0.5, 500u64), (0.9, 900), (0.99, 990), (0.999, 999)] {
+            let got = h.quantile(q);
+            assert!(got >= exact, "q{q}: {got} < {exact}");
+            assert!(got - exact <= exact / 32 + 1, "q{q}: {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn atomic_snapshot_matches_plain_recording() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = Histogram::new();
+        for v in [0u64, 1, 7, 31, 32, 99, 4096, 1 << 33, u64::MAX] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    /// The single-writer fast path is observably identical to the
+    /// locked path when one thread records.
+    #[test]
+    fn single_writer_recording_matches_locked_recording() {
+        let locked = AtomicHistogram::new();
+        let fast = AtomicHistogram::new();
+        for v in [0u64, 1, 7, 31, 32, 99, 4096, 1 << 33, u64::MAX, 5, 5] {
+            locked.record(v);
+            fast.record_single_writer(v);
+        }
+        assert_eq!(locked.snapshot(), fast.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.nonzero().count(), 0);
+    }
+}

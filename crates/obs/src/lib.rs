@@ -1,0 +1,29 @@
+//! Observability primitives for the LFP serving stack.
+//!
+//! `lfp-obs` is deliberately std-only and dependency-free so every other
+//! crate in the workspace can use it without layering concerns:
+//!
+//! - [`clock`] — a monotonic time seam: [`MonotonicClock`] for production,
+//!   [`ManualClock`] for deterministic tests and chaos replay.
+//! - [`hist`] — log-linear (HDR-style) latency histograms with a fixed
+//!   global bucket layout, lock-free recording ([`AtomicHistogram`]) and
+//!   exact snapshot merging ([`Histogram`]).
+//! - [`trace`] — per-request span traces ([`Trace`]) stamped at each
+//!   serving stage, cheap enough to be always-on.
+//! - [`slowlog`] — a fixed-capacity top-K slow-query log ([`SlowLog`]).
+//! - [`prom`] — Prometheus text exposition rendering ([`PromText`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod hist;
+pub mod prom;
+pub mod slowlog;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use hist::{bucket_high, bucket_index, bucket_low, AtomicHistogram, Histogram, BUCKETS};
+pub use prom::PromText;
+pub use slowlog::{SlowEntry, SlowLog};
+pub use trace::{Stage, Trace, STAGE_COUNT};

@@ -1,0 +1,154 @@
+//! Prometheus text exposition rendering.
+//!
+//! A small, allocation-light writer for the Prometheus text format
+//! (version 0.0.4): `# TYPE` headers, labelled counter/gauge samples, and
+//! histogram families with cumulative `_bucket{le="..."}` series. Because
+//! every [`Histogram`] shares the global bucket layout, only non-empty
+//! buckets are emitted — any `le` bound that appears is a bound from the
+//! same fixed grid, so series from different shards remain comparable.
+
+use crate::hist::{bucket_high, Histogram};
+
+/// Builder for a Prometheus text exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    buf: String,
+}
+
+impl PromText {
+    /// Start an empty exposition.
+    pub fn new() -> Self {
+        PromText { buf: String::new() }
+    }
+
+    /// Emit `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` is one of `counter`, `gauge`, or `histogram`.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        self.buf.push_str("# HELP ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(help);
+        self.buf.push('\n');
+        self.buf.push_str("# TYPE ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(kind);
+        self.buf.push('\n');
+    }
+
+    /// Emit one integer-valued sample.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_line(name, labels, &value.to_string());
+    }
+
+    /// Emit one float-valued sample.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample_line(name, labels, &format!("{value}"));
+    }
+
+    /// Emit a full histogram family member: cumulative `_bucket` series
+    /// for every non-empty bucket plus `le="+Inf"`, then `_sum` and
+    /// `_count`. The `+Inf` bucket always equals `_count`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], hist: &Histogram) {
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (index, count) in hist.nonzero() {
+            cumulative += count;
+            let le = bucket_high(index).to_string();
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample_line(&bucket_name, &with_le, &cumulative.to_string());
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.sample_line(&bucket_name, &with_inf, &hist.count().to_string());
+        self.sample_line(&format!("{name}_sum"), labels, &hist.sum().to_string());
+        self.sample_line(&format!("{name}_count"), labels, &hist.count().to_string());
+    }
+
+    /// Finish and return the exposition text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+
+    fn sample_line(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.buf.push_str(name);
+        if !labels.is_empty() {
+            self.buf.push('{');
+            for (i, (key, val)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.buf.push(',');
+                }
+                self.buf.push_str(key);
+                self.buf.push_str("=\"");
+                escape_label_into(&mut self.buf, val);
+                self.buf.push('"');
+            }
+            self.buf.push('}');
+        }
+        self.buf.push(' ');
+        self.buf.push_str(value);
+        self.buf.push('\n');
+    }
+}
+
+/// Escape a label value per the text-format rules (`\`, `"`, newline).
+fn escape_label_into(buf: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => buf.push_str("\\\\"),
+            '"' => buf.push_str("\\\""),
+            '\n' => buf.push_str("\\n"),
+            other => buf.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let mut out = PromText::new();
+        out.header("lfp_queries_total", "counter", "Total queries admitted.");
+        out.sample("lfp_queries_total", &[("shard", "0")], 42);
+        out.sample("lfp_queries_total", &[("shard", "1")], 58);
+        out.header("lfp_connections", "gauge", "Open connections.");
+        out.sample("lfp_connections", &[], 7);
+        let text = out.into_string();
+        assert!(text.contains("# TYPE lfp_queries_total counter\n"));
+        assert!(text.contains("lfp_queries_total{shard=\"0\"} 42\n"));
+        assert!(text.contains("lfp_queries_total{shard=\"1\"} 58\n"));
+        assert!(text.contains("lfp_connections 7\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_reconcile() {
+        let mut hist = Histogram::new();
+        for v in [3u64, 3, 40, 500, 500, 500, 1_000_000] {
+            hist.record(v);
+        }
+        let mut out = PromText::new();
+        out.histogram("lfp_request_duration", &[("shard", "all")], &hist);
+        let text = out.into_string();
+        // +Inf bucket equals _count equals the recorded sample count.
+        assert!(text.contains("le=\"+Inf\"} 7\n"));
+        assert!(text.contains("lfp_request_duration_count{shard=\"all\"} 7\n"));
+        // Cumulative counts are non-decreasing and end at count.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{")) {
+            let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(value >= last, "non-monotone bucket line: {line}");
+            last = value;
+        }
+        assert_eq!(last, 7);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut out = PromText::new();
+        out.sample("m", &[("q", "say \"hi\"\\\n")], 1);
+        assert_eq!(out.into_string(), "m{q=\"say \\\"hi\\\"\\\\\\n\"} 1\n");
+    }
+}

@@ -1,0 +1,185 @@
+//! Fixed-capacity top-K slow-query log.
+//!
+//! The log keeps the K slowest requests seen so far, ranked by total
+//! latency. The hot path pays one relaxed atomic load per request
+//! ([`SlowLog::qualifies`]); the mutex is only taken for requests that
+//! would actually enter the log, which becomes rare as the admission
+//! floor rises.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::STAGE_COUNT;
+
+/// One slow-query record.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// Completion timestamp (clock-origin nanoseconds), for ordering.
+    pub end_ns: u64,
+    /// Total accept-to-flush latency in nanoseconds.
+    pub total_ns: u64,
+    /// Per-stage breakdown, indexed by [`crate::Stage::index`].
+    pub stages: [u64; STAGE_COUNT],
+    /// Shard (event loop) that served the request.
+    pub shard: u64,
+    /// Engine epoch the request was answered at.
+    pub epoch: u64,
+    /// Whether the response came from the result cache.
+    pub cached: bool,
+    /// Canonical form of the query.
+    pub canonical: String,
+    /// Planner explain trace (empty for cache hits and control replies).
+    pub explain: String,
+}
+
+/// Min-heap wrapper: orders [`SlowEntry`] so the *fastest* kept entry is
+/// at the heap root, making eviction of the current minimum O(log K) and
+/// the admission-floor read O(1).
+struct HeapSlot(SlowEntry);
+
+impl PartialEq for HeapSlot {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapSlot {}
+impl PartialOrd for HeapSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapSlot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest total
+        // (ties: oldest) on top so it is the one displaced when full.
+        other
+            .0
+            .total_ns
+            .cmp(&self.0.total_ns)
+            .then_with(|| other.0.end_ns.cmp(&self.0.end_ns))
+    }
+}
+
+/// Top-K-by-latency ring of [`SlowEntry`] records.
+pub struct SlowLog {
+    capacity: usize,
+    /// Admission floor: the smallest total in a *full* log (0 otherwise).
+    floor: AtomicU64,
+    inner: Mutex<BinaryHeap<HeapSlot>>,
+}
+
+impl SlowLog {
+    /// Create a log keeping the `capacity` slowest requests. A capacity
+    /// of 0 disables the log entirely.
+    pub fn new(capacity: usize) -> Self {
+        SlowLog {
+            capacity,
+            floor: AtomicU64::new(0),
+            inner: Mutex::new(BinaryHeap::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cheap pre-check: could a request with this total latency enter the
+    /// log? False only when the log is full of at-least-as-slow entries.
+    pub fn qualifies(&self, total_ns: u64) -> bool {
+        self.capacity > 0 && total_ns >= self.floor.load(Ordering::Relaxed)
+    }
+
+    /// Offer an entry; it is kept only if it ranks among the K slowest.
+    /// The heap keeps the current minimum at its root, so a full-log
+    /// replacement is one `peek_mut` sift (O(log K)) and the new
+    /// admission floor is read off the root in O(1) — no scans, which
+    /// matters when a latency ramp makes every request qualify.
+    pub fn offer(&self, entry: SlowEntry) {
+        if !self.qualifies(entry.total_ns) {
+            return;
+        }
+        let mut log = self.inner.lock().unwrap();
+        if log.len() < self.capacity {
+            log.push(HeapSlot(entry));
+        } else {
+            // Full: qualifies() raced or tied — replace the root only if
+            // the newcomer is strictly slower.
+            let mut root = log.peek_mut().expect("full log is non-empty");
+            if entry.total_ns > root.0.total_ns {
+                root.0 = entry;
+            } else {
+                return;
+            }
+        }
+        if log.len() == self.capacity {
+            // Once full, only strictly slower entries may displace the
+            // current minimum, so the admission floor is min + 1.
+            let min = log.peek().expect("full log is non-empty").0.total_ns;
+            self.floor.store(min.saturating_add(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Current entries, slowest first (ties: most recent first).
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        let log = self.inner.lock().unwrap();
+        let mut out: Vec<SlowEntry> = log.iter().map(|slot| slot.0.clone()).collect();
+        drop(log);
+        out.sort_by(|a, b| {
+            b.total_ns
+                .cmp(&a.total_ns)
+                .then_with(|| b.end_ns.cmp(&a.end_ns))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(total_ns: u64, tag: &str) -> SlowEntry {
+        SlowEntry {
+            end_ns: total_ns,
+            total_ns,
+            stages: [0; STAGE_COUNT],
+            shard: 0,
+            epoch: 1,
+            cached: false,
+            canonical: tag.to_string(),
+            explain: String::new(),
+        }
+    }
+
+    #[test]
+    fn keeps_the_k_slowest() {
+        let log = SlowLog::new(3);
+        for total in [10u64, 50, 20, 90, 5, 60, 55] {
+            log.offer(entry(total, &format!("q{total}")));
+        }
+        let kept: Vec<u64> = log.entries().iter().map(|e| e.total_ns).collect();
+        assert_eq!(kept, vec![90, 60, 55]);
+    }
+
+    #[test]
+    fn floor_filters_without_locking_semantics_change() {
+        let log = SlowLog::new(2);
+        log.offer(entry(100, "a"));
+        log.offer(entry(200, "b"));
+        assert!(!log.qualifies(50));
+        assert!(!log.qualifies(100)); // must strictly beat the floor
+        assert!(log.qualifies(150));
+        log.offer(entry(150, "c"));
+        let kept: Vec<u64> = log.entries().iter().map(|e| e.total_ns).collect();
+        assert_eq!(kept, vec![200, 150]);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let log = SlowLog::new(0);
+        log.offer(entry(1_000_000, "big"));
+        assert!(log.entries().is_empty());
+        assert!(!log.qualifies(u64::MAX));
+    }
+}

@@ -1,0 +1,125 @@
+//! Histogram correctness properties.
+//!
+//! * **Merge exactness:** merging per-shard histograms is bucket-exact —
+//!   identical to one histogram recorded over the concatenated samples.
+//! * **Quantile error bound:** reported quantiles never under-report and
+//!   carry at most `1/32` relative error, even on adversarial mixed-
+//!   magnitude distributions.
+//! * **Deterministic recording:** traces stamped from a `ManualClock`
+//!   attribute exactly the advanced durations, stage by stage.
+
+use lfp_obs::{Clock, Histogram, ManualClock, Stage, Trace};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Adversarial sample values: dense small values, boundary powers of
+/// two (± 1), mid-range latencies, and arbitrary u64s.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        64u64..100_000,
+        (0u32..64).prop_map(|shift| 1u64 << shift),
+        (1u32..64).prop_map(|shift| (1u64 << shift) - 1),
+        (1u32..64).prop_map(|shift| (1u64 << shift) + 1),
+        any::<u64>(),
+    ]
+}
+
+fn from_values(values: &[u64]) -> Histogram {
+    let mut hist = Histogram::new();
+    for &v in values {
+        hist.record(v);
+    }
+    hist
+}
+
+/// The exact value a histogram quantile approximates: the
+/// `ceil(q * n)`-th smallest sample.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Sharded recording merges exactly: any split of a sample stream
+    /// across shards, merged bucket-wise, equals single-histogram
+    /// recording over the concatenation (buckets, count, sum, min, max).
+    #[test]
+    fn merge_equals_concatenated_recording(
+        left in collection::vec(value_strategy(), 0..200),
+        right in collection::vec(value_strategy(), 0..200),
+    ) {
+        let mut merged = from_values(&left);
+        merged.merge(&from_values(&right));
+
+        let mut concatenated = left.clone();
+        concatenated.extend_from_slice(&right);
+        prop_assert_eq!(merged, from_values(&concatenated));
+    }
+
+    /// Merging is order-independent (so shard scrape order is irrelevant).
+    #[test]
+    fn merge_is_commutative(
+        left in collection::vec(value_strategy(), 0..100),
+        right in collection::vec(value_strategy(), 0..100),
+    ) {
+        let mut ab = from_values(&left);
+        ab.merge(&from_values(&right));
+        let mut ba = from_values(&right);
+        ba.merge(&from_values(&left));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Quantiles never under-report and stay within 1/32 relative error
+    /// of the exact order statistic, for every probed q.
+    #[test]
+    fn quantile_relative_error_is_bounded(
+        values in collection::vec(value_strategy(), 1..400),
+    ) {
+        let hist = from_values(&values);
+        let mut sorted = values;
+        sorted.sort_unstable();
+        for q in [0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let got = hist.quantile(q);
+            prop_assert!(got >= exact, "q={q}: {got} < exact {exact}");
+            let error = got - exact;
+            prop_assert!(
+                error.saturating_mul(32) <= exact,
+                "q={q}: error {error} vs exact {exact}"
+            );
+        }
+        // Monotone in q, and the extremes hit min/max exactly.
+        let mut last = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = hist.quantile(q);
+            prop_assert!(v >= last);
+            last = v;
+        }
+        prop_assert_eq!(hist.quantile(1.0), hist.max());
+    }
+
+    /// Stamping a trace from a `ManualClock` is exact: each stage
+    /// receives precisely the nanoseconds advanced before its stamp, and
+    /// the total is the full advanced span.
+    #[test]
+    fn manual_clock_recording_is_exact(
+        deltas in collection::vec(0u64..1_000_000, 1..64),
+        seed in any::<u32>(),
+    ) {
+        let clock = ManualClock::new(u64::from(seed));
+        let mut trace = Trace::begin(clock.now_ns());
+        let mut expected = [0u64; lfp_obs::STAGE_COUNT];
+        for (i, &delta) in deltas.iter().enumerate() {
+            let stage = Stage::ALL[i % lfp_obs::STAGE_COUNT];
+            clock.advance(delta);
+            trace.stamp(stage, clock.now_ns());
+            expected[stage.index()] += delta;
+        }
+        for stage in Stage::ALL {
+            prop_assert_eq!(trace.stage_ns(stage), expected[stage.index()]);
+        }
+        let total: u64 = deltas.iter().sum();
+        prop_assert_eq!(trace.total_ns(), total);
+    }
+}

@@ -31,6 +31,31 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries displaced by LRU eviction since construction.
+    pub evictions: u64,
+}
+
+/// Number of per-lane counter slots; lanes index modulo this, so lane
+/// ids below `LANE_SLOTS` (every serving event-loop shard in practice)
+/// get exact per-lane counters.
+pub const LANE_SLOTS: usize = 64;
+
+/// Per-lane counters (monotonic since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Lookups answered from the cache under this lane.
+    pub hits: u64,
+    /// Lookups under this lane that fell through to execution.
+    pub misses: u64,
+    /// Evictions triggered by inserts under this lane.
+    pub evictions: u64,
+}
+
+#[derive(Default)]
+struct LaneCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CacheStats {
@@ -102,21 +127,23 @@ impl Shard {
         Some(Arc::clone(&self.nodes[index].value))
     }
 
-    fn insert(&mut self, key: &str, value: Arc<str>) {
+    /// Insert (or refresh) a key; returns true when an existing entry
+    /// was evicted to make room.
+    fn insert(&mut self, key: &str, value: Arc<str>) -> bool {
         if let Some(&index) = self.map.get(key) {
             self.nodes[index].value = value;
             self.unlink(index);
             self.push_front(index);
-            return;
+            return false;
         }
-        let index = if self.nodes.len() < self.capacity {
+        let (index, evicted) = if self.nodes.len() < self.capacity {
             self.nodes.push(Node {
                 key: key.to_string(),
                 value,
                 prev: NIL,
                 next: NIL,
             });
-            self.nodes.len() - 1
+            (self.nodes.len() - 1, false)
         } else {
             // Evict the least-recently-used node and reuse its slot.
             let victim = self.tail;
@@ -124,10 +151,11 @@ impl Shard {
             let old_key = std::mem::replace(&mut self.nodes[victim].key, key.to_string());
             self.map.remove(&old_key);
             self.nodes[victim].value = value;
-            victim
+            (victim, true)
         };
         self.map.insert(key.to_string(), index);
         self.push_front(index);
+        evicted
     }
 }
 
@@ -137,6 +165,8 @@ pub struct ShardedLru {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    lanes: Vec<LaneCounters>,
 }
 
 impl ShardedLru {
@@ -152,7 +182,13 @@ impl ShardedLru {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            lanes: (0..LANE_SLOTS).map(|_| LaneCounters::default()).collect(),
         }
+    }
+
+    fn lane_slot(&self, lane: u64) -> &LaneCounters {
+        &self.lanes[(lane % LANE_SLOTS as u64) as usize]
     }
 
     fn shard_of(&self, key: &str, lane: u64) -> &Mutex<Shard> {
@@ -183,9 +219,16 @@ impl ShardedLru {
             .lock()
             .expect("cache shard poisoned")
             .get(key);
+        let slot = self.lane_slot(lane);
         match result {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                slot.hits.fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slot.misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         result
     }
@@ -201,10 +244,17 @@ impl ShardedLru {
     /// entry may live once per lane) for zero cross-lane contention,
     /// the right trade for a cache.
     pub fn insert_lane(&self, key: &str, value: Arc<str>, lane: u64) {
-        self.shard_of(key, lane)
+        let evicted = self
+            .shard_of(key, lane)
             .lock()
             .expect("cache shard poisoned")
             .insert(key, value);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.lane_slot(lane)
+                .evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Current counters.
@@ -217,6 +267,19 @@ impl ShardedLru {
                 .iter()
                 .map(|shard| shard.lock().expect("cache shard poisoned").map.len())
                 .sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counters for one caller lane (see [`ShardedLru::get_lane`]).
+    /// Lanes index a fixed array of [`LANE_SLOTS`] counter slots, so ids
+    /// `LANE_SLOTS` apart share a slot.
+    pub fn lane_stats(&self, lane: u64) -> LaneStats {
+        let slot = self.lane_slot(lane);
+        LaneStats {
+            hits: slot.hits.load(Ordering::Relaxed),
+            misses: slot.misses.load(Ordering::Relaxed),
+            evictions: slot.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -300,6 +363,28 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(cache.get_lane("laned", 3).as_deref(), Some("w"));
         }
+    }
+
+    #[test]
+    fn per_lane_counters_track_hits_misses_and_evictions() {
+        let cache = ShardedLru::new(1, 2);
+        assert!(cache.get_lane("a", 3).is_none());
+        cache.insert_lane("a", value("A"), 3);
+        assert!(cache.get_lane("a", 3).is_some());
+        // Fill past capacity under lane 3: evictions attribute to it.
+        cache.insert_lane("b", value("B"), 3);
+        cache.insert_lane("c", value("C"), 3);
+        let lane = cache.lane_stats(3);
+        assert_eq!((lane.hits, lane.misses, lane.evictions), (1, 1, 1));
+        // Other lanes saw none of that traffic.
+        let other = cache.lane_stats(4);
+        assert_eq!((other.hits, other.misses, other.evictions), (0, 0, 0));
+        // Global counters agree with the lane sums.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 1));
+        // Re-inserting an existing key is a refresh, not an eviction.
+        cache.insert_lane("c", value("C2"), 3);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

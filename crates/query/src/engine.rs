@@ -26,6 +26,7 @@ use lfp_analysis::homogeneity::per_as_vendor_counts;
 use lfp_analysis::json::{escape, number, JsonBuilder};
 use lfp_analysis::path_corpus::{LabelSource, PathCorpus};
 use lfp_analysis::World;
+use lfp_obs::Clock;
 use lfp_stack::vendor::Vendor;
 use lfp_topo::Continent;
 use std::collections::{BTreeMap, HashMap};
@@ -45,6 +46,25 @@ pub struct Response {
     pub payload: Arc<str>,
     /// Whether the payload came from the result cache.
     pub cached: bool,
+}
+
+/// Observed execution breakdown for one query, in nanoseconds (see
+/// [`QueryEngine::execute_lane_obs`]). The sub-stages partition the
+/// engine's share of a request: cache probe (+ insert), selection
+/// planning, and everything else (fold + render).
+#[derive(Debug, Clone, Default)]
+pub struct ExecObs {
+    /// Canonicalisation plus result-cache probe (and insert on a miss).
+    pub cache_ns: u64,
+    /// Selection planning (`select_rows`); 0 for planless queries and
+    /// cache hits.
+    pub plan_ns: u64,
+    /// Computing and rendering the payload; 0 for cache hits.
+    pub render_ns: u64,
+    /// Whether the response came from the result cache.
+    pub cached: bool,
+    /// The planner's explain trace (empty on hits and planless queries).
+    pub explain: String,
 }
 
 /// The serving engine. Shareable by reference (or `Arc`) across worker
@@ -191,6 +211,82 @@ impl QueryEngine {
     /// the determinism tests and benches).
     pub fn execute_uncached(&self, query: &Query) -> Result<String, String> {
         self.compute(query)
+    }
+
+    /// [`execute_lane`](QueryEngine::execute_lane) with per-sub-stage
+    /// timing: identical bytes and cache behaviour, plus an [`ExecObs`]
+    /// splitting the engine's time into cache probe / plan / render and
+    /// carrying the planner's explain trace for the slow-query log.
+    pub fn execute_lane_obs(
+        &self,
+        query: &Query,
+        lane: u64,
+        clock: &dyn Clock,
+    ) -> Result<(Response, ExecObs), String> {
+        let probe_start = clock.now_ns();
+        let key = self.canonical(query);
+        if let Some(payload) = self.cache.get_lane(&key, lane) {
+            let obs = ExecObs {
+                cache_ns: clock.now_ns().saturating_sub(probe_start),
+                cached: true,
+                ..ExecObs::default()
+            };
+            return Ok((
+                Response {
+                    payload,
+                    cached: true,
+                },
+                obs,
+            ));
+        }
+        let compute_start = clock.now_ns();
+        let (body, plan_ns, explain) = self.compute_obs(query, clock)?;
+        let compute_end = clock.now_ns();
+        let payload: Arc<str> = Arc::from(body);
+        self.cache.insert_lane(&key, Arc::clone(&payload), lane);
+        let insert_end = clock.now_ns();
+        let compute_ns = compute_end.saturating_sub(compute_start);
+        let obs = ExecObs {
+            cache_ns: compute_start.saturating_sub(probe_start)
+                + insert_end.saturating_sub(compute_end),
+            plan_ns,
+            render_ns: compute_ns.saturating_sub(plan_ns),
+            cached: false,
+            explain,
+        };
+        Ok((
+            Response {
+                payload,
+                cached: false,
+            },
+            obs,
+        ))
+    }
+
+    /// [`compute`](QueryEngine::compute) with the planner timed
+    /// separately: returns the rendered payload, the nanoseconds spent in
+    /// `select_rows`, and the plan's explain trace.
+    fn compute_obs(
+        &self,
+        query: &Query,
+        clock: &dyn Clock,
+    ) -> Result<(String, u64, String), String> {
+        let selection = match query {
+            Query::PathDiversity { selection }
+            | Query::Transitions { selection }
+            | Query::LongestRuns { selection } => selection,
+            planless => return Ok((self.compute(planless)?, 0, String::new())),
+        };
+        let plan_start = clock.now_ns();
+        let plan = select_rows(&self.corpus, selection)?;
+        let plan_ns = clock.now_ns().saturating_sub(plan_start);
+        let payload = match query {
+            Query::PathDiversity { .. } => self.path_diversity(&plan.rows, &plan.explain),
+            Query::Transitions { .. } => self.transitions(&plan.rows, &plan.explain),
+            Query::LongestRuns { .. } => self.longest_runs(&plan.rows, &plan.explain),
+            _ => unreachable!("selection queries are matched above"),
+        };
+        Ok((payload, plan_ns, plan.explain))
     }
 
     fn compute(&self, query: &Query) -> Result<String, String> {
@@ -516,6 +612,31 @@ mod tests {
         assert_eq!(&*cold.payload, engine.execute_uncached(&query).unwrap());
         let stats = engine.cache_stats();
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn observed_execution_is_byte_identical_and_reports_stages() {
+        let engine = engine();
+        let clock = lfp_obs::MonotonicClock::new();
+        let query = Query::PathDiversity {
+            selection: Selection::default(),
+        };
+        let (cold, cold_obs) = engine.execute_lane_obs(&query, 0, &clock).unwrap();
+        assert!(!cold.cached && !cold_obs.cached);
+        assert!(
+            cold_obs.explain.contains("base=all"),
+            "explain trace captured on a miss"
+        );
+        assert_eq!(&*cold.payload, engine.execute_uncached(&query).unwrap());
+        let (warm, warm_obs) = engine.execute_lane_obs(&query, 0, &clock).unwrap();
+        assert!(warm.cached && warm_obs.cached);
+        assert!(warm_obs.explain.is_empty());
+        assert_eq!((warm_obs.plan_ns, warm_obs.render_ns), (0, 0));
+        assert_eq!(cold.payload, warm.payload);
+        // And the untraced lane path sees the same cache entry.
+        let plain = engine.execute_lane(&query, 0).unwrap();
+        assert!(plain.cached);
+        assert_eq!(plain.payload, cold.payload);
     }
 
     #[test]

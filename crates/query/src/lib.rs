@@ -50,8 +50,8 @@ pub mod query;
 pub mod wire;
 
 pub use batch::{run_batch, run_batch_with_shards};
-pub use cache::{CacheStats, ShardedLru};
-pub use engine::{QueryEngine, Response};
+pub use cache::{CacheStats, LaneStats, ShardedLru, LANE_SLOTS};
+pub use engine::{ExecObs, QueryEngine, Response};
 pub use plan::{select_rows, RowPlan};
 pub use query::{Query, Selection};
 pub use wire::{FrameDecoder, FrameError};

@@ -32,6 +32,7 @@
 //!
 //! [`DirectIo`]: crate::policy::DirectIo
 
+use crate::obs::ReqTrace;
 use crate::policy::IoPolicy;
 use lfp_query::FrameDecoder;
 use std::collections::{BTreeMap, VecDeque};
@@ -77,6 +78,14 @@ impl Seg {
     }
 }
 
+/// One outbound segment plus, on a response's **last** segment, the
+/// request's trace — popping that segment is the flush event the
+/// observability plane records at.
+struct OutSeg {
+    seg: Seg,
+    trace: Option<Box<ReqTrace>>,
+}
+
 /// The success-envelope tail plus the line terminator, queued as one
 /// static segment.
 const RENDERED_TAIL: &[u8] = b"}\n";
@@ -106,12 +115,23 @@ pub(crate) struct Conn {
     next_assign: u64,
     /// Sequence number whose response is the next to enter `write_buf`.
     next_flush: u64,
-    /// Completed responses waiting for their turn (keyed by seq).
-    done: BTreeMap<u64, Payload>,
+    /// Completed responses waiting for their turn (keyed by seq), each
+    /// with its request trace when it was a data query.
+    done: BTreeMap<u64, (Payload, Option<Box<ReqTrace>>)>,
     /// Wire segments ready for the socket, oldest first; the front
     /// segment is already sent up to `front_pos`.
-    out: VecDeque<Seg>,
+    out: VecDeque<OutSeg>,
     front_pos: usize,
+    /// Traces of responses whose last byte was just written; the event
+    /// loop drains these each iteration and records them (the flush
+    /// stamp happens there, where the clock lives). Deliberately a vec
+    /// of boxes: the trace is allocated once at accept and the same box
+    /// rides to the recording site without a ~150-byte copy here.
+    #[allow(clippy::vec_box)]
+    flushed: Vec<Box<ReqTrace>>,
+    /// Clock-origin timestamp of the most recent read that produced
+    /// bytes (or of adoption) — the arrival time new traces begin at.
+    pub(crate) arrived_ns: u64,
     /// Unsent bytes across `out` (the quantity `write_buffer_cap`
     /// bounds), maintained incrementally so the cap check stays O(1).
     out_bytes: usize,
@@ -132,7 +152,7 @@ pub(crate) struct Conn {
 }
 
 impl Conn {
-    pub(crate) fn new(stream: TcpStream, max_frame_bytes: usize) -> Conn {
+    pub(crate) fn new(stream: TcpStream, max_frame_bytes: usize, now_ns: u64) -> Conn {
         Conn {
             stream,
             decoder: FrameDecoder::with_limit(max_frame_bytes),
@@ -141,6 +161,8 @@ impl Conn {
             done: BTreeMap::new(),
             out: VecDeque::new(),
             front_pos: 0,
+            flushed: Vec::new(),
+            arrived_ns: now_ns,
             out_bytes: 0,
             read_closed: false,
             eof_handled: false,
@@ -164,7 +186,41 @@ impl Conn {
     /// Record the response for `seq` (from a worker, or synthesised
     /// in-loop for control queries and framing errors).
     pub(crate) fn complete(&mut self, seq: u64, payload: Payload) {
-        self.done.insert(seq, payload);
+        self.done.insert(seq, (payload, None));
+    }
+
+    /// [`complete`](Conn::complete), carrying the request's trace so
+    /// the flush of its last byte can be observed.
+    pub(crate) fn complete_traced(
+        &mut self,
+        seq: u64,
+        payload: Payload,
+        trace: Option<Box<ReqTrace>>,
+    ) {
+        self.done.insert(seq, (payload, trace));
+    }
+
+    /// Move the traces of responses fully written since the last call
+    /// into `out` (which must be empty). Swapping instead of returning
+    /// a fresh `Vec` lets the event loop recycle one scratch buffer's
+    /// capacity across all connections and iterations.
+    #[allow(clippy::vec_box)]
+    pub(crate) fn take_flushed_into(&mut self, out: &mut Vec<Box<ReqTrace>>) {
+        debug_assert!(out.is_empty());
+        std::mem::swap(&mut self.flushed, out);
+    }
+
+    /// Whether any traces await [`Conn::take_flushed_into`].
+    pub(crate) fn has_flushed(&self) -> bool {
+        !self.flushed.is_empty()
+    }
+
+    /// Data responses completed but not yet fully written — what a
+    /// closing connection abandons (counted as dropped responses).
+    pub(crate) fn unflushed_traces(&self) -> u64 {
+        let waiting = self.done.values().filter(|(_, t)| t.is_some()).count();
+        let queued = self.out.iter().filter(|s| s.trace.is_some()).count();
+        (waiting + queued + self.flushed.len()) as u64
     }
 
     /// Requests accepted but not yet flushed into the write buffer —
@@ -204,7 +260,12 @@ impl Conn {
     /// can perturb every read. Sets `read_closed` on EOF, `fatal` on
     /// error. Returns (read syscalls, bytes) for the loop's activity
     /// counters.
-    pub(crate) fn read_some(&mut self, id: u64, policy: &mut dyn IoPolicy) -> (u64, u64) {
+    pub(crate) fn read_some(
+        &mut self,
+        id: u64,
+        policy: &mut dyn IoPolicy,
+        now_ns: u64,
+    ) -> (u64, u64) {
         let mut chunk = [0u8; 8192];
         let mut taken = 0usize;
         let mut calls = 0u64;
@@ -217,6 +278,7 @@ impl Conn {
                 }
                 Ok(n) => {
                     self.decoder.feed(&chunk[..n]);
+                    self.arrived_ns = now_ns;
                     taken += n;
                     if taken >= READ_BUDGET {
                         return (calls, taken as u64);
@@ -242,25 +304,39 @@ impl Conn {
     /// the socket has had a chance to drain — a healthy reader must
     /// never be evicted for a burst the kernel would have absorbed.
     pub(crate) fn flush_ready(&mut self) {
-        while let Some(payload) = self.done.remove(&self.next_flush) {
+        while let Some((payload, trace)) = self.done.remove(&self.next_flush) {
             match payload {
                 Payload::Owned(mut line) => {
                     line.push('\n');
                     self.out_bytes += line.len();
-                    self.out.push_back(Seg::Owned(line));
+                    self.out.push_back(OutSeg {
+                        seg: Seg::Owned(line),
+                        trace,
+                    });
                 }
                 Payload::Rendered { head, body } => {
                     self.out_bytes += head.len() + body.len() + RENDERED_TAIL.len();
-                    self.out.push_back(Seg::Owned(head));
-                    self.out.push_back(Seg::Shared(body));
-                    self.out.push_back(Seg::Static(RENDERED_TAIL));
+                    self.out.push_back(OutSeg {
+                        seg: Seg::Owned(head),
+                        trace: None,
+                    });
+                    self.out.push_back(OutSeg {
+                        seg: Seg::Shared(body),
+                        trace: None,
+                    });
+                    self.out.push_back(OutSeg {
+                        seg: Seg::Static(RENDERED_TAIL),
+                        trace,
+                    });
                 }
             }
             self.next_flush += 1;
         }
     }
 
-    /// Drop `n` accepted bytes off the front of the segment queue.
+    /// Drop `n` accepted bytes off the front of the segment queue. A
+    /// fully consumed segment carrying a trace means its response's
+    /// last byte just went out: surface the trace for recording.
     fn advance_out(&mut self, mut n: usize) {
         self.out_bytes -= n;
         while n > 0 {
@@ -268,6 +344,7 @@ impl Conn {
                 .out
                 .front()
                 .expect("advance past queue end")
+                .seg
                 .bytes()
                 .len();
             let remaining = front_len - self.front_pos;
@@ -277,7 +354,10 @@ impl Conn {
             }
             n -= remaining;
             self.front_pos = 0;
-            self.out.pop_front();
+            let spent = self.out.pop_front().expect("front exists");
+            if let Some(trace) = spent.trace {
+                self.flushed.push(trace);
+            }
         }
     }
 
@@ -288,7 +368,7 @@ impl Conn {
         while self.wants_write() {
             let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_GATHER_SEGS);
             for (index, seg) in self.out.iter().take(MAX_GATHER_SEGS).enumerate() {
-                let bytes = seg.bytes();
+                let bytes = seg.seg.bytes();
                 let bytes = if index == 0 {
                     &bytes[self.front_pos..]
                 } else {

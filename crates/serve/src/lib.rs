@@ -65,6 +65,7 @@
 
 pub(crate) mod accept;
 pub(crate) mod conn;
+pub(crate) mod obs;
 pub mod policy;
 pub mod server;
 pub(crate) mod shard;
@@ -72,6 +73,6 @@ pub mod sys;
 
 pub use policy::{DirectIo, FaultCounters, FaultPlan, FaultPolicy, IoPolicy};
 pub use server::{
-    answer_line, is_shutdown_line, EngineSource, ServeConfig, ServeReport, Server, ServerHandle,
-    SHUTDOWN_ACK,
+    answer_line, is_shutdown_line, EngineSource, ObsHandle, ServeConfig, ServeReport, Server,
+    ServerHandle, SHUTDOWN_ACK,
 };

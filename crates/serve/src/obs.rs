@@ -1,0 +1,197 @@
+//! The serving core's observability plane: the per-request trace
+//! carrier and the shard-local recording surface.
+//!
+//! Recording deliberately deviates from the [`ShardPublic`] whole-copy
+//! pattern: nine histograms per shard are too heavy to republish every
+//! iteration. Instead each shard records lock-free into its own
+//! [`ShardObs`] ([`AtomicHistogram`] per stage, single-writer relaxed
+//! stores on the hot path) and a `metrics` scrape snapshots whole
+//! histograms on
+//! demand — [`AtomicHistogram::snapshot`] derives the count from the
+//! bucket array, so every snapshot is internally consistent even while
+//! recording continues.
+//!
+//! The unit convention: [`Trace`] accumulates **nanoseconds** (the
+//! clock's native resolution); histograms record **microseconds**
+//! (converted at the single recording site), so bucket bounds in the
+//! exposition read directly as µs.
+//!
+//! [`ShardPublic`]: crate::shard::ShardPublic
+
+use lfp_obs::{AtomicHistogram, Histogram, SlowEntry, SlowLog, Stage, Trace, STAGE_COUNT};
+use std::sync::atomic::AtomicU64;
+
+/// Everything the observability plane carries along one request: the
+/// stage trace plus the context the slow-query log wants at the end.
+/// Boxed wherever it rides (job → completion → segment queue) so the
+/// hot structs stay small.
+pub(crate) struct ReqTrace {
+    /// Per-stage durations, stamped along the pipeline.
+    pub trace: Trace,
+    /// Canonical form of the query (filled at execution).
+    pub canonical: String,
+    /// Planner explain trace (empty on cache hits).
+    pub explain: String,
+    /// Whether the response came from the result cache.
+    pub cached: bool,
+    /// Engine epoch the request was answered at.
+    pub epoch: u64,
+    /// Whether execution succeeded (only successful data responses are
+    /// recorded — the reconciliation contract with client-side acks).
+    pub ok: bool,
+}
+
+impl ReqTrace {
+    /// Begin a trace at `now_ns` (when the request's bytes arrived).
+    pub(crate) fn begin(now_ns: u64) -> Box<ReqTrace> {
+        Box::new(ReqTrace {
+            trace: Trace::begin(now_ns),
+            canonical: String::new(),
+            explain: String::new(),
+            cached: false,
+            epoch: 0,
+            ok: false,
+        })
+    }
+}
+
+/// One shard's recording surface. Shared between the shard (writer) and
+/// the stats hub (scraper); every member is lock-free.
+pub(crate) struct ShardObs {
+    /// Total accept-to-flush latency of successful data responses, µs.
+    pub request: AtomicHistogram,
+    /// Per-stage latency of successful data responses, µs, indexed by
+    /// [`Stage::index`].
+    pub stages: [AtomicHistogram; STAGE_COUNT],
+    /// Data responses whose connection died before the last byte was
+    /// written (the completion had nowhere to flush). Together with the
+    /// request histogram's count this ledgers every executed data job.
+    pub dropped: AtomicU64,
+    /// Monotone publication counter: bumped on every snapshot publish.
+    pub snapshot_seq: AtomicU64,
+    /// Clock-origin timestamp of server start (for `uptime_ms`).
+    pub started_ns: u64,
+}
+
+impl ShardObs {
+    pub(crate) fn new(started_ns: u64) -> ShardObs {
+        ShardObs {
+            request: AtomicHistogram::new(),
+            stages: std::array::from_fn(|_| AtomicHistogram::new()),
+            dropped: AtomicU64::new(0),
+            snapshot_seq: AtomicU64::new(0),
+            started_ns,
+        }
+    }
+
+    /// Record one flushed, successful data response into the stage and
+    /// request histograms, and offer it to the slow-query log. This is
+    /// the **single** recording site — a response is counted exactly
+    /// when its last byte went out, which is what makes the exposition
+    /// total reconcile with client-side acknowledged counts.
+    ///
+    /// Takes the box itself: the trace was boxed at accept and this is
+    /// where it dies — unboxing at the call site would copy it.
+    #[allow(clippy::boxed_local)]
+    pub(crate) fn record(&self, slowlog: &SlowLog, shard: u64, rt: Box<ReqTrace>) {
+        let total_ns = rt.trace.total_ns();
+        // The shard's event loop is the sole recorder (this method runs
+        // at flush, on the loop thread), so the single-writer fast path
+        // is sound: plain load/store instead of locked RMWs across up
+        // to nine histograms per response.
+        self.request.record_single_writer(total_ns / 1_000);
+        // Zero-duration stages are skipped here and reconstructed as
+        // bucket-0 padding at snapshot time ([`ShardObs::stage_snapshot`]):
+        // the resulting histogram is identical (a zero sample adds one to
+        // bucket 0 and nothing to the sum), and a cache hit skips three
+        // histogram updates on the hot path.
+        for stage in Stage::ALL {
+            let ns = rt.trace.stage_ns(stage);
+            if ns > 0 {
+                self.stages[stage.index()].record_single_writer(ns / 1_000);
+            }
+        }
+        if slowlog.qualifies(total_ns) {
+            slowlog.offer(SlowEntry {
+                end_ns: rt.trace.start_ns().saturating_add(total_ns),
+                total_ns,
+                stages: *rt.trace.stages(),
+                shard,
+                epoch: rt.epoch,
+                cached: rt.cached,
+                canonical: rt.canonical,
+                explain: rt.explain,
+            });
+        }
+    }
+
+    /// Whole-value snapshot of the request-duration histogram.
+    pub(crate) fn request_snapshot(&self) -> Histogram {
+        self.request.snapshot()
+    }
+
+    /// Whole-value snapshot of one stage histogram. `responses` is the
+    /// request-histogram count this scrape already took: stage samples
+    /// that were exactly zero were never recorded (hot-path shortcut in
+    /// [`ShardObs::record`]), so the deficit against the response count
+    /// is padded back into bucket 0 — making the snapshot identical to
+    /// one that had recorded every zero. Saturating: a response whose
+    /// stage values land between the two snapshot reads can make the
+    /// stage count transiently exceed `responses`.
+    pub(crate) fn stage_snapshot(&self, stage: Stage, responses: u64) -> Histogram {
+        let mut snap = self.stages[stage.index()].snapshot();
+        snap.pad_zeros(responses.saturating_sub(snap.count()));
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lfp_obs::{Clock, ManualClock};
+    use std::sync::Arc;
+
+    /// The recording site counts exactly the successful responses it is
+    /// handed and feeds the slow log the same per-stage breakdown.
+    #[test]
+    fn record_reconciles_counts_and_feeds_slowlog() {
+        let obs = ShardObs::new(0);
+        let slowlog = Arc::new(SlowLog::new(2));
+        let clock = ManualClock::new(1_000);
+
+        for i in 0..4u64 {
+            let mut rt = ReqTrace::begin(clock.now_ns());
+            clock.advance(1_000 * (i + 1)); // 1, 2, 3, 4 µs in Accept
+            rt.trace.stamp(Stage::Accept, clock.now_ns());
+            clock.advance(10_000); // 10 µs in Execute
+            rt.trace.stamp(Stage::Execute, clock.now_ns());
+            rt.canonical = format!("{{\"q\": {i}}}");
+            rt.ok = true;
+            obs.record(&slowlog, 3, rt);
+        }
+
+        let request = obs.request_snapshot();
+        assert_eq!(request.count(), 4);
+        assert_eq!(
+            obs.stage_snapshot(Stage::Accept, request.count()).count(),
+            4
+        );
+        assert_eq!(
+            obs.stage_snapshot(Stage::Execute, request.count()).sum(),
+            40
+        );
+        // Stages never stamped surface as bucket-0 padding, so every
+        // stage histogram's count still equals the response count.
+        let flush = obs.stage_snapshot(Stage::Flush, request.count());
+        assert_eq!(flush.count(), 4);
+        assert_eq!(flush.sum(), 0);
+
+        // Top-2 slowest survive, carrying shard id and stage breakdown.
+        let entries = slowlog.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].total_ns, 14_000);
+        assert_eq!(entries[1].total_ns, 13_000);
+        assert_eq!(entries[0].shard, 3);
+        assert_eq!(entries[0].stages[Stage::Execute.index()], 10_000);
+    }
+}

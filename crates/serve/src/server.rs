@@ -46,11 +46,13 @@
 //!   a client that keeps a deep decoder queue.
 
 use crate::accept::{Acceptor, ShardLink};
+use crate::obs::ShardObs;
 use crate::policy::{DirectIo, FaultCounters, IoPolicy};
 use crate::shard::{ShardPublic, ShardSeed, ShardSnapshot, Shared};
 use crate::sys::PollFd;
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
-use lfp_query::{wire, QueryEngine};
+use lfp_obs::{Clock, Histogram, MonotonicClock, PromText, SlowLog, Stage};
+use lfp_query::{wire, QueryEngine, LANE_SLOTS};
 use std::collections::VecDeque;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -115,6 +117,10 @@ pub struct ServeConfig {
     pub request_deadline: Duration,
     /// Retry hint (milliseconds) embedded in `overloaded` responses.
     pub retry_hint_ms: u64,
+    /// Entries the top-K-by-latency slow-query log keeps (server-wide,
+    /// across shards). 0 disables the log; the `slowlog` control query
+    /// then reports an empty ring.
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +136,7 @@ impl Default for ServeConfig {
             queue_watermark: usize::MAX,
             request_deadline: Duration::from_secs(30),
             retry_hint_ms: 25,
+            slowlog_capacity: 64,
         }
     }
 }
@@ -272,6 +279,8 @@ pub fn answer_line(line: &str, engine: &QueryEngine) -> String {
 /// The control queries the shard loops answer themselves.
 pub(crate) enum Control {
     Stats,
+    Metrics,
+    Slowlog,
     Shutdown,
 }
 
@@ -279,12 +288,23 @@ pub(crate) enum Control {
 /// substring test rejects virtually every data query, and only
 /// candidates pay for a parse that confirms the `query` field exactly.
 pub(crate) fn control_of(line: &str) -> Option<Control> {
-    if !line.contains("stats") && !line.contains("shutdown") {
+    // Every control word contains an 's', so one vectorized char scan
+    // rejects most data lines before the four substring tests run.
+    if !line.contains('s') {
+        return None;
+    }
+    if !line.contains("stats")
+        && !line.contains("shutdown")
+        && !line.contains("metrics")
+        && !line.contains("slowlog")
+    {
         return None;
     }
     let value = parse(line).ok()?;
     match value.get("query").and_then(JsonValue::as_str) {
         Some("stats") => Some(Control::Stats),
+        Some("metrics") => Some(Control::Metrics),
+        Some("slowlog") => Some(Control::Slowlog),
         Some("shutdown") => Some(Control::Shutdown),
         _ => None,
     }
@@ -311,6 +331,12 @@ pub(crate) struct StatsHub {
     publics: Vec<Arc<ShardPublic>>,
     accepted: Arc<AtomicU64>,
     total_workers: usize,
+    /// Per-shard recording surfaces (same order as `publics`).
+    obs: Vec<Arc<ShardObs>>,
+    /// The server-wide slow-query log.
+    slowlog: Arc<SlowLog>,
+    /// The server's clock, for uptime in the exposition.
+    clock: Arc<dyn Clock>,
 }
 
 impl StatsHub {
@@ -357,10 +383,345 @@ impl StatsHub {
                 row.integer("injected_faults", s.injected_faults);
                 row.integer("iterations", s.iterations);
                 row.raw("draining", s.draining.to_string());
+                row.integer("uptime_ms", s.uptime_ms);
+                row.integer("snapshot_seq", s.snapshot_seq);
                 row.finish()
             }),
         );
         json.finish()
+    }
+
+    /// Render the `metrics` control result: the full Prometheus text
+    /// exposition — counters and gauges from each shard's latest
+    /// snapshot, cache counters (global and per lane), and the stage /
+    /// request-duration histograms with per-shard series plus a
+    /// bucket-exact `shard="all"` merge.
+    ///
+    /// The reconciliation contract: `lfp_responses_total` and the
+    /// `lfp_request_duration_us` histogram are both derived from the
+    /// *same* per-shard snapshots, so the bucket counts always sum to
+    /// the total — and once traffic quiesces, that total equals the
+    /// client-side acknowledged count exactly.
+    pub(crate) fn render_metrics(&self, engine: &QueryEngine) -> String {
+        let snapshots: Vec<ShardSnapshot> = self.publics.iter().map(|p| p.read()).collect();
+        let names: Vec<String> = (0..snapshots.len()).map(|i| i.to_string()).collect();
+        let mut out = PromText::new();
+
+        let sharded = |out: &mut PromText,
+                       name: &str,
+                       kind: &str,
+                       help: &str,
+                       field: &dyn Fn(&ShardSnapshot) -> u64| {
+            out.header(name, kind, help);
+            for (i, s) in snapshots.iter().enumerate() {
+                out.sample(name, &[("shard", &names[i])], field(s));
+            }
+            out.sample(name, &[("shard", "all")], snapshots.iter().map(field).sum());
+        };
+
+        out.header(
+            "lfp_uptime_ms",
+            "gauge",
+            "Milliseconds since the server started.",
+        );
+        out.sample(
+            "lfp_uptime_ms",
+            &[],
+            self.clock
+                .now_ns()
+                .saturating_sub(self.obs.first().map_or(0, |o| o.started_ns))
+                / 1_000_000,
+        );
+        out.header("lfp_epoch", "gauge", "Serving engine epoch.");
+        out.sample("lfp_epoch", &[], engine.epoch());
+        out.header("lfp_loops", "gauge", "Event-loop shards.");
+        out.sample("lfp_loops", &[], snapshots.len() as u64);
+        out.header("lfp_workers", "gauge", "Worker threads across shards.");
+        out.sample("lfp_workers", &[], self.total_workers as u64);
+        out.header("lfp_draining", "gauge", "1 while any shard is draining.");
+        out.sample(
+            "lfp_draining",
+            &[],
+            u64::from(snapshots.iter().any(|s| s.draining)),
+        );
+        out.header(
+            "lfp_accepted_total",
+            "counter",
+            "Connections accepted over the server's lifetime.",
+        );
+        out.sample(
+            "lfp_accepted_total",
+            &[],
+            self.accepted.load(Ordering::Relaxed),
+        );
+
+        sharded(
+            &mut out,
+            "lfp_connections",
+            "gauge",
+            "Open connections.",
+            &|s| s.connections,
+        );
+        sharded(
+            &mut out,
+            "lfp_queued_jobs",
+            "gauge",
+            "Decoded requests waiting for a worker.",
+            &|s| s.queued_jobs,
+        );
+        sharded(
+            &mut out,
+            "lfp_inflight",
+            "gauge",
+            "Requests admitted but not yet flushed.",
+            &|s| s.inflight,
+        );
+        sharded(
+            &mut out,
+            "lfp_write_buffered_bytes",
+            "gauge",
+            "Unsent response bytes buffered.",
+            &|s| s.write_buffered_bytes,
+        );
+        sharded(
+            &mut out,
+            "lfp_queries_total",
+            "counter",
+            "Data requests admitted into pipelines.",
+            &|s| s.queries,
+        );
+        sharded(
+            &mut out,
+            "lfp_control_total",
+            "counter",
+            "Control requests answered.",
+            &|s| s.control,
+        );
+        sharded(
+            &mut out,
+            "lfp_completed_total",
+            "counter",
+            "Worker completions delivered to connections.",
+            &|s| s.completed,
+        );
+        sharded(
+            &mut out,
+            "lfp_evicted_total",
+            "counter",
+            "Connections evicted (write cap or drain deadline).",
+            &|s| s.evicted,
+        );
+        sharded(
+            &mut out,
+            "lfp_shed_total",
+            "counter",
+            "Data queries shed at admission (queue watermark).",
+            &|s| s.shed,
+        );
+        sharded(
+            &mut out,
+            "lfp_deadline_expired_total",
+            "counter",
+            "Jobs answered overloaded past their deadline.",
+            &|s| s.deadline_expired,
+        );
+        sharded(
+            &mut out,
+            "lfp_injected_faults_total",
+            "counter",
+            "Faults the I/O policies injected (chaos runs).",
+            &|s| s.injected_faults,
+        );
+        sharded(
+            &mut out,
+            "lfp_iterations_total",
+            "counter",
+            "Event-loop iterations.",
+            &|s| s.iterations,
+        );
+        sharded(
+            &mut out,
+            "lfp_snapshot_seq",
+            "counter",
+            "Monotone shard snapshot publications.",
+            &|s| s.snapshot_seq,
+        );
+
+        // ---- the observability plane proper -----------------------
+        let requests: Vec<Histogram> = self.obs.iter().map(|o| o.request_snapshot()).collect();
+        let mut all_requests = Histogram::new();
+        for hist in &requests {
+            all_requests.merge(hist);
+        }
+        out.header(
+            "lfp_responses_total",
+            "counter",
+            "Successful data responses whose last byte was written.",
+        );
+        for (i, hist) in requests.iter().enumerate() {
+            out.sample("lfp_responses_total", &[("shard", &names[i])], hist.count());
+        }
+        out.sample(
+            "lfp_responses_total",
+            &[("shard", "all")],
+            all_requests.count(),
+        );
+        out.header(
+            "lfp_responses_dropped_total",
+            "counter",
+            "Data responses whose connection died before the flush.",
+        );
+        let mut dropped_all = 0u64;
+        for (i, obs) in self.obs.iter().enumerate() {
+            let dropped = obs.dropped.load(Ordering::Relaxed);
+            dropped_all += dropped;
+            out.sample(
+                "lfp_responses_dropped_total",
+                &[("shard", &names[i])],
+                dropped,
+            );
+        }
+        out.sample(
+            "lfp_responses_dropped_total",
+            &[("shard", "all")],
+            dropped_all,
+        );
+        out.header(
+            "lfp_request_duration_us",
+            "histogram",
+            "Accept-to-flush latency of successful data responses (microseconds).",
+        );
+        for (i, hist) in requests.iter().enumerate() {
+            out.histogram("lfp_request_duration_us", &[("shard", &names[i])], hist);
+        }
+        out.histogram(
+            "lfp_request_duration_us",
+            &[("shard", "all")],
+            &all_requests,
+        );
+        out.header(
+            "lfp_stage_duration_us",
+            "histogram",
+            "Per-stage latency of successful data responses (microseconds).",
+        );
+        for stage in Stage::ALL {
+            let mut all = Histogram::new();
+            for (i, obs) in self.obs.iter().enumerate() {
+                let hist = obs.stage_snapshot(stage, requests[i].count());
+                out.histogram(
+                    "lfp_stage_duration_us",
+                    &[("stage", stage.name()), ("shard", &names[i])],
+                    &hist,
+                );
+                all.merge(&hist);
+            }
+            out.histogram(
+                "lfp_stage_duration_us",
+                &[("stage", stage.name()), ("shard", "all")],
+                &all,
+            );
+        }
+
+        // ---- result cache -----------------------------------------
+        let cache = engine.cache_stats();
+        let handle = engine.cache_handle();
+        let lanes: Vec<(String, lfp_query::LaneStats)> = (0..snapshots.len().min(LANE_SLOTS))
+            .map(|lane| (lane.to_string(), handle.lane_stats(lane as u64)))
+            .collect();
+        let lane_metric = |out: &mut PromText,
+                           name: &str,
+                           help: &str,
+                           total: u64,
+                           field: &dyn Fn(&lfp_query::LaneStats) -> u64| {
+            out.header(name, "counter", help);
+            for (label, stats) in &lanes {
+                out.sample(name, &[("lane", label)], field(stats));
+            }
+            out.sample(name, &[("lane", "all")], total);
+        };
+        lane_metric(
+            &mut out,
+            "lfp_cache_hits_total",
+            "Result-cache hits.",
+            cache.hits,
+            &|l| l.hits,
+        );
+        lane_metric(
+            &mut out,
+            "lfp_cache_misses_total",
+            "Result-cache misses.",
+            cache.misses,
+            &|l| l.misses,
+        );
+        lane_metric(
+            &mut out,
+            "lfp_cache_evictions_total",
+            "Result-cache LRU evictions.",
+            cache.evictions,
+            &|l| l.evictions,
+        );
+        out.header(
+            "lfp_cache_entries",
+            "gauge",
+            "Results resident in the cache.",
+        );
+        out.sample("lfp_cache_entries", &[], cache.entries as u64);
+
+        out.into_string()
+    }
+
+    /// Render the `slowlog` control result: the top-K-by-latency ring,
+    /// slowest first, as a JSON document (durations in microseconds;
+    /// `query` is the canonical query object, `stages` the per-stage
+    /// breakdown keyed by stage name).
+    pub(crate) fn render_slowlog(&self) -> String {
+        let mut json = JsonBuilder::object();
+        json.integer("capacity", self.slowlog.capacity() as u64);
+        json.raw_array(
+            "entries",
+            self.slowlog.entries().into_iter().map(|entry| {
+                let mut row = JsonBuilder::object();
+                row.integer("total_us", entry.total_ns / 1_000);
+                row.integer("end_ms", entry.end_ns / 1_000_000);
+                row.integer("shard", entry.shard);
+                row.integer("epoch", entry.epoch);
+                row.raw("cached", entry.cached.to_string());
+                let mut stages = JsonBuilder::object();
+                for stage in Stage::ALL {
+                    stages.integer(stage.name(), entry.stages[stage.index()] / 1_000);
+                }
+                row.raw("stages", stages.finish());
+                row.string("explain", &entry.explain);
+                let query = if entry.canonical.is_empty() {
+                    "null".to_string()
+                } else {
+                    entry.canonical
+                };
+                row.raw("query", query);
+                row.finish()
+            }),
+        );
+        json.finish()
+    }
+}
+
+/// A public handle onto the server's observability plane, detachable
+/// before [`Server::run`] consumes the server — `vendor-queryd` uses it
+/// to dump a final exposition after the serving loop exits.
+#[derive(Clone)]
+pub struct ObsHandle {
+    hub: Arc<StatsHub>,
+}
+
+impl ObsHandle {
+    /// Render the Prometheus text exposition right now.
+    pub fn metrics(&self, engine: &QueryEngine) -> String {
+        self.hub.render_metrics(engine)
+    }
+
+    /// Render the slow-query log as JSON right now.
+    pub fn slowlog_json(&self) -> String {
+        self.hub.render_slowlog()
     }
 }
 
@@ -425,6 +786,7 @@ pub struct Server {
     acceptor: Acceptor,
     accepted: Arc<AtomicU64>,
     workers_per_shard: usize,
+    hub: Arc<StatsHub>,
 }
 
 impl Server {
@@ -531,10 +893,19 @@ impl Server {
         let publics: Vec<Arc<ShardPublic>> = (0..loops)
             .map(|_| Arc::new(ShardPublic::default()))
             .collect();
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock::new());
+        let started_ns = clock.now_ns();
+        let slowlog = Arc::new(SlowLog::new(config.slowlog_capacity));
+        let obs: Vec<Arc<ShardObs>> = (0..loops)
+            .map(|_| Arc::new(ShardObs::new(started_ns)))
+            .collect();
         let hub = Arc::new(StatsHub {
             publics: publics.clone(),
             accepted: Arc::clone(&accepted),
             total_workers: workers_per_shard * loops,
+            obs: obs.clone(),
+            slowlog: Arc::clone(&slowlog),
+            clock: Arc::clone(&clock),
         });
         let inboxes: Vec<Arc<Mutex<VecDeque<TcpStream>>>> = (0..loops)
             .map(|_| Arc::new(Mutex::new(VecDeque::new())))
@@ -555,6 +926,9 @@ impl Server {
                 conn_gauge: Arc::clone(&conn_gauge),
                 policy,
                 workers: workers_per_shard,
+                clock: Arc::clone(&clock),
+                obs: Arc::clone(&obs[id]),
+                slowlog: Arc::clone(&slowlog),
             });
         }
 
@@ -582,6 +956,7 @@ impl Server {
             acceptor,
             accepted,
             workers_per_shard,
+            hub,
         })
     }
 
@@ -594,6 +969,14 @@ impl Server {
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             control: Arc::clone(&self.control),
+        }
+    }
+
+    /// A handle onto the observability plane (metrics exposition and
+    /// the slow-query log) that outlives [`run`](Server::run).
+    pub fn obs_handle(&self) -> ObsHandle {
+        ObsHandle {
+            hub: Arc::clone(&self.hub),
         }
     }
 

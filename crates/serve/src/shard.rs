@@ -22,13 +22,15 @@
 //! consistent unit).
 
 use crate::conn::{CloseReason, Conn, Payload};
+use crate::obs::{ReqTrace, ShardObs};
 use crate::policy::IoPolicy;
 use crate::server::{
     control_of, drain_wake_pipe, nudge_wake_pipe, Control, ControlPlane, EngineSource, ServeConfig,
     ServeReport, StatsHub, SHUTDOWN_ACK,
 };
 use crate::sys::{PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
-use lfp_analysis::json::parse;
+use lfp_analysis::json::{escape, parse};
+use lfp_obs::{Clock, SlowLog, Stage};
 use lfp_query::{wire, QueryEngine};
 use std::collections::{BTreeMap, VecDeque};
 use std::net::TcpStream;
@@ -46,6 +48,8 @@ pub(crate) struct Job {
     /// When the request was admitted to a pipeline — the epoch its
     /// deadline is measured from.
     accepted: Instant,
+    /// The request's span trace, begun at byte arrival.
+    trace: Box<ReqTrace>,
 }
 
 /// One executed response travelling back.
@@ -53,6 +57,8 @@ pub(crate) struct Completion {
     conn: u64,
     seq: u64,
     payload: Payload,
+    /// The request's trace, riding to the flush of the last byte.
+    trace: Box<ReqTrace>,
 }
 
 pub(crate) struct JobState {
@@ -123,6 +129,13 @@ pub(crate) struct ShardSnapshot {
     pub injected_faults: u64,
     pub iterations: u64,
     pub draining: bool,
+    /// Milliseconds since the server started (satellite of the
+    /// observability plane: every `per_shard` stats row carries it).
+    pub uptime_ms: u64,
+    /// Monotone publication counter: strictly increases across
+    /// publishes, so a reader can tell two snapshots apart even when
+    /// every other field is unchanged.
+    pub snapshot_seq: u64,
 }
 
 /// The shard's outward face: the supervisor (and any shard answering a
@@ -179,8 +192,21 @@ impl Drain {
 /// successful answers keep the cache-resident result bytes shared
 /// (flushed later with one gathered write), failures render owned.
 /// Byte-for-byte equivalent to `answer_line` + newline framing — the
-/// head/tail split is property-tested in `lfp_query::wire`.
-pub(crate) fn answer_line_payload(line: &str, engine: &QueryEngine, lane: u64) -> Payload {
+/// head/tail split is property-tested in `lfp_query::wire`, and the
+/// whole rendering is re-checked against `answer_line` below.
+///
+/// Execution goes through [`QueryEngine::execute_lane_obs`], filling
+/// `rt` with the canonical query, cache/plan/render sub-stage
+/// durations, the planner explain trace and the success flag — the
+/// observed path is byte-identical to the unobserved one (tested in
+/// `lfp_query::engine`).
+pub(crate) fn answer_line_payload_obs(
+    line: &str,
+    engine: &QueryEngine,
+    lane: u64,
+    clock: &dyn Clock,
+    rt: &mut ReqTrace,
+) -> Payload {
     let value = match parse(line) {
         Ok(value) => value,
         Err(error) => {
@@ -188,11 +214,20 @@ pub(crate) fn answer_line_payload(line: &str, engine: &QueryEngine, lane: u64) -
         }
     };
     match wire::decode_value(&value) {
-        Ok(query) => match engine.execute_lane(&query, lane) {
-            Ok(response) => Payload::Rendered {
-                head: wire::ok_envelope_head(&engine.canonical(&query), response.cached),
-                body: response.payload,
-            },
+        Ok(query) => match engine.execute_lane_obs(&query, lane, clock) {
+            Ok((response, obs)) => {
+                rt.canonical = engine.canonical(&query);
+                rt.cached = response.cached;
+                rt.explain = obs.explain;
+                rt.ok = true;
+                rt.trace.add(Stage::CacheLookup, obs.cache_ns);
+                rt.trace.add(Stage::Plan, obs.plan_ns);
+                rt.trace.add(Stage::Render, obs.render_ns);
+                Payload::Rendered {
+                    head: wire::ok_envelope_head(&rt.canonical, response.cached),
+                    body: response.payload,
+                }
+            }
             Err(error) => Payload::Owned(wire::error_envelope(&error)),
         },
         Err(error) => Payload::Owned(wire::error_envelope(&error)),
@@ -215,6 +250,12 @@ pub(crate) struct ShardSeed {
     pub policy: Box<dyn IoPolicy>,
     /// Worker threads this shard spawns (already resolved per shard).
     pub workers: usize,
+    /// The server's clock (production monotonic; a seam for tests).
+    pub clock: Arc<dyn Clock>,
+    /// This shard's lock-free recording surface.
+    pub obs: Arc<ShardObs>,
+    /// The server-wide top-K slow-query log.
+    pub slowlog: Arc<SlowLog>,
 }
 
 impl ShardSeed {
@@ -231,9 +272,10 @@ impl ShardSeed {
         for index in 0..workers {
             let shared = Arc::clone(&self.shared);
             let source = Arc::clone(&self.source);
+            let clock = Arc::clone(&self.clock);
             let thread = std::thread::Builder::new()
                 .name(format!("lfp-serve-{}-{index}", self.id))
-                .spawn(move || worker_loop(shared, source, deadline, retry_hint, lane))
+                .spawn(move || worker_loop(shared, source, deadline, retry_hint, lane, clock))
                 .expect("spawn worker thread");
             pool.push(thread);
         }
@@ -259,6 +301,9 @@ impl ShardSeed {
         let mut drain = Drain::default();
         let mut fds: Vec<PollFd> = Vec::new();
         let mut order: Vec<u64> = Vec::new();
+        // Scratch for draining flushed traces; its capacity is recycled
+        // across connections and iterations.
+        let mut flushed_scratch: Vec<Box<ReqTrace>> = Vec::new();
 
         loop {
             report.iterations += 1;
@@ -308,6 +353,10 @@ impl ShardSeed {
             // from here on must observe it this same iteration.
             let draining = draining || drain.active();
 
+            // One clock read serves this iteration's arrival stamps
+            // (adoption and socket reads below).
+            let now_ns = self.clock.now_ns();
+
             // ---- adopt connections from the acceptor --------------
             // Adopted connections enter `touched`, so the zero-timeout
             // re-poll processes their first bytes next iteration —
@@ -318,7 +367,7 @@ impl ShardSeed {
                     report.accepted += 1;
                     let id = next_id;
                     next_id += 1;
-                    conns.insert(id, Conn::new(stream, config.max_frame_bytes));
+                    conns.insert(id, Conn::new(stream, config.max_frame_bytes, now_ns));
                 }
             }
 
@@ -327,11 +376,18 @@ impl ShardSeed {
                 std::mem::take(&mut *self.shared.completions.lock().expect("completions lock"));
             for completion in completions {
                 // A completion for an already-closed connection is
-                // dropped on the floor — its client is gone.
+                // dropped on the floor — its client is gone (but the
+                // ledger remembers the executed response).
                 if let Some(conn) = conns.get_mut(&completion.conn) {
-                    conn.complete(completion.seq, completion.payload);
+                    conn.complete_traced(
+                        completion.seq,
+                        completion.payload,
+                        Some(completion.trace),
+                    );
                     conn.touched = true;
                     self.shared.completed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.obs.dropped.fetch_add(1, Ordering::Relaxed);
                 }
             }
 
@@ -343,7 +399,7 @@ impl ShardSeed {
             let mut shutdown_requested = false;
             let mut closed: Vec<(u64, CloseReason)> = Vec::new();
             let mut new_jobs: Vec<Job> = Vec::new();
-            let mut stats_requests: Vec<(u64, u64)> = Vec::new();
+            let mut reserved = ControlRequests::default();
             let mut active: Vec<u64> = Vec::new();
 
             // Pass 1: read fresh bytes and pump decoded frames into
@@ -365,7 +421,7 @@ impl ShardSeed {
                     && !conn.fatal
                     && (conn.wants_read(config.max_inflight) || broken);
                 if !draining && readiness.readable() && may_read {
-                    let (calls, bytes) = conn.read_some(id, policy);
+                    let (calls, bytes) = conn.read_some(id, policy, now_ns);
                     report.socket_reads += calls;
                     report.bytes_read += bytes;
                 }
@@ -374,21 +430,23 @@ impl ShardSeed {
                         id,
                         conn,
                         config.max_inflight,
-                        &mut stats_requests,
+                        now_ns,
+                        &mut reserved,
                         &mut new_jobs,
                     );
                 }
             }
 
-            // `stats` is answered from the supervisor's hub, rendered
-            // once per iteration at most — and only when someone
-            // actually asked. Publish this shard's snapshot first so
-            // the aggregate includes the request that asked for it.
-            if !stats_requests.is_empty() {
+            // `stats`, `metrics` and `slowlog` are answered from the
+            // supervisor's hub, each rendered once per iteration at
+            // most — and only when someone actually asked. Publish this
+            // shard's snapshot first so the aggregate includes the
+            // request that asked for it.
+            if !reserved.stats.is_empty() {
                 self.publish(&conns, &report, draining, policy);
                 let epoch = self.source.engine().epoch();
                 let payload = self.hub.render(epoch, draining);
-                for (id, seq) in stats_requests {
+                for (id, seq) in std::mem::take(&mut reserved.stats) {
                     if let Some(conn) = conns.get_mut(&id) {
                         conn.complete(
                             seq,
@@ -397,16 +455,55 @@ impl ShardSeed {
                     }
                 }
             }
+            if !reserved.metrics.is_empty() {
+                self.publish(&conns, &report, draining, policy);
+                let engine = self.source.engine();
+                let exposition = self.hub.render_metrics(&engine);
+                // The exposition is multi-line text; it travels the
+                // line protocol as one JSON-escaped string result.
+                let reply = format!("{{\"ok\": true, \"result\": \"{}\"}}", escape(&exposition));
+                for (id, seq) in std::mem::take(&mut reserved.metrics) {
+                    if let Some(conn) = conns.get_mut(&id) {
+                        conn.complete(seq, Payload::Owned(reply.clone()));
+                    }
+                }
+            }
+            if !reserved.slowlog.is_empty() {
+                let payload = self.hub.render_slowlog();
+                let reply = format!("{{\"ok\": true, \"result\": {payload}}}");
+                for (id, seq) in std::mem::take(&mut reserved.slowlog) {
+                    if let Some(conn) = conns.get_mut(&id) {
+                        conn.complete(seq, Payload::Owned(reply.clone()));
+                    }
+                }
+            }
 
             // Pass 2: move ready responses out, give the socket a
             // chance, then enforce the write cap on what it refused —
             // eviction is for stalled readers, not for bursts the
             // kernel would have absorbed.
+            let mut flush_ns = 0u64;
             for &id in &active {
                 let conn = conns.get_mut(&id).expect("active conn exists");
                 conn.flush_ready();
                 if conn.wants_write() {
                     conn.try_write(id, policy);
+                }
+                // Responses whose last byte just went out: stamp the
+                // flush stage and record — the observability plane's
+                // single recording site. One clock read covers every
+                // flush this iteration.
+                if conn.has_flushed() {
+                    conn.take_flushed_into(&mut flushed_scratch);
+                    if flush_ns == 0 {
+                        flush_ns = self.clock.now_ns();
+                    }
+                    for mut rt in flushed_scratch.drain(..) {
+                        rt.trace.stamp(Stage::Flush, flush_ns);
+                        if rt.ok {
+                            self.obs.record(&self.slowlog, self.id as u64, rt);
+                        }
+                    }
                 }
                 if conn.buffered_write_bytes() > config.write_buffer_cap {
                     closed.push((id, CloseReason::Evicted));
@@ -428,7 +525,11 @@ impl ShardSeed {
                 if reason == CloseReason::Evicted {
                     report.evicted += 1;
                 }
-                conns.remove(&id);
+                if let Some(conn) = conns.remove(&id) {
+                    self.obs
+                        .dropped
+                        .fetch_add(conn.unflushed_traces(), Ordering::Relaxed);
+                }
                 policy.closed(id);
                 // The global gauge frees an accept slot; wake the
                 // acceptor only when it was actually pinned at the cap.
@@ -480,8 +581,14 @@ impl ShardSeed {
         }
 
         // Release the gauge slots of connections the expired drain
-        // abandoned, and publish the final counters.
+        // abandoned, and publish the final counters. Their undelivered
+        // responses enter the dropped ledger like any other close.
         if !conns.is_empty() {
+            for conn in conns.values() {
+                self.obs
+                    .dropped
+                    .fetch_add(conn.unflushed_traces(), Ordering::Relaxed);
+            }
             self.conn_gauge.fetch_sub(conns.len(), Ordering::SeqCst);
             self.control.wake_acceptor();
         }
@@ -527,20 +634,24 @@ impl ShardSeed {
             injected_faults: policy.counters().total(),
             iterations: report.iterations,
             draining,
+            uptime_ms: self.clock.now_ns().saturating_sub(self.obs.started_ns) / 1_000_000,
+            snapshot_seq: self.obs.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1,
         });
     }
 
     /// Drain decoded frames out of one connection into jobs and
-    /// control responses, respecting the pipeline bound. `stats`
-    /// requests are only *reserved* here (sequence number + origin);
-    /// the loop renders one snapshot for all of them afterwards.
-    /// Returns true if a `shutdown` control query was accepted.
+    /// control responses, respecting the pipeline bound. `stats`,
+    /// `metrics` and `slowlog` requests are only *reserved* here
+    /// (sequence number + origin); the loop renders one document for
+    /// all of each kind afterwards. Returns true if a `shutdown`
+    /// control query was accepted.
     fn pump_frames(
         &self,
         id: u64,
         conn: &mut Conn,
         max_inflight: usize,
-        stats_requests: &mut Vec<(u64, u64)>,
+        now_ns: u64,
+        reserved: &mut ControlRequests,
         new_jobs: &mut Vec<Job>,
     ) -> bool {
         let mut shutdown = false;
@@ -567,7 +678,17 @@ impl ShardSeed {
                         Some(Control::Stats) => {
                             let seq = conn.assign_seq();
                             self.shared.control.fetch_add(1, Ordering::Relaxed);
-                            stats_requests.push((id, seq));
+                            reserved.stats.push((id, seq));
+                        }
+                        Some(Control::Metrics) => {
+                            let seq = conn.assign_seq();
+                            self.shared.control.fetch_add(1, Ordering::Relaxed);
+                            reserved.metrics.push((id, seq));
+                        }
+                        Some(Control::Slowlog) => {
+                            let seq = conn.assign_seq();
+                            self.shared.control.fetch_add(1, Ordering::Relaxed);
+                            reserved.slowlog.push((id, seq));
                         }
                         Some(Control::Shutdown) => {
                             let seq = conn.assign_seq();
@@ -597,11 +718,17 @@ impl ShardSeed {
                                 continue;
                             }
                             self.shared.queries.fetch_add(1, Ordering::Relaxed);
+                            // Begin the request's span trace: from the
+                            // arrival of its bytes to this decode is
+                            // the `accept` stage.
+                            let mut trace = ReqTrace::begin(conn.arrived_ns);
+                            trace.trace.stamp(Stage::Accept, now_ns);
                             new_jobs.push(Job {
                                 conn: id,
                                 seq,
                                 line: line.to_string(),
                                 accepted: Instant::now(),
+                                trace,
                             });
                         }
                     }
@@ -638,6 +765,16 @@ impl ShardSeed {
     }
 }
 
+/// Control requests reserved during frame pumping, grouped by kind so
+/// the loop renders each document at most once per iteration however
+/// many connections asked.
+#[derive(Default)]
+struct ControlRequests {
+    stats: Vec<(u64, u64)>,
+    metrics: Vec<(u64, u64)>,
+    slowlog: Vec<(u64, u64)>,
+}
+
 /// Jobs a worker claims per queue lock. Batching amortises the lock,
 /// the completion post and the wake pipe over many requests — without
 /// it, every pipelined query pays a cross-thread ping-pong, which on a
@@ -654,6 +791,7 @@ fn worker_loop(
     deadline: Duration,
     retry_hint_ms: u64,
     lane: u64,
+    clock: Arc<dyn Clock>,
 ) {
     let mut batch: Vec<Job> = Vec::with_capacity(WORKER_BATCH);
     let mut finished: Vec<Completion> = Vec::with_capacity(WORKER_BATCH);
@@ -675,24 +813,40 @@ fn worker_loop(
             }
         }
         finished.clear();
+        // One stamp for the whole batch: every job in it left the
+        // queue at this moment (the `queue` stage ends here; what a
+        // job then waits behind batch-mates is its `claim` stage).
+        let claimed_ns = clock.now_ns();
         for job in batch.drain(..) {
+            let Job {
+                conn,
+                seq,
+                line,
+                accepted,
+                mut trace,
+            } = job;
+            trace.trace.stamp(Stage::Queue, claimed_ns);
+            trace.trace.stamp(Stage::Claim, clock.now_ns());
             // A request the queue held past its deadline is answered
             // `overloaded` without executing: its client has already
             // retried (or walked), and every cycle spent on it delays
             // requests that can still make their deadlines.
-            let payload = if job.accepted.elapsed() >= deadline {
+            let payload = if accepted.elapsed() >= deadline {
                 shared.deadline_expired.fetch_add(1, Ordering::Relaxed);
                 Payload::Owned(wire::overloaded_envelope("deadline", retry_hint_ms))
             } else {
                 // Per request, not per batch: an epoch swap mid-batch
                 // is picked up by the very next query.
                 let engine = source.engine();
-                answer_line_payload(&job.line, &engine, lane)
+                trace.epoch = engine.epoch();
+                answer_line_payload_obs(&line, &engine, lane, clock.as_ref(), &mut trace)
             };
+            trace.trace.stamp(Stage::Execute, clock.now_ns());
             finished.push(Completion {
-                conn: job.conn,
-                seq: job.seq,
+                conn,
+                seq,
                 payload,
+                trace,
             });
         }
         shared
@@ -741,11 +895,21 @@ mod tests {
             // the head/tail property test in `lfp_query::wire`).
             let _ = answer_line(line, &engine);
             let scalar = answer_line(line, &engine);
-            let rendered = match answer_line_payload(line, &engine, 0) {
+            let clock = lfp_obs::ManualClock::new(0);
+            let mut rt = ReqTrace::begin(0);
+            let rendered = match answer_line_payload_obs(line, &engine, 0, &clock, &mut rt) {
                 Payload::Owned(s) => s,
                 Payload::Rendered { head, body } => format!("{head}{body}}}"),
             };
             assert_eq!(scalar, rendered, "line {line}");
+            // The trace context mirrors the outcome: data queries that
+            // executed carry their canonical form; failures do not.
+            if scalar.contains("\"ok\": true") {
+                assert!(rt.ok, "line {line}");
+                assert!(!rt.canonical.is_empty(), "line {line}");
+            } else {
+                assert!(!rt.ok, "line {line}");
+            }
         }
     }
 }

@@ -620,3 +620,336 @@ fn interrupted_accepts_are_retried_never_dropped() {
         "every connection should have cost one interrupted accept: {report:?}"
     );
 }
+
+// ---------------------------------------------------------------------
+// Matrix rows: the observability plane under chaos. Tracing is always
+// on, so every row above already ran traced; these rows close the loop
+// over the wire — after the workload quiesces, the daemon's exposition
+// must reconcile exactly with what the clients acknowledged, and the
+// injected-fault counters must surface in the scrape.
+// ---------------------------------------------------------------------
+
+/// One sample value out of a Prometheus text exposition. `labels` is
+/// the rendered label block without braces (`shard="all"`), or empty
+/// for an unlabelled sample.
+fn metric(exposition: &str, name: &str, labels: &str) -> Option<u64> {
+    let needle = if labels.is_empty() {
+        format!("{name} ")
+    } else {
+        format!("{name}{{{labels}}} ")
+    };
+    exposition
+        .lines()
+        .find_map(|line| line.strip_prefix(&needle)?.trim().parse().ok())
+}
+
+/// One control round trip on a fresh connection, parsed.
+fn control_roundtrip(addr: SocketAddr, line: &str) -> JsonValue {
+    let stream = TcpStream::connect(addr).expect("control connect");
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    (&stream)
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("control send");
+    let mut reply = String::new();
+    assert!(reader.read_line(&mut reply).expect("control reply") > 0);
+    parse(reply.trim_end()).expect("control reply is JSON")
+}
+
+#[test]
+fn metrics_reconcile_exactly_with_acknowledged_replies_under_noise() {
+    let engine = shared_engine();
+    let mix = test_mix(&engine);
+    // Every fault class except kills, cranked. No connection may die,
+    // so the client-side acknowledged count is exact — the number the
+    // exposition's response ledger must hit.
+    let plan = FaultPlan {
+        short_read: 2,
+        short_write: 2,
+        eintr: 3,
+        eagain: 4,
+        spurious_wakeup: 3,
+        stall_write: 13,
+        stall_ops: 4,
+        ..FaultPlan::quiet(21)
+    };
+    let server = TestServer::start(
+        ServeConfig {
+            slowlog_capacity: 8,
+            ..ServeConfig::default()
+        },
+        Box::new(FaultPolicy::new(plan)),
+    );
+    let addr = server.addr;
+
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let mix = &mix;
+            let engine = &engine;
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("read timeout");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                for burst in 0..4 {
+                    let mut lines = Vec::new();
+                    let mut bytes = Vec::new();
+                    for index in 0..6 {
+                        let line = &mix[(worker + burst * 2 + index) % mix.len()];
+                        lines.push(line.clone());
+                        bytes.extend_from_slice(line.as_bytes());
+                        bytes.push(b'\n');
+                    }
+                    (&stream).write_all(&bytes).expect("burst write");
+                    for line in &lines {
+                        let mut reply = String::new();
+                        let n = reader.read_line(&mut reply).expect("reply read");
+                        assert!(n > 0, "connection died under a no-kill plan");
+                        assert_is_direct_execution(engine, line, reply.trim_end());
+                    }
+                }
+            });
+        }
+    });
+    // 4 workers × 4 bursts × 6 requests, every single one acknowledged
+    // with a byte-identical success above.
+    let acknowledged = 4 * 4 * 6u64;
+
+    // The workload has quiesced (every reply was read, so every flush
+    // was recorded); scrape over the wire like an operator would.
+    let reply = control_roundtrip(addr, "{\"query\": \"metrics\"}");
+    assert_eq!(reply.get("ok").and_then(JsonValue::as_bool), Some(true));
+    let exposition = reply
+        .get("result")
+        .and_then(JsonValue::as_str)
+        .expect("metrics result is the escaped exposition text")
+        .to_string();
+
+    // The headline reconciliation: the response ledger equals the
+    // client-side acknowledged count exactly — as a counter, as the
+    // request histogram's count, and as its +Inf bucket.
+    assert_eq!(
+        metric(&exposition, "lfp_responses_total", "shard=\"all\""),
+        Some(acknowledged),
+        "exposition:\n{exposition}"
+    );
+    assert_eq!(
+        metric(
+            &exposition,
+            "lfp_request_duration_us_count",
+            "shard=\"all\""
+        ),
+        Some(acknowledged)
+    );
+    assert_eq!(
+        metric(
+            &exposition,
+            "lfp_request_duration_us_bucket",
+            "shard=\"all\",le=\"+Inf\""
+        ),
+        Some(acknowledged)
+    );
+    // Every stage histogram counts every response — stages a request
+    // never entered surface as zero-valued samples, not gaps.
+    for stage in [
+        "accept",
+        "queue",
+        "claim",
+        "execute",
+        "plan",
+        "cache_lookup",
+        "render",
+        "flush",
+    ] {
+        assert_eq!(
+            metric(
+                &exposition,
+                "lfp_stage_duration_us_count",
+                &format!("stage=\"{stage}\",shard=\"all\"")
+            ),
+            Some(acknowledged),
+            "stage {stage} lost samples"
+        );
+    }
+    assert_eq!(
+        metric(&exposition, "lfp_queries_total", "shard=\"all\""),
+        Some(acknowledged)
+    );
+    assert_eq!(
+        metric(&exposition, "lfp_responses_dropped_total", "shard=\"all\""),
+        Some(0)
+    );
+    // The chaos schedule itself is visible in the same scrape.
+    assert!(
+        metric(&exposition, "lfp_injected_faults_total", "shard=\"all\"").unwrap_or(0) > 0,
+        "noise plan injected nothing"
+    );
+
+    // The slow-query log: full to its configured capacity, slowest
+    // first, each entry carrying the per-stage breakdown.
+    let reply = control_roundtrip(addr, "{\"query\": \"slowlog\"}");
+    assert_eq!(reply.get("ok").and_then(JsonValue::as_bool), Some(true));
+    let result = reply.get("result").expect("slowlog result");
+    assert_eq!(result.get("capacity").and_then(JsonValue::as_u64), Some(8));
+    let entries = result
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .expect("slowlog entries");
+    assert_eq!(entries.len(), 8, "96 requests must fill a capacity-8 log");
+    let totals: Vec<u64> = entries
+        .iter()
+        .map(|e| {
+            e.get("total_us")
+                .and_then(JsonValue::as_u64)
+                .expect("total_us")
+        })
+        .collect();
+    assert!(
+        totals.windows(2).all(|w| w[0] >= w[1]),
+        "slowlog not sorted slowest-first: {totals:?}"
+    );
+    for entry in entries {
+        let stages = entry.get("stages").expect("stages breakdown");
+        for stage in ["accept", "queue", "claim", "execute", "flush"] {
+            assert!(stages.get(stage).is_some(), "missing stage {stage}");
+        }
+        assert!(entry.get("query").is_some());
+    }
+
+    let report = server.stop();
+    assert_eq!(report.queries, acknowledged);
+}
+
+#[test]
+fn aggressive_chaos_surfaces_fault_counters_and_never_overcounts() {
+    let engine = shared_engine();
+    let mix = test_mix(&engine);
+    let server = TestServer::start(
+        ServeConfig::default(),
+        Box::new(FaultPolicy::new(FaultPlan::aggressive(77))),
+    );
+    let addr = server.addr;
+
+    // The resilient-client workload from the reset row, counting the
+    // acknowledged successes client-side.
+    let acknowledged: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for worker in 0..2 {
+            let mix = &mix;
+            let engine = &engine;
+            handles.push(scope.spawn(move || {
+                let todo: Vec<&String> = (0..12)
+                    .map(|index| &mix[(worker + index) % mix.len()])
+                    .collect();
+                let mut answered = 0usize;
+                let mut reconnects = 0usize;
+                while answered < todo.len() {
+                    assert!(reconnects < 500, "retry budget exhausted");
+                    let Ok(stream) = TcpStream::connect(addr) else {
+                        reconnects += 1;
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    };
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .expect("read timeout");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut bytes = Vec::new();
+                    for line in &todo[answered..] {
+                        bytes.extend_from_slice(line.as_bytes());
+                        bytes.push(b'\n');
+                    }
+                    if (&stream).write_all(&bytes).is_err() {
+                        reconnects += 1;
+                        continue;
+                    }
+                    while answered < todo.len() {
+                        let mut reply = String::new();
+                        match reader.read_line(&mut reply) {
+                            Ok(n) if n > 0 && reply.ends_with('\n') => {
+                                assert_is_direct_execution(
+                                    engine,
+                                    todo[answered],
+                                    reply.trim_end(),
+                                );
+                                answered += 1;
+                            }
+                            Ok(_) => break,
+                            Err(_) => break,
+                        }
+                    }
+                    reconnects += 1;
+                }
+                answered as u64
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+
+    // Scrape with retries: the aggressive policy can reset the scrape
+    // connection too.
+    let exposition = {
+        let mut found = None;
+        for _attempt in 0..200 {
+            let Ok(stream) = TcpStream::connect(addr) else {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            };
+            stream.set_nodelay(true).ok();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("read timeout");
+            let mut reader = BufReader::new(match stream.try_clone() {
+                Ok(clone) => clone,
+                Err(_) => continue,
+            });
+            if (&stream).write_all(b"{\"query\": \"metrics\"}\n").is_err() {
+                continue;
+            }
+            let mut reply = String::new();
+            match reader.read_line(&mut reply) {
+                Ok(n) if n > 0 && reply.ends_with('\n') => {
+                    if let Ok(value) = parse(reply.trim_end()) {
+                        if let Some(text) = value.get("result").and_then(JsonValue::as_str) {
+                            found = Some(text.to_string());
+                            break;
+                        }
+                    }
+                }
+                _ => continue,
+            }
+        }
+        found.expect("metrics scrape never survived the aggressive schedule")
+    };
+
+    let responses =
+        metric(&exposition, "lfp_responses_total", "shard=\"all\"").expect("responses_total");
+    let histogram_count = metric(
+        &exposition,
+        "lfp_request_duration_us_count",
+        "shard=\"all\"",
+    )
+    .expect("request histogram count");
+    // Internal consistency is unconditional: the counter and the
+    // histogram come from the same snapshot.
+    assert_eq!(responses, histogram_count);
+    // Every acknowledged reply was flushed, so the ledger can lag a
+    // torn connection but never undercount the acknowledged set.
+    assert!(
+        responses >= acknowledged,
+        "ledger {responses} < acknowledged {acknowledged}"
+    );
+    assert!(
+        metric(&exposition, "lfp_injected_faults_total", "shard=\"all\"").unwrap_or(0) > 0,
+        "aggressive plan injected nothing:\n{exposition}"
+    );
+
+    let report = server.stop();
+    assert!(report.injected_faults > 0);
+}
