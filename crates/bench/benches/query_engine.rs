@@ -58,6 +58,21 @@ fn bench_engine_paths(c: &mut Criterion) {
     // Warm the cache, then time the hit path.
     engine.execute(&pair).unwrap();
     group.bench_function("cache_hit", |b| b.iter(|| engine.execute(&pair).unwrap()));
+    // The miss/insert path: round-robin over twice the capacity makes
+    // every insert an evicting miss, so this times the per-miss key
+    // allocation (now one shared `Arc<str>`, previously two `String`s).
+    group.bench_function("cache_insert_miss", |b| {
+        let cache = lfp_query::ShardedLru::new(8, 512);
+        let keys: Vec<String> = (0..1024)
+            .map(|index| format!(r#"{{"query":"vendor_mix","as":{index}}}"#))
+            .collect();
+        let body: std::sync::Arc<str> = std::sync::Arc::from(r#"{"ok": true}"#);
+        let mut next = 0usize;
+        b.iter(|| {
+            cache.insert(&keys[next % keys.len()], std::sync::Arc::clone(&body));
+            next += 1;
+        })
+    });
     group.bench_function("wire_decode", |b| {
         b.iter(|| {
             wire::decode(r#"{"query":"path_diversity","src_as":3,"dst_as":9,"min_hops":2}"#)

@@ -33,6 +33,23 @@
 //! `loops4_conns512` cells are present the phase records
 //! `speedup_4loops_512` — the multi-loop scaling ratio CI asserts on.
 //!
+//! `--cluster` switches to the **replication scenario**: `--addr` is a
+//! primary running with `--serve-replicas`, each `--follower ADDR` a
+//! follower of it, and each `--ingest-delta FILE` a delta the primary
+//! is told to ingest (`repl_ingest`) partway through the run — so
+//! epochs advance *while* every node is being queried. The driver
+//! maintains one global `min_epoch` floor (the highest epoch any reply
+//! echoed) and splices it into every request: a correct node either
+//! answers at ≥ the floor or refuses with the typed `stale_epoch`
+//! envelope (counted, retried until the follower catches up). An `ok`
+//! reply *below* the floor is a **stale answer** — the invariant
+//! violation the `replication` phase records and CI asserts is zero.
+//! After the rounds the driver waits for every follower to converge on
+//! the primary's epoch, then replays a sample of the mix against every
+//! node twice and requires the warm replies to be **byte-identical**
+//! across replicas at equal epochs. Exit is nonzero on any stale
+//! answer, any mismatched reply, or a follower that never converged.
+//!
 //! `--chaos` switches to the resilient-client scenario: the daemon is
 //! expected to be running under a fault-injecting I/O policy and/or an
 //! admission-control watermark (`vendor-queryd --fault-profile
@@ -77,6 +94,10 @@ fn main() {
     let mut retry_budget = 100_000u64;
     let mut threads = 1usize;
     let mut scaling_loops: Option<u64> = None;
+    let mut cluster = false;
+    let mut followers: Vec<String> = Vec::new();
+    let mut ingest_deltas: Vec<String> = Vec::new();
+    let mut rounds = 60usize;
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -106,6 +127,16 @@ fn main() {
             "--scaling-loops" => scaling_loops = Some(parse_number(args.next(), "--scaling-loops")),
             "--shutdown" => shutdown = true,
             "--chaos" => chaos = true,
+            "--cluster" => cluster = true,
+            "--follower" => followers.push(
+                args.next()
+                    .unwrap_or_else(|| usage("--follower needs host:port")),
+            ),
+            "--ingest-delta" => ingest_deltas.push(
+                args.next()
+                    .unwrap_or_else(|| usage("--ingest-delta needs a file path")),
+            ),
+            "--rounds" => rounds = parse_number(args.next(), "--rounds"),
             "--seed" => seed = parse_number(args.next(), "--seed"),
             "--retry-budget" => retry_budget = parse_number(args.next(), "--retry-budget"),
             other => usage(&format!("unknown argument '{other}'")),
@@ -116,12 +147,30 @@ fn main() {
     let requests_per_conn = requests_per_conn.max(1);
     let threads = threads.clamp(1, connections);
     let phase_name = phase_name.unwrap_or_else(|| {
-        if chaos {
+        if cluster {
+            "replication".to_string()
+        } else if chaos {
             "chaos".to_string()
         } else {
             "serve".to_string()
         }
     });
+
+    if cluster {
+        let code = cluster_drive(
+            &addr,
+            &followers,
+            &ingest_deltas,
+            rounds.max(1),
+            distinct,
+            wait_secs,
+            Duration::from_secs(deadline_secs),
+            &bench_json,
+            &phase_name,
+            shutdown,
+        );
+        std::process::exit(code);
+    }
 
     // -- bootstrap: wait for the daemon, fetch the catalog, warm ------
     // Under chaos the daemon is injecting faults on every connection,
@@ -341,7 +390,8 @@ fn usage(message: &str) -> ! {
         "usage: query-load [--addr HOST:PORT] [--connections N] [--pipeline N] \
          [--requests-per-conn N] [--churn-every N] [--distinct N] [--wait-secs N] \
          [--deadline-secs N] [--threads N] [--phase NAME] [--scaling-loops N] \
-         [--bench-json PATH] [--shutdown] [--chaos] [--seed N] [--retry-budget N]"
+         [--bench-json PATH] [--shutdown] [--chaos] [--seed N] [--retry-budget N] \
+         [--cluster] [--follower HOST:PORT]... [--ingest-delta FILE]... [--rounds N]"
     );
     std::process::exit(2);
 }
@@ -355,6 +405,318 @@ fn parse_number<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
     value
         .and_then(|text| text.parse().ok())
         .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+}
+
+// ---------------------------------------------------------------------
+// The replication scenario (`--cluster`)
+// ---------------------------------------------------------------------
+
+/// What the cluster run observed. `stale_answers` is the invariant:
+/// an `ok` reply whose echoed epoch is below the `min_epoch` floor the
+/// request carried — data a fenced request must never receive.
+struct ClusterRun {
+    queries: u64,
+    /// Correct fencing refusals (retried until the node caught up).
+    typed_stales: u64,
+    /// Fencing violations: `ok` below the requested floor. Must be 0.
+    stale_answers: u64,
+    errors: u64,
+    ingests_sent: u64,
+    /// Followers whose epoch reached the primary's before the deadline.
+    followers_converged: u64,
+    /// Warm replies compared byte-for-byte across replicas.
+    replies_compared: u64,
+    /// Comparisons that differed. Must be 0.
+    mismatched_replies: u64,
+    final_epoch: u64,
+    seconds: f64,
+}
+
+/// Splice the fencing floor into a compact mix line (`{...}` →
+/// `{..., "min_epoch": N}`). `min_epoch` is not part of the canonical
+/// echo, so fenced and unfenced forms of the same query produce
+/// byte-identical replies.
+fn splice_min_epoch(line: &str, floor: u64) -> String {
+    let body = line
+        .trim_end()
+        .strip_suffix('}')
+        .unwrap_or_else(|| fail("mix line is not a JSON object"));
+    format!("{body},\"min_epoch\":{floor}}}")
+}
+
+/// The epoch a node is serving at, read from the canonical echo of a
+/// trivial query (works on primaries and followers alike — no
+/// replication queries involved).
+fn node_epoch(conn: &mut lfp_bench::mix::Connection) -> Result<u64, String> {
+    let reply = request(conn, "{\"query\":\"catalog\"}")?;
+    let value = parse(&reply).map_err(|error| format!("bad reply JSON: {error:?}"))?;
+    value
+        .get("query")
+        .and_then(|echo| echo.get("epoch"))
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("reply carries no epoch echo: {reply}"))
+}
+
+/// Drive one primary + N followers with mid-run ingest churn, fencing
+/// every request with the highest epoch any reply has echoed. See the
+/// module docs for the invariants; returns the process exit code.
+#[allow(clippy::too_many_arguments)]
+fn cluster_drive(
+    primary: &str,
+    followers: &[String],
+    deltas: &[String],
+    rounds: usize,
+    distinct: usize,
+    wait_secs: u64,
+    deadline: Duration,
+    bench_json: &str,
+    phase_name: &str,
+    shutdown: bool,
+) -> i32 {
+    let started = Instant::now();
+    let hard_deadline = started + deadline;
+    let wait = Duration::from_secs(wait_secs);
+
+    let mut names: Vec<String> = Vec::with_capacity(1 + followers.len());
+    names.push(primary.to_string());
+    names.extend(followers.iter().cloned());
+    let mut nodes: Vec<lfp_bench::mix::Connection> = names
+        .iter()
+        .map(|addr| connect_with_retry(addr, wait).unwrap_or_else(|error| fail(&error)))
+        .collect();
+    eprintln!(
+        "cluster: primary {primary} + {} follower(s), {rounds} rounds, {} delta(s) to ingest",
+        followers.len(),
+        deltas.len()
+    );
+
+    let catalog = request(&mut nodes[0], "{\"query\":\"catalog\"}")
+        .unwrap_or_else(|error| fail(&format!("catalog query failed: {error}")));
+    let catalog =
+        parse(&catalog).unwrap_or_else(|error| fail(&format!("bad catalog JSON: {error:?}")));
+    if catalog.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+        fail(&format!("catalog refused: {}", catalog.render()));
+    }
+    let mix = build_mix(catalog.get("result").unwrap_or(&JsonValue::Null), distinct)
+        .unwrap_or_else(|| fail("catalog advertised no AS ids to query"));
+
+    let mut run = ClusterRun {
+        queries: 0,
+        typed_stales: 0,
+        stale_answers: 0,
+        errors: 0,
+        ingests_sent: 0,
+        followers_converged: 0,
+        replies_compared: 0,
+        mismatched_replies: 0,
+        final_epoch: 0,
+        seconds: 0.0,
+    };
+    // The global fencing floor: the highest epoch any reply echoed.
+    // Seed it from the primary so round 0 is already fenced.
+    let mut floor = node_epoch(&mut nodes[0]).unwrap_or_else(|error| fail(&error));
+
+    // Spread the ingests over the run: delta k lands at round
+    // rounds·(k+1)/(deltas+1), so epochs advance mid-run, not at the
+    // edges.
+    let ingest_round = |k: usize| -> usize { rounds * (k + 1) / (deltas.len() + 1) };
+
+    for round in 0..rounds {
+        while run.ingests_sent < deltas.len() as u64
+            && round >= ingest_round(run.ingests_sent as usize)
+        {
+            let delta = &deltas[run.ingests_sent as usize];
+            let line = format!(
+                "{{\"query\": \"repl_ingest\", \"path\": \"{}\"}}",
+                lfp_analysis::json::escape(delta)
+            );
+            let reply = request(&mut nodes[0], &line)
+                .unwrap_or_else(|error| fail(&format!("repl_ingest failed: {error}")));
+            let value = parse(&reply)
+                .unwrap_or_else(|error| fail(&format!("bad repl_ingest reply: {error:?}")));
+            if value.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+                fail(&format!("primary refused repl_ingest: {reply}"));
+            }
+            let epoch = value
+                .get("result")
+                .and_then(|result| result.get("epoch"))
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(floor);
+            floor = floor.max(epoch);
+            run.ingests_sent += 1;
+            eprintln!("round {round}: primary ingested {delta} → epoch {epoch} (floor {floor})");
+        }
+
+        for node in 0..nodes.len() {
+            let line = &mix[(round * 7 + node * 3) % mix.len()];
+            let fenced = splice_min_epoch(line, floor);
+            loop {
+                if Instant::now() >= hard_deadline {
+                    eprintln!("warning: cluster deadline expired mid-round {round}");
+                    run.errors += 1;
+                    break;
+                }
+                let reply = match request(&mut nodes[node], &fenced) {
+                    Ok(reply) => reply,
+                    Err(error) => {
+                        eprintln!("{}: request failed: {error}", names[node]);
+                        run.errors += 1;
+                        break;
+                    }
+                };
+                if let Some((have, want)) = wire::stale_epoch_of(&reply) {
+                    // Correct fencing: the node admits it is behind
+                    // rather than serving old data. Wait it out.
+                    run.typed_stales += 1;
+                    debug_assert!(have < want);
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+                let value = match parse(&reply) {
+                    Ok(value) => value,
+                    Err(error) => {
+                        eprintln!("{}: unparseable reply: {error:?}", names[node]);
+                        run.errors += 1;
+                        break;
+                    }
+                };
+                if value.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+                    let epoch = value
+                        .get("query")
+                        .and_then(|echo| echo.get("epoch"))
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0);
+                    if epoch < floor {
+                        // The violation: an `ok` answer below the
+                        // fence the request carried.
+                        eprintln!(
+                            "STALE ANSWER from {}: epoch {epoch} under floor {floor}",
+                            names[node]
+                        );
+                        run.stale_answers += 1;
+                    }
+                    floor = floor.max(epoch);
+                    run.queries += 1;
+                } else {
+                    eprintln!("{}: error reply: {reply}", names[node]);
+                    run.errors += 1;
+                }
+                break;
+            }
+        }
+    }
+
+    // -- convergence: every follower must reach the primary's epoch --
+    let target = node_epoch(&mut nodes[0]).unwrap_or_else(|error| fail(&error));
+    run.final_epoch = target;
+    for (index, follower) in followers.iter().enumerate() {
+        let node = index + 1;
+        loop {
+            match node_epoch(&mut nodes[node]) {
+                Ok(epoch) if epoch >= target => {
+                    run.followers_converged += 1;
+                    break;
+                }
+                Ok(_) => {}
+                Err(error) => eprintln!("{follower}: epoch probe failed: {error}"),
+            }
+            if Instant::now() >= hard_deadline {
+                eprintln!("warning: {follower} never converged to epoch {target}");
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    // -- byte-identity: warm replies must match across replicas ------
+    // Two requests per node per line: the second is a cache hit
+    // (`"cached": true`) everywhere, so at equal epochs the full reply
+    // line — envelope, canonical echo, rendered result — must be
+    // byte-identical across the cluster.
+    if run.followers_converged == followers.len() as u64 {
+        for line in mix.iter().take(16) {
+            let fenced = splice_min_epoch(line, target);
+            let mut reference: Option<String> = None;
+            for (node, name) in names.iter().enumerate() {
+                let warm = request(&mut nodes[node], &fenced)
+                    .and_then(|_| request(&mut nodes[node], &fenced));
+                let warm = match warm {
+                    Ok(reply) => reply,
+                    Err(error) => {
+                        eprintln!("{name}: identity probe failed: {error}");
+                        run.errors += 1;
+                        continue;
+                    }
+                };
+                match &reference {
+                    None => reference = Some(warm),
+                    Some(expected) => {
+                        run.replies_compared += 1;
+                        if &warm != expected {
+                            eprintln!(
+                                "REPLY MISMATCH on {name} for {line}:\n  primary:  {expected}\n  replica:  {warm}"
+                            );
+                            run.mismatched_replies += 1;
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        eprintln!("skipping byte-identity sweep: cluster did not converge");
+    }
+
+    run.seconds = started.elapsed().as_secs_f64();
+    println!(
+        "{phase_name}: {} fenced queries over {} node(s) in {:.2}s — {} typed stales honoured, \
+         {} stale answers, {} ingests, {}/{} followers converged, \
+         {} identical warm replies, {} mismatched",
+        run.queries,
+        names.len(),
+        run.seconds,
+        run.typed_stales,
+        run.stale_answers,
+        run.ingests_sent,
+        run.followers_converged,
+        followers.len(),
+        run.replies_compared - run.mismatched_replies,
+        run.mismatched_replies,
+    );
+    write_replication_phase(bench_json, phase_name, followers.len(), &run);
+
+    if shutdown {
+        // Followers first, then the primary (each is its own process).
+        for node in (0..nodes.len()).rev() {
+            let _ = request(&mut nodes[node], "{\"query\":\"shutdown\"}");
+        }
+        eprintln!("sent shutdown to all {} nodes", nodes.len());
+    }
+
+    (run.stale_answers > 0
+        || run.mismatched_replies > 0
+        || run.followers_converged < followers.len() as u64
+        || run.errors > 0) as i32
+}
+
+/// Write the `replication` phase: the fencing and convergence ledger
+/// CI asserts on (`stale_answers == 0`, `mismatched_replies == 0`,
+/// `followers_converged == follower count`).
+fn write_replication_phase(path: &str, phase_name: &str, followers: usize, run: &ClusterRun) {
+    let mut phase = JsonBuilder::object();
+    phase.integer("followers", followers as u64);
+    phase.integer("queries", run.queries);
+    phase.integer("typed_stales", run.typed_stales);
+    phase.integer("stale_answers", run.stale_answers);
+    phase.integer("errors", run.errors);
+    phase.integer("ingests_sent", run.ingests_sent);
+    phase.integer("followers_converged", run.followers_converged);
+    phase.integer("replies_compared", run.replies_compared);
+    phase.integer("mismatched_replies", run.mismatched_replies);
+    phase.integer("final_epoch", run.final_epoch);
+    phase.number("seconds", run.seconds);
+    let phase = parse(&phase.finish()).expect("phase JSON is valid");
+    merge_bench_phase(path, phase_name, phase, Some(run.seconds));
+    eprintln!("wrote {phase_name} phase to {path}");
 }
 
 /// One load connection's life: a budget of requests pushed through a

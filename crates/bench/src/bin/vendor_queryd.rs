@@ -11,8 +11,26 @@
 //!               [--cache-shards N] [--cache-capacity N]
 //!               [--slowlog-size N] [--metrics-dump]
 //!               [--store PATH] [--ingest DIR] [--bench-json FILE]
+//!               [--follow ADDR] [--serve-replicas]
 //!               [--threaded]
 //! ```
+//!
+//! ## Replication
+//!
+//! `--serve-replicas` makes this daemon a replication **primary**: the
+//! `repl_status` / `repl_snapshot` / `repl_delta` / `repl_ingest`
+//! queries (see `lfp_store::repl`) are answered on the ordinary
+//! serving port, ahead of the data path. `--follow ADDR` makes it a
+//! **follower** of the primary at `ADDR`: on start it loads its local
+//! `--store` (then catches up via shipped deltas) or, lacking one,
+//! pulls the primary's full snapshot — resumably, through a `.sync`
+//! scratch file whose progress survives a mid-sync kill; then a
+//! background poller applies each new epoch through the same
+//! `Store::ingest` path local ingest uses, persisting after every
+//! applied delta when `--store` is set. Followers answer every data
+//! query themselves and enforce `min_epoch` fencing: a request whose
+//! floor is above the follower's applied epoch gets the typed
+//! `stale_epoch` refusal, never old data.
 //!
 //! ## Overload and chaos
 //!
@@ -84,11 +102,11 @@ use lfp_serve::{
     answer_line, is_shutdown_line, DirectIo, EngineSource, FaultPlan, FaultPolicy, IoPolicy,
     ServeConfig, Server, SHUTDOWN_ACK,
 };
-use lfp_store::{SnapshotDelta, Store};
+use lfp_store::{follow_once, ReplClient, ReplSource, SnapshotDelta, Store};
 use lfp_topo::Scale;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -105,6 +123,8 @@ fn main() {
     let mut ingest_dir: Option<String> = None;
     let mut bench_json: Option<String> = None;
     let mut threaded = false;
+    let mut follow_addr: Option<String> = None;
+    let mut serve_replicas = false;
     let mut config = ServeConfig::default();
     let mut tuned_event_loop = false;
     let mut fault_seed = 0u64;
@@ -200,32 +220,56 @@ fn main() {
                         .unwrap_or_else(|| usage("--bench-json needs a path")),
                 )
             }
+            "--follow" => {
+                follow_addr = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--follow needs a primary host:port")),
+                )
+            }
+            "--serve-replicas" => serve_replicas = true,
             "--threaded" => threaded = true,
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
 
-    let store = Arc::new(open_store(
-        scale,
-        &scale_name,
-        store_path.as_deref(),
-        cache_shards,
-        cache_capacity,
-        bench_json.as_deref(),
-    ));
+    let store = match follow_addr.as_deref() {
+        Some(primary) => Arc::new(open_follower_store(
+            primary,
+            store_path.as_deref(),
+            cache_shards,
+            cache_capacity,
+        )),
+        None => Arc::new(open_store(
+            scale,
+            &scale_name,
+            store_path.as_deref(),
+            cache_shards,
+            cache_capacity,
+            bench_json.as_deref(),
+        )),
+    };
 
     if let Some(dir) = ingest_dir.as_deref() {
-        ingest_directory(&store, dir);
-        if let Some(path) = store_path.as_deref() {
-            match store.save(Path::new(path)) {
-                Ok(report) => eprintln!(
-                    "re-persisted store after ingest ({} bytes in {:.3}s)",
-                    report.bytes, report.seconds
-                ),
-                Err(error) => eprintln!("warning: could not re-persist store: {error}"),
+        if follow_addr.is_some() {
+            eprintln!("warning: --ingest is ignored with --follow (the primary ingests)");
+        } else {
+            ingest_directory(&store, dir);
+            if let Some(path) = store_path.as_deref() {
+                match store.save(Path::new(path)) {
+                    Ok(report) => eprintln!(
+                        "re-persisted store after ingest ({} bytes in {:.3}s)",
+                        report.bytes, report.seconds
+                    ),
+                    Err(error) => eprintln!("warning: could not re-persist store: {error}"),
+                }
             }
         }
     }
+
+    if let Some(primary) = follow_addr.clone() {
+        spawn_follower_poller(primary, Arc::clone(&store), store_path.clone());
+    }
+    let repl = serve_replicas.then(|| Arc::new(ReplSource::new(Arc::clone(&store))));
 
     if threaded {
         if tuned_event_loop {
@@ -234,7 +278,7 @@ fn main() {
                  --drain-timeout-ms tune the event loop and are ignored with --threaded"
             );
         }
-        serve_threaded(&addr, port, &scale_name, &store);
+        serve_threaded(&addr, port, &scale_name, &store, repl.as_deref());
     } else {
         let fault_plan = fault_profile.as_deref().map(|name| {
             let plan = FaultPlan::by_name(name, fault_seed)
@@ -253,7 +297,18 @@ fn main() {
             store,
             fault_plan,
             metrics_dump,
+            repl,
         );
+    }
+}
+
+/// Bridges the store's replication answerer into the serving core's
+/// worker-side extension seam.
+struct ReplExtension(Arc<ReplSource>);
+
+impl lfp_serve::LineExtension for ReplExtension {
+    fn try_answer(&self, line: &str) -> Option<String> {
+        self.0.answer(line)
     }
 }
 
@@ -270,10 +325,11 @@ fn serve_event_loop(
     store: Arc<Store>,
     fault_plan: Option<FaultPlan>,
     metrics_dump: bool,
+    repl: Option<Arc<ReplSource>>,
 ) {
     let engine_store = Arc::clone(&store);
     let source: Arc<dyn EngineSource> = Arc::new(move || engine_store.engine());
-    let server =
+    let mut server =
         Server::bind_with_policy_factory((addr, port), config, source, |shard| match fault_plan {
             Some(plan) => Box::new(FaultPolicy::new(plan.lane(shard as u64))),
             None => Box::new(DirectIo) as Box<dyn IoPolicy>,
@@ -282,6 +338,10 @@ fn serve_event_loop(
             eprintln!("cannot bind {addr}:{port}: {error}");
             std::process::exit(1);
         });
+    if let Some(repl) = repl {
+        server.set_line_extension(Arc::new(ReplExtension(repl)));
+        eprintln!("replication primary: serving repl_* queries");
+    }
     // The readiness line clients and CI wait for — keep it stable.
     println!(
         "vendor-queryd listening on {} (scale {scale_name}, {} paths, epoch {}, \
@@ -326,6 +386,120 @@ fn serve_event_loop(
         stats.hits,
         stats.misses,
     );
+}
+
+/// How often a follower polls its primary for new deltas.
+const FOLLOW_POLL: Duration = Duration::from_millis(150);
+
+/// Open a **follower**'s serving store. A usable local `--store` wins
+/// (cold start, then delta catch-up closes the gap); otherwise the
+/// primary's full snapshot is pulled resumably through a `.sync`
+/// scratch file and validated by the store format's section checksums
+/// before anything trusts it.
+fn open_follower_store(
+    primary: &str,
+    store_path: Option<&str>,
+    cache_shards: usize,
+    cache_capacity: usize,
+) -> Store {
+    let mut client = ReplClient::new(primary);
+    if let Some(path) = store_path {
+        if Path::new(path).exists() {
+            match Store::load_with_cache(Path::new(path), cache_shards, cache_capacity) {
+                Ok((store, report)) => {
+                    eprintln!(
+                        "follower cold start from {path} in {:.3}s (epoch {})",
+                        report.seconds, report.epoch
+                    );
+                    match follow_once(&mut client, &store) {
+                        Ok(0) => {}
+                        Ok(applied) => {
+                            eprintln!("caught up {applied} epoch(s) → epoch {}", store.epoch())
+                        }
+                        Err(error) => eprintln!(
+                            "warning: initial catch-up failed ({error}); the poller will retry"
+                        ),
+                    }
+                    return store;
+                }
+                Err(error) => {
+                    eprintln!("local store {path} unusable ({error}); full resync from {primary}")
+                }
+            }
+        }
+    }
+    let scratch = match store_path {
+        Some(path) => PathBuf::from(format!("{path}.sync")),
+        None => {
+            std::env::temp_dir().join(format!("vendor-queryd-follow-{}.sync", std::process::id()))
+        }
+    };
+    for attempt in 1..=5u32 {
+        let bytes = match client.sync_snapshot(&scratch) {
+            Ok(bytes) => bytes,
+            Err(error) => {
+                eprintln!("snapshot sync from {primary} failed ({error}), attempt {attempt}/5");
+                std::thread::sleep(Duration::from_millis(300 * u64::from(attempt)));
+                continue;
+            }
+        };
+        match Store::from_bytes_with_cache(&bytes, cache_shards, cache_capacity) {
+            Ok(store) => {
+                let _ = std::fs::remove_file(&scratch);
+                eprintln!(
+                    "follower synced {} bytes from {primary} (epoch {})",
+                    bytes.len(),
+                    store.epoch()
+                );
+                if let Some(path) = store_path {
+                    match store.save(Path::new(path)) {
+                        Ok(report) => eprintln!("persisted synced store ({} bytes)", report.bytes),
+                        Err(error) => eprintln!("warning: could not persist sync: {error}"),
+                    }
+                }
+                return store;
+            }
+            Err(error) => {
+                // The checksums caught a torn transfer: drop the
+                // partial and pull again from scratch.
+                eprintln!("synced snapshot failed validation ({error}); restarting sync");
+                let _ = std::fs::remove_file(&scratch);
+            }
+        }
+    }
+    eprintln!("cannot sync from primary {primary} after 5 attempts");
+    std::process::exit(1);
+}
+
+/// The follower's replication loop: poll the primary, apply every new
+/// delta through `Store::ingest` (atomic engine swap per epoch), and
+/// re-persist after advancing so a kill at any point restarts from the
+/// last fully-applied epoch.
+fn spawn_follower_poller(primary: String, store: Arc<Store>, persist: Option<String>) {
+    std::thread::spawn(move || {
+        let mut client = ReplClient::new(&primary);
+        loop {
+            match follow_once(&mut client, &store) {
+                Ok(0) => {}
+                Ok(applied) => {
+                    eprintln!(
+                        "follower applied {applied} delta(s) → epoch {}",
+                        store.epoch()
+                    );
+                    if let Some(path) = persist.as_deref() {
+                        if let Err(error) = store.save(Path::new(path)) {
+                            eprintln!("warning: follower could not persist: {error}");
+                        }
+                    }
+                }
+                Err(error) => {
+                    eprintln!("follower poll of {primary} failed: {error}");
+                    std::thread::sleep(Duration::from_millis(500));
+                }
+            }
+            std::thread::sleep(FOLLOW_POLL);
+        }
+    });
 }
 
 /// Open the serving store: load from `--store` when the file exists,
@@ -499,7 +673,8 @@ fn usage(message: &str) -> ! {
          [--fault-seed N] [--fault-profile quiet|light|aggressive] \
          [--cache-shards N] [--cache-capacity N] \
          [--slowlog-size N] [--metrics-dump] \
-         [--store PATH] [--ingest DIR] [--bench-json FILE] [--threaded]"
+         [--store PATH] [--ingest DIR] [--bench-json FILE] \
+         [--follow ADDR] [--serve-replicas] [--threaded]"
     );
     std::process::exit(2);
 }
@@ -568,7 +743,13 @@ impl Inflight {
     }
 }
 
-fn serve_threaded(addr: &str, port: u16, scale_name: &str, store: &Arc<Store>) {
+fn serve_threaded(
+    addr: &str,
+    port: u16,
+    scale_name: &str,
+    store: &Arc<Store>,
+    repl: Option<&ReplSource>,
+) {
     let listener = TcpListener::bind((addr, port)).unwrap_or_else(|error| {
         eprintln!("cannot bind {addr}:{port}: {error}");
         std::process::exit(1);
@@ -591,7 +772,9 @@ fn serve_threaded(addr: &str, port: u16, scale_name: &str, store: &Arc<Store>) {
                     let store = Arc::clone(store);
                     let inflight = Arc::clone(&inflight);
                     let draining = Arc::clone(&draining);
-                    scope.spawn(move || serve_connection(stream, &store, &inflight, &draining));
+                    scope.spawn(move || {
+                        serve_connection(stream, &store, &inflight, &draining, repl)
+                    });
                 }
                 Err(error) => eprintln!("accept failed: {error}"),
             }
@@ -655,7 +838,13 @@ fn read_bounded_line<R: BufRead>(reader: &mut R) -> std::io::Result<LineRead> {
 /// One connection: read a line, answer a line, until EOF/`quit`. The
 /// serving engine is fetched from the store **per request**, so a
 /// long-lived connection observes an epoch swap on its very next query.
-fn serve_connection(stream: TcpStream, store: &Store, inflight: &Inflight, draining: &AtomicBool) {
+fn serve_connection(
+    stream: TcpStream,
+    store: &Store,
+    inflight: &Inflight,
+    draining: &AtomicBool,
+    repl: Option<&ReplSource>,
+) {
     // One request per round trip: Nagle would add 40ms to every answer.
     stream.set_nodelay(true).ok();
     let Ok(read_half) = stream.try_clone() else {
@@ -691,7 +880,7 @@ fn serve_connection(stream: TcpStream, store: &Store, inflight: &Inflight, drain
             inflight.exit();
             break;
         }
-        let (reply, shutdown) = respond(line, store);
+        let (reply, shutdown) = respond(line, store, repl);
         let delivered = writeln!(writer, "{reply}")
             .and_then(|()| writer.flush())
             .is_ok();
@@ -722,9 +911,14 @@ fn serve_connection(stream: TcpStream, store: &Store, inflight: &Inflight, drain
 /// process (the `shutdown` control query) after the reply is flushed.
 /// Detection and ack come from `lfp-serve`, so the two serving cores
 /// answer shutdown byte-identically by construction.
-fn respond(line: &str, store: &Store) -> (String, bool) {
+fn respond(line: &str, store: &Store, repl: Option<&ReplSource>) -> (String, bool) {
     if is_shutdown_line(line) {
         return (SHUTDOWN_ACK.to_string(), true);
+    }
+    // The replication extension gets first refusal, exactly as the
+    // event-loop workers give it — the two cores answer identically.
+    if let Some(reply) = repl.and_then(|repl| repl.answer(line)) {
+        return (reply, false);
     }
     (answer_line(line, &store.engine()), false)
 }

@@ -71,16 +71,17 @@ impl CacheStats {
 }
 
 struct Node {
-    key: String,
+    key: Arc<str>,
     value: Arc<str>,
     prev: usize,
     next: usize,
 }
 
 /// One shard: a hash map into a slab of intrusively linked nodes,
-/// most-recently-used at `head`.
+/// most-recently-used at `head`. Keys are `Arc<str>` shared between the
+/// map and the slab node, so a miss costs exactly one key allocation.
 struct Shard {
-    map: HashMap<String, usize>,
+    map: HashMap<Arc<str>, usize>,
     nodes: Vec<Node>,
     head: usize,
     tail: usize,
@@ -136,9 +137,12 @@ impl Shard {
             self.push_front(index);
             return false;
         }
+        // One shared allocation per miss: the node and the map hold the
+        // same `Arc<str>` key (this path used to allocate the key twice).
+        let key: Arc<str> = Arc::from(key);
         let (index, evicted) = if self.nodes.len() < self.capacity {
             self.nodes.push(Node {
-                key: key.to_string(),
+                key: Arc::clone(&key),
                 value,
                 prev: NIL,
                 next: NIL,
@@ -148,12 +152,12 @@ impl Shard {
             // Evict the least-recently-used node and reuse its slot.
             let victim = self.tail;
             self.unlink(victim);
-            let old_key = std::mem::replace(&mut self.nodes[victim].key, key.to_string());
-            self.map.remove(&old_key);
+            let old_key = std::mem::replace(&mut self.nodes[victim].key, Arc::clone(&key));
+            self.map.remove(old_key.as_ref());
             self.nodes[victim].value = value;
             (victim, true)
         };
-        self.map.insert(key.to_string(), index);
+        self.map.insert(key, index);
         self.push_front(index);
         evicted
     }
@@ -171,14 +175,19 @@ pub struct ShardedLru {
 
 impl ShardedLru {
     /// A cache of `shards` independent LRU shards holding up to
-    /// `capacity` entries **in total** (capacity is split evenly; at
-    /// least one entry per shard).
+    /// `capacity` entries **in total**: the remainder of an uneven
+    /// split goes one-per-shard to the first `capacity % shards`
+    /// shards, so shard capacities sum to exactly `capacity`. When
+    /// `capacity < shards` the shard count is clamped down so every
+    /// shard still holds at least one entry.
     pub fn new(shards: usize, capacity: usize) -> ShardedLru {
-        let shards = shards.max(1);
-        let per_shard = capacity.div_ceil(shards).max(1);
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        let base = capacity / shards;
+        let extra = capacity % shards;
         ShardedLru {
             shards: (0..shards)
-                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .map(|index| Mutex::new(Shard::new(base + usize::from(index < extra))))
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -343,12 +352,31 @@ mod tests {
 
     #[test]
     fn shards_share_total_capacity() {
-        let cache = ShardedLru::new(8, 16);
+        // A non-divisible capacity: the old ceil split gave every shard
+        // 3 slots, admitting up to 24 entries against a contract of 17.
+        let cache = ShardedLru::new(8, 17);
         for index in 0..200u32 {
             cache.insert(&format!("key-{index}"), value("x"));
         }
-        // Each of the 8 shards holds at most ceil(16/8) = 2 entries.
-        assert!(cache.stats().entries <= 16);
+        assert!(
+            cache.stats().entries <= 17,
+            "cache holds {} entries, contract is 17 in total",
+            cache.stats().entries
+        );
+    }
+
+    #[test]
+    fn capacity_below_shard_count_stays_bounded() {
+        // Fewer slots than shards: the shard count clamps down instead
+        // of handing out zero-capacity shards (whose eviction path
+        // would have no tail to unlink).
+        let cache = ShardedLru::new(8, 3);
+        for index in 0..50u32 {
+            let key = format!("k{index}");
+            cache.insert(&key, value("x"));
+            assert!(cache.get(&key).is_some());
+            assert!(cache.stats().entries <= 3);
+        }
     }
 
     #[test]

@@ -27,6 +27,15 @@
 //! value is validated and otherwise ignored — it exists so an echoed
 //! canonical form replays verbatim.
 //!
+//! `min_epoch` (u64, optional on every kind) is the *fencing* field and
+//! is **not** advisory: a daemon whose applied epoch is below
+//! `min_epoch` answers `{"ok": false, "error": "stale_epoch",
+//! "have": H, "want": W}` instead of silently serving older data. A
+//! client that read epoch `E` from one replica can demand
+//! `"min_epoch": E` from any other and either gets an answer at least
+//! that fresh or a typed refusal it can retry after the replica
+//! catches up (see [`stale_epoch_envelope`] / [`stale_epoch_of`]).
+//!
 //! ## Responses
 //!
 //! `{"ok": true, "cached": …, "query": <canonical echo>, "result": …}`
@@ -234,11 +243,19 @@ pub fn decode_value(value: &JsonValue) -> Result<Query, String> {
         .and_then(JsonValue::as_str)
         .ok_or_else(|| "missing string field \"query\"".to_string())?;
     let allowed: &[&str] = match kind {
-        "vendor_mix" => &["query", "as", "region", "method", "epoch"],
+        "vendor_mix" => &["query", "as", "region", "method", "epoch", "min_epoch"],
         "path_diversity" | "transitions" | "longest_runs" => &[
-            "query", "src_as", "dst_as", "source", "min_hops", "max_hops", "slice", "epoch",
+            "query",
+            "src_as",
+            "dst_as",
+            "source",
+            "min_hops",
+            "max_hops",
+            "slice",
+            "epoch",
+            "min_epoch",
         ],
-        "catalog" => &["query", "epoch"],
+        "catalog" => &["query", "epoch", "min_epoch"],
         other => {
             return Err(format!(
                 "unknown query kind '{other}' (try vendor_mix, path_diversity, transitions, \
@@ -258,6 +275,14 @@ pub fn decode_value(value: &JsonValue) -> Result<Query, String> {
         field
             .as_u64()
             .ok_or_else(|| "field 'epoch' must be an epoch id (u64)".to_string())?;
+    }
+    // `min_epoch` is the fencing floor (see the module docs). Decoding
+    // only validates it; enforcement happens in the serving layer,
+    // which compares it against the engine actually answering.
+    if let Some(field) = value.get("min_epoch") {
+        field
+            .as_u64()
+            .ok_or_else(|| "field 'min_epoch' must be an epoch id (u64)".to_string())?;
     }
     match kind {
         "vendor_mix" => decode_vendor_mix(value),
@@ -389,6 +414,14 @@ pub fn error_envelope(message: &str) -> String {
     format!("{{\"ok\": false, \"error\": \"{}\"}}", escape(message))
 }
 
+/// The shared opening of every *typed* error envelope. Both string
+/// slots — the error token and any free-text field spliced in after —
+/// must go through [`escape`], so a hostile reason can never produce
+/// an unparseable line that detection then misses.
+fn typed_error_head(error: &str) -> String {
+    format!("{{\"ok\": false, \"error\": \"{}\"", escape(error))
+}
+
 /// The typed error a server sheds load with. Distinct from
 /// [`error_envelope`]: `error` is the fixed token `"overloaded"` (so
 /// clients can dispatch on it without parsing prose), `reason` says
@@ -397,9 +430,28 @@ pub fn error_envelope(message: &str) -> String {
 /// that long, with jitter, before retrying.
 pub fn overloaded_envelope(reason: &str, retry_ms: u64) -> String {
     format!(
-        "{{\"ok\": false, \"error\": \"overloaded\", \"reason\": \"{}\", \"retry_ms\": {retry_ms}}}",
+        "{}, \"reason\": \"{}\", \"retry_ms\": {retry_ms}}}",
+        typed_error_head("overloaded"),
         escape(reason)
     )
+}
+
+/// The typed fencing refusal: the daemon's applied epoch `have` is
+/// below the request's `min_epoch` floor `want`, so answering would
+/// silently serve stale data. Uses the same escaped envelope path as
+/// [`overloaded_envelope`].
+pub fn stale_epoch_envelope(have: u64, want: u64) -> String {
+    format!(
+        "{}, \"have\": {have}, \"want\": {want}}}",
+        typed_error_head("stale_epoch")
+    )
+}
+
+/// Extract the fencing floor from an already-decoded request object.
+/// Call only after [`decode_value`] succeeded (which validates the
+/// field's type), so a missing or malformed field reads as "no floor".
+pub fn min_epoch_of(value: &JsonValue) -> Option<u64> {
+    value.get("min_epoch").and_then(JsonValue::as_u64)
 }
 
 /// Detect the `overloaded` envelope and extract its retry hint.
@@ -421,6 +473,23 @@ pub fn overload_retry_ms(reply: &str) -> Option<u64> {
             .and_then(JsonValue::as_u64)
             .unwrap_or(0),
     )
+}
+
+/// Detect the `stale_epoch` fencing refusal and extract `(have, want)`.
+/// Same shape as [`overload_retry_ms`]: a cheap substring prefilter,
+/// then a parse that confirms the `error` token exactly. Returns `None`
+/// for anything that is not a well-formed fencing refusal.
+pub fn stale_epoch_of(reply: &str) -> Option<(u64, u64)> {
+    if !reply.contains("stale_epoch") {
+        return None;
+    }
+    let value = parse(reply).ok()?;
+    if value.get("error").and_then(JsonValue::as_str) != Some("stale_epoch") {
+        return None;
+    }
+    let have = value.get("have").and_then(JsonValue::as_u64)?;
+    let want = value.get("want").and_then(JsonValue::as_u64)?;
+    Some((have, want))
 }
 
 #[cfg(test)]
@@ -685,5 +754,70 @@ mod tests {
             overload_retry_ms("{\"ok\": false, \"error\": \"overloaded\"}"),
             Some(0)
         );
+    }
+
+    #[test]
+    fn hostile_overload_reason_round_trips_escaped() {
+        // A reason carrying quotes, backslashes, newlines and JS line
+        // separators must still render one line of valid JSON that the
+        // typed detection parses — the escaper is load-bearing here.
+        let hostile = "queue \"full\"\\deep\nand\u{2028}wide";
+        let shed = overloaded_envelope(hostile, 40);
+        assert!(!shed.contains('\n'), "envelope must stay single-line");
+        let parsed = lfp_analysis::json::parse(&shed).unwrap();
+        assert_eq!(parsed.get("error").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(parsed.get("reason").unwrap().as_str(), Some(hostile));
+        assert_eq!(overload_retry_ms(&shed), Some(40));
+    }
+
+    #[test]
+    fn stale_epoch_envelope_round_trips_through_detection() {
+        let fenced = stale_epoch_envelope(3, 7);
+        assert_eq!(
+            fenced,
+            "{\"ok\": false, \"error\": \"stale_epoch\", \"have\": 3, \"want\": 7}"
+        );
+        let parsed = lfp_analysis::json::parse(&fenced).unwrap();
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(parsed.get("error").unwrap().as_str(), Some("stale_epoch"));
+        assert_eq!(stale_epoch_of(&fenced), Some((3, 7)));
+
+        // Prose mentioning the token, success payloads containing it,
+        // and the other typed error all fail the exact check.
+        assert_eq!(stale_epoch_of(&error_envelope("stale_epoch-ish")), None);
+        assert_eq!(
+            stale_epoch_of("{\"ok\": true, \"result\": \"stale_epoch\"}"),
+            None
+        );
+        assert_eq!(stale_epoch_of(&overloaded_envelope("queue", 1)), None);
+        // And the two detectors never cross-fire.
+        assert_eq!(overload_retry_ms(&fenced), None);
+    }
+
+    #[test]
+    fn min_epoch_is_accepted_validated_and_extractable() {
+        // Every kind accepts the fencing field…
+        for line in [
+            r#"{"query": "catalog", "min_epoch": 4}"#,
+            r#"{"query": "vendor_mix", "as": 7, "min_epoch": 0}"#,
+            r#"{"query": "transitions", "min_epoch": 9, "epoch": 2}"#,
+        ] {
+            decode(line).unwrap_or_else(|error| panic!("{line}: {error}"));
+            let value = lfp_analysis::json::parse(line).unwrap();
+            decode_value(&value).unwrap();
+            assert!(min_epoch_of(&value).is_some(), "{line}");
+        }
+        // …and rejects malformed floors instead of ignoring them.
+        for line in [
+            r#"{"query": "catalog", "min_epoch": -1}"#,
+            r#"{"query": "catalog", "min_epoch": "four"}"#,
+            r#"{"query": "catalog", "min_epoch": 1.5}"#,
+        ] {
+            let error = decode(line).unwrap_err();
+            assert!(error.contains("min_epoch"), "{line}: {error}");
+        }
+        // Absent floor reads as "no fence".
+        let bare = lfp_analysis::json::parse(r#"{"query": "catalog"}"#).unwrap();
+        assert_eq!(min_epoch_of(&bare), None);
     }
 }

@@ -73,6 +73,6 @@ pub mod sys;
 
 pub use policy::{DirectIo, FaultCounters, FaultPlan, FaultPolicy, IoPolicy};
 pub use server::{
-    answer_line, is_shutdown_line, EngineSource, ObsHandle, ServeConfig, ServeReport, Server,
-    ServerHandle, SHUTDOWN_ACK,
+    answer_line, is_shutdown_line, EngineSource, LineExtension, ObsHandle, ServeConfig,
+    ServeReport, Server, ServerHandle, SHUTDOWN_ACK,
 };

@@ -268,12 +268,38 @@ pub fn answer_line(line: &str, engine: &QueryEngine) -> String {
         Err(error) => return wire::error_envelope(&format!("invalid JSON: {error}")),
     };
     match wire::decode_value(&value) {
-        Ok(query) => match engine.execute(&query) {
-            Ok(response) => wire::ok_envelope(&engine.canonical(&query), &response),
-            Err(error) => wire::error_envelope(&error),
-        },
+        Ok(query) => {
+            // Epoch fencing: a request whose `min_epoch` floor is above
+            // the engine actually answering gets the typed refusal —
+            // never data from an older epoch.
+            if let Some(want) = wire::min_epoch_of(&value) {
+                let have = engine.epoch();
+                if have < want {
+                    return wire::stale_epoch_envelope(have, want);
+                }
+            }
+            match engine.execute(&query) {
+                Ok(response) => wire::ok_envelope(&engine.canonical(&query), &response),
+                Err(error) => wire::error_envelope(&error),
+            }
+        }
         Err(error) => wire::error_envelope(&error),
     }
+}
+
+/// A pluggable answerer multiplexed onto the framed protocol ahead of
+/// the data path: a worker probes the extension first and the extension
+/// owns any line it returns `Some` for. The replication control stream
+/// (`repl_*` requests, answered against the *store* — state no
+/// [`QueryEngine`] can see) rides this seam; everything the extension
+/// declines falls through to normal query execution unchanged.
+///
+/// Implementations run on worker threads: they must be `Send + Sync`
+/// and cheap to probe on non-matching lines (prefilter on a substring
+/// before parsing, the same discipline as control detection).
+pub trait LineExtension: Send + Sync {
+    /// Answer the line, or `None` to let the data path have it.
+    fn try_answer(&self, line: &str) -> Option<String>;
 }
 
 /// The control queries the shard loops answer themselves.
@@ -929,6 +955,7 @@ impl Server {
                 clock: Arc::clone(&clock),
                 obs: Arc::clone(&obs[id]),
                 slowlog: Arc::clone(&slowlog),
+                extension: None,
             });
         }
 
@@ -969,6 +996,15 @@ impl Server {
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             control: Arc::clone(&self.control),
+        }
+    }
+
+    /// Install a [`LineExtension`] on every shard's worker pool. Call
+    /// before [`run`](Server::run); the extension is probed ahead of
+    /// query execution for every data line on every shard.
+    pub fn set_line_extension(&mut self, extension: Arc<dyn LineExtension>) {
+        for shard in &mut self.shards {
+            shard.extension = Some(Arc::clone(&extension));
         }
     }
 

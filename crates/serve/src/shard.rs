@@ -25,8 +25,8 @@ use crate::conn::{CloseReason, Conn, Payload};
 use crate::obs::{ReqTrace, ShardObs};
 use crate::policy::IoPolicy;
 use crate::server::{
-    control_of, drain_wake_pipe, nudge_wake_pipe, Control, ControlPlane, EngineSource, ServeConfig,
-    ServeReport, StatsHub, SHUTDOWN_ACK,
+    control_of, drain_wake_pipe, nudge_wake_pipe, Control, ControlPlane, EngineSource,
+    LineExtension, ServeConfig, ServeReport, StatsHub, SHUTDOWN_ACK,
 };
 use crate::sys::{PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use lfp_analysis::json::{escape, parse};
@@ -214,22 +214,32 @@ pub(crate) fn answer_line_payload_obs(
         }
     };
     match wire::decode_value(&value) {
-        Ok(query) => match engine.execute_lane_obs(&query, lane, clock) {
-            Ok((response, obs)) => {
-                rt.canonical = engine.canonical(&query);
-                rt.cached = response.cached;
-                rt.explain = obs.explain;
-                rt.ok = true;
-                rt.trace.add(Stage::CacheLookup, obs.cache_ns);
-                rt.trace.add(Stage::Plan, obs.plan_ns);
-                rt.trace.add(Stage::Render, obs.render_ns);
-                Payload::Rendered {
-                    head: wire::ok_envelope_head(&rt.canonical, response.cached),
-                    body: response.payload,
+        Ok(query) => {
+            // Epoch fencing, identical to `answer_line`: a `min_epoch`
+            // floor above this engine's epoch gets the typed refusal.
+            if let Some(want) = wire::min_epoch_of(&value) {
+                let have = engine.epoch();
+                if have < want {
+                    return Payload::Owned(wire::stale_epoch_envelope(have, want));
                 }
             }
-            Err(error) => Payload::Owned(wire::error_envelope(&error)),
-        },
+            match engine.execute_lane_obs(&query, lane, clock) {
+                Ok((response, obs)) => {
+                    rt.canonical = engine.canonical(&query);
+                    rt.cached = response.cached;
+                    rt.explain = obs.explain;
+                    rt.ok = true;
+                    rt.trace.add(Stage::CacheLookup, obs.cache_ns);
+                    rt.trace.add(Stage::Plan, obs.plan_ns);
+                    rt.trace.add(Stage::Render, obs.render_ns);
+                    Payload::Rendered {
+                        head: wire::ok_envelope_head(&rt.canonical, response.cached),
+                        body: response.payload,
+                    }
+                }
+                Err(error) => Payload::Owned(wire::error_envelope(&error)),
+            }
+        }
         Err(error) => Payload::Owned(wire::error_envelope(&error)),
     }
 }
@@ -256,6 +266,9 @@ pub(crate) struct ShardSeed {
     pub obs: Arc<ShardObs>,
     /// The server-wide top-K slow-query log.
     pub slowlog: Arc<SlowLog>,
+    /// Optional line extension the workers probe ahead of the data
+    /// path (the replication control stream rides here).
+    pub extension: Option<Arc<dyn LineExtension>>,
 }
 
 impl ShardSeed {
@@ -273,9 +286,12 @@ impl ShardSeed {
             let shared = Arc::clone(&self.shared);
             let source = Arc::clone(&self.source);
             let clock = Arc::clone(&self.clock);
+            let extension = self.extension.clone();
             let thread = std::thread::Builder::new()
                 .name(format!("lfp-serve-{}-{index}", self.id))
-                .spawn(move || worker_loop(shared, source, deadline, retry_hint, lane, clock))
+                .spawn(move || {
+                    worker_loop(shared, source, deadline, retry_hint, lane, clock, extension)
+                })
                 .expect("spawn worker thread");
             pool.push(thread);
         }
@@ -792,6 +808,7 @@ fn worker_loop(
     retry_hint_ms: u64,
     lane: u64,
     clock: Arc<dyn Clock>,
+    extension: Option<Arc<dyn LineExtension>>,
 ) {
     let mut batch: Vec<Job> = Vec::with_capacity(WORKER_BATCH);
     let mut finished: Vec<Completion> = Vec::with_capacity(WORKER_BATCH);
@@ -839,7 +856,14 @@ fn worker_loop(
                 // is picked up by the very next query.
                 let engine = source.engine();
                 trace.epoch = engine.epoch();
-                answer_line_payload_obs(&line, &engine, lane, clock.as_ref(), &mut trace)
+                // The extension (replication control stream) gets first
+                // refusal; lines it declines take the data path.
+                match extension.as_ref().and_then(|ext| ext.try_answer(&line)) {
+                    Some(reply) => Payload::Owned(reply),
+                    None => {
+                        answer_line_payload_obs(&line, &engine, lane, clock.as_ref(), &mut trace)
+                    }
+                }
             };
             trace.trace.stamp(Stage::Execute, clock.now_ns());
             finished.push(Completion {
@@ -888,6 +912,8 @@ mod tests {
             "{\"query\": \"transitions\"}", // warm: cached=true path
             "not json at all",
             "{\"query\": \"mystery\"}",
+            "{\"query\": \"catalog\", \"min_epoch\": 0}", // fence passes at epoch 0
+            "{\"query\": \"catalog\", \"min_epoch\": 5}", // fence refuses: stale_epoch
         ] {
             // Warm the cache first: both renderings below then take the
             // cached=true path, so the `cached` flag cannot differ by

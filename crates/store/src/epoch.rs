@@ -255,6 +255,34 @@ impl Store {
     /// only the corpus columns are dumped into an owned `CorpusParts`.
     pub fn to_bytes(&self) -> Vec<u8> {
         let epochs = self.epochs.lock().expect("epoch lock poisoned");
+        self.encode_locked(&epochs)
+    }
+
+    /// [`to_bytes`](Store::to_bytes) plus the epoch those bytes
+    /// describe, read under the same lock — the pair a replication
+    /// primary hands out, guaranteed internally consistent even if an
+    /// ingest lands the instant the lock drops.
+    pub fn snapshot_segment(&self) -> (u64, Vec<u8>) {
+        let epochs = self.epochs.lock().expect("epoch lock poisoned");
+        (self.engine().epoch(), self.encode_locked(&epochs))
+    }
+
+    /// The replication log: the serialized delta that produced `epoch`
+    /// (epochs are 1-based; the base world is epoch 0 and has no
+    /// delta), or `None` when this store never ingested that epoch.
+    /// The bytes are exactly what [`SnapshotDelta::to_bytes`] wrote —
+    /// sectioned and checksummed, so a follower validates them with
+    /// [`SnapshotDelta::from_bytes`] before applying.
+    pub fn delta_segment(&self, epoch: u64) -> Option<Vec<u8>> {
+        let index = usize::try_from(epoch.checked_sub(1)?).ok()?;
+        let epochs = self.epochs.lock().expect("epoch lock poisoned");
+        epochs.get(index).map(|entry| entry.delta.to_bytes())
+    }
+
+    fn encode_locked(&self, epochs: &[IngestedEpoch]) -> Vec<u8> {
+        // The caller holds the epochs lock, so the engine cannot be
+        // swapped out from under the encode: `ingest_many` publishes a
+        // new engine only while holding that same lock.
         let engine = self.engine();
         let world = &self.world;
         // The per-dataset maps are memoised `Arc`s; hold them so the

@@ -34,6 +34,9 @@ pub enum StoreError {
     Corrupt(String),
     /// An ingest was rejected (duplicate source name, misaligned delta).
     Ingest(String),
+    /// A replication exchange failed (primary refused, reply did not
+    /// parse, or a shipped segment was torn mid-transfer).
+    Replication(String),
 }
 
 impl fmt::Display for StoreError {
@@ -52,6 +55,7 @@ impl fmt::Display for StoreError {
             }
             StoreError::Corrupt(message) => write!(f, "corrupt store: {message}"),
             StoreError::Ingest(message) => write!(f, "ingest rejected: {message}"),
+            StoreError::Replication(message) => write!(f, "replication failed: {message}"),
         }
     }
 }
@@ -83,6 +87,10 @@ mod tests {
             (StoreError::Corrupt("bad set id".to_string()), "bad set id"),
             (StoreError::Ingest("duplicate".to_string()), "duplicate"),
             (StoreError::Io("denied".to_string()), "denied"),
+            (
+                StoreError::Replication("primary closed".to_string()),
+                "primary closed",
+            ),
         ];
         for (error, needle) in cases {
             assert!(error.to_string().contains(needle), "{error}");

@@ -18,7 +18,12 @@
 //!   incremental ingestion that classifies *only* the new snapshot,
 //!   folds it into an extended corpus, and atomically swaps a new
 //!   epoch-tagged [`QueryEngine`](lfp_query::QueryEngine) under the
-//!   running daemon.
+//!   running daemon,
+//! * [`repl`] — primary/follower replication: a primary ships its
+//!   snapshot and per-epoch delta segments over the ordinary serving
+//!   port; followers apply them through the same [`Store::ingest`]
+//!   path and answer with byte-identical replies at equal epochs,
+//!   while `min_epoch` fencing turns the epoch echo into a contract.
 //!
 //! ```no_run
 //! use lfp_analysis::World;
@@ -41,7 +46,9 @@ pub mod codec;
 mod epoch;
 pub mod error;
 pub mod format;
+pub mod repl;
 
 pub use codec::{SnapshotDelta, StoredCampaign};
 pub use epoch::{Durable, IngestReport, LoadReport, SaveFaults, SaveReport, Store, SAVE_CHUNK};
 pub use error::StoreError;
+pub use repl::{follow_once, ingest_path, PrimaryStatus, ReplClient, ReplSource, REPL_CHUNK};

@@ -1,0 +1,543 @@
+//! Primary/follower epoch replication over the query wire.
+//!
+//! One process owns ingest (the **primary**); any number of
+//! **followers** mirror it by shipping the same epoch machinery the
+//! store already has — no second durability format, no new socket
+//! protocol. Replication is four extra line-delimited JSON queries
+//! multiplexed on the ordinary serving port (a
+//! `LineExtension` on the primary answers them ahead of the data
+//! path; everything else still reaches the query engine):
+//!
+//! * `repl_status` — the primary's epoch and snapshot size,
+//! * `repl_snapshot` — the sectioned store file, base64, in resumable
+//!   chunks (each reply names the epoch it belongs to, so a transfer
+//!   torn by a mid-sync ingest is detected and restarted; the section
+//!   checksums validate the assembled file before it is trusted),
+//! * `repl_delta` — the serialized [`SnapshotDelta`] that advances a
+//!   follower from its applied epoch to the next one, also chunked,
+//! * `repl_ingest` — operator-driven churn: the primary ingests delta
+//!   files from disk, which then fan out to followers via `repl_delta`.
+//!
+//! The follower side is [`ReplClient`]: a blocking line-oriented
+//! client (replies carrying base64 segments routinely exceed the
+//! request-side frame cap, so it reads whole lines, never frames) plus
+//! [`follow_once`], which pulls and applies every outstanding delta
+//! through [`Store::ingest`]'s prepared-epoch path — a follower swaps
+//! engines exactly as local ingest does, and serves every query with
+//! the same bytes the primary would at the same epoch.
+
+use crate::codec::SnapshotDelta;
+use crate::epoch::{IngestReport, Store};
+use crate::error::StoreError;
+use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
+use lfp_query::wire;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Raw bytes per replication chunk. Base64 inflates by 4/3, so replies
+/// stay around 64 KiB — far under the serving layer's write-buffer
+/// eviction threshold even with a few replies in flight.
+pub const REPL_CHUNK: usize = 48 * 1024;
+
+/// The primary's side of replication: answers `repl_*` lines against a
+/// shared [`Store`]. Snapshot bytes are cached per epoch (one encode
+/// per epoch regardless of follower count), delta segments in a small
+/// per-epoch map.
+pub struct ReplSource {
+    store: Arc<Store>,
+    snapshot: Mutex<Option<(u64, Arc<Vec<u8>>)>>,
+    deltas: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+}
+
+impl ReplSource {
+    /// Wrap a store as a replication primary.
+    pub fn new(store: Arc<Store>) -> ReplSource {
+        ReplSource {
+            store,
+            snapshot: Mutex::new(None),
+            deltas: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Answer a replication line, or `None` when the line is not a
+    /// replication query at all (it then takes the ordinary data
+    /// path). The `repl_` substring check keeps the probe near-free on
+    /// the hot path.
+    pub fn answer(&self, line: &str) -> Option<String> {
+        if !line.contains("repl_") {
+            return None;
+        }
+        let value = parse(line).ok()?;
+        let kind = value.get("query").and_then(JsonValue::as_str)?;
+        if !kind.starts_with("repl_") {
+            return None;
+        }
+        Some(match kind {
+            "repl_status" => self.status(),
+            "repl_snapshot" => self.snapshot_chunk(&value),
+            "repl_delta" => self.delta_chunk(&value),
+            "repl_ingest" => self.ingest(&value),
+            other => wire::error_envelope(&format!("unknown replication query '{other}'")),
+        })
+    }
+
+    fn status(&self) -> String {
+        let (epoch, bytes) = self.snapshot_bytes();
+        ok_result(|result| {
+            result.integer("epoch", epoch);
+            result.integer("snapshot_bytes", bytes.len() as u64);
+            result.integer("chunk", REPL_CHUNK as u64);
+        })
+    }
+
+    fn snapshot_chunk(&self, value: &JsonValue) -> String {
+        let offset = value.get("offset").and_then(JsonValue::as_u64).unwrap_or(0);
+        let (epoch, bytes) = self.snapshot_bytes();
+        let total = bytes.len() as u64;
+        if offset > total {
+            return wire::error_envelope(&format!(
+                "snapshot offset {offset} past end of {total}-byte snapshot"
+            ));
+        }
+        let end = usize::min(offset as usize + REPL_CHUNK, bytes.len());
+        let data = b64::encode(&bytes[offset as usize..end]);
+        ok_result(|result| {
+            result.integer("epoch", epoch);
+            result.integer("total", total);
+            result.integer("offset", offset);
+            result.string("data", &data);
+        })
+    }
+
+    fn delta_chunk(&self, value: &JsonValue) -> String {
+        let Some(have) = value.get("have").and_then(JsonValue::as_u64) else {
+            return wire::error_envelope("repl_delta requires 'have': the follower's epoch");
+        };
+        let offset = value.get("offset").and_then(JsonValue::as_u64).unwrap_or(0);
+        let current = self.store.epoch();
+        if have >= current {
+            // Caught up (or ahead of us — nothing to ship either way).
+            return ok_result(|result| {
+                result.integer("epoch", current);
+            });
+        }
+        let target = have + 1;
+        let Some(bytes) = self.delta_segment(target) else {
+            return wire::error_envelope(&format!("epoch {target} is not in this primary's log"));
+        };
+        let total = bytes.len() as u64;
+        if offset > total {
+            return wire::error_envelope(&format!(
+                "delta offset {offset} past end of {total}-byte segment"
+            ));
+        }
+        let end = usize::min(offset as usize + REPL_CHUNK, bytes.len());
+        let data = b64::encode(&bytes[offset as usize..end]);
+        ok_result(|result| {
+            result.integer("epoch", current);
+            result.integer("delta_epoch", target);
+            result.integer("total", total);
+            result.integer("offset", offset);
+            result.string("data", &data);
+        })
+    }
+
+    fn ingest(&self, value: &JsonValue) -> String {
+        let Some(path) = value.get("path").and_then(JsonValue::as_str) else {
+            return wire::error_envelope("repl_ingest requires 'path': a delta file or directory");
+        };
+        match ingest_path(&self.store, Path::new(path)) {
+            Ok(report) => ok_result(|result| {
+                result.integer("epoch", report.epoch);
+                result.integer("ingested", report.sources.len() as u64);
+            }),
+            Err(error) => wire::error_envelope(&error.to_string()),
+        }
+    }
+
+    fn snapshot_bytes(&self) -> (u64, Arc<Vec<u8>>) {
+        let mut cached = self.snapshot.lock().expect("snapshot cache poisoned");
+        let current = self.store.epoch();
+        if let Some((epoch, bytes)) = cached.as_ref() {
+            if *epoch == current {
+                return (*epoch, Arc::clone(bytes));
+            }
+        }
+        let (epoch, bytes) = self.store.snapshot_segment();
+        let bytes = Arc::new(bytes);
+        *cached = Some((epoch, Arc::clone(&bytes)));
+        (epoch, bytes)
+    }
+
+    fn delta_segment(&self, epoch: u64) -> Option<Arc<Vec<u8>>> {
+        let mut cache = self.deltas.lock().expect("delta cache poisoned");
+        if let Some(bytes) = cache.get(&epoch) {
+            return Some(Arc::clone(bytes));
+        }
+        let bytes = Arc::new(self.store.delta_segment(epoch)?);
+        if cache.len() >= 16 {
+            cache.clear();
+        }
+        cache.insert(epoch, Arc::clone(&bytes));
+        Some(bytes)
+    }
+}
+
+/// Ingest one `.delta` file — or every `*.delta` in a directory, in
+/// name order — into the store. The churn entry point behind
+/// `repl_ingest` and `vendor-queryd --ingest`-style flows.
+pub fn ingest_path(store: &Store, path: &Path) -> Result<IngestReport, StoreError> {
+    let mut files = Vec::new();
+    if path.is_dir() {
+        for entry in std::fs::read_dir(path)? {
+            let file = entry?.path();
+            if file.extension().is_some_and(|ext| ext == "delta") {
+                files.push(file);
+            }
+        }
+        files.sort();
+    } else {
+        files.push(path.to_path_buf());
+    }
+    if files.is_empty() {
+        return Err(StoreError::Ingest(format!(
+            "no .delta files under {}",
+            path.display()
+        )));
+    }
+    let mut deltas = Vec::with_capacity(files.len());
+    for file in &files {
+        deltas.push(SnapshotDelta::from_bytes(&std::fs::read(file)?)?);
+    }
+    store.ingest_many(deltas)
+}
+
+/// The follower's blocking client to a primary's serving port.
+///
+/// Replies carrying base64 segments exceed the 64 KiB request frame
+/// cap, so the client reads whole lines through a [`BufReader`] — the
+/// cap applies only to what clients *send*. The connection is lazy and
+/// self-healing: the first request after an I/O error reconnects once.
+pub struct ReplClient {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+/// What `repl_status` reports about a primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimaryStatus {
+    /// The primary's applied epoch.
+    pub epoch: u64,
+    /// Size of the primary's current snapshot segment in raw bytes.
+    pub snapshot_bytes: u64,
+}
+
+impl ReplClient {
+    /// A client for the primary at `addr` (connects lazily).
+    pub fn new(addr: impl Into<String>) -> ReplClient {
+        ReplClient {
+            addr: addr.into(),
+            conn: None,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Result<JsonValue, StoreError> {
+        for attempt in 0..2 {
+            if self.conn.is_none() {
+                let stream = TcpStream::connect(&self.addr)
+                    .map_err(|error| StoreError::Io(error.to_string()))?;
+                let _ = stream.set_nodelay(true);
+                self.conn = Some(BufReader::new(stream));
+            }
+            let reader = self.conn.as_mut().expect("connection just established");
+            let exchange = (|| -> std::io::Result<String> {
+                let mut stream = reader.get_ref();
+                stream.write_all(line.as_bytes())?;
+                stream.write_all(b"\n")?;
+                let mut reply = String::new();
+                if reader.read_line(&mut reply)? == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "primary closed the connection",
+                    ));
+                }
+                Ok(reply)
+            })();
+            match exchange {
+                Ok(reply) => {
+                    let value = parse(reply.trim()).map_err(|error| {
+                        StoreError::Replication(format!("unparseable reply: {error:?}"))
+                    })?;
+                    if value.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+                        let message = value
+                            .get("error")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("unknown error");
+                        return Err(StoreError::Replication(format!(
+                            "primary refused: {message}"
+                        )));
+                    }
+                    return value.get("result").cloned().ok_or_else(|| {
+                        StoreError::Replication("ok reply without a result".to_string())
+                    });
+                }
+                Err(error) => {
+                    // Stale connection (primary restarted, idle
+                    // eviction): reconnect once, then give up.
+                    self.conn = None;
+                    if attempt == 1 {
+                        return Err(StoreError::Io(error.to_string()));
+                    }
+                }
+            }
+        }
+        unreachable!("request loop returns within two attempts")
+    }
+
+    /// Ask the primary for its epoch and snapshot size.
+    pub fn status(&mut self) -> Result<PrimaryStatus, StoreError> {
+        let result = self.request(r#"{"query": "repl_status"}"#)?;
+        Ok(PrimaryStatus {
+            epoch: field_u64(&result, "epoch")?,
+            snapshot_bytes: field_u64(&result, "snapshot_bytes")?,
+        })
+    }
+
+    /// Fetch the primary's full snapshot segment, resumably: progress
+    /// is appended to `scratch` (8-byte epoch header + raw bytes), so
+    /// a follower killed mid-sync resumes where it left off. If the
+    /// primary's epoch moves mid-transfer, the partial is discarded
+    /// and the sync restarts — each chunk names its epoch, which is
+    /// what makes a torn transfer *detectable* before the section
+    /// checksums would even see it. Returns the validated-length raw
+    /// store bytes; the caller decodes them with [`Store::from_bytes`]
+    /// (whose checksums are the final integrity gate) and removes
+    /// `scratch` once the bytes are trusted.
+    pub fn sync_snapshot(&mut self, scratch: &Path) -> Result<Vec<u8>, StoreError> {
+        let mut epoch: Option<u64> = None;
+        let mut partial: Vec<u8> = Vec::new();
+        if let Ok(existing) = std::fs::read(scratch) {
+            if existing.len() >= 8 {
+                let mut header = [0u8; 8];
+                header.copy_from_slice(&existing[..8]);
+                epoch = Some(u64::from_le_bytes(header));
+                partial = existing[8..].to_vec();
+            }
+        }
+        loop {
+            let offset = partial.len() as u64;
+            let result = self.request(&format!(
+                r#"{{"query": "repl_snapshot", "offset": {offset}}}"#
+            ))?;
+            let remote = field_u64(&result, "epoch")?;
+            if epoch != Some(remote) {
+                // Fresh sync, or the primary ingested mid-transfer:
+                // restart against the new epoch.
+                let restart = !partial.is_empty();
+                epoch = Some(remote);
+                partial.clear();
+                std::fs::write(scratch, remote.to_le_bytes())?;
+                if restart {
+                    continue;
+                }
+            }
+            let total = field_u64(&result, "total")?;
+            let data = result.get("data").and_then(JsonValue::as_str).unwrap_or("");
+            let chunk = b64::decode(data).map_err(StoreError::Replication)?;
+            if offset + chunk.len() as u64 > total {
+                return Err(StoreError::Replication(format!(
+                    "snapshot chunk overruns: {offset} + {} > {total}",
+                    chunk.len()
+                )));
+            }
+            if !chunk.is_empty() {
+                let mut file = std::fs::OpenOptions::new().append(true).open(scratch)?;
+                file.write_all(&chunk)?;
+            }
+            partial.extend_from_slice(&chunk);
+            if partial.len() as u64 >= total {
+                return Ok(partial);
+            }
+            if chunk.is_empty() {
+                return Err(StoreError::Replication(
+                    "snapshot transfer stalled: empty chunk before end".to_string(),
+                ));
+            }
+        }
+    }
+
+    /// Fetch the delta that advances a follower past epoch `have`:
+    /// `Ok(Some((epoch, bytes)))` with the serialized segment, or
+    /// `Ok(None)` when the primary has nothing newer.
+    pub fn fetch_delta(&mut self, have: u64) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        let mut segment: Vec<u8> = Vec::new();
+        let mut target: Option<u64> = None;
+        loop {
+            let offset = segment.len() as u64;
+            let result = self.request(&format!(
+                r#"{{"query": "repl_delta", "have": {have}, "offset": {offset}}}"#
+            ))?;
+            let Some(epoch) = result.get("delta_epoch").and_then(JsonValue::as_u64) else {
+                return if segment.is_empty() {
+                    Ok(None) // caught up
+                } else {
+                    Err(StoreError::Replication(
+                        "primary dropped a delta mid-transfer".to_string(),
+                    ))
+                };
+            };
+            match target {
+                None => target = Some(epoch),
+                Some(expected) if expected != epoch => {
+                    return Err(StoreError::Replication(format!(
+                        "delta transfer torn: epoch {expected} became {epoch}"
+                    )));
+                }
+                Some(_) => {}
+            }
+            let total = field_u64(&result, "total")?;
+            let data = result.get("data").and_then(JsonValue::as_str).unwrap_or("");
+            let chunk = b64::decode(data).map_err(StoreError::Replication)?;
+            segment.extend_from_slice(&chunk);
+            if segment.len() as u64 >= total {
+                return Ok(Some((epoch, segment)));
+            }
+            if chunk.is_empty() {
+                return Err(StoreError::Replication(
+                    "delta transfer stalled: empty chunk before end".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// One follower poll step: fetch and apply every delta the primary has
+/// past the store's epoch, through [`Store::ingest`]'s prepared-epoch
+/// path (decode → validate → classify-only-the-new → atomic engine
+/// swap — byte-identical to a local ingest of the same delta). Returns
+/// how many epochs the store advanced.
+pub fn follow_once(client: &mut ReplClient, store: &Store) -> Result<u64, StoreError> {
+    let mut advanced = 0;
+    while let Some((epoch, bytes)) = client.fetch_delta(store.epoch())? {
+        let delta = SnapshotDelta::from_bytes(&bytes)?;
+        let report = store.ingest(delta)?;
+        if report.epoch != epoch {
+            return Err(StoreError::Replication(format!(
+                "applied delta landed at epoch {} but primary shipped it as {epoch}",
+                report.epoch
+            )));
+        }
+        advanced += 1;
+    }
+    Ok(advanced)
+}
+
+fn field_u64(value: &JsonValue, key: &str) -> Result<u64, StoreError> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| StoreError::Replication(format!("reply missing u64 field '{key}'")))
+}
+
+fn ok_result(build: impl FnOnce(&mut JsonBuilder)) -> String {
+    let mut result = JsonBuilder::object();
+    build(&mut result);
+    format!("{{\"ok\": true, \"result\": {}}}", result.finish())
+}
+
+/// Minimal standard-alphabet base64 (std-only; segments must cross the
+/// line-delimited JSON wire, so raw bytes need a text armor).
+pub mod b64 {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+    /// Encode bytes as padded base64.
+    pub fn encode(bytes: &[u8]) -> String {
+        let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+        for chunk in bytes.chunks(3) {
+            let b0 = u32::from(chunk[0]);
+            let b1 = u32::from(chunk.get(1).copied().unwrap_or(0));
+            let b2 = u32::from(chunk.get(2).copied().unwrap_or(0));
+            let triple = (b0 << 16) | (b1 << 8) | b2;
+            out.push(ALPHABET[(triple >> 18) as usize & 63] as char);
+            out.push(ALPHABET[(triple >> 12) as usize & 63] as char);
+            out.push(if chunk.len() > 1 {
+                ALPHABET[(triple >> 6) as usize & 63] as char
+            } else {
+                '='
+            });
+            out.push(if chunk.len() > 2 {
+                ALPHABET[triple as usize & 63] as char
+            } else {
+                '='
+            });
+        }
+        out
+    }
+
+    /// Decode padded base64; rejects bad lengths, bytes outside the
+    /// alphabet and misplaced padding.
+    pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+        fn sextet(byte: u8) -> Result<u32, String> {
+            match byte {
+                b'A'..=b'Z' => Ok(u32::from(byte - b'A')),
+                b'a'..=b'z' => Ok(u32::from(byte - b'a') + 26),
+                b'0'..=b'9' => Ok(u32::from(byte - b'0') + 52),
+                b'+' => Ok(62),
+                b'/' => Ok(63),
+                other => Err(format!("byte {other:#04x} outside the base64 alphabet")),
+            }
+        }
+        let bytes = text.as_bytes();
+        if !bytes.len().is_multiple_of(4) {
+            return Err(format!("base64 length {} not a multiple of 4", bytes.len()));
+        }
+        let quads = bytes.len() / 4;
+        let mut out = Vec::with_capacity(quads * 3);
+        for (index, quad) in bytes.chunks_exact(4).enumerate() {
+            let pads = quad.iter().rev().take_while(|&&byte| byte == b'=').count();
+            if pads > 2 || (pads > 0 && index + 1 != quads) {
+                return Err("misplaced base64 padding".to_string());
+            }
+            let v0 = sextet(quad[0])?;
+            let v1 = sextet(quad[1])?;
+            let v2 = if pads >= 2 { 0 } else { sextet(quad[2])? };
+            let v3 = if pads >= 1 { 0 } else { sextet(quad[3])? };
+            let triple = (v0 << 18) | (v1 << 12) | (v2 << 6) | v3;
+            out.push((triple >> 16) as u8);
+            if pads < 2 {
+                out.push((triple >> 8) as u8);
+            }
+            if pads < 1 {
+                out.push(triple as u8);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_round_trips_every_tail_length() {
+        for len in 0..64usize {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37 + len) as u8).collect();
+            let encoded = b64::encode(&bytes);
+            assert_eq!(encoded.len() % 4, 0);
+            assert_eq!(b64::decode(&encoded).expect("round trip"), bytes);
+        }
+    }
+
+    #[test]
+    fn base64_rejects_hostile_input() {
+        assert!(b64::decode("abc").is_err(), "bad length");
+        assert!(b64::decode("ab!d").is_err(), "bad byte");
+        assert!(b64::decode("a===").is_err(), "triple padding");
+        assert!(b64::decode("ab==cd==").is_err(), "padding mid-stream");
+        assert_eq!(b64::decode("").expect("empty ok"), Vec::<u8>::new());
+    }
+}

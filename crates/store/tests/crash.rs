@@ -204,6 +204,76 @@ fn crash_at_every_write_boundary_recovers_last_good_epoch() {
 }
 
 #[test]
+fn follower_crash_at_every_boundary_recovers_and_resyncs() {
+    let world = util::shared_tiny_world();
+    let primary = Store::from_world(world.clone());
+    let scratch = Scratch::new("follower");
+    let follower_path = scratch.path("follower.lfps");
+
+    // The follower starts as a synced replica of the primary's base
+    // snapshot, published durably at epoch 0.
+    let follower = Store::from_bytes(&primary.to_bytes()).expect("snapshot sync");
+    follower.save(&follower_path).expect("baseline persist");
+    let baseline = loaded_state(&follower_path);
+    assert_eq!(baseline.0, 0);
+
+    // The primary ingests one snapshot; the replication log's segment
+    // for epoch 1 is exactly what `repl_delta` would ship.
+    let delta = util::measure_deltas(&world, 1).into_iter().next().unwrap();
+    primary.ingest(delta).expect("primary ingest");
+    let shipped = primary.delta_segment(1).expect("epoch 1 is in the log");
+
+    // Applying the shipped segment is the follower's ingest path.
+    let apply = |store: &Store| {
+        let delta =
+            lfp_store::SnapshotDelta::from_bytes(&shipped).expect("shipped segment decodes");
+        store.ingest(delta).expect("apply shipped delta");
+    };
+    apply(&follower);
+    assert_eq!(follower.epoch(), 1);
+    // Replication's core claim: at equal epochs the follower answers
+    // byte-identically to the primary.
+    let converged = util::mix_responses(&follower);
+    assert_eq!(converged, util::mix_responses(&primary));
+
+    // Map the write boundaries of the follower's epoch-1 image.
+    let mut recorder = Recorder::default();
+    follower
+        .save_with(&scratch.path("probe.lfps"), &mut recorder)
+        .expect("probe save");
+
+    // Kill the follower's post-apply persist before every chunk write
+    // and before the publish rename: the published file must still be
+    // the *fully-applied* epoch 0 every time — a torn epoch may never
+    // become loadable, let alone servable.
+    for at in 0..recorder.chunks.len() {
+        let error = follower
+            .save_with(&follower_path, &mut CrashAt::chunk(at))
+            .expect_err("injected crash must surface");
+        assert!(matches!(error, StoreError::Io(_)));
+        assert_eq!(loaded_state(&follower_path), baseline, "crash point {at}");
+    }
+    let error = follower
+        .save_with(&follower_path, &mut CrashAt::publish())
+        .expect_err("publish crash must surface");
+    assert!(matches!(error, StoreError::Io(_)));
+    assert_eq!(loaded_state(&follower_path), baseline);
+
+    // Restart after the crashes: the reloaded follower is at the last
+    // fully-applied epoch and resyncs by re-fetching the same shipped
+    // segment — landing byte-identical to the never-crashed replica.
+    let (restarted, _) = Store::load(&follower_path).expect("follower restart");
+    assert_eq!(restarted.epoch(), 0, "recovered to the last applied epoch");
+    apply(&restarted);
+    assert_eq!(restarted.epoch(), 1);
+    assert_eq!(util::mix_responses(&restarted), converged);
+    restarted.save(&follower_path).expect("clean persist");
+    let (epoch, responses) = loaded_state(&follower_path);
+    assert_eq!(epoch, 1);
+    assert_eq!(responses, converged);
+}
+
+#[test]
 fn save_survives_bare_filename_paths() {
     // `path.parent()` is empty for a bare filename; the directory
     // fsync must fall back to "." instead of failing the save.

@@ -1,0 +1,166 @@
+//! Replication protocol battery: the primary's `repl_*` answerer and
+//! the follower client, driven over a real loopback socket.
+//!
+//! The server half here is deliberately tiny (accept, read a line,
+//! reply with `ReplSource::answer`) — the production daemons mount the
+//! same answerer behind `lfp-serve`'s worker extension seam, so what
+//! these tests pin down is the *protocol*: chunked resumable snapshot
+//! transfer, per-epoch delta shipping, torn-transfer detection, and a
+//! follower converging to byte-identical serving state.
+
+mod util;
+
+use lfp_analysis::json::{parse, JsonValue};
+use lfp_store::{follow_once, repl::b64, ReplClient, ReplSource, Store, REPL_CHUNK};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Serve `repl_*` lines from a background thread; non-repl lines get a
+/// refusal so a protocol bug fails loudly instead of hanging a read.
+fn spawn_primary(source: Arc<ReplSource>) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let source = Arc::clone(&source);
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                let mut stream = stream;
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                    let reply = source
+                        .answer(line.trim())
+                        .unwrap_or_else(|| "{\"ok\": false, \"error\": \"not repl\"}".to_string());
+                    if writeln!(stream, "{reply}").is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+fn scratch_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("lfp-repl-{tag}-{}-{unique}", std::process::id()))
+}
+
+#[test]
+fn snapshot_ships_in_chunks_and_reassembles_exactly() {
+    let primary = Arc::new(Store::from_world(util::shared_tiny_world()));
+    let source = ReplSource::new(Arc::clone(&primary));
+    let (epoch, expected) = primary.snapshot_segment();
+    assert_eq!(epoch, 0);
+
+    // Drive the chunk protocol by hand, straight through `answer`.
+    let status = source
+        .answer(r#"{"query": "repl_status"}"#)
+        .expect("status answered");
+    let status = parse(&status).expect("status parses");
+    let result = status.get("result").expect("status result");
+    assert_eq!(
+        result.get("snapshot_bytes").and_then(JsonValue::as_u64),
+        Some(expected.len() as u64)
+    );
+
+    let mut assembled: Vec<u8> = Vec::new();
+    while assembled.len() < expected.len() {
+        let line = format!(
+            r#"{{"query": "repl_snapshot", "offset": {}}}"#,
+            assembled.len()
+        );
+        let reply = source.answer(&line).expect("chunk answered");
+        let reply = parse(&reply).expect("chunk parses");
+        let result = reply.get("result").expect("chunk result");
+        assert_eq!(result.get("epoch").and_then(JsonValue::as_u64), Some(0));
+        let data = result
+            .get("data")
+            .and_then(JsonValue::as_str)
+            .expect("chunk data");
+        let chunk = b64::decode(data).expect("chunk decodes");
+        assert!(!chunk.is_empty() && chunk.len() <= REPL_CHUNK);
+        assembled.extend_from_slice(&chunk);
+    }
+    assert_eq!(assembled, expected, "reassembled snapshot differs");
+    // The sectioned format is the final integrity gate.
+    Store::from_bytes(&assembled).expect("assembled snapshot decodes");
+
+    // Past-the-end and non-repl lines are handled, not hung on.
+    let over = source
+        .answer(&format!(
+            r#"{{"query": "repl_snapshot", "offset": {}}}"#,
+            expected.len() + 1
+        ))
+        .expect("overrun answered");
+    assert!(over.contains("\"ok\": false"), "{over}");
+    assert!(source.answer(r#"{"query": "catalog"}"#).is_none());
+    assert!(source.answer("not json at all").is_none());
+}
+
+#[test]
+fn follower_converges_over_loopback_and_resumes_a_torn_sync() {
+    let world = util::shared_tiny_world();
+    let primary = Arc::new(Store::from_world(world.clone()));
+    let addr = spawn_primary(Arc::new(ReplSource::new(Arc::clone(&primary))));
+
+    // -- bootstrap: full snapshot sync ----------------------------
+    let mut client = ReplClient::new(&addr);
+    let status = client.status().expect("status");
+    assert_eq!(status.epoch, 0);
+    let scratch = scratch_path("sync");
+    let bytes = client.sync_snapshot(&scratch).expect("snapshot sync");
+    assert_eq!(bytes.len() as u64, status.snapshot_bytes);
+    let follower = Store::from_bytes(&bytes).expect("synced snapshot decodes");
+    let _ = std::fs::remove_file(&scratch);
+    assert_eq!(follower.epoch(), 0);
+
+    // -- the primary moves on; the follower catches up -------------
+    let deltas = util::measure_deltas(&world, 2);
+    for delta in deltas {
+        primary.ingest(delta).expect("primary ingest");
+    }
+    assert_eq!(primary.epoch(), 2);
+    let advanced = follow_once(&mut client, &follower).expect("follow");
+    assert_eq!(advanced, 2);
+    assert_eq!(follower.epoch(), 2);
+    // Caught up: another poll is a no-op.
+    assert_eq!(follow_once(&mut client, &follower).expect("idle poll"), 0);
+    // The tentpole claim, protocol edition: byte-identical replies at
+    // equal epochs.
+    assert_eq!(
+        util::mix_responses(&follower),
+        util::mix_responses(&primary)
+    );
+
+    // -- resumable sync: a killed transfer picks up mid-file -------
+    let (epoch, full) = primary.snapshot_segment();
+    assert_eq!(epoch, 2);
+    let torn = scratch_path("torn");
+    let keep = full.len() / 2;
+    let mut partial = epoch.to_le_bytes().to_vec();
+    partial.extend_from_slice(&full[..keep]);
+    std::fs::write(&torn, &partial).expect("write torn scratch");
+    let resumed = client.sync_snapshot(&torn).expect("resumed sync");
+    assert_eq!(resumed, full, "resume must complete the same bytes");
+    let _ = std::fs::remove_file(&torn);
+
+    // -- epoch-mismatch scratch: restarted, not spliced ------------
+    let stale = scratch_path("stale");
+    let mut wrong = 7u64.to_le_bytes().to_vec();
+    wrong.extend_from_slice(&[0xAB; 1234]);
+    std::fs::write(&stale, &wrong).expect("write stale scratch");
+    let restarted = client.sync_snapshot(&stale).expect("restarted sync");
+    assert_eq!(restarted, full, "stale-epoch partial must be discarded");
+    let _ = std::fs::remove_file(&stale);
+}
