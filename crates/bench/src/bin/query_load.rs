@@ -50,6 +50,17 @@
 //! across replicas at equal epochs. Exit is nonzero on any stale
 //! answer, any mismatched reply, or a follower that never converged.
 //!
+//! `--store-compaction` needs no daemon at all: it builds a world,
+//! measures `--epochs` fresh snapshot deltas, ingests them one at a
+//! time into a store persisted as a **segmented epoch log** with the
+//! background compactor armed at `--compact-after`, and hammers the
+//! engine from a query thread the whole time — then replays the same
+//! deltas against a monolithic-file store. The `store_compaction`
+//! phase records per-epoch save times for both disciplines (segmented
+//! must be O(delta), i.e. faster), the compactor's counters, and the
+//! query errors observed while segments were being folded (CI asserts
+//! zero).
+//!
 //! `--chaos` switches to the resilient-client scenario: the daemon is
 //! expected to be running under a fault-injecting I/O policy and/or an
 //! admission-control watermark (`vendor-queryd --fault-profile
@@ -64,16 +75,22 @@
 //! ignored under `--chaos` (the injected resets *are* the churn).
 
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
+use lfp_analysis::World;
 use lfp_bench::mix::{build_mix, connect_with_retry, request, Backoff};
-use lfp_bench::{merge_bench_phase, read_bench_phase};
+use lfp_bench::{measure_deltas, merge_bench_phase, read_bench_phase};
 use lfp_net::link::splitmix64;
 use lfp_obs::Histogram;
 use lfp_query::{wire, FrameDecoder};
+use lfp_serve::answer_line;
 use lfp_serve::sys::{poll_fds, PollFd, POLLIN, POLLOUT};
+use lfp_store::{CompactionPolicy, Compactor, Store};
+use lfp_topo::Scale;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -98,6 +115,10 @@ fn main() {
     let mut followers: Vec<String> = Vec::new();
     let mut ingest_deltas: Vec<String> = Vec::new();
     let mut rounds = 60usize;
+    let mut store_compaction = false;
+    let mut epochs = 20usize;
+    let mut compact_after = 5usize;
+    let mut scale_name = "tiny".to_string();
 
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -139,6 +160,10 @@ fn main() {
             "--rounds" => rounds = parse_number(args.next(), "--rounds"),
             "--seed" => seed = parse_number(args.next(), "--seed"),
             "--retry-budget" => retry_budget = parse_number(args.next(), "--retry-budget"),
+            "--store-compaction" => store_compaction = true,
+            "--epochs" => epochs = parse_number(args.next(), "--epochs"),
+            "--compact-after" => compact_after = parse_number(args.next(), "--compact-after"),
+            "--scale" => scale_name = args.next().unwrap_or_else(|| usage("--scale needs a name")),
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
@@ -151,10 +176,23 @@ fn main() {
             "replication".to_string()
         } else if chaos {
             "chaos".to_string()
+        } else if store_compaction {
+            "store_compaction".to_string()
         } else {
             "serve".to_string()
         }
     });
+
+    if store_compaction {
+        let code = store_compaction_drive(
+            &scale_name,
+            epochs.max(1),
+            compact_after.max(1),
+            &bench_json,
+            &phase_name,
+        );
+        std::process::exit(code);
+    }
 
     if cluster {
         let code = cluster_drive(
@@ -391,7 +429,8 @@ fn usage(message: &str) -> ! {
          [--requests-per-conn N] [--churn-every N] [--distinct N] [--wait-secs N] \
          [--deadline-secs N] [--threads N] [--phase NAME] [--scaling-loops N] \
          [--bench-json PATH] [--shutdown] [--chaos] [--seed N] [--retry-budget N] \
-         [--cluster] [--follower HOST:PORT]... [--ingest-delta FILE]... [--rounds N]"
+         [--cluster] [--follower HOST:PORT]... [--ingest-delta FILE]... [--rounds N] \
+         [--store-compaction] [--epochs N] [--compact-after N] [--scale NAME]"
     );
     std::process::exit(2);
 }
@@ -405,6 +444,206 @@ fn parse_number<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
     value
         .and_then(|text| text.parse().ok())
         .unwrap_or_else(|| usage(&format!("{flag} needs a number")))
+}
+
+// ---------------------------------------------------------------------
+// The segmented-store scenario (`--store-compaction`)
+// ---------------------------------------------------------------------
+
+/// Drive the segmented epoch log end to end, no daemon involved: build
+/// a world, measure `epochs` fresh snapshot deltas, then ingest them
+/// one at a time into a store persisted as a segmented log (background
+/// compactor armed at `--compact-after`) while a query thread hammers
+/// the engine the whole time. A second pass replays the identical
+/// deltas against a monolithic-file store as the baseline. The phase
+/// records per-epoch save times for both disciplines (the O(delta)
+/// claim CI asserts on), the compactor's counters, and the number of
+/// query errors observed while segments were being folded (must be 0).
+fn store_compaction_drive(
+    scale_name: &str,
+    epochs: usize,
+    compact_after: usize,
+    bench_json: &str,
+    phase_name: &str,
+) -> i32 {
+    let scale = Scale::by_name(scale_name)
+        .unwrap_or_else(|| fail(&format!("unknown scale '{scale_name}'")));
+    eprintln!("building world at scale '{scale_name}' and measuring {epochs} delta campaigns…");
+    let world = Arc::new(World::build(scale));
+    let deltas = measure_deltas(&world, epochs);
+
+    let root = std::env::temp_dir().join(format!("query-load-compaction-{}", std::process::id()));
+    let seg_dir = root.join("segmented");
+    let mono_file = root.join("store.lfp");
+    if let Err(error) = std::fs::create_dir_all(&root) {
+        fail(&format!(
+            "cannot create scratch dir {}: {error}",
+            root.display()
+        ));
+    }
+
+    // -- segmented pass: ingest + per-epoch sealed segments, compactor
+    //    folding in the background, queries running throughout --------
+    let store = Arc::new(Store::from_world(Arc::clone(&world)));
+    if let Err(error) = store.save_segmented(&seg_dir) {
+        fail(&format!("base save failed: {error}"));
+    }
+    let mut compactor = Compactor::spawn(
+        Arc::clone(&store),
+        CompactionPolicy::after_segments(compact_after),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let query_errors = Arc::new(AtomicU64::new(0));
+    let queries_answered = Arc::new(AtomicU64::new(0));
+    let query_thread = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let errors = Arc::clone(&query_errors);
+        let answered = Arc::clone(&queries_answered);
+        // The same lines a live daemon would serve: bootstrap the mix
+        // from the engine's own catalog answer.
+        let catalog = answer_line("{\"query\":\"catalog\"}", &store.engine());
+        let catalog = parse(&catalog).unwrap_or_else(|e| fail(&format!("bad catalog: {e:?}")));
+        let mix = build_mix(catalog.get("result").unwrap_or(&JsonValue::Null), 32)
+            .unwrap_or_else(|| fail("catalog advertised no AS ids"));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for line in &mix {
+                    let reply = answer_line(line, &store.engine());
+                    if reply.contains("\"ok\": true") {
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        })
+    };
+
+    let run_start = Instant::now();
+    let mut seg_save_ms: Vec<f64> = Vec::with_capacity(epochs);
+    let mut seg_save_bytes: Vec<u64> = Vec::with_capacity(epochs);
+    for delta in &deltas {
+        if let Err(error) = store.ingest(delta.clone()) {
+            fail(&format!("segmented ingest failed: {error}"));
+        }
+        let save_start = Instant::now();
+        match store.save_segmented(&seg_dir) {
+            Ok(report) => {
+                // The bytes a crash would make this save redo: the
+                // sealed segments, plus the base only when it was
+                // actually rewritten.
+                seg_save_bytes.push(
+                    report.segment_bytes
+                        + if report.base_rewritten {
+                            report.base_bytes
+                        } else {
+                            0
+                        },
+                );
+            }
+            Err(error) => fail(&format!("segmented save failed: {error}")),
+        }
+        seg_save_ms.push(save_start.elapsed().as_secs_f64() * 1e3);
+        compactor.nudge();
+    }
+    // Let the compactor catch up with the tail of the run before the
+    // counters are read (bounded wait; folds at tiny scale are fast).
+    let settle = Instant::now();
+    while settle.elapsed() < Duration::from_secs(30) {
+        match store.log_status() {
+            Some(status) if status.segments > compact_after => {
+                compactor.nudge();
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            _ => break,
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let _ = query_thread.join();
+    let stats = compactor.stats();
+    compactor.shutdown();
+    let status = store.log_status();
+    let seconds = run_start.elapsed().as_secs_f64();
+
+    // -- monolithic baseline: identical deltas, full-file rewrite per
+    //    epoch ---------------------------------------------------------
+    let mono = Store::from_world(Arc::clone(&world));
+    if let Err(error) = mono.save(&mono_file) {
+        fail(&format!("monolithic save failed: {error}"));
+    }
+    let mut mono_save_ms: Vec<f64> = Vec::with_capacity(epochs);
+    let mut mono_save_bytes: Vec<u64> = Vec::with_capacity(epochs);
+    for delta in &deltas {
+        if let Err(error) = mono.ingest(delta.clone()) {
+            fail(&format!("monolithic ingest failed: {error}"));
+        }
+        let save_start = Instant::now();
+        match mono.save(&mono_file) {
+            Ok(report) => mono_save_bytes.push(report.bytes),
+            Err(error) => fail(&format!("monolithic save failed: {error}")),
+        }
+        mono_save_ms.push(save_start.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let mean = |samples: &[f64]| samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+    let max = |samples: &[f64]| samples.iter().cloned().fold(0.0f64, f64::max);
+    let mean_bytes =
+        |samples: &[u64]| samples.iter().sum::<u64>() as f64 / samples.len().max(1) as f64;
+    let seg_mean = mean(&seg_save_ms);
+    let mono_mean = mean(&mono_save_ms);
+    // The O(delta) claim: a segmented save writes the delta, a
+    // monolithic save rewrites the world. Bytes are the robust
+    // comparison — per-epoch wall time at tiny scales is fsync-bound.
+    let seg_bytes = mean_bytes(&seg_save_bytes);
+    let mono_bytes = mean_bytes(&mono_save_bytes);
+    let errors = query_errors.load(Ordering::Relaxed);
+    let answered = queries_answered.load(Ordering::Relaxed);
+    println!(
+        "{phase_name}: {epochs} epochs at scale '{scale_name}' — per-epoch save writes \
+         {seg_bytes:.0} bytes segmented vs {mono_bytes:.0} monolithic ({:.1}× less), \
+         mean {seg_mean:.2}ms vs {mono_mean:.2}ms, {} compaction run(s) folded {} \
+         segment(s), {answered} queries answered concurrently with {errors} error(s)",
+        mono_bytes / seg_bytes.max(1.0),
+        stats.runs,
+        stats.segments_folded,
+    );
+
+    let mut phase = JsonBuilder::object();
+    phase.string("scale", scale_name);
+    phase.integer("epochs", epochs as u64);
+    phase.integer("compact_after", compact_after as u64);
+    phase.raw("segmented_save_bytes_mean", format!("{seg_bytes:.1}"));
+    phase.raw("monolithic_save_bytes_mean", format!("{mono_bytes:.1}"));
+    phase.raw(
+        "save_bytes_ratio",
+        format!("{:.4}", mono_bytes / seg_bytes.max(1.0)),
+    );
+    phase.raw("segmented_save_ms_mean", format!("{seg_mean:.4}"));
+    phase.raw("segmented_save_ms_max", format!("{:.4}", max(&seg_save_ms)));
+    phase.raw("monolithic_save_ms_mean", format!("{mono_mean:.4}"));
+    phase.raw(
+        "monolithic_save_ms_max",
+        format!("{:.4}", max(&mono_save_ms)),
+    );
+    phase.integer("compactions", stats.runs);
+    phase.integer("segments_folded", stats.segments_folded);
+    phase.integer("compaction_errors", stats.errors);
+    phase.integer("queries_during_run", answered);
+    phase.integer("query_errors_during_compaction", errors);
+    if let Some(status) = status {
+        phase.integer("final_segments", status.segments as u64);
+        phase.integer("final_segment_bytes", status.segment_bytes);
+        phase.integer("final_base_bytes", status.base_bytes);
+        phase.integer("covered_epoch", status.covered);
+    }
+    let phase = parse(&phase.finish()).expect("phase JSON is valid");
+    merge_bench_phase(bench_json, phase_name, phase, Some(seconds));
+    eprintln!("phase '{phase_name}' merged into {bench_json}");
+
+    let _ = std::fs::remove_dir_all(&root);
+    (errors > 0 || stats.errors > 0 || stats.runs == 0) as i32
 }
 
 // ---------------------------------------------------------------------

@@ -11,6 +11,7 @@
 //!               [--cache-shards N] [--cache-capacity N]
 //!               [--slowlog-size N] [--metrics-dump]
 //!               [--store PATH] [--ingest DIR] [--bench-json FILE]
+//!               [--compact-after N]
 //!               [--follow ADDR] [--serve-replicas]
 //!               [--threaded]
 //! ```
@@ -93,6 +94,23 @@
 //! store when `--store` is set. `--bench-json FILE` records the
 //! `store` phase — rebuild seconds on the first run, load seconds and
 //! the rebuild/load speedup on a restart.
+//!
+//! ## Segmented store and background compaction
+//!
+//! When `--store` points at a **directory** (or `--compact-after N` is
+//! given), persistence uses the segmented epoch log
+//! (`lfp_store::segment`): the base snapshot is written once and each
+//! ingested epoch seals one O(delta) segment file, with the `MANIFEST`
+//! rename as the atomic publish point. `--compact-after N` arms the
+//! background compactor: once more than N segments are published it
+//! folds them into a fresh sealed base, off the serving threads —
+//! queries and replication keep flowing during a fold. The compactor's
+//! counters ride the `stats` reply (`compactions`,
+//! `compaction_segments_folded`, `compaction_errors`,
+//! `compaction_last_us`) and the `metrics` exposition (as `lfp_*`
+//! gauges). Followers with a segmented `--store` persist **per applied
+//! epoch** — one segment file per delta instead of rewriting the world
+//! after every poll.
 
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_analysis::World;
@@ -102,7 +120,10 @@ use lfp_serve::{
     answer_line, is_shutdown_line, DirectIo, EngineSource, FaultPlan, FaultPolicy, IoPolicy,
     ServeConfig, Server, SHUTDOWN_ACK,
 };
-use lfp_store::{follow_once, ReplClient, ReplSource, SnapshotDelta, Store};
+use lfp_store::{
+    follow_once, follow_once_persistent, CompactionPolicy, Compactor, ReplClient, ReplSource,
+    SnapshotDelta, Store,
+};
 use lfp_topo::Scale;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
@@ -125,6 +146,7 @@ fn main() {
     let mut threaded = false;
     let mut follow_addr: Option<String> = None;
     let mut serve_replicas = false;
+    let mut compact_after: Option<usize> = None;
     let mut config = ServeConfig::default();
     let mut tuned_event_loop = false;
     let mut fault_seed = 0u64;
@@ -226,16 +248,25 @@ fn main() {
                         .unwrap_or_else(|| usage("--follow needs a primary host:port")),
                 )
             }
+            "--compact-after" => compact_after = Some(parse_number(args.next(), "--compact-after")),
             "--serve-replicas" => serve_replicas = true,
             "--threaded" => threaded = true,
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
 
+    // A directory store (or any store with a compaction knob) uses the
+    // segmented epoch log; a plain file keeps the monolithic format.
+    let segmented = compact_after.is_some()
+        || store_path
+            .as_deref()
+            .is_some_and(|path| Path::new(path).is_dir());
+
     let store = match follow_addr.as_deref() {
         Some(primary) => Arc::new(open_follower_store(
             primary,
             store_path.as_deref(),
+            segmented,
             cache_shards,
             cache_capacity,
         )),
@@ -243,6 +274,7 @@ fn main() {
             scale,
             &scale_name,
             store_path.as_deref(),
+            segmented,
             cache_shards,
             cache_capacity,
             bench_json.as_deref(),
@@ -255,10 +287,9 @@ fn main() {
         } else {
             ingest_directory(&store, dir);
             if let Some(path) = store_path.as_deref() {
-                match store.save(Path::new(path)) {
-                    Ok(report) => eprintln!(
-                        "re-persisted store after ingest ({} bytes in {:.3}s)",
-                        report.bytes, report.seconds
+                match persist_store(&store, path, segmented) {
+                    Ok((bytes, seconds)) => eprintln!(
+                        "re-persisted store after ingest ({bytes} bytes in {seconds:.3}s)"
                     ),
                     Err(error) => eprintln!("warning: could not re-persist store: {error}"),
                 }
@@ -266,8 +297,24 @@ fn main() {
         }
     }
 
+    let compactor = compact_after.map(|limit| {
+        let handle = Arc::new(Compactor::spawn(
+            Arc::clone(&store),
+            CompactionPolicy::after_segments(limit),
+        ));
+        eprintln!("background compactor armed: fold after {limit} segments");
+        handle.nudge();
+        handle
+    });
+
     if let Some(primary) = follow_addr.clone() {
-        spawn_follower_poller(primary, Arc::clone(&store), store_path.clone());
+        spawn_follower_poller(
+            primary,
+            Arc::clone(&store),
+            store_path.clone(),
+            segmented,
+            compactor.clone(),
+        );
     }
     let repl = serve_replicas.then(|| Arc::new(ReplSource::new(Arc::clone(&store))));
 
@@ -298,7 +345,49 @@ fn main() {
             fault_plan,
             metrics_dump,
             repl,
+            compactor,
         );
+    }
+}
+
+/// Persist `store` to `path` in its configured format: segmented log
+/// directory (O(delta) per epoch after the first save) or monolithic
+/// file. Returns `(bytes_written, seconds)`.
+fn persist_store(store: &Store, path: &str, segmented: bool) -> Result<(u64, f64), String> {
+    if segmented {
+        let report = store
+            .save_segmented(Path::new(path))
+            .map_err(|error| error.to_string())?;
+        let bytes = if report.base_rewritten {
+            report.base_bytes + report.segment_bytes
+        } else {
+            report.segment_bytes
+        };
+        Ok((bytes, report.seconds))
+    } else {
+        let report = store
+            .save(Path::new(path))
+            .map_err(|error| error.to_string())?;
+        Ok((report.bytes, report.seconds))
+    }
+}
+
+/// Bridges the compactor's counters into the serving core's `stats` /
+/// `metrics` renders.
+struct CompactionStats(Arc<Compactor>);
+
+impl lfp_serve::StatsSource for CompactionStats {
+    fn fields(&self) -> Vec<(String, u64)> {
+        let stats = self.0.stats();
+        vec![
+            ("compactions".to_string(), stats.runs),
+            (
+                "compaction_segments_folded".to_string(),
+                stats.segments_folded,
+            ),
+            ("compaction_errors".to_string(), stats.errors),
+            ("compaction_last_us".to_string(), stats.last_run_us),
+        ]
     }
 }
 
@@ -326,6 +415,7 @@ fn serve_event_loop(
     fault_plan: Option<FaultPlan>,
     metrics_dump: bool,
     repl: Option<Arc<ReplSource>>,
+    compactor: Option<Arc<Compactor>>,
 ) {
     let engine_store = Arc::clone(&store);
     let source: Arc<dyn EngineSource> = Arc::new(move || engine_store.engine());
@@ -341,6 +431,9 @@ fn serve_event_loop(
     if let Some(repl) = repl {
         server.set_line_extension(Arc::new(ReplExtension(repl)));
         eprintln!("replication primary: serving repl_* queries");
+    }
+    if let Some(compactor) = compactor.as_ref() {
+        server.set_stats_source(Arc::new(CompactionStats(Arc::clone(compactor))));
     }
     // The readiness line clients and CI wait for — keep it stable.
     println!(
@@ -361,6 +454,14 @@ fn serve_event_loop(
         // quiesced, so this is the scrape CI reconciles and archives.
         print!("{}", obs.metrics(&store.engine()));
         std::io::stdout().flush().ok();
+    }
+    if let Some(compactor) = compactor {
+        let stats = compactor.stats();
+        eprintln!(
+            "compactor: {} fold(s), {} segment(s) folded, {} error(s)",
+            stats.runs, stats.segments_folded, stats.errors
+        );
+        // Drop joins the thread; no fold is cut off mid-publish.
     }
     let stats = store.engine().cache_stats();
     eprintln!(
@@ -399,6 +500,7 @@ const FOLLOW_POLL: Duration = Duration::from_millis(150);
 fn open_follower_store(
     primary: &str,
     store_path: Option<&str>,
+    segmented: bool,
     cache_shards: usize,
     cache_capacity: usize,
 ) -> Store {
@@ -452,8 +554,8 @@ fn open_follower_store(
                     store.epoch()
                 );
                 if let Some(path) = store_path {
-                    match store.save(Path::new(path)) {
-                        Ok(report) => eprintln!("persisted synced store ({} bytes)", report.bytes),
+                    match persist_store(&store, path, segmented) {
+                        Ok((bytes, _)) => eprintln!("persisted synced store ({bytes} bytes)"),
                         Err(error) => eprintln!("warning: could not persist sync: {error}"),
                     }
                 }
@@ -474,22 +576,41 @@ fn open_follower_store(
 /// The follower's replication loop: poll the primary, apply every new
 /// delta through `Store::ingest` (atomic engine swap per epoch), and
 /// re-persist after advancing so a kill at any point restarts from the
-/// last fully-applied epoch.
-fn spawn_follower_poller(primary: String, store: Arc<Store>, persist: Option<String>) {
+/// last fully-applied epoch. Segmented persistence seals one segment
+/// per applied epoch (O(delta) per poll instead of a full rewrite);
+/// the background compactor, when armed, is nudged after every batch.
+fn spawn_follower_poller(
+    primary: String,
+    store: Arc<Store>,
+    persist: Option<String>,
+    segmented: bool,
+    compactor: Option<Arc<Compactor>>,
+) {
     std::thread::spawn(move || {
         let mut client = ReplClient::new(&primary);
         loop {
-            match follow_once(&mut client, &store) {
+            let advanced = match persist.as_deref() {
+                Some(path) if segmented => {
+                    follow_once_persistent(&mut client, &store, Path::new(path))
+                }
+                _ => follow_once(&mut client, &store),
+            };
+            match advanced {
                 Ok(0) => {}
                 Ok(applied) => {
                     eprintln!(
                         "follower applied {applied} delta(s) → epoch {}",
                         store.epoch()
                     );
-                    if let Some(path) = persist.as_deref() {
-                        if let Err(error) = store.save(Path::new(path)) {
-                            eprintln!("warning: follower could not persist: {error}");
+                    if !segmented {
+                        if let Some(path) = persist.as_deref() {
+                            if let Err(error) = store.save(Path::new(path)) {
+                                eprintln!("warning: follower could not persist: {error}");
+                            }
                         }
+                    }
+                    if let Some(handle) = compactor.as_deref() {
+                        handle.nudge();
                     }
                 }
                 Err(error) => {
@@ -509,6 +630,7 @@ fn open_store(
     scale: Scale,
     scale_name: &str,
     store_path: Option<&str>,
+    segmented: bool,
     cache_shards: usize,
     cache_capacity: usize,
     bench_json: Option<&str>,
@@ -556,13 +678,10 @@ fn open_store(
     );
     let mut bytes = 0u64;
     if let Some(path) = store_path {
-        match store.save(Path::new(path)) {
-            Ok(report) => {
-                bytes = report.bytes;
-                eprintln!(
-                    "saved store to {path} ({} bytes in {:.3}s)",
-                    report.bytes, report.seconds
-                );
+        match persist_store(&store, path, segmented) {
+            Ok((saved, seconds)) => {
+                bytes = saved;
+                eprintln!("saved store to {path} ({saved} bytes in {seconds:.3}s)");
             }
             Err(error) => eprintln!("warning: could not save store to {path}: {error}"),
         }
@@ -673,7 +792,8 @@ fn usage(message: &str) -> ! {
          [--fault-seed N] [--fault-profile quiet|light|aggressive] \
          [--cache-shards N] [--cache-capacity N] \
          [--slowlog-size N] [--metrics-dump] \
-         [--store PATH] [--ingest DIR] [--bench-json FILE] \
+         [--store PATH] [--ingest DIR] [--compact-after N] \
+         [--bench-json FILE] \
          [--follow ADDR] [--serve-replicas] [--threaded]"
     );
     std::process::exit(2);

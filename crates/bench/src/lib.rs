@@ -18,7 +18,11 @@ pub mod mix;
 
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_analysis::World;
+use lfp_core::pipeline::scan_dataset;
+use lfp_store::SnapshotDelta;
+use lfp_topo::datasets::{measure_ripe_snapshot, plan_ripe_snapshots_extended};
 use lfp_topo::Scale;
+use std::net::Ipv4Addr;
 use std::sync::{Arc, OnceLock};
 
 /// A lazily built tiny world shared by benches (building a world is
@@ -34,6 +38,27 @@ pub fn shared_tiny_world() -> Arc<World> {
 pub fn shared_small_world() -> Arc<World> {
     static WORLD: OnceLock<Arc<World>> = OnceLock::new();
     Arc::clone(WORLD.get_or_init(|| Arc::new(World::build(Scale::small()))))
+}
+
+/// Measure `count` snapshot deltas beyond a world's base campaign by
+/// continuing the planning churn chain, and scan each delta's router
+/// population — the exact flow `store-tool deltas` ships to disk. The
+/// `store_compaction` bench and the store test battery both ingest
+/// these, so a benched epoch is byte-for-byte the epoch a longer
+/// measurement campaign would have produced next.
+pub fn measure_deltas(world: &World, count: usize) -> Vec<SnapshotDelta> {
+    let internet = &world.internet;
+    let base = internet.scale.snapshots;
+    let plans = plan_ripe_snapshots_extended(internet, base + count);
+    plans[base..]
+        .iter()
+        .map(|plan| {
+            let snapshot = measure_ripe_snapshot(internet, &internet.network().fork(), plan);
+            let targets: Vec<Ipv4Addr> = snapshot.router_ips.iter().copied().collect();
+            let scan = scan_dataset(&internet.network().fork(), &snapshot.name, &targets, 4);
+            SnapshotDelta::from_measurement(&snapshot, &scan)
+        })
+        .collect()
 }
 
 /// Insert/replace one named phase object in `BENCH_campaign.json`,

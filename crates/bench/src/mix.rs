@@ -17,11 +17,14 @@ use std::time::{Duration, Instant};
 ///
 /// Full-jitter: each retry sleeps `uniform(0, min(cap, base << attempt))`,
 /// floored at the server's `retry_ms` hint when one came back (the
-/// server knows its own queue; the client must not undercut it).
-/// Uniform-over-the-window rather than around-the-midpoint because
-/// shed clients are *synchronised* by the shed itself — deterministic
-/// delays would march them back in lockstep and re-trigger the
-/// watermark. Seeded, so a chaos run's retry timing is reproducible.
+/// server knows its own queue; the client must not undercut it — the
+/// floor is **sticky** across the failure streak and applies even
+/// above `cap_ms`, because the cap bounds the client's own jitter
+/// window, not the server's explicit ask). Uniform-over-the-window
+/// rather than around-the-midpoint because shed clients are
+/// *synchronised* by the shed itself — deterministic delays would
+/// march them back in lockstep and re-trigger the watermark. Seeded,
+/// so a chaos run's retry timing is reproducible.
 #[derive(Debug, Clone)]
 pub struct Backoff {
     seed: u64,
@@ -31,6 +34,10 @@ pub struct Backoff {
     attempt: u32,
     /// Jitter draws so far (the deterministic randomness clock).
     draws: u64,
+    /// Highest server `retry_ms` hint seen this failure streak. A
+    /// reset-triggered retry with no hint of its own must not undercut
+    /// what the server already asked for.
+    hint_floor_ms: u64,
 }
 
 impl Backoff {
@@ -42,13 +49,18 @@ impl Backoff {
             cap_ms: cap_ms.max(1),
             attempt: 0,
             draws: 0,
+            hint_floor_ms: 0,
         }
     }
 
     /// Delay before the next retry. `hint_ms` is the server's
     /// `retry_ms` field when the failure was a typed `overloaded`
-    /// shed (`None` for resets). Advances the attempt counter.
+    /// shed (`None` for resets). Advances the attempt counter. The
+    /// largest hint seen since the last success floors every delay in
+    /// the streak — including hints above `cap_ms`, which cap only
+    /// the jitter window.
     pub fn next_delay(&mut self, hint_ms: Option<u64>) -> Duration {
+        self.hint_floor_ms = self.hint_floor_ms.max(hint_ms.unwrap_or(0));
         let window = self
             .base_ms
             .saturating_mul(1u64 << self.attempt.min(20))
@@ -56,13 +68,14 @@ impl Backoff {
         self.attempt = self.attempt.saturating_add(1);
         self.draws = self.draws.wrapping_add(1);
         let jittered = splitmix64(self.seed ^ self.draws) % window.max(1);
-        Duration::from_millis(jittered.max(hint_ms.unwrap_or(0)))
+        Duration::from_millis(jittered.max(self.hint_floor_ms))
     }
 
     /// A success ends the failure streak: the next delay starts from
-    /// `base_ms` again.
+    /// `base_ms` again and the server-hint floor is forgotten.
     pub fn reset(&mut self) {
         self.attempt = 0;
+        self.hint_floor_ms = 0;
     }
 
     /// Consecutive failures since the last [`reset`](Backoff::reset).
@@ -235,10 +248,21 @@ mod tests {
     fn backoff_honours_server_hint_and_reset() {
         let mut backoff = Backoff::new(7, 1, 4);
         // Window is tiny (≤4ms) but the server said 50ms: the hint
-        // floors the delay.
+        // floors the delay, even though it exceeds cap_ms.
         assert!(backoff.next_delay(Some(50)) >= Duration::from_millis(50));
         assert_eq!(backoff.attempts(), 1);
+        // The floor is sticky: a follow-up failure with *no* hint (a
+        // reset, say) must still respect what the server asked for —
+        // the old behaviour let it retry after ≤4ms.
+        assert!(backoff.next_delay(None) >= Duration::from_millis(50));
+        // A weaker hint never lowers the established floor…
+        assert!(backoff.next_delay(Some(10)) >= Duration::from_millis(50));
+        // …and a stronger one raises it.
+        assert!(backoff.next_delay(Some(80)) >= Duration::from_millis(80));
+        assert_eq!(backoff.attempts(), 4);
         backoff.reset();
         assert_eq!(backoff.attempts(), 0);
+        // Success forgets the floor: delays shrink back under the cap.
+        assert!(backoff.next_delay(None) < Duration::from_millis(50));
     }
 }

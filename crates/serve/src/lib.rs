@@ -74,5 +74,5 @@ pub mod sys;
 pub use policy::{DirectIo, FaultCounters, FaultPlan, FaultPolicy, IoPolicy};
 pub use server::{
     answer_line, is_shutdown_line, EngineSource, LineExtension, ObsHandle, ServeConfig,
-    ServeReport, Server, ServerHandle, SHUTDOWN_ACK,
+    ServeReport, Server, ServerHandle, StatsSource, SHUTDOWN_ACK,
 };

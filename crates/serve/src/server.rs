@@ -348,6 +348,17 @@ pub fn is_shutdown_line(line: &str) -> bool {
     matches!(control_of(line), Some(Control::Shutdown))
 }
 
+/// Extra integer stats the embedding daemon contributes to `stats` and
+/// `metrics` renders — counters the serving core cannot see, like
+/// `vendor-queryd`'s log-compaction tallies. Probed on every render;
+/// implementations should read atomics, never take serving-path locks.
+/// Each `(name, value)` lands verbatim as a `stats` field and as an
+/// `lfp_<name>` gauge in the exposition.
+pub trait StatsSource: Send + Sync {
+    /// The current extra fields, in render order.
+    fn fields(&self) -> Vec<(String, u64)>;
+}
+
 /// The supervisor's `stats` aggregator. Every shard publishes a
 /// consistent [`ShardSnapshot`] under its own mutex each iteration;
 /// rendering reads each snapshot whole, so no counter in the reply can
@@ -363,6 +374,8 @@ pub(crate) struct StatsHub {
     slowlog: Arc<SlowLog>,
     /// The server's clock, for uptime in the exposition.
     clock: Arc<dyn Clock>,
+    /// Daemon-contributed extra fields (compaction counters et al).
+    extra: Mutex<Option<Arc<dyn StatsSource>>>,
 }
 
 impl StatsHub {
@@ -393,6 +406,9 @@ impl StatsHub {
         json.integer("shed", sum(|s| s.shed));
         json.integer("deadline_expired", sum(|s| s.deadline_expired));
         json.integer("injected_faults", sum(|s| s.injected_faults));
+        for (name, value) in self.extra_fields() {
+            json.integer(&name, value);
+        }
         json.raw_array(
             "per_shard",
             snapshots.iter().enumerate().map(|(shard, s)| {
@@ -693,7 +709,24 @@ impl StatsHub {
         );
         out.sample("lfp_cache_entries", &[], cache.entries as u64);
 
+        // ---- daemon-contributed extras ----------------------------
+        for (name, value) in self.extra_fields() {
+            let metric = format!("lfp_{name}");
+            out.header(&metric, "gauge", "Daemon-contributed stat.");
+            out.sample(&metric, &[], value);
+        }
+
         out.into_string()
+    }
+
+    /// Snapshot the daemon-contributed fields (empty when no
+    /// [`StatsSource`] is installed).
+    fn extra_fields(&self) -> Vec<(String, u64)> {
+        let source = self.extra.lock().expect("stats source lock poisoned");
+        source
+            .as_ref()
+            .map(|source| source.fields())
+            .unwrap_or_default()
     }
 
     /// Render the `slowlog` control result: the top-K-by-latency ring,
@@ -932,6 +965,7 @@ impl Server {
             obs: obs.clone(),
             slowlog: Arc::clone(&slowlog),
             clock: Arc::clone(&clock),
+            extra: Mutex::new(None),
         });
         let inboxes: Vec<Arc<Mutex<VecDeque<TcpStream>>>> = (0..loops)
             .map(|_| Arc::new(Mutex::new(VecDeque::new())))
@@ -1006,6 +1040,13 @@ impl Server {
         for shard in &mut self.shards {
             shard.extension = Some(Arc::clone(&extension));
         }
+    }
+
+    /// Install a [`StatsSource`] whose fields are appended to every
+    /// `stats` reply and exposed as gauges in `metrics`. Call before
+    /// [`run`](Server::run).
+    pub fn set_stats_source(&self, source: Arc<dyn StatsSource>) {
+        *self.hub.extra.lock().expect("stats source lock poisoned") = Some(source);
     }
 
     /// A handle onto the observability plane (metrics exposition and

@@ -27,6 +27,10 @@
 
 use crate::codec::{decode_campaign, encode_campaign, CampaignRefs, SnapshotDelta, StoredCampaign};
 use crate::error::StoreError;
+use crate::segment::{
+    base_file_name, decode_segment, encode_segment, segment_file_name, DurableLog, EpochLog,
+    LogFaults, Manifest, SegmentMeta,
+};
 use lfp_analysis::path_corpus::NewPathSource;
 use lfp_analysis::World;
 use lfp_core::signature::SignatureSet;
@@ -115,11 +119,64 @@ pub struct IngestReport {
     pub seconds: f64,
 }
 
+/// What a segmented save cost — and, crucially, how much of the world
+/// it did *not* rewrite. After the first save into a directory,
+/// `segments_written` is the number of epochs persisted (each O(delta))
+/// and `base_rewritten` stays false: per-epoch save cost scales with
+/// the delta, not the world.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentedSaveReport {
+    /// Wall-clock seconds for the whole save.
+    pub seconds: f64,
+    /// Epoch the manifest covers after the save.
+    pub epoch: u64,
+    /// Segment files sealed by this save.
+    pub segments_written: usize,
+    /// Bytes written into those segment files.
+    pub segment_bytes: u64,
+    /// Whether the full base snapshot had to be (re)written.
+    pub base_rewritten: bool,
+    /// Size of the (possibly reused) base file.
+    pub base_bytes: u64,
+    /// Segments listed in the published manifest.
+    pub segments_total: usize,
+}
+
+/// What one log compaction did.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactReport {
+    /// Wall-clock seconds for encode + seal + publish.
+    pub seconds: f64,
+    /// Epoch the new sealed base was encoded at.
+    pub epoch: u64,
+    /// Segment files folded into the new base.
+    pub folded: usize,
+    /// Size of the new base file.
+    pub base_bytes: u64,
+}
+
+/// The attached log's published shape (what a compaction policy reads).
+#[derive(Debug, Clone, Copy)]
+pub struct LogStatus {
+    /// Segment files in the published manifest.
+    pub segments: usize,
+    /// Total bytes across those segment files.
+    pub segment_bytes: u64,
+    /// Size of the sealed base file.
+    pub base_bytes: u64,
+    /// Highest epoch the manifest covers.
+    pub covered: u64,
+}
+
 /// A persistent, restartable, incrementally-updatable serving store.
 pub struct Store {
     world: Arc<World>,
     engine: RwLock<Arc<QueryEngine>>,
     epochs: Mutex<Vec<IngestedEpoch>>,
+    /// The segmented log this store persists into, once one is attached
+    /// by [`Store::save_segmented`] or a segmented load. Lock order:
+    /// `epochs` before `log`, always.
+    log: Mutex<Option<EpochLog>>,
 }
 
 impl std::fmt::Debug for Store {
@@ -146,6 +203,7 @@ impl Store {
             world,
             engine: RwLock::new(Arc::new(engine)),
             epochs: Mutex::new(Vec::new()),
+            log: Mutex::new(None),
         }
     }
 
@@ -273,10 +331,31 @@ impl Store {
     /// The bytes are exactly what [`SnapshotDelta::to_bytes`] wrote —
     /// sectioned and checksummed, so a follower validates them with
     /// [`SnapshotDelta::from_bytes`] before applying.
+    ///
+    /// Served **from the attached segment log first**: a primary with a
+    /// segmented store reads the sealed `.seg` file instead of
+    /// re-encoding from RAM, and the disk path uses `try_lock` so a
+    /// compaction holding the log never stalls a follower — contention
+    /// just falls back to the in-memory encode.
     pub fn delta_segment(&self, epoch: u64) -> Option<Vec<u8>> {
         let index = usize::try_from(epoch.checked_sub(1)?).ok()?;
+        if let Some(bytes) = self.delta_from_log(epoch) {
+            return Some(bytes);
+        }
         let epochs = self.epochs.lock().expect("epoch lock poisoned");
         epochs.get(index).map(|entry| entry.delta.to_bytes())
+    }
+
+    /// Read epoch `epoch`'s delta bytes out of the attached log's
+    /// sealed segment file, if there is one and it verifies.
+    fn delta_from_log(&self, epoch: u64) -> Option<Vec<u8>> {
+        let guard = self.log.try_lock().ok()?;
+        let log = guard.as_ref()?;
+        let manifest = log.read_manifest().ok()?;
+        let meta = manifest.segments.iter().find(|meta| meta.epoch == epoch)?;
+        let sealed = log.read_verified(meta).ok()?;
+        let (sealed_epoch, delta) = decode_segment(&sealed).ok()?;
+        (sealed_epoch == epoch).then_some(delta)
     }
 
     fn encode_locked(&self, epochs: &[IngestedEpoch]) -> Vec<u8> {
@@ -364,6 +443,194 @@ impl Store {
         })
     }
 
+    /// Persist into a **segmented epoch log** at `dir`: the full base
+    /// snapshot is written once, then each save seals one segment file
+    /// per epoch ingested since — O(delta) per epoch, not O(world).
+    /// The manifest rename is the single atomic publish point, with
+    /// the same fsync-before-rename discipline as [`Store::save`]; a
+    /// crash mid-save leaves the previous manifest (and every file it
+    /// lists) fully intact. Attaches the log, so
+    /// [`Store::delta_segment`] starts serving replication deltas from
+    /// the sealed files.
+    pub fn save_segmented(&self, dir: &Path) -> Result<SegmentedSaveReport, StoreError> {
+        self.save_segmented_with(dir, &mut DurableLog)
+    }
+
+    /// [`save_segmented`](Store::save_segmented) through an explicit
+    /// [`LogFaults`] shim for the crash matrices.
+    pub fn save_segmented_with(
+        &self,
+        dir: &Path,
+        faults: &mut dyn LogFaults,
+    ) -> Result<SegmentedSaveReport, StoreError> {
+        let start = Instant::now();
+        // The epochs lock pins the state being persisted and orders
+        // this save against compaction publishes (lock order: epochs,
+        // then log). Queries never touch either lock.
+        let epochs = self.epochs.lock().expect("epoch lock poisoned");
+        let mut log_guard = self.log.lock().expect("log lock poisoned");
+        if log_guard.as_ref().is_none_or(|log| log.dir() != dir) {
+            *log_guard = Some(EpochLog::create(dir)?);
+        }
+        let log = log_guard.as_ref().expect("log just attached");
+        let epoch = self.engine().epoch();
+
+        // A published manifest is reusable when it describes a prefix
+        // of our history and its base file is still present — then
+        // this save only seals the segments it is missing.
+        let existing = log
+            .has_manifest()
+            .then(|| log.read_manifest().ok())
+            .flatten();
+        let usable = existing.filter(|manifest| {
+            manifest.base.epoch <= epoch
+                && manifest.covered() <= epoch
+                && log.dir().join(&manifest.base.file).is_file()
+        });
+
+        let mut report = SegmentedSaveReport {
+            seconds: 0.0,
+            epoch,
+            segments_written: 0,
+            segment_bytes: 0,
+            base_rewritten: false,
+            base_bytes: 0,
+            segments_total: 0,
+        };
+        let manifest = match usable {
+            Some(mut manifest) => {
+                report.base_bytes = manifest.base.bytes;
+                for target in manifest.covered() + 1..=epoch {
+                    let index = usize::try_from(target - 1).expect("epoch fits usize");
+                    let entry = epochs.get(index).ok_or_else(|| {
+                        StoreError::Log(format!("epoch {target} is not in this store's history"))
+                    })?;
+                    let sealed = encode_segment(target, &entry.delta.to_bytes());
+                    let name = segment_file_name(target);
+                    log.write_sealed(&name, &sealed, faults)?;
+                    manifest
+                        .segments
+                        .push(SegmentMeta::describing(target, name, &sealed));
+                    report.segments_written += 1;
+                    report.segment_bytes += sealed.len() as u64;
+                }
+                manifest
+            }
+            None => {
+                let bytes = self.encode_locked(&epochs);
+                let name = base_file_name(epoch);
+                log.write_sealed(&name, &bytes, faults)?;
+                report.base_rewritten = true;
+                report.base_bytes = bytes.len() as u64;
+                Manifest {
+                    base: SegmentMeta::describing(epoch, name, &bytes),
+                    segments: Vec::new(),
+                }
+            }
+        };
+        report.segments_total = manifest.segments.len();
+        if report.segments_written == 0 && !report.base_rewritten {
+            // Idempotent save at an already-covered epoch: nothing to
+            // seal, nothing to publish.
+            report.seconds = start.elapsed().as_secs_f64();
+            return Ok(report);
+        }
+        log.publish(&manifest, faults)?;
+        log.prune(&manifest);
+        report.seconds = start.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    /// Fold the attached log into a single freshly-sealed base at the
+    /// current epoch, then publish a segment-free manifest and sweep
+    /// the folded files. Returns `Ok(None)` when there is nothing to
+    /// fold (no log attached, no manifest published, or the base is
+    /// already at the live epoch with no trailing segments).
+    ///
+    /// Concurrency contract: the fold is encoded under the ingest lock
+    /// (the same hold a monolithic [`Store::to_bytes`] takes), but the
+    /// disk writes and the manifest swap happen **after** that lock is
+    /// released — ingest, queries and replication all proceed while
+    /// the new base is being sealed. A save that lands segments in
+    /// that window is preserved: its segments past the fold point are
+    /// carried into the new manifest.
+    pub fn compact_log(&self) -> Result<Option<CompactReport>, StoreError> {
+        self.compact_log_with(&mut DurableLog)
+    }
+
+    /// [`compact_log`](Store::compact_log) through an explicit
+    /// [`LogFaults`] shim for the crash matrices.
+    pub fn compact_log_with(
+        &self,
+        faults: &mut dyn LogFaults,
+    ) -> Result<Option<CompactReport>, StoreError> {
+        let start = Instant::now();
+        let (epoch, bytes) = {
+            let epochs = self.epochs.lock().expect("epoch lock poisoned");
+            {
+                let log_guard = self.log.lock().expect("log lock poisoned");
+                let Some(log) = log_guard.as_ref() else {
+                    return Ok(None);
+                };
+                let Ok(manifest) = log.read_manifest() else {
+                    return Ok(None);
+                };
+                if manifest.segments.is_empty() && manifest.base.epoch == self.engine().epoch() {
+                    return Ok(None);
+                }
+            }
+            (self.engine().epoch(), self.encode_locked(&epochs))
+        };
+        let log_guard = self.log.lock().expect("log lock poisoned");
+        let Some(log) = log_guard.as_ref() else {
+            return Ok(None);
+        };
+        let current = log.read_manifest()?;
+        if current.base.epoch >= epoch {
+            // A concurrent fold got further than our encode; keep it.
+            return Ok(None);
+        }
+        let name = base_file_name(epoch);
+        log.write_sealed(&name, &bytes, faults)?;
+        let folded = current
+            .segments
+            .iter()
+            .filter(|meta| meta.epoch <= epoch)
+            .count();
+        let carried: Vec<SegmentMeta> = current
+            .segments
+            .iter()
+            .filter(|meta| meta.epoch > epoch)
+            .cloned()
+            .collect();
+        let manifest = Manifest {
+            base: SegmentMeta::describing(epoch, name, &bytes),
+            segments: carried,
+        };
+        log.publish(&manifest, faults)?;
+        log.prune(&manifest);
+        Ok(Some(CompactReport {
+            seconds: start.elapsed().as_secs_f64(),
+            epoch,
+            folded,
+            base_bytes: bytes.len() as u64,
+        }))
+    }
+
+    /// The attached log's published shape, or `None` when no log is
+    /// attached (or no manifest has been published yet).
+    pub fn log_status(&self) -> Option<LogStatus> {
+        let guard = self.log.lock().expect("log lock poisoned");
+        let log = guard.as_ref()?;
+        let manifest = log.read_manifest().ok()?;
+        Some(LogStatus {
+            segments: manifest.segments.len(),
+            segment_bytes: manifest.segment_bytes(),
+            base_bytes: manifest.base.bytes,
+            covered: manifest.covered(),
+        })
+    }
+
     /// Reopen a store from bytes with default cache geometry.
     pub fn from_bytes(bytes: &[u8]) -> Result<Store, StoreError> {
         Self::from_bytes_with_cache(bytes, DEFAULT_CACHE_SHARDS, DEFAULT_CACHE_CAPACITY)
@@ -440,6 +707,7 @@ impl Store {
             world,
             engine: RwLock::new(Arc::new(engine)),
             epochs: Mutex::new(epochs),
+            log: Mutex::new(None),
         })
     }
 
@@ -449,12 +717,20 @@ impl Store {
     }
 
     /// Reopen a store file with explicit cache geometry, reporting the
-    /// cold-start cost.
+    /// cold-start cost. When `path` is a directory it is opened as a
+    /// segmented epoch log: the sealed base is decoded, then every
+    /// manifest-listed segment replays through [`Store::ingest`] — the
+    /// same deterministic classify-and-fold a follower applies, so the
+    /// result is byte-identical to loading a monolithic save of the
+    /// same epochs.
     pub fn load_with_cache(
         path: &Path,
         shards: usize,
         capacity: usize,
     ) -> Result<(Store, LoadReport), StoreError> {
+        if path.is_dir() {
+            return Self::load_segmented_with_cache(path, shards, capacity);
+        }
         let start = Instant::now();
         let bytes = std::fs::read(path)?;
         let store = Self::from_bytes_with_cache(&bytes, shards, capacity)?;
@@ -463,6 +739,61 @@ impl Store {
             bytes: bytes.len() as u64,
             epoch: store.epoch(),
         };
+        Ok((store, report))
+    }
+
+    /// Reopen a segmented log directory: verified base, verified
+    /// segments, ingest replay, log attachment.
+    fn load_segmented_with_cache(
+        dir: &Path,
+        shards: usize,
+        capacity: usize,
+    ) -> Result<(Store, LoadReport), StoreError> {
+        let start = Instant::now();
+        let log = EpochLog::open(dir)?;
+        if !log.has_manifest() {
+            return Err(StoreError::Log(format!(
+                "no manifest published in {}",
+                dir.display()
+            )));
+        }
+        let manifest = log.read_manifest()?;
+        let base_bytes = log.read_verified(&manifest.base)?;
+        let store = Self::from_bytes_with_cache(&base_bytes, shards, capacity)?;
+        if store.epoch() != manifest.base.epoch {
+            return Err(StoreError::Log(format!(
+                "base {} resumed at epoch {} but the manifest seals it at {}",
+                manifest.base.file,
+                store.epoch(),
+                manifest.base.epoch
+            )));
+        }
+        let mut total = base_bytes.len() as u64;
+        for meta in &manifest.segments {
+            let sealed = log.read_verified(meta)?;
+            total += sealed.len() as u64;
+            let (epoch, delta) = decode_segment(&sealed)?;
+            if epoch != meta.epoch {
+                return Err(StoreError::Log(format!(
+                    "{} seals epoch {epoch} but the manifest lists it as {}",
+                    meta.file, meta.epoch
+                )));
+            }
+            let delta = SnapshotDelta::from_bytes(&delta)?;
+            let report = store.ingest(delta)?;
+            if report.epoch != epoch {
+                return Err(StoreError::Log(format!(
+                    "segment {} replayed to epoch {} instead of {epoch}",
+                    meta.file, report.epoch
+                )));
+            }
+        }
+        let report = LoadReport {
+            seconds: start.elapsed().as_secs_f64(),
+            bytes: total,
+            epoch: store.epoch(),
+        };
+        *store.log.lock().expect("log lock poisoned") = Some(log);
         Ok((store, report))
     }
 }

@@ -37,6 +37,10 @@ pub enum StoreError {
     /// A replication exchange failed (primary refused, reply did not
     /// parse, or a shipped segment was torn mid-transfer).
     Replication(String),
+    /// The segmented epoch log is inconsistent (manifest missing or
+    /// malformed, a listed file absent or failing its recorded
+    /// checksum, a segment out of sequence).
+    Log(String),
 }
 
 impl fmt::Display for StoreError {
@@ -56,6 +60,7 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(message) => write!(f, "corrupt store: {message}"),
             StoreError::Ingest(message) => write!(f, "ingest rejected: {message}"),
             StoreError::Replication(message) => write!(f, "replication failed: {message}"),
+            StoreError::Log(message) => write!(f, "epoch log inconsistent: {message}"),
         }
     }
 }
@@ -90,6 +95,10 @@ mod tests {
             (
                 StoreError::Replication("primary closed".to_string()),
                 "primary closed",
+            ),
+            (
+                StoreError::Log("manifest lists epoch 7 twice".to_string()),
+                "epoch 7",
             ),
         ];
         for (error, needle) in cases {

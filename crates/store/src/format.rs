@@ -25,6 +25,12 @@ use crate::error::StoreError;
 pub const MAGIC: [u8; 4] = *b"LFPW";
 /// Snapshot-delta magic: "LFPD" (LFP Delta).
 pub const DELTA_MAGIC: [u8; 4] = *b"LFPD";
+/// Epoch-segment magic: "LFPS" (LFP Segment) — one sealed segment file
+/// of the segmented epoch log.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"LFPS";
+/// Log-manifest magic: "LFPM" (LFP Manifest) — the segmented log's
+/// atomically-published table of contents.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"LFPM";
 /// Current format version.
 pub const VERSION: u32 = 1;
 /// Tag of the mandatory terminating section.

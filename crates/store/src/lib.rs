@@ -23,7 +23,16 @@
 //!   snapshot and per-epoch delta segments over the ordinary serving
 //!   port; followers apply them through the same [`Store::ingest`]
 //!   path and answer with byte-identical replies at equal epochs,
-//!   while `min_epoch` fencing turns the epoch echo into a contract.
+//!   while `min_epoch` fencing turns the epoch echo into a contract,
+//! * [`segment`] — the **segmented epoch log**: one sealed, checksummed
+//!   file per ingested epoch plus a manifest whose rename is the single
+//!   atomic publish point; [`Store::save_segmented`] makes per-epoch
+//!   persistence O(delta) instead of O(world), and
+//!   [`Store::load`](Store::load) replays base + segments through the
+//!   ingest path for byte-identical resumption,
+//! * [`compact`] — the background [`Compactor`]: folds segments into a
+//!   fresh sealed base when the [`CompactionPolicy`] (segment count or
+//!   segment-bytes/base-bytes ratio) says so, off the serving threads.
 //!
 //! ```no_run
 //! use lfp_analysis::World;
@@ -43,12 +52,22 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod compact;
 mod epoch;
 pub mod error;
 pub mod format;
 pub mod repl;
+pub mod segment;
 
 pub use codec::{SnapshotDelta, StoredCampaign};
-pub use epoch::{Durable, IngestReport, LoadReport, SaveFaults, SaveReport, Store, SAVE_CHUNK};
+pub use compact::{compact_if_due, CompactionPolicy, Compactor, CompactorStats};
+pub use epoch::{
+    CompactReport, Durable, IngestReport, LoadReport, LogStatus, SaveFaults, SaveReport,
+    SegmentedSaveReport, Store, SAVE_CHUNK,
+};
 pub use error::StoreError;
-pub use repl::{follow_once, ingest_path, PrimaryStatus, ReplClient, ReplSource, REPL_CHUNK};
+pub use repl::{
+    follow_once, follow_once_persistent, ingest_path, PrimaryStatus, ReplClient, ReplSource,
+    DELTA_CACHE_CAP, REPL_CHUNK,
+};
+pub use segment::{DurableLog, EpochLog, LogFaults, Manifest, SegmentMeta, MANIFEST_FILE};

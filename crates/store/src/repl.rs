@@ -31,7 +31,6 @@ use crate::epoch::{IngestReport, Store};
 use crate::error::StoreError;
 use lfp_analysis::json::{parse, JsonBuilder, JsonValue};
 use lfp_query::wire;
-use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::Path;
@@ -42,14 +41,53 @@ use std::sync::{Arc, Mutex};
 /// eviction threshold even with a few replies in flight.
 pub const REPL_CHUNK: usize = 48 * 1024;
 
+/// Most delta segments a [`ReplSource`] keeps decoded in RAM. The
+/// store's segment log is the durable tier — a miss here re-reads a
+/// sealed file (or re-encodes from the epoch history), so the cache is
+/// purely a hot-set accelerator and can stay small no matter how many
+/// epochs a long-lived primary accumulates.
+pub const DELTA_CACHE_CAP: usize = 8;
+
+/// A tiny LRU for delta segments: bounded at [`DELTA_CACHE_CAP`]
+/// entries, hit moves to back, insert evicts the front. Linear scans
+/// are fine at this capacity.
+#[derive(Default)]
+struct BoundedCache {
+    entries: Vec<(u64, Arc<Vec<u8>>)>,
+}
+
+impl BoundedCache {
+    fn get(&mut self, epoch: u64) -> Option<Arc<Vec<u8>>> {
+        let index = self.entries.iter().position(|(key, _)| *key == epoch)?;
+        let entry = self.entries.remove(index);
+        let bytes = Arc::clone(&entry.1);
+        self.entries.push(entry);
+        Some(bytes)
+    }
+
+    fn insert(&mut self, epoch: u64, bytes: Arc<Vec<u8>>) {
+        self.entries.retain(|(key, _)| *key != epoch);
+        if self.entries.len() >= DELTA_CACHE_CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push((epoch, bytes));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// The primary's side of replication: answers `repl_*` lines against a
 /// shared [`Store`]. Snapshot bytes are cached per epoch (one encode
-/// per epoch regardless of follower count), delta segments in a small
-/// per-epoch map.
+/// per epoch regardless of follower count); delta segments are served
+/// from the store's segment log with a small bounded LRU in front, so
+/// a primary that lives through hundreds of epochs holds a constant
+/// amount of replication state in RAM.
 pub struct ReplSource {
     store: Arc<Store>,
     snapshot: Mutex<Option<(u64, Arc<Vec<u8>>)>>,
-    deltas: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    deltas: Mutex<BoundedCache>,
 }
 
 impl ReplSource {
@@ -58,8 +96,15 @@ impl ReplSource {
         ReplSource {
             store,
             snapshot: Mutex::new(None),
-            deltas: Mutex::new(HashMap::new()),
+            deltas: Mutex::new(BoundedCache::default()),
         }
+    }
+
+    /// Delta segments currently cached in RAM (bounded by
+    /// [`DELTA_CACHE_CAP`]; exposed so tests and operators can hold
+    /// the bound to account).
+    pub fn cached_deltas(&self) -> usize {
+        self.deltas.lock().expect("delta cache poisoned").len()
     }
 
     /// Answer a replication line, or `None` when the line is not a
@@ -98,12 +143,9 @@ impl ReplSource {
         let (epoch, bytes) = self.snapshot_bytes();
         let total = bytes.len() as u64;
         if offset > total {
-            return wire::error_envelope(&format!(
-                "snapshot offset {offset} past end of {total}-byte snapshot"
-            ));
+            return bad_offset_envelope("snapshot", offset, total);
         }
-        let end = usize::min(offset as usize + REPL_CHUNK, bytes.len());
-        let data = b64::encode(&bytes[offset as usize..end]);
+        let data = b64::encode(chunk_at(&bytes, offset));
         ok_result(|result| {
             result.integer("epoch", epoch);
             result.integer("total", total);
@@ -130,12 +172,9 @@ impl ReplSource {
         };
         let total = bytes.len() as u64;
         if offset > total {
-            return wire::error_envelope(&format!(
-                "delta offset {offset} past end of {total}-byte segment"
-            ));
+            return bad_offset_envelope("delta", offset, total);
         }
-        let end = usize::min(offset as usize + REPL_CHUNK, bytes.len());
-        let data = b64::encode(&bytes[offset as usize..end]);
+        let data = b64::encode(chunk_at(&bytes, offset));
         ok_result(|result| {
             result.integer("epoch", current);
             result.integer("delta_epoch", target);
@@ -173,17 +212,46 @@ impl ReplSource {
     }
 
     fn delta_segment(&self, epoch: u64) -> Option<Arc<Vec<u8>>> {
-        let mut cache = self.deltas.lock().expect("delta cache poisoned");
-        if let Some(bytes) = cache.get(&epoch) {
-            return Some(Arc::clone(bytes));
+        {
+            let mut cache = self.deltas.lock().expect("delta cache poisoned");
+            if let Some(bytes) = cache.get(epoch) {
+                return Some(bytes);
+            }
         }
+        // Miss: let the store serve it — from its sealed segment log
+        // when one is attached, from the epoch history otherwise. The
+        // cache lock is *not* held across this read, so a slow disk
+        // never serialises concurrent followers.
         let bytes = Arc::new(self.store.delta_segment(epoch)?);
-        if cache.len() >= 16 {
-            cache.clear();
-        }
-        cache.insert(epoch, Arc::clone(&bytes));
+        self.deltas
+            .lock()
+            .expect("delta cache poisoned")
+            .insert(epoch, Arc::clone(&bytes));
         Some(bytes)
     }
+}
+
+/// The [`REPL_CHUNK`]-sized window of `bytes` starting at `offset`,
+/// clamped so **no offset can panic the worker thread**: anything past
+/// the end (including offsets that do not fit in `usize`) yields an
+/// empty slice.
+fn chunk_at(bytes: &[u8], offset: u64) -> &[u8] {
+    let start = usize::try_from(offset)
+        .unwrap_or(usize::MAX)
+        .min(bytes.len());
+    let end = start.saturating_add(REPL_CHUNK).min(bytes.len());
+    &bytes[start..end]
+}
+
+/// The typed refusal for an out-of-range chunk offset: `error` is the
+/// fixed token `bad_offset` (clients dispatch without parsing prose),
+/// `kind` names the transfer, and `offset`/`total` carry the numbers a
+/// follower needs to log or resync.
+fn bad_offset_envelope(kind: &str, offset: u64, total: u64) -> String {
+    format!(
+        "{{\"ok\": false, \"error\": \"bad_offset\", \"kind\": \"{kind}\", \
+         \"offset\": {offset}, \"total\": {total}}}"
+    )
 }
 
 /// Ingest one `.delta` file — or every `*.delta` in a directory, in
@@ -435,6 +503,33 @@ pub fn follow_once(client: &mut ReplClient, store: &Store) -> Result<u64, StoreE
     Ok(advanced)
 }
 
+/// [`follow_once`] with **incremental durability**: after each applied
+/// delta the store is saved into the segmented log at `dir`, which
+/// seals exactly one new segment file — O(delta) per epoch, where the
+/// pre-segmented follower rewrote its whole world after every poll. A
+/// follower killed between epochs restarts from the last sealed one
+/// and re-fetches only what it missed.
+pub fn follow_once_persistent(
+    client: &mut ReplClient,
+    store: &Store,
+    dir: &Path,
+) -> Result<u64, StoreError> {
+    let mut advanced = 0;
+    while let Some((epoch, bytes)) = client.fetch_delta(store.epoch())? {
+        let delta = SnapshotDelta::from_bytes(&bytes)?;
+        let report = store.ingest(delta)?;
+        if report.epoch != epoch {
+            return Err(StoreError::Replication(format!(
+                "applied delta landed at epoch {} but primary shipped it as {epoch}",
+                report.epoch
+            )));
+        }
+        store.save_segmented(dir)?;
+        advanced += 1;
+    }
+    Ok(advanced)
+}
+
 fn field_u64(value: &JsonValue, key: &str) -> Result<u64, StoreError> {
     value
         .get(key)
@@ -530,6 +625,41 @@ mod tests {
             assert_eq!(encoded.len() % 4, 0);
             assert_eq!(b64::decode(&encoded).expect("round trip"), bytes);
         }
+    }
+
+    #[test]
+    fn delta_cache_stays_bounded_across_a_hundred_epochs() {
+        let mut cache = BoundedCache::default();
+        for epoch in 1..=100u64 {
+            cache.insert(epoch, Arc::new(vec![epoch as u8]));
+            assert!(
+                cache.len() <= DELTA_CACHE_CAP,
+                "cache grew to {} at epoch {epoch}",
+                cache.len()
+            );
+        }
+        // LRU shape: the newest CAP epochs are resident, older ones
+        // were evicted; a hit refreshes recency.
+        assert_eq!(cache.len(), DELTA_CACHE_CAP);
+        assert!(cache.get(100 - DELTA_CACHE_CAP as u64).is_none());
+        assert!(cache.get(100).is_some());
+        assert!(cache.get(93).is_some());
+        cache.insert(101, Arc::new(vec![0]));
+        assert!(cache.get(93).is_some(), "recently-hit epoch survives");
+        assert!(cache.get(94).is_none(), "cold epoch was the evictee");
+    }
+
+    #[test]
+    fn hostile_chunk_offsets_clamp_instead_of_panicking() {
+        let bytes = vec![1u8; 10];
+        assert_eq!(chunk_at(&bytes, 0), &bytes[..]);
+        assert_eq!(chunk_at(&bytes, 9), &bytes[9..]);
+        assert!(chunk_at(&bytes, 10).is_empty());
+        assert!(chunk_at(&bytes, 11).is_empty());
+        assert!(chunk_at(&bytes, u64::MAX).is_empty());
+        let envelope = bad_offset_envelope("delta", u64::MAX, 10);
+        assert!(envelope.contains("\"bad_offset\""));
+        assert!(envelope.contains(&u64::MAX.to_string()));
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! The segmented epoch log: one sealed file per ingested epoch, a
+//! checksummed manifest as the single atomic publish point.
+//!
+//! Layout of a log directory:
+//!
+//! ```text
+//! <dir>/MANIFEST            LFPM container, one MNFS section
+//! <dir>/base-00000003.lfps  full store file (LFPW) sealed at epoch 3
+//! <dir>/epoch-00000004.seg  LFPS container: epoch 4's delta segment
+//! <dir>/epoch-00000005.seg  …one per epoch past the base
+//! ```
+//!
+//! Every file is written with the same crash discipline as
+//! [`Store::save`](crate::Store::save): chunked writes into a `.tmp`
+//! sibling, `fsync`, rename into place, `fsync` the directory. Nothing
+//! a reader trusts is ever updated in place, and nothing becomes
+//! *reachable* until the manifest rename lands: a crash at any write
+//! boundary leaves the previous manifest — and therefore the previous
+//! fully-sealed state — exactly as it was. Files a crash orphans
+//! (unreferenced bases, segments, `.tmp` partials) are invisible to
+//! [`Manifest`]-driven loads and swept by [`EpochLog::prune`] on the
+//! next successful publish.
+//!
+//! The manifest records `{epoch, file, checksum, bytes}` per entry;
+//! the checksum is [`fnv1a64`] over the *whole file*, an outer
+//! integrity gate on top of the per-section checksums inside each
+//! container. Segment epochs must be contiguous from the base's epoch,
+//! so a manifest can never describe a log with a hole in its history.
+
+use crate::error::StoreError;
+use crate::format::{fnv1a64, FileReader, FileWriter, Writer, MANIFEST_MAGIC, SEGMENT_MAGIC};
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside a log directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// Section tag of the manifest payload.
+const MANIFEST_TAG: [u8; 4] = *b"MNFS";
+/// Section tag of a segment payload.
+const SEGMENT_TAG: [u8; 4] = *b"SEGM";
+
+// Write granularity for log files is shared with the monolithic save
+// so the crash matrices enumerate the same boundaries.
+use crate::epoch::SAVE_CHUNK;
+
+/// The crash seam for every log-file write: called before each chunk
+/// and once before each rename. The file name disambiguates which
+/// write is in flight — segment files, base snapshots and the
+/// `MANIFEST` itself all pass through here, so a crash test can aim at
+/// any boundary of any file (the manifest's `on_seal` is the atomic
+/// publish point; everything before it is invisible to readers).
+pub trait LogFaults {
+    /// About to write `len` bytes at `offset` into `file`'s temp.
+    fn on_chunk(&mut self, _file: &str, _offset: usize, _len: usize) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    /// `file`'s temp is complete and fsynced; about to rename it into
+    /// place.
+    fn on_seal(&mut self, _file: &str) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+/// The production shim: never interferes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurableLog;
+
+impl LogFaults for DurableLog {}
+
+/// One manifest entry: a sealed file and what it claims to hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Epoch this file seals (for the base: the epoch it was encoded
+    /// at; for a segment: the epoch its delta advances the store to).
+    pub epoch: u64,
+    /// File name inside the log directory (never a path).
+    pub file: String,
+    /// [`fnv1a64`] over the whole file.
+    pub checksum: u64,
+    /// File length in bytes.
+    pub bytes: u64,
+}
+
+impl SegmentMeta {
+    /// Meta describing `bytes` about to be sealed as `file` at `epoch`.
+    pub fn describing(epoch: u64, file: String, bytes: &[u8]) -> SegmentMeta {
+        SegmentMeta {
+            epoch,
+            file,
+            checksum: fnv1a64(bytes),
+            bytes: bytes.len() as u64,
+        }
+    }
+
+    fn encode(&self, out: &mut Writer) {
+        out.u64(self.epoch);
+        out.str(&self.file);
+        out.u64(self.checksum);
+        out.u64(self.bytes);
+    }
+
+    fn decode(reader: &mut crate::format::Reader<'_>) -> Result<SegmentMeta, StoreError> {
+        let epoch = reader.u64()?;
+        let file = reader.str()?;
+        if file.is_empty() || file.contains('/') || file.contains('\\') || file.contains("..") {
+            return Err(StoreError::Log(format!(
+                "manifest entry names a non-local file {file:?}"
+            )));
+        }
+        Ok(SegmentMeta {
+            epoch,
+            file,
+            checksum: reader.u64()?,
+            bytes: reader.u64()?,
+        })
+    }
+}
+
+/// The log's table of contents: one base plus its trailing segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The sealed full-store snapshot everything replays on top of.
+    pub base: SegmentMeta,
+    /// Per-epoch delta segments, contiguous from `base.epoch + 1`.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// The highest epoch this manifest reaches.
+    pub fn covered(&self) -> u64 {
+        self.base.epoch + self.segments.len() as u64
+    }
+
+    /// Total bytes across the segment files (the compaction policy's
+    /// numerator; the base's `bytes` is its denominator).
+    pub fn segment_bytes(&self) -> u64 {
+        self.segments.iter().map(|meta| meta.bytes).sum()
+    }
+
+    /// Serialize as an `LFPM` container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Writer::new();
+        self.base.encode(&mut payload);
+        payload.count(self.segments.len());
+        for segment in &self.segments {
+            segment.encode(&mut payload);
+        }
+        let mut file = FileWriter::new(MANIFEST_MAGIC);
+        file.section(MANIFEST_TAG, payload);
+        file.finish()
+    }
+
+    /// Parse and validate an `LFPM` container: framing, checksums,
+    /// local file names, and segment contiguity from the base epoch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, StoreError> {
+        let file = FileReader::parse(bytes, MANIFEST_MAGIC)?;
+        let mut reader = file.section(MANIFEST_TAG, "manifest")?;
+        let base = SegmentMeta::decode(&mut reader)?;
+        // Each entry is ≥ 8+4+8+8 bytes on the wire.
+        let count = reader.count(28)?;
+        let mut segments = Vec::with_capacity(count);
+        for index in 0..count {
+            let segment = SegmentMeta::decode(&mut reader)?;
+            let expected = base.epoch + 1 + index as u64;
+            if segment.epoch != expected {
+                return Err(StoreError::Log(format!(
+                    "segment {index} seals epoch {} where {expected} was required",
+                    segment.epoch
+                )));
+            }
+            segments.push(segment);
+        }
+        reader.done()?;
+        Ok(Manifest { base, segments })
+    }
+}
+
+/// Canonical base file name for a given epoch.
+pub fn base_file_name(epoch: u64) -> String {
+    format!("base-{epoch:08}.lfps")
+}
+
+/// Canonical segment file name for a given epoch.
+pub fn segment_file_name(epoch: u64) -> String {
+    format!("epoch-{epoch:08}.seg")
+}
+
+/// Wrap a serialized [`SnapshotDelta`](crate::SnapshotDelta) as an
+/// `LFPS` segment container sealed at `epoch`.
+pub fn encode_segment(epoch: u64, delta: &[u8]) -> Vec<u8> {
+    let mut payload = Writer::new();
+    payload.u64(epoch);
+    payload.bytes(delta);
+    let mut file = FileWriter::new(SEGMENT_MAGIC);
+    file.section(SEGMENT_TAG, payload);
+    file.finish()
+}
+
+/// Unwrap an `LFPS` segment: the epoch it seals plus the delta bytes
+/// (still their own checksummed `LFPD` container).
+pub fn decode_segment(bytes: &[u8]) -> Result<(u64, Vec<u8>), StoreError> {
+    let file = FileReader::parse(bytes, SEGMENT_MAGIC)?;
+    let mut reader = file.section(SEGMENT_TAG, "segment")?;
+    let epoch = reader.u64()?;
+    let delta = reader.bytes()?;
+    reader.done()?;
+    Ok((epoch, delta))
+}
+
+/// A segmented log directory: sealed-file writes, verified reads, the
+/// manifest publish point, and orphan sweeping. Pure I/O — epoch
+/// semantics (what to write, when to fold) live on
+/// [`Store`](crate::Store).
+#[derive(Debug)]
+pub struct EpochLog {
+    dir: PathBuf,
+}
+
+impl EpochLog {
+    /// Open (creating if needed) a log directory.
+    pub fn create(dir: &Path) -> Result<EpochLog, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        Ok(EpochLog {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Wrap an existing log directory.
+    pub fn open(dir: &Path) -> Result<EpochLog, StoreError> {
+        if !dir.is_dir() {
+            return Err(StoreError::Log(format!(
+                "{} is not a log directory",
+                dir.display()
+            )));
+        }
+        Ok(EpochLog {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read and validate the current manifest.
+    pub fn read_manifest(&self) -> Result<Manifest, StoreError> {
+        let bytes = std::fs::read(self.dir.join(MANIFEST_FILE))?;
+        Manifest::from_bytes(&bytes)
+    }
+
+    /// Whether a manifest has ever been published here.
+    pub fn has_manifest(&self) -> bool {
+        self.dir.join(MANIFEST_FILE).is_file()
+    }
+
+    /// Read a listed file and verify its recorded length and whole-file
+    /// checksum before a byte of it is trusted.
+    pub fn read_verified(&self, meta: &SegmentMeta) -> Result<Vec<u8>, StoreError> {
+        let bytes = std::fs::read(self.dir.join(&meta.file))?;
+        if bytes.len() as u64 != meta.bytes {
+            return Err(StoreError::Log(format!(
+                "{} holds {} bytes, manifest records {}",
+                meta.file,
+                bytes.len(),
+                meta.bytes
+            )));
+        }
+        if fnv1a64(&bytes) != meta.checksum {
+            return Err(StoreError::Log(format!(
+                "{} fails its manifest checksum",
+                meta.file
+            )));
+        }
+        Ok(bytes)
+    }
+
+    /// Seal `bytes` as `<dir>/<name>`: chunked writes into
+    /// `<name>.tmp` through the fault seam, fsync, rename, fsync the
+    /// directory. On return the file is durable under its final name.
+    pub fn write_sealed(
+        &self,
+        name: &str,
+        bytes: &[u8],
+        faults: &mut dyn LogFaults,
+    ) -> Result<(), StoreError> {
+        let target = self.dir.join(name);
+        let temporary = self.dir.join(format!("{name}.tmp"));
+        {
+            let mut file = std::fs::File::create(&temporary)?;
+            let mut offset = 0usize;
+            for chunk in bytes.chunks(SAVE_CHUNK) {
+                faults.on_chunk(name, offset, chunk.len())?;
+                std::io::Write::write_all(&mut file, chunk)?;
+                offset += chunk.len();
+            }
+            if bytes.is_empty() {
+                faults.on_chunk(name, 0, 0)?;
+            }
+            file.sync_all()?;
+        }
+        faults.on_seal(name)?;
+        std::fs::rename(&temporary, &target)?;
+        std::fs::File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Atomically publish `manifest`: seal it as `MANIFEST`. Readers
+    /// switch from the old log state to the new one at the rename.
+    pub fn publish(
+        &self,
+        manifest: &Manifest,
+        faults: &mut dyn LogFaults,
+    ) -> Result<(), StoreError> {
+        self.write_sealed(MANIFEST_FILE, &manifest.to_bytes(), faults)
+    }
+
+    /// Best-effort sweep of files the published manifest does not
+    /// reference — superseded bases, folded segments, `.tmp` partials a
+    /// crash left behind. Failures are ignored: an unswept orphan is
+    /// invisible to loads and gets another chance next publish.
+    pub fn prune(&self, manifest: &Manifest) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|name| name.to_str()) else {
+                continue;
+            };
+            if name == MANIFEST_FILE
+                || name == manifest.base.file
+                || manifest.segments.iter().any(|meta| meta.file == name)
+            {
+                continue;
+            }
+            let sweepable =
+                name.ends_with(".tmp") || name.ends_with(".seg") || name.ends_with(".lfps");
+            if sweepable {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("lfp-seg-{tag}-{}-{unique}", std::process::id()))
+    }
+
+    fn sample_manifest() -> Manifest {
+        Manifest {
+            base: SegmentMeta {
+                epoch: 2,
+                file: base_file_name(2),
+                checksum: 0xDEAD,
+                bytes: 100,
+            },
+            segments: vec![
+                SegmentMeta {
+                    epoch: 3,
+                    file: segment_file_name(3),
+                    checksum: 1,
+                    bytes: 10,
+                },
+                SegmentMeta {
+                    epoch: 4,
+                    file: segment_file_name(4),
+                    checksum: 2,
+                    bytes: 20,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_reports_coverage() {
+        let manifest = sample_manifest();
+        let decoded = Manifest::from_bytes(&manifest.to_bytes()).expect("round trip");
+        assert_eq!(decoded, manifest);
+        assert_eq!(decoded.covered(), 4);
+        assert_eq!(decoded.segment_bytes(), 30);
+    }
+
+    #[test]
+    fn manifest_rejects_holes_and_hostile_names() {
+        let mut gapped = sample_manifest();
+        gapped.segments[1].epoch = 9;
+        assert!(matches!(
+            Manifest::from_bytes(&gapped.to_bytes()),
+            Err(StoreError::Log(_))
+        ));
+
+        let mut escape = sample_manifest();
+        escape.segments[0].file = "../outside.seg".to_string();
+        assert!(matches!(
+            Manifest::from_bytes(&escape.to_bytes()),
+            Err(StoreError::Log(_))
+        ));
+
+        assert!(matches!(
+            Manifest::from_bytes(b"LFPM junk"),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn segment_container_round_trips() {
+        let delta = vec![7u8; 1000];
+        let bytes = encode_segment(42, &delta);
+        let (epoch, decoded) = decode_segment(&bytes).expect("round trip");
+        assert_eq!(epoch, 42);
+        assert_eq!(decoded, delta);
+        assert!(decode_segment(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn sealed_writes_verify_and_prune_sweeps_orphans() {
+        let dir = scratch("log");
+        let log = EpochLog::create(&dir).expect("create");
+        let payload = vec![9u8; 3000];
+        log.write_sealed("epoch-00000003.seg", &payload, &mut DurableLog)
+            .expect("seal");
+        let meta = SegmentMeta::describing(3, "epoch-00000003.seg".to_string(), &payload);
+        assert_eq!(log.read_verified(&meta).expect("verified read"), payload);
+
+        let mut flipped = meta.clone();
+        flipped.checksum ^= 1;
+        assert!(matches!(
+            log.read_verified(&flipped),
+            Err(StoreError::Log(_))
+        ));
+
+        // Orphans: a stale tmp and an unreferenced segment.
+        std::fs::write(dir.join("epoch-00000009.seg.tmp"), b"torn").expect("tmp");
+        std::fs::write(dir.join("epoch-00000008.seg"), b"orphan").expect("orphan");
+        std::fs::write(dir.join("notes.txt"), b"keep me").expect("notes");
+        let manifest = Manifest {
+            base: SegmentMeta {
+                epoch: 2,
+                file: base_file_name(2),
+                checksum: 0,
+                bytes: 0,
+            },
+            segments: vec![meta],
+        };
+        log.publish(&manifest, &mut DurableLog).expect("publish");
+        log.prune(&manifest);
+        assert!(!dir.join("epoch-00000009.seg.tmp").exists());
+        assert!(!dir.join("epoch-00000008.seg").exists());
+        assert!(dir.join("epoch-00000003.seg").exists());
+        assert!(
+            dir.join("notes.txt").exists(),
+            "non-log files are not swept"
+        );
+        assert_eq!(log.read_manifest().expect("manifest"), manifest);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

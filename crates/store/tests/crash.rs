@@ -10,7 +10,7 @@
 
 mod util;
 
-use lfp_store::{SaveFaults, Store, StoreError, SAVE_CHUNK};
+use lfp_store::{LogFaults, SaveFaults, Store, StoreError, MANIFEST_FILE, SAVE_CHUNK};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -269,6 +269,251 @@ fn follower_crash_at_every_boundary_recovers_and_resyncs() {
     assert_eq!(util::mix_responses(&restarted), converged);
     restarted.save(&follower_path).expect("clean persist");
     let (epoch, responses) = loaded_state(&follower_path);
+    assert_eq!(epoch, 1);
+    assert_eq!(responses, converged);
+}
+
+// ---------------------------------------------------------------------
+// The segmented epoch log: the same matrix, but with more places to die
+// — inside a segment file, at a segment's seal, inside the manifest,
+// and at the manifest swap itself (the single publish point).
+// ---------------------------------------------------------------------
+
+/// One write event a segmented operation crossed, in order.
+#[derive(Debug, Clone, PartialEq)]
+enum LogEvent {
+    /// `(file, offset, len)` of a chunk write into `<file>.tmp`.
+    Chunk(String, usize, usize),
+    /// The fsync + rename boundary sealing `file`.
+    Seal(String),
+}
+
+/// Records every event a segmented save/compaction crosses without
+/// interfering — the map the injection loop then enumerates.
+#[derive(Default)]
+struct LogRecorder {
+    events: Vec<LogEvent>,
+}
+
+impl LogFaults for LogRecorder {
+    fn on_chunk(&mut self, file: &str, offset: usize, len: usize) -> Result<(), StoreError> {
+        self.events
+            .push(LogEvent::Chunk(file.to_string(), offset, len));
+        Ok(())
+    }
+
+    fn on_seal(&mut self, file: &str) -> Result<(), StoreError> {
+        self.events.push(LogEvent::Seal(file.to_string()));
+        Ok(())
+    }
+}
+
+/// Kills the operation just before event number `at` (in the order the
+/// recorder observed them).
+struct LogCrashAt {
+    at: usize,
+    seen: usize,
+}
+
+impl LogCrashAt {
+    fn event(at: usize) -> LogCrashAt {
+        LogCrashAt { at, seen: 0 }
+    }
+
+    fn tick(&mut self) -> Result<(), StoreError> {
+        if self.seen == self.at {
+            return Err(StoreError::Io("injected log crash".to_string()));
+        }
+        self.seen += 1;
+        Ok(())
+    }
+}
+
+impl LogFaults for LogCrashAt {
+    fn on_chunk(&mut self, _file: &str, _offset: usize, _len: usize) -> Result<(), StoreError> {
+        self.tick()
+    }
+
+    fn on_seal(&mut self, _file: &str) -> Result<(), StoreError> {
+        self.tick()
+    }
+}
+
+#[test]
+fn segmented_crash_at_every_boundary_recovers_last_sealed_epoch() {
+    let world = util::shared_tiny_world();
+    let store = Store::from_world(world.clone());
+    let scratch = Scratch::new("segmatrix");
+    let dir = scratch.path("log");
+
+    // Publish the epoch-0 base — the "last sealed" state every crashed
+    // segment save must preserve.
+    store.save_segmented(&dir).expect("baseline save");
+    let baseline = loaded_state(&dir);
+    assert_eq!(baseline.0, 0);
+
+    // Advance to epoch 1 and map the incremental save's write events
+    // against a disposable copy of the published log (same manifest,
+    // same base ⇒ identical event sequence).
+    let delta = util::measure_deltas(&world, 1).into_iter().next().unwrap();
+    store.ingest(delta).expect("ingest");
+    let probe = scratch.path("probe-log");
+    std::fs::create_dir_all(&probe).expect("probe dir");
+    for entry in std::fs::read_dir(&dir).expect("read log dir") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), probe.join(entry.file_name())).expect("copy log file");
+    }
+    let mut recorder = LogRecorder::default();
+    store
+        .save_segmented_with(&probe, &mut recorder)
+        .expect("probe save");
+    // The map must cover both files and both seals: segment chunks,
+    // the segment's seal, manifest chunks, the manifest's seal (the
+    // publish itself is the very last event).
+    assert!(recorder.events.len() >= 4, "{:?}", recorder.events);
+    assert!(matches!(recorder.events.last(), Some(LogEvent::Seal(file)) if file == MANIFEST_FILE));
+    assert!(recorder
+        .events
+        .iter()
+        .any(|event| matches!(event, LogEvent::Seal(file) if file != MANIFEST_FILE)));
+
+    // Kill the save at every recorded boundary. Whatever died — a
+    // half-written segment, a sealed-but-unpublished segment, a torn
+    // manifest temp — the published log must still load as epoch 0,
+    // byte-identically to the pre-crash baseline.
+    for at in 0..recorder.events.len() {
+        let error = store
+            .save_segmented_with(&dir, &mut LogCrashAt::event(at))
+            .expect_err("injected crash must surface");
+        assert!(matches!(error, StoreError::Io(_)), "crash point {at}");
+        assert_eq!(loaded_state(&dir), baseline, "crash point {at}");
+    }
+
+    // A clean save after the whole matrix publishes epoch 1 exactly.
+    store.save_segmented(&dir).expect("post-crash save");
+    let (epoch, responses) = loaded_state(&dir);
+    assert_eq!(epoch, 1);
+    assert_ne!(responses, baseline.1, "epoch 1 must answer differently");
+    assert_eq!(responses, util::mix_responses(&store));
+}
+
+#[test]
+fn compaction_crash_at_every_boundary_preserves_the_published_log() {
+    let world = util::shared_tiny_world();
+    let store = Store::from_world(world.clone());
+    let scratch = Scratch::new("foldmatrix");
+    let dir = scratch.path("log");
+
+    // Three sealed segments on top of the epoch-0 base.
+    store.save_segmented(&dir).expect("base save");
+    for delta in util::measure_deltas(&world, 3) {
+        store.ingest(delta).expect("ingest");
+        store.save_segmented(&dir).expect("per-epoch save");
+    }
+    let before = loaded_state(&dir);
+    assert_eq!(before.0, 3);
+
+    // Map the fold's write events (new base chunks, its seal, manifest
+    // chunks, manifest seal) against a disposable copy of the log.
+    let probe = scratch.path("probe-log");
+    std::fs::create_dir_all(&probe).expect("probe dir");
+    for entry in std::fs::read_dir(&dir).expect("read log dir") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), probe.join(entry.file_name())).expect("copy log file");
+    }
+    let probe_store = Store::load(&probe)
+        .map(|(store, _)| store)
+        .expect("probe load");
+    let mut recorder = LogRecorder::default();
+    probe_store
+        .compact_log_with(&mut recorder)
+        .expect("probe fold")
+        .expect("probe had segments to fold");
+    assert!(matches!(recorder.events.last(), Some(LogEvent::Seal(file)) if file == MANIFEST_FILE));
+
+    // Kill the fold at every boundary: the published manifest still
+    // lists the old base + segments, all of which the crashed fold must
+    // leave untouched — so every load sees epoch 3, byte-identically.
+    for at in 0..recorder.events.len() {
+        let error = store
+            .compact_log_with(&mut LogCrashAt::event(at))
+            .expect_err("injected crash must surface");
+        assert!(matches!(error, StoreError::Io(_)), "crash point {at}");
+        assert_eq!(loaded_state(&dir), before, "crash point {at}");
+        // The log still accepts incremental saves after a failed fold.
+        let report = store.save_segmented(&dir).expect("save after crashed fold");
+        assert_eq!(report.segments_written, 0, "crash point {at}");
+    }
+
+    // A clean fold publishes the single-base manifest; the log answers
+    // exactly as before and the swept segments are gone.
+    let report = store
+        .compact_log()
+        .expect("clean fold")
+        .expect("segments still pending");
+    assert_eq!(report.epoch, 3);
+    assert_eq!(report.folded, 3);
+    assert_eq!(loaded_state(&dir), before);
+    let status = store.log_status().expect("log attached");
+    assert_eq!(status.segments, 0);
+}
+
+#[test]
+fn follower_with_segmented_log_recovers_and_resyncs_after_crashes() {
+    let world = util::shared_tiny_world();
+    let primary = Store::from_world(world.clone());
+    let scratch = Scratch::new("segfollower");
+    let dir = scratch.path("follower-log");
+
+    // The follower replicates the base snapshot and persists it as a
+    // segmented log.
+    let follower = Store::from_bytes(&primary.to_bytes()).expect("snapshot sync");
+    follower.save_segmented(&dir).expect("baseline persist");
+    let baseline = loaded_state(&dir);
+    assert_eq!(baseline.0, 0);
+
+    // The primary moves on; the shipped delta is the follower's apply.
+    let delta = util::measure_deltas(&world, 1).into_iter().next().unwrap();
+    primary.ingest(delta).expect("primary ingest");
+    let shipped = primary.delta_segment(1).expect("epoch 1 in the log");
+    let apply = |store: &Store| {
+        let delta =
+            lfp_store::SnapshotDelta::from_bytes(&shipped).expect("shipped segment decodes");
+        store.ingest(delta).expect("apply shipped delta");
+    };
+    apply(&follower);
+    let converged = util::mix_responses(&follower);
+    assert_eq!(converged, util::mix_responses(&primary));
+
+    // Map the post-apply persist, then kill it at every boundary: the
+    // published log must stay at the last fully-applied epoch.
+    let probe = scratch.path("probe-log");
+    std::fs::create_dir_all(&probe).expect("probe dir");
+    for entry in std::fs::read_dir(&dir).expect("read log dir") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), probe.join(entry.file_name())).expect("copy log file");
+    }
+    let mut recorder = LogRecorder::default();
+    follower
+        .save_segmented_with(&probe, &mut recorder)
+        .expect("probe save");
+    for at in 0..recorder.events.len() {
+        let error = follower
+            .save_segmented_with(&dir, &mut LogCrashAt::event(at))
+            .expect_err("injected crash must surface");
+        assert!(matches!(error, StoreError::Io(_)), "crash point {at}");
+        assert_eq!(loaded_state(&dir), baseline, "crash point {at}");
+    }
+
+    // Restart from the crashed log: epoch 0, resync by re-applying the
+    // same shipped segment, persist cleanly — byte-identical to the
+    // never-crashed replica.
+    let (restarted, _) = Store::load(&dir).expect("follower restart");
+    assert_eq!(restarted.epoch(), 0, "recovered to the last applied epoch");
+    apply(&restarted);
+    assert_eq!(util::mix_responses(&restarted), converged);
+    restarted.save_segmented(&dir).expect("clean persist");
+    let (epoch, responses) = loaded_state(&dir);
     assert_eq!(epoch, 1);
     assert_eq!(responses, converged);
 }

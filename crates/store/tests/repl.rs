@@ -109,6 +109,92 @@ fn snapshot_ships_in_chunks_and_reassembles_exactly() {
 }
 
 #[test]
+fn hostile_chunk_offsets_get_typed_refusals_over_the_wire() {
+    let world = util::shared_tiny_world();
+    let primary = Arc::new(Store::from_world(world.clone()));
+    primary
+        .ingest(util::measure_deltas(&world, 1).remove(0))
+        .expect("ingest");
+    let (_, snapshot) = primary.snapshot_segment();
+    let delta_len = primary.delta_segment(1).expect("delta in log").len();
+    let addr = spawn_primary(Arc::new(ReplSource::new(Arc::clone(&primary))));
+
+    // A hostile follower can claim any offset it likes: one past the
+    // end, far past the end, or u64::MAX (which would overflow naive
+    // slice arithmetic). Every one must come back as the typed
+    // `bad_offset` envelope carrying the real total — never a panic,
+    // never a hang, never a torn chunk.
+    let stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut ask = |line: String| -> JsonValue {
+        writeln!(writer, "{line}").expect("send");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("recv");
+        parse(reply.trim()).expect("reply parses")
+    };
+    let hostile_cases: Vec<(String, u64)> = vec![
+        (
+            format!(
+                r#"{{"query": "repl_snapshot", "offset": {}}}"#,
+                snapshot.len() + 1
+            ),
+            snapshot.len() as u64,
+        ),
+        (
+            format!(r#"{{"query": "repl_snapshot", "offset": {}}}"#, u64::MAX),
+            snapshot.len() as u64,
+        ),
+        (
+            format!(
+                r#"{{"query": "repl_delta", "have": 0, "offset": {}}}"#,
+                delta_len + 1
+            ),
+            delta_len as u64,
+        ),
+        (
+            format!(
+                r#"{{"query": "repl_delta", "have": 0, "offset": {}}}"#,
+                u64::MAX
+            ),
+            delta_len as u64,
+        ),
+    ];
+    for (line, total) in hostile_cases {
+        let reply = ask(line.clone());
+        assert_eq!(
+            reply.get("ok").and_then(JsonValue::as_bool),
+            Some(false),
+            "{line}"
+        );
+        assert_eq!(
+            reply.get("error").and_then(JsonValue::as_str),
+            Some("bad_offset"),
+            "{line}"
+        );
+        assert_eq!(
+            reply.get("total").and_then(JsonValue::as_u64),
+            Some(total),
+            "{line}"
+        );
+        assert!(reply.get("offset").and_then(JsonValue::as_u64).is_some());
+    }
+    // The exact end-of-stream offset is the legitimate "done" probe —
+    // still an answer, not an error (resumable syncs depend on it).
+    let done = ask(format!(
+        r#"{{"query": "repl_snapshot", "offset": {}}}"#,
+        snapshot.len()
+    ));
+    assert_eq!(done.get("ok").and_then(JsonValue::as_bool), Some(true));
+    let data = done
+        .get("result")
+        .and_then(|result| result.get("data"))
+        .and_then(JsonValue::as_str)
+        .expect("data field");
+    assert!(data.is_empty(), "end-of-stream chunk must be empty");
+}
+
+#[test]
 fn follower_converges_over_loopback_and_resumes_a_torn_sync() {
     let world = util::shared_tiny_world();
     let primary = Arc::new(Store::from_world(world.clone()));
